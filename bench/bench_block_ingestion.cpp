@@ -1,0 +1,105 @@
+// Figure 6: instructions executed for block ingestion.
+//
+// Left panel: instructions per ingested block over a six-month stream,
+// averaging ~21.6e9 on mainnet. Right panel: the split between output
+// insertions and input removals (roughly half each). Block contents are
+// scaled down 1/10 from mainnet shape (200 inputs / 230 outputs per block)
+// and instruction counts scaled back up; the instruction *model* per UTXO
+// operation is the paper-calibrated cost in canister::InstructionCosts.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "workload.h"
+
+namespace {
+
+using namespace icbtc;
+using namespace icbtc::bench;
+
+constexpr int kIngestScale = 10;
+
+void run_figure6() {
+  const auto& params = bitcoin::ChainParams::regtest();  // δ=6: fast stabilization
+  auto config = canister::CanisterConfig::for_params(params);
+  canister::BitcoinCanister canister(params, config);
+  ChainFeeder feeder(canister, /*seed=*/66);
+
+  // Mainnet shape / 10: ~220 inputs, ~250 outputs per block.
+  BlockShape shape;
+  shape.transactions = 90;
+  shape.inputs_per_tx = 3;
+  shape.outputs_per_tx = 3;
+  shape.jitter = 0.35;
+
+  // Warm up the spendable pool, then stream "six months" of blocks (scaled
+  // count: 1300 blocks sampled from the ~26k real ones).
+  feeder.run(40, shape);
+  const int kBlocks = 1300;
+  feeder.run(kBlocks, shape);
+
+  const auto& log = canister.ingest_log();
+  std::printf("\n--- Figure 6 (left): instructions per ingested block ---\n");
+  std::printf("(scaled x%d back to mainnet block shape)\n", kIngestScale);
+  std::printf("%-8s %-10s %-14s %-10s %-10s\n", "block", "height", "instructions",
+              "inputs", "outputs");
+  double total = 0;
+  double total_insert = 0;
+  double total_remove = 0;
+  std::size_t count = 0;
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const auto& stats = log[i];
+    double scaled = static_cast<double>(stats.instructions) * kIngestScale;
+    total += scaled;
+    total_insert += static_cast<double>(stats.insert_instructions) * kIngestScale;
+    total_remove += static_cast<double>(stats.remove_instructions) * kIngestScale;
+    ++count;
+    if (i % 100 == 0) {
+      std::printf("%-8zu %-10d %-14.2fB %-10zu %-10zu\n", i, stats.height, scaled / 1e9,
+                  stats.inputs_removed * kIngestScale, stats.outputs_inserted * kIngestScale);
+    }
+  }
+  std::printf("\naverage: %.1fB instructions/block   (paper: ~21.6B)\n",
+              total / static_cast<double>(count) / 1e9);
+
+  std::printf("\n--- Figure 6 (right): split of ingestion instructions ---\n");
+  std::printf("output insertions: %.1fB avg/block (%.0f%% of mutation work)\n",
+              total_insert / static_cast<double>(count) / 1e9,
+              100.0 * total_insert / (total_insert + total_remove));
+  std::printf("input removals:    %.1fB avg/block (%.0f%% of mutation work)\n",
+              total_remove / static_cast<double>(count) / 1e9,
+              100.0 * total_remove / (total_insert + total_remove));
+  std::printf("(paper: roughly half of the ~20B instructions each)\n\n");
+}
+
+void BM_IngestBlock(benchmark::State& state) {
+  const auto& params = bitcoin::ChainParams::regtest();
+  canister::BitcoinCanister canister(params, canister::CanisterConfig::for_params(params));
+  ChainFeeder feeder(canister, 67);
+  BlockShape shape;
+  shape.transactions = static_cast<std::size_t>(state.range(0));
+  shape.inputs_per_tx = 2;
+  shape.outputs_per_tx = 3;
+  feeder.run(20, shape);
+  std::size_t before = canister.ingest_log().size();
+  std::uint64_t instructions_before = canister.meter().count();
+  for (auto _ : state) {
+    feeder.step(shape);
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["stable_blocks"] =
+      static_cast<double>(canister.ingest_log().size() - before);
+  state.counters["instr/iter"] = benchmark::Counter(
+      static_cast<double>(canister.meter().count() - instructions_before),
+      benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_IngestBlock)->Arg(8)->Arg(80)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_figure6();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,120 @@
+// §IV-B cost table: "approximately 35,000 (1,500) requests for balances
+// (UTXOs) can be made for 1 U.S. dollar", against an average Bitcoin
+// transaction fee of 1-2 USD at the end of 2024.
+//
+// Uses the same address population as Figure 7 and the IC cycles cost model
+// (base fee + per-instruction + per-response-byte, 1T cycles ≈ 1.33 USD).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bitcoin/script.h"
+#include "ic/subnet.h"
+#include "workload.h"
+
+namespace {
+
+using namespace icbtc;
+using namespace icbtc::bench;
+
+void run_cost_table() {
+  std::printf("\n--- §IV-B: cost of replicated requests (requests per USD) ---\n");
+  const auto& params = bitcoin::ChainParams::regtest();
+  canister::BitcoinCanister canister(params, canister::CanisterConfig::for_params(params));
+  util::Simulation sim;
+  ic::Subnet subnet(sim, ic::SubnetConfig{}, 99);
+  const auto& cost_model = subnet.config().cost_model;
+
+  // Build the paper's address population.
+  util::Rng rng(555);
+  auto counts = paper_address_skew(1000, rng);
+  chain::HeaderTree tree(params, params.genesis_header);
+  util::Hash256 tip = params.genesis_header.hash();
+  std::uint32_t time = params.genesis_header.time;
+  std::uint64_t tag = 1;
+  std::vector<std::string> addresses;
+  std::vector<bitcoin::Transaction> batch;
+  auto flush = [&] {
+    time += 600;
+    auto block = chain::build_child_block(tree, tip, time, bitcoin::p2pkh_script({}),
+                                          bitcoin::block_subsidy(0), std::move(batch), tag++);
+    batch.clear();
+    tip = block.hash();
+    tree.accept(block.header, static_cast<std::int64_t>(time) + 10000);
+    adapter::AdapterResponse response;
+    response.blocks.emplace_back(std::move(block), tree.find(tip)->header);
+    canister.process_response(response, static_cast<std::int64_t>(time) + 10000);
+  };
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    util::Hash160 h;
+    auto bytes = rng.next_bytes(20);
+    std::copy(bytes.begin(), bytes.end(), h.data.begin());
+    addresses.push_back(bitcoin::p2pkh_address(h, params.network));
+    std::size_t remaining = counts[i];
+    while (remaining > 0) {
+      bitcoin::Transaction tx;
+      bitcoin::TxIn in;
+      in.prevout.txid = rng.next_hash();
+      tx.inputs.push_back(in);
+      std::size_t chunk = std::min<std::size_t>(remaining, 200);
+      for (std::size_t k = 0; k < chunk; ++k) {
+        tx.outputs.push_back(bitcoin::TxOut{1000, bitcoin::p2pkh_script(h)});
+      }
+      remaining -= chunk;
+      batch.push_back(std::move(tx));
+      if (batch.size() >= 20) flush();
+    }
+  }
+  if (!batch.empty()) flush();
+
+  // Measure the average cycle cost of both request types.
+  double balance_cycles = 0, utxo_cycles = 0;
+  std::size_t n = 0;
+  for (const auto& addr : addresses) {
+    ic::InstructionMeter::Segment seg_b(canister.meter());
+    auto balance = canister.get_balance(addr);
+    if (!balance.ok()) continue;
+    balance_cycles += static_cast<double>(cost_model.update_cost_cycles(seg_b.sample(), 16));
+
+    canister::GetUtxosRequest request;
+    request.address = addr;
+    ic::InstructionMeter::Segment seg_u(canister.meter());
+    auto utxos = canister.get_utxos(request);
+    if (!utxos.ok()) continue;
+    std::size_t bytes = 48 * utxos.value.utxos.size() + 44;
+    utxo_cycles += static_cast<double>(cost_model.update_cost_cycles(seg_u.sample(), bytes));
+    ++n;
+  }
+  balance_cycles /= static_cast<double>(n);
+  utxo_cycles /= static_cast<double>(n);
+
+  double usd_per_balance = cost_model.cycles_to_usd(static_cast<std::uint64_t>(balance_cycles));
+  double usd_per_utxos = cost_model.cycles_to_usd(static_cast<std::uint64_t>(utxo_cycles));
+  std::printf("%-28s %-16s %-16s %s\n", "request", "avg cycles", "USD/request",
+              "requests/USD");
+  std::printf("%-28s %-16.3e %-16.2e %.0f\n", "replicated get_balance", balance_cycles,
+              usd_per_balance, 1.0 / usd_per_balance);
+  std::printf("%-28s %-16.3e %-16.2e %.0f\n", "replicated get_utxos", utxo_cycles,
+              usd_per_utxos, 1.0 / usd_per_utxos);
+  std::printf("\npaper: ~35,000 balance requests and ~1,500 UTXO requests per USD;\n");
+  std::printf("for comparison a single Bitcoin transaction cost 1-2 USD in late 2024.\n\n");
+}
+
+void BM_UpdateCostModel(benchmark::State& state) {
+  ic::CycleCostModel model;
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    acc += model.update_cost_cycles(static_cast<std::uint64_t>(state.range(0)), 512);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_UpdateCostModel)->Arg(5'840'000)->Arg(476'000'000);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_cost_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,242 @@
+// Figure 7: response time and instruction cost of get_balance / get_utxos.
+//
+// Reproduces the paper's mainnet experiment: 1000 addresses with the
+// measured UTXO-count skew (517 <50, 159 50-199, 113 200-999, 211 >=1000),
+// replicated and query calls for both endpoints, and the instruction count
+// vs. response size for replicated UTXO requests, including the
+// stable/unstable bifurcation.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bitcoin/script.h"
+#include "ic/subnet.h"
+#include "workload.h"
+
+namespace {
+
+using namespace icbtc;
+using namespace icbtc::bench;
+
+struct Fixture {
+  static canister::CanisterConfig fixture_config(const bitcoin::ChainParams& params) {
+    auto config = canister::CanisterConfig::for_params(params);
+    // A deeper unstable window (closer to the mainnet δ=144 regime, scaled)
+    // keeps the late-dealt addresses unstable for the Fig. 7 bifurcation.
+    config.stability_delta = 40;
+    return config;
+  }
+
+  util::Simulation sim;
+  const bitcoin::ChainParams& params = bitcoin::ChainParams::regtest();
+  canister::BitcoinCanister canister{params, fixture_config(params)};
+  ic::Subnet subnet{sim, ic::SubnetConfig{}, 4242};
+  std::vector<std::string> addresses;
+  std::vector<std::size_t> expected_counts;
+  util::Rng rng{777};
+
+  explicit Fixture(std::size_t n_addresses, bool include_unstable = true) {
+    ChainFeeder feeder(canister, 778);
+    auto counts = paper_address_skew(n_addresses, rng);
+
+    // Register every address and pour its UTXOs in through synthetic blocks:
+    // each block pays a batch of outputs to the tracked addresses.
+    std::vector<util::Bytes> scripts;
+    for (std::size_t i = 0; i < n_addresses; ++i) {
+      util::Hash160 h;
+      auto bytes = rng.next_bytes(20);
+      std::copy(bytes.begin(), bytes.end(), h.data.begin());
+      scripts.push_back(bitcoin::p2pkh_script(h));
+      addresses.push_back(bitcoin::p2pkh_address(h, params.network));
+      expected_counts.push_back(counts[i]);
+    }
+
+    // Deal the UTXOs: blocks of direct payments (not via ChainFeeder's
+    // random scripts, so counts are exact).
+    chain::HeaderTree tree(params, params.genesis_header);
+    util::Hash256 tip = params.genesis_header.hash();
+    std::uint32_t time = params.genesis_header.time;
+    std::uint64_t tag = 909000;
+    std::size_t addr_idx = 0, dealt = 0;
+    std::vector<bitcoin::Transaction> batch;
+    int height = 0;
+    auto flush = [&](bool more_to_come) {
+      if (batch.empty() && more_to_come) return;
+      time += 600;
+      auto block = chain::build_child_block(tree, tip, time, scripts[0],
+                                            bitcoin::block_subsidy(0), std::move(batch), tag++);
+      batch.clear();
+      tip = block.hash();
+      ++height;
+      tree.accept(block.header, static_cast<std::int64_t>(time) + 10000);
+      adapter::AdapterResponse response;
+      response.blocks.emplace_back(std::move(block), tree.find(tip)->header);
+      canister.process_response(response, static_cast<std::int64_t>(time) + 10000);
+    };
+    auto deal_until = [&](std::size_t limit) {
+      while (addr_idx < limit) {
+        bitcoin::Transaction tx;
+        bitcoin::TxIn in;
+        in.prevout.txid = rng.next_hash();  // unvalidated input (§III-C)
+        tx.inputs.push_back(in);
+        std::size_t want = expected_counts[addr_idx] - dealt;
+        std::size_t chunk = std::min<std::size_t>(want, 200);
+        for (std::size_t i = 0; i < chunk; ++i) {
+          tx.outputs.push_back(bitcoin::TxOut{1000, scripts[addr_idx]});
+        }
+        dealt += chunk;
+        if (dealt == expected_counts[addr_idx]) {
+          ++addr_idx;
+          dealt = 0;
+        }
+        batch.push_back(std::move(tx));
+        if (batch.size() >= 20) flush(true);
+      }
+      flush(false);
+    };
+    auto pad_blocks = [&](int count) {
+      for (int i = 0; i < count; ++i) {
+        time += 600;
+        auto block = chain::build_child_block(tree, tip, time, scripts[0],
+                                              bitcoin::block_subsidy(0), {}, tag++);
+        tip = block.hash();
+        tree.accept(block.header, static_cast<std::int64_t>(time) + 10000);
+        adapter::AdapterResponse response;
+        response.blocks.emplace_back(std::move(block), tree.find(tip)->header);
+        canister.process_response(response, static_cast<std::int64_t>(time) + 10000);
+      }
+    };
+
+    if (include_unstable) {
+      // First 4/5 of the population migrates into the stable set; the last
+      // 1/5 is dealt right at the tip so its UTXOs live in unstable blocks —
+      // the two branches of Fig. 7's bifurcation.
+      deal_until(n_addresses * 4 / 5);
+      pad_blocks(canister.config().stability_delta + 2);
+      deal_until(n_addresses);
+      pad_blocks(1);
+    } else {
+      deal_until(n_addresses);
+      pad_blocks(canister.config().stability_delta + 2);
+    }
+  }
+};
+
+void print_percentiles(const char* label, std::vector<double>& series) {
+  std::sort(series.begin(), series.end());
+  std::printf("  %-28s min %7.3fs  median %7.3fs  p90 %7.3fs  max %7.3fs\n", label,
+              percentile(series, 0) / 1e6, percentile(series, 50) / 1e6,
+              percentile(series, 90) / 1e6, percentile(series, 100) / 1e6);
+}
+
+void run_figure7() {
+  std::printf("\n--- Figure 7: request latency and instruction cost ---\n");
+  Fixture fx(1000);
+  std::printf("address population: 1000 with the paper's UTXO-count skew\n\n");
+
+  std::vector<double> rep_balance, rep_utxos, q_balance, q_utxos;
+  struct UtxoCost {
+    std::size_t response_utxos;
+    std::uint64_t instructions;
+    bool unstable_heavy;
+  };
+  std::vector<UtxoCost> utxo_costs;
+
+  for (std::size_t i = 0; i < fx.addresses.size(); ++i) {
+    const auto& addr = fx.addresses[i];
+    // Replicated + query get_balance.
+    ic::InstructionMeter::Segment seg_b(fx.canister.meter());
+    auto balance = fx.canister.get_balance(addr);
+    std::uint64_t instr_b = seg_b.sample();
+    if (!balance.ok()) continue;
+    rep_balance.push_back(static_cast<double>(fx.subnet.sample_update_latency(instr_b)));
+    q_balance.push_back(static_cast<double>(fx.subnet.sample_query_latency(instr_b)));
+
+    // Replicated + query get_utxos (first page).
+    canister::GetUtxosRequest request;
+    request.address = addr;
+    ic::InstructionMeter::Segment seg_u(fx.canister.meter());
+    auto utxos = fx.canister.get_utxos(request);
+    std::uint64_t instr_u = seg_u.sample();
+    if (!utxos.ok()) continue;
+    rep_utxos.push_back(static_cast<double>(fx.subnet.sample_update_latency(instr_u)));
+    q_utxos.push_back(static_cast<double>(fx.subnet.sample_query_latency(instr_u)));
+
+    std::size_t n = utxos.value.utxos.size();
+    std::size_t unstable = 0;
+    for (const auto& u : utxos.value.utxos) {
+      if (u.height > fx.canister.anchor_height()) ++unstable;
+    }
+    utxo_costs.push_back(UtxoCost{n, instr_u, unstable * 2 > n});
+  }
+
+  std::printf("Left/centre panels — latency (replicated goes through consensus):\n");
+  print_percentiles("replicated get_balance", rep_balance);
+  print_percentiles("replicated get_utxos", rep_utxos);
+  print_percentiles("query get_balance", q_balance);
+  print_percentiles("query get_utxos", q_utxos);
+  std::printf("  (paper: replicated avg <10s / p90 18s; query medians 220ms & 310ms)\n\n");
+
+  std::printf("Right panel — instructions for replicated UTXO requests vs response size:\n");
+  std::printf("  %-16s %-22s %-22s\n", "response UTXOs", "stable-heavy (instr)",
+              "unstable-heavy (instr)");
+  for (std::size_t bucket_lo : {0ULL, 50ULL, 200ULL, 1000ULL}) {
+    std::size_t bucket_hi = bucket_lo == 0 ? 50 : bucket_lo == 50 ? 200
+                            : bucket_lo == 200 ? 1000 : SIZE_MAX;
+    double stable_sum = 0, unstable_sum = 0;
+    std::size_t stable_n = 0, unstable_n = 0;
+    for (const auto& c : utxo_costs) {
+      if (c.response_utxos < bucket_lo || c.response_utxos >= bucket_hi) continue;
+      if (c.unstable_heavy) {
+        unstable_sum += static_cast<double>(c.instructions);
+        ++unstable_n;
+      } else {
+        stable_sum += static_cast<double>(c.instructions);
+        ++stable_n;
+      }
+    }
+    std::printf("  [%5zu,%5s) %14.2fM (n=%-4zu) %14.2fM (n=%-4zu)\n", bucket_lo,
+                bucket_hi == SIZE_MAX ? "inf" : std::to_string(bucket_hi).c_str(),
+                stable_n ? stable_sum / stable_n / 1e6 : 0.0, stable_n,
+                unstable_n ? unstable_sum / unstable_n / 1e6 : 0.0, unstable_n);
+  }
+  auto [min_it, max_it] = std::minmax_element(
+      utxo_costs.begin(), utxo_costs.end(),
+      [](const UtxoCost& a, const UtxoCost& b) { return a.instructions < b.instructions; });
+  std::printf("  range: %.2e .. %.2e instructions (paper: 5.84e6 .. 4.76e8)\n",
+              static_cast<double>(min_it->instructions),
+              static_cast<double>(max_it->instructions));
+  std::printf("  bifurcation: unstable UTXOs are cheaper to fetch than stable-set UTXOs\n\n");
+}
+
+void BM_GetBalance(benchmark::State& state) {
+  static Fixture fx(200);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    auto outcome = fx.canister.get_balance(fx.addresses[i++ % fx.addresses.size()]);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_GetBalance);
+
+void BM_GetUtxosFirstPage(benchmark::State& state) {
+  static Fixture fx(200);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    canister::GetUtxosRequest request;
+    request.address = fx.addresses[i++ % fx.addresses.size()];
+    auto outcome = fx.canister.get_utxos(request);
+    benchmark::DoNotOptimize(outcome);
+  }
+}
+BENCHMARK(BM_GetUtxosFirstPage);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_figure7();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

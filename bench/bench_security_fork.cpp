@@ -1,0 +1,149 @@
+// Lemma IV.2 / Definition IV.2: state corruption through a private fork.
+//
+// An attacker with hash share φ mines a private fork containing a corrupting
+// transaction and feeds every block to the Bitcoin canister (the lemma grants
+// the attacker that power). The canister only reports the transaction once
+// its block is confirmation-based c*-stable. This bench races the attacker
+// against the honest network for a sweep of (φ, c*) and reports the success
+// probability, next to the classical (φ/(1-φ))^c* catch-up bound — showing
+// how quickly the probability vanishes, and that the anchor (difficulty-based
+// δ-stability) never lands on the attacker's fork.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "canister/bitcoin_canister.h"
+#include "bitcoin/script.h"
+#include "chain/block_builder.h"
+
+namespace {
+
+using namespace icbtc;
+
+struct RaceResult {
+  bool corrupted = false;
+  bool anchor_on_fork = false;
+  int blocks_mined = 0;
+};
+
+/// One race: honest miners and the attacker extend from a common fork point;
+/// every block goes straight to the canister. The attacker wins if the
+/// canister ever reports its first fork block as c*-stable.
+RaceResult run_race(double phi, int c_star, std::uint64_t seed) {
+  const auto& params = bitcoin::ChainParams::regtest();
+  auto config = canister::CanisterConfig::for_params(params);
+  config.stability_delta = 6;
+  canister::BitcoinCanister canister(params, config);
+  chain::HeaderTree build_tree(params, params.genesis_header);
+  util::Rng rng(seed);
+  std::uint32_t time = params.genesis_header.time;
+  std::uint64_t tag = 1;
+
+  auto mine_on = [&](const util::Hash256& parent, std::uint8_t who) {
+    time += 600;
+    util::Hash160 h;
+    h.data[0] = who;
+    auto block = chain::build_child_block(build_tree, parent, time, bitcoin::p2pkh_script(h),
+                                          bitcoin::block_subsidy(0), {}, tag++);
+    build_tree.accept(block.header, static_cast<std::int64_t>(time) + 100000);
+    adapter::AdapterResponse response;
+    response.blocks.emplace_back(block, block.header);
+    canister.process_response(response, static_cast<std::int64_t>(time) + 100000);
+    return block.hash();
+  };
+
+  // Common prefix of 2 blocks.
+  util::Hash256 honest_tip = mine_on(build_tree.root_hash(), 0);
+  honest_tip = mine_on(honest_tip, 0);
+  util::Hash256 fork_point = honest_tip;
+
+  util::Hash256 attacker_tip = fork_point;
+  util::Hash256 corrupting_block;  // first attacker block: carries the double spend
+  bool have_fork = false;
+
+  RaceResult result;
+  constexpr int kGiveUpLead = 12;
+  constexpr int kMaxBlocks = 120;
+  for (int i = 0; i < kMaxBlocks; ++i) {
+    bool attacker_finds = rng.next_double() < phi;
+    if (attacker_finds) {
+      attacker_tip = mine_on(attacker_tip, 0xaa);
+      if (!have_fork) {
+        corrupting_block = attacker_tip;
+        have_fork = true;
+      }
+    } else {
+      honest_tip = mine_on(honest_tip, 0);
+    }
+    ++result.blocks_mined;
+
+    if (have_fork &&
+        canister.header_tree().contains(corrupting_block) &&
+        canister.header_tree().is_confirmation_stable(corrupting_block, c_star)) {
+      result.corrupted = true;
+      break;
+    }
+    // Attacker abandons a hopeless race.
+    const auto* h = canister.header_tree().find(honest_tip);
+    const auto* a = canister.header_tree().find(attacker_tip);
+    if (h != nullptr && a != nullptr && h->height - a->height >= kGiveUpLead) break;
+  }
+  // Did the anchor ever advance onto the fork? (It must not: difficulty-based
+  // stability requires dominance by δ over the competitor.)
+  if (have_fork && canister.header_tree().contains(corrupting_block)) {
+    const auto* entry = canister.header_tree().find(corrupting_block);
+    result.anchor_on_fork =
+        entry != nullptr && canister.anchor_hash() == corrupting_block;
+  }
+  return result;
+}
+
+void run_lemma_iv2() {
+  std::printf("\n--- Lemma IV.2: private-fork state corruption vs (φ, c*) ---\n");
+  std::printf("%-6s %-4s %-12s %-14s %-12s\n", "φ", "c*", "measured", "(φ/(1-φ))^c*",
+              "anchor-on-fork");
+  const int kTrials = 400;
+  for (double phi : {0.1, 0.2, 0.3, 0.4}) {
+    for (int c_star : {1, 2, 4, 6}) {
+      int corrupted = 0;
+      int anchor_hits = 0;
+      for (int t = 0; t < kTrials; ++t) {
+        auto result =
+            run_race(phi, c_star, static_cast<std::uint64_t>(t) * 7919 +
+                                      static_cast<std::uint64_t>(phi * 1000) * 104729 +
+                                      static_cast<std::uint64_t>(c_star));
+        corrupted += result.corrupted ? 1 : 0;
+        anchor_hits += result.anchor_on_fork ? 1 : 0;
+      }
+      double ratio = phi / (1.0 - phi);
+      std::printf("%-6.1f %-4d %-12.4f %-14.4f %-12d\n", phi, c_star,
+                  static_cast<double>(corrupted) / kTrials, std::pow(ratio, c_star),
+                  anchor_hits);
+    }
+  }
+  std::printf("\nThe measured corruption probability tracks the classical catch-up\n");
+  std::printf("bound and decays geometrically in c*; requiring more confirmations\n");
+  std::printf("for critical actions makes the attack vanish (Lemma IV.2). The anchor\n");
+  std::printf("reaches the attacker's fork only in the rare races where the attacker\n");
+  std::printf("genuinely out-mined the network by δ blocks — exactly the power that\n");
+  std::printf("Definition IV.2 assumes away (such an attacker could double-spend any\n");
+  std::printf("Bitcoin service, not just the canister).\n\n");
+}
+
+void BM_RaceTrial(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_race(0.3, 4, seed++));
+  }
+}
+BENCHMARK(BM_RaceTrial)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  run_lemma_iv2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Threshold-signature microbenchmarks: the cost of the cryptographic
+// operations behind sign_with_ecdsa / sign_with_schnorr at IC subnet sizes
+// (t = 2f+1 of n = 3f+1). The paper treats the protocols as black boxes;
+// these benches characterize this library's implementations, including the
+// presignature (quadruple) dealing the IC amortizes in the background.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "crypto/sha256.h"
+#include "crypto/threshold_ecdsa.h"
+#include "crypto/threshold_schnorr.h"
+
+namespace {
+
+using namespace icbtc;
+using namespace icbtc::crypto;
+
+util::Hash256 test_digest() { return Sha256::hash(util::Bytes{1, 2, 3}); }
+
+void BM_EcdsaSign(benchmark::State& state) {
+  PrivateKey key = PrivateKey::from_seed(util::Bytes{1});
+  auto digest = test_digest();
+  for (auto _ : state) benchmark::DoNotOptimize(key.sign(digest));
+}
+BENCHMARK(BM_EcdsaSign);
+
+void BM_EcdsaVerify(benchmark::State& state) {
+  PrivateKey key = PrivateKey::from_seed(util::Bytes{1});
+  auto digest = test_digest();
+  auto sig = key.sign(digest);
+  auto pub = key.public_key();
+  for (auto _ : state) benchmark::DoNotOptimize(verify(pub, digest, sig));
+}
+BENCHMARK(BM_EcdsaVerify);
+
+void BM_SchnorrSign(benchmark::State& state) {
+  U256 secret(123456789);
+  auto digest = test_digest();
+  for (auto _ : state) benchmark::DoNotOptimize(schnorr_sign(secret, digest));
+}
+BENCHMARK(BM_SchnorrSign);
+
+void BM_SchnorrVerify(benchmark::State& state) {
+  U256 secret(123456789);
+  auto digest = test_digest();
+  auto sig = schnorr_sign(secret, digest);
+  auto pub = SchnorrKeyPair::from_secret(secret).pubkey;
+  for (auto _ : state) benchmark::DoNotOptimize(schnorr_verify(pub, digest, sig));
+}
+BENCHMARK(BM_SchnorrVerify);
+
+// Threshold signing end-to-end (deal presignature + partials + combine) at
+// subnet sizes 13 and 40.
+void BM_ThresholdEcdsaSign(benchmark::State& state) {
+  std::uint32_t n = static_cast<std::uint32_t>(state.range(0));
+  std::uint32_t t = 2 * ((n - 1) / 3) + 1;
+  ThresholdEcdsaService service(t, n, 42);
+  auto digest = test_digest();
+  for (auto _ : state) benchmark::DoNotOptimize(service.sign(digest, {}));
+  state.counters["threshold"] = t;
+}
+BENCHMARK(BM_ThresholdEcdsaSign)->Arg(13)->Arg(40)->Unit(benchmark::kMillisecond);
+
+void BM_ThresholdSchnorrSign(benchmark::State& state) {
+  std::uint32_t n = static_cast<std::uint32_t>(state.range(0));
+  std::uint32_t t = 2 * ((n - 1) / 3) + 1;
+  ThresholdSchnorrService service(t, n, 42);
+  auto digest = test_digest();
+  for (auto _ : state) benchmark::DoNotOptimize(service.sign(digest));
+  state.counters["threshold"] = t;
+}
+BENCHMARK(BM_ThresholdSchnorrSign)->Arg(13)->Arg(40)->Unit(benchmark::kMillisecond);
+
+// Presignature dealing alone (the background "quadruple" work).
+void BM_EcdsaPresignature(benchmark::State& state) {
+  std::uint32_t n = static_cast<std::uint32_t>(state.range(0));
+  std::uint32_t t = 2 * ((n - 1) / 3) + 1;
+  util::Rng rng(7);
+  ThresholdEcdsaDealer dealer(t, n, rng);
+  for (auto _ : state) benchmark::DoNotOptimize(dealer.deal_presignature(rng));
+}
+BENCHMARK(BM_EcdsaPresignature)->Arg(13)->Arg(40)->Unit(benchmark::kMillisecond);
+
+// Partial-signature computation (per-replica cost) and combination.
+void BM_PartialSignatureAndCombine(benchmark::State& state) {
+  util::Rng rng(8);
+  ThresholdEcdsaDealer dealer(9, 13, rng);
+  auto digest = test_digest();
+  for (auto _ : state) {
+    auto [pre, shares] = dealer.deal_presignature(rng);
+    std::vector<PartialSignature> partials;
+    for (std::uint32_t i = 0; i < 9; ++i) {
+      partials.push_back(compute_partial_signature(shares[i], pre, U256(0), digest));
+    }
+    benchmark::DoNotOptimize(
+        combine_partial_signatures(partials, pre, dealer.master_public_key(), digest));
+  }
+}
+BENCHMARK(BM_PartialSignatureAndCombine)->Unit(benchmark::kMillisecond);
+
+void BM_DerivedKey(benchmark::State& state) {
+  ThresholdEcdsaService service(9, 13, 9);
+  std::uint8_t i = 0;
+  for (auto _ : state) {
+    DerivationPath path = {{++i, 0x01}};
+    benchmark::DoNotOptimize(service.public_key(path));
+  }
+}
+BENCHMARK(BM_DerivedKey);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("\n--- Threshold-signature costs at IC subnet sizes (t = 2f+1 of n) ---\n\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

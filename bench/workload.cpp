@@ -1,0 +1,136 @@
+#include "workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "bitcoin/script.h"
+
+namespace icbtc::bench {
+
+ChainFeeder::ChainFeeder(canister::BitcoinCanister& canister, std::uint64_t seed)
+    : canister_(&canister),
+      rng_(seed),
+      tree_(canister.params(), canister.params().genesis_header),
+      tip_(canister.params().genesis_header.hash()),
+      time_(canister.params().genesis_header.time) {}
+
+void ChainFeeder::add_tracked_script(const util::Bytes& script, double weight) {
+  tracked_.emplace_back(script, weight);
+}
+
+util::Bytes ChainFeeder::random_script() {
+  double roll = rng_.next_double();
+  for (const auto& [script, weight] : tracked_) {
+    if (roll < weight) return script;
+    roll -= weight;
+  }
+  util::Hash160 h;
+  auto bytes = rng_.next_bytes(20);
+  std::copy(bytes.begin(), bytes.end(), h.data.begin());
+  return bitcoin::p2pkh_script(h);
+}
+
+ChainFeeder::BlockResult ChainFeeder::step(const BlockShape& shape) {
+  auto jittered = [&](std::size_t base) -> std::size_t {
+    if (base == 0) return 0;
+    double factor = 1.0 + shape.jitter * (2.0 * rng_.next_double() - 1.0);
+    return std::max<std::size_t>(1, static_cast<std::size_t>(static_cast<double>(base) * factor));
+  };
+
+  BlockResult result;
+  std::size_t n_tx = jittered(shape.transactions);
+  std::vector<bitcoin::Transaction> txs;
+  txs.reserve(n_tx);
+  for (std::size_t t = 0; t < n_tx; ++t) {
+    bitcoin::Transaction tx;
+    std::size_t n_in = jittered(shape.inputs_per_tx);
+    for (std::size_t i = 0; i < n_in && !spendable_.empty(); ++i) {
+      std::size_t pick = static_cast<std::size_t>(rng_.next_below(spendable_.size()));
+      bitcoin::TxIn in;
+      in.prevout = spendable_[pick];
+      spendable_[pick] = spendable_.back();
+      spendable_.pop_back();
+      tx.inputs.push_back(in);
+      ++result.inputs;
+    }
+    if (tx.inputs.empty()) {
+      // Nothing spendable yet: synthesize an input from an old txid. The
+      // canister does not validate transactions (§III-C), so this mirrors
+      // real ingestion cost even on a young chain.
+      bitcoin::TxIn in;
+      in.prevout.txid = rng_.next_hash();
+      in.prevout.vout = 0;
+      tx.inputs.push_back(in);
+      ++result.inputs;
+    }
+    std::size_t n_out = jittered(shape.outputs_per_tx);
+    for (std::size_t o = 0; o < n_out; ++o) {
+      tx.outputs.push_back(
+          bitcoin::TxOut{static_cast<bitcoin::Amount>(1000 + rng_.next_below(100000)),
+                         random_script()});
+      ++result.outputs;
+    }
+    // Unique-ify the txid via locktime in case shapes collide.
+    tx.lock_time = static_cast<std::uint32_t>(tag_);
+    txs.push_back(std::move(tx));
+  }
+
+  time_ += 600;
+  bitcoin::Block block = chain::build_child_block(
+      tree_, tip_, time_, bitcoin::p2pkh_script(util::Hash160{}), bitcoin::block_subsidy(0),
+      std::move(txs), tag_++);
+  tip_ = block.hash();
+  ++height_;
+  result.height = height_;
+  if (tree_.accept(block.header, static_cast<std::int64_t>(time_) + 10000) !=
+      chain::AcceptResult::kAccepted) {
+    throw std::logic_error("ChainFeeder: generated block rejected by builder tree");
+  }
+
+  // Remember this block's outputs as future spendables.
+  for (const auto& tx : block.transactions) {
+    util::Hash256 txid = tx.txid();
+    for (std::uint32_t v = 0; v < tx.outputs.size(); ++v) {
+      spendable_.push_back(bitcoin::OutPoint{txid, v});
+    }
+  }
+  // Cap the pool so memory stays bounded on long runs.
+  if (spendable_.size() > 300000) {
+    spendable_.erase(spendable_.begin(),
+                     spendable_.begin() + static_cast<std::ptrdiff_t>(spendable_.size() / 2));
+  }
+
+  adapter::AdapterResponse response;
+  response.blocks.emplace_back(std::move(block), tree_.find(tip_)->header);
+  canister_->process_response(response, static_cast<std::int64_t>(time_) + 10000);
+  return result;
+}
+
+std::vector<std::size_t> paper_address_skew(std::size_t n, util::Rng& rng) {
+  std::vector<std::size_t> counts;
+  counts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double roll = rng.next_double();
+    if (roll < 0.517) {
+      counts.push_back(1 + rng.next_below(49));       // < 50
+    } else if (roll < 0.517 + 0.159) {
+      counts.push_back(50 + rng.next_below(150));     // 50-199
+    } else if (roll < 0.517 + 0.159 + 0.113) {
+      counts.push_back(200 + rng.next_below(800));    // 200-999
+    } else {
+      counts.push_back(1000 + rng.next_below(500));  // >= 1000
+    }
+  }
+  return counts;
+}
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(rank);
+  std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace icbtc::bench

@@ -1,0 +1,77 @@
+// Shared workload generation for the benchmark/figure harnesses: synthetic
+// blockchains with realistic transaction shapes, address populations with
+// the paper's UTXO-count skew, and a direct canister feeder.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "canister/bitcoin_canister.h"
+#include "chain/block_builder.h"
+#include "util/rng.h"
+
+namespace icbtc::bench {
+
+/// Parameters describing the average block content. Bitcoin mainnet blocks
+/// ingest ~2000 inputs and ~2300 outputs (the paper's Fig. 6 block stream);
+/// scaled-down versions keep the same shape at lower cost.
+struct BlockShape {
+  std::size_t transactions = 8;
+  std::size_t inputs_per_tx = 3;   // non-coinbase
+  std::size_t outputs_per_tx = 3;
+  /// Relative spread (uniform +-) applied per block.
+  double jitter = 0.3;
+};
+
+/// Generates a chain of `n` blocks on top of the canister's current tip and
+/// feeds them in order; spends are drawn from previously created outputs so
+/// the UTXO set grows by (outputs - inputs) per block like the real chain.
+class ChainFeeder {
+ public:
+  ChainFeeder(canister::BitcoinCanister& canister, std::uint64_t seed);
+
+  /// Advances the chain by one block of the given shape; feeds it to the
+  /// canister and returns the number of outputs/inputs it carried.
+  struct BlockResult {
+    int height = 0;
+    std::size_t inputs = 0;
+    std::size_t outputs = 0;
+  };
+  BlockResult step(const BlockShape& shape);
+
+  /// Convenience: run `n` steps.
+  void run(int n, const BlockShape& shape) {
+    for (int i = 0; i < n; ++i) step(shape);
+  }
+
+  /// Registers an output script to use for a fraction of future outputs
+  /// (lets benchmarks accumulate UTXOs on known addresses).
+  void add_tracked_script(const util::Bytes& script, double weight);
+
+  int height() const { return height_; }
+  const chain::HeaderTree& tree() const { return tree_; }
+
+ private:
+  util::Bytes random_script();
+
+  canister::BitcoinCanister* canister_;
+  util::Rng rng_;
+  chain::HeaderTree tree_;
+  util::Hash256 tip_;
+  int height_ = 0;
+  std::uint32_t time_;
+  std::uint64_t tag_ = 1;
+  // Pool of spendable outpoints created by earlier blocks.
+  std::vector<bitcoin::OutPoint> spendable_;
+  std::vector<std::pair<util::Bytes, double>> tracked_;
+};
+
+/// The paper's measured UTXO-count skew for its 1000 sampled addresses
+/// (§IV-B): 517 with <50 UTXOs, 159 with 50-199, 113 with 200-999, 211 with
+/// >= 1000. Returns per-address UTXO counts for `n` addresses.
+std::vector<std::size_t> paper_address_skew(std::size_t n, util::Rng& rng);
+
+/// Percentile helper for latency series (expects sorted input).
+double percentile(const std::vector<double>& sorted, double p);
+
+}  // namespace icbtc::bench

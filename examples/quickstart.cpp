@@ -1,0 +1,101 @@
+// Quickstart: bring up the whole simulated stack — a Bitcoin P2P network, an
+// IC subnet with one Bitcoin adapter per replica, and the Bitcoin canister —
+// then hold and transfer real (simulated) bitcoin from a canister wallet
+// whose key exists only as threshold-ECDSA shares.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "btcnet/harness.h"
+#include "contracts/btc_wallet.h"
+
+using namespace icbtc;
+
+int main() {
+  std::printf("=== icbtc quickstart ===\n\n");
+
+  // 1. A simulated Bitcoin network: 12 nodes, 2 miners, DNS seeds.
+  util::Simulation sim;
+  const auto& params = bitcoin::ChainParams::regtest();
+  btcnet::BitcoinNetworkConfig btc_config;
+  btc_config.num_nodes = 12;
+  btc_config.num_miners = 2;
+  btc_config.ipv6_fraction = 1.0;
+  btcnet::BitcoinNetworkHarness bitcoin_net(sim, params, btc_config, /*seed=*/7);
+  sim.run();
+  std::printf("Bitcoin network up: %zu nodes, %zu DNS seeds\n", bitcoin_net.num_nodes(),
+              bitcoin_net.network().query_dns_seeds().size());
+
+  // 2. An IC subnet (13 replicas, 4 of them Byzantine — the tolerated max).
+  ic::SubnetConfig subnet_config;
+  subnet_config.num_nodes = 13;
+  subnet_config.num_byzantine = 4;
+  ic::Subnet subnet(sim, subnet_config, /*seed=*/11);
+
+  // 3. The Bitcoin integration: per-replica adapters + the Bitcoin canister.
+  canister::IntegrationConfig config;
+  config.adapter.addr_lower_threshold = 3;
+  config.adapter.addr_upper_threshold = 8;
+  config.adapter.multi_block_below_height = 1 << 30;
+  config.canister = canister::CanisterConfig::for_params(params);
+  canister::BitcoinIntegration integration(subnet, bitcoin_net.network(), params, config,
+                                           /*seed=*/13);
+  subnet.start();
+  integration.start();
+  std::printf("IC subnet up: %u replicas (threshold %u), δ=%d, τ=%d\n\n",
+              subnet.config().num_nodes, subnet.config().threshold(),
+              config.canister.stability_delta, config.canister.sync_slack);
+
+  // 4. A canister-held wallet. Its secret key never exists anywhere: the
+  //    address is derived from the subnet's threshold-ECDSA master key.
+  contracts::BtcWallet wallet(integration, crypto::DerivationPath{{0xca, 0xfe}});
+  std::printf("Canister wallet address: %s\n", wallet.address().c_str());
+
+  // 5. Someone pays the wallet 1 BTC on the Bitcoin network.
+  auto& node = bitcoin_net.node(0);
+  auto decoded = bitcoin::decode_address(wallet.address(), params.network);
+  auto funding = chain::build_child_block(
+      node.tree(), node.best_tip(),
+      static_cast<std::uint32_t>(params.genesis_header.time + sim.now() / util::kSecond + 600),
+      bitcoin::script_for_address(*decoded), bitcoin::kCoin, {}, /*tag=*/1);
+  node.submit_block(funding);
+  sim.run_until(sim.now() + 3 * util::kMinute);
+
+  auto balance = wallet.balance(/*min_confirmations=*/1);
+  std::printf("Wallet balance after funding: %.8f BTC (read via get_balance)\n",
+              static_cast<double>(balance.value) / bitcoin::kCoin);
+
+  // 6. The wallet pays a merchant 0.25 BTC. Every input is signed with
+  //    sign_with_ecdsa (2f+1 replicas cooperate), then the transaction goes
+  //    out through the Bitcoin canister and the adapters.
+  util::Hash160 merchant_hash;
+  merchant_hash.data[0] = 0x42;
+  std::string merchant = bitcoin::p2pkh_address(merchant_hash, params.network);
+  auto sent = wallet.send({{merchant, bitcoin::kCoin / 4}});
+  std::printf("\nSent 0.25 BTC to %s\n", merchant.c_str());
+  std::printf("  txid: %s\n", sent.txid.rpc_hex().c_str());
+  std::printf("  fee:  %lld sat, inputs: %zu, threshold signatures: %llu\n",
+              static_cast<long long>(sent.fee), sent.inputs_used,
+              static_cast<unsigned long long>(wallet.signatures_requested()));
+
+  // 7. A miner picks it up; the canister observes the confirmation.
+  sim.run_until(sim.now() + 3 * util::kMinute);
+  bitcoin_net.miners()[0]->mine_one();
+  sim.run_until(sim.now() + 3 * util::kMinute);
+
+  auto merchant_balance = integration.query_get_balance(merchant);
+  std::printf("\nMerchant balance: %.8f BTC (query latency %s)\n",
+              static_cast<double>(merchant_balance.outcome.value) / bitcoin::kCoin,
+              util::format_time(merchant_balance.latency).c_str());
+  auto final_balance = integration.replicated_get_balance(wallet.address());
+  std::printf("Wallet balance:   %.8f BTC (replicated latency %s, %.1fM instructions)\n",
+              static_cast<double>(final_balance.outcome.value) / bitcoin::kCoin,
+              util::format_time(final_balance.latency).c_str(),
+              static_cast<double>(final_balance.instructions) / 1e6);
+
+  std::printf("\nCanister state: tip height %d, anchor height %d, %zu stable UTXOs\n",
+              integration.canister().tip_height(), integration.canister().anchor_height(),
+              integration.canister().utxo_count());
+  std::printf("=== done ===\n");
+  return 0;
+}

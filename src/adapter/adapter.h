@@ -1,0 +1,149 @@
+// The Bitcoin adapter (§III-B): the per-IC-node process that connects the IC
+// to the Bitcoin P2P network without intermediaries.
+//
+// It is an SPV-style client: it discovers peers through DNS seeds and addr
+// gossip (thresholds t_l/t_u), keeps ℓ random outbound connections, syncs
+// and validates the full block-header tree (storing *all* valid headers —
+// fork resolution is deliberately left to the Bitcoin canister), fetches
+// blocks on demand, relays outbound transactions from a 10-minute expiring
+// cache, and answers the Bitcoin canister's requests per Algorithm 1.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "btcnet/network.h"
+#include "chain/header_tree.h"
+
+namespace icbtc::adapter {
+
+struct AdapterConfig {
+  /// ℓ: outbound connections to maintain (5 on mainnet).
+  std::size_t outbound_connections = 5;
+  /// t_l / t_u: address-book thresholds (500/2000 mainnet, 100/1000 testnet,
+  /// 1/1 regtest).
+  std::size_t addr_lower_threshold = 500;
+  std::size_t addr_upper_threshold = 2000;
+  /// MAX_HEADERS: cap on the upcoming-header set N per response.
+  std::size_t max_headers = 100;
+  /// MAX_SIZE: soft cap on total block bytes per response (2 MiB).
+  std::size_t max_response_bytes = 2 * 1024 * 1024;
+  /// Height above which only a single block is returned per request
+  /// (multi-block responses speed up initial sync; single-block responses
+  /// are required for the §IV-A downtime defence). The production adapter
+  /// hardcodes a mainnet height; harnesses set it per experiment.
+  int multi_block_below_height = 0;
+  /// Outbound transactions expire from the cache after this long.
+  util::SimTime tx_cache_expiry = 10 * util::kMinute;
+  /// Retry interval for unanswered block requests.
+  util::SimTime block_request_retry = 5 * util::kSecond;
+  /// Period of the address/connection maintenance timer.
+  util::SimTime maintenance_interval = 2 * util::kSecond;
+
+  static AdapterConfig for_params(const bitcoin::ChainParams& params);
+};
+
+/// The canister->adapter request of Algorithm 1: the anchor β*, the set A of
+/// header hashes whose blocks the canister already has, and outbound
+/// transactions T.
+struct AdapterRequest {
+  util::Hash256 anchor;
+  std::vector<util::Hash256> processed;  // A
+  std::vector<util::Bytes> transactions;  // raw serialized txs (T)
+};
+
+/// The adapter's response: blocks B (with their headers) extending the
+/// canister's tree, and upcoming headers N the canister lacks blocks for.
+struct AdapterResponse {
+  std::vector<std::pair<bitcoin::Block, bitcoin::BlockHeader>> blocks;  // B
+  std::vector<bitcoin::BlockHeader> next_headers;                       // N
+};
+
+class BitcoinAdapter : public btcnet::Endpoint {
+ public:
+  BitcoinAdapter(btcnet::Network& network, const bitcoin::ChainParams& params,
+                 AdapterConfig config, util::Rng rng);
+  ~BitcoinAdapter() override;
+
+  BitcoinAdapter(const BitcoinAdapter&) = delete;
+  BitcoinAdapter& operator=(const BitcoinAdapter&) = delete;
+
+  btcnet::NodeId id() const { return id_; }
+  const AdapterConfig& config() const { return config_; }
+
+  /// Starts discovery, connection maintenance, and header sync.
+  void start();
+  void stop();
+
+  /// Algorithm 1. Also ingests the request's transactions into the tx cache
+  /// and prunes delivered blocks from the local block store.
+  AdapterResponse handle_request(const AdapterRequest& request);
+
+  // Introspection.
+  const chain::HeaderTree& header_tree() const { return tree_; }
+  std::size_t known_addresses() const { return address_book_.size(); }
+  std::size_t active_connections() const { return connections_.size(); }
+  std::vector<btcnet::NodeId> connected_peers() const;
+  bool has_block(const util::Hash256& hash) const { return blocks_.contains(hash); }
+  std::size_t cached_transactions() const { return tx_cache_.size(); }
+  std::size_t blocks_stored() const { return blocks_.size(); }
+  bool in_discovery() const { return discovering_; }
+
+  // btcnet::Endpoint interface.
+  void deliver(btcnet::NodeId from, const btcnet::Message& msg) override;
+  void on_disconnected(btcnet::NodeId peer) override;
+
+ private:
+  void maintain();  // periodic: connections, addresses, retries, expiry
+  void request_addresses();
+  void open_connections();
+  void sync_headers(btcnet::NodeId peer);
+  std::vector<util::Hash256> build_locator() const;
+  void handle_headers(btcnet::NodeId from, const btcnet::MsgHeaders& msg);
+  void handle_inv(btcnet::NodeId from, const btcnet::MsgInv& msg);
+  void handle_block(const btcnet::MsgBlock& msg);
+  void handle_get_data(btcnet::NodeId from, const btcnet::MsgGetData& msg);
+  void handle_addr(const btcnet::MsgAddr& msg);
+  void request_block(const util::Hash256& hash);
+  void advertise_transactions();
+  void expire_transactions();
+  std::int64_t now_s() const;
+  std::optional<btcnet::NodeId> random_peer();
+
+  btcnet::Network* network_;
+  const bitcoin::ChainParams* params_;
+  AdapterConfig config_;
+  util::Rng rng_;
+  btcnet::NodeId id_ = btcnet::kInvalidNode;
+
+  bool running_ = false;
+  bool discovering_ = true;
+  util::EventHandle maintenance_timer_{};
+
+  // Address book (discovered, not yet necessarily connected). Only IPv6
+  // addresses are usable (§III-B).
+  std::vector<btcnet::NetAddress> address_book_;
+  std::unordered_set<btcnet::NodeId> known_address_ids_;
+  std::unordered_set<btcnet::NodeId> connections_;
+
+  // Header tree B_a (all valid headers, forks included) and block store B_a.
+  chain::HeaderTree tree_;
+  std::unordered_map<util::Hash256, bitcoin::Block> blocks_;
+
+  struct PendingBlock {
+    util::SimTime last_request = -1;
+    btcnet::NodeId asked = btcnet::kInvalidNode;
+  };
+  std::unordered_map<util::Hash256, PendingBlock> pending_blocks_;
+
+  struct CachedTx {
+    bitcoin::Transaction tx;
+    util::SimTime expires;
+    std::unordered_set<btcnet::NodeId> delivered_to;
+  };
+  std::unordered_map<util::Hash256, CachedTx> tx_cache_;
+};
+
+}  // namespace icbtc::adapter

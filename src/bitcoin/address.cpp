@@ -1,0 +1,273 @@
+#include "bitcoin/address.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "bitcoin/script.h"
+#include "crypto/sha256.h"
+
+namespace icbtc::bitcoin {
+
+namespace {
+constexpr char kBase58Alphabet[] = "123456789ABCDEFGHJKLMNPQRSTUVWXYZabcdefghijkmnopqrstuvwxyz";
+
+int base58_index(char c) {
+  const char* p = std::strchr(kBase58Alphabet, c);
+  if (p == nullptr || c == '\0') return -1;
+  return static_cast<int>(p - kBase58Alphabet);
+}
+
+std::uint8_t version_byte(Network network) {
+  switch (network) {
+    case Network::kMainnet: return 0x00;
+    case Network::kTestnet: return 0x6f;
+    case Network::kRegtest: return 0x6f;
+  }
+  return 0x00;
+}
+
+std::string bech32_hrp(Network network) {
+  switch (network) {
+    case Network::kMainnet: return "bc";
+    case Network::kTestnet: return "tb";
+    case Network::kRegtest: return "bcrt";
+  }
+  return "bc";
+}
+}  // namespace
+
+std::string base58_encode(util::ByteSpan data) {
+  // Count leading zero bytes; they map to '1'.
+  std::size_t zeros = 0;
+  while (zeros < data.size() && data[zeros] == 0) ++zeros;
+
+  // Repeated division by 58 on a big-endian byte buffer.
+  std::vector<std::uint8_t> digits;  // base58 digits, least significant first
+  std::vector<std::uint8_t> num(data.begin() + static_cast<std::ptrdiff_t>(zeros), data.end());
+  while (!num.empty()) {
+    std::uint32_t remainder = 0;
+    std::vector<std::uint8_t> next;
+    next.reserve(num.size());
+    for (auto byte : num) {
+      std::uint32_t acc = (remainder << 8) | byte;
+      std::uint8_t q = static_cast<std::uint8_t>(acc / 58);
+      remainder = acc % 58;
+      if (!next.empty() || q != 0) next.push_back(q);
+    }
+    digits.push_back(static_cast<std::uint8_t>(remainder));
+    num = std::move(next);
+  }
+
+  std::string out(zeros, '1');
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) out.push_back(kBase58Alphabet[*it]);
+  return out;
+}
+
+std::optional<util::Bytes> base58_decode(std::string_view s) {
+  std::size_t ones = 0;
+  while (ones < s.size() && s[ones] == '1') ++ones;
+
+  std::vector<std::uint8_t> num;  // big-endian base-256
+  for (std::size_t i = ones; i < s.size(); ++i) {
+    int digit = base58_index(s[i]);
+    if (digit < 0) return std::nullopt;
+    // num = num * 58 + digit.
+    std::uint32_t carry = static_cast<std::uint32_t>(digit);
+    for (auto it = num.rbegin(); it != num.rend(); ++it) {
+      std::uint32_t acc = static_cast<std::uint32_t>(*it) * 58 + carry;
+      *it = static_cast<std::uint8_t>(acc);
+      carry = acc >> 8;
+    }
+    while (carry) {
+      num.insert(num.begin(), static_cast<std::uint8_t>(carry));
+      carry >>= 8;
+    }
+  }
+  util::Bytes out(ones, 0);
+  out.insert(out.end(), num.begin(), num.end());
+  return out;
+}
+
+std::string base58check_encode(std::uint8_t version, util::ByteSpan payload) {
+  util::Bytes data;
+  data.reserve(payload.size() + 5);
+  data.push_back(version);
+  util::append(data, payload);
+  auto checksum = crypto::sha256d(data);
+  data.insert(data.end(), checksum.data.begin(), checksum.data.begin() + 4);
+  return base58_encode(data);
+}
+
+std::optional<std::pair<std::uint8_t, util::Bytes>> base58check_decode(std::string_view s) {
+  auto decoded = base58_decode(s);
+  if (!decoded || decoded->size() < 5) return std::nullopt;
+  util::ByteSpan body(decoded->data(), decoded->size() - 4);
+  auto checksum = crypto::sha256d(body);
+  if (!std::equal(checksum.data.begin(), checksum.data.begin() + 4,
+                  decoded->end() - 4)) {
+    return std::nullopt;
+  }
+  util::Bytes payload(decoded->begin() + 1, decoded->end() - 4);
+  return std::make_pair((*decoded)[0], std::move(payload));
+}
+
+// ---------------------------------------------------------------------------
+// Bech32 (BIP-173).
+namespace {
+constexpr char kBech32Charset[] = "qpzry9x8gf2tvdw0s3jn54khce6mua7l";
+
+std::uint32_t bech32_polymod(const std::vector<std::uint8_t>& values) {
+  static constexpr std::uint32_t kGen[5] = {0x3b6a57b2, 0x26508e6d, 0x1ea119fa, 0x3d4233dd,
+                                            0x2a1462b3};
+  std::uint32_t chk = 1;
+  for (auto v : values) {
+    std::uint8_t top = static_cast<std::uint8_t>(chk >> 25);
+    chk = (chk & 0x1ffffff) << 5 ^ v;
+    for (int i = 0; i < 5; ++i) {
+      if ((top >> i) & 1) chk ^= kGen[i];
+    }
+  }
+  return chk;
+}
+
+std::vector<std::uint8_t> bech32_hrp_expand(const std::string& hrp) {
+  std::vector<std::uint8_t> out;
+  out.reserve(hrp.size() * 2 + 1);
+  for (char c : hrp) out.push_back(static_cast<std::uint8_t>(c) >> 5);
+  out.push_back(0);
+  for (char c : hrp) out.push_back(static_cast<std::uint8_t>(c) & 31);
+  return out;
+}
+
+// Converts between bit group sizes; returns nullopt on invalid padding.
+std::optional<std::vector<std::uint8_t>> convert_bits(util::ByteSpan data, int from, int to,
+                                                      bool pad) {
+  std::uint32_t acc = 0;
+  int bits = 0;
+  std::vector<std::uint8_t> out;
+  const std::uint32_t maxv = (1u << to) - 1;
+  for (auto b : data) {
+    acc = (acc << from) | b;
+    bits += from;
+    while (bits >= to) {
+      bits -= to;
+      out.push_back(static_cast<std::uint8_t>((acc >> bits) & maxv));
+    }
+  }
+  if (pad) {
+    if (bits > 0) out.push_back(static_cast<std::uint8_t>((acc << (to - bits)) & maxv));
+  } else if (bits >= from || ((acc << (to - bits)) & maxv)) {
+    return std::nullopt;
+  }
+  return out;
+}
+}  // namespace
+
+namespace {
+// Bech32 (BIP-173) for witness v0; Bech32m (BIP-350) for v1+.
+constexpr std::uint32_t kBech32Checksum = 1;
+constexpr std::uint32_t kBech32mChecksum = 0x2bc830a3;
+}  // namespace
+
+std::string segwit_encode(const std::string& hrp, int witness_version, util::ByteSpan program) {
+  if (witness_version < 0 || witness_version > 16) {
+    throw std::invalid_argument("segwit_encode: bad witness version");
+  }
+  auto data5 = convert_bits(program, 8, 5, true);
+  std::vector<std::uint8_t> values;
+  values.push_back(static_cast<std::uint8_t>(witness_version));
+  values.insert(values.end(), data5->begin(), data5->end());
+
+  std::uint32_t checksum_const = witness_version == 0 ? kBech32Checksum : kBech32mChecksum;
+  auto checksummed = bech32_hrp_expand(hrp);
+  checksummed.insert(checksummed.end(), values.begin(), values.end());
+  checksummed.insert(checksummed.end(), 6, 0);
+  std::uint32_t polymod = bech32_polymod(checksummed) ^ checksum_const;
+
+  std::string out = hrp + '1';
+  for (auto v : values) out.push_back(kBech32Charset[v]);
+  for (int i = 0; i < 6; ++i) out.push_back(kBech32Charset[(polymod >> (5 * (5 - i))) & 31]);
+  return out;
+}
+
+std::optional<std::pair<int, util::Bytes>> segwit_decode(const std::string& hrp,
+                                                         const std::string& addr) {
+  auto sep = addr.rfind('1');
+  if (sep == std::string::npos || sep != hrp.size() || addr.compare(0, sep, hrp) != 0) {
+    return std::nullopt;
+  }
+  if (addr.size() < sep + 8) return std::nullopt;
+  std::vector<std::uint8_t> values;
+  values.reserve(addr.size() - sep - 1);
+  for (std::size_t i = sep + 1; i < addr.size(); ++i) {
+    const char* p = std::strchr(kBech32Charset, addr[i]);
+    if (p == nullptr || addr[i] == '\0') return std::nullopt;
+    values.push_back(static_cast<std::uint8_t>(p - kBech32Charset));
+  }
+  int witness_version = values[0];
+  if (witness_version > 16) return std::nullopt;
+  std::uint32_t expected = witness_version == 0 ? kBech32Checksum : kBech32mChecksum;
+  auto check = bech32_hrp_expand(hrp);
+  check.insert(check.end(), values.begin(), values.end());
+  if (bech32_polymod(check) != expected) return std::nullopt;
+
+  util::ByteSpan data5(values.data() + 1, values.size() - 1 - 6);
+  auto program = convert_bits(data5, 5, 8, false);
+  if (!program || program->size() < 2 || program->size() > 40) return std::nullopt;
+  if (witness_version == 0 && program->size() != 20 && program->size() != 32) {
+    return std::nullopt;
+  }
+  if (witness_version == 1 && program->size() != 32) return std::nullopt;
+  return std::make_pair(witness_version, util::Bytes(program->begin(), program->end()));
+}
+
+std::string bech32_encode(const std::string& hrp, util::ByteSpan program) {
+  return segwit_encode(hrp, 0, program);
+}
+
+std::optional<util::Bytes> bech32_decode(const std::string& hrp, const std::string& addr) {
+  auto decoded = segwit_decode(hrp, addr);
+  if (!decoded || decoded->first != 0) return std::nullopt;
+  return decoded->second;
+}
+
+std::string p2pkh_address(const util::Hash160& pubkey_hash, Network network) {
+  return base58check_encode(version_byte(network), pubkey_hash.span());
+}
+
+std::string p2wpkh_address(const util::Hash160& pubkey_hash, Network network) {
+  return bech32_encode(bech32_hrp(network), pubkey_hash.span());
+}
+
+std::string p2tr_address(const util::FixedBytes<32>& output_key, Network network) {
+  return segwit_encode(bech32_hrp(network), 1, output_key.span());
+}
+
+std::optional<DecodedAddress> decode_address(const std::string& addr, Network network) {
+  if (auto b58 = base58check_decode(addr)) {
+    if (b58->first != version_byte(network) || b58->second.size() != 20) return std::nullopt;
+    return DecodedAddress{AddressType::kP2pkh, b58->second};
+  }
+  if (auto decoded = segwit_decode(bech32_hrp(network), addr)) {
+    auto& [witness_version, program] = *decoded;
+    if (witness_version == 0 && program.size() == 20) {
+      return DecodedAddress{AddressType::kP2wpkh, program};
+    }
+    if (witness_version == 1 && program.size() == 32) {
+      return DecodedAddress{AddressType::kP2tr, program};
+    }
+  }
+  return std::nullopt;
+}
+
+util::Bytes script_for_address(const DecodedAddress& addr) {
+  switch (addr.type) {
+    case AddressType::kP2pkh: return p2pkh_script(addr.hash160());
+    case AddressType::kP2wpkh: return p2wpkh_script(addr.hash160());
+    case AddressType::kP2tr:
+      return p2tr_script(util::FixedBytes<32>::from_span(addr.program));
+  }
+  return {};
+}
+
+}  // namespace icbtc::bitcoin

@@ -1,0 +1,61 @@
+// Bitcoin address encoding: Base58Check (P2PKH) and Bech32 (P2WPKH).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace icbtc::bitcoin {
+
+enum class Network { kMainnet, kTestnet, kRegtest };
+
+/// Base58 (no checksum) encode/decode.
+std::string base58_encode(util::ByteSpan data);
+std::optional<util::Bytes> base58_decode(std::string_view s);
+
+/// Base58Check: version byte(s) + payload + 4-byte double-SHA256 checksum.
+std::string base58check_encode(std::uint8_t version, util::ByteSpan payload);
+/// Returns (version, payload) or nullopt on bad checksum/format.
+std::optional<std::pair<std::uint8_t, util::Bytes>> base58check_decode(std::string_view s);
+
+/// Bech32 (BIP-173) encoding of a segwit v0 program.
+std::string bech32_encode(const std::string& hrp, util::ByteSpan program_20_or_32);
+/// Decodes a bech32 segwit v0 address; returns the witness program.
+std::optional<util::Bytes> bech32_decode(const std::string& hrp, const std::string& addr);
+
+/// General segwit address coding: Bech32 for witness v0, Bech32m (BIP-350)
+/// for v1+ (taproot).
+std::string segwit_encode(const std::string& hrp, int witness_version, util::ByteSpan program);
+/// Returns (witness_version, program) or nullopt.
+std::optional<std::pair<int, util::Bytes>> segwit_decode(const std::string& hrp,
+                                                         const std::string& addr);
+
+/// Address payload kinds this library produces/understands.
+enum class AddressType { kP2pkh, kP2wpkh, kP2tr };
+
+struct DecodedAddress {
+  AddressType type;
+  /// 20 bytes for P2PKH/P2WPKH (the pubkey hash) or 32 bytes for P2TR (the
+  /// x-only output key).
+  util::Bytes program;
+
+  util::Hash160 hash160() const { return util::Hash160::from_span(program); }
+};
+
+/// Encodes a pubkey hash as a P2PKH base58 address for `network`.
+std::string p2pkh_address(const util::Hash160& pubkey_hash, Network network);
+
+/// Encodes a pubkey hash as a P2WPKH bech32 address for `network`.
+std::string p2wpkh_address(const util::Hash160& pubkey_hash, Network network);
+
+/// Encodes an x-only output key as a P2TR bech32m address for `network`.
+std::string p2tr_address(const util::FixedBytes<32>& output_key, Network network);
+
+/// Parses either address form; nullopt if malformed or for another network.
+std::optional<DecodedAddress> decode_address(const std::string& addr, Network network);
+
+/// The scriptPubKey an address pays to.
+util::Bytes script_for_address(const DecodedAddress& addr);
+
+}  // namespace icbtc::bitcoin

@@ -1,0 +1,22 @@
+// Bitcoin monetary amounts in satoshi.
+#pragma once
+
+#include <cstdint>
+
+namespace icbtc::bitcoin {
+
+/// Amount in satoshi. Signed to make fee arithmetic (outputs - inputs) safe.
+using Amount = std::int64_t;
+
+constexpr Amount kCoin = 100'000'000;             // 1 BTC in satoshi
+constexpr Amount kMaxMoney = 21'000'000 * kCoin;  // total supply cap
+
+constexpr bool money_range(Amount a) { return a >= 0 && a <= kMaxMoney; }
+
+/// Block subsidy after `halvings` halving intervals.
+constexpr Amount block_subsidy(int halvings) {
+  if (halvings >= 64) return 0;
+  return (50 * kCoin) >> halvings;
+}
+
+}  // namespace icbtc::bitcoin

@@ -1,0 +1,106 @@
+#include "bitcoin/block.h"
+
+#include "crypto/sha256.h"
+
+namespace icbtc::bitcoin {
+
+void BlockHeader::serialize(util::ByteWriter& w) const {
+  w.i32le(version);
+  w.bytes(prev_hash.span());
+  w.bytes(merkle_root.span());
+  w.u32le(time);
+  w.u32le(bits);
+  w.u32le(nonce);
+}
+
+BlockHeader BlockHeader::deserialize(util::ByteReader& r) {
+  BlockHeader h;
+  h.version = r.i32le();
+  h.prev_hash = r.hash256();
+  h.merkle_root = r.hash256();
+  h.time = r.u32le();
+  h.bits = r.u32le();
+  h.nonce = r.u32le();
+  return h;
+}
+
+Bytes BlockHeader::serialize() const {
+  util::ByteWriter w;
+  serialize(w);
+  return std::move(w).take();
+}
+
+BlockHeader BlockHeader::parse(ByteSpan data) {
+  util::ByteReader r(data);
+  BlockHeader h = deserialize(r);
+  if (!r.done()) throw util::DecodeError("trailing bytes after block header");
+  return h;
+}
+
+Hash256 BlockHeader::hash() const { return crypto::sha256d(serialize()); }
+
+void Block::serialize(util::ByteWriter& w) const {
+  header.serialize(w);
+  w.varint(transactions.size());
+  for (const auto& tx : transactions) tx.serialize(w);
+}
+
+Block Block::deserialize(util::ByteReader& r) {
+  Block b;
+  b.header = BlockHeader::deserialize(r);
+  std::size_t n = r.checked_len(r.varint());
+  b.transactions.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) b.transactions.push_back(Transaction::deserialize(r));
+  return b;
+}
+
+Bytes Block::serialize() const {
+  util::ByteWriter w;
+  serialize(w);
+  return std::move(w).take();
+}
+
+Block Block::parse(ByteSpan data) {
+  util::ByteReader r(data);
+  Block b = deserialize(r);
+  if (!r.done()) throw util::DecodeError("trailing bytes after block");
+  return b;
+}
+
+Hash256 Block::compute_merkle_root() const {
+  std::vector<Hash256> txids;
+  txids.reserve(transactions.size());
+  for (const auto& tx : transactions) txids.push_back(tx.txid());
+  return merkle_root(txids);
+}
+
+bool Block::is_well_formed() const {
+  if (transactions.empty()) return false;
+  if (!transactions[0].is_coinbase()) return false;
+  for (std::size_t i = 0; i < transactions.size(); ++i) {
+    if (i > 0 && transactions[i].is_coinbase()) return false;
+    if (!transactions[i].is_well_formed()) return false;
+  }
+  return compute_merkle_root() == header.merkle_root;
+}
+
+Hash256 merkle_root(const std::vector<Hash256>& txids) {
+  if (txids.empty()) return Hash256{};
+  std::vector<Hash256> level = txids;
+  while (level.size() > 1) {
+    if (level.size() % 2 == 1) level.push_back(level.back());
+    std::vector<Hash256> next;
+    next.reserve(level.size() / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2) {
+      util::Bytes concat;
+      concat.reserve(64);
+      util::append(concat, level[i].span());
+      util::append(concat, level[i + 1].span());
+      next.push_back(crypto::sha256d(concat));
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+}  // namespace icbtc::bitcoin

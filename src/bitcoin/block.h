@@ -1,0 +1,59 @@
+// Bitcoin block headers and blocks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bitcoin/transaction.h"
+#include "util/byteio.h"
+#include "util/bytes.h"
+
+namespace icbtc::bitcoin {
+
+/// The 80-byte Bitcoin block header.
+struct BlockHeader {
+  std::int32_t version = 4;
+  Hash256 prev_hash;    // hashPrevBlock
+  Hash256 merkle_root;  // root of the txid Merkle tree
+  std::uint32_t time = 0;
+  std::uint32_t bits = 0;  // compact difficulty target
+  std::uint32_t nonce = 0;
+
+  bool operator==(const BlockHeader&) const = default;
+
+  void serialize(util::ByteWriter& w) const;
+  static BlockHeader deserialize(util::ByteReader& r);
+  Bytes serialize() const;
+  static BlockHeader parse(ByteSpan data);
+
+  /// The block hash: double-SHA256 of the 80-byte serialization.
+  Hash256 hash() const;
+};
+
+struct Block {
+  BlockHeader header;
+  std::vector<Transaction> transactions;
+
+  bool operator==(const Block&) const = default;
+
+  void serialize(util::ByteWriter& w) const;
+  static Block deserialize(util::ByteReader& r);
+  Bytes serialize() const;
+  static Block parse(ByteSpan data);
+
+  Hash256 hash() const { return header.hash(); }
+  std::size_t size() const { return serialize().size(); }
+
+  /// Recomputes the Merkle root from the transactions.
+  Hash256 compute_merkle_root() const;
+
+  /// Structural validity: non-empty, first tx (and only first) is coinbase,
+  /// all transactions well-formed, and the header's Merkle root matches.
+  bool is_well_formed() const;
+};
+
+/// Merkle root over a list of txids, per Bitcoin's (duplicate-last) rule.
+/// An empty list yields the zero hash.
+Hash256 merkle_root(const std::vector<Hash256>& txids);
+
+}  // namespace icbtc::bitcoin

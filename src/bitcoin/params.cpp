@@ -1,0 +1,129 @@
+#include "bitcoin/params.h"
+
+#include "bitcoin/pow.h"
+#include "bitcoin/script.h"
+
+namespace icbtc::bitcoin {
+
+namespace {
+
+// All simulated networks use a grindable proof-of-work limit (regtest's
+// 0x207fffff). The paper's difficulty-based stability is defined *relative*
+// to a reference block's work (d_w(b)/w(b*), §II-C), so scaling absolute
+// difficulty down preserves every result; see DESIGN.md.
+const crypto::U256& sim_pow_limit() {
+  static const crypto::U256 limit = *compact_to_target(0x207fffff);
+  return limit;
+}
+
+Transaction genesis_coinbase(const std::string& tag) {
+  Transaction tx;
+  tx.version = 1;
+  TxIn in;
+  in.prevout = OutPoint::null();
+  in.script_sig = Bytes(tag.begin(), tag.end());
+  tx.inputs.push_back(std::move(in));
+  TxOut out;
+  out.value = 50 * kCoin;
+  const std::string note = "icbtc genesis";
+  out.script_pubkey =
+      op_return_script(ByteSpan(reinterpret_cast<const std::uint8_t*>(note.data()), note.size()));
+  tx.outputs.push_back(std::move(out));
+  return tx;
+}
+
+BlockHeader make_genesis_header(const std::string& tag, std::uint32_t time) {
+  BlockHeader h;
+  h.version = 1;
+  h.prev_hash = Hash256{};
+  h.merkle_root = genesis_coinbase(tag).txid();
+  h.time = time;
+  h.bits = 0x207fffff;
+  h.nonce = 0;  // genesis is trusted by hash, not by proof of work
+  return h;
+}
+
+ChainParams make_params(Network network) {
+  ChainParams p;
+  p.network = network;
+  p.pow_limit = sim_pow_limit();
+  p.pow_limit_bits = 0x207fffff;
+  p.target_spacing_s = 600;
+  switch (network) {
+    case Network::kMainnet:
+      p.retarget_interval = 2016;
+      // Difficulty is held constant in the simulation: the canister's header
+      // tree is rooted at the anchor, so it cannot see a full retarget window,
+      // and the paper's stability math only depends on *relative* work
+      // (d_w(b)/w(b*)). The retarget rule itself is implemented and unit
+      // tested in bitcoin/pow.cc.
+      p.retargeting_enabled = false;
+      p.addr_lower_threshold = 500;
+      p.addr_upper_threshold = 2000;
+      p.outbound_connections = 5;
+      p.stability_delta = 144;
+      p.genesis_header = make_genesis_header("icbtc-mainnet", 1231006505);
+      break;
+    case Network::kTestnet:
+      p.retarget_interval = 2016;
+      p.retargeting_enabled = false;  // see the mainnet comment
+      p.addr_lower_threshold = 100;
+      p.addr_upper_threshold = 1000;
+      p.outbound_connections = 5;
+      p.stability_delta = 144;
+      p.genesis_header = make_genesis_header("icbtc-testnet", 1296688602);
+      break;
+    case Network::kRegtest:
+      p.retarget_interval = 2016;
+      p.retargeting_enabled = false;
+      p.addr_lower_threshold = 1;
+      p.addr_upper_threshold = 1;
+      p.outbound_connections = 1;
+      p.stability_delta = 6;  // small δ keeps local tests fast, as in practice
+      p.genesis_header = make_genesis_header("icbtc-regtest", 1296688602);
+      break;
+  }
+  p.sync_slack = 2;
+  return p;
+}
+
+}  // namespace
+
+Block genesis_block(const ChainParams& params) {
+  std::string tag;
+  switch (params.network) {
+    case Network::kMainnet: tag = "icbtc-mainnet"; break;
+    case Network::kTestnet: tag = "icbtc-testnet"; break;
+    case Network::kRegtest: tag = "icbtc-regtest"; break;
+  }
+  Block b;
+  b.header = params.genesis_header;
+  b.transactions.push_back(genesis_coinbase(tag));
+  return b;
+}
+
+const ChainParams& ChainParams::mainnet() {
+  static const ChainParams p = make_params(Network::kMainnet);
+  return p;
+}
+
+const ChainParams& ChainParams::testnet() {
+  static const ChainParams p = make_params(Network::kTestnet);
+  return p;
+}
+
+const ChainParams& ChainParams::regtest() {
+  static const ChainParams p = make_params(Network::kRegtest);
+  return p;
+}
+
+const ChainParams& ChainParams::for_network(Network network) {
+  switch (network) {
+    case Network::kMainnet: return mainnet();
+    case Network::kTestnet: return testnet();
+    case Network::kRegtest: return regtest();
+  }
+  return regtest();
+}
+
+}  // namespace icbtc::bitcoin

@@ -1,0 +1,51 @@
+// Per-network consensus and policy parameters, mirroring the configuration
+// the Bitcoin adapter and canister use for mainnet / testnet / regtest
+// (§III-B of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bitcoin/address.h"
+#include "bitcoin/block.h"
+#include "crypto/u256.h"
+
+namespace icbtc::bitcoin {
+
+struct ChainParams {
+  Network network = Network::kRegtest;
+
+  // Consensus.
+  crypto::U256 pow_limit;               // easiest allowed target
+  std::uint32_t pow_limit_bits = 0;     // compact form of pow_limit
+  std::int64_t target_spacing_s = 600;  // expected seconds between blocks
+  int retarget_interval = 2016;         // blocks per difficulty adjustment
+  bool retargeting_enabled = true;
+
+  // Block timestamp rules.
+  int median_time_span = 11;              // blocks in the median-time-past window
+  std::int64_t max_future_drift_s = 2 * 60 * 60;
+
+  // Adapter address-discovery thresholds (t_l / t_u from §III-B).
+  std::size_t addr_lower_threshold = 500;
+  std::size_t addr_upper_threshold = 2000;
+  /// Outbound connections per adapter (ℓ).
+  std::size_t outbound_connections = 5;
+
+  // Canister stability parameters (§III-C).
+  int stability_delta = 144;  // δ: difficulty-based stability threshold
+  int sync_slack = 2;         // τ: max height lead of headers over blocks
+
+  BlockHeader genesis_header;
+
+  static const ChainParams& mainnet();
+  static const ChainParams& testnet();
+  static const ChainParams& regtest();
+  static const ChainParams& for_network(Network network);
+};
+
+/// The full genesis block (header + coinbase) for a network.
+Block genesis_block(const ChainParams& params);
+
+}  // namespace icbtc::bitcoin

@@ -1,0 +1,108 @@
+#include "bitcoin/pow.h"
+
+namespace icbtc::bitcoin {
+
+std::optional<U256> compact_to_target(std::uint32_t bits) {
+  int exponent = static_cast<int>(bits >> 24);
+  std::uint32_t mantissa = bits & 0x007fffff;
+  if (bits & 0x00800000) return std::nullopt;  // negative
+  U256 target;
+  if (exponent <= 3) {
+    target = U256(mantissa >> (8 * (3 - exponent)));
+  } else {
+    target = U256(mantissa).shifted_left(static_cast<unsigned>(8 * (exponent - 3)));
+    // Overflow check: shifting back must recover the mantissa.
+    if (mantissa != 0 &&
+        target.shifted_right(static_cast<unsigned>(8 * (exponent - 3))) != U256(mantissa)) {
+      return std::nullopt;
+    }
+  }
+  return target;
+}
+
+std::uint32_t target_to_compact(const U256& target) {
+  int bits = target.bit_length();
+  int size = (bits + 7) / 8;
+  std::uint32_t compact;
+  if (size <= 3) {
+    compact = static_cast<std::uint32_t>(target.limb[0] << (8 * (3 - size)));
+  } else {
+    compact = static_cast<std::uint32_t>(
+        target.shifted_right(static_cast<unsigned>(8 * (size - 3))).limb[0]);
+  }
+  // The mantissa must not look negative; borrow an exponent step if it does.
+  if (compact & 0x00800000) {
+    compact >>= 8;
+    ++size;
+  }
+  return compact | (static_cast<std::uint32_t>(size) << 24);
+}
+
+U256 work_from_target(const U256& target) {
+  // 2^256 / (target+1) == (~target / (target+1)) + 1, avoiding 257-bit math.
+  U256 max = U256(0) - U256(1);  // 2^256 - 1 (wrapping)
+  U256 neg_target = max - target;
+  return crypto::udiv(neg_target, target + U256(1)) + U256(1);
+}
+
+U256 work_from_bits(std::uint32_t bits) {
+  auto target = compact_to_target(bits);
+  if (!target || target->is_zero()) return U256(0);
+  return work_from_target(*target);
+}
+
+U256 hash_to_u256(const util::Hash256& hash) {
+  // The hash bytes are little-endian as a number.
+  U256 v;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t limb = 0;
+    for (int j = 7; j >= 0; --j) limb = (limb << 8) | hash.data[static_cast<std::size_t>(i * 8 + j)];
+    v.limb[static_cast<std::size_t>(i)] = limb;
+  }
+  return v;
+}
+
+bool check_proof_of_work(const util::Hash256& hash, std::uint32_t bits, const U256& pow_limit) {
+  auto target = compact_to_target(bits);
+  if (!target || target->is_zero() || *target > pow_limit) return false;
+  return hash_to_u256(hash) <= *target;
+}
+
+std::uint32_t next_target(std::uint32_t prev_bits, std::int64_t actual_timespan_s,
+                          std::int64_t target_timespan_s, const U256& pow_limit) {
+  // Clamp the measured timespan to [T/4, 4T], as Bitcoin does.
+  std::int64_t lo = target_timespan_s / 4;
+  std::int64_t hi = target_timespan_s * 4;
+  if (actual_timespan_s < lo) actual_timespan_s = lo;
+  if (actual_timespan_s > hi) actual_timespan_s = hi;
+
+  auto prev_target = compact_to_target(prev_bits);
+  if (!prev_target) return prev_bits;
+
+  // new = prev * actual / target. prev_target < 2^232 in practice, and the
+  // multiplier fits in 64 bits, so compute via 512-bit product then divide.
+  crypto::U512 prod = crypto::mul_full(*prev_target, U256(static_cast<std::uint64_t>(actual_timespan_s)));
+  // prod / target_timespan: do the division on the 512-bit value by long
+  // division through two 256-bit halves.
+  U256 divisor(static_cast<std::uint64_t>(target_timespan_s));
+  // Divide hi:lo by divisor using shift-subtract over 512 bits.
+  U256 quotient_hi, quotient_lo, remainder;
+  for (int i = 511; i >= 0; --i) {
+    remainder = remainder.shifted_left(1);
+    if ((prod.limb[static_cast<std::size_t>(i / 64)] >> (i % 64)) & 1) remainder.limb[0] |= 1;
+    if (remainder >= divisor) {
+      remainder = remainder - divisor;
+      if (i >= 256) {
+        quotient_hi.limb[static_cast<std::size_t>((i - 256) / 64)] |= (1ULL << (i % 64));
+      } else {
+        quotient_lo.limb[static_cast<std::size_t>(i / 64)] |= (1ULL << (i % 64));
+      }
+    }
+  }
+  U256 new_target = quotient_hi.is_zero() ? quotient_lo : pow_limit;
+  if (new_target > pow_limit) new_target = pow_limit;
+  if (new_target.is_zero()) new_target = U256(1);
+  return target_to_compact(new_target);
+}
+
+}  // namespace icbtc::bitcoin

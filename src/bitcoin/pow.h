@@ -1,0 +1,45 @@
+// Proof-of-work target arithmetic: compact "bits" encoding, per-block work
+// w(b), PoW checks, and the difficulty retargeting rule.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "crypto/u256.h"
+#include "util/bytes.h"
+
+namespace icbtc::bitcoin {
+
+using crypto::U256;
+
+/// Expands the compact "bits" representation to a 256-bit target. Returns
+/// nullopt for negative or overflowing encodings (which Bitcoin rejects).
+std::optional<U256> compact_to_target(std::uint32_t bits);
+
+/// Compresses a target to compact form (the canonical encoding Bitcoin uses).
+std::uint32_t target_to_compact(const U256& target);
+
+/// The expected number of hashes to find a block at `target`, i.e.
+/// 2^256 / (target + 1) — Bitcoin Core's GetBlockProof. This is the cost
+/// function behind the paper's difficulty-based depth d_w.
+U256 work_from_target(const U256& target);
+
+/// Work from a compact-bits encoding; zero for invalid encodings.
+U256 work_from_bits(std::uint32_t bits);
+
+/// True if `hash` (interpreted as a little-endian 256-bit number, Bitcoin's
+/// convention) meets the target implied by `bits`, and the target does not
+/// exceed `pow_limit`.
+bool check_proof_of_work(const util::Hash256& hash, std::uint32_t bits, const U256& pow_limit);
+
+/// Difficulty retarget: given the target of the previous period and the
+/// actual timespan of the last 2016 blocks, computes the next target, with
+/// Bitcoin's 4x clamping and the pow_limit cap.
+std::uint32_t next_target(std::uint32_t prev_bits, std::int64_t actual_timespan_s,
+                          std::int64_t target_timespan_s, const U256& pow_limit);
+
+/// Converts a Bitcoin hash (internal little-endian order) to a U256 for
+/// numeric comparison against a target.
+U256 hash_to_u256(const util::Hash256& hash);
+
+}  // namespace icbtc::bitcoin

@@ -1,0 +1,100 @@
+#include "bitcoin/transaction.h"
+
+#include <unordered_set>
+
+#include "crypto/sha256.h"
+
+namespace icbtc::bitcoin {
+
+void OutPoint::serialize(util::ByteWriter& w) const {
+  w.bytes(txid.span());
+  w.u32le(vout);
+}
+
+OutPoint OutPoint::deserialize(util::ByteReader& r) {
+  OutPoint o;
+  o.txid = r.hash256();
+  o.vout = r.u32le();
+  return o;
+}
+
+void TxIn::serialize(util::ByteWriter& w) const {
+  prevout.serialize(w);
+  w.var_bytes(script_sig);
+  w.u32le(sequence);
+}
+
+TxIn TxIn::deserialize(util::ByteReader& r) {
+  TxIn in;
+  in.prevout = OutPoint::deserialize(r);
+  in.script_sig = r.var_bytes();
+  in.sequence = r.u32le();
+  return in;
+}
+
+void TxOut::serialize(util::ByteWriter& w) const {
+  w.i64le(value);
+  w.var_bytes(script_pubkey);
+}
+
+TxOut TxOut::deserialize(util::ByteReader& r) {
+  TxOut out;
+  out.value = r.i64le();
+  out.script_pubkey = r.var_bytes();
+  return out;
+}
+
+void Transaction::serialize(util::ByteWriter& w) const {
+  w.i32le(version);
+  w.varint(inputs.size());
+  for (const auto& in : inputs) in.serialize(w);
+  w.varint(outputs.size());
+  for (const auto& out : outputs) out.serialize(w);
+  w.u32le(lock_time);
+}
+
+Bytes Transaction::serialize() const {
+  util::ByteWriter w;
+  serialize(w);
+  return std::move(w).take();
+}
+
+Transaction Transaction::deserialize(util::ByteReader& r) {
+  Transaction tx;
+  tx.version = r.i32le();
+  std::size_t n_in = r.checked_len(r.varint());
+  tx.inputs.reserve(n_in);
+  for (std::size_t i = 0; i < n_in; ++i) tx.inputs.push_back(TxIn::deserialize(r));
+  std::size_t n_out = r.checked_len(r.varint());
+  tx.outputs.reserve(n_out);
+  for (std::size_t i = 0; i < n_out; ++i) tx.outputs.push_back(TxOut::deserialize(r));
+  tx.lock_time = r.u32le();
+  return tx;
+}
+
+Transaction Transaction::parse(ByteSpan data) {
+  util::ByteReader r(data);
+  Transaction tx = deserialize(r);
+  if (!r.done()) throw util::DecodeError("trailing bytes after transaction");
+  return tx;
+}
+
+Hash256 Transaction::txid() const { return crypto::sha256d(serialize()); }
+
+bool Transaction::is_well_formed() const {
+  if (inputs.empty() || outputs.empty()) return false;
+  Amount total = 0;
+  for (const auto& out : outputs) {
+    if (!money_range(out.value)) return false;
+    total += out.value;
+    if (!money_range(total)) return false;
+  }
+  std::unordered_set<OutPoint> seen;
+  for (const auto& in : inputs) {
+    if (!is_coinbase() && in.prevout.is_null()) return false;
+    if (!seen.insert(in.prevout).second) return false;
+  }
+  return true;
+}
+
+}  // namespace icbtc::bitcoin

@@ -1,0 +1,98 @@
+// Bitcoin transaction structures and (de)serialization (legacy format).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bitcoin/amount.h"
+#include "util/byteio.h"
+#include "util/bytes.h"
+
+namespace icbtc::bitcoin {
+
+using util::Bytes;
+using util::ByteSpan;
+using util::Hash256;
+
+/// Reference to a transaction output: (txid, output index).
+struct OutPoint {
+  Hash256 txid;
+  std::uint32_t vout = 0;
+
+  bool is_null() const { return txid.is_zero() && vout == 0xffffffff; }
+  static OutPoint null() { return OutPoint{Hash256{}, 0xffffffff}; }
+
+  auto operator<=>(const OutPoint&) const = default;
+
+  void serialize(util::ByteWriter& w) const;
+  static OutPoint deserialize(util::ByteReader& r);
+};
+
+struct TxIn {
+  OutPoint prevout;
+  Bytes script_sig;
+  std::uint32_t sequence = 0xffffffff;
+
+  bool operator==(const TxIn&) const = default;
+
+  void serialize(util::ByteWriter& w) const;
+  static TxIn deserialize(util::ByteReader& r);
+};
+
+struct TxOut {
+  Amount value = 0;
+  Bytes script_pubkey;
+
+  bool operator==(const TxOut&) const = default;
+
+  void serialize(util::ByteWriter& w) const;
+  static TxOut deserialize(util::ByteReader& r);
+};
+
+struct Transaction {
+  std::int32_t version = 2;
+  std::vector<TxIn> inputs;
+  std::vector<TxOut> outputs;
+  std::uint32_t lock_time = 0;
+
+  bool operator==(const Transaction&) const = default;
+
+  /// True for a coinbase transaction (single input spending the null outpoint).
+  bool is_coinbase() const {
+    return inputs.size() == 1 && inputs[0].prevout.is_null();
+  }
+
+  Bytes serialize() const;
+  void serialize(util::ByteWriter& w) const;
+  static Transaction deserialize(util::ByteReader& r);
+  /// Parses a full buffer; throws util::DecodeError on trailing bytes.
+  static Transaction parse(ByteSpan data);
+
+  /// Transaction id: double-SHA256 of the serialization (internal byte order).
+  Hash256 txid() const;
+
+  Amount total_output_value() const {
+    Amount sum = 0;
+    for (const auto& o : outputs) sum += o.value;
+    return sum;
+  }
+
+  /// Serialized size in bytes.
+  std::size_t size() const { return serialize().size(); }
+
+  /// Basic syntactic checks mirroring what the Bitcoin canister's
+  /// send_transaction endpoint performs: non-empty inputs/outputs, values in
+  /// the money range, no duplicate inputs.
+  bool is_well_formed() const;
+};
+
+}  // namespace icbtc::bitcoin
+
+namespace std {
+template <>
+struct hash<icbtc::bitcoin::OutPoint> {
+  size_t operator()(const icbtc::bitcoin::OutPoint& o) const noexcept {
+    return std::hash<icbtc::util::Hash256>{}(o.txid) * 1000003u ^ o.vout;
+  }
+};
+}  // namespace std

@@ -1,0 +1,89 @@
+#include "bitcoin/utxo.h"
+
+#include "bitcoin/script.h"
+
+namespace icbtc::bitcoin {
+
+std::optional<UtxoEntry> UtxoSet::find(const OutPoint& op) const {
+  auto it = entries_.find(op);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second;
+}
+
+void UtxoSet::add(const OutPoint& op, UtxoEntry entry) { entries_[op] = std::move(entry); }
+
+std::optional<UtxoEntry> UtxoSet::remove(const OutPoint& op) {
+  auto it = entries_.find(op);
+  if (it == entries_.end()) return std::nullopt;
+  UtxoEntry entry = std::move(it->second);
+  entries_.erase(it);
+  return entry;
+}
+
+std::optional<BlockUndo> UtxoSet::apply_block(const Block& block, int height) {
+  BlockUndo undo;
+  undo.height = height;
+  // First pass: check all inputs are spendable so failure leaves the set
+  // untouched. Outputs created earlier in the same block may be spent later
+  // in it, so track intra-block creations.
+  std::unordered_map<OutPoint, UtxoEntry> intra_block;
+  std::unordered_map<OutPoint, bool> consumed;
+  for (const auto& tx : block.transactions) {
+    if (!tx.is_coinbase()) {
+      for (const auto& in : tx.inputs) {
+        if (consumed.contains(in.prevout)) return std::nullopt;  // double spend in block
+        bool known = entries_.contains(in.prevout) || intra_block.contains(in.prevout);
+        if (!known) return std::nullopt;
+        consumed[in.prevout] = true;
+      }
+    }
+    Hash256 txid = tx.txid();
+    for (std::uint32_t i = 0; i < tx.outputs.size(); ++i) {
+      if (is_op_return(tx.outputs[i].script_pubkey)) continue;
+      intra_block[OutPoint{txid, i}] = UtxoEntry{tx.outputs[i], height, tx.is_coinbase()};
+    }
+  }
+
+  // Second pass: mutate.
+  for (const auto& tx : block.transactions) {
+    if (!tx.is_coinbase()) {
+      for (const auto& in : tx.inputs) {
+        auto entry = remove(in.prevout);
+        if (entry) {
+          undo.spent.emplace_back(in.prevout, std::move(*entry));
+        }
+        // Inputs resolved intra-block never hit the set; their creations are
+        // simply dropped below.
+      }
+    }
+  }
+  std::unordered_map<OutPoint, bool> spent_intra;
+  for (const auto& tx : block.transactions) {
+    if (tx.is_coinbase()) continue;
+    for (const auto& in : tx.inputs) spent_intra[in.prevout] = true;
+  }
+  for (const auto& tx : block.transactions) {
+    Hash256 txid = tx.txid();
+    for (std::uint32_t i = 0; i < tx.outputs.size(); ++i) {
+      OutPoint op{txid, i};
+      if (is_op_return(tx.outputs[i].script_pubkey)) continue;
+      if (spent_intra.contains(op)) continue;  // created and spent in-block
+      add(op, UtxoEntry{tx.outputs[i], height, tx.is_coinbase()});
+      undo.created.push_back(op);
+    }
+  }
+  return undo;
+}
+
+void UtxoSet::undo_block(const BlockUndo& undo) {
+  for (const auto& op : undo.created) entries_.erase(op);
+  for (const auto& [op, entry] : undo.spent) entries_[op] = entry;
+}
+
+Amount UtxoSet::total_value() const {
+  Amount total = 0;
+  for (const auto& [op, entry] : entries_) total += entry.output.value;
+  return total;
+}
+
+}  // namespace icbtc::bitcoin

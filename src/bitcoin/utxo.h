@@ -1,0 +1,58 @@
+// Outpoint-indexed UTXO set with per-block undo data, as a full node
+// maintains along its best chain.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "bitcoin/block.h"
+#include "bitcoin/transaction.h"
+
+namespace icbtc::bitcoin {
+
+struct UtxoEntry {
+  TxOut output;
+  int height = 0;
+  bool coinbase = false;
+
+  bool operator==(const UtxoEntry&) const = default;
+};
+
+/// Data needed to roll a connected block back off the UTXO set.
+struct BlockUndo {
+  /// The entries consumed by the block's inputs, in input order.
+  std::vector<std::pair<OutPoint, UtxoEntry>> spent;
+  /// The outpoints the block created.
+  std::vector<OutPoint> created;
+  int height = 0;
+};
+
+class UtxoSet {
+ public:
+  std::size_t size() const { return entries_.size(); }
+  bool contains(const OutPoint& op) const { return entries_.contains(op); }
+  std::optional<UtxoEntry> find(const OutPoint& op) const;
+
+  void add(const OutPoint& op, UtxoEntry entry);
+  /// Removes and returns the entry; nullopt if absent.
+  std::optional<UtxoEntry> remove(const OutPoint& op);
+
+  /// Applies a block at `height`: spends each non-coinbase input and creates
+  /// each output (OP_RETURN outputs are unspendable and skipped). Returns the
+  /// undo data, or nullopt (set unchanged) if an input is missing.
+  std::optional<BlockUndo> apply_block(const Block& block, int height);
+
+  /// Reverses apply_block.
+  void undo_block(const BlockUndo& undo);
+
+  /// Total value held in the set.
+  Amount total_value() const;
+
+  const std::unordered_map<OutPoint, UtxoEntry>& entries() const { return entries_; }
+
+ private:
+  std::unordered_map<OutPoint, UtxoEntry> entries_;
+};
+
+}  // namespace icbtc::bitcoin

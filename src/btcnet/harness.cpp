@@ -1,0 +1,76 @@
+#include "btcnet/harness.h"
+
+namespace icbtc::btcnet {
+
+BitcoinNetworkHarness::BitcoinNetworkHarness(util::Simulation& sim,
+                                             const bitcoin::ChainParams& params,
+                                             BitcoinNetworkConfig config, std::uint64_t seed)
+    : network_(sim, util::Rng(seed)), params_(&params), rng_(seed ^ 0x9e3779b97f4a7c15ULL) {
+  if (config.num_nodes == 0) throw std::invalid_argument("harness: need at least one node");
+
+  nodes_.reserve(config.num_nodes);
+  for (std::size_t i = 0; i < config.num_nodes; ++i) {
+    bool ipv6 = rng_.next_double() < config.ipv6_fraction;
+    nodes_.push_back(std::make_unique<BitcoinNode>(network_, params, config.node_options, ipv6));
+  }
+
+  // Topology: each node opens `connections_per_node` outbound links to
+  // random distinct peers (duplicate links collapse, as in Bitcoin).
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    std::size_t want = std::min(config.connections_per_node, nodes_.size() - 1);
+    std::size_t attempts = 0;
+    std::size_t made = 0;
+    while (made < want && attempts < want * 10) {
+      ++attempts;
+      std::size_t j = static_cast<std::size_t>(rng_.next_below(nodes_.size()));
+      if (j == i) continue;
+      if (network_.connect(nodes_[i]->id(), nodes_[j]->id())) ++made;
+    }
+  }
+
+  for (std::size_t i = 0; i < std::min(config.num_dns_seeds, nodes_.size()); ++i) {
+    network_.add_dns_seed(nodes_[i]->id());
+  }
+
+  // Miners attach to the first `num_miners` nodes with equal hash shares.
+  std::size_t n_miners = std::min(config.num_miners, nodes_.size());
+  double share = n_miners > 0 ? 1.0 / static_cast<double>(n_miners) : 0.0;
+  for (std::size_t i = 0; i < n_miners; ++i) {
+    miners_.push_back(std::make_unique<Miner>(*nodes_[i], share, rng_.fork()));
+  }
+}
+
+std::vector<Miner*> BitcoinNetworkHarness::miners() {
+  std::vector<Miner*> out;
+  out.reserve(miners_.size());
+  for (auto& m : miners_) out.push_back(m.get());
+  return out;
+}
+
+void BitcoinNetworkHarness::start_miners() {
+  for (auto& m : miners_) m->start();
+}
+
+void BitcoinNetworkHarness::stop_miners() {
+  for (auto& m : miners_) m->stop();
+}
+
+int BitcoinNetworkHarness::max_best_height() const {
+  int best = 0;
+  for (const auto& n : nodes_) best = std::max(best, n->best_height());
+  return best;
+}
+
+bool BitcoinNetworkHarness::converged() const {
+  for (std::size_t i = 1; i < nodes_.size(); ++i) {
+    if (nodes_[i]->best_tip() != nodes_[0]->best_tip()) return false;
+  }
+  return true;
+}
+
+bool BitcoinNetworkHarness::broadcast_tx(const bitcoin::Transaction& tx) {
+  std::size_t i = static_cast<std::size_t>(rng_.next_below(nodes_.size()));
+  return nodes_[i]->submit_tx(tx);
+}
+
+}  // namespace icbtc::btcnet

@@ -1,0 +1,57 @@
+// Convenience builder assembling a whole simulated Bitcoin network: nodes,
+// topology, DNS seeds, and miners. Used by integration tests, benches, and
+// the examples.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "btcnet/miner.h"
+#include "btcnet/network.h"
+#include "btcnet/node.h"
+
+namespace icbtc::btcnet {
+
+struct BitcoinNetworkConfig {
+  std::size_t num_nodes = 20;
+  std::size_t connections_per_node = 4;
+  std::size_t num_dns_seeds = 3;
+  std::size_t num_miners = 4;
+  /// Fraction of nodes reachable over IPv6 (the adapter can only use these).
+  double ipv6_fraction = 0.6;
+  NodeOptions node_options;
+};
+
+class BitcoinNetworkHarness {
+ public:
+  BitcoinNetworkHarness(util::Simulation& sim, const bitcoin::ChainParams& params,
+                        BitcoinNetworkConfig config, std::uint64_t seed);
+
+  Network& network() { return network_; }
+  const bitcoin::ChainParams& params() const { return *params_; }
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  BitcoinNode& node(std::size_t i) { return *nodes_.at(i); }
+  const BitcoinNode& node(std::size_t i) const { return *nodes_.at(i); }
+  std::vector<Miner*> miners();
+
+  void start_miners();
+  void stop_miners();
+
+  /// Height of the longest best chain across all nodes.
+  int max_best_height() const;
+  /// True if all nodes agree on the best tip.
+  bool converged() const;
+
+  /// Submits a transaction at a random node (as a user wallet would).
+  bool broadcast_tx(const bitcoin::Transaction& tx);
+
+ private:
+  Network network_;
+  const bitcoin::ChainParams* params_;
+  util::Rng rng_;
+  std::vector<std::unique_ptr<BitcoinNode>> nodes_;
+  std::vector<std::unique_ptr<Miner>> miners_;
+};
+
+}  // namespace icbtc::btcnet

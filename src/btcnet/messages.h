@@ -1,0 +1,74 @@
+// Protocol-level messages exchanged on the simulated Bitcoin P2P network.
+// These model the subset of the Bitcoin wire protocol the integration needs:
+// inventory announcement, header sync, block/tx download, and address gossip.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "bitcoin/block.h"
+
+namespace icbtc::btcnet {
+
+/// Identifies an endpoint on the simulated network (node, adapter, ...).
+using NodeId = std::uint32_t;
+constexpr NodeId kInvalidNode = 0xffffffff;
+
+/// A network address record as gossiped via addr messages. The IPv6 flag
+/// models the constraint that IC nodes only reach IPv6 Bitcoin peers (§III-B).
+struct NetAddress {
+  NodeId id = kInvalidNode;
+  bool ipv6 = true;
+
+  bool operator==(const NetAddress&) const = default;
+};
+
+struct MsgInv {
+  std::vector<util::Hash256> block_hashes;
+  std::vector<util::Hash256> tx_ids;
+};
+
+/// getheaders: block locator (newest first) plus optional stop hash.
+struct MsgGetHeaders {
+  std::vector<util::Hash256> locator;
+  util::Hash256 stop;  // zero = as many as allowed
+};
+
+struct MsgHeaders {
+  std::vector<bitcoin::BlockHeader> headers;
+};
+
+struct MsgGetData {
+  std::vector<util::Hash256> block_hashes;
+  std::vector<util::Hash256> tx_ids;
+};
+
+struct MsgBlock {
+  bitcoin::Block block;
+};
+
+struct MsgNotFound {
+  std::vector<util::Hash256> block_hashes;
+};
+
+struct MsgTx {
+  bitcoin::Transaction tx;
+};
+
+struct MsgGetAddr {};
+
+struct MsgAddr {
+  std::vector<NetAddress> addresses;
+};
+
+using Message = std::variant<MsgInv, MsgGetHeaders, MsgHeaders, MsgGetData, MsgBlock, MsgNotFound,
+                             MsgTx, MsgGetAddr, MsgAddr>;
+
+/// Maximum headers per headers message, as in Bitcoin.
+constexpr std::size_t kMaxHeadersPerMsg = 2000;
+
+/// Approximate serialized size of a message, used for the latency model.
+std::size_t message_size(const Message& msg);
+
+}  // namespace icbtc::btcnet

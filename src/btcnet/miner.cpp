@@ -1,0 +1,124 @@
+#include "btcnet/miner.h"
+
+#include "bitcoin/script.h"
+#include "crypto/ripemd160.h"
+
+namespace icbtc::btcnet {
+
+namespace {
+util::Bytes miner_coinbase_script(std::uint64_t tag) {
+  // Pay to a synthetic key hash derived from the tag; no one spends these in
+  // the simulation unless a wallet is given the matching key.
+  util::ByteWriter w;
+  w.str("miner-");
+  w.u64le(tag);
+  return bitcoin::p2pkh_script(crypto::hash160(w.data()));
+}
+}  // namespace
+
+Miner::Miner(BitcoinNode& node, double hashrate_share, util::Rng rng)
+    : node_(&node), share_(hashrate_share), rng_(std::move(rng)) {
+  if (share_ <= 0.0 || share_ > 1.0) {
+    throw std::invalid_argument("Miner: hashrate share must be in (0, 1]");
+  }
+  coinbase_script_ = miner_coinbase_script(node.id());
+}
+
+void Miner::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next();
+}
+
+void Miner::stop() {
+  running_ = false;
+  node_->network().sim().cancel(pending_);
+  pending_ = {};
+}
+
+void Miner::schedule_next() {
+  double mean_s = static_cast<double>(node_->params().target_spacing_s) / share_;
+  double wait_s = rng_.next_exponential(mean_s);
+  pending_ = node_->network().sim().schedule(
+      static_cast<util::SimTime>(wait_s * static_cast<double>(util::kSecond)),
+      [this] { on_block_found(); });
+}
+
+void Miner::on_block_found() {
+  if (!running_) return;
+  mine_one();
+  schedule_next();
+}
+
+bitcoin::Block Miner::mine_one() {
+  const auto& tree = node_->tree();
+  int height = node_->best_height() + 1;
+  std::uint32_t time = static_cast<std::uint32_t>(
+      static_cast<std::int64_t>(node_->params().genesis_header.time) +
+      node_->network().sim().now() / util::kSecond);
+  // Respect median-time-past: nudge forward if the clock lags the chain.
+  std::int64_t mtp = tree.median_time_past(node_->best_tip());
+  if (time <= mtp) time = static_cast<std::uint32_t>(mtp + 1);
+
+  auto txs = node_->mempool_snapshot();
+  bitcoin::Block block = chain::build_child_block(
+      tree, node_->best_tip(), time, coinbase_script_,
+      bitcoin::block_subsidy(height / 210000), std::move(txs),
+      (static_cast<std::uint64_t>(node_->id()) << 32) | coinbase_counter_++);
+  ++blocks_mined_;
+  node_->submit_block(block);
+  return block;
+}
+
+AdversaryMiner::AdversaryMiner(const BitcoinNode& honest_view, const util::Hash256& fork_point,
+                               double hashrate_share, util::Rng rng)
+    : params_(&honest_view.params()),
+      share_(hashrate_share),
+      rng_(std::move(rng)),
+      tree_(honest_view.params(), honest_view.tree().find(fork_point)->header,
+            honest_view.tree().find(fork_point)->height,
+            honest_view.tree().find(fork_point)->cumulative_work -
+                honest_view.tree().find(fork_point)->block_work),
+      tip_(fork_point) {
+  if (share_ <= 0.0 || share_ >= 1.0) {
+    throw std::invalid_argument("AdversaryMiner: hashrate share must be in (0, 1)");
+  }
+}
+
+double AdversaryMiner::expected_block_interval_s() const {
+  // The adversary mines at the same difficulty as the network (Definition
+  // IV.2's setting), so at share φ of the hash power its block interval is
+  // spacing / φ — but the honest network also keeps extending, which attack
+  // harnesses model separately.
+  return static_cast<double>(params_->target_spacing_s) / share_;
+}
+
+double AdversaryMiner::sample_block_interval_s(util::Rng& rng) const {
+  return rng.next_exponential(expected_block_interval_s());
+}
+
+const bitcoin::Block& AdversaryMiner::mine_next(std::uint32_t time) {
+  std::int64_t mtp = tree_.median_time_past(tip_);
+  if (static_cast<std::int64_t>(time) <= mtp) time = static_cast<std::uint32_t>(mtp + 1);
+  bitcoin::Block block = chain::build_child_block(
+      tree_, tip_, time, miner_coinbase_script(0xad7e25a11ULL), bitcoin::block_subsidy(0), {},
+      0xad00000000000000ULL | coinbase_counter_++);
+  // The adversary's own tree accepts its block unconditionally (it mined it).
+  std::int64_t far_future = static_cast<std::int64_t>(time) + params_->max_future_drift_s;
+  auto result = tree_.accept(block.header, far_future);
+  if (result != chain::AcceptResult::kAccepted) {
+    throw std::logic_error("AdversaryMiner: private block rejected by own tree");
+  }
+  tip_ = block.hash();
+  private_blocks_.push_back(std::move(block));
+  return private_blocks_.back();
+}
+
+std::vector<bitcoin::BlockHeader> AdversaryMiner::private_headers() const {
+  std::vector<bitcoin::BlockHeader> out;
+  out.reserve(private_blocks_.size());
+  for (const auto& b : private_blocks_) out.push_back(b.header);
+  return out;
+}
+
+}  // namespace icbtc::btcnet

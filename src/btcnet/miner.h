@@ -1,0 +1,81 @@
+// Simulated miners: an honest miner attached to a full node (Poisson block
+// production, mempool inclusion) and an adversary that builds a private fork
+// at a configurable share of the network hash rate (the attacker of §IV-A).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "btcnet/node.h"
+#include "chain/block_builder.h"
+
+namespace icbtc::btcnet {
+
+class Miner {
+ public:
+  /// `hashrate_share` in (0, 1]: the fraction of the network's hash power
+  /// this miner commands; its expected block interval is
+  /// target_spacing / share.
+  Miner(BitcoinNode& node, double hashrate_share, util::Rng rng);
+
+  void start();
+  void stop();
+  bool running() const { return running_; }
+
+  std::size_t blocks_mined() const { return blocks_mined_; }
+  const util::Bytes& coinbase_script() const { return coinbase_script_; }
+
+  /// Mines one block immediately on the node's best tip (test helper).
+  bitcoin::Block mine_one();
+
+ private:
+  void schedule_next();
+  void on_block_found();
+
+  BitcoinNode* node_;
+  double share_;
+  util::Rng rng_;
+  util::Bytes coinbase_script_;
+  util::EventHandle pending_{};
+  bool running_ = false;
+  std::size_t blocks_mined_ = 0;
+  std::uint64_t coinbase_counter_ = 0;
+};
+
+/// An adversary mining a private fork. It snapshots the honest chain at a
+/// fork point and extends it privately; the produced blocks/headers can then
+/// be injected into adapters or the canister by attack harnesses.
+class AdversaryMiner {
+ public:
+  /// Forks the private chain off `fork_point` (which must exist in
+  /// `honest_view`'s tree with its block available).
+  AdversaryMiner(const BitcoinNode& honest_view, const util::Hash256& fork_point,
+                 double hashrate_share, util::Rng rng);
+
+  /// Mines the next private block deterministically (no scheduling); returns
+  /// it. `time` is the claimed block timestamp.
+  const bitcoin::Block& mine_next(std::uint32_t time);
+
+  /// Expected seconds to find each block at this adversary's hash share.
+  double expected_block_interval_s() const;
+
+  /// Samples the time to mine the next block (exponential).
+  double sample_block_interval_s(util::Rng& rng) const;
+
+  const std::vector<bitcoin::Block>& private_blocks() const { return private_blocks_; }
+  std::vector<bitcoin::BlockHeader> private_headers() const;
+  const chain::HeaderTree& tree() const { return tree_; }
+  util::Hash256 tip() const { return tip_; }
+  int tip_height() const { return tree_.find(tip_)->height; }
+
+ private:
+  const bitcoin::ChainParams* params_;
+  double share_;
+  util::Rng rng_;
+  chain::HeaderTree tree_;  // rooted at the fork point
+  util::Hash256 tip_;
+  std::vector<bitcoin::Block> private_blocks_;
+  std::uint64_t coinbase_counter_ = 0;
+};
+
+}  // namespace icbtc::btcnet

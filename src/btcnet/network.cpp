@@ -1,0 +1,129 @@
+#include "btcnet/network.h"
+
+#include <algorithm>
+
+namespace icbtc::btcnet {
+
+std::size_t message_size(const Message& msg) {
+  struct Sizer {
+    std::size_t operator()(const MsgInv& m) const {
+      return 8 + 36 * (m.block_hashes.size() + m.tx_ids.size());
+    }
+    std::size_t operator()(const MsgGetHeaders& m) const { return 8 + 32 * (m.locator.size() + 1); }
+    std::size_t operator()(const MsgHeaders& m) const { return 8 + 81 * m.headers.size(); }
+    std::size_t operator()(const MsgGetData& m) const {
+      return 8 + 36 * (m.block_hashes.size() + m.tx_ids.size());
+    }
+    std::size_t operator()(const MsgBlock& m) const { return 8 + m.block.size(); }
+    std::size_t operator()(const MsgNotFound& m) const { return 8 + 36 * m.block_hashes.size(); }
+    std::size_t operator()(const MsgTx& m) const { return 8 + m.tx.size(); }
+    std::size_t operator()(const MsgGetAddr&) const { return 8; }
+    std::size_t operator()(const MsgAddr& m) const { return 8 + 30 * m.addresses.size(); }
+  };
+  return std::visit(Sizer{}, msg);
+}
+
+util::SimTime LatencyModel::sample(std::size_t message_bytes, util::Rng& rng) const {
+  double transfer = static_cast<double>(per_kilobyte) * static_cast<double>(message_bytes) / 1024.0;
+  double raw = static_cast<double>(base) + transfer;
+  double factor = 1.0 + jitter * (2.0 * rng.next_double() - 1.0);
+  return static_cast<util::SimTime>(raw * std::max(0.0, factor));
+}
+
+NodeId Network::attach(Endpoint* endpoint, bool ipv6, bool gossiped) {
+  NodeId id = next_id_++;
+  endpoints_[id] = endpoint;
+  addresses_[id] = NetAddress{id, ipv6};
+  if (gossiped) gossiped_.insert(id);
+  return id;
+}
+
+void Network::detach(NodeId id) {
+  for (NodeId peer : peers_of(id)) disconnect(id, peer);
+  endpoints_.erase(id);
+  addresses_.erase(id);
+  gossiped_.erase(id);
+  std::erase(dns_seeds_, id);
+  partitioned_.erase(id);
+}
+
+void Network::add_dns_seed(NodeId id) {
+  if (endpoints_.contains(id)) dns_seeds_.push_back(id);
+}
+
+std::vector<NetAddress> Network::query_dns_seeds() const {
+  std::vector<NetAddress> out;
+  out.reserve(dns_seeds_.size());
+  for (NodeId id : dns_seeds_) out.push_back(addresses_.at(id));
+  return out;
+}
+
+std::vector<NetAddress> Network::sample_addresses(std::size_t max, util::Rng& rng) const {
+  std::vector<NetAddress> all;
+  all.reserve(gossiped_.size());
+  for (NodeId id : gossiped_) all.push_back(addresses_.at(id));
+  // Sort for determinism (unordered_set iteration order is unspecified),
+  // then shuffle with the caller's RNG.
+  std::sort(all.begin(), all.end(),
+            [](const NetAddress& x, const NetAddress& y) { return x.id < y.id; });
+  rng.shuffle(all);
+  if (all.size() > max) all.resize(max);
+  return all;
+}
+
+bool Network::connect(NodeId a, NodeId b) {
+  if (a == b || !endpoints_.contains(a) || !endpoints_.contains(b)) return false;
+  auto [it, inserted] = links_.insert(make_link(a, b));
+  (void)it;
+  if (inserted) {
+    endpoints_.at(a)->on_connected(b);
+    endpoints_.at(b)->on_connected(a);
+  }
+  return inserted;
+}
+
+void Network::disconnect(NodeId a, NodeId b) {
+  if (links_.erase(make_link(a, b)) > 0) {
+    if (auto it = endpoints_.find(a); it != endpoints_.end()) it->second->on_disconnected(b);
+    if (auto it = endpoints_.find(b); it != endpoints_.end()) it->second->on_disconnected(a);
+  }
+}
+
+bool Network::connected(NodeId a, NodeId b) const { return links_.contains(make_link(a, b)); }
+
+std::vector<NodeId> Network::peers_of(NodeId id) const {
+  std::vector<NodeId> out;
+  for (const auto& link : links_) {
+    if (link.a == id) out.push_back(link.b);
+    if (link.b == id) out.push_back(link.a);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Network::send(NodeId from, NodeId to, Message msg) {
+  if (!connected(from, to)) return;
+  if (partitioned_.contains(from) != partitioned_.contains(to)) return;  // across the cut
+  std::size_t size = message_size(msg);
+  ++messages_sent_;
+  bytes_sent_ += size;
+  util::SimTime delay = latency_.sample(size, rng_);
+  sim_->schedule(delay, [this, from, to, m = std::move(msg)] {
+    // The link may have been torn down or the endpoint detached in flight.
+    if (!connected(from, to)) return;
+    auto it = endpoints_.find(to);
+    if (it == endpoints_.end()) return;
+    if (partitioned_.contains(from) != partitioned_.contains(to)) return;
+    it->second->deliver(from, m);
+  });
+}
+
+void Network::set_partitioned(NodeId id, bool partitioned) {
+  if (partitioned) {
+    partitioned_.insert(id);
+  } else {
+    partitioned_.erase(id);
+  }
+}
+
+}  // namespace icbtc::btcnet

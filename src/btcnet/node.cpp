@@ -1,0 +1,378 @@
+#include "btcnet/node.h"
+
+#include <algorithm>
+
+#include "bitcoin/script.h"
+#include "util/log.h"
+
+namespace icbtc::btcnet {
+
+using bitcoin::Block;
+using bitcoin::OutPoint;
+using bitcoin::Transaction;
+using util::Hash256;
+
+BitcoinNode::BitcoinNode(Network& network, const bitcoin::ChainParams& params,
+                         NodeOptions options, bool ipv6)
+    : network_(&network),
+      params_(&params),
+      options_(options),
+      tree_(params, params.genesis_header) {
+  Block genesis = bitcoin::genesis_block(params);
+  active_tip_ = genesis.hash();
+  auto undo = utxos_.apply_block(genesis, 0);
+  blocks_.emplace(genesis.hash(), std::move(genesis));
+  (void)undo;  // genesis is never rolled back
+  id_ = network.attach(this, ipv6, /*gossiped=*/true);
+}
+
+BitcoinNode::~BitcoinNode() {
+  if (network_->exists(id_)) network_->detach(id_);
+}
+
+const Block* BitcoinNode::get_block(const Hash256& hash) const {
+  auto it = blocks_.find(hash);
+  return it == blocks_.end() ? nullptr : &it->second;
+}
+
+std::vector<Transaction> BitcoinNode::mempool_snapshot() const {
+  std::vector<const MempoolEntry*> entries;
+  entries.reserve(mempool_.size());
+  for (const auto& [txid, entry] : mempool_) entries.push_back(&entry);
+  std::sort(entries.begin(), entries.end(),
+            [](const MempoolEntry* a, const MempoolEntry* b) { return a->sequence < b->sequence; });
+  std::vector<Transaction> out;
+  out.reserve(entries.size());
+  for (const auto* e : entries) out.push_back(e->tx);
+  return out;
+}
+
+std::int64_t BitcoinNode::now_s() const {
+  return static_cast<std::int64_t>(params_->genesis_header.time) +
+         network_->sim().now() / util::kSecond;
+}
+
+bool BitcoinNode::submit_block(const Block& block) { return accept_block(block, kInvalidNode); }
+
+bool BitcoinNode::submit_tx(const Transaction& tx) { return accept_tx(tx, kInvalidNode); }
+
+void BitcoinNode::deliver(NodeId from, const Message& msg) {
+  std::visit(
+      [&](const auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, MsgInv>) {
+          handle_inv(from, m);
+        } else if constexpr (std::is_same_v<T, MsgGetHeaders>) {
+          handle_get_headers(from, m);
+        } else if constexpr (std::is_same_v<T, MsgHeaders>) {
+          handle_headers(from, m);
+        } else if constexpr (std::is_same_v<T, MsgGetData>) {
+          handle_get_data(from, m);
+        } else if constexpr (std::is_same_v<T, MsgBlock>) {
+          handle_block(from, m);
+        } else if constexpr (std::is_same_v<T, MsgTx>) {
+          handle_tx(from, m);
+        } else if constexpr (std::is_same_v<T, MsgGetAddr>) {
+          handle_get_addr(from);
+        } else if constexpr (std::is_same_v<T, MsgAddr>) {
+          handle_addr(from, m);
+        } else if constexpr (std::is_same_v<T, MsgNotFound>) {
+          // Nothing to do: the request simply stays unanswered.
+        }
+      },
+      msg);
+}
+
+void BitcoinNode::on_connected(NodeId peer) {
+  // Start header sync with the new peer.
+  network_->send(id_, peer, MsgGetHeaders{build_locator(), Hash256{}});
+}
+
+std::vector<Hash256> BitcoinNode::build_locator() const {
+  // Standard exponentially-spaced locator along the best chain.
+  std::vector<Hash256> chain = tree_.current_chain();
+  std::vector<Hash256> locator;
+  std::size_t step = 1;
+  std::size_t i = chain.size();
+  while (i > 0) {
+    --i;
+    locator.push_back(chain[i]);
+    if (locator.size() > 10) step *= 2;
+    if (i < step) break;
+    i -= step - 1;
+  }
+  if (locator.empty() || locator.back() != chain.front()) locator.push_back(chain.front());
+  return locator;
+}
+
+void BitcoinNode::handle_inv(NodeId from, const MsgInv& msg) {
+  MsgGetData request;
+  for (const auto& hash : msg.block_hashes) {
+    if (blocks_.contains(hash) || requested_blocks_.contains(hash)) continue;
+    requested_blocks_.insert(hash);
+    request.block_hashes.push_back(hash);
+  }
+  for (const auto& txid : msg.tx_ids) {
+    if (mempool_.contains(txid) || requested_txs_.contains(txid)) continue;
+    requested_txs_.insert(txid);
+    request.tx_ids.push_back(txid);
+  }
+  if (!request.block_hashes.empty() || !request.tx_ids.empty()) {
+    network_->send(id_, from, std::move(request));
+  }
+}
+
+void BitcoinNode::handle_get_headers(NodeId from, const MsgGetHeaders& msg) {
+  // Find the fork point: first locator entry we know on our best chain.
+  std::vector<Hash256> chain = tree_.current_chain();
+  std::unordered_map<Hash256, std::size_t> position;
+  position.reserve(chain.size());
+  for (std::size_t i = 0; i < chain.size(); ++i) position[chain[i]] = i;
+
+  std::size_t start = 0;  // default: from the root
+  for (const auto& hash : msg.locator) {
+    auto it = position.find(hash);
+    if (it != position.end()) {
+      start = it->second + 1;
+      break;
+    }
+  }
+  MsgHeaders response;
+  for (std::size_t i = start; i < chain.size() && response.headers.size() < kMaxHeadersPerMsg;
+       ++i) {
+    response.headers.push_back(tree_.find(chain[i])->header);
+    if (!msg.stop.is_zero() && chain[i] == msg.stop) break;
+  }
+  network_->send(id_, from, std::move(response));
+}
+
+void BitcoinNode::handle_headers(NodeId from, const MsgHeaders& msg) {
+  MsgGetData request;
+  for (const auto& header : msg.headers) {
+    auto result = tree_.accept(header, now_s());
+    if (result == chain::AcceptResult::kInvalid) break;  // stop at garbage
+    if (result == chain::AcceptResult::kOrphan) {
+      // We are behind this peer by more than one batch: restart sync.
+      network_->send(id_, from, MsgGetHeaders{build_locator(), Hash256{}});
+      return;
+    }
+    Hash256 hash = header.hash();
+    if (!blocks_.contains(hash) && !requested_blocks_.contains(hash) &&
+        request.block_hashes.size() < options_.max_inv) {
+      requested_blocks_.insert(hash);
+      request.block_hashes.push_back(hash);
+    }
+  }
+  if (!request.block_hashes.empty()) network_->send(id_, from, std::move(request));
+  if (msg.headers.size() == kMaxHeadersPerMsg) {
+    network_->send(id_, from, MsgGetHeaders{build_locator(), Hash256{}});
+  }
+}
+
+void BitcoinNode::handle_get_data(NodeId from, const MsgGetData& msg) {
+  MsgNotFound missing;
+  for (const auto& hash : msg.block_hashes) {
+    auto it = blocks_.find(hash);
+    if (it != blocks_.end()) {
+      network_->send(id_, from, MsgBlock{it->second});
+    } else {
+      missing.block_hashes.push_back(hash);
+    }
+  }
+  for (const auto& txid : msg.tx_ids) {
+    auto it = mempool_.find(txid);
+    if (it != mempool_.end()) network_->send(id_, from, MsgTx{it->second.tx});
+  }
+  if (!missing.block_hashes.empty()) network_->send(id_, from, std::move(missing));
+}
+
+void BitcoinNode::handle_block(NodeId from, const MsgBlock& msg) {
+  requested_blocks_.erase(msg.block.hash());
+  accept_block(msg.block, from);
+}
+
+void BitcoinNode::handle_tx(NodeId from, const MsgTx& msg) {
+  requested_txs_.erase(msg.tx.txid());
+  accept_tx(msg.tx, from);
+}
+
+void BitcoinNode::handle_get_addr(NodeId from) {
+  auto addresses = network_->sample_addresses(options_.max_addr_response, network_->rng());
+  network_->send(id_, from, MsgAddr{std::move(addresses)});
+}
+
+void BitcoinNode::handle_addr(NodeId, const MsgAddr&) {
+  // Full nodes rely on the registry for connectivity in this simulation;
+  // address books are only modelled in the Bitcoin adapter (§III-B).
+}
+
+bool BitcoinNode::accept_block(const Block& block, NodeId from) {
+  Hash256 hash = block.hash();
+  if (blocks_.contains(hash)) return false;
+  if (!block.is_well_formed()) return false;
+
+  auto result = tree_.accept(block.header, now_s());
+  if (result == chain::AcceptResult::kOrphan) {
+    orphans_[block.header.prev_hash].push_back(block);
+    // Learn the missing ancestry.
+    if (from != kInvalidNode) {
+      network_->send(id_, from, MsgGetHeaders{build_locator(), Hash256{}});
+    }
+    return false;
+  }
+  if (result == chain::AcceptResult::kInvalid) return false;
+  // kAccepted or kDuplicate (header known, block was missing): store it.
+  blocks_.emplace(hash, block);
+  ++blocks_accepted_;
+
+  update_active_chain();
+  relay_block_inv(hash, from);
+  try_connect_orphans();
+  return true;
+}
+
+void BitcoinNode::try_connect_orphans() {
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = orphans_.begin(); it != orphans_.end();) {
+      if (tree_.contains(it->first)) {
+        auto pending = std::move(it->second);
+        it = orphans_.erase(it);
+        for (const auto& block : pending) accept_block(block, kInvalidNode);
+        progress = true;
+        break;  // iterator invalidated by recursion; restart scan
+      }
+      ++it;
+    }
+  }
+}
+
+void BitcoinNode::update_active_chain() {
+  Hash256 best = tree_.best_tip();
+  if (best == active_tip_) return;
+
+  std::vector<Hash256> target_chain = tree_.current_chain();
+  std::unordered_set<Hash256> on_target(target_chain.begin(), target_chain.end());
+
+  // Roll back until the active tip lies on the target chain.
+  bool rolled_back = false;
+  while (!on_target.contains(active_tip_) && !undo_stack_.empty()) {
+    auto& [hash, undo] = undo_stack_.back();
+    utxos_.undo_block(undo);
+    // Return the block's non-coinbase transactions to the mempool.
+    auto it = blocks_.find(hash);
+    if (it != blocks_.end()) {
+      for (const auto& tx : it->second.transactions) {
+        if (!tx.is_coinbase()) accept_tx(tx, kInvalidNode);
+      }
+    }
+    const auto* entry = tree_.find(hash);
+    active_tip_ = entry != nullptr ? entry->parent : Hash256{};
+    undo_stack_.pop_back();
+    rolled_back = true;
+  }
+  if (rolled_back) ++reorg_count_;
+
+  // Walk forward from the fork point.
+  const auto* active_entry = tree_.find(active_tip_);
+  if (active_entry == nullptr) return;
+  std::size_t idx = static_cast<std::size_t>(active_entry->height - tree_.root().height);
+  for (std::size_t i = idx + 1; i < target_chain.size(); ++i) {
+    auto it = blocks_.find(target_chain[i]);
+    if (it == blocks_.end()) break;  // block not yet downloaded
+    int height = tree_.find(target_chain[i])->height;
+    auto undo = utxos_.apply_block(it->second, height);
+    if (!undo) break;  // invalid spend; leave the view at the last good block
+    undo_stack_.emplace_back(target_chain[i], std::move(*undo));
+    active_tip_ = target_chain[i];
+    // Evict included transactions (and anything now conflicting) from the
+    // mempool.
+    for (const auto& tx : it->second.transactions) {
+      Hash256 txid = tx.txid();
+      auto mem = mempool_.find(txid);
+      if (mem != mempool_.end()) {
+        for (const auto& in : mem->second.tx.inputs) mempool_spends_.erase(in.prevout);
+        mempool_.erase(mem);
+      }
+      for (const auto& in : tx.inputs) {
+        auto spender = mempool_spends_.find(in.prevout);
+        if (spender != mempool_spends_.end() && spender->second != txid) {
+          auto conflict = mempool_.find(spender->second);
+          if (conflict != mempool_.end()) {
+            for (const auto& cin : conflict->second.tx.inputs) {
+              mempool_spends_.erase(cin.prevout);
+            }
+            mempool_.erase(conflict);
+          }
+        }
+      }
+    }
+  }
+  // Cap undo history to bound memory; deep reorgs past this are not
+  // supported (Bitcoin Core behaves similarly with its pruning depth).
+  constexpr std::size_t kMaxUndoDepth = 1000;
+  if (undo_stack_.size() > kMaxUndoDepth) {
+    undo_stack_.erase(undo_stack_.begin(),
+                      undo_stack_.begin() +
+                          static_cast<std::ptrdiff_t>(undo_stack_.size() - kMaxUndoDepth));
+  }
+}
+
+bool BitcoinNode::accept_tx(const Transaction& tx, NodeId from) {
+  Hash256 txid = tx.txid();
+  if (mempool_.contains(txid)) return false;
+  if (!tx.is_well_formed() || tx.is_coinbase()) return false;
+
+  // Each input must be unspent (in the UTXO view or an in-mempool output)
+  // and not double-spend the mempool.
+  bitcoin::Amount in_value = 0;
+  bool value_known = true;
+  for (const auto& in : tx.inputs) {
+    if (mempool_spends_.contains(in.prevout)) return false;
+    auto entry = utxos_.find(in.prevout);
+    if (entry) {
+      in_value += entry->output.value;
+      if (options_.verify_scripts) {
+        std::size_t index = static_cast<std::size_t>(&in - tx.inputs.data());
+        if (bitcoin::is_p2pkh(entry->output.script_pubkey)) {
+          if (!bitcoin::verify_p2pkh_input(tx, index, entry->output.script_pubkey)) return false;
+        } else if (bitcoin::is_p2tr(entry->output.script_pubkey)) {
+          if (!bitcoin::verify_p2tr_input(tx, index, entry->output.script_pubkey)) return false;
+        }
+      }
+      continue;
+    }
+    // Maybe spending an in-mempool parent.
+    auto parent = mempool_.find(in.prevout.txid);
+    if (parent != mempool_.end() && in.prevout.vout < parent->second.tx.outputs.size()) {
+      in_value += parent->second.tx.outputs[in.prevout.vout].value;
+      continue;
+    }
+    value_known = false;
+    break;
+  }
+  if (!value_known) return false;
+  if (in_value < tx.total_output_value()) return false;
+
+  for (const auto& in : tx.inputs) mempool_spends_[in.prevout] = txid;
+  mempool_[txid] = MempoolEntry{tx, mempool_sequence_++};
+  relay_tx_inv(txid, from);
+  return true;
+}
+
+void BitcoinNode::relay_block_inv(const Hash256& hash, NodeId except) {
+  for (NodeId peer : network_->peers_of(id_)) {
+    if (peer == except) continue;
+    network_->send(id_, peer, MsgInv{{hash}, {}});
+  }
+}
+
+void BitcoinNode::relay_tx_inv(const Hash256& txid, NodeId except) {
+  for (NodeId peer : network_->peers_of(id_)) {
+    if (peer == except) continue;
+    network_->send(id_, peer, MsgInv{{}, {txid}});
+  }
+}
+
+}  // namespace icbtc::btcnet

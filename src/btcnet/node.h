@@ -1,0 +1,119 @@
+// A simulated Bitcoin full node: header tree, block store, best-chain UTXO
+// set with reorg support, mempool with standard policy, and P2P relay.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bitcoin/utxo.h"
+#include "btcnet/network.h"
+#include "chain/header_tree.h"
+
+namespace icbtc::btcnet {
+
+struct NodeOptions {
+  /// Verify P2PKH spends when admitting transactions to the mempool.
+  bool verify_scripts = true;
+  /// Maximum addresses returned to a getaddr.
+  std::size_t max_addr_response = 1000;
+  /// Maximum blocks announced per inv.
+  std::size_t max_inv = 500;
+};
+
+class BitcoinNode : public Endpoint {
+ public:
+  BitcoinNode(Network& network, const bitcoin::ChainParams& params, NodeOptions options = {},
+              bool ipv6 = true);
+  ~BitcoinNode() override;
+
+  BitcoinNode(const BitcoinNode&) = delete;
+  BitcoinNode& operator=(const BitcoinNode&) = delete;
+
+  NodeId id() const { return id_; }
+  Network& network() { return *network_; }
+  const bitcoin::ChainParams& params() const { return *params_; }
+
+  const chain::HeaderTree& tree() const { return tree_; }
+  const bitcoin::UtxoSet& utxos() const { return utxos_; }
+  int best_height() const { return tree_.best_height(); }
+  util::Hash256 best_tip() const { return tree_.best_tip(); }
+
+  bool has_block(const util::Hash256& hash) const { return blocks_.contains(hash); }
+  const bitcoin::Block* get_block(const util::Hash256& hash) const;
+
+  std::size_t mempool_size() const { return mempool_.size(); }
+  bool in_mempool(const util::Hash256& txid) const { return mempool_.contains(txid); }
+  /// Mempool transactions in admission order (miners consume this).
+  std::vector<bitcoin::Transaction> mempool_snapshot() const;
+
+  /// Locally submits a block (e.g. from an attached miner). Returns true if
+  /// the block was accepted and stored.
+  bool submit_block(const bitcoin::Block& block);
+
+  /// Locally submits a transaction (e.g. a wallet RPC). Returns true if it
+  /// entered the mempool.
+  bool submit_tx(const bitcoin::Transaction& tx);
+
+  // Endpoint interface.
+  void deliver(NodeId from, const Message& msg) override;
+  void on_connected(NodeId peer) override;
+
+  std::size_t blocks_accepted() const { return blocks_accepted_; }
+  std::size_t reorg_count() const { return reorg_count_; }
+
+ private:
+  void handle_inv(NodeId from, const MsgInv& msg);
+  void handle_get_headers(NodeId from, const MsgGetHeaders& msg);
+  void handle_headers(NodeId from, const MsgHeaders& msg);
+  void handle_get_data(NodeId from, const MsgGetData& msg);
+  void handle_block(NodeId from, const MsgBlock& msg);
+  void handle_tx(NodeId from, const MsgTx& msg);
+  void handle_get_addr(NodeId from);
+  void handle_addr(NodeId from, const MsgAddr& msg);
+
+  bool accept_block(const bitcoin::Block& block, NodeId from);
+  bool accept_tx(const bitcoin::Transaction& tx, NodeId from);
+  /// Moves the UTXO view to the (possibly new) best chain.
+  void update_active_chain();
+  void relay_block_inv(const util::Hash256& hash, NodeId except);
+  void relay_tx_inv(const util::Hash256& txid, NodeId except);
+  std::vector<util::Hash256> build_locator() const;
+  std::int64_t now_s() const;
+  /// Tries to connect orphan blocks whose parent just arrived.
+  void try_connect_orphans();
+
+  Network* network_;
+  const bitcoin::ChainParams* params_;
+  NodeOptions options_;
+  NodeId id_ = kInvalidNode;
+
+  chain::HeaderTree tree_;
+  std::unordered_map<util::Hash256, bitcoin::Block> blocks_;
+  // Blocks whose parent header is unknown yet, keyed by parent hash.
+  std::unordered_map<util::Hash256, std::vector<bitcoin::Block>> orphans_;
+
+  // UTXO view of the active chain plus undo data to unwind reorgs.
+  bitcoin::UtxoSet utxos_;
+  std::vector<std::pair<util::Hash256, bitcoin::BlockUndo>> undo_stack_;
+  util::Hash256 active_tip_;
+
+  struct MempoolEntry {
+    bitcoin::Transaction tx;
+    std::uint64_t sequence;  // admission order
+  };
+  std::unordered_map<util::Hash256, MempoolEntry> mempool_;
+  std::unordered_map<bitcoin::OutPoint, util::Hash256> mempool_spends_;
+  std::uint64_t mempool_sequence_ = 0;
+
+  // Inventory bookkeeping: what we already requested, to avoid floods.
+  std::unordered_set<util::Hash256> requested_blocks_;
+  std::unordered_set<util::Hash256> requested_txs_;
+
+  std::size_t blocks_accepted_ = 0;
+  std::size_t reorg_count_ = 0;
+};
+
+}  // namespace icbtc::btcnet

@@ -1,0 +1,498 @@
+#include "canister/bitcoin_canister.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "bitcoin/script.h"
+#include "util/byteio.h"
+
+namespace icbtc::canister {
+
+using bitcoin::Block;
+using util::Hash256;
+
+const char* to_string(Status s) {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kNotSynced: return "not synced";
+    case Status::kBadAddress: return "bad address";
+    case Status::kMinConfirmationsTooLarge: return "min_confirmations too large";
+    case Status::kMalformedTransaction: return "malformed transaction";
+    case Status::kBadPage: return "bad page token";
+    case Status::kBadRange: return "bad height range";
+  }
+  return "?";
+}
+
+BitcoinCanister::BitcoinCanister(const bitcoin::ChainParams& params, CanisterConfig config)
+    : params_(&params),
+      config_(config),
+      stable_utxos_(config.costs),
+      tree_(params, params.genesis_header) {
+  // The genesis block's outputs are part of the stable set by definition
+  // (the anchor starts at genesis).
+  Block genesis = bitcoin::genesis_block(params);
+  stable_utxos_.apply_block(genesis, 0, meter_);
+  // stable_headers_ archives heights [0, anchor): the outgoing root is
+  // pushed on every anchor advance, so genesis lands at index 0 then.
+}
+
+adapter::AdapterRequest BitcoinCanister::make_request() {
+  adapter::AdapterRequest request;
+  request.anchor = tree_.root_hash();
+  for (const auto& [hash, block] : unstable_blocks_) request.processed.push_back(hash);
+  std::sort(request.processed.begin(), request.processed.end());
+  while (!pending_txs_.empty()) {
+    request.transactions.push_back(std::move(pending_txs_.front()));
+    pending_txs_.pop_front();
+  }
+  return request;
+}
+
+BitcoinCanister::ProcessResult BitcoinCanister::process_response(
+    const adapter::AdapterResponse& response, std::int64_t now_s) {
+  meter_.charge(config_.costs.request_overhead);
+  ProcessResult result;
+
+  // Lines 1-15: validate and store each block, then try to advance the
+  // anchor (possibly repeatedly: one arrival can make several blocks
+  // stable).
+  for (const auto& [block, header] : response.blocks) {
+    // is_valid(b, β): well-formed, Merkle root matches the header. The
+    // transactions themselves are NOT validated (§III-C: the canister relies
+    // on the proof of work and the Bitcoin network's vetting). Checked
+    // before the header is appended: β only enters T if both are valid.
+    if (block.hash() != header.hash() || !block.is_well_formed()) continue;
+    // is_valid(β, T): same header checks the adapter performs, as a valid
+    // extension of T.
+    auto accept = tree_.accept(header, now_s);
+    if (accept != chain::AcceptResult::kAccepted && accept != chain::AcceptResult::kDuplicate) {
+      continue;
+    }
+    if (unstable_blocks_.contains(header.hash())) continue;
+
+    unstable_blocks_.emplace(header.hash(), block);
+    ++result.blocks_stored;
+    result.anchors_advanced += advance_anchor();
+  }
+
+  // Lines 16-20: append validated upcoming headers.
+  for (const auto& header : response.next_headers) {
+    if (tree_.accept(header, now_s) == chain::AcceptResult::kAccepted) {
+      ++result.headers_appended;
+    }
+  }
+  return result;
+}
+
+std::size_t BitcoinCanister::advance_anchor() {
+  std::size_t advanced = 0;
+  for (;;) {
+    const crypto::U256& anchor_work = tree_.root().block_work;  // w(β*)
+    int next_height = tree_.root().height + 1;
+
+    // B_next: blocks at height h(β*)+1 whose block data is available.
+    Hash256 best;
+    crypto::U256 best_depth(0);
+    bool found = false;
+    for (const auto& candidate : tree_.blocks_at_height(next_height)) {
+      if (!unstable_blocks_.contains(candidate)) continue;
+      crypto::U256 depth = tree_.depth_work(candidate);
+      if (!found || depth > best_depth) {
+        best = candidate;
+        best_depth = depth;
+        found = true;
+      }
+    }
+    if (!found) break;
+    if (!tree_.is_difficulty_stable(best, config_.stability_delta, anchor_work)) break;
+
+    // process_block(U, b_next): migrate the block into the stable UTXO set.
+    auto block_it = unstable_blocks_.find(best);
+    const Block& block = block_it->second;
+    IngestStats stats;
+    stats.height = next_height;
+    stats.transactions = block.transactions.size();
+    ic::InstructionMeter::Segment segment(meter_);
+    for (const auto& tx : block.transactions) {
+      meter_.charge(config_.costs.per_tx_overhead);
+      if (!tx.is_coinbase()) {
+        ic::InstructionMeter::Segment removes(meter_);
+        for (const auto& in : tx.inputs) {
+          stable_utxos_.remove(in.prevout, meter_);
+          ++stats.inputs_removed;
+        }
+        stats.remove_instructions += removes.sample();
+      }
+      Hash256 txid = tx.txid();
+      ic::InstructionMeter::Segment inserts(meter_);
+      for (std::uint32_t i = 0; i < tx.outputs.size(); ++i) {
+        stable_utxos_.insert(bitcoin::OutPoint{txid, i}, tx.outputs[i], next_height, meter_);
+        if (!bitcoin::is_op_return(tx.outputs[i].script_pubkey)) ++stats.outputs_inserted;
+      }
+      stats.insert_instructions += inserts.sample();
+    }
+    stats.instructions = segment.sample();
+    ingest_log_.push_back(stats);
+
+    // The stable block header is archived (headers are kept forever); the
+    // block itself is discarded and competing branches are pruned
+    // (remove_blocks(T, B_next) — all but the stable header are removed).
+    stable_headers_.push_back(tree_.root().header);
+    unstable_blocks_.erase(block_it);
+    tree_.reroot(best);
+    // Drop any unstable blocks whose headers were pruned with their forks.
+    std::erase_if(unstable_blocks_,
+                  [&](const auto& entry) { return !tree_.contains(entry.first); });
+    ++advanced;
+  }
+  return advanced;
+}
+
+bool BitcoinCanister::is_synced() const {
+  int max_block_height = tree_.root().height;
+  for (const auto& [hash, block] : unstable_blocks_) {
+    const auto* entry = tree_.find(hash);
+    if (entry != nullptr) max_block_height = std::max(max_block_height, entry->height);
+  }
+  return tree_.max_height() - max_block_height <= config_.sync_slack;
+}
+
+Outcome<util::Bytes> BitcoinCanister::script_for(const std::string& address) const {
+  auto decoded = bitcoin::decode_address(address, params_->network);
+  if (!decoded) return {Status::kBadAddress, {}};
+  return {Status::kOk, bitcoin::script_for_address(*decoded)};
+}
+
+std::pair<Hash256, int> BitcoinCanister::considered_tip(int min_confirmations) const {
+  std::vector<Hash256> chain = tree_.current_chain();
+  if (min_confirmations <= 0) {
+    return {chain.back(), tree_.find(chain.back())->height};
+  }
+  for (std::size_t i = chain.size(); i-- > 0;) {
+    // At most one block per height can be c-stable, and on the current chain
+    // stability is monotone towards the root, so the first hit is the tip.
+    if (tree_.is_confirmation_stable(chain[i], min_confirmations)) {
+      return {chain[i], tree_.find(chain[i])->height};
+    }
+  }
+  // Nothing above the anchor qualifies; answer from the stable state.
+  return {tree_.root_hash(), tree_.root().height};
+}
+
+std::vector<Utxo> BitcoinCanister::collect_utxos(const util::Bytes& script,
+                                                 int considered_height,
+                                                 std::uint64_t stable_read_cost) {
+  // Stable part.
+  std::vector<Utxo> result;
+  std::unordered_set<bitcoin::OutPoint> spent;
+  std::vector<Utxo> unstable_added;
+
+  // Unstable part: scan the current chain above the anchor up to the
+  // considered height, tracking outputs added for the script and all spends.
+  std::vector<Hash256> chain = tree_.current_chain();
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    const auto* entry = tree_.find(chain[i]);
+    if (entry->height > considered_height) break;
+    auto block_it = unstable_blocks_.find(chain[i]);
+    if (block_it == unstable_blocks_.end()) break;  // cannot see past a gap
+    meter_.charge(config_.costs.unstable_block_scan);
+    for (const auto& tx : block_it->second.transactions) {
+      if (!tx.is_coinbase()) {
+        for (const auto& in : tx.inputs) spent.insert(in.prevout);
+      }
+      Hash256 txid = tx.txid();
+      for (std::uint32_t v = 0; v < tx.outputs.size(); ++v) {
+        if (tx.outputs[v].script_pubkey != script) continue;
+        meter_.charge(config_.costs.unstable_utxo_read);
+        unstable_added.push_back(
+            Utxo{bitcoin::OutPoint{txid, v}, tx.outputs[v].value, entry->height});
+      }
+    }
+  }
+
+  // Unstable outputs spent by later unstable transactions drop out.
+  for (const auto& u : unstable_added) {
+    if (!spent.contains(u.outpoint)) result.push_back(u);
+  }
+  // Newest first: unstable entries carry the greatest heights.
+  std::sort(result.begin(), result.end(), [](const Utxo& a, const Utxo& b) {
+    return a.height != b.height ? a.height > b.height : a.outpoint < b.outpoint;
+  });
+
+  // Stable entries are already sorted by height descending.
+  for (const auto& stored : stable_utxos_.utxos_for_script(script, meter_, stable_read_cost)) {
+    if (spent.contains(stored.outpoint)) continue;  // spent by an unstable tx
+    result.push_back(Utxo{stored.outpoint, stored.value, stored.height});
+  }
+  return result;
+}
+
+Outcome<GetUtxosResponse> BitcoinCanister::get_utxos(const GetUtxosRequest& request) {
+  if (!is_synced()) return {Status::kNotSynced, {}};
+  if (request.min_confirmations > config_.stability_delta) {
+    // Responses could be missing outputs spent below the anchor (§III-C).
+    return {Status::kMinConfirmationsTooLarge, {}};
+  }
+  auto script = script_for(request.address);
+  if (!script.ok()) return {script.status, {}};
+
+  std::size_t offset = 0;
+  if (request.page) {
+    if (request.page->size() != 8) return {Status::kBadPage, {}};
+    util::ByteReader r(*request.page);
+    offset = static_cast<std::size_t>(r.u64le());
+  }
+
+  auto [tip_hash, tip_height] = considered_tip(request.min_confirmations);
+  std::vector<Utxo> all = collect_utxos(script.value, tip_height);
+  if (offset > all.size()) return {Status::kBadPage, {}};
+
+  GetUtxosResponse response;
+  response.tip_hash = tip_hash;
+  response.tip_height = tip_height;
+  std::size_t end = std::min(all.size(), offset + config_.utxos_per_page);
+  response.utxos.assign(all.begin() + static_cast<std::ptrdiff_t>(offset),
+                        all.begin() + static_cast<std::ptrdiff_t>(end));
+  if (end < all.size()) {
+    util::ByteWriter w;
+    w.u64le(end);
+    response.next_page = w.data();
+  }
+  return {Status::kOk, std::move(response)};
+}
+
+Outcome<bitcoin::Amount> BitcoinCanister::get_balance(const std::string& address,
+                                                      int min_confirmations) {
+  if (!is_synced()) return {Status::kNotSynced, {}};
+  if (min_confirmations > config_.stability_delta) {
+    return {Status::kMinConfirmationsTooLarge, {}};
+  }
+  auto script = script_for(address);
+  if (!script.ok()) return {script.status, {}};
+  auto [tip_hash, tip_height] = considered_tip(min_confirmations);
+  (void)tip_hash;
+  bitcoin::Amount total = 0;
+  for (const auto& u :
+       collect_utxos(script.value, tip_height, config_.costs.stable_balance_read)) {
+    total += u.value;
+  }
+  return {Status::kOk, total};
+}
+
+Status BitcoinCanister::send_transaction(const util::Bytes& raw_transaction) {
+  // Basic syntactic checks only (§III-C): decodable and well-formed.
+  try {
+    bitcoin::Transaction tx = bitcoin::Transaction::parse(raw_transaction);
+    if (!tx.is_well_formed() || tx.is_coinbase()) return Status::kMalformedTransaction;
+  } catch (const util::DecodeError&) {
+    return Status::kMalformedTransaction;
+  }
+  pending_txs_.push_back(raw_transaction);
+  return Status::kOk;
+}
+
+Outcome<std::vector<std::uint64_t>> BitcoinCanister::get_current_fee_percentiles() {
+  if (!is_synced()) return {Status::kNotSynced, {}};
+  // Scan the unstable suffix of the current chain. Outputs created earlier
+  // in the window (or in the stable set) resolve input values; transactions
+  // with unresolvable inputs are skipped, as in the production canister.
+  std::vector<util::Hash256> chain = tree_.current_chain();
+  std::size_t first =
+      chain.size() > static_cast<std::size_t>(config_.fee_window_blocks)
+          ? chain.size() - static_cast<std::size_t>(config_.fee_window_blocks)
+          : 1;  // skip the anchor itself (its block is discarded)
+  std::unordered_map<bitcoin::OutPoint, bitcoin::Amount> window_outputs;
+  // Pre-scan the entire unstable chain so spends of younger-but-out-of-window
+  // outputs still resolve.
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    auto it = unstable_blocks_.find(chain[i]);
+    if (it == unstable_blocks_.end()) continue;
+    for (const auto& tx : it->second.transactions) {
+      util::Hash256 txid = tx.txid();
+      for (std::uint32_t v = 0; v < tx.outputs.size(); ++v) {
+        window_outputs[bitcoin::OutPoint{txid, v}] = tx.outputs[v].value;
+      }
+    }
+  }
+
+  std::vector<double> fee_rates;  // millisatoshi per vbyte
+  for (std::size_t i = first; i < chain.size(); ++i) {
+    auto it = unstable_blocks_.find(chain[i]);
+    if (it == unstable_blocks_.end()) continue;
+    meter_.charge(config_.costs.unstable_block_scan);
+    for (const auto& tx : it->second.transactions) {
+      if (tx.is_coinbase()) continue;
+      bitcoin::Amount in_value = 0;
+      bool resolved = true;
+      for (const auto& in : tx.inputs) {
+        if (auto w = window_outputs.find(in.prevout); w != window_outputs.end()) {
+          in_value += w->second;
+        } else if (auto stable = stable_utxos_.find(in.prevout)) {
+          in_value += stable->value;
+        } else {
+          resolved = false;
+          break;
+        }
+      }
+      if (!resolved) continue;
+      bitcoin::Amount fee = in_value - tx.total_output_value();
+      if (fee < 0) continue;  // nonsensical (unvalidated) transaction
+      double vbytes = static_cast<double>(tx.size());
+      fee_rates.push_back(static_cast<double>(fee) * 1000.0 / vbytes);
+      meter_.charge(config_.costs.per_tx_overhead);
+    }
+  }
+  if (fee_rates.empty()) return {Status::kOk, {}};
+  std::sort(fee_rates.begin(), fee_rates.end());
+  std::vector<std::uint64_t> percentiles;
+  percentiles.reserve(101);
+  for (int p = 0; p <= 100; ++p) {
+    double rank = static_cast<double>(p) / 100.0 * static_cast<double>(fee_rates.size() - 1);
+    percentiles.push_back(
+        static_cast<std::uint64_t>(fee_rates[static_cast<std::size_t>(rank)]));
+  }
+  return {Status::kOk, std::move(percentiles)};
+}
+
+Outcome<BitcoinCanister::GetBlockHeadersResponse> BitcoinCanister::get_block_headers(
+    int start_height, int end_height) {
+  if (!is_synced()) return {Status::kNotSynced, {}};
+  int tip = tree_.best_height();
+  if (end_height < 0) end_height = tip;
+  if (start_height < 0 || start_height > end_height || end_height > tip) {
+    return {Status::kBadRange, {}};
+  }
+  GetBlockHeadersResponse response;
+  response.tip_height = tip;
+  int anchor = tree_.root().height;
+  // stable_headers_ archives heights 0..anchor-1; the anchor itself is the
+  // tree root; heights above come from the current chain.
+  std::vector<util::Hash256> chain = tree_.current_chain();
+  for (int h = start_height; h <= end_height; ++h) {
+    meter_.charge(config_.costs.unstable_utxo_read);
+    if (h < anchor) {
+      response.headers.push_back(stable_headers_.at(static_cast<std::size_t>(h)));
+    } else {
+      response.headers.push_back(
+          tree_.find(chain.at(static_cast<std::size_t>(h - anchor)))->header);
+    }
+  }
+  return {Status::kOk, std::move(response)};
+}
+
+namespace {
+constexpr std::uint32_t kSnapshotMagic = 0x69636263;  // "icbc"
+constexpr std::uint32_t kSnapshotVersion = 1;
+}  // namespace
+
+util::Bytes BitcoinCanister::serialize_state() const {
+  util::ByteWriter w;
+  w.u32le(kSnapshotMagic);
+  w.u32le(kSnapshotVersion);
+
+  // Header tree: root (height + prev cumulative work), then every other
+  // header in height order (parents always precede children).
+  const auto& root = tree_.root();
+  w.i32le(root.height);
+  crypto::U256 prev_work = root.cumulative_work - root.block_work;
+  w.bytes(prev_work.to_be_bytes().span());
+  root.header.serialize(w);
+  std::vector<bitcoin::BlockHeader> headers;
+  for (int h = root.height + 1; h <= tree_.max_height(); ++h) {
+    for (const auto& hash : tree_.blocks_at_height(h)) {
+      headers.push_back(tree_.find(hash)->header);
+    }
+  }
+  w.varint(headers.size());
+  for (const auto& header : headers) header.serialize(w);
+
+  w.varint(unstable_blocks_.size());
+  for (const auto& [hash, block] : unstable_blocks_) w.var_bytes(block.serialize());
+
+  w.varint(stable_headers_.size());
+  for (const auto& header : stable_headers_) header.serialize(w);
+
+  w.varint(stable_utxos_.size());
+  stable_utxos_.visit([&](const bitcoin::OutPoint& outpoint, const bitcoin::TxOut& output,
+                          int height) {
+    outpoint.serialize(w);
+    w.i64le(output.value);
+    w.var_bytes(output.script_pubkey);
+    w.i32le(height);
+  });
+
+  w.varint(pending_txs_.size());
+  for (const auto& raw : pending_txs_) w.var_bytes(raw);
+
+  return std::move(w).take();
+}
+
+BitcoinCanister BitcoinCanister::from_snapshot(const bitcoin::ChainParams& params,
+                                               CanisterConfig config, util::ByteSpan snapshot) {
+  util::ByteReader r(snapshot);
+  if (r.u32le() != kSnapshotMagic) throw util::DecodeError("snapshot: bad magic");
+  if (r.u32le() != kSnapshotVersion) throw util::DecodeError("snapshot: unsupported version");
+
+  BitcoinCanister canister(params, config);
+
+  int root_height = r.i32le();
+  crypto::U256 prev_work = crypto::U256::from_be_bytes(r.bytes(32));
+  bitcoin::BlockHeader root = bitcoin::BlockHeader::deserialize(r);
+  canister.stable_utxos_ = UtxoIndex(config.costs);  // drop the genesis seed
+  canister.tree_ = chain::HeaderTree(params, root, root_height, prev_work);
+
+  // The stored headers were fully validated before the snapshot was taken;
+  // only structural linkage matters on restore.
+  chain::ValidationOptions lax;
+  lax.check_pow = false;
+  lax.check_difficulty = false;
+  lax.check_timestamp = false;
+  std::size_t n_headers = r.checked_len(r.varint());
+  for (std::size_t i = 0; i < n_headers; ++i) {
+    bitcoin::BlockHeader header = bitcoin::BlockHeader::deserialize(r);
+    if (canister.tree_.accept(header, 0, nullptr, lax) != chain::AcceptResult::kAccepted) {
+      throw util::DecodeError("snapshot: orphan header");
+    }
+  }
+
+  std::size_t n_blocks = r.checked_len(r.varint());
+  for (std::size_t i = 0; i < n_blocks; ++i) {
+    bitcoin::Block block = bitcoin::Block::parse(r.var_bytes());
+    util::Hash256 hash = block.hash();
+    if (!canister.tree_.contains(hash)) throw util::DecodeError("snapshot: stray block");
+    canister.unstable_blocks_.emplace(hash, std::move(block));
+  }
+
+  canister.stable_headers_.clear();
+  std::size_t n_archived = r.checked_len(r.varint());
+  canister.stable_headers_.reserve(n_archived);
+  for (std::size_t i = 0; i < n_archived; ++i) {
+    canister.stable_headers_.push_back(bitcoin::BlockHeader::deserialize(r));
+  }
+
+  std::size_t n_utxos = r.checked_len(r.varint());
+  ic::InstructionMeter silent;  // restoring is not metered request work
+  for (std::size_t i = 0; i < n_utxos; ++i) {
+    bitcoin::OutPoint outpoint = bitcoin::OutPoint::deserialize(r);
+    bitcoin::TxOut output;
+    output.value = r.i64le();
+    output.script_pubkey = r.var_bytes();
+    int height = r.i32le();
+    canister.stable_utxos_.insert(outpoint, output, height, silent);
+  }
+
+  std::size_t n_pending = r.checked_len(r.varint());
+  for (std::size_t i = 0; i < n_pending; ++i) canister.pending_txs_.push_back(r.var_bytes());
+
+  if (!r.done()) throw util::DecodeError("snapshot: trailing bytes");
+  return canister;
+}
+
+std::uint64_t BitcoinCanister::memory_bytes() const {
+  std::uint64_t unstable = 0;
+  for (const auto& [hash, block] : unstable_blocks_) unstable += block.size();
+  return stable_utxos_.memory_bytes() + unstable + 81 * (stable_headers_.size() + tree_.size());
+}
+
+}  // namespace icbtc::canister

@@ -1,0 +1,208 @@
+// The Bitcoin canister (§III-C): the smart contract holding the Bitcoin
+// blockchain state on the IC.
+//
+// It stores the full UTXO set up to a difficulty-δ-stable *anchor* block
+// (δ=144 on mainnet), keeps all headers above the anchor in a tree together
+// with the corresponding unstable blocks, ingests adapter responses per
+// Algorithm 2, and serves get_utxos / get_balance / send_transaction to
+// other canisters. It refuses to answer while out of sync (τ gating).
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "adapter/adapter.h"
+#include "bitcoin/address.h"
+#include "canister/utxo_index.h"
+#include "chain/header_tree.h"
+#include "ic/metering.h"
+
+namespace icbtc::canister {
+
+struct CanisterConfig {
+  /// δ: difficulty-based stability threshold for anchor advancement
+  /// (144 on mainnet — roughly one day of blocks).
+  int stability_delta = 144;
+  /// τ: the canister replies with errors when the max header height exceeds
+  /// the max available-block height by more than this (2 in production).
+  int sync_slack = 2;
+  /// Maximum UTXOs per get_utxos page.
+  std::size_t utxos_per_page = 1000;
+  /// Blocks scanned by get_current_fee_percentiles.
+  int fee_window_blocks = 6;
+  InstructionCosts costs;
+
+  static CanisterConfig for_params(const bitcoin::ChainParams& params) {
+    CanisterConfig c;
+    c.stability_delta = params.stability_delta;
+    c.sync_slack = params.sync_slack;
+    return c;
+  }
+};
+
+enum class Status {
+  kOk,
+  kNotSynced,                 // header tree ahead of available blocks by > τ
+  kBadAddress,                // undecodable address for this network
+  kMinConfirmationsTooLarge,  // c > δ (response could be incorrect, §III-C)
+  kMalformedTransaction,      // send_transaction bytes fail syntactic checks
+  kBadPage,                   // invalid pagination token
+  kBadRange,                  // invalid height range for get_block_headers
+};
+
+const char* to_string(Status s);
+
+template <typename T>
+struct Outcome {
+  Status status = Status::kOk;
+  T value{};
+
+  bool ok() const { return status == Status::kOk; }
+};
+
+struct Utxo {
+  bitcoin::OutPoint outpoint;
+  bitcoin::Amount value = 0;
+  int height = 0;
+
+  bool operator==(const Utxo&) const = default;
+};
+
+struct GetUtxosRequest {
+  std::string address;
+  /// Number of confirmations required; 0 means "use the full current chain".
+  int min_confirmations = 0;
+  /// Page token from a previous response.
+  std::optional<util::Bytes> page;
+};
+
+struct GetUtxosResponse {
+  std::vector<Utxo> utxos;
+  util::Hash256 tip_hash;   // tip of the considered chain
+  int tip_height = 0;
+  std::optional<util::Bytes> next_page;  // set when more UTXOs remain
+};
+
+/// Per-stable-block ingestion record (drives the Fig. 6 benches).
+struct IngestStats {
+  int height = 0;
+  std::size_t transactions = 0;
+  std::size_t inputs_removed = 0;
+  std::size_t outputs_inserted = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t insert_instructions = 0;
+  std::uint64_t remove_instructions = 0;
+};
+
+class BitcoinCanister {
+ public:
+  BitcoinCanister(const bitcoin::ChainParams& params, CanisterConfig config);
+
+  const bitcoin::ChainParams& params() const { return *params_; }
+  const CanisterConfig& config() const { return config_; }
+
+  // -------- Adapter interaction (via the IC's consensus layer) ----------
+
+  /// Builds the periodic request (β*, A, T). Drains the outbound tx queue.
+  adapter::AdapterRequest make_request();
+
+  /// Algorithm 2: ingest an adapter response. `now_s` drives header
+  /// timestamp validation. Returns how many blocks/headers were accepted.
+  struct ProcessResult {
+    std::size_t blocks_stored = 0;
+    std::size_t headers_appended = 0;
+    std::size_t anchors_advanced = 0;
+  };
+  ProcessResult process_response(const adapter::AdapterResponse& response, std::int64_t now_s);
+
+  /// Sync gate (Algorithm 2 line 22): max height in T minus max height of
+  /// available blocks is at most τ.
+  bool is_synced() const;
+
+  // ----------------------------- Public API -----------------------------
+
+  Outcome<GetUtxosResponse> get_utxos(const GetUtxosRequest& request);
+  Outcome<bitcoin::Amount> get_balance(const std::string& address, int min_confirmations = 0);
+  Status send_transaction(const util::Bytes& raw_transaction);
+
+  /// Fee percentiles (in millisatoshi per vbyte) over the transactions of
+  /// the last `fee_window_blocks` blocks of the current chain, as the
+  /// production canister's get_current_fee_percentiles returns: 101 entries
+  /// for the 0th..100th percentile. Empty when no fee data is available
+  /// (e.g. only coinbase transactions).
+  Outcome<std::vector<std::uint64_t>> get_current_fee_percentiles();
+
+  /// Block headers in the given height range of the current chain (both ends
+  /// inclusive; `end_height` < 0 means "up to the tip"). Heights below the
+  /// anchor are served from the archived stable headers. Mirrors the
+  /// production canister's get_block_headers endpoint.
+  struct GetBlockHeadersResponse {
+    int tip_height = 0;
+    std::vector<bitcoin::BlockHeader> headers;
+  };
+  Outcome<GetBlockHeadersResponse> get_block_headers(int start_height, int end_height = -1);
+
+  // ------------------------- Upgrade persistence -------------------------
+
+  /// Serializes the full canister state (anchor, header tree, unstable
+  /// blocks, stable UTXO set, archived headers, pending transactions) — what
+  /// a production canister writes to stable memory across upgrades.
+  util::Bytes serialize_state() const;
+
+  /// Reconstructs a canister from a serialize_state() snapshot. Throws
+  /// util::DecodeError on malformed input.
+  static BitcoinCanister from_snapshot(const bitcoin::ChainParams& params,
+                                       CanisterConfig config, util::ByteSpan snapshot);
+
+  // ---------------------------- Introspection ---------------------------
+
+  int anchor_height() const { return tree_.root().height; }
+  util::Hash256 anchor_hash() const { return tree_.root_hash(); }
+  int tip_height() const { return tree_.best_height(); }
+  std::size_t utxo_count() const { return stable_utxos_.size(); }
+  /// Modelled memory footprint: stable UTXO store + unstable blocks + headers.
+  std::uint64_t memory_bytes() const;
+  std::size_t unstable_block_count() const { return unstable_blocks_.size(); }
+  std::size_t pending_transactions() const { return pending_txs_.size(); }
+  const chain::HeaderTree& header_tree() const { return tree_; }
+  const UtxoIndex& stable_utxos() const { return stable_utxos_; }
+  ic::InstructionMeter& meter() { return meter_; }
+  const std::vector<IngestStats>& ingest_log() const { return ingest_log_; }
+  /// Number of stable headers archived below the anchor (kept forever).
+  std::size_t archived_headers() const { return stable_headers_.size(); }
+
+ private:
+  struct UnstableView;
+
+  /// Advances the anchor while some block at anchor height + 1 is
+  /// difficulty-based δ-stable w.r.t. the anchor's work.
+  std::size_t advance_anchor();
+
+  /// Resolves an address to its scriptPubKey, or kBadAddress.
+  Outcome<util::Bytes> script_for(const std::string& address) const;
+
+  /// Height of the considered tip for `min_confirmations`, along the current
+  /// chain.
+  std::pair<util::Hash256, int> considered_tip(int min_confirmations) const;
+
+  /// Collects the address view (stable + unstable up to the considered tip).
+  /// `stable_read_cost` overrides the per-UTXO read cost (0 = default); the
+  /// balance endpoint uses the cheaper accumulate-only cost.
+  std::vector<Utxo> collect_utxos(const util::Bytes& script, int considered_height,
+                                  std::uint64_t stable_read_cost = 0);
+
+  const bitcoin::ChainParams* params_;
+  CanisterConfig config_;
+  ic::InstructionMeter meter_;
+
+  UtxoIndex stable_utxos_;
+  chain::HeaderTree tree_;  // rooted at the anchor
+  std::unordered_map<util::Hash256, bitcoin::Block> unstable_blocks_;
+  std::vector<bitcoin::BlockHeader> stable_headers_;  // archive below the anchor
+  std::deque<util::Bytes> pending_txs_;
+  std::vector<IngestStats> ingest_log_;
+};
+
+}  // namespace icbtc::canister

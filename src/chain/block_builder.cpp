@@ -1,0 +1,59 @@
+#include "chain/block_builder.h"
+
+#include <stdexcept>
+
+namespace icbtc::chain {
+
+void grind_pow(bitcoin::BlockHeader& header, const crypto::U256& pow_limit) {
+  for (std::uint64_t nonce = 0; nonce <= 0xffffffffULL; ++nonce) {
+    header.nonce = static_cast<std::uint32_t>(nonce);
+    if (bitcoin::check_proof_of_work(header.hash(), header.bits, pow_limit)) return;
+  }
+  throw std::runtime_error("grind_pow: nonce space exhausted (target too hard for simulation)");
+}
+
+bitcoin::BlockHeader build_child_header(const HeaderTree& tree, const Hash256& parent,
+                                        std::uint32_t time, const Hash256& merkle_root) {
+  const HeaderTree::Entry* p = tree.find(parent);
+  if (p == nullptr) throw std::invalid_argument("build_child_header: unknown parent");
+  bitcoin::BlockHeader h;
+  h.version = 4;
+  h.prev_hash = parent;
+  h.merkle_root = merkle_root;
+  h.time = time;
+  h.bits = tree.expected_bits(parent);
+  grind_pow(h, tree.params().pow_limit);
+  return h;
+}
+
+bitcoin::Block build_child_block(const HeaderTree& tree, const Hash256& parent,
+                                 std::uint32_t time, const util::Bytes& coinbase_script,
+                                 bitcoin::Amount subsidy,
+                                 std::vector<bitcoin::Transaction> transactions,
+                                 std::uint64_t coinbase_tag) {
+  bitcoin::Block block;
+  bitcoin::Transaction coinbase;
+  coinbase.version = 1;
+  bitcoin::TxIn in;
+  in.prevout = bitcoin::OutPoint::null();
+  // The tag makes the coinbase (and so the txid) unique per block, mirroring
+  // Bitcoin's height-in-coinbase rule (BIP 34).
+  util::ByteWriter tag;
+  tag.u64le(coinbase_tag);
+  in.script_sig = tag.data();
+  coinbase.inputs.push_back(std::move(in));
+  bitcoin::TxOut out;
+  out.value = subsidy;
+  out.script_pubkey = coinbase_script;
+  coinbase.outputs.push_back(std::move(out));
+
+  block.transactions.push_back(std::move(coinbase));
+  for (auto& tx : transactions) block.transactions.push_back(std::move(tx));
+
+  block.header = build_child_header(tree, parent, time, Hash256{});
+  block.header.merkle_root = block.compute_merkle_root();
+  grind_pow(block.header, tree.params().pow_limit);
+  return block;
+}
+
+}  // namespace icbtc::chain

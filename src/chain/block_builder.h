@@ -1,0 +1,30 @@
+// Helpers to construct valid child blocks/headers on a HeaderTree: used by
+// the simulated miners, tests, and benchmark workload generators.
+#pragma once
+
+#include <vector>
+
+#include "bitcoin/params.h"
+#include "chain/header_tree.h"
+
+namespace icbtc::chain {
+
+/// Builds a header extending `parent` in `tree` with the expected difficulty
+/// bits, the given timestamp, and a nonce ground until the proof of work is
+/// met (cheap under the simulation's pow limit).
+bitcoin::BlockHeader build_child_header(const HeaderTree& tree, const Hash256& parent,
+                                        std::uint32_t time, const Hash256& merkle_root);
+
+/// Grinds the nonce of `header` until it meets its own target.
+void grind_pow(bitcoin::BlockHeader& header, const crypto::U256& pow_limit);
+
+/// Builds a full block extending `parent`: a coinbase paying `subsidy` to the
+/// given script plus the supplied transactions, with a valid Merkle root and
+/// proof of work. `coinbase_tag` makes coinbases unique across heights.
+bitcoin::Block build_child_block(const HeaderTree& tree, const Hash256& parent,
+                                 std::uint32_t time, const util::Bytes& coinbase_script,
+                                 bitcoin::Amount subsidy,
+                                 std::vector<bitcoin::Transaction> transactions,
+                                 std::uint64_t coinbase_tag);
+
+}  // namespace icbtc::chain

@@ -1,0 +1,138 @@
+#include "contracts/btc_wallet.h"
+
+#include <algorithm>
+
+#include "bitcoin/script.h"
+#include "crypto/ripemd160.h"
+
+namespace icbtc::contracts {
+
+using canister::Outcome;
+using canister::Status;
+
+BtcWallet::BtcWallet(canister::BitcoinIntegration& integration, crypto::DerivationPath path,
+                     WalletType type)
+    : integration_(&integration), path_(std::move(path)), type_(type) {
+  auto network = integration_->canister().params().network;
+  if (type_ == WalletType::kP2pkh) {
+    public_key_ = integration_->subnet().ecdsa().public_key(path_);
+    pubkey_bytes_ = public_key_.compressed();
+    util::Hash160 key_hash = crypto::hash160(pubkey_bytes_);
+    script_pubkey_ = bitcoin::p2pkh_script(key_hash);
+    address_ = bitcoin::p2pkh_address(key_hash, network);
+  } else {
+    schnorr_key_ = integration_->subnet().schnorr().public_key(path_);
+    auto key_bytes = schnorr_key_.bytes();
+    pubkey_bytes_ = util::Bytes(key_bytes.data.begin(), key_bytes.data.end());
+    script_pubkey_ = bitcoin::p2tr_script(key_bytes);
+    address_ = bitcoin::p2tr_address(key_bytes, network);
+  }
+}
+
+Outcome<bitcoin::Amount> BtcWallet::balance(int min_confirmations) {
+  return integration_->canister().get_balance(address_, min_confirmations);
+}
+
+Outcome<std::vector<canister::Utxo>> BtcWallet::utxos(int min_confirmations) {
+  std::vector<canister::Utxo> all;
+  canister::GetUtxosRequest request;
+  request.address = address_;
+  request.min_confirmations = min_confirmations;
+  for (;;) {
+    auto outcome = integration_->canister().get_utxos(request);
+    if (!outcome.ok()) return {outcome.status, {}};
+    auto& response = outcome.value;
+    all.insert(all.end(), response.utxos.begin(), response.utxos.end());
+    if (!response.next_page) break;
+    request.page = response.next_page;
+  }
+  return {Status::kOk, std::move(all)};
+}
+
+void BtcWallet::sign_input(bitcoin::Transaction& tx, std::size_t index) {
+  ++signatures_requested_;
+  if (type_ == WalletType::kP2pkh) {
+    util::Hash256 digest = bitcoin::legacy_sighash(tx, index, script_pubkey_);
+    crypto::Signature sig = integration_->subnet().sign_with_ecdsa(digest, path_);
+    tx.inputs[index].script_sig = bitcoin::p2pkh_script_sig(sig, pubkey_bytes_);
+  } else {
+    util::Hash256 digest = bitcoin::taproot_sighash(tx, index, script_pubkey_);
+    crypto::SchnorrSignature sig = integration_->subnet().sign_with_schnorr(digest, path_);
+    tx.inputs[index].script_sig = sig.bytes();
+  }
+}
+
+SendResult BtcWallet::send(const std::vector<Payment>& payments,
+                           bitcoin::Amount fee_per_vbyte, int min_confirmations) {
+  SendResult result;
+
+  // Resolve recipients first; any bad address fails the whole payment.
+  bitcoin::Transaction tx;
+  bitcoin::Amount total_out = 0;
+  for (const auto& payment : payments) {
+    auto decoded =
+        bitcoin::decode_address(payment.to_address, integration_->canister().params().network);
+    if (!decoded || payment.amount <= 0) {
+      result.status = Status::kBadAddress;
+      return result;
+    }
+    tx.outputs.push_back(bitcoin::TxOut{payment.amount, bitcoin::script_for_address(*decoded)});
+    total_out += payment.amount;
+  }
+
+  auto available = utxos(min_confirmations);
+  if (!available.ok()) {
+    result.status = available.status;
+    return result;
+  }
+  // Largest-first selection keeps input counts (and so signing costs) low.
+  std::sort(available.value.begin(), available.value.end(),
+            [](const canister::Utxo& a, const canister::Utxo& b) { return a.value > b.value; });
+
+  // Iteratively select until inputs cover outputs + fee (fee depends on the
+  // input count, so re-estimate as we add).
+  std::size_t input_vbytes = type_ == WalletType::kP2pkh ? 148 : 100;
+  auto estimate_fee = [&](std::size_t n_inputs, std::size_t n_outputs) {
+    // ~148 vbytes per P2PKH input (~100 for taproot key-path), ~34 per
+    // output, ~10 overhead.
+    return fee_per_vbyte * static_cast<bitcoin::Amount>(input_vbytes * n_inputs +
+                                                        34 * (n_outputs + 1) + 10);
+  };
+  bitcoin::Amount selected = 0;
+  std::vector<canister::Utxo> inputs;
+  for (const auto& utxo : available.value) {
+    inputs.push_back(utxo);
+    selected += utxo.value;
+    if (selected >= total_out + estimate_fee(inputs.size(), tx.outputs.size())) break;
+  }
+  bitcoin::Amount fee = estimate_fee(inputs.size(), tx.outputs.size());
+  if (selected < total_out + fee) {
+    result.status = Status::kMalformedTransaction;  // insufficient funds
+    return result;
+  }
+
+  for (const auto& utxo : inputs) {
+    bitcoin::TxIn in;
+    in.prevout = utxo.outpoint;
+    tx.inputs.push_back(in);
+  }
+  bitcoin::Amount change = selected - total_out - fee;
+  constexpr bitcoin::Amount kDustLimit = 546;
+  if (change >= kDustLimit) {
+    tx.outputs.push_back(bitcoin::TxOut{change, script_pubkey_});
+  } else {
+    fee += change;  // dust folds into the fee
+  }
+
+  // Threshold-sign every input under this wallet's derivation path.
+  for (std::size_t i = 0; i < tx.inputs.size(); ++i) sign_input(tx, i);
+
+  result.raw_tx = tx.serialize();
+  result.status = integration_->canister().send_transaction(result.raw_tx);
+  result.txid = tx.txid();
+  result.fee = fee;
+  result.inputs_used = tx.inputs.size();
+  return result;
+}
+
+}  // namespace icbtc::contracts

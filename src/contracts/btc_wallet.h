@@ -1,0 +1,85 @@
+// A canister-held Bitcoin wallet: the capability the integration exists to
+// provide. The wallet's key is a derivation of the subnet's threshold-ECDSA
+// master key (no single party ever holds it), its address is a standard
+// P2PKH address, and spending builds a real Bitcoin transaction, signs every
+// input with sign_with_ecdsa, and submits it through the Bitcoin canister's
+// send_transaction endpoint.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "canister/integration.h"
+#include "crypto/threshold_ecdsa.h"
+
+namespace icbtc::contracts {
+
+struct Payment {
+  std::string to_address;
+  bitcoin::Amount amount = 0;
+};
+
+struct SendResult {
+  canister::Status status = canister::Status::kOk;
+  util::Hash256 txid;
+  bitcoin::Amount fee = 0;
+  std::size_t inputs_used = 0;
+  util::Bytes raw_tx;
+
+  bool ok() const { return status == canister::Status::kOk; }
+};
+
+/// The output/signature scheme a wallet uses.
+enum class WalletType {
+  kP2pkh,  // legacy outputs, threshold-ECDSA signatures
+  kP2tr,   // taproot key-path outputs, threshold-Schnorr (BIP-340) signatures
+};
+
+class BtcWallet {
+ public:
+  /// `path` isolates this wallet's key under the subnet master key — each
+  /// canister (or user of a canister) gets its own path.
+  BtcWallet(canister::BitcoinIntegration& integration, crypto::DerivationPath path,
+            WalletType type = WalletType::kP2pkh);
+
+  WalletType type() const { return type_; }
+  /// The wallet's address on the integration's network (P2PKH or P2TR).
+  const std::string& address() const { return address_; }
+  /// The ECDSA public key (P2PKH wallets only; infinity for P2TR wallets).
+  const crypto::AffinePoint& public_key() const { return public_key_; }
+
+  /// Balance as seen by the Bitcoin canister.
+  canister::Outcome<bitcoin::Amount> balance(int min_confirmations = 1);
+
+  /// All spendable UTXOs (follows pagination to exhaustion).
+  canister::Outcome<std::vector<canister::Utxo>> utxos(int min_confirmations = 1);
+
+  /// Builds, threshold-signs, and submits a payment transaction. UTXOs are
+  /// selected largest-first; change returns to this wallet. `fee_per_vbyte`
+  /// sets the fee rate (satoshi per virtual byte, estimated on the unsigned
+  /// size plus signature overhead).
+  SendResult send(const std::vector<Payment>& payments, bitcoin::Amount fee_per_vbyte = 2,
+                  int min_confirmations = 1);
+
+  /// Threshold-signs input `index` of `tx`, which must spend an output
+  /// locked by this wallet's scriptPubKey. Used by contracts that assemble
+  /// transactions across several derived wallets (e.g. the ckBTC minter).
+  void sign_input(bitcoin::Transaction& tx, std::size_t index);
+
+  const util::Bytes& script_pubkey() const { return script_pubkey_; }
+
+  std::uint64_t signatures_requested() const { return signatures_requested_; }
+
+ private:
+  canister::BitcoinIntegration* integration_;
+  crypto::DerivationPath path_;
+  WalletType type_;
+  crypto::AffinePoint public_key_;        // ECDSA key (P2PKH)
+  crypto::XOnlyPublicKey schnorr_key_{};  // x-only key (P2TR)
+  util::Bytes pubkey_bytes_;
+  util::Bytes script_pubkey_;
+  std::string address_;
+  std::uint64_t signatures_requested_ = 0;
+};
+
+}  // namespace icbtc::contracts

@@ -1,0 +1,183 @@
+#include "contracts/ckbtc_minter.h"
+
+#include <algorithm>
+
+namespace icbtc::contracts {
+
+using canister::Status;
+
+bitcoin::Amount Ledger::balance_of(const Principal& owner) const {
+  auto it = balances_.find(owner);
+  return it == balances_.end() ? 0 : it->second;
+}
+
+void Ledger::mint(const Principal& to, bitcoin::Amount amount) {
+  if (amount <= 0) throw std::invalid_argument("Ledger::mint: non-positive amount");
+  balances_[to] += amount;
+  total_supply_ += amount;
+  ++transactions_;
+}
+
+bool Ledger::burn(const Principal& from, bitcoin::Amount amount) {
+  if (amount <= 0) return false;
+  auto it = balances_.find(from);
+  if (it == balances_.end() || it->second < amount) return false;
+  it->second -= amount;
+  total_supply_ -= amount;
+  ++transactions_;
+  return true;
+}
+
+bool Ledger::transfer(const Principal& from, const Principal& to, bitcoin::Amount amount) {
+  if (amount <= 0) return false;
+  auto it = balances_.find(from);
+  if (it == balances_.end() || it->second < amount) return false;
+  it->second -= amount;
+  balances_[to] += amount;
+  ++transactions_;
+  return true;
+}
+
+CkBtcMinter::CkBtcMinter(canister::BitcoinIntegration& integration, const std::string& minter_id,
+                         int required_confirmations)
+    : integration_(&integration),
+      minter_id_(minter_id),
+      required_confirmations_(required_confirmations) {
+  if (required_confirmations < 1) {
+    throw std::invalid_argument("CkBtcMinter: need at least one confirmation");
+  }
+}
+
+CkBtcMinter::UserAccount& CkBtcMinter::account_for(const Ledger::Principal& user) {
+  auto it = accounts_.find(user);
+  if (it == accounts_.end()) {
+    crypto::DerivationPath path = {
+        util::Bytes{'c', 'k', 'b', 't', 'c'},
+        util::Bytes(minter_id_.begin(), minter_id_.end()),
+        util::Bytes(user.begin(), user.end()),
+    };
+    UserAccount account;
+    account.wallet = std::make_unique<BtcWallet>(*integration_, std::move(path));
+    account.address = account.wallet->address();
+    it = accounts_.emplace(user, std::move(account)).first;
+  }
+  return it->second;
+}
+
+const std::string& CkBtcMinter::deposit_address_for(const Ledger::Principal& user) {
+  return account_for(user).address;
+}
+
+canister::Outcome<bitcoin::Amount> CkBtcMinter::update_balance(const Ledger::Principal& user) {
+  UserAccount& account = account_for(user);
+  auto utxos = account.wallet->utxos(required_confirmations_);
+  if (!utxos.ok()) return {utxos.status, 0};
+
+  bitcoin::Amount minted = 0;
+  for (const auto& utxo : utxos.value) {
+    if (credited_.contains(utxo.outpoint)) continue;
+    credited_.insert(utxo.outpoint);
+    managed_.push_back(ManagedUtxo{utxo, user});
+    ledger_.mint(user, utxo.value);
+    minted += utxo.value;
+  }
+  return {Status::kOk, minted};
+}
+
+std::size_t CkBtcMinter::managed_utxo_count() const { return managed_.size(); }
+
+bitcoin::Amount CkBtcMinter::managed_btc() const {
+  bitcoin::Amount total = 0;
+  for (const auto& m : managed_) total += m.utxo.value;
+  return total;
+}
+
+RetrieveResult CkBtcMinter::retrieve_btc(const Ledger::Principal& user,
+                                         const std::string& btc_address,
+                                         bitcoin::Amount amount) {
+  RetrieveResult result;
+  auto decoded =
+      bitcoin::decode_address(btc_address, integration_->canister().params().network);
+  if (!decoded || amount <= 0) {
+    result.status = Status::kBadAddress;
+    return result;
+  }
+  if (ledger_.balance_of(user) < amount) {
+    result.status = Status::kMalformedTransaction;  // insufficient token balance
+    return result;
+  }
+
+  // Select pooled deposit UTXOs (largest first) to cover the amount; the
+  // Bitcoin fee comes out of the withdrawal, as in the real minter.
+  std::sort(managed_.begin(), managed_.end(), [](const ManagedUtxo& a, const ManagedUtxo& b) {
+    return a.utxo.value > b.utxo.value;
+  });
+  std::vector<ManagedUtxo> selected;
+  bitcoin::Amount selected_value = 0;
+  for (const auto& m : managed_) {
+    if (selected_value >= amount) break;
+    selected.push_back(m);
+    selected_value += m.utxo.value;
+  }
+  constexpr bitcoin::Amount kFeePerVbyte = 2;
+  auto fee_for = [&](std::size_t n_inputs) {
+    return kFeePerVbyte * static_cast<bitcoin::Amount>(148 * n_inputs + 34 * 2 + 10);
+  };
+  bitcoin::Amount fee = fee_for(selected.size());
+  if (selected_value < amount || amount <= fee) {
+    result.status = Status::kMalformedTransaction;  // pool too small / dust
+    return result;
+  }
+
+  if (!ledger_.burn(user, amount)) {
+    result.status = Status::kMalformedTransaction;
+    return result;
+  }
+
+  bitcoin::Transaction tx;
+  for (const auto& m : selected) {
+    bitcoin::TxIn in;
+    in.prevout = m.utxo.outpoint;
+    tx.inputs.push_back(in);
+  }
+  tx.outputs.push_back(bitcoin::TxOut{amount - fee, bitcoin::script_for_address(*decoded)});
+  bitcoin::Amount change = selected_value - amount;
+  constexpr bitcoin::Amount kDustLimit = 546;
+  // Change returns to the minter's pool (the first selected owner's deposit
+  // address keeps the derivation bookkeeping simple).
+  if (change >= kDustLimit) {
+    tx.outputs.push_back(
+        bitcoin::TxOut{change, account_for(selected.front().owner).wallet->script_pubkey()});
+  }
+
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    account_for(selected[i].owner).wallet->sign_input(tx, i);
+  }
+
+  util::Bytes raw = tx.serialize();
+  result.status = integration_->canister().send_transaction(raw);
+  if (result.status != Status::kOk) {
+    ledger_.mint(user, amount);  // refund the burn
+    return result;
+  }
+  result.txid = tx.txid();
+  result.amount_sent = amount - fee;
+  result.fee = fee;
+
+  // Spent UTXOs leave the pool; the change output re-enters it once it
+  // confirms and update_balance scans it (credited_ prevents re-minting
+  // because the change was never burned from the pool's accounting — mark
+  // it pre-credited).
+  std::unordered_set<bitcoin::OutPoint> spent;
+  for (const auto& m : selected) spent.insert(m.utxo.outpoint);
+  std::erase_if(managed_, [&](const ManagedUtxo& m) { return spent.contains(m.utxo.outpoint); });
+  if (change >= kDustLimit) {
+    bitcoin::OutPoint change_outpoint{result.txid, 1};
+    credited_.insert(change_outpoint);
+    managed_.push_back(
+        ManagedUtxo{canister::Utxo{change_outpoint, change, 0}, selected.front().owner});
+  }
+  return result;
+}
+
+}  // namespace icbtc::contracts

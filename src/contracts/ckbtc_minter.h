@@ -1,0 +1,95 @@
+// A chain-key Bitcoin ("ckBTC"-style) minter: the flagship application of
+// the paper's integration. Users deposit native BTC to per-user addresses
+// derived from the subnet's threshold key; once the deposit has c*
+// confirmations (§IV-A: critical actions wait for deep confirmation) the
+// minter credits a 1:1 token on a ledger. Burning tokens withdraws native
+// BTC, signed by the threshold key — no bridge, no custodian, no wrapped
+// IOU: the BTC sits on the Bitcoin chain under a key no single party holds.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "contracts/btc_wallet.h"
+
+namespace icbtc::contracts {
+
+/// A minimal fungible-token ledger canister (the ckBTC ledger).
+class Ledger {
+ public:
+  using Principal = std::string;
+
+  bitcoin::Amount balance_of(const Principal& owner) const;
+  bitcoin::Amount total_supply() const { return total_supply_; }
+
+  void mint(const Principal& to, bitcoin::Amount amount);
+  /// Returns false (and changes nothing) if the balance is insufficient.
+  bool burn(const Principal& from, bitcoin::Amount amount);
+  bool transfer(const Principal& from, const Principal& to, bitcoin::Amount amount);
+
+  std::uint64_t transactions() const { return transactions_; }
+
+ private:
+  std::unordered_map<Principal, bitcoin::Amount> balances_;
+  bitcoin::Amount total_supply_ = 0;
+  std::uint64_t transactions_ = 0;
+};
+
+struct RetrieveResult {
+  canister::Status status = canister::Status::kOk;
+  util::Hash256 txid;
+  bitcoin::Amount amount_sent = 0;  // requested amount minus the BTC fee
+  bitcoin::Amount fee = 0;
+
+  bool ok() const { return status == canister::Status::kOk; }
+};
+
+class CkBtcMinter {
+ public:
+  /// `required_confirmations` is the deposit finality bar (c*). The real
+  /// minter uses 6 on mainnet (and 12 for large amounts).
+  CkBtcMinter(canister::BitcoinIntegration& integration, const std::string& minter_id,
+              int required_confirmations = 6);
+
+  Ledger& ledger() { return ledger_; }
+
+  /// The unique BTC deposit address for `user` (derived threshold key).
+  const std::string& deposit_address_for(const Ledger::Principal& user);
+
+  /// Scans the user's deposit address for newly confirmed UTXOs and mints
+  /// the corresponding tokens. Returns the newly minted amount.
+  canister::Outcome<bitcoin::Amount> update_balance(const Ledger::Principal& user);
+
+  /// Burns `amount` of the user's tokens and sends native BTC (minus the
+  /// Bitcoin fee) to `btc_address`, spending pooled deposit UTXOs.
+  RetrieveResult retrieve_btc(const Ledger::Principal& user, const std::string& btc_address,
+                              bitcoin::Amount amount);
+
+  int required_confirmations() const { return required_confirmations_; }
+  std::size_t managed_utxo_count() const;
+  bitcoin::Amount managed_btc() const;
+
+ private:
+  struct UserAccount {
+    std::unique_ptr<BtcWallet> wallet;
+    std::string address;
+  };
+  UserAccount& account_for(const Ledger::Principal& user);
+
+  struct ManagedUtxo {
+    canister::Utxo utxo;
+    Ledger::Principal owner;  // whose deposit produced it
+  };
+
+  canister::BitcoinIntegration* integration_;
+  std::string minter_id_;
+  int required_confirmations_;
+  Ledger ledger_;
+  std::unordered_map<Ledger::Principal, UserAccount> accounts_;
+  /// Credited deposit UTXOs available for withdrawals.
+  std::vector<ManagedUtxo> managed_;
+  std::unordered_set<bitcoin::OutPoint> credited_;
+};
+
+}  // namespace icbtc::contracts

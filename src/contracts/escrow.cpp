@@ -1,0 +1,56 @@
+#include "contracts/escrow.h"
+
+namespace icbtc::contracts {
+
+const char* to_string(EscrowState s) {
+  switch (s) {
+    case EscrowState::kAwaitingDeposit: return "awaiting-deposit";
+    case EscrowState::kFunded: return "funded";
+    case EscrowState::kReleased: return "released";
+    case EscrowState::kRefunded: return "refunded";
+  }
+  return "?";
+}
+
+EscrowContract::EscrowContract(canister::BitcoinIntegration& integration,
+                               const std::string& escrow_id, std::string buyer_address,
+                               std::string seller_address, bitcoin::Amount price,
+                               int required_confirmations)
+    : integration_(&integration),
+      wallet_(integration,
+              crypto::DerivationPath{util::Bytes{'e', 's', 'c'},
+                                     util::Bytes(escrow_id.begin(), escrow_id.end())}),
+      buyer_address_(std::move(buyer_address)),
+      seller_address_(std::move(seller_address)),
+      price_(price),
+      required_confirmations_(required_confirmations) {
+  if (price <= 0) throw std::invalid_argument("EscrowContract: price must be positive");
+}
+
+EscrowState EscrowContract::refresh() {
+  if (state_ != EscrowState::kAwaitingDeposit) return state_;
+  auto balance = wallet_.balance(required_confirmations_);
+  if (balance.ok() && balance.value >= price_) state_ = EscrowState::kFunded;
+  return state_;
+}
+
+SendResult EscrowContract::pay_out(const std::string& to, EscrowState next_state) {
+  SendResult result;
+  if (state_ != EscrowState::kFunded) {
+    result.status = canister::Status::kMalformedTransaction;
+    return result;
+  }
+  // Pay the full deposit minus fees: spend everything by paying price minus a
+  // fee allowance, keeping the contract's address empty afterwards.
+  constexpr bitcoin::Amount kFeeAllowance = 2000;
+  result = wallet_.send({{to, price_ - kFeeAllowance}}, /*fee_per_vbyte=*/2,
+                        required_confirmations_);
+  if (result.ok()) state_ = next_state;
+  return result;
+}
+
+SendResult EscrowContract::release() { return pay_out(seller_address_, EscrowState::kReleased); }
+
+SendResult EscrowContract::refund() { return pay_out(buyer_address_, EscrowState::kRefunded); }
+
+}  // namespace icbtc::contracts

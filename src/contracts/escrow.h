@@ -1,0 +1,59 @@
+// A Bitcoin escrow smart contract (one of the applications motivating the
+// paper, §I): the buyer funds an escrow address held by the contract's
+// threshold key; once the deposit has the required confirmations the
+// arbiter can release the funds to the seller or refund the buyer. No party
+// ever holds the key — it exists only as threshold shares across the subnet.
+#pragma once
+
+#include <string>
+
+#include "contracts/btc_wallet.h"
+
+namespace icbtc::contracts {
+
+enum class EscrowState {
+  kAwaitingDeposit,  // balance at c* confirmations below the price
+  kFunded,           // deposit confirmed; awaiting release/refund decision
+  kReleased,         // paid out to the seller
+  kRefunded,         // returned to the buyer
+};
+
+const char* to_string(EscrowState s);
+
+class EscrowContract {
+ public:
+  /// `escrow_id` isolates this escrow's key (derivation path component);
+  /// `required_confirmations` is the c* of §IV-A — release decisions are
+  /// critical actions and wait for deep confirmation.
+  EscrowContract(canister::BitcoinIntegration& integration, const std::string& escrow_id,
+                 std::string buyer_address, std::string seller_address, bitcoin::Amount price,
+                 int required_confirmations = 6);
+
+  /// Where the buyer must deposit.
+  const std::string& deposit_address() const { return wallet_.address(); }
+  EscrowState state() const { return state_; }
+  bitcoin::Amount price() const { return price_; }
+
+  /// Re-checks the deposit (reads the Bitcoin canister). Transitions
+  /// kAwaitingDeposit -> kFunded when the confirmed balance reaches the
+  /// price. Returns the current state.
+  EscrowState refresh();
+
+  /// Releases the funds to the seller. Only valid in kFunded.
+  SendResult release();
+  /// Refunds the buyer. Only valid in kFunded.
+  SendResult refund();
+
+ private:
+  SendResult pay_out(const std::string& to, EscrowState next_state);
+
+  canister::BitcoinIntegration* integration_;
+  BtcWallet wallet_;
+  std::string buyer_address_;
+  std::string seller_address_;
+  bitcoin::Amount price_;
+  int required_confirmations_;
+  EscrowState state_ = EscrowState::kAwaitingDeposit;
+};
+
+}  // namespace icbtc::contracts

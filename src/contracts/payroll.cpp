@@ -1,0 +1,67 @@
+#include "contracts/payroll.h"
+
+namespace icbtc::contracts {
+
+PayrollContract::PayrollContract(canister::BitcoinIntegration& integration,
+                                 const std::string& payroll_id, std::vector<Employee> employees,
+                                 int min_confirmations)
+    : integration_(&integration),
+      wallet_(integration,
+              crypto::DerivationPath{util::Bytes{'p', 'a', 'y'},
+                                     util::Bytes(payroll_id.begin(), payroll_id.end())}),
+      employees_(std::move(employees)),
+      min_confirmations_(min_confirmations) {
+  if (employees_.empty()) throw std::invalid_argument("PayrollContract: no employees");
+  for (const auto& e : employees_) {
+    if (e.salary <= 0) throw std::invalid_argument("PayrollContract: non-positive salary");
+  }
+}
+
+PayrollContract::~PayrollContract() { stop_schedule(); }
+
+canister::Outcome<bitcoin::Amount> PayrollContract::treasury_balance() {
+  return wallet_.balance(min_confirmations_);
+}
+
+bitcoin::Amount PayrollContract::total_salaries() const {
+  bitcoin::Amount total = 0;
+  for (const auto& e : employees_) total += e.salary;
+  return total;
+}
+
+PaydayRecord PayrollContract::run_payday(std::uint64_t round) {
+  PaydayRecord record;
+  record.round = round;
+
+  std::vector<Payment> payments;
+  payments.reserve(employees_.size());
+  for (const auto& e : employees_) payments.push_back(Payment{e.btc_address, e.salary});
+
+  SendResult sent = wallet_.send(payments, /*fee_per_vbyte=*/2, min_confirmations_);
+  record.success = sent.ok();
+  if (sent.ok()) {
+    record.txid = sent.txid;
+    record.total_paid = total_salaries();
+    record.employees_paid = employees_.size();
+  }
+  history_.push_back(record);
+  return record;
+}
+
+void PayrollContract::start_schedule(std::uint64_t period_rounds) {
+  if (scheduled_) return;
+  if (period_rounds == 0) throw std::invalid_argument("PayrollContract: zero period");
+  scheduled_ = true;
+  heartbeat_id_ = integration_->subnet().register_heartbeat(
+      [this, period_rounds](const ic::RoundInfo& info) {
+        if (info.round % period_rounds == 0) run_payday(info.round);
+      });
+}
+
+void PayrollContract::stop_schedule() {
+  if (!scheduled_) return;
+  integration_->subnet().unregister_heartbeat(heartbeat_id_);
+  scheduled_ = false;
+}
+
+}  // namespace icbtc::contracts

@@ -1,0 +1,60 @@
+// A Bitcoin payroll smart contract (§I): holds a treasury in BTC under a
+// threshold key and pays every employee on a schedule driven by canister
+// timers — execution triggered by the platform itself, not by users, one of
+// the IC capabilities the paper highlights (§II-A).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "contracts/btc_wallet.h"
+#include "ic/subnet.h"
+
+namespace icbtc::contracts {
+
+struct Employee {
+  std::string name;
+  std::string btc_address;
+  bitcoin::Amount salary = 0;
+};
+
+struct PaydayRecord {
+  std::uint64_t round = 0;
+  util::Hash256 txid;
+  bitcoin::Amount total_paid = 0;
+  std::size_t employees_paid = 0;
+  bool success = false;
+};
+
+class PayrollContract {
+ public:
+  PayrollContract(canister::BitcoinIntegration& integration, const std::string& payroll_id,
+                  std::vector<Employee> employees, int min_confirmations = 6);
+  ~PayrollContract();
+
+  const std::string& treasury_address() const { return wallet_.address(); }
+  canister::Outcome<bitcoin::Amount> treasury_balance();
+  bitcoin::Amount total_salaries() const;
+  const std::vector<Employee>& employees() const { return employees_; }
+  const std::vector<PaydayRecord>& history() const { return history_; }
+
+  /// Runs one pay cycle immediately: one batched transaction paying every
+  /// employee. Fails (recorded in history) if the treasury cannot cover it.
+  PaydayRecord run_payday(std::uint64_t round = 0);
+
+  /// Schedules run_payday every `period_rounds` subnet rounds (canister
+  /// timer). Call stop() or destroy the contract to cancel.
+  void start_schedule(std::uint64_t period_rounds);
+  void stop_schedule();
+
+ private:
+  canister::BitcoinIntegration* integration_;
+  BtcWallet wallet_;
+  std::vector<Employee> employees_;
+  int min_confirmations_;
+  std::vector<PaydayRecord> history_;
+  std::size_t heartbeat_id_ = 0;
+  bool scheduled_ = false;
+};
+
+}  // namespace icbtc::contracts

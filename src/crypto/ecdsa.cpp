@@ -1,0 +1,185 @@
+#include "crypto/ecdsa.h"
+
+#include <cstring>
+
+#include "crypto/sha256.h"
+
+namespace icbtc::crypto {
+
+namespace {
+
+// n/2, the high-s threshold.
+const U256& half_order() {
+  static const U256 h = curve_order().shifted_right(1);
+  return h;
+}
+
+void push_be32(util::Bytes& out, const U256& v) {
+  auto b = v.to_be_bytes();
+  out.insert(out.end(), b.data.begin(), b.data.end());
+}
+
+}  // namespace
+
+util::Bytes Signature::compact() const {
+  util::Bytes out;
+  out.reserve(64);
+  push_be32(out, r);
+  push_be32(out, s);
+  return out;
+}
+
+std::optional<Signature> Signature::from_compact(util::ByteSpan data) {
+  if (data.size() != 64) return std::nullopt;
+  Signature sig;
+  sig.r = U256::from_be_bytes(data.subspan(0, 32));
+  sig.s = U256::from_be_bytes(data.subspan(32, 32));
+  return sig;
+}
+
+namespace {
+// Minimal positive DER integer encoding of a U256.
+void der_int(util::Bytes& out, const U256& v) {
+  auto be = v.to_be_bytes();
+  std::size_t start = 0;
+  while (start < 31 && be.data[start] == 0) ++start;
+  bool pad = (be.data[start] & 0x80) != 0;
+  std::size_t len = 32 - start + (pad ? 1 : 0);
+  out.push_back(0x02);
+  out.push_back(static_cast<std::uint8_t>(len));
+  if (pad) out.push_back(0x00);
+  out.insert(out.end(), be.data.begin() + static_cast<std::ptrdiff_t>(start), be.data.end());
+}
+
+std::optional<U256> parse_der_int(util::ByteSpan data, std::size_t& pos) {
+  if (pos + 2 > data.size() || data[pos] != 0x02) return std::nullopt;
+  std::size_t len = data[pos + 1];
+  pos += 2;
+  if (len == 0 || len > 33 || pos + len > data.size()) return std::nullopt;
+  util::Bytes be(32, 0);
+  std::size_t skip = 0;
+  if (len == 33) {
+    if (data[pos] != 0x00) return std::nullopt;
+    skip = 1;
+  }
+  std::memcpy(be.data() + (32 - (len - skip)), data.data() + pos + skip, len - skip);
+  pos += len;
+  return U256::from_be_bytes(be);
+}
+}  // namespace
+
+util::Bytes Signature::der() const {
+  util::Bytes body;
+  der_int(body, r);
+  der_int(body, s);
+  util::Bytes out;
+  out.reserve(body.size() + 2);
+  out.push_back(0x30);
+  out.push_back(static_cast<std::uint8_t>(body.size()));
+  util::append(out, body);
+  return out;
+}
+
+std::optional<Signature> Signature::from_der(util::ByteSpan data) {
+  if (data.size() < 8 || data[0] != 0x30 || data[1] != data.size() - 2) return std::nullopt;
+  std::size_t pos = 2;
+  auto r = parse_der_int(data, pos);
+  if (!r) return std::nullopt;
+  auto s = parse_der_int(data, pos);
+  if (!s || pos != data.size()) return std::nullopt;
+  return Signature{*r, *s};
+}
+
+PrivateKey::PrivateKey(const U256& secret) : secret_(secret) {
+  if (secret.is_zero() || secret >= curve_order()) {
+    throw std::invalid_argument("PrivateKey: secret out of range");
+  }
+}
+
+PrivateKey PrivateKey::from_seed(util::ByteSpan seed) {
+  // Hash-and-increment until the candidate lands in [1, n); overwhelmingly
+  // the first candidate works.
+  util::Bytes material(seed.begin(), seed.end());
+  material.push_back(0);
+  for (;;) {
+    util::Hash256 h = Sha256::hash(material);
+    U256 candidate = U256::from_be_bytes(h.span());
+    if (!candidate.is_zero() && candidate < curve_order()) return PrivateKey(candidate);
+    material.back()++;
+  }
+}
+
+AffinePoint PrivateKey::public_key() const { return generator_mul(secret_); }
+
+U256 rfc6979_nonce(const U256& secret, const util::Hash256& digest, std::uint32_t counter) {
+  // RFC 6979 §3.2 with HMAC-SHA256; qlen == hlen == 256 so bits2octets is a
+  // reduction mod n.
+  const ModCtx& sc = scalar_ctx();
+  auto x = secret.to_be_bytes();
+  U256 z = sc.reduce(U256::from_be_bytes(digest.span()));
+  auto h1 = z.to_be_bytes();
+
+  util::Bytes v(32, 0x01);
+  util::Bytes k(32, 0x00);
+
+  auto mac = [&](std::uint8_t sep, bool with_material) {
+    util::Bytes msg(v.begin(), v.end());
+    msg.push_back(sep);
+    if (with_material) {
+      msg.insert(msg.end(), x.data.begin(), x.data.end());
+      msg.insert(msg.end(), h1.data.begin(), h1.data.end());
+    }
+    auto out = hmac_sha256(util::ByteSpan(k.data(), k.size()), util::ByteSpan(msg.data(), msg.size()));
+    k.assign(out.data.begin(), out.data.end());
+    out = hmac_sha256(util::ByteSpan(k.data(), k.size()), util::ByteSpan(v.data(), v.size()));
+    v.assign(out.data.begin(), out.data.end());
+  };
+
+  mac(0x00, true);
+  mac(0x01, true);
+
+  std::uint32_t produced = 0;
+  for (;;) {
+    auto t = hmac_sha256(util::ByteSpan(k.data(), k.size()), util::ByteSpan(v.data(), v.size()));
+    v.assign(t.data.begin(), t.data.end());
+    U256 candidate = U256::from_be_bytes(util::ByteSpan(v.data(), v.size()));
+    if (!candidate.is_zero() && candidate < curve_order()) {
+      if (produced == counter) return candidate;
+      ++produced;
+    }
+    mac(0x00, false);
+  }
+}
+
+Signature PrivateKey::sign(const util::Hash256& digest) const {
+  const ModCtx& sc = scalar_ctx();
+  U256 z = sc.reduce(U256::from_be_bytes(digest.span()));
+  for (std::uint32_t counter = 0;; ++counter) {
+    U256 k = rfc6979_nonce(secret_, digest, counter);
+    AffinePoint rp = generator_mul(k);
+    U256 r = sc.reduce(rp.x);
+    if (r.is_zero()) continue;
+    U256 kinv = sc.inv(k);
+    U256 s = sc.mul(kinv, sc.add(z, sc.mul(r, secret_)));
+    if (s.is_zero()) continue;
+    if (s > half_order()) s = curve_order() - s;
+    return Signature{r, s};
+  }
+}
+
+bool verify(const AffinePoint& pubkey, const util::Hash256& digest, const Signature& sig) {
+  if (pubkey.infinity || !pubkey.on_curve()) return false;
+  const ModCtx& sc = scalar_ctx();
+  if (sig.r.is_zero() || sig.r >= curve_order()) return false;
+  if (sig.s.is_zero() || sig.s >= curve_order()) return false;
+  if (sig.s > half_order()) return false;  // enforce low-s
+  U256 z = sc.reduce(U256::from_be_bytes(digest.span()));
+  U256 sinv = sc.inv(sig.s);
+  U256 u1 = sc.mul(z, sinv);
+  U256 u2 = sc.mul(sig.r, sinv);
+  AffinePoint point = double_mul(u1, u2, pubkey);
+  if (point.infinity) return false;
+  return sc.reduce(point.x) == sig.r;
+}
+
+}  // namespace icbtc::crypto

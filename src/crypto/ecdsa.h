@@ -1,0 +1,52 @@
+// ECDSA over secp256k1 with RFC 6979 deterministic nonces and low-s
+// normalization (BIP-62), matching what Bitcoin expects of signatures.
+#pragma once
+
+#include <optional>
+
+#include "crypto/secp256k1.h"
+#include "util/bytes.h"
+
+namespace icbtc::crypto {
+
+struct Signature {
+  U256 r;
+  U256 s;
+
+  /// 64-byte compact encoding (r || s, big-endian).
+  util::Bytes compact() const;
+  static std::optional<Signature> from_compact(util::ByteSpan data);
+
+  /// DER encoding as used in Bitcoin scripts.
+  util::Bytes der() const;
+  static std::optional<Signature> from_der(util::ByteSpan data);
+
+  bool operator==(const Signature&) const = default;
+};
+
+class PrivateKey {
+ public:
+  /// Throws std::invalid_argument unless 0 < secret < n.
+  explicit PrivateKey(const U256& secret);
+
+  /// Derives a key from seed bytes (hashed to the scalar field).
+  static PrivateKey from_seed(util::ByteSpan seed);
+
+  const U256& secret() const { return secret_; }
+  AffinePoint public_key() const;
+
+  /// Signs a 32-byte message digest. Deterministic (RFC 6979).
+  Signature sign(const util::Hash256& digest) const;
+
+ private:
+  U256 secret_;
+};
+
+/// Verifies `sig` over `digest` under `pubkey`. Rejects high-s signatures.
+bool verify(const AffinePoint& pubkey, const util::Hash256& digest, const Signature& sig);
+
+/// RFC 6979 nonce derivation (HMAC-SHA256 variant), exposed for tests and for
+/// the threshold-signing simulation, which derives shared nonces the same way.
+U256 rfc6979_nonce(const U256& secret, const util::Hash256& digest, std::uint32_t counter = 0);
+
+}  // namespace icbtc::crypto

@@ -1,0 +1,13 @@
+// RIPEMD-160, used for Bitcoin address derivation (hash160 = RIPEMD160(SHA256(x))).
+#pragma once
+
+#include "util/bytes.h"
+
+namespace icbtc::crypto {
+
+util::Hash160 ripemd160(util::ByteSpan data);
+
+/// RIPEMD160(SHA256(data)) — the standard Bitcoin address hash.
+util::Hash160 hash160(util::ByteSpan data);
+
+}  // namespace icbtc::crypto

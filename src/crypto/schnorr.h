@@ -1,0 +1,60 @@
+// BIP-340 Schnorr signatures over secp256k1. The paper (§I) notes the IC
+// exposes threshold Schnorr alongside threshold ECDSA so canisters can use
+// taproot outputs; this module provides the signature scheme itself, and
+// threshold_schnorr.h the t-of-n service.
+#pragma once
+
+#include <optional>
+
+#include "crypto/secp256k1.h"
+#include "util/bytes.h"
+
+namespace icbtc::crypto {
+
+/// BIP-340 tagged hash: SHA256(SHA256(tag) || SHA256(tag) || data).
+util::Hash256 tagged_hash(std::string_view tag, util::ByteSpan data);
+
+/// An x-only public key (32 bytes, implicitly even Y).
+struct XOnlyPublicKey {
+  U256 x;
+
+  util::FixedBytes<32> bytes() const { return x.to_be_bytes(); }
+  static std::optional<XOnlyPublicKey> parse(util::ByteSpan data);
+
+  /// The full curve point (even Y), or nullopt if x is not on the curve.
+  std::optional<AffinePoint> lift() const;
+
+  bool operator==(const XOnlyPublicKey&) const = default;
+};
+
+/// 64-byte signature: R.x || s.
+struct SchnorrSignature {
+  U256 r;
+  U256 s;
+
+  util::Bytes bytes() const;
+  static std::optional<SchnorrSignature> parse(util::ByteSpan data);
+
+  bool operator==(const SchnorrSignature&) const = default;
+};
+
+/// Derives the x-only public key for a secret, and the possibly-negated
+/// secret d' such that d'*G has even Y (BIP-340 key preparation).
+struct SchnorrKeyPair {
+  U256 secret_even_y;  // d' with even-Y public point
+  XOnlyPublicKey pubkey;
+
+  /// Throws std::invalid_argument unless 0 < secret < n.
+  static SchnorrKeyPair from_secret(const U256& secret);
+};
+
+/// BIP-340 signing with auxiliary randomness (pass zeros for deterministic
+/// test-vector signing).
+SchnorrSignature schnorr_sign(const U256& secret, const util::Hash256& message,
+                              const util::FixedBytes<32>& aux_rand = {});
+
+/// BIP-340 verification.
+bool schnorr_verify(const XOnlyPublicKey& pubkey, const util::Hash256& message,
+                    const SchnorrSignature& sig);
+
+}  // namespace icbtc::crypto

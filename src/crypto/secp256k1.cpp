@@ -1,0 +1,207 @@
+#include "crypto/secp256k1.h"
+
+#include <vector>
+
+namespace icbtc::crypto {
+
+namespace {
+
+const U256 kP = U256::from_hex(
+    "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+const U256 kN = U256::from_hex(
+    "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
+const U256 kGx = U256::from_hex(
+    "79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798");
+const U256 kGy = U256::from_hex(
+    "483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8");
+
+}  // namespace
+
+const ModCtx& field_ctx() {
+  static const ModCtx ctx(kP);
+  return ctx;
+}
+
+const ModCtx& scalar_ctx() {
+  static const ModCtx ctx(kN);
+  return ctx;
+}
+
+const U256& curve_order() { return kN; }
+
+const AffinePoint& generator() {
+  static const AffinePoint g = AffinePoint::make(kGx, kGy);
+  return g;
+}
+
+bool AffinePoint::on_curve() const {
+  if (infinity) return true;
+  const ModCtx& f = field_ctx();
+  U256 lhs = f.sqr(y);
+  U256 rhs = f.add(f.mul(f.sqr(x), x), U256(7));
+  return lhs == rhs;
+}
+
+util::Bytes AffinePoint::compressed() const {
+  if (infinity) throw std::domain_error("cannot encode point at infinity");
+  util::Bytes out;
+  out.reserve(33);
+  out.push_back(y.is_odd() ? 0x03 : 0x02);
+  auto xb = x.to_be_bytes();
+  out.insert(out.end(), xb.data.begin(), xb.data.end());
+  return out;
+}
+
+util::Bytes AffinePoint::uncompressed() const {
+  if (infinity) throw std::domain_error("cannot encode point at infinity");
+  util::Bytes out;
+  out.reserve(65);
+  out.push_back(0x04);
+  auto xb = x.to_be_bytes();
+  auto yb = y.to_be_bytes();
+  out.insert(out.end(), xb.data.begin(), xb.data.end());
+  out.insert(out.end(), yb.data.begin(), yb.data.end());
+  return out;
+}
+
+std::optional<AffinePoint> AffinePoint::parse(util::ByteSpan data) {
+  const ModCtx& f = field_ctx();
+  if (data.size() == 33 && (data[0] == 0x02 || data[0] == 0x03)) {
+    U256 x = U256::from_be_bytes(data.subspan(1, 32));
+    if (x >= kP) return std::nullopt;
+    // y^2 = x^3 + 7; sqrt via exponentiation with (p+1)/4 (p ≡ 3 mod 4).
+    U256 rhs = f.add(f.mul(f.sqr(x), x), U256(7));
+    static const U256 kSqrtExp = (kP + U256(1)).shifted_right(2);
+    U256 y = f.pow(rhs, kSqrtExp);
+    if (f.sqr(y) != rhs) return std::nullopt;  // not a quadratic residue
+    bool want_odd = data[0] == 0x03;
+    if (y.is_odd() != want_odd) y = f.neg(y);
+    return AffinePoint::make(x, y);
+  }
+  if (data.size() == 65 && data[0] == 0x04) {
+    U256 x = U256::from_be_bytes(data.subspan(1, 32));
+    U256 y = U256::from_be_bytes(data.subspan(33, 32));
+    if (x >= kP || y >= kP) return std::nullopt;
+    AffinePoint p = AffinePoint::make(x, y);
+    if (!p.on_curve()) return std::nullopt;
+    return p;
+  }
+  return std::nullopt;
+}
+
+JacobianPoint JacobianPoint::from_affine(const AffinePoint& p) {
+  if (p.infinity) return infinity_point();
+  return JacobianPoint{p.x, p.y, U256(1)};
+}
+
+JacobianPoint JacobianPoint::doubled() const {
+  const ModCtx& f = field_ctx();
+  if (is_infinity() || y.is_zero()) return infinity_point();
+  // dbl-2009-l formulas (a = 0).
+  U256 a = f.sqr(x);
+  U256 b = f.sqr(y);
+  U256 c = f.sqr(b);
+  U256 d = f.mul(U256(2), f.sub(f.sqr(f.add(x, b)), f.add(a, c)));
+  U256 e = f.mul(U256(3), a);
+  U256 ff = f.sqr(e);
+  U256 x3 = f.sub(ff, f.mul(U256(2), d));
+  U256 y3 = f.sub(f.mul(e, f.sub(d, x3)), f.mul(U256(8), c));
+  U256 z3 = f.mul(U256(2), f.mul(y, z));
+  return JacobianPoint{x3, y3, z3};
+}
+
+JacobianPoint JacobianPoint::add(const JacobianPoint& other) const {
+  const ModCtx& f = field_ctx();
+  if (is_infinity()) return other;
+  if (other.is_infinity()) return *this;
+  // add-2007-bl formulas.
+  U256 z1z1 = f.sqr(z);
+  U256 z2z2 = f.sqr(other.z);
+  U256 u1 = f.mul(x, z2z2);
+  U256 u2 = f.mul(other.x, z1z1);
+  U256 s1 = f.mul(y, f.mul(other.z, z2z2));
+  U256 s2 = f.mul(other.y, f.mul(z, z1z1));
+  if (u1 == u2) {
+    if (s1 == s2) return doubled();
+    return infinity_point();
+  }
+  U256 h = f.sub(u2, u1);
+  U256 i = f.sqr(f.mul(U256(2), h));
+  U256 j = f.mul(h, i);
+  U256 r = f.mul(U256(2), f.sub(s2, s1));
+  U256 v = f.mul(u1, i);
+  U256 x3 = f.sub(f.sub(f.sqr(r), j), f.mul(U256(2), v));
+  U256 y3 = f.sub(f.mul(r, f.sub(v, x3)), f.mul(U256(2), f.mul(s1, j)));
+  U256 z3 = f.mul(f.sub(f.sqr(f.add(z, other.z)), f.add(z1z1, z2z2)), h);
+  return JacobianPoint{x3, y3, z3};
+}
+
+JacobianPoint JacobianPoint::add_affine(const AffinePoint& other) const {
+  if (other.infinity) return *this;
+  return add(from_affine(other));
+}
+
+AffinePoint JacobianPoint::to_affine() const {
+  if (is_infinity()) return AffinePoint{};
+  const ModCtx& f = field_ctx();
+  U256 zinv = f.inv(z);
+  U256 zinv2 = f.sqr(zinv);
+  U256 zinv3 = f.mul(zinv2, zinv);
+  return AffinePoint::make(f.mul(x, zinv2), f.mul(y, zinv3));
+}
+
+AffinePoint scalar_mul(const U256& k, const AffinePoint& p) {
+  U256 kr = scalar_ctx().reduce(k);
+  JacobianPoint acc = JacobianPoint::infinity_point();
+  JacobianPoint base = JacobianPoint::from_affine(p);
+  int bits = kr.bit_length();
+  for (int i = bits - 1; i >= 0; --i) {
+    acc = acc.doubled();
+    if (kr.bit(i)) acc = acc.add(base);
+  }
+  return acc.to_affine();
+}
+
+namespace {
+
+// Fixed-window table for G: table[w][v] = (v+1) * 16^w * G for v in [0,15).
+const std::vector<std::vector<JacobianPoint>>& generator_table() {
+  static const std::vector<std::vector<JacobianPoint>> table = [] {
+    std::vector<std::vector<JacobianPoint>> t(64);
+    JacobianPoint window_base = JacobianPoint::from_affine(generator());
+    for (int w = 0; w < 64; ++w) {
+      t[w].reserve(15);
+      JacobianPoint cur = window_base;
+      for (int v = 0; v < 15; ++v) {
+        t[w].push_back(cur);
+        cur = cur.add(window_base);
+      }
+      window_base = cur;  // 16^(w+1) * G
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+AffinePoint generator_mul(const U256& k) {
+  U256 kr = scalar_ctx().reduce(k);
+  const auto& table = generator_table();
+  JacobianPoint acc = JacobianPoint::infinity_point();
+  for (int w = 0; w < 64; ++w) {
+    unsigned nibble = static_cast<unsigned>((kr.limb[w / 16] >> (4 * (w % 16))) & 0xf);
+    if (nibble != 0) acc = acc.add(table[w][nibble - 1]);
+  }
+  return acc.to_affine();
+}
+
+AffinePoint double_mul(const U256& u1, const U256& u2, const AffinePoint& p) {
+  // Straightforward: two scalar multiplications plus one addition. Shamir's
+  // trick is unnecessary at simulation scale.
+  JacobianPoint a = JacobianPoint::from_affine(generator_mul(u1));
+  JacobianPoint b = JacobianPoint::from_affine(scalar_mul(u2, p));
+  return a.add(b).to_affine();
+}
+
+}  // namespace icbtc::crypto

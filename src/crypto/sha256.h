@@ -1,0 +1,42 @@
+// SHA-256, double-SHA-256 (Bitcoin's block/tx hash), and HMAC-SHA256.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace icbtc::crypto {
+
+using util::ByteSpan;
+using util::Bytes;
+using util::Hash256;
+
+/// Incremental SHA-256 (FIPS 180-4).
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  Sha256& update(ByteSpan data);
+  /// Finalizes and returns the 32-byte digest. The object must be reset()
+  /// before reuse.
+  Hash256 finalize();
+
+  static Hash256 hash(ByteSpan data) { return Sha256().update(data).finalize(); }
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::uint32_t state_[8];
+  std::uint8_t buffer_[64];
+  std::uint64_t total_len_ = 0;
+  std::size_t buffer_len_ = 0;
+};
+
+/// SHA-256 applied twice — Bitcoin's hash function H.
+Hash256 sha256d(ByteSpan data);
+
+/// HMAC-SHA256 (RFC 2104); used by the RFC 6979 deterministic nonce derivation.
+Hash256 hmac_sha256(ByteSpan key, ByteSpan data);
+
+}  // namespace icbtc::crypto

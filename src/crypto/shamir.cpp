@@ -1,0 +1,83 @@
+#include "crypto/shamir.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "crypto/secp256k1.h"
+
+namespace icbtc::crypto {
+
+namespace {
+U256 random_scalar(util::Rng& rng) {
+  for (;;) {
+    auto bytes = rng.next_bytes(32);
+    U256 v = U256::from_be_bytes(util::ByteSpan(bytes.data(), bytes.size()));
+    if (v < curve_order()) return v;
+  }
+}
+}  // namespace
+
+std::vector<Share> shamir_split(const U256& secret, std::uint32_t t, std::uint32_t n,
+                                util::Rng& rng) {
+  if (t == 0 || t > n) throw std::invalid_argument("shamir_split: need 1 <= t <= n");
+  const ModCtx& sc = scalar_ctx();
+  // Polynomial f(x) = secret + a1 x + ... + a_{t-1} x^{t-1}.
+  std::vector<U256> coeffs;
+  coeffs.reserve(t);
+  coeffs.push_back(sc.reduce(secret));
+  for (std::uint32_t i = 1; i < t; ++i) coeffs.push_back(random_scalar(rng));
+
+  std::vector<Share> shares;
+  shares.reserve(n);
+  for (std::uint32_t i = 1; i <= n; ++i) {
+    // Horner evaluation at x = i.
+    U256 x(i);
+    U256 acc = coeffs.back();
+    for (std::size_t j = coeffs.size() - 1; j-- > 0;) {
+      acc = sc.add(sc.mul(acc, x), coeffs[j]);
+    }
+    shares.push_back(Share{i, acc});
+  }
+  return shares;
+}
+
+U256 lagrange_coefficient_at_zero(std::uint32_t index, const std::vector<std::uint32_t>& indices) {
+  const ModCtx& sc = scalar_ctx();
+  U256 num(1);
+  U256 den(1);
+  U256 xi(index);
+  bool found = false;
+  for (auto j : indices) {
+    if (j == index) {
+      found = true;
+      continue;
+    }
+    U256 xj(j);
+    num = sc.mul(num, xj);                // Π x_j
+    den = sc.mul(den, sc.sub(xj, xi));    // Π (x_j - x_i)
+  }
+  if (!found) throw std::invalid_argument("lagrange: index not in set");
+  return sc.mul(num, sc.inv(den));
+}
+
+U256 shamir_reconstruct(const std::vector<Share>& shares) {
+  if (shares.empty()) throw std::invalid_argument("shamir_reconstruct: no shares");
+  std::vector<std::uint32_t> indices;
+  std::unordered_set<std::uint32_t> seen;
+  indices.reserve(shares.size());
+  for (const auto& s : shares) {
+    if (s.index == 0 || !seen.insert(s.index).second) {
+      throw std::invalid_argument("shamir_reconstruct: invalid or duplicate index");
+    }
+    indices.push_back(s.index);
+  }
+  const ModCtx& sc = scalar_ctx();
+  U256 secret(0);
+  for (const auto& s : shares) {
+    U256 lambda = lagrange_coefficient_at_zero(s.index, indices);
+    secret = sc.add(secret, sc.mul(lambda, s.value));
+  }
+  return secret;
+}
+
+}  // namespace icbtc::crypto

@@ -1,0 +1,32 @@
+// Shamir secret sharing over the secp256k1 scalar field, the basis of the
+// threshold-ECDSA key and nonce shares.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/u256.h"
+#include "util/rng.h"
+
+namespace icbtc::crypto {
+
+struct Share {
+  std::uint32_t index = 0;  // participant index, x-coordinate (>= 1)
+  U256 value;               // polynomial evaluation at `index`
+};
+
+/// Splits `secret` into n shares with reconstruction threshold t (any t
+/// shares reconstruct; t-1 reveal nothing). Requires 1 <= t <= n and an index
+/// space that fits the scalar field (trivially true).
+std::vector<Share> shamir_split(const U256& secret, std::uint32_t t, std::uint32_t n,
+                                util::Rng& rng);
+
+/// Reconstructs the secret from at least t shares with distinct indices.
+/// Throws std::invalid_argument on duplicate indices or an empty set.
+U256 shamir_reconstruct(const std::vector<Share>& shares);
+
+/// The Lagrange coefficient λ_i for interpolating at x = 0 from the given set
+/// of participant indices; used to recombine partial threshold signatures.
+U256 lagrange_coefficient_at_zero(std::uint32_t index, const std::vector<std::uint32_t>& indices);
+
+}  // namespace icbtc::crypto

@@ -1,0 +1,153 @@
+#include "crypto/threshold_ecdsa.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+#include "crypto/sha256.h"
+#include "util/byteio.h"
+
+namespace icbtc::crypto {
+
+namespace {
+U256 random_scalar_nonzero(util::Rng& rng) {
+  for (;;) {
+    auto bytes = rng.next_bytes(32);
+    U256 v = U256::from_be_bytes(util::ByteSpan(bytes.data(), bytes.size()));
+    if (!v.is_zero() && v < curve_order()) return v;
+  }
+}
+}  // namespace
+
+U256 derivation_tweak(const AffinePoint& master_pubkey, const DerivationPath& path) {
+  if (path.empty()) return U256(0);
+  // tweak = H("icbtc-derive" || compressed(master) || len-prefixed components)
+  // reduced mod n. Collision-resistant domain separation suffices here.
+  Sha256 h;
+  const char tag[] = "icbtc-derive";
+  h.update(util::ByteSpan(reinterpret_cast<const std::uint8_t*>(tag), sizeof(tag) - 1));
+  auto mp = master_pubkey.compressed();
+  h.update(util::ByteSpan(mp.data(), mp.size()));
+  for (const auto& component : path) {
+    util::ByteWriter w;
+    w.u32le(static_cast<std::uint32_t>(component.size()));
+    h.update(util::ByteSpan(w.data().data(), w.data().size()));
+    h.update(util::ByteSpan(component.data(), component.size()));
+  }
+  return scalar_ctx().reduce(U256::from_be_bytes(h.finalize().span()));
+}
+
+AffinePoint derive_public_key(const AffinePoint& master_pubkey, const DerivationPath& path) {
+  U256 tweak = derivation_tweak(master_pubkey, path);
+  if (tweak.is_zero()) return master_pubkey;
+  JacobianPoint p = JacobianPoint::from_affine(master_pubkey);
+  return p.add_affine(generator_mul(tweak)).to_affine();
+}
+
+ThresholdEcdsaDealer::ThresholdEcdsaDealer(std::uint32_t t, std::uint32_t n, util::Rng& rng)
+    : t_(t), n_(n) {
+  if (t == 0 || t > n) throw std::invalid_argument("ThresholdEcdsaDealer: need 1 <= t <= n");
+  master_secret_ = random_scalar_nonzero(rng);
+  master_pub_ = generator_mul(master_secret_);
+  auto shares = shamir_split(master_secret_, t, n, rng);
+  key_shares_.reserve(n);
+  for (const auto& s : shares) key_shares_.push_back(KeyShare{s.index, s.value});
+}
+
+std::pair<Presignature, std::vector<PresignatureShare>> ThresholdEcdsaDealer::deal_presignature(
+    util::Rng& rng) {
+  const ModCtx& sc = scalar_ctx();
+  for (;;) {
+    U256 k = random_scalar_nonzero(rng);
+    AffinePoint big_r = generator_mul(k);
+    U256 r = sc.reduce(big_r.x);
+    if (r.is_zero()) continue;
+    U256 kinv = sc.inv(k);
+    U256 mu = sc.mul(kinv, master_secret_);  // k^-1 * x
+    auto w_shares = shamir_split(kinv, t_, n_, rng);
+    auto mu_shares = shamir_split(mu, t_, n_, rng);
+    std::vector<PresignatureShare> shares;
+    shares.reserve(n_);
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      shares.push_back(PresignatureShare{w_shares[i].index, w_shares[i].value,
+                                         mu_shares[i].value});
+    }
+    return {Presignature{big_r, r}, std::move(shares)};
+  }
+}
+
+PartialSignature compute_partial_signature(const PresignatureShare& pre, const Presignature& pub,
+                                           const U256& tweak, const util::Hash256& digest) {
+  const ModCtx& sc = scalar_ctx();
+  U256 z = sc.reduce(U256::from_be_bytes(digest.span()));
+  // s_i = z*w_i + r*(mu_i + tweak*w_i): shares of k^-1(z + r(x + tweak)).
+  U256 mu_derived = sc.add(pre.mu_share, sc.mul(tweak, pre.w_share));
+  U256 s_share = sc.add(sc.mul(z, pre.w_share), sc.mul(pub.r, mu_derived));
+  return PartialSignature{pre.index, s_share};
+}
+
+std::optional<Signature> combine_partial_signatures(const std::vector<PartialSignature>& partials,
+                                                    const Presignature& pub,
+                                                    const AffinePoint& derived_pubkey,
+                                                    const util::Hash256& digest) {
+  if (partials.empty()) return std::nullopt;
+  std::vector<std::uint32_t> indices;
+  std::unordered_set<std::uint32_t> seen;
+  indices.reserve(partials.size());
+  for (const auto& p : partials) {
+    if (p.index == 0 || !seen.insert(p.index).second) return std::nullopt;
+    indices.push_back(p.index);
+  }
+  const ModCtx& sc = scalar_ctx();
+  U256 s(0);
+  for (const auto& p : partials) {
+    U256 lambda = lagrange_coefficient_at_zero(p.index, indices);
+    s = sc.add(s, sc.mul(lambda, p.s_share));
+  }
+  if (s.is_zero()) return std::nullopt;
+  if (s > curve_order().shifted_right(1)) s = curve_order() - s;
+  Signature sig{pub.r, s};
+  if (!verify(derived_pubkey, digest, sig)) return std::nullopt;
+  return sig;
+}
+
+ThresholdEcdsaService::ThresholdEcdsaService(std::uint32_t t, std::uint32_t n, std::uint64_t seed)
+    : rng_(seed), dealer_(t, n, rng_) {}
+
+AffinePoint ThresholdEcdsaService::public_key(const DerivationPath& path) const {
+  return derive_public_key(dealer_.master_public_key(), path);
+}
+
+Signature ThresholdEcdsaService::sign(const util::Hash256& digest, const DerivationPath& path,
+                                      const std::vector<std::uint32_t>& participants) {
+  if (participants.size() < dealer_.threshold()) {
+    throw std::invalid_argument("threshold sign: not enough participants");
+  }
+  std::unordered_set<std::uint32_t> seen;
+  for (auto i : participants) {
+    if (i == 0 || i > dealer_.num_parties() || !seen.insert(i).second) {
+      throw std::invalid_argument("threshold sign: bad participant index");
+    }
+  }
+  auto [pub, shares] = dealer_.deal_presignature(rng_);
+  ++presignatures_used_;
+  U256 tweak = derivation_tweak(dealer_.master_public_key(), path);
+  AffinePoint derived = public_key(path);
+
+  std::vector<PartialSignature> partials;
+  partials.reserve(participants.size());
+  for (auto i : participants) {
+    partials.push_back(compute_partial_signature(shares[i - 1], pub, tweak, digest));
+    if (partials.size() == dealer_.threshold()) break;
+  }
+  auto sig = combine_partial_signatures(partials, pub, derived, digest);
+  if (!sig) throw std::runtime_error("threshold sign: combination failed");
+  return *sig;
+}
+
+Signature ThresholdEcdsaService::sign(const util::Hash256& digest, const DerivationPath& path) {
+  std::vector<std::uint32_t> participants;
+  for (std::uint32_t i = 1; i <= dealer_.threshold(); ++i) participants.push_back(i);
+  return sign(digest, path, participants);
+}
+
+}  // namespace icbtc::crypto

@@ -1,0 +1,136 @@
+// Threshold-ECDSA signing service.
+//
+// The IC runs the Groth–Shoup distributed ECDSA protocol [3]: key shares are
+// dealt by a DKG, presignature "quadruples" are produced by an asynchronous
+// MPC, and any 2f+1 of 3f+1 replicas can produce a signature. Reproducing the
+// MPC is out of scope (the paper treats it as a black box); what matters to
+// the architecture is the *interface* — per-replica key shares, per-signature
+// presignatures, locally computed partial signatures, and public
+// recombination that tolerates missing or corrupt partials.
+//
+// This module reproduces exactly that structure with a trusted dealer
+// standing in for the DKG/MPC:
+//   - the master key x is Shamir-shared (degree t-1) into x_i,
+//   - a presignature deals shares w_i of k^-1 and mu_i of k^-1 * x for a
+//     fresh nonce k with R = k*G public,
+//   - replica i computes the partial signature s_i = z*w_i + r*mu_i
+//     (plus tweak*w_i for derived keys),
+//   - any t partials interpolate to s = k^-1 (z + r*x), a standard ECDSA
+//     signature verifiable under the (derived) public key.
+//
+// Derived keys use additive tweaks (BIP32-style, non-hardened): each canister
+// obtains its own Bitcoin key under the subnet master key.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/ecdsa.h"
+#include "crypto/shamir.h"
+#include "util/rng.h"
+
+namespace icbtc::crypto {
+
+/// A derivation path, as in the IC's `ecdsa_public_key`/`sign_with_ecdsa`
+/// management-canister API: arbitrary byte-string components.
+using DerivationPath = std::vector<util::Bytes>;
+
+/// Additive scalar tweak for a derivation path under a master public key.
+U256 derivation_tweak(const AffinePoint& master_pubkey, const DerivationPath& path);
+
+/// Per-replica long-term key share.
+struct KeyShare {
+  std::uint32_t index = 0;
+  U256 x_share;
+};
+
+/// Per-signature presignature material for one replica.
+struct PresignatureShare {
+  std::uint32_t index = 0;
+  U256 w_share;   // share of k^-1
+  U256 mu_share;  // share of k^-1 * x (master x)
+};
+
+/// Public part of a presignature.
+struct Presignature {
+  AffinePoint big_r;  // R = k*G
+  U256 r;             // R.x mod n
+};
+
+/// A replica's contribution to one signature.
+struct PartialSignature {
+  std::uint32_t index = 0;
+  U256 s_share;
+};
+
+/// Trusted dealer simulating DKG + quadruple generation.
+class ThresholdEcdsaDealer {
+ public:
+  /// Deals a t-of-n sharing of a fresh master key.
+  ThresholdEcdsaDealer(std::uint32_t t, std::uint32_t n, util::Rng& rng);
+
+  std::uint32_t threshold() const { return t_; }
+  std::uint32_t num_parties() const { return n_; }
+  const AffinePoint& master_public_key() const { return master_pub_; }
+  const std::vector<KeyShare>& key_shares() const { return key_shares_; }
+
+  /// Produces a fresh presignature: public (R, r) plus one share per party.
+  std::pair<Presignature, std::vector<PresignatureShare>> deal_presignature(util::Rng& rng);
+
+ private:
+  std::uint32_t t_;
+  std::uint32_t n_;
+  U256 master_secret_;
+  AffinePoint master_pub_;
+  std::vector<KeyShare> key_shares_;
+};
+
+/// Public key for a derivation path under a master key.
+AffinePoint derive_public_key(const AffinePoint& master_pubkey, const DerivationPath& path);
+
+/// Replica-local partial-signature computation. `tweak` is the derivation
+/// tweak of the signing path (0 for the master key).
+PartialSignature compute_partial_signature(const PresignatureShare& pre, const Presignature& pub,
+                                           const U256& tweak, const util::Hash256& digest);
+
+/// Combines >= t partial signatures into a full signature and verifies it
+/// against the derived public key; returns nullopt if the partials do not
+/// produce a valid signature (e.g. a Byzantine replica contributed garbage).
+std::optional<Signature> combine_partial_signatures(const std::vector<PartialSignature>& partials,
+                                                    const Presignature& pub,
+                                                    const AffinePoint& derived_pubkey,
+                                                    const util::Hash256& digest);
+
+/// Convenience façade: holds the dealer and replicas, exposes the
+/// management-canister-style API. Combines the first `t` honest partials and
+/// retries over subsets when corrupt partials are injected.
+class ThresholdEcdsaService {
+ public:
+  ThresholdEcdsaService(std::uint32_t t, std::uint32_t n, std::uint64_t seed);
+
+  AffinePoint public_key(const DerivationPath& path) const;
+
+  /// Signs with the replicas listed in `participants` (must be >= t distinct
+  /// indices). Throws std::invalid_argument on malformed participant sets.
+  Signature sign(const util::Hash256& digest, const DerivationPath& path,
+                 const std::vector<std::uint32_t>& participants);
+
+  /// Signs with the first t replicas.
+  Signature sign(const util::Hash256& digest, const DerivationPath& path);
+
+  std::uint32_t threshold() const { return dealer_.threshold(); }
+  std::uint32_t num_parties() const { return dealer_.num_parties(); }
+
+  /// Number of presignatures consumed so far (each sign() uses one, matching
+  /// the IC's quadruple consumption).
+  std::uint64_t presignatures_used() const { return presignatures_used_; }
+
+ private:
+  util::Rng rng_;
+  ThresholdEcdsaDealer dealer_;
+  std::uint64_t presignatures_used_ = 0;
+};
+
+}  // namespace icbtc::crypto

@@ -1,0 +1,164 @@
+#include "crypto/threshold_schnorr.h"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace icbtc::crypto {
+
+namespace {
+U256 random_scalar_nonzero(util::Rng& rng) {
+  for (;;) {
+    auto bytes = rng.next_bytes(32);
+    U256 v = U256::from_be_bytes(util::ByteSpan(bytes.data(), bytes.size()));
+    if (!v.is_zero() && v < curve_order()) return v;
+  }
+}
+
+U256 bip340_challenge(const U256& r_x, const XOnlyPublicKey& pubkey,
+                      const util::Hash256& message) {
+  util::Bytes input;
+  auto rb = r_x.to_be_bytes();
+  auto pb = pubkey.bytes();
+  input.insert(input.end(), rb.data.begin(), rb.data.end());
+  input.insert(input.end(), pb.data.begin(), pb.data.end());
+  input.insert(input.end(), message.data.begin(), message.data.end());
+  return scalar_ctx().reduce(
+      U256::from_be_bytes(tagged_hash("BIP0340/challenge", input).span()));
+}
+}  // namespace
+
+ThresholdSchnorrDealer::ThresholdSchnorrDealer(std::uint32_t t, std::uint32_t n, util::Rng& rng)
+    : t_(t), n_(n) {
+  if (t == 0 || t > n) throw std::invalid_argument("ThresholdSchnorrDealer: need 1 <= t <= n");
+  U256 secret = random_scalar_nonzero(rng);
+  SchnorrKeyPair pair = SchnorrKeyPair::from_secret(secret);
+  secret_even_y_ = pair.secret_even_y;
+  pubkey_ = pair.pubkey;
+  key_shares_ = shamir_split(secret_even_y_, t, n, rng);
+}
+
+std::pair<SchnorrPresignature, std::vector<Share>> ThresholdSchnorrDealer::deal_presignature(
+    util::Rng& rng) {
+  for (;;) {
+    U256 k = random_scalar_nonzero(rng);
+    AffinePoint r_point = generator_mul(k);
+    if (r_point.y.is_odd()) k = curve_order() - k;  // BIP-340: even-Y nonce
+    r_point = generator_mul(k);
+    if (r_point.x.is_zero()) continue;
+    auto shares = shamir_split(k, t_, n_, rng);
+    return {SchnorrPresignature{r_point.x}, std::move(shares)};
+  }
+}
+
+SchnorrPartialSignature compute_schnorr_partial(const Share& nonce_share, const Share& key_share,
+                                                const SchnorrPresignature& pre,
+                                                const XOnlyPublicKey& pubkey,
+                                                const util::Hash256& message) {
+  if (nonce_share.index != key_share.index) {
+    throw std::invalid_argument("compute_schnorr_partial: share index mismatch");
+  }
+  const ModCtx& sc = scalar_ctx();
+  U256 e = bip340_challenge(pre.r_x, pubkey, message);
+  return SchnorrPartialSignature{
+      nonce_share.index, sc.add(nonce_share.value, sc.mul(e, key_share.value))};
+}
+
+std::optional<SchnorrSignature> combine_schnorr_partials(
+    const std::vector<SchnorrPartialSignature>& partials, const SchnorrPresignature& pre,
+    const XOnlyPublicKey& pubkey, const util::Hash256& message) {
+  if (partials.empty()) return std::nullopt;
+  std::vector<std::uint32_t> indices;
+  std::unordered_set<std::uint32_t> seen;
+  for (const auto& p : partials) {
+    if (p.index == 0 || !seen.insert(p.index).second) return std::nullopt;
+    indices.push_back(p.index);
+  }
+  const ModCtx& sc = scalar_ctx();
+  U256 s(0);
+  for (const auto& p : partials) {
+    s = sc.add(s, sc.mul(lagrange_coefficient_at_zero(p.index, indices), p.s_share));
+  }
+  SchnorrSignature sig{pre.r_x, s};
+  if (!schnorr_verify(pubkey, message, sig)) return std::nullopt;
+  return sig;
+}
+
+U256 schnorr_derivation_tweak(const XOnlyPublicKey& master, const SchnorrDerivationPath& path) {
+  if (path.empty()) return U256(0);
+  util::Bytes input;
+  auto pb = master.bytes();
+  input.insert(input.end(), pb.data.begin(), pb.data.end());
+  for (const auto& component : path) {
+    // Length-prefixed so component boundaries are unambiguous.
+    std::uint32_t len = static_cast<std::uint32_t>(component.size());
+    for (int i = 0; i < 4; ++i) input.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+    input.insert(input.end(), component.begin(), component.end());
+  }
+  return scalar_ctx().reduce(
+      U256::from_be_bytes(tagged_hash("icbtc/schnorr-derive", input).span()));
+}
+
+ThresholdSchnorrService::ThresholdSchnorrService(std::uint32_t t, std::uint32_t n,
+                                                 std::uint64_t seed)
+    : rng_(seed), dealer_(t, n, rng_) {}
+
+ThresholdSchnorrService::Derived ThresholdSchnorrService::derive(
+    const SchnorrDerivationPath& path) const {
+  Derived out;
+  out.tweak = schnorr_derivation_tweak(dealer_.public_key(), path);
+  if (out.tweak.is_zero()) {
+    out.pubkey = dealer_.public_key();
+    return out;
+  }
+  auto base = dealer_.public_key().lift();
+  AffinePoint derived =
+      JacobianPoint::from_affine(*base).add_affine(generator_mul(out.tweak)).to_affine();
+  if (derived.infinity) throw std::runtime_error("schnorr derive: degenerate tweak");
+  out.pubkey = XOnlyPublicKey{derived.x};
+  out.negate = derived.y.is_odd();
+  return out;
+}
+
+XOnlyPublicKey ThresholdSchnorrService::public_key(const SchnorrDerivationPath& path) const {
+  return derive(path).pubkey;
+}
+
+SchnorrSignature ThresholdSchnorrService::sign(const util::Hash256& message,
+                                               const SchnorrDerivationPath& path,
+                                               const std::vector<std::uint32_t>& participants) {
+  if (participants.size() < dealer_.threshold()) {
+    throw std::invalid_argument("threshold schnorr sign: not enough participants");
+  }
+  std::unordered_set<std::uint32_t> seen;
+  for (auto i : participants) {
+    if (i == 0 || i > dealer_.num_parties() || !seen.insert(i).second) {
+      throw std::invalid_argument("threshold schnorr sign: bad participant index");
+    }
+  }
+  Derived derived = derive(path);
+  const ModCtx& sc = scalar_ctx();
+  auto [pre, nonce_shares] = dealer_.deal_presignature(rng_);
+  std::vector<SchnorrPartialSignature> partials;
+  for (auto i : participants) {
+    // Locally derived key share: ±(x_i + tweak), a valid sharing of the
+    // derived even-Y secret. The nonce share keeps its dealer-chosen parity.
+    Share key_share = dealer_.key_shares()[i - 1];
+    key_share.value = sc.add(key_share.value, derived.tweak);
+    if (derived.negate) key_share.value = sc.neg(key_share.value);
+    partials.push_back(
+        compute_schnorr_partial(nonce_shares[i - 1], key_share, pre, derived.pubkey, message));
+    if (partials.size() == dealer_.threshold()) break;
+  }
+  auto sig = combine_schnorr_partials(partials, pre, derived.pubkey, message);
+  if (!sig) throw std::runtime_error("threshold schnorr sign: combination failed");
+  return *sig;
+}
+
+SchnorrSignature ThresholdSchnorrService::sign(const util::Hash256& message,
+                                               const SchnorrDerivationPath& path) {
+  std::vector<std::uint32_t> participants;
+  for (std::uint32_t i = 1; i <= dealer_.threshold(); ++i) participants.push_back(i);
+  return sign(message, path, participants);
+}
+
+}  // namespace icbtc::crypto

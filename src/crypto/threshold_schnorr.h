@@ -1,0 +1,97 @@
+// Threshold Schnorr (BIP-340) signing service — the second protocol the IC
+// exposes to canisters (§I). Same trusted-dealer structure as the
+// threshold-ECDSA module: Shamir-shared key, per-signature shared nonce,
+// locally computed partial signatures, public recombination. Schnorr's
+// linearity makes the partials simpler: s_i = k_i + e * x_i.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/schnorr.h"
+#include "crypto/shamir.h"
+#include "util/rng.h"
+
+namespace icbtc::crypto {
+
+struct SchnorrPartialSignature {
+  std::uint32_t index = 0;
+  U256 s_share;
+};
+
+/// Public part of a Schnorr presignature: R with even Y.
+struct SchnorrPresignature {
+  U256 r_x;  // R.x — first half of the final signature
+};
+
+class ThresholdSchnorrDealer {
+ public:
+  ThresholdSchnorrDealer(std::uint32_t t, std::uint32_t n, util::Rng& rng);
+
+  std::uint32_t threshold() const { return t_; }
+  std::uint32_t num_parties() const { return n_; }
+  const XOnlyPublicKey& public_key() const { return pubkey_; }
+  const std::vector<Share>& key_shares() const { return key_shares_; }
+
+  /// Deals a fresh nonce: public R.x plus one nonce share per party. The
+  /// dealer pre-negates k so R has even Y (BIP-340 form).
+  std::pair<SchnorrPresignature, std::vector<Share>> deal_presignature(util::Rng& rng);
+
+ private:
+  std::uint32_t t_;
+  std::uint32_t n_;
+  U256 secret_even_y_;
+  XOnlyPublicKey pubkey_;
+  std::vector<Share> key_shares_;
+};
+
+/// Replica-local partial signature: s_i = k_i + e * x_i with the BIP-340
+/// challenge e for (R.x, P.x, message).
+SchnorrPartialSignature compute_schnorr_partial(const Share& nonce_share, const Share& key_share,
+                                                const SchnorrPresignature& pre,
+                                                const XOnlyPublicKey& pubkey,
+                                                const util::Hash256& message);
+
+/// Combines >= t partials into a full BIP-340 signature and verifies it.
+std::optional<SchnorrSignature> combine_schnorr_partials(
+    const std::vector<SchnorrPartialSignature>& partials, const SchnorrPresignature& pre,
+    const XOnlyPublicKey& pubkey, const util::Hash256& message);
+
+/// A derivation path, as in the management-canister API.
+using SchnorrDerivationPath = std::vector<util::Bytes>;
+
+/// Additive x-only tweak for a path under the master key.
+U256 schnorr_derivation_tweak(const XOnlyPublicKey& master, const SchnorrDerivationPath& path);
+
+/// Façade mirroring ThresholdEcdsaService, with BIP-340-style additive key
+/// derivation: each path yields an independent x-only key whose secret is
+/// ±(d + tweak), the sign chosen so the derived point has even Y. Share
+/// arithmetic is linear, so replicas derive their shares locally.
+class ThresholdSchnorrService {
+ public:
+  ThresholdSchnorrService(std::uint32_t t, std::uint32_t n, std::uint64_t seed);
+
+  XOnlyPublicKey public_key(const SchnorrDerivationPath& path = {}) const;
+
+  SchnorrSignature sign(const util::Hash256& message, const SchnorrDerivationPath& path,
+                        const std::vector<std::uint32_t>& participants);
+  SchnorrSignature sign(const util::Hash256& message, const SchnorrDerivationPath& path = {});
+
+  std::uint32_t threshold() const { return dealer_.threshold(); }
+  std::uint32_t num_parties() const { return dealer_.num_parties(); }
+
+ private:
+  /// Derived even-Y point and whether the shares must be negated.
+  struct Derived {
+    XOnlyPublicKey pubkey;
+    U256 tweak;
+    bool negate = false;
+  };
+  Derived derive(const SchnorrDerivationPath& path) const;
+
+  util::Rng rng_;
+  ThresholdSchnorrDealer dealer_;
+};
+
+}  // namespace icbtc::crypto

@@ -1,0 +1,199 @@
+#include "crypto/u256.h"
+
+namespace icbtc::crypto {
+
+U256 U256::from_be_bytes(util::ByteSpan b) {
+  if (b.size() != 32) throw std::invalid_argument("U256::from_be_bytes: need 32 bytes");
+  U256 out;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t v = 0;
+    for (int j = 0; j < 8; ++j) v = (v << 8) | b[static_cast<std::size_t>((3 - i) * 8 + j)];
+    out.limb[i] = v;
+  }
+  return out;
+}
+
+U256 U256::from_hex(std::string_view hex) {
+  std::string padded(64 - hex.size(), '0');
+  if (hex.size() > 64) throw std::invalid_argument("U256::from_hex: too long");
+  padded += hex;
+  return from_be_bytes(util::from_hex(padded));
+}
+
+util::FixedBytes<32> U256::to_be_bytes() const {
+  util::FixedBytes<32> out;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t v = limb[3 - i];
+    for (int j = 0; j < 8; ++j) out.data[static_cast<std::size_t>(i * 8 + j)] =
+        static_cast<std::uint8_t>(v >> (56 - 8 * j));
+  }
+  return out;
+}
+
+std::string U256::to_hex() const { return util::to_hex(to_be_bytes().span()); }
+
+int U256::bit_length() const {
+  for (int i = 3; i >= 0; --i) {
+    if (limb[i] != 0) return 64 * i + (64 - __builtin_clzll(limb[i]));
+  }
+  return 0;
+}
+
+std::uint64_t U256::add_with_carry(const U256& a, const U256& b, U256& out) {
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 s = static_cast<unsigned __int128>(a.limb[i]) + b.limb[i] + carry;
+    out.limb[i] = static_cast<std::uint64_t>(s);
+    carry = s >> 64;
+  }
+  return static_cast<std::uint64_t>(carry);
+}
+
+std::uint64_t U256::sub_with_borrow(const U256& a, const U256& b, U256& out) {
+  std::uint64_t borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 d = static_cast<unsigned __int128>(a.limb[i]) -
+                          static_cast<unsigned __int128>(b.limb[i]) - borrow;
+    out.limb[i] = static_cast<std::uint64_t>(d);
+    borrow = static_cast<std::uint64_t>((d >> 64) & 1);
+  }
+  return borrow;
+}
+
+U256 U256::shifted_left(unsigned n) const {
+  U256 out;
+  if (n >= 256) return out;
+  unsigned limb_shift = n / 64, bit_shift = n % 64;
+  for (int i = 3; i >= 0; --i) {
+    std::uint64_t v = 0;
+    int src = i - static_cast<int>(limb_shift);
+    if (src >= 0) v = limb[src] << bit_shift;
+    if (bit_shift != 0 && src - 1 >= 0) v |= limb[src - 1] >> (64 - bit_shift);
+    out.limb[i] = v;
+  }
+  return out;
+}
+
+U256 U256::shifted_right(unsigned n) const {
+  U256 out;
+  if (n >= 256) return out;
+  unsigned limb_shift = n / 64, bit_shift = n % 64;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t v = 0;
+    std::size_t src = i + limb_shift;
+    if (src < 4) v = limb[src] >> bit_shift;
+    if (bit_shift != 0 && src + 1 < 4) v |= limb[src + 1] << (64 - bit_shift);
+    out.limb[i] = v;
+  }
+  return out;
+}
+
+U512 mul_full(const U256& a, const U256& b) {
+  U512 out;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      unsigned __int128 cur = static_cast<unsigned __int128>(a.limb[i]) * b.limb[j] +
+                              out.limb[i + j] + carry;
+      out.limb[i + j] = static_cast<std::uint64_t>(cur);
+      carry = static_cast<std::uint64_t>(cur >> 64);
+    }
+    out.limb[i + 4] = carry;
+  }
+  return out;
+}
+
+U256 udiv(const U256& a, const U256& b) {
+  if (b.is_zero()) throw std::domain_error("udiv: division by zero");
+  if (a < b) return U256(0);
+  // Schoolbook binary long division.
+  U256 quotient;
+  U256 remainder;
+  for (int i = a.bit_length() - 1; i >= 0; --i) {
+    remainder = remainder.shifted_left(1);
+    if (a.bit(i)) remainder.limb[0] |= 1;
+    if (remainder >= b) {
+      remainder = remainder - b;
+      quotient.limb[static_cast<std::size_t>(i / 64)] |= (1ULL << (i % 64));
+    }
+  }
+  return quotient;
+}
+
+ModCtx::ModCtx(const U256& modulus) : m_(modulus) {
+  if (modulus.bit_length() < 256) {
+    throw std::invalid_argument("ModCtx: modulus must use the top bit (>= 2^255)");
+  }
+  // 2^256 mod m == (0 - m) mod 2^256 when 2^255 <= m < 2^256.
+  U256 zero;
+  U256::sub_with_borrow(zero, m_, k_);
+}
+
+U256 ModCtx::reduce(const U256& a) const {
+  U256 out = a;
+  while (out >= m_) out = out - m_;
+  return out;
+}
+
+U256 ModCtx::reduce512(const U512& a) const {
+  // Fold: value = hi * 2^256 + lo == hi * k + lo (mod m). Because k < 2^130
+  // for secp256k1's p and n, a handful of folds collapses the value below
+  // 2^256 + small, after which conditional subtraction finishes the job.
+  U256 lo = a.lo();
+  U256 hi = a.hi();
+  while (!hi.is_zero()) {
+    U512 folded = mul_full(hi, k_);
+    std::uint64_t carry = U256::add_with_carry(folded.lo(), lo, lo);
+    U256 new_hi = folded.hi();
+    if (carry) {
+      U256 one(1);
+      U256::add_with_carry(new_hi, one, new_hi);  // cannot overflow: hi*k >> 2^256
+    }
+    hi = new_hi;
+  }
+  return reduce(lo);
+}
+
+U256 ModCtx::add(const U256& a, const U256& b) const {
+  U256 r;
+  std::uint64_t carry = U256::add_with_carry(a, b, r);
+  if (carry) {
+    // r represents a+b-2^256; add k (= 2^256 mod m) to fold the carry back.
+    std::uint64_t c2 = U256::add_with_carry(r, k_, r);
+    (void)c2;  // a,b < m < 2^256 so a+b < 2m; one fold suffices
+  }
+  return reduce(r);
+}
+
+U256 ModCtx::sub(const U256& a, const U256& b) const {
+  U256 r;
+  std::uint64_t borrow = U256::sub_with_borrow(a, b, r);
+  if (borrow) U256::add_with_carry(r, m_, r);
+  return r;
+}
+
+U256 ModCtx::neg(const U256& a) const {
+  if (a.is_zero()) return a;
+  return m_ - reduce(a);
+}
+
+U256 ModCtx::mul(const U256& a, const U256& b) const { return reduce512(mul_full(a, b)); }
+
+U256 ModCtx::pow(const U256& base, const U256& exp) const {
+  U256 result(1);
+  U256 acc = reduce(base);
+  int bits = exp.bit_length();
+  for (int i = 0; i < bits; ++i) {
+    if (exp.bit(i)) result = mul(result, acc);
+    acc = mul(acc, acc);
+  }
+  return result;
+}
+
+U256 ModCtx::inv(const U256& a) const {
+  if (reduce(a).is_zero()) throw std::domain_error("ModCtx::inv: zero has no inverse");
+  U256 two(2);
+  return pow(a, m_ - two);
+}
+
+}  // namespace icbtc::crypto

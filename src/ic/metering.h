@@ -1,0 +1,53 @@
+// Instruction metering, the IC execution layer's accounting unit. The
+// paper's Figures 6 and 7 report WebAssembly instruction counts for block
+// ingestion and request handling; canister code in this simulation charges
+// the meter the way the deterministic execution layer counts instructions.
+#pragma once
+
+#include <cstdint>
+
+namespace icbtc::ic {
+
+class InstructionMeter {
+ public:
+  void charge(std::uint64_t instructions) { count_ += instructions; }
+  std::uint64_t count() const { return count_; }
+  void reset() { count_ = 0; }
+
+  /// Scoped helper: measures the instructions charged between construction
+  /// and sample().
+  class Segment {
+   public:
+    explicit Segment(const InstructionMeter& meter)
+        : meter_(&meter), start_(meter.count()) {}
+    std::uint64_t sample() const { return meter_->count() - start_; }
+
+   private:
+    const InstructionMeter* meter_;
+    std::uint64_t start_;
+  };
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+/// Cycles cost model (the IC's fee unit; 1 XDR = 1e12 cycles).
+struct CycleCostModel {
+  std::uint64_t update_base = 15'000'000;     // per replicated call (ingress + xnet)
+  std::uint64_t query_base = 0;               // queries are free on the IC
+  double per_instruction = 0.4;               // cycles per executed instruction
+  std::uint64_t per_response_byte = 25'000;   // certified response bytes
+  double usd_per_trillion_cycles = 1.33;      // 1T cycles = 1 XDR ≈ 1.33 USD
+
+  std::uint64_t update_cost_cycles(std::uint64_t instructions,
+                                   std::uint64_t response_bytes) const {
+    return update_base + static_cast<std::uint64_t>(per_instruction * static_cast<double>(instructions)) +
+           per_response_byte * response_bytes;
+  }
+
+  double cycles_to_usd(std::uint64_t cycles) const {
+    return static_cast<double>(cycles) * usd_per_trillion_cycles / 1e12;
+  }
+};
+
+}  // namespace icbtc::ic

@@ -1,0 +1,133 @@
+#include "ic/subnet.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace icbtc::ic {
+
+Subnet::Subnet(util::Simulation& sim, SubnetConfig config, std::uint64_t seed)
+    : sim_(&sim),
+      config_(config),
+      rng_(seed),
+      ecdsa_(config.threshold(), config.num_nodes, seed ^ 0xecd5a5eedULL),
+      schnorr_(config.threshold(), config.num_nodes, seed ^ 0x5c40044bb1ULL) {
+  if (config_.num_nodes == 0) throw std::invalid_argument("Subnet: need nodes");
+  if (config_.num_byzantine >= config_.num_nodes) {
+    throw std::invalid_argument("Subnet: too many byzantine nodes");
+  }
+  byzantine_.assign(config_.num_nodes, false);
+  // Corrupt a uniformly random subset (positions do not matter but this way
+  // node index carries no meaning).
+  auto corrupted = rng_.sample_indices(config_.num_nodes, config_.num_byzantine);
+  for (auto i : corrupted) byzantine_[i] = true;
+  block_maker_ = static_cast<std::uint32_t>(rng_.next_below(config_.num_nodes));
+}
+
+bool Subnet::node_is_byzantine(std::uint32_t node) const {
+  return node < byzantine_.size() && byzantine_[node];
+}
+
+void Subnet::start() {
+  if (running_) return;
+  running_ = true;
+  schedule_next_round();
+}
+
+void Subnet::stop() {
+  running_ = false;
+  sim_->cancel(pending_);
+  pending_ = {};
+}
+
+void Subnet::schedule_next_round() {
+  double jitter = 1.0 + config_.round_jitter * (2.0 * rng_.next_double() - 1.0);
+  auto delay = static_cast<util::SimTime>(static_cast<double>(config_.round_interval) * jitter);
+  pending_ = sim_->schedule(delay, [this] { run_round(); });
+}
+
+void Subnet::run_round() {
+  if (!running_) return;
+  ++round_;
+  // The IC's random beacon makes the block maker unpredictable; model it as
+  // a fresh uniform draw each round.
+  block_maker_ = static_cast<std::uint32_t>(rng_.next_below(config_.num_nodes));
+  if (node_is_byzantine(block_maker_)) ++byzantine_maker_rounds_;
+
+  RoundInfo info;
+  info.round = round_;
+  info.block_maker = block_maker_;
+  info.block_maker_byzantine = node_is_byzantine(block_maker_);
+  info.time = sim_->now();
+  // Copy: heartbeats may register/unregister during iteration.
+  auto callbacks = heartbeats_;
+  for (auto& [id, fn] : callbacks) fn(info);
+  schedule_next_round();
+}
+
+std::size_t Subnet::register_heartbeat(std::function<void(const RoundInfo&)> fn) {
+  std::size_t id = next_heartbeat_id_++;
+  heartbeats_.emplace_back(id, std::move(fn));
+  return id;
+}
+
+void Subnet::unregister_heartbeat(std::size_t id) {
+  std::erase_if(heartbeats_, [id](const auto& entry) { return entry.first == id; });
+}
+
+util::SimTime Subnet::sample_update_latency(std::uint64_t instructions) {
+  // Consensus-dominated: base (ingress + cross-subnet routing) plus a few
+  // rounds, plus a long-tailed component; execution time itself is minor but
+  // large responses add certification work.
+  double rounds = static_cast<double>(config_.update_rounds) *
+                  static_cast<double>(config_.round_interval);
+  double exec_ns = config_.ns_per_instruction * static_cast<double>(instructions);
+  double base = static_cast<double>(config_.update_base_latency) + rounds +
+                exec_ns / 1000.0;  // ns -> us
+  // Long tail: exponential surcharge (retries, queueing, xnet batching).
+  double tail = rng_.next_exponential(config_.update_latency_jitter * base);
+  return static_cast<util::SimTime>(base + tail);
+}
+
+util::SimTime Subnet::sample_query_latency(std::uint64_t instructions) {
+  double exec_ns = config_.ns_per_instruction * static_cast<double>(instructions);
+  double base = static_cast<double>(config_.query_base_latency) + exec_ns / 1000.0;
+  double jitter = rng_.next_exponential(0.25 * base);
+  return static_cast<util::SimTime>(base + jitter);
+}
+
+util::SimTime Subnet::sample_signing_latency() {
+  // Threshold signing needs additional consensus rounds to agree on the
+  // presignature and deliver shares.
+  double base = 2.0 * static_cast<double>(config_.round_interval);
+  double tail = rng_.next_exponential(0.5 * base);
+  return static_cast<util::SimTime>(base + tail);
+}
+
+crypto::SchnorrSignature Subnet::sign_with_schnorr(const util::Hash256& message,
+                                                   const crypto::SchnorrDerivationPath& path) {
+  std::vector<std::uint32_t> participants;
+  for (std::uint32_t i = 0; i < config_.num_nodes && participants.size() < config_.threshold();
+       ++i) {
+    if (!byzantine_[i]) participants.push_back(i + 1);
+  }
+  if (participants.size() < config_.threshold()) {
+    throw std::runtime_error("sign_with_schnorr: not enough honest replicas");
+  }
+  return schnorr_.sign(message, path, participants);
+}
+
+crypto::Signature Subnet::sign_with_ecdsa(const util::Hash256& digest,
+                                          const crypto::DerivationPath& path) {
+  // Honest replicas suffice: 2f+1 <= number of honest nodes.
+  std::vector<std::uint32_t> participants;
+  for (std::uint32_t i = 0; i < config_.num_nodes && participants.size() < config_.threshold();
+       ++i) {
+    if (!byzantine_[i]) participants.push_back(i + 1);  // tECDSA indices are 1-based
+  }
+  if (participants.size() < config_.threshold()) {
+    throw std::runtime_error("sign_with_ecdsa: not enough honest replicas");
+  }
+  return ecdsa_.sign(digest, path, participants);
+}
+
+}  // namespace icbtc::ic

@@ -1,0 +1,123 @@
+// Simulated Internet Computer subnet: blockchain-based state machine
+// replication with rotating, unpredictable block makers and deterministic
+// finalization (§II-A). Because execution is deterministic, honest replicas
+// hold identical canister state, so the simulation executes canisters once
+// per subnet while modelling the *consensus-visible* behaviour per replica:
+// which node makes each block (Byzantine makers can pick the payload, the
+// crux of Lemma IV.3), round timing, and latency/cost of calls.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "crypto/threshold_ecdsa.h"
+#include "crypto/threshold_schnorr.h"
+#include "ic/metering.h"
+#include "util/rng.h"
+#include "util/sim.h"
+
+namespace icbtc::ic {
+
+struct SubnetConfig {
+  std::uint32_t num_nodes = 13;      // n = 3f+1
+  std::uint32_t num_byzantine = 0;   // actually corrupted nodes (< n/3 assumed)
+  util::SimTime round_interval = util::kSecond;
+  double round_jitter = 0.15;  // fractional jitter on round duration
+
+  // Replicated (update) call latency components, calibrated to the paper's
+  // mainnet measurements (min ~7s, mean <10s, p90 ~18s for cross-subnet
+  // calls to the Bitcoin canister).
+  util::SimTime update_base_latency = 4 * util::kSecond;   // ingress + xnet routing
+  std::uint32_t update_rounds = 3;                          // induction..certification
+  double update_latency_jitter = 0.6;                       // long-tailed share
+
+  // Query latency: single-replica execution, no consensus.
+  util::SimTime query_base_latency = 120 * util::kMillisecond;  // network + scheduling
+  /// Simulated per-instruction execution time (ns) — drives the response-size
+  /// dependence in Fig. 7.
+  double ns_per_instruction = 1.2;
+
+  CycleCostModel cost_model;
+
+  std::uint32_t max_faulty() const { return (num_nodes - 1) / 3; }
+  /// Threshold for tECDSA and certification: 2f+1.
+  std::uint32_t threshold() const { return 2 * max_faulty() + 1; }
+};
+
+/// Per-round information passed to canister heartbeats.
+struct RoundInfo {
+  std::uint64_t round = 0;
+  std::uint32_t block_maker = 0;
+  bool block_maker_byzantine = false;
+  util::SimTime time = 0;
+};
+
+class Subnet {
+ public:
+  Subnet(util::Simulation& sim, SubnetConfig config, std::uint64_t seed);
+
+  const SubnetConfig& config() const { return config_; }
+  util::Simulation& sim() { return *sim_; }
+
+  /// Starts the round loop.
+  void start();
+  void stop();
+
+  std::uint64_t round() const { return round_; }
+  std::uint32_t current_block_maker() const { return block_maker_; }
+  bool node_is_byzantine(std::uint32_t node) const;
+  bool current_maker_is_byzantine() const { return node_is_byzantine(block_maker_); }
+
+  /// Registers a per-round callback (canister heartbeats / timers). Returns
+  /// an id usable with unregister_heartbeat.
+  std::size_t register_heartbeat(std::function<void(const RoundInfo&)> fn);
+  void unregister_heartbeat(std::size_t id);
+
+  /// Latency samples for the two call flavours. Instructions influence query
+  /// latency directly (single replica executes synchronously); update
+  /// latency is dominated by consensus rounds.
+  util::SimTime sample_update_latency(std::uint64_t instructions);
+  util::SimTime sample_query_latency(std::uint64_t instructions);
+
+  /// The subnet's threshold-ECDSA service (t = 2f+1 of n), as exposed to
+  /// canisters through the management canister API.
+  crypto::ThresholdEcdsaService& ecdsa() { return ecdsa_; }
+
+  /// Signs with a quorum of honest replicas; models the extra consensus
+  /// latency of the signing protocol via `sample_signing_latency`.
+  crypto::Signature sign_with_ecdsa(const util::Hash256& digest,
+                                    const crypto::DerivationPath& path);
+  util::SimTime sample_signing_latency();
+
+  /// The subnet's threshold-Schnorr service (BIP-340), the second signing
+  /// protocol canisters can use (for taproot outputs).
+  crypto::ThresholdSchnorrService& schnorr() { return schnorr_; }
+  crypto::SchnorrSignature sign_with_schnorr(const util::Hash256& message,
+                                             const crypto::SchnorrDerivationPath& path);
+
+  /// Number of rounds in which a Byzantine node was block maker.
+  std::uint64_t byzantine_maker_rounds() const { return byzantine_maker_rounds_; }
+
+ private:
+  void run_round();
+  void schedule_next_round();
+
+  util::Simulation* sim_;
+  SubnetConfig config_;
+  util::Rng rng_;
+  crypto::ThresholdEcdsaService ecdsa_;
+  crypto::ThresholdSchnorrService schnorr_;
+
+  std::uint64_t round_ = 0;
+  std::uint32_t block_maker_ = 0;
+  std::vector<bool> byzantine_;
+  bool running_ = false;
+  util::EventHandle pending_{};
+  std::uint64_t byzantine_maker_rounds_ = 0;
+
+  std::vector<std::pair<std::size_t, std::function<void(const RoundInfo&)>>> heartbeats_;
+  std::size_t next_heartbeat_id_ = 1;
+};
+
+}  // namespace icbtc::ic

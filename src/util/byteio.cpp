@@ -1,0 +1,37 @@
+#include "util/byteio.h"
+
+namespace icbtc::util {
+
+void ByteWriter::varint(std::uint64_t v) {
+  if (v < 0xfd) {
+    u8(static_cast<std::uint8_t>(v));
+  } else if (v <= 0xffff) {
+    u8(0xfd);
+    u16le(static_cast<std::uint16_t>(v));
+  } else if (v <= 0xffffffffULL) {
+    u8(0xfe);
+    u32le(static_cast<std::uint32_t>(v));
+  } else {
+    u8(0xff);
+    u64le(v);
+  }
+}
+
+std::uint64_t ByteReader::varint() {
+  std::uint8_t tag = u8();
+  std::uint64_t v;
+  if (tag < 0xfd) return tag;
+  if (tag == 0xfd) {
+    v = u16le();
+    if (v < 0xfd) throw DecodeError("non-canonical varint");
+  } else if (tag == 0xfe) {
+    v = u32le();
+    if (v <= 0xffff) throw DecodeError("non-canonical varint");
+  } else {
+    v = u64le();
+    if (v <= 0xffffffffULL) throw DecodeError("non-canonical varint");
+  }
+  return v;
+}
+
+}  // namespace icbtc::util

@@ -1,0 +1,56 @@
+#include "util/bytes.h"
+
+#include <stdexcept>
+
+namespace icbtc::util {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(ByteSpan data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (auto b : data) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0x0f]);
+  }
+  return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+  if (hex.size() % 2 != 0) throw std::invalid_argument("from_hex: odd length");
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    int hi = hex_value(hex[i]);
+    int lo = hex_value(hex[i + 1]);
+    if (hi < 0 || lo < 0) throw std::invalid_argument("from_hex: bad digit");
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+void append(Bytes& dst, ByteSpan src) { dst.insert(dst.end(), src.begin(), src.end()); }
+
+bool equal(ByteSpan a, ByteSpan b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+std::string Hash256::rpc_hex() const {
+  std::array<std::uint8_t, 32> rev;
+  for (std::size_t i = 0; i < 32; ++i) rev[i] = data[31 - i];
+  return to_hex(ByteSpan(rev.data(), rev.size()));
+}
+
+}  // namespace icbtc::util

@@ -1,0 +1,111 @@
+// Byte-buffer primitives and hex encoding shared by every module.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace icbtc::util {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+
+/// Encodes `data` as a lowercase hex string.
+std::string to_hex(ByteSpan data);
+
+/// Decodes a hex string (upper or lower case). Throws std::invalid_argument
+/// on odd length or non-hex characters.
+Bytes from_hex(std::string_view hex);
+
+/// Appends `src` to `dst`.
+void append(Bytes& dst, ByteSpan src);
+
+/// Constant-time-ish equality (not security critical in the simulation, but
+/// keeps call sites tidy).
+bool equal(ByteSpan a, ByteSpan b);
+
+/// A fixed-size byte array with value semantics, ordering, and hashing; used
+/// for hashes (32 bytes), addresses, etc.
+template <std::size_t N>
+struct FixedBytes {
+  std::array<std::uint8_t, N> data{};
+
+  constexpr FixedBytes() = default;
+
+  static FixedBytes from_span(ByteSpan s) {
+    if (s.size() != N) throw std::invalid_argument("FixedBytes: bad length");
+    FixedBytes out;
+    for (std::size_t i = 0; i < N; ++i) out.data[i] = s[i];
+    return out;
+  }
+
+  static FixedBytes from_hex_str(std::string_view hex) {
+    return from_span(from_hex(hex));
+  }
+
+  ByteSpan span() const { return ByteSpan(data.data(), N); }
+  std::string hex() const { return to_hex(span()); }
+  bool is_zero() const {
+    for (auto b : data)
+      if (b != 0) return false;
+    return true;
+  }
+
+  auto operator<=>(const FixedBytes&) const = default;
+};
+
+/// 256-bit hash/id in internal (little-endian-number) byte order, as Bitcoin
+/// stores hashes. Displayed in the conventional reversed (big-endian) order
+/// via `rpc_hex`.
+struct Hash256 : FixedBytes<32> {
+  static Hash256 from_span(ByteSpan s) {
+    Hash256 h;
+    h.data = FixedBytes<32>::from_span(s).data;
+    return h;
+  }
+  /// Hex in RPC/display order (byte-reversed), as block explorers show it.
+  std::string rpc_hex() const;
+};
+
+struct Hash160 : FixedBytes<20> {
+  static Hash160 from_span(ByteSpan s) {
+    Hash160 h;
+    h.data = FixedBytes<20>::from_span(s).data;
+    return h;
+  }
+};
+
+}  // namespace icbtc::util
+
+namespace std {
+template <size_t N>
+struct hash<icbtc::util::FixedBytes<N>> {
+  size_t operator()(const icbtc::util::FixedBytes<N>& v) const noexcept {
+    // FNV-1a over the bytes; the inputs are themselves cryptographic hashes
+    // in practice, so quality is ample.
+    size_t h = 1469598103934665603ULL;
+    for (auto b : v.data) {
+      h ^= b;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+template <>
+struct hash<icbtc::util::Hash256> {
+  size_t operator()(const icbtc::util::Hash256& v) const noexcept {
+    return hash<icbtc::util::FixedBytes<32>>{}(v);
+  }
+};
+template <>
+struct hash<icbtc::util::Hash160> {
+  size_t operator()(const icbtc::util::Hash160& v) const noexcept {
+    return hash<icbtc::util::FixedBytes<20>>{}(v);
+  }
+};
+}  // namespace std

@@ -1,0 +1,43 @@
+// Minimal leveled logger. Disabled by default so tests and benches stay
+// quiet; flip the level for debugging simulation runs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace icbtc::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& component, const std::string& msg);
+
+template <typename... Args>
+std::string format(const char* fmt, Args&&... args) {
+  int n = std::snprintf(nullptr, 0, fmt, args...);
+  if (n <= 0) return fmt;
+  std::string out(static_cast<std::size_t>(n), '\0');
+  std::snprintf(out.data(), out.size() + 1, fmt, args...);
+  return out;
+}
+inline std::string format(const char* fmt) { return fmt; }
+}  // namespace detail
+
+template <typename... Args>
+void log(LogLevel level, const std::string& component, const char* fmt, Args&&... args) {
+  if (level < log_level()) return;
+  detail::log_line(level, component, detail::format(fmt, std::forward<Args>(args)...));
+}
+
+#define ICBTC_LOG_DEBUG(component, ...) \
+  ::icbtc::util::log(::icbtc::util::LogLevel::kDebug, (component), __VA_ARGS__)
+#define ICBTC_LOG_INFO(component, ...) \
+  ::icbtc::util::log(::icbtc::util::LogLevel::kInfo, (component), __VA_ARGS__)
+#define ICBTC_LOG_WARN(component, ...) \
+  ::icbtc::util::log(::icbtc::util::LogLevel::kWarn, (component), __VA_ARGS__)
+
+}  // namespace icbtc::util

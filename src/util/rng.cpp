@@ -1,0 +1,115 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace icbtc::util {
+
+namespace {
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::next_below: zero bound");
+  // Lemire's nearly-divisionless method with rejection for exact uniformity.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  std::uint64_t l = static_cast<std::uint64_t>(m);
+  if (l < bound) {
+    std::uint64_t threshold = -bound % bound;
+    while (l < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      l = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t Rng::next_range(std::uint64_t lo, std::uint64_t hi) {
+  if (lo > hi) throw std::invalid_argument("Rng::next_range: lo > hi");
+  if (lo == 0 && hi == max()) return next();
+  return lo + next_below(hi - lo + 1);
+}
+
+double Rng::next_double() {
+  // 53 random mantissa bits.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::next_exponential(double mean) {
+  if (mean <= 0) throw std::invalid_argument("Rng::next_exponential: non-positive mean");
+  double u;
+  do {
+    u = next_double();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+Bytes Rng::next_bytes(std::size_t n) {
+  Bytes out(n);
+  std::size_t i = 0;
+  while (i + 8 <= n) {
+    std::uint64_t v = next();
+    for (int k = 0; k < 8; ++k) out[i + k] = static_cast<std::uint8_t>(v >> (8 * k));
+    i += 8;
+  }
+  if (i < n) {
+    std::uint64_t v = next();
+    for (; i < n; ++i) {
+      out[i] = static_cast<std::uint8_t>(v);
+      v >>= 8;
+    }
+  }
+  return out;
+}
+
+Hash256 Rng::next_hash() {
+  Hash256 h;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t v = next();
+    for (int k = 0; k < 8; ++k) h.data[i * 8 + k] = static_cast<std::uint8_t>(v >> (8 * k));
+  }
+  return h;
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  if (k > n) throw std::invalid_argument("Rng::sample_indices: k > n");
+  // Partial Fisher–Yates over an index vector.
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  for (std::size_t i = 0; i < k; ++i) {
+    std::size_t j = i + static_cast<std::size_t>(next_below(n - i));
+    std::swap(idx[i], idx[j]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+Rng Rng::fork() { return Rng(next()); }
+
+}  // namespace icbtc::util

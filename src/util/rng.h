@@ -1,0 +1,73 @@
+// Deterministic random-number generation for reproducible simulation runs.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "util/bytes.h"
+
+namespace icbtc::util {
+
+/// xoshiro256** seeded via splitmix64 — fast, high quality, and fully
+/// deterministic given a seed. Satisfies UniformRandomBitGenerator so it can
+/// drive <random> distributions, but the helpers below are preferred because
+/// their output is identical across standard libraries.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform integer in [0, bound) using Lemire's method. bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t next_range(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return next_double() < p; }
+
+  /// Exponentially distributed value with the given mean (for Poisson-process
+  /// inter-arrival times such as Bitcoin block intervals).
+  double next_exponential(double mean);
+
+  /// n uniformly random bytes.
+  Bytes next_bytes(std::size_t n);
+
+  Hash256 next_hash();
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) uniformly. k must be <= n.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Derives an independent child generator; used to give each simulated
+  /// process its own stream so event ordering does not perturb randomness.
+  Rng fork();
+
+ private:
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace icbtc::util

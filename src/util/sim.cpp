@@ -1,0 +1,77 @@
+#include "util/sim.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace icbtc::util {
+
+EventHandle Simulation::schedule(SimTime delay, std::function<void()> fn) {
+  return schedule_at(now_ + std::max<SimTime>(delay, 0), std::move(fn));
+}
+
+EventHandle Simulation::schedule_at(SimTime when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  std::uint64_t id = next_seq_++;
+  queue_.push(Event{when, id, std::move(fn)});
+  return EventHandle{id};
+}
+
+void Simulation::cancel(EventHandle h) {
+  if (h.valid()) cancelled_.push_back(h.id);
+}
+
+bool Simulation::step() {
+  while (!queue_.empty()) {
+    // const_cast to move the closure out; the element is popped immediately.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), ev.seq);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    now_ = ev.when;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulation::run_until(SimTime until) {
+  std::size_t n = 0;
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    bool is_cancelled =
+        std::find(cancelled_.begin(), cancelled_.end(), top.seq) != cancelled_.end();
+    if (!is_cancelled && top.when > until) break;
+    if (step()) ++n;
+  }
+  if (now_ < until) now_ = until;
+  return n;
+}
+
+std::size_t Simulation::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+std::string format_time(SimTime t) {
+  std::int64_t us = t % 1000000;
+  std::int64_t total_s = t / 1000000;
+  std::int64_t s = total_s % 60;
+  std::int64_t m = (total_s / 60) % 60;
+  std::int64_t h = (total_s / 3600) % 24;
+  std::int64_t d = total_s / 86400;
+  char buf[64];
+  if (d > 0) {
+    std::snprintf(buf, sizeof(buf), "%lldd %02lld:%02lld:%02lld.%03lld", (long long)d,
+                  (long long)h, (long long)m, (long long)s, (long long)(us / 1000));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%02lld:%02lld:%02lld.%03lld", (long long)h, (long long)m,
+                  (long long)s, (long long)(us / 1000));
+  }
+  return buf;
+}
+
+}  // namespace icbtc::util

@@ -1,0 +1,83 @@
+// Deterministic discrete-event simulation core.
+//
+// Every simulated component (Bitcoin nodes, miners, IC replicas, adapters)
+// schedules callbacks on a shared Simulation. Events fire in (time, sequence)
+// order, so two runs with the same seed are bit-for-bit identical.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace icbtc::util {
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = std::int64_t;
+
+constexpr SimTime kMicrosecond = 1;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+constexpr SimTime kDay = 24 * kHour;
+
+/// Handle used to cancel a scheduled event.
+struct EventHandle {
+  std::uint64_t id = 0;
+  bool valid() const { return id != 0; }
+};
+
+class Simulation {
+ public:
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at now() + delay. delay < 0 is clamped to 0.
+  EventHandle schedule(SimTime delay, std::function<void()> fn);
+
+  /// Schedules `fn` at an absolute time (>= now()).
+  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Cancels a pending event. Safe on already-fired or invalid handles.
+  void cancel(EventHandle h);
+
+  /// Runs until the event queue drains or `until` is passed. Returns the
+  /// number of events executed.
+  std::size_t run_until(SimTime until);
+
+  /// Runs until the queue drains or `max_events` events have executed.
+  std::size_t run(std::size_t max_events = SIZE_MAX);
+
+  bool empty() const { return queue_.size() == cancelled_.size(); }
+  std::size_t pending() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& o) const {
+      return when != o.when ? when > o.when : seq > o.seq;
+    }
+  };
+
+  bool step();  // executes the next event; false if queue empty
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // Cancellation is recorded by sequence id; cancelled events are skipped on
+  // pop. Cheap relative to a mutable heap and keeps determinism trivial.
+  std::vector<std::uint64_t> cancelled_;
+};
+
+/// Formats a SimTime as "1d 02:03:04.005" for logs and reports.
+std::string format_time(SimTime t);
+
+}  // namespace icbtc::util

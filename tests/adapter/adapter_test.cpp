@@ -1,0 +1,283 @@
+#include "adapter/adapter.h"
+
+#include <gtest/gtest.h>
+
+#include "btcnet/harness.h"
+
+namespace icbtc::adapter {
+namespace {
+
+using btcnet::BitcoinNetworkConfig;
+using btcnet::BitcoinNetworkHarness;
+using util::Hash256;
+
+class AdapterTest : public ::testing::Test {
+ protected:
+  AdapterTest() {
+    BitcoinNetworkConfig config;
+    config.num_nodes = 10;
+    config.connections_per_node = 3;
+    config.num_dns_seeds = 2;
+    config.num_miners = 2;
+    config.ipv6_fraction = 1.0;  // all reachable for most tests
+    harness_ = std::make_unique<BitcoinNetworkHarness>(sim_, params_, config, 1234);
+    sim_.run();  // settle handshakes
+
+    adapter_config_.outbound_connections = 5;
+    adapter_config_.addr_lower_threshold = 3;
+    adapter_config_.addr_upper_threshold = 8;
+    adapter_config_.multi_block_below_height = 1 << 30;  // multi-block sync
+  }
+
+  void mine(int blocks) {
+    // Never sim_.run() here: a started adapter's maintenance timer keeps the
+    // event queue non-empty forever. Bounded runs only.
+    auto* miner = harness_->miners()[0];
+    for (int i = 0; i < blocks; ++i) {
+      sim_.run_until(sim_.now() + 700 * util::kSecond);
+      miner->mine_one();
+    }
+    sim_.run_until(sim_.now() + 30 * util::kSecond);  // propagate
+  }
+
+  util::Simulation sim_;
+  const bitcoin::ChainParams& params_ = bitcoin::ChainParams::regtest();
+  std::unique_ptr<BitcoinNetworkHarness> harness_;
+  AdapterConfig adapter_config_;
+};
+
+TEST_F(AdapterTest, DiscoveryCollectsAddressesAndConnects) {
+  BitcoinAdapter adapter(harness_->network(), params_, adapter_config_, util::Rng(1));
+  adapter.start();
+  sim_.run_until(sim_.now() + 30 * util::kSecond);
+  EXPECT_GE(adapter.known_addresses(), adapter_config_.addr_upper_threshold);
+  EXPECT_EQ(adapter.active_connections(), adapter_config_.outbound_connections);
+  EXPECT_FALSE(adapter.in_discovery());
+}
+
+TEST_F(AdapterTest, ServiceAvailableWithOneConnectionDuringDiscovery) {
+  // t_u unreachable (more than the node count): the adapter stays in
+  // discovery but serves as long as it has a connection (§III-B).
+  adapter_config_.addr_upper_threshold = 1000;
+  BitcoinAdapter adapter(harness_->network(), params_, adapter_config_, util::Rng(2));
+  adapter.start();
+  sim_.run_until(sim_.now() + 30 * util::kSecond);
+  EXPECT_TRUE(adapter.in_discovery());
+  EXPECT_GT(adapter.active_connections(), 0u);
+}
+
+TEST_F(AdapterTest, Ipv6OnlyFilter) {
+  // Build a network where most nodes are IPv4-only.
+  util::Simulation sim;
+  BitcoinNetworkConfig config;
+  config.num_nodes = 10;
+  config.ipv6_fraction = 0.0;  // nothing reachable
+  config.num_dns_seeds = 3;
+  BitcoinNetworkHarness v4_harness(sim, params_, config, 77);
+  sim.run();
+  BitcoinAdapter adapter(v4_harness.network(), params_, adapter_config_, util::Rng(3));
+  adapter.start();
+  sim.run_until(60 * util::kSecond);
+  EXPECT_EQ(adapter.known_addresses(), 0u);
+  EXPECT_EQ(adapter.active_connections(), 0u);
+}
+
+TEST_F(AdapterTest, HeaderSyncTracksNetwork) {
+  mine(15);
+  BitcoinAdapter adapter(harness_->network(), params_, adapter_config_, util::Rng(4));
+  adapter.start();
+  sim_.run_until(sim_.now() + 60 * util::kSecond);
+  EXPECT_EQ(adapter.header_tree().best_height(), harness_->node(0).best_height());
+}
+
+TEST_F(AdapterTest, HeaderTreeFollowsNewBlocks) {
+  BitcoinAdapter adapter(harness_->network(), params_, adapter_config_, util::Rng(5));
+  adapter.start();
+  sim_.run_until(sim_.now() + 30 * util::kSecond);
+  mine(3);
+  sim_.run_until(sim_.now() + 30 * util::kSecond);
+  EXPECT_EQ(adapter.header_tree().best_height(), harness_->node(0).best_height());
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1 semantics.
+
+class Algorithm1Test : public AdapterTest {
+ protected:
+  Algorithm1Test() {
+    adapter_ = std::make_unique<BitcoinAdapter>(harness_->network(), params_, adapter_config_,
+                                                util::Rng(6));
+    adapter_->start();
+    sim_.run_until(sim_.now() + 30 * util::kSecond);
+  }
+
+  /// Issues repeated requests (simulating the canister's loop) until the
+  /// response is empty or `max_iters` is hit; returns all blocks received.
+  std::vector<bitcoin::Block> sync_all(AdapterRequest request, int max_iters = 50) {
+    std::vector<bitcoin::Block> received;
+    for (int i = 0; i < max_iters; ++i) {
+      auto response = adapter_->handle_request(request);
+      for (auto& [block, header] : response.blocks) {
+        request.processed.push_back(header.hash());
+        received.push_back(block);
+      }
+      if (response.blocks.empty()) {
+        // Allow time for background block downloads triggered by the request.
+        sim_.run_until(sim_.now() + 10 * util::kSecond);
+        auto retry = adapter_->handle_request(request);
+        if (retry.blocks.empty() && retry.next_headers.empty()) break;
+        for (auto& [block, header] : retry.blocks) {
+          request.processed.push_back(header.hash());
+          received.push_back(block);
+        }
+      }
+      sim_.run_until(sim_.now() + 5 * util::kSecond);
+    }
+    return received;
+  }
+
+  std::unique_ptr<BitcoinAdapter> adapter_;
+};
+
+TEST_F(Algorithm1Test, ServesBlocksExtendingAnchor) {
+  mine(8);
+  sim_.run_until(sim_.now() + 30 * util::kSecond);
+  AdapterRequest request;
+  request.anchor = params_.genesis_header.hash();
+  auto blocks = sync_all(request);
+  EXPECT_EQ(blocks.size(), 8u);
+  // Blocks arrive in BFS (height) order from the anchor.
+  for (std::size_t i = 1; i < blocks.size(); ++i) {
+    EXPECT_EQ(blocks[i].header.prev_hash, blocks[i - 1].hash());
+  }
+}
+
+TEST_F(Algorithm1Test, UnknownAnchorYieldsEmptyResponse) {
+  mine(2);
+  AdapterRequest request;
+  request.anchor.data[0] = 0xee;  // not a known header
+  auto response = adapter_->handle_request(request);
+  EXPECT_TRUE(response.blocks.empty());
+  EXPECT_TRUE(response.next_headers.empty());
+}
+
+TEST_F(Algorithm1Test, ProcessedBlocksNotResent) {
+  mine(4);
+  sim_.run_until(sim_.now() + 30 * util::kSecond);
+  AdapterRequest request;
+  request.anchor = params_.genesis_header.hash();
+  auto first = sync_all(request);
+  ASSERT_GE(first.size(), 4u);
+  // Re-request with everything marked processed: nothing comes back.
+  for (const auto& b : first) request.processed.push_back(b.hash());
+  auto response = adapter_->handle_request(request);
+  EXPECT_TRUE(response.blocks.empty());
+}
+
+TEST_F(Algorithm1Test, NextHeadersReportUpcomingBlocks) {
+  mine(6);
+  sim_.run_until(sim_.now() + 60 * util::kSecond);
+  AdapterRequest request;
+  request.anchor = params_.genesis_header.hash();
+  auto response = adapter_->handle_request(request);
+  // Whatever was not returned as a block appears in N (tamper-proof sync
+  // progress signal, §III-C).
+  std::size_t total = response.blocks.size() + response.next_headers.size();
+  EXPECT_EQ(total, 6u);
+}
+
+TEST_F(Algorithm1Test, MaxHeadersCapRespected) {
+  adapter_config_.max_headers = 4;
+  BitcoinAdapter capped(harness_->network(), params_, adapter_config_, util::Rng(7));
+  capped.start();
+  mine(10);
+  sim_.run_until(sim_.now() + 60 * util::kSecond);
+  AdapterRequest request;
+  request.anchor = params_.genesis_header.hash();
+  auto response = capped.handle_request(request);
+  EXPECT_LE(response.next_headers.size(), 4u);
+}
+
+TEST_F(Algorithm1Test, SingleBlockModeAboveThreshold) {
+  adapter_config_.multi_block_below_height = 0;  // always single-block
+  BitcoinAdapter single(harness_->network(), params_, adapter_config_, util::Rng(8));
+  single.start();
+  mine(5);
+  sim_.run_until(sim_.now() + 60 * util::kSecond);
+  AdapterRequest request;
+  request.anchor = params_.genesis_header.hash();
+  auto response = single.handle_request(request);
+  EXPECT_LE(response.blocks.size(), 1u);
+}
+
+TEST_F(Algorithm1Test, ResponseSizeCapRespected) {
+  adapter_config_.max_response_bytes = 500;  // tiny: forces few blocks
+  BitcoinAdapter small(harness_->network(), params_, adapter_config_, util::Rng(9));
+  small.start();
+  mine(6);
+  sim_.run_until(sim_.now() + 60 * util::kSecond);
+  AdapterRequest request;
+  request.anchor = params_.genesis_header.hash();
+  // First request only triggers the block downloads; assert on a later one.
+  small.handle_request(request);
+  sim_.run_until(sim_.now() + 30 * util::kSecond);
+  auto response = small.handle_request(request);
+  // The soft cap admits the block that crosses the limit but nothing after.
+  std::size_t bytes = 0;
+  for (auto& [block, header] : response.blocks) bytes += block.size();
+  EXPECT_LT(response.blocks.size(), 6u);
+  EXPECT_GT(response.blocks.size(), 0u);
+  EXPECT_LT(bytes, 1000u);
+}
+
+TEST_F(Algorithm1Test, TransactionsEnterCacheAndReachNetwork) {
+  mine(1);
+  sim_.run_until(sim_.now() + 10 * util::kSecond);
+
+  // Build a spend of the mined coinbase? Simpler: an unfunded-but-well-formed
+  // transaction reaches mempools only if valid, so check the cache and
+  // advertisement machinery with a valid spend below (contracts tests cover
+  // the full path). Here: malformed bytes are dropped, valid bytes cached.
+  AdapterRequest request;
+  request.anchor = params_.genesis_header.hash();
+  request.transactions.push_back(util::Bytes{0x00, 0x01});  // undecodable
+  adapter_->handle_request(request);
+  EXPECT_EQ(adapter_->cached_transactions(), 0u);
+
+  bitcoin::Transaction tx;
+  bitcoin::TxIn in;
+  in.prevout.txid.data[0] = 1;
+  in.prevout.vout = 0;
+  tx.inputs.push_back(in);
+  tx.outputs.push_back(bitcoin::TxOut{1000, {0x51}});
+  request.transactions = {tx.serialize()};
+  adapter_->handle_request(request);
+  EXPECT_EQ(adapter_->cached_transactions(), 1u);
+}
+
+TEST_F(Algorithm1Test, TransactionCacheExpires) {
+  bitcoin::Transaction tx;
+  bitcoin::TxIn in;
+  in.prevout.txid.data[0] = 2;
+  tx.inputs.push_back(in);
+  tx.outputs.push_back(bitcoin::TxOut{1000, {0x51}});
+  AdapterRequest request;
+  request.anchor = params_.genesis_header.hash();
+  request.transactions = {tx.serialize()};
+  adapter_->handle_request(request);
+  EXPECT_EQ(adapter_->cached_transactions(), 1u);
+  sim_.run_until(sim_.now() + 11 * util::kMinute);
+  EXPECT_EQ(adapter_->cached_transactions(), 0u);
+}
+
+TEST_F(Algorithm1Test, ReconnectsAfterPeerLoss) {
+  auto peers = adapter_->connected_peers();
+  ASSERT_FALSE(peers.empty());
+  for (auto peer : peers) harness_->network().disconnect(adapter_->id(), peer);
+  EXPECT_EQ(adapter_->active_connections(), 0u);
+  sim_.run_until(sim_.now() + 30 * util::kSecond);
+  EXPECT_EQ(adapter_->active_connections(), adapter_config_.outbound_connections);
+}
+
+}  // namespace
+}  // namespace icbtc::adapter

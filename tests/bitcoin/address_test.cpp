@@ -1,0 +1,153 @@
+#include "bitcoin/address.h"
+
+#include <gtest/gtest.h>
+
+#include "bitcoin/script.h"
+#include "crypto/ripemd160.h"
+
+namespace icbtc::bitcoin {
+namespace {
+
+TEST(Base58Test, KnownVectors) {
+  EXPECT_EQ(base58_encode(util::from_hex("")), "");
+  EXPECT_EQ(base58_encode(util::from_hex("61")), "2g");
+  EXPECT_EQ(base58_encode(util::from_hex("626262")), "a3gV");
+  EXPECT_EQ(base58_encode(util::from_hex("636363")), "aPEr");
+  EXPECT_EQ(base58_encode(util::from_hex("73696d706c792061206c6f6e6720737472696e67")),
+            "2cFupjhnEsSn59qHXstmK2ffpLv2");
+  EXPECT_EQ(base58_encode(util::from_hex("516b6fcd0f")), "ABnLTmg");
+  EXPECT_EQ(base58_encode(util::from_hex("572e4794")), "3EFU7m");
+  EXPECT_EQ(base58_encode(util::from_hex("10c8511e")), "Rt5zm");
+}
+
+TEST(Base58Test, LeadingZeros) {
+  EXPECT_EQ(base58_encode(util::from_hex("00000000000000000000")), "1111111111");
+  EXPECT_EQ(base58_encode(util::from_hex("00eb15231dfceb60925886b67d065299925915aeb172c06647")),
+            "1NS17iag9jJgTHD1VXjvLCEnZuQ3rJDE9L");
+}
+
+TEST(Base58Test, DecodeRoundTrip) {
+  for (const char* hex : {"", "00", "0001", "ff", "00ff00", "deadbeefcafebabe"}) {
+    auto data = util::from_hex(hex);
+    auto decoded = base58_decode(base58_encode(data));
+    ASSERT_TRUE(decoded.has_value()) << hex;
+    EXPECT_EQ(*decoded, data) << hex;
+  }
+}
+
+TEST(Base58Test, DecodeRejectsInvalidCharacters) {
+  EXPECT_FALSE(base58_decode("0OIl").has_value());  // excluded alphabet chars
+  EXPECT_FALSE(base58_decode("ab!c").has_value());
+}
+
+TEST(Base58CheckTest, RoundTrip) {
+  util::Bytes payload(20, 0xab);
+  auto addr = base58check_encode(0x00, payload);
+  auto decoded = base58check_decode(addr);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->first, 0x00);
+  EXPECT_EQ(decoded->second, payload);
+}
+
+TEST(Base58CheckTest, DetectsCorruption) {
+  util::Bytes payload(20, 0xab);
+  auto addr = base58check_encode(0x00, payload);
+  // Flip one character (guaranteed different valid char).
+  addr[5] = (addr[5] == 'z') ? 'y' : 'z';
+  EXPECT_FALSE(base58check_decode(addr).has_value());
+}
+
+TEST(Base58CheckTest, TooShortRejected) {
+  EXPECT_FALSE(base58check_decode("11").has_value());
+}
+
+TEST(Base58CheckTest, KnownAddressVector) {
+  // hash160 010966776006953d5567439e5e39f86a0d273bee with version 0 encodes
+  // to the well-known address 16UwLL9Risc3QfPqBUvKofHmBQ7wMtjvM.
+  auto h = util::from_hex("010966776006953d5567439e5e39f86a0d273bee");
+  EXPECT_EQ(base58check_encode(0x00, h), "16UwLL9Risc3QfPqBUvKofHmBQ7wMtjvM");
+}
+
+TEST(Bech32Test, KnownP2wpkhVector) {
+  // BIP-173 example: pubkey hash 751e76e8199196d454941c45d1b3a323f1433bd6
+  // encodes to bc1qw508d6qejxtdg4y5r3zarvary0c5xw7kv8f3t4.
+  auto program = util::from_hex("751e76e8199196d454941c45d1b3a323f1433bd6");
+  EXPECT_EQ(bech32_encode("bc", program), "bc1qw508d6qejxtdg4y5r3zarvary0c5xw7kv8f3t4");
+}
+
+TEST(Bech32Test, DecodeRoundTrip) {
+  auto program = util::from_hex("751e76e8199196d454941c45d1b3a323f1433bd6");
+  auto addr = bech32_encode("bcrt", program);
+  auto decoded = bech32_decode("bcrt", addr);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, program);
+}
+
+TEST(Bech32Test, ChecksumDetectsCorruption) {
+  auto program = util::from_hex("751e76e8199196d454941c45d1b3a323f1433bd6");
+  auto addr = bech32_encode("bc", program);
+  addr[10] = (addr[10] == 'q') ? 'p' : 'q';
+  EXPECT_FALSE(bech32_decode("bc", addr).has_value());
+}
+
+TEST(Bech32Test, WrongHrpRejected) {
+  auto program = util::from_hex("751e76e8199196d454941c45d1b3a323f1433bd6");
+  auto addr = bech32_encode("bc", program);
+  EXPECT_FALSE(bech32_decode("tb", addr).has_value());
+}
+
+TEST(AddressTest, P2pkhRoundTripAllNetworks) {
+  util::Hash160 h;
+  for (std::size_t i = 0; i < 20; ++i) h.data[i] = static_cast<std::uint8_t>(i * 3);
+  for (auto net : {Network::kMainnet, Network::kTestnet, Network::kRegtest}) {
+    auto addr = p2pkh_address(h, net);
+    auto decoded = decode_address(addr, net);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(decoded->type, AddressType::kP2pkh);
+    EXPECT_EQ(decoded->hash160(), h);
+  }
+}
+
+TEST(AddressTest, P2wpkhRoundTripAllNetworks) {
+  util::Hash160 h;
+  for (std::size_t i = 0; i < 20; ++i) h.data[i] = static_cast<std::uint8_t>(200 - i);
+  for (auto net : {Network::kMainnet, Network::kTestnet, Network::kRegtest}) {
+    auto addr = p2wpkh_address(h, net);
+    auto decoded = decode_address(addr, net);
+    ASSERT_TRUE(decoded.has_value()) << addr;
+    EXPECT_EQ(decoded->type, AddressType::kP2wpkh);
+    EXPECT_EQ(decoded->hash160(), h);
+  }
+}
+
+TEST(AddressTest, MainnetAddressRejectedOnTestnet) {
+  util::Hash160 h;
+  h.data[0] = 1;
+  auto addr = p2pkh_address(h, Network::kMainnet);
+  EXPECT_FALSE(decode_address(addr, Network::kTestnet).has_value());
+  auto waddr = p2wpkh_address(h, Network::kMainnet);
+  EXPECT_FALSE(decode_address(waddr, Network::kTestnet).has_value());
+}
+
+TEST(AddressTest, GarbageRejected) {
+  EXPECT_FALSE(decode_address("", Network::kMainnet).has_value());
+  EXPECT_FALSE(decode_address("not an address", Network::kMainnet).has_value());
+  EXPECT_FALSE(decode_address("bc1qqqqq", Network::kMainnet).has_value());
+}
+
+TEST(AddressTest, ScriptForAddressMatchesTemplates) {
+  util::Hash160 h;
+  h.data[7] = 0x55;
+  util::Bytes program(h.data.begin(), h.data.end());
+  EXPECT_EQ(script_for_address(DecodedAddress{AddressType::kP2pkh, program}), p2pkh_script(h));
+  EXPECT_EQ(script_for_address(DecodedAddress{AddressType::kP2wpkh, program}), p2wpkh_script(h));
+}
+
+TEST(AddressTest, MainnetP2pkhStartsWith1) {
+  util::Hash160 h;
+  auto addr = p2pkh_address(h, Network::kMainnet);
+  EXPECT_EQ(addr[0], '1');
+}
+
+}  // namespace
+}  // namespace icbtc::bitcoin

@@ -1,0 +1,156 @@
+#include "bitcoin/block.h"
+
+#include <gtest/gtest.h>
+
+#include "bitcoin/params.h"
+#include "crypto/sha256.h"
+
+namespace icbtc::bitcoin {
+namespace {
+
+TEST(BlockHeaderTest, SerializedSizeIs80Bytes) {
+  BlockHeader h;
+  EXPECT_EQ(h.serialize().size(), 80u);
+}
+
+TEST(BlockHeaderTest, RoundTrip) {
+  BlockHeader h;
+  h.version = 0x20000000;
+  h.prev_hash.data[0] = 1;
+  h.merkle_root.data[31] = 2;
+  h.time = 1700000000;
+  h.bits = 0x207fffff;
+  h.nonce = 12345;
+  auto parsed = BlockHeader::parse(h.serialize());
+  EXPECT_EQ(parsed, h);
+}
+
+TEST(BlockHeaderTest, RealGenesisHeaderHash) {
+  // Deserialize the real Bitcoin genesis header and confirm hash().
+  auto raw = util::from_hex(
+      "0100000000000000000000000000000000000000000000000000000000000000000000003ba3edfd7a7b12b27a"
+      "c72c3e67768f617fc81bc3888a51323a9fb8aa4b1e5e4a29ab5f49ffff001d1dac2b7c");
+  BlockHeader h = BlockHeader::parse(raw);
+  EXPECT_EQ(h.version, 1);
+  EXPECT_EQ(h.time, 1231006505u);
+  EXPECT_EQ(h.bits, 0x1d00ffffu);
+  EXPECT_EQ(h.nonce, 2083236893u);
+  EXPECT_EQ(h.hash().rpc_hex(),
+            "000000000019d6689c085ae165831e934ff763ae46a2a6c172b3f1b60a8ce26f");
+}
+
+TEST(BlockHeaderTest, ParseRejectsWrongSize) {
+  util::Bytes bad(79, 0);
+  EXPECT_THROW(BlockHeader::parse(bad), util::DecodeError);
+  util::Bytes long_buf(81, 0);
+  EXPECT_THROW(BlockHeader::parse(long_buf), util::DecodeError);
+}
+
+TEST(MerkleTest, EmptyListIsZero) {
+  EXPECT_TRUE(merkle_root({}).is_zero());
+}
+
+TEST(MerkleTest, SingleTxidIsItsOwnRoot) {
+  util::Hash256 id;
+  id.data[3] = 7;
+  EXPECT_EQ(merkle_root({id}), id);
+}
+
+TEST(MerkleTest, TwoLeaves) {
+  util::Hash256 a, b;
+  a.data[0] = 1;
+  b.data[0] = 2;
+  util::Bytes concat;
+  util::append(concat, a.span());
+  util::append(concat, b.span());
+  EXPECT_EQ(merkle_root({a, b}), crypto::sha256d(concat));
+}
+
+TEST(MerkleTest, OddLeafCountDuplicatesLast) {
+  util::Hash256 a, b, c;
+  a.data[0] = 1;
+  b.data[0] = 2;
+  c.data[0] = 3;
+  // Level 1: H(a||b), H(c||c); root = H(l||r).
+  auto pair_hash = [](const util::Hash256& x, const util::Hash256& y) {
+    util::Bytes concat;
+    util::append(concat, x.span());
+    util::append(concat, y.span());
+    return crypto::sha256d(concat);
+  };
+  auto expected = pair_hash(pair_hash(a, b), pair_hash(c, c));
+  EXPECT_EQ(merkle_root({a, b, c}), expected);
+}
+
+TEST(MerkleTest, OrderSensitivity) {
+  util::Hash256 a, b;
+  a.data[0] = 1;
+  b.data[0] = 2;
+  EXPECT_NE(merkle_root({a, b}), merkle_root({b, a}));
+}
+
+Block make_test_block() {
+  Block b = genesis_block(ChainParams::regtest());
+  return b;
+}
+
+TEST(BlockTest, GenesisIsWellFormed) {
+  Block b = make_test_block();
+  EXPECT_TRUE(b.is_well_formed());
+  EXPECT_EQ(b.header.merkle_root, b.compute_merkle_root());
+}
+
+TEST(BlockTest, RoundTrip) {
+  Block b = make_test_block();
+  auto parsed = Block::parse(b.serialize());
+  EXPECT_EQ(parsed, b);
+  EXPECT_EQ(parsed.hash(), b.hash());
+}
+
+TEST(BlockTest, WellFormedRejectsEmptyBlock) {
+  Block b;
+  EXPECT_FALSE(b.is_well_formed());
+}
+
+TEST(BlockTest, WellFormedRejectsMissingCoinbase) {
+  Block b = make_test_block();
+  Transaction tx;
+  TxIn in;
+  in.prevout.txid.data[0] = 9;
+  in.prevout.vout = 0;
+  tx.inputs.push_back(in);
+  tx.outputs.push_back(TxOut{1, {}});
+  b.transactions[0] = tx;  // replace coinbase with a regular tx
+  b.header.merkle_root = b.compute_merkle_root();
+  EXPECT_FALSE(b.is_well_formed());
+}
+
+TEST(BlockTest, WellFormedRejectsSecondCoinbase) {
+  Block b = make_test_block();
+  b.transactions.push_back(b.transactions[0]);  // duplicate coinbase
+  b.header.merkle_root = b.compute_merkle_root();
+  EXPECT_FALSE(b.is_well_formed());
+}
+
+TEST(BlockTest, WellFormedRejectsMerkleMismatch) {
+  Block b = make_test_block();
+  b.header.merkle_root.data[0] ^= 1;
+  EXPECT_FALSE(b.is_well_formed());
+}
+
+TEST(BlockTest, GenesisDiffersAcrossNetworks) {
+  auto mainnet = genesis_block(ChainParams::mainnet());
+  auto testnet = genesis_block(ChainParams::testnet());
+  auto regtest = genesis_block(ChainParams::regtest());
+  EXPECT_NE(mainnet.hash(), testnet.hash());
+  EXPECT_NE(mainnet.hash(), regtest.hash());
+  EXPECT_NE(testnet.hash(), regtest.hash());
+}
+
+TEST(BlockTest, GenesisHeaderMatchesParams) {
+  const auto& params = ChainParams::mainnet();
+  EXPECT_EQ(genesis_block(params).header, params.genesis_header);
+}
+
+}  // namespace
+}  // namespace icbtc::bitcoin

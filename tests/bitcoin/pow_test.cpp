@@ -1,0 +1,169 @@
+#include "bitcoin/pow.h"
+
+#include <gtest/gtest.h>
+
+namespace icbtc::bitcoin {
+namespace {
+
+TEST(CompactTest, MainnetGenesisBits) {
+  // 0x1d00ffff expands to 0x00000000ffff0000...0000.
+  auto target = compact_to_target(0x1d00ffff);
+  ASSERT_TRUE(target.has_value());
+  EXPECT_EQ(target->to_hex(),
+            "00000000ffff0000000000000000000000000000000000000000000000000000");
+  EXPECT_EQ(target_to_compact(*target), 0x1d00ffffu);
+}
+
+TEST(CompactTest, RegtestBits) {
+  auto target = compact_to_target(0x207fffff);
+  ASSERT_TRUE(target.has_value());
+  EXPECT_EQ(target->to_hex(),
+            "7fffff0000000000000000000000000000000000000000000000000000000000");
+  EXPECT_EQ(target_to_compact(*target), 0x207fffffu);
+}
+
+TEST(CompactTest, SmallExponents) {
+  EXPECT_EQ(*compact_to_target(0x01003456), U256(0));
+  EXPECT_EQ(*compact_to_target(0x01123456), U256(0x12));
+  EXPECT_EQ(*compact_to_target(0x02123456), U256(0x1234));
+  EXPECT_EQ(*compact_to_target(0x03123456), U256(0x123456));
+  EXPECT_EQ(*compact_to_target(0x04123456), U256(0x12345600));
+}
+
+TEST(CompactTest, NegativeBitRejected) {
+  EXPECT_FALSE(compact_to_target(0x01803456).has_value());
+  EXPECT_FALSE(compact_to_target(0x04923456).has_value());
+}
+
+TEST(CompactTest, OverflowRejected) {
+  // Exponent so large the mantissa shifts out of 256 bits.
+  EXPECT_FALSE(compact_to_target(0xff123456).has_value());
+  EXPECT_FALSE(compact_to_target(0x21010000).has_value());
+}
+
+TEST(CompactTest, RoundTripCanonical) {
+  for (std::uint32_t bits : {0x1d00ffffu, 0x207fffffu, 0x1b0404cbu, 0x181bc330u}) {
+    auto target = compact_to_target(bits);
+    ASSERT_TRUE(target.has_value()) << std::hex << bits;
+    EXPECT_EQ(target_to_compact(*target), bits) << std::hex << bits;
+  }
+}
+
+TEST(CompactTest, CompactAvoidsNegativeMantissa) {
+  // A target whose top mantissa byte is >= 0x80 must shift the exponent.
+  U256 target = U256::from_hex("00000000800000000000000000000000000000000000000000000000");
+  std::uint32_t compact = target_to_compact(target);
+  EXPECT_EQ(*compact_to_target(compact), target);
+  EXPECT_EQ(compact & 0x00800000, 0u);
+}
+
+TEST(WorkTest, EasierTargetMeansLessWork) {
+  U256 easy_work = work_from_bits(0x207fffff);
+  U256 genesis_work = work_from_bits(0x1d00ffff);
+  EXPECT_LT(easy_work, genesis_work);
+  // Regtest limit: target ~ 2^255, so expected work is exactly 2.
+  EXPECT_EQ(easy_work, U256(2));
+  // Mainnet genesis difficulty: 2^256 / (0xffff * 2^208 + 1) = 2^32 / (1-eps)
+  // which truncates to 0x100010001.
+  EXPECT_EQ(genesis_work, U256(0x100010001ULL));
+}
+
+TEST(WorkTest, InvalidBitsHaveZeroWork) {
+  EXPECT_EQ(work_from_bits(0x01803456), U256(0));
+  EXPECT_EQ(work_from_bits(0xff123456), U256(0));
+}
+
+TEST(WorkTest, WorkIsMonotonicInDifficulty) {
+  // Doubling difficulty (halving target) doubles work.
+  U256 target = *compact_to_target(0x1d00ffff);
+  U256 w1 = work_from_target(target);
+  U256 w2 = work_from_target(target.shifted_right(1));
+  // Allow a tiny rounding slack around the exact factor 2.
+  U256 ratio = crypto::udiv(w2, w1);
+  EXPECT_EQ(ratio, U256(2));
+}
+
+TEST(PowCheckTest, GenesisSatisfiesItsTarget) {
+  // The real genesis hash meets 0x1d00ffff.
+  util::Hash256 hash;
+  auto bytes = util::from_hex("000000000019d6689c085ae165831e934ff763ae46a2a6c172b3f1b60a8ce26f");
+  for (int i = 0; i < 32; ++i) hash.data[static_cast<std::size_t>(i)] = bytes[static_cast<std::size_t>(31 - i)];
+  U256 pow_limit = *compact_to_target(0x1d00ffff);
+  EXPECT_TRUE(check_proof_of_work(hash, 0x1d00ffff, pow_limit));
+}
+
+TEST(PowCheckTest, RejectsHashAboveTarget) {
+  util::Hash256 high;
+  for (auto& b : high.data) b = 0xff;
+  EXPECT_FALSE(check_proof_of_work(high, 0x207fffff, *compact_to_target(0x207fffff)));
+}
+
+TEST(PowCheckTest, RejectsTargetAbovePowLimit) {
+  util::Hash256 zero;  // trivially below any target
+  // bits easier than the pow limit must be rejected.
+  U256 limit = *compact_to_target(0x1d00ffff);
+  EXPECT_FALSE(check_proof_of_work(zero, 0x207fffff, limit));
+  EXPECT_TRUE(check_proof_of_work(zero, 0x1d00ffff, limit));
+}
+
+TEST(PowCheckTest, RejectsInvalidBits) {
+  util::Hash256 zero;
+  EXPECT_FALSE(check_proof_of_work(zero, 0x01803456, *compact_to_target(0x207fffff)));
+}
+
+TEST(RetargetTest, PerfectTimingKeepsTarget) {
+  std::int64_t t = 600 * 2015;
+  std::uint32_t bits = next_target(0x1d00ffff, t, t, *compact_to_target(0x207fffff));
+  EXPECT_EQ(bits, 0x1d00ffffu);
+}
+
+TEST(RetargetTest, FastBlocksRaiseDifficulty) {
+  std::int64_t target_span = 600 * 2015;
+  std::uint32_t bits =
+      next_target(0x1d00ffff, target_span / 2, target_span, *compact_to_target(0x207fffff));
+  auto old_target = *compact_to_target(0x1d00ffff);
+  auto new_target = *compact_to_target(bits);
+  EXPECT_LT(new_target, old_target);  // smaller target == harder
+}
+
+TEST(RetargetTest, SlowBlocksLowerDifficulty) {
+  std::int64_t target_span = 600 * 2015;
+  std::uint32_t bits =
+      next_target(0x1c7fffff, target_span * 2, target_span, *compact_to_target(0x207fffff));
+  auto old_target = *compact_to_target(0x1c7fffff);
+  auto new_target = *compact_to_target(bits);
+  EXPECT_GT(new_target, old_target);
+}
+
+TEST(RetargetTest, ClampsAtFourX) {
+  std::int64_t target_span = 600 * 2015;
+  U256 limit = *compact_to_target(0x207fffff);
+  // 100x too fast clamps to 4x harder.
+  std::uint32_t fast = next_target(0x1c10000 | 0x1c000000, target_span / 100, target_span, limit);
+  std::uint32_t quad = next_target(0x1c10000 | 0x1c000000, target_span / 4, target_span, limit);
+  EXPECT_EQ(fast, quad);
+  // 100x too slow clamps to 4x easier.
+  std::uint32_t slow = next_target(0x1b010000, target_span * 100, target_span, limit);
+  std::uint32_t quad_slow = next_target(0x1b010000, target_span * 4, target_span, limit);
+  EXPECT_EQ(slow, quad_slow);
+}
+
+TEST(RetargetTest, NeverExceedsPowLimit) {
+  U256 limit = *compact_to_target(0x207fffff);
+  std::int64_t target_span = 600 * 2015;
+  std::uint32_t bits = next_target(0x207fffff, target_span * 4, target_span, limit);
+  auto target = *compact_to_target(bits);
+  EXPECT_LE(target, limit);
+}
+
+TEST(HashToU256Test, LittleEndianInterpretation) {
+  util::Hash256 h;
+  h.data[0] = 0x01;  // least significant byte
+  EXPECT_EQ(hash_to_u256(h), U256(1));
+  util::Hash256 top;
+  top.data[31] = 0x80;  // most significant byte
+  EXPECT_EQ(hash_to_u256(top).bit_length(), 256);
+}
+
+}  // namespace
+}  // namespace icbtc::bitcoin

@@ -1,0 +1,167 @@
+#include "bitcoin/transaction.h"
+
+#include <gtest/gtest.h>
+
+namespace icbtc::bitcoin {
+namespace {
+
+Transaction sample_tx() {
+  Transaction tx;
+  tx.version = 2;
+  TxIn in;
+  in.prevout.txid.data[0] = 0xaa;
+  in.prevout.vout = 3;
+  in.script_sig = {0x01, 0x02, 0x03};
+  in.sequence = 0xfffffffe;
+  tx.inputs.push_back(in);
+  TxOut out;
+  out.value = 2 * kCoin;
+  out.script_pubkey = {0x51};
+  tx.outputs.push_back(out);
+  tx.lock_time = 101;
+  return tx;
+}
+
+TEST(OutPointTest, NullDetection) {
+  EXPECT_TRUE(OutPoint::null().is_null());
+  OutPoint o;
+  o.vout = 0xffffffff;
+  EXPECT_TRUE(o.is_null());
+  o.txid.data[0] = 1;
+  EXPECT_FALSE(o.is_null());
+}
+
+TEST(OutPointTest, Ordering) {
+  OutPoint a, b;
+  a.vout = 1;
+  b.vout = 2;
+  EXPECT_LT(a, b);
+  b = a;
+  EXPECT_EQ(a, b);
+}
+
+TEST(TransactionTest, SerializeRoundTrip) {
+  Transaction tx = sample_tx();
+  auto bytes = tx.serialize();
+  Transaction parsed = Transaction::parse(bytes);
+  EXPECT_EQ(parsed, tx);
+}
+
+TEST(TransactionTest, ParseRejectsTrailing) {
+  auto bytes = sample_tx().serialize();
+  bytes.push_back(0x00);
+  EXPECT_THROW(Transaction::parse(bytes), util::DecodeError);
+}
+
+TEST(TransactionTest, ParseRejectsTruncation) {
+  auto bytes = sample_tx().serialize();
+  bytes.pop_back();
+  EXPECT_THROW(Transaction::parse(bytes), util::DecodeError);
+}
+
+TEST(TransactionTest, TxidIsDeterministicAndSensitive) {
+  Transaction tx = sample_tx();
+  auto id1 = tx.txid();
+  EXPECT_EQ(id1, tx.txid());
+  tx.lock_time++;
+  EXPECT_NE(id1, tx.txid());
+}
+
+TEST(TransactionTest, KnownSerializationLayout) {
+  // Manually check the byte layout of a minimal transaction.
+  Transaction tx;
+  tx.version = 1;
+  TxIn in;
+  in.prevout = OutPoint::null();
+  in.script_sig = {};
+  tx.inputs.push_back(in);
+  TxOut out;
+  out.value = 1;
+  out.script_pubkey = {};
+  tx.outputs.push_back(out);
+  tx.lock_time = 0;
+  auto bytes = tx.serialize();
+  // 4 (version) + 1 (#in) + 36 (outpoint) + 1 (script len) + 4 (sequence)
+  // + 1 (#out) + 8 (value) + 1 (script len) + 4 (locktime) = 60.
+  EXPECT_EQ(bytes.size(), 60u);
+  EXPECT_EQ(bytes[0], 0x01);                 // version LE
+  EXPECT_EQ(bytes[4], 0x01);                 // input count
+  EXPECT_EQ(bytes[5 + 32], 0xff);            // null vout
+  EXPECT_EQ(bytes[bytes.size() - 4], 0x00);  // locktime
+}
+
+TEST(TransactionTest, CoinbaseDetection) {
+  Transaction cb;
+  TxIn in;
+  in.prevout = OutPoint::null();
+  cb.inputs.push_back(in);
+  cb.outputs.push_back(TxOut{50 * kCoin, {}});
+  EXPECT_TRUE(cb.is_coinbase());
+  EXPECT_FALSE(sample_tx().is_coinbase());
+  // Two inputs -> not coinbase even if one is null.
+  cb.inputs.push_back(TxIn{});
+  EXPECT_FALSE(cb.is_coinbase());
+}
+
+TEST(TransactionTest, WellFormedAcceptsSample) {
+  EXPECT_TRUE(sample_tx().is_well_formed());
+}
+
+TEST(TransactionTest, WellFormedRejectsEmptyInputsOrOutputs) {
+  Transaction tx = sample_tx();
+  tx.inputs.clear();
+  EXPECT_FALSE(tx.is_well_formed());
+  tx = sample_tx();
+  tx.outputs.clear();
+  EXPECT_FALSE(tx.is_well_formed());
+}
+
+TEST(TransactionTest, WellFormedRejectsNegativeAndExcessValues) {
+  Transaction tx = sample_tx();
+  tx.outputs[0].value = -1;
+  EXPECT_FALSE(tx.is_well_formed());
+  tx.outputs[0].value = kMaxMoney + 1;
+  EXPECT_FALSE(tx.is_well_formed());
+  // Sum overflow across outputs.
+  tx.outputs[0].value = kMaxMoney;
+  tx.outputs.push_back(TxOut{kMaxMoney, {}});
+  EXPECT_FALSE(tx.is_well_formed());
+}
+
+TEST(TransactionTest, WellFormedRejectsDuplicateInputs) {
+  Transaction tx = sample_tx();
+  tx.inputs.push_back(tx.inputs[0]);
+  EXPECT_FALSE(tx.is_well_formed());
+}
+
+TEST(TransactionTest, WellFormedRejectsNullPrevoutInNonCoinbase) {
+  Transaction tx = sample_tx();
+  TxIn null_in;
+  null_in.prevout = OutPoint::null();
+  tx.inputs.push_back(null_in);
+  EXPECT_FALSE(tx.is_well_formed());
+}
+
+TEST(TransactionTest, TotalOutputValue) {
+  Transaction tx = sample_tx();
+  tx.outputs.push_back(TxOut{3, {}});
+  EXPECT_EQ(tx.total_output_value(), 2 * kCoin + 3);
+}
+
+TEST(AmountTest, SubsidySchedule) {
+  EXPECT_EQ(block_subsidy(0), 50 * kCoin);
+  EXPECT_EQ(block_subsidy(1), 25 * kCoin);
+  EXPECT_EQ(block_subsidy(2), 125 * kCoin / 10);
+  EXPECT_EQ(block_subsidy(64), 0);
+  EXPECT_EQ(block_subsidy(100), 0);
+}
+
+TEST(AmountTest, MoneyRange) {
+  EXPECT_TRUE(money_range(0));
+  EXPECT_TRUE(money_range(kMaxMoney));
+  EXPECT_FALSE(money_range(-1));
+  EXPECT_FALSE(money_range(kMaxMoney + 1));
+}
+
+}  // namespace
+}  // namespace icbtc::bitcoin

@@ -1,0 +1,201 @@
+#include "bitcoin/utxo.h"
+
+#include <gtest/gtest.h>
+
+#include "bitcoin/script.h"
+
+namespace icbtc::bitcoin {
+namespace {
+
+OutPoint op(std::uint8_t tag, std::uint32_t vout = 0) {
+  OutPoint o;
+  o.txid.data[0] = tag;
+  o.vout = vout;
+  return o;
+}
+
+TEST(UtxoSetTest, AddFindRemove) {
+  UtxoSet set;
+  EXPECT_EQ(set.size(), 0u);
+  set.add(op(1), UtxoEntry{TxOut{100, {}}, 5, false});
+  EXPECT_TRUE(set.contains(op(1)));
+  auto found = set.find(op(1));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->output.value, 100);
+  EXPECT_EQ(found->height, 5);
+  auto removed = set.remove(op(1));
+  ASSERT_TRUE(removed.has_value());
+  EXPECT_FALSE(set.contains(op(1)));
+  EXPECT_FALSE(set.remove(op(1)).has_value());
+}
+
+Block block_with(std::vector<Transaction> txs) {
+  Block b;
+  Transaction coinbase;
+  TxIn cin;
+  cin.prevout = OutPoint::null();
+  cin.script_sig = {0x42};
+  coinbase.inputs.push_back(cin);
+  coinbase.outputs.push_back(TxOut{50 * kCoin, {0x51}});
+  b.transactions.push_back(coinbase);
+  for (auto& tx : txs) b.transactions.push_back(std::move(tx));
+  b.header.merkle_root = b.compute_merkle_root();
+  return b;
+}
+
+TEST(UtxoSetTest, ApplyBlockCreatesCoinbaseOutput) {
+  UtxoSet set;
+  Block b = block_with({});
+  auto undo = set.apply_block(b, 7);
+  ASSERT_TRUE(undo.has_value());
+  EXPECT_EQ(set.size(), 1u);
+  auto entry = set.find(OutPoint{b.transactions[0].txid(), 0});
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_TRUE(entry->coinbase);
+  EXPECT_EQ(entry->height, 7);
+}
+
+TEST(UtxoSetTest, ApplyBlockSpendsInputs) {
+  UtxoSet set;
+  set.add(op(9), UtxoEntry{TxOut{1000, {}}, 1, false});
+  Transaction tx;
+  TxIn in;
+  in.prevout = op(9);
+  tx.inputs.push_back(in);
+  tx.outputs.push_back(TxOut{900, {0x52}});
+  Block b = block_with({tx});
+  auto undo = set.apply_block(b, 2);
+  ASSERT_TRUE(undo.has_value());
+  EXPECT_FALSE(set.contains(op(9)));
+  EXPECT_TRUE(set.contains(OutPoint{tx.txid(), 0}));
+  EXPECT_EQ(undo->spent.size(), 1u);
+  EXPECT_EQ(undo->created.size(), 2u);  // coinbase + tx output
+}
+
+TEST(UtxoSetTest, ApplyBlockRejectsMissingInput) {
+  UtxoSet set;
+  Transaction tx;
+  TxIn in;
+  in.prevout = op(9);  // not in the set
+  tx.inputs.push_back(in);
+  tx.outputs.push_back(TxOut{900, {}});
+  Block b = block_with({tx});
+  EXPECT_FALSE(set.apply_block(b, 2).has_value());
+  EXPECT_EQ(set.size(), 0u);  // untouched
+}
+
+TEST(UtxoSetTest, ApplyBlockRejectsIntraBlockDoubleSpend) {
+  UtxoSet set;
+  set.add(op(9), UtxoEntry{TxOut{1000, {}}, 1, false});
+  Transaction tx1, tx2;
+  TxIn in;
+  in.prevout = op(9);
+  tx1.inputs.push_back(in);
+  tx1.outputs.push_back(TxOut{1, {}});
+  tx2.inputs.push_back(in);
+  tx2.outputs.push_back(TxOut{2, {}});
+  Block b = block_with({tx1, tx2});
+  EXPECT_FALSE(set.apply_block(b, 2).has_value());
+  EXPECT_TRUE(set.contains(op(9)));
+}
+
+TEST(UtxoSetTest, IntraBlockChainCollapses) {
+  // tx2 spends tx1's output within the same block: only tx2's output lands.
+  UtxoSet set;
+  set.add(op(9), UtxoEntry{TxOut{1000, {}}, 1, false});
+  Transaction tx1;
+  TxIn in1;
+  in1.prevout = op(9);
+  tx1.inputs.push_back(in1);
+  tx1.outputs.push_back(TxOut{900, {0x01}});
+  Transaction tx2;
+  TxIn in2;
+  in2.prevout = OutPoint{tx1.txid(), 0};
+  tx2.inputs.push_back(in2);
+  tx2.outputs.push_back(TxOut{800, {0x02}});
+  Block b = block_with({tx1, tx2});
+  auto undo = set.apply_block(b, 3);
+  ASSERT_TRUE(undo.has_value());
+  EXPECT_FALSE(set.contains(OutPoint{tx1.txid(), 0}));
+  EXPECT_TRUE(set.contains(OutPoint{tx2.txid(), 0}));
+}
+
+TEST(UtxoSetTest, OpReturnOutputsNeverEnterSet) {
+  UtxoSet set;
+  Transaction tx;
+  TxIn in;
+  in.prevout = op(9);
+  tx.inputs.push_back(in);
+  set.add(op(9), UtxoEntry{TxOut{10, {}}, 1, false});
+  tx.outputs.push_back(TxOut{0, op_return_script(util::Bytes{1, 2})});
+  tx.outputs.push_back(TxOut{5, {0x51}});
+  Block b = block_with({tx});
+  ASSERT_TRUE(set.apply_block(b, 2).has_value());
+  EXPECT_FALSE(set.contains(OutPoint{tx.txid(), 0}));
+  EXPECT_TRUE(set.contains(OutPoint{tx.txid(), 1}));
+}
+
+TEST(UtxoSetTest, UndoRestoresExactState) {
+  UtxoSet set;
+  set.add(op(9), UtxoEntry{TxOut{1000, {0x09}}, 1, false});
+  auto snapshot = set.entries();
+
+  Transaction tx;
+  TxIn in;
+  in.prevout = op(9);
+  tx.inputs.push_back(in);
+  tx.outputs.push_back(TxOut{900, {0x53}});
+  Block b = block_with({tx});
+  auto undo = set.apply_block(b, 2);
+  ASSERT_TRUE(undo.has_value());
+  EXPECT_NE(set.entries(), snapshot);
+
+  set.undo_block(*undo);
+  EXPECT_EQ(set.entries(), snapshot);
+}
+
+TEST(UtxoSetTest, TotalValue) {
+  UtxoSet set;
+  set.add(op(1), UtxoEntry{TxOut{100, {}}, 1, false});
+  set.add(op(2), UtxoEntry{TxOut{250, {}}, 2, false});
+  EXPECT_EQ(set.total_value(), 350);
+}
+
+TEST(UtxoSetTest, MultipleApplyUndoRoundTrips) {
+  UtxoSet set;
+  std::vector<BlockUndo> undos;
+  std::vector<Block> blocks;
+  OutPoint prev;
+  // Chain of blocks, each spending the previous block's coinbase.
+  for (int h = 1; h <= 5; ++h) {
+    std::vector<Transaction> txs;
+    if (h > 1) {
+      Transaction tx;
+      TxIn in;
+      in.prevout = prev;
+      in.script_sig = {static_cast<std::uint8_t>(h)};
+      tx.inputs.push_back(in);
+      tx.outputs.push_back(TxOut{10 * h, {0x51}});
+      txs.push_back(tx);
+    }
+    Block b = block_with(std::move(txs));
+    b.transactions[0].inputs[0].script_sig = {static_cast<std::uint8_t>(h), 0x42};
+    b.header.merkle_root = b.compute_merkle_root();
+    prev = OutPoint{b.transactions[0].txid(), 0};
+    auto undo = set.apply_block(b, h);
+    ASSERT_TRUE(undo.has_value()) << h;
+    undos.push_back(*undo);
+    blocks.push_back(b);
+  }
+  std::size_t full_size = set.size();
+  // Unwind all, should be empty; re-apply, same size.
+  for (auto it = undos.rbegin(); it != undos.rend(); ++it) set.undo_block(*it);
+  EXPECT_EQ(set.size(), 0u);
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    ASSERT_TRUE(set.apply_block(blocks[i], static_cast<int>(i + 1)).has_value());
+  }
+  EXPECT_EQ(set.size(), full_size);
+}
+
+}  // namespace
+}  // namespace icbtc::bitcoin

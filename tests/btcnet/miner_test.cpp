@@ -1,0 +1,156 @@
+#include "btcnet/miner.h"
+
+#include <gtest/gtest.h>
+
+#include "btcnet/harness.h"
+
+namespace icbtc::btcnet {
+namespace {
+
+TEST(MinerTest, ShareValidation) {
+  util::Simulation sim;
+  Network net(sim, util::Rng(1));
+  BitcoinNode node(net, bitcoin::ChainParams::regtest());
+  EXPECT_THROW(Miner(node, 0.0, util::Rng(2)), std::invalid_argument);
+  EXPECT_THROW(Miner(node, 1.5, util::Rng(2)), std::invalid_argument);
+}
+
+TEST(MinerTest, ScheduledMiningProducesBlocksAtExpectedRate) {
+  util::Simulation sim;
+  Network net(sim, util::Rng(3));
+  BitcoinNode node(net, bitcoin::ChainParams::regtest());
+  Miner miner(node, 1.0, util::Rng(4));
+  miner.start();
+  // Run one simulated day: expect on the order of 144 blocks (600s spacing).
+  sim.run_until(util::kDay);
+  miner.stop();
+  EXPECT_GT(node.best_height(), 100);
+  EXPECT_LT(node.best_height(), 200);
+}
+
+TEST(MinerTest, StopHaltsProduction) {
+  util::Simulation sim;
+  Network net(sim, util::Rng(5));
+  BitcoinNode node(net, bitcoin::ChainParams::regtest());
+  Miner miner(node, 1.0, util::Rng(6));
+  miner.start();
+  sim.run_until(util::kHour);
+  miner.stop();
+  int height = node.best_height();
+  sim.run_until(2 * util::kDay);
+  EXPECT_EQ(node.best_height(), height);
+}
+
+TEST(MinerTest, MinedBlocksCarryValidPow) {
+  util::Simulation sim;
+  Network net(sim, util::Rng(7));
+  const auto& params = bitcoin::ChainParams::regtest();
+  BitcoinNode node(net, params);
+  Miner miner(node, 1.0, util::Rng(8));
+  auto block = miner.mine_one();
+  EXPECT_TRUE(bitcoin::check_proof_of_work(block.hash(), block.header.bits, params.pow_limit));
+  EXPECT_TRUE(block.is_well_formed());
+}
+
+TEST(AdversaryMinerTest, BuildsPrivateFork) {
+  util::Simulation sim;
+  Network net(sim, util::Rng(9));
+  const auto& params = bitcoin::ChainParams::regtest();
+  BitcoinNode node(net, params);
+  Miner miner(node, 1.0, util::Rng(10));
+  for (int i = 0; i < 5; ++i) miner.mine_one();
+
+  // Fork off height 2.
+  auto chain = node.tree().current_chain();
+  AdversaryMiner adversary(node, chain[2], 0.3, util::Rng(11));
+  std::uint32_t t = params.genesis_header.time + 10000;
+  for (int i = 0; i < 4; ++i) adversary.mine_next(t += 600);
+
+  EXPECT_EQ(adversary.private_blocks().size(), 4u);
+  EXPECT_EQ(adversary.tip_height(), 6);  // forked at 2, +4
+  // Private blocks are valid blocks (PoW, structure) — the attack model of
+  // §IV-A grants the adversary real mining ability.
+  for (const auto& b : adversary.private_blocks()) {
+    EXPECT_TRUE(b.is_well_formed());
+    EXPECT_TRUE(bitcoin::check_proof_of_work(b.hash(), b.header.bits, params.pow_limit));
+  }
+  // The honest node has never seen them.
+  EXPECT_FALSE(node.has_block(adversary.tip()));
+}
+
+TEST(AdversaryMinerTest, PrivateHeadersChainCorrectly) {
+  util::Simulation sim;
+  Network net(sim, util::Rng(12));
+  BitcoinNode node(net, bitcoin::ChainParams::regtest());
+  Miner miner(node, 1.0, util::Rng(13));
+  miner.mine_one();
+  AdversaryMiner adversary(node, node.best_tip(), 0.5, util::Rng(14));
+  std::uint32_t t = bitcoin::ChainParams::regtest().genesis_header.time + 5000;
+  adversary.mine_next(t);
+  adversary.mine_next(t + 600);
+  auto headers = adversary.private_headers();
+  ASSERT_EQ(headers.size(), 2u);
+  EXPECT_EQ(headers[0].prev_hash, node.best_tip());
+  EXPECT_EQ(headers[1].prev_hash, headers[0].hash());
+}
+
+TEST(AdversaryMinerTest, IntervalScalesWithShare) {
+  util::Simulation sim;
+  Network net(sim, util::Rng(15));
+  BitcoinNode node(net, bitcoin::ChainParams::regtest());
+  AdversaryMiner weak(node, node.best_tip(), 0.01, util::Rng(16));
+  AdversaryMiner strong(node, node.best_tip(), 0.5, util::Rng(17));
+  EXPECT_DOUBLE_EQ(weak.expected_block_interval_s(), 60000.0);
+  EXPECT_DOUBLE_EQ(strong.expected_block_interval_s(), 1200.0);
+  EXPECT_THROW(AdversaryMiner(node, node.best_tip(), 1.0, util::Rng(18)),
+               std::invalid_argument);
+}
+
+TEST(HarnessTest, NetworkConvergesUnderMining) {
+  util::Simulation sim;
+  BitcoinNetworkConfig config;
+  config.num_nodes = 12;
+  config.connections_per_node = 3;
+  config.num_miners = 3;
+  BitcoinNetworkHarness harness(sim, bitcoin::ChainParams::regtest(), config, 42);
+  sim.run();  // initial header handshakes
+  harness.start_miners();
+  sim.run_until(util::kDay / 4);
+  harness.stop_miners();
+  sim.run();  // drain in-flight propagation
+  EXPECT_GT(harness.max_best_height(), 10);
+  EXPECT_TRUE(harness.converged());
+}
+
+TEST(HarnessTest, MultipleMinersShareProduction) {
+  util::Simulation sim;
+  BitcoinNetworkConfig config;
+  config.num_nodes = 6;
+  config.num_miners = 3;
+  BitcoinNetworkHarness harness(sim, bitcoin::ChainParams::regtest(), config, 43);
+  sim.run();
+  harness.start_miners();
+  sim.run_until(util::kDay);
+  harness.stop_miners();
+  sim.run();
+  int total = 0;
+  for (auto* m : harness.miners()) {
+    EXPECT_GT(m->blocks_mined(), 0u);
+    total += static_cast<int>(m->blocks_mined());
+  }
+  // Together they mine at the full network rate: ~144/day.
+  EXPECT_GT(total, 100);
+  EXPECT_LT(total, 200);
+}
+
+TEST(HarnessTest, DnsSeedsRegistered) {
+  util::Simulation sim;
+  BitcoinNetworkConfig config;
+  config.num_nodes = 5;
+  config.num_dns_seeds = 2;
+  BitcoinNetworkHarness harness(sim, bitcoin::ChainParams::regtest(), config, 44);
+  EXPECT_EQ(harness.network().query_dns_seeds().size(), 2u);
+}
+
+}  // namespace
+}  // namespace icbtc::btcnet

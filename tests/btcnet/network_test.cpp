@@ -1,0 +1,176 @@
+#include "btcnet/network.h"
+
+#include <gtest/gtest.h>
+
+#include "bitcoin/params.h"
+
+namespace icbtc::btcnet {
+namespace {
+
+class RecordingEndpoint : public Endpoint {
+ public:
+  void deliver(NodeId from, const Message& msg) override {
+    received.emplace_back(from, msg);
+  }
+  void on_connected(NodeId peer) override { connects.push_back(peer); }
+  void on_disconnected(NodeId peer) override { disconnects.push_back(peer); }
+
+  std::vector<std::pair<NodeId, Message>> received;
+  std::vector<NodeId> connects;
+  std::vector<NodeId> disconnects;
+};
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  util::Simulation sim_;
+  Network net_{sim_, util::Rng(7)};
+  RecordingEndpoint a_, b_, c_;
+  NodeId ida_ = net_.attach(&a_);
+  NodeId idb_ = net_.attach(&b_);
+  NodeId idc_ = net_.attach(&c_, /*ipv6=*/false);
+};
+
+TEST_F(NetworkTest, AttachAssignsDistinctIds) {
+  EXPECT_NE(ida_, idb_);
+  EXPECT_NE(idb_, idc_);
+  EXPECT_TRUE(net_.exists(ida_));
+  EXPECT_FALSE(net_.exists(9999));
+}
+
+TEST_F(NetworkTest, ConnectionLifecycle) {
+  EXPECT_TRUE(net_.connect(ida_, idb_));
+  EXPECT_TRUE(net_.connected(ida_, idb_));
+  EXPECT_TRUE(net_.connected(idb_, ida_));  // symmetric
+  EXPECT_FALSE(net_.connect(ida_, idb_));   // already connected
+  EXPECT_FALSE(net_.connect(ida_, ida_));   // self-loop
+  EXPECT_EQ(a_.connects, std::vector<NodeId>{idb_});
+  net_.disconnect(ida_, idb_);
+  EXPECT_FALSE(net_.connected(ida_, idb_));
+  EXPECT_EQ(a_.disconnects, std::vector<NodeId>{idb_});
+}
+
+TEST_F(NetworkTest, MessageDeliveredWithLatency) {
+  net_.connect(ida_, idb_);
+  net_.send(ida_, idb_, MsgGetAddr{});
+  EXPECT_TRUE(b_.received.empty());  // not synchronous
+  sim_.run();
+  ASSERT_EQ(b_.received.size(), 1u);
+  EXPECT_EQ(b_.received[0].first, ida_);
+  EXPECT_TRUE(std::holds_alternative<MsgGetAddr>(b_.received[0].second));
+  EXPECT_GT(sim_.now(), 0);
+}
+
+TEST_F(NetworkTest, SendWithoutConnectionDropped) {
+  net_.send(ida_, idb_, MsgGetAddr{});
+  sim_.run();
+  EXPECT_TRUE(b_.received.empty());
+}
+
+TEST_F(NetworkTest, DisconnectInFlightDropsMessage) {
+  net_.connect(ida_, idb_);
+  net_.send(ida_, idb_, MsgGetAddr{});
+  net_.disconnect(ida_, idb_);
+  sim_.run();
+  EXPECT_TRUE(b_.received.empty());
+}
+
+TEST_F(NetworkTest, PartitionBlocksCrossTraffic) {
+  net_.connect(ida_, idb_);
+  net_.set_partitioned(ida_, true);
+  net_.send(ida_, idb_, MsgGetAddr{});
+  sim_.run();
+  EXPECT_TRUE(b_.received.empty());
+  // Both sides inside the partition can still talk.
+  net_.set_partitioned(idb_, true);
+  net_.send(ida_, idb_, MsgGetAddr{});
+  sim_.run();
+  EXPECT_EQ(b_.received.size(), 1u);
+  // Healing restores traffic.
+  net_.set_partitioned(ida_, false);
+  net_.set_partitioned(idb_, false);
+  net_.send(ida_, idb_, MsgGetAddr{});
+  sim_.run();
+  EXPECT_EQ(b_.received.size(), 2u);
+}
+
+TEST_F(NetworkTest, DnsSeeds) {
+  EXPECT_TRUE(net_.query_dns_seeds().empty());
+  net_.add_dns_seed(ida_);
+  net_.add_dns_seed(idc_);
+  auto seeds = net_.query_dns_seeds();
+  ASSERT_EQ(seeds.size(), 2u);
+  EXPECT_EQ(seeds[0].id, ida_);
+  EXPECT_TRUE(seeds[0].ipv6);
+  EXPECT_EQ(seeds[1].id, idc_);
+  EXPECT_FALSE(seeds[1].ipv6);
+}
+
+TEST_F(NetworkTest, SampleAddressesRespectsMaxAndGossipFlag) {
+  RecordingEndpoint hidden;
+  net_.attach(&hidden, true, /*gossiped=*/false);
+  util::Rng rng(1);
+  auto all = net_.sample_addresses(100, rng);
+  EXPECT_EQ(all.size(), 3u);  // a, b, c but not hidden
+  auto two = net_.sample_addresses(2, rng);
+  EXPECT_EQ(two.size(), 2u);
+}
+
+TEST_F(NetworkTest, DetachCleansUp) {
+  net_.connect(ida_, idb_);
+  net_.add_dns_seed(idb_);
+  net_.detach(idb_);
+  EXPECT_FALSE(net_.exists(idb_));
+  EXPECT_FALSE(net_.connected(ida_, idb_));
+  EXPECT_TRUE(net_.query_dns_seeds().empty());
+  EXPECT_EQ(a_.disconnects, std::vector<NodeId>{idb_});
+}
+
+TEST_F(NetworkTest, PeersOfListsAllLinks) {
+  net_.connect(ida_, idb_);
+  net_.connect(ida_, idc_);
+  auto peers = net_.peers_of(ida_);
+  EXPECT_EQ(peers.size(), 2u);
+  EXPECT_EQ(net_.peers_of(idb_), std::vector<NodeId>{ida_});
+}
+
+TEST_F(NetworkTest, StatsAccumulate) {
+  net_.connect(ida_, idb_);
+  EXPECT_EQ(net_.message_count(), 0u);
+  net_.send(ida_, idb_, MsgGetAddr{});
+  net_.send(ida_, idb_, MsgGetAddr{});
+  EXPECT_EQ(net_.message_count(), 2u);
+  EXPECT_GT(net_.bytes_sent(), 0u);
+}
+
+TEST(LatencyModelTest, ScalesWithSize) {
+  LatencyModel model;
+  model.jitter = 0.0;
+  util::Rng rng(3);
+  auto small = model.sample(100, rng);
+  auto large = model.sample(2 * 1024 * 1024, rng);
+  EXPECT_GT(large, small);
+  EXPECT_GE(small, model.base * 9 / 10);
+}
+
+TEST(LatencyModelTest, JitterBounded) {
+  LatencyModel model;
+  model.jitter = 0.2;
+  util::Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    auto t = model.sample(1024, rng);
+    double expected = static_cast<double>(model.base + model.per_kilobyte);
+    EXPECT_GE(t, static_cast<util::SimTime>(expected * 0.79));
+    EXPECT_LE(t, static_cast<util::SimTime>(expected * 1.21));
+  }
+}
+
+TEST(MessageSizeTest, BlockDominatedBySerializedSize) {
+  bitcoin::Block block = bitcoin::genesis_block(bitcoin::ChainParams::regtest());
+  EXPECT_EQ(message_size(MsgBlock{block}), 8 + block.size());
+  MsgHeaders headers;
+  headers.headers.resize(10);
+  EXPECT_EQ(message_size(headers), 8u + 810u);
+}
+
+}  // namespace
+}  // namespace icbtc::btcnet

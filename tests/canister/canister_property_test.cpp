@@ -1,0 +1,194 @@
+// Property tests of the Bitcoin canister over randomly generated chains:
+// view consistency between endpoints, pagination completeness, and anchor
+// accounting.
+#include <gtest/gtest.h>
+
+#include "bitcoin/script.h"
+#include "canister/bitcoin_canister.h"
+#include "chain/block_builder.h"
+#include "util/rng.h"
+
+namespace icbtc::canister {
+namespace {
+
+struct RandomChain {
+  const bitcoin::ChainParams& params = bitcoin::ChainParams::regtest();
+  CanisterConfig config = CanisterConfig::for_params(params);
+  BitcoinCanister canister;
+  chain::HeaderTree tree{params, params.genesis_header};
+  util::Rng rng;
+  util::Hash256 tip = params.genesis_header.hash();
+  std::uint32_t time = params.genesis_header.time;
+  std::uint64_t tag = 1;
+  std::vector<util::Bytes> scripts;
+  std::vector<std::string> addresses;
+  std::vector<bitcoin::OutPoint> spendable;
+
+  static CanisterConfig make_config(const bitcoin::ChainParams& params,
+                                    std::size_t utxos_per_page) {
+    auto config = CanisterConfig::for_params(params);
+    if (utxos_per_page != 0) config.utxos_per_page = utxos_per_page;
+    return config;
+  }
+
+  explicit RandomChain(std::uint64_t seed, int n_addresses = 6, std::size_t utxos_per_page = 0)
+      : config(make_config(params, utxos_per_page)), canister(params, config), rng(seed) {
+    for (int i = 0; i < n_addresses; ++i) {
+      util::Hash160 h;
+      auto bytes = rng.next_bytes(20);
+      std::copy(bytes.begin(), bytes.end(), h.data.begin());
+      scripts.push_back(bitcoin::p2pkh_script(h));
+      addresses.push_back(bitcoin::p2pkh_address(h, params.network));
+    }
+  }
+
+  void step() {
+    std::vector<bitcoin::Transaction> txs;
+    std::size_t n_tx = 1 + rng.next_below(4);
+    for (std::size_t t = 0; t < n_tx; ++t) {
+      bitcoin::Transaction tx;
+      bitcoin::TxIn in;
+      if (!spendable.empty() && rng.chance(0.6)) {
+        std::size_t pick = static_cast<std::size_t>(rng.next_below(spendable.size()));
+        in.prevout = spendable[pick];
+        spendable[pick] = spendable.back();
+        spendable.pop_back();
+      } else {
+        in.prevout.txid = rng.next_hash();
+      }
+      tx.inputs.push_back(in);
+      std::size_t n_out = 1 + rng.next_below(3);
+      for (std::size_t o = 0; o < n_out; ++o) {
+        tx.outputs.push_back(bitcoin::TxOut{
+            static_cast<bitcoin::Amount>(1000 + rng.next_below(50000)),
+            scripts[static_cast<std::size_t>(rng.next_below(scripts.size()))]});
+      }
+      tx.lock_time = static_cast<std::uint32_t>(tag);
+      txs.push_back(std::move(tx));
+    }
+    time += 600;
+    auto block = chain::build_child_block(tree, tip, time, scripts[0],
+                                          bitcoin::block_subsidy(0), std::move(txs), tag++);
+    tip = block.hash();
+    tree.accept(block.header, static_cast<std::int64_t>(time) + 10000);
+    for (const auto& tx : block.transactions) {
+      util::Hash256 txid = tx.txid();
+      for (std::uint32_t v = 0; v < tx.outputs.size(); ++v) {
+        if (!bitcoin::is_op_return(tx.outputs[v].script_pubkey)) {
+          spendable.push_back(bitcoin::OutPoint{txid, v});
+        }
+      }
+    }
+    adapter::AdapterResponse response;
+    response.blocks.emplace_back(std::move(block), tree.find(tip)->header);
+    canister.process_response(response, static_cast<std::int64_t>(time) + 10000);
+  }
+};
+
+class CanisterProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CanisterProperty, BalanceEqualsSumOfUtxos) {
+  RandomChain c(GetParam());
+  for (int i = 0; i < 40; ++i) c.step();
+  for (int conf : {0, 1, 3, 6}) {
+    for (const auto& addr : c.addresses) {
+      auto balance = c.canister.get_balance(addr, conf);
+      ASSERT_TRUE(balance.ok());
+      GetUtxosRequest request;
+      request.address = addr;
+      request.min_confirmations = conf;
+      bitcoin::Amount sum = 0;
+      for (;;) {
+        auto page = c.canister.get_utxos(request);
+        ASSERT_TRUE(page.ok());
+        for (const auto& u : page.value.utxos) sum += u.value;
+        if (!page.value.next_page) break;
+        request.page = page.value.next_page;
+      }
+      EXPECT_EQ(balance.value, sum) << addr << " conf " << conf;
+    }
+  }
+}
+
+TEST_P(CanisterProperty, PaginationIsCompleteAndDisjoint) {
+  // Two canisters over the same random chain: default pages vs 3-per-page.
+  RandomChain full_chain(GetParam());
+  RandomChain paged_chain(GetParam(), 6, /*utxos_per_page=*/3);
+  for (int i = 0; i < 30; ++i) {
+    full_chain.step();
+    paged_chain.step();
+  }
+  ASSERT_EQ(full_chain.addresses, paged_chain.addresses);  // same seed, same world
+
+  for (const auto& addr : full_chain.addresses) {
+    GetUtxosRequest request;
+    request.address = addr;
+    auto full = full_chain.canister.get_utxos(request);
+    ASSERT_TRUE(full.ok());
+
+    GetUtxosRequest paged_request;
+    paged_request.address = addr;
+    std::vector<Utxo> collected;
+    for (;;) {
+      auto page = paged_chain.canister.get_utxos(paged_request);
+      ASSERT_TRUE(page.ok());
+      EXPECT_LE(page.value.utxos.size(), 3u);
+      collected.insert(collected.end(), page.value.utxos.begin(), page.value.utxos.end());
+      if (!page.value.next_page) break;
+      paged_request.page = page.value.next_page;
+    }
+    // Page concatenation equals the single full response, element for
+    // element (same canonical order), with no duplicates or gaps.
+    EXPECT_EQ(collected, full.value.utxos) << addr;
+    std::set<std::pair<std::string, std::uint32_t>> seen;
+    int last_height = INT32_MAX;
+    for (const auto& u : collected) {
+      EXPECT_LE(u.height, last_height);
+      last_height = u.height;
+      EXPECT_TRUE(seen.insert({u.outpoint.txid.hex(), u.outpoint.vout}).second);
+    }
+  }
+}
+
+TEST_P(CanisterProperty, AnchorAccountingInvariants) {
+  RandomChain c(GetParam());
+  for (int i = 0; i < 40; ++i) {
+    c.step();
+    // The anchor trails the tip by at least δ-1 blocks while synced.
+    EXPECT_LE(c.canister.anchor_height(), c.canister.tip_height());
+    if (c.canister.anchor_height() > 0) {
+      EXPECT_GE(c.canister.tip_height() - c.canister.anchor_height(),
+                c.config.stability_delta - 1);
+    }
+    // Unstable block count matches the span above the anchor (linear chain).
+    EXPECT_EQ(c.canister.unstable_block_count(),
+              static_cast<std::size_t>(c.canister.tip_height() - c.canister.anchor_height()));
+    // Archived headers = anchor height (heights 0..anchor-1).
+    EXPECT_EQ(c.canister.archived_headers(),
+              static_cast<std::size_t>(c.canister.anchor_height()));
+    EXPECT_TRUE(c.canister.is_synced());
+  }
+}
+
+TEST_P(CanisterProperty, CanisterTracksBuilderTree) {
+  RandomChain c(GetParam());
+  for (int i = 0; i < 25; ++i) c.step();
+  EXPECT_EQ(c.canister.tip_height(), c.tree.best_height());
+  EXPECT_EQ(c.canister.header_tree().best_tip(), c.tree.best_tip());
+}
+
+TEST_P(CanisterProperty, FeePercentilesMonotone) {
+  RandomChain c(GetParam());
+  for (int i = 0; i < 20; ++i) c.step();
+  auto outcome = c.canister.get_current_fee_percentiles();
+  ASSERT_TRUE(outcome.ok());
+  for (std::size_t i = 1; i < outcome.value.size(); ++i) {
+    EXPECT_GE(outcome.value[i], outcome.value[i - 1]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CanisterProperty,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u, 606u));
+
+}  // namespace
+}  // namespace icbtc::canister

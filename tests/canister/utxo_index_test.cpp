@@ -1,0 +1,150 @@
+#include "canister/utxo_index.h"
+
+#include <gtest/gtest.h>
+
+#include "bitcoin/script.h"
+
+namespace icbtc::canister {
+namespace {
+
+bitcoin::OutPoint op(std::uint8_t tag, std::uint32_t vout = 0) {
+  bitcoin::OutPoint o;
+  o.txid.data[0] = tag;
+  o.vout = vout;
+  return o;
+}
+
+util::Bytes script(std::uint8_t tag) {
+  util::Hash160 h;
+  h.data[0] = tag;
+  return bitcoin::p2pkh_script(h);
+}
+
+class UtxoIndexTest : public ::testing::Test {
+ protected:
+  UtxoIndex index_;
+  ic::InstructionMeter meter_;
+};
+
+TEST_F(UtxoIndexTest, InsertAndQuery) {
+  index_.insert(op(1), bitcoin::TxOut{100, script(1)}, 10, meter_);
+  index_.insert(op(2), bitcoin::TxOut{200, script(1)}, 20, meter_);
+  index_.insert(op(3), bitcoin::TxOut{300, script(2)}, 15, meter_);
+
+  EXPECT_EQ(index_.size(), 3u);
+  EXPECT_EQ(index_.distinct_scripts(), 2u);
+  EXPECT_EQ(index_.balance_of_script(script(1), meter_), 300);
+  EXPECT_EQ(index_.balance_of_script(script(2), meter_), 300);
+  EXPECT_EQ(index_.balance_of_script(script(9), meter_), 0);
+}
+
+TEST_F(UtxoIndexTest, UtxosSortedByHeightDescending) {
+  index_.insert(op(1), bitcoin::TxOut{1, script(1)}, 10, meter_);
+  index_.insert(op(2), bitcoin::TxOut{2, script(1)}, 30, meter_);
+  index_.insert(op(3), bitcoin::TxOut{3, script(1)}, 20, meter_);
+  auto utxos = index_.utxos_for_script(script(1), meter_);
+  ASSERT_EQ(utxos.size(), 3u);
+  EXPECT_EQ(utxos[0].height, 30);
+  EXPECT_EQ(utxos[1].height, 20);
+  EXPECT_EQ(utxos[2].height, 10);
+}
+
+TEST_F(UtxoIndexTest, RemoveUpdatesBothIndexes) {
+  index_.insert(op(1), bitcoin::TxOut{100, script(1)}, 10, meter_);
+  index_.remove(op(1), meter_);
+  EXPECT_EQ(index_.size(), 0u);
+  EXPECT_EQ(index_.distinct_scripts(), 0u);
+  EXPECT_TRUE(index_.utxos_for_script(script(1), meter_).empty());
+  EXPECT_FALSE(index_.find(op(1)).has_value());
+}
+
+TEST_F(UtxoIndexTest, RemoveMissingOutpointTolerated) {
+  // §III-C: transactions are not validated; spends of unknown outputs are
+  // charged but ignored.
+  auto before = meter_.count();
+  index_.remove(op(42), meter_);
+  EXPECT_GT(meter_.count(), before);
+  EXPECT_EQ(index_.size(), 0u);
+}
+
+TEST_F(UtxoIndexTest, OpReturnSkipped) {
+  index_.insert(op(1), bitcoin::TxOut{0, bitcoin::op_return_script(util::Bytes{1})}, 5, meter_);
+  EXPECT_EQ(index_.size(), 0u);
+}
+
+TEST_F(UtxoIndexTest, MeteringMatchesConfiguredCosts) {
+  InstructionCosts costs;
+  ic::InstructionMeter meter;
+  UtxoIndex index(costs);
+  index.insert(op(1), bitcoin::TxOut{100, script(1)}, 10, meter);
+  EXPECT_EQ(meter.count(), costs.output_insert);
+  index.remove(op(1), meter);
+  EXPECT_EQ(meter.count(), costs.output_insert + costs.input_remove);
+  index.insert(op(2), bitcoin::TxOut{5, script(3)}, 2, meter);
+  auto before = meter.count();
+  index.utxos_for_script(script(3), meter);
+  EXPECT_EQ(meter.count() - before, costs.stable_utxo_read);
+}
+
+TEST_F(UtxoIndexTest, MemoryGrowsAndShrinks) {
+  EXPECT_EQ(index_.memory_bytes(), 0u);
+  index_.insert(op(1), bitcoin::TxOut{100, script(1)}, 10, meter_);
+  auto after_one = index_.memory_bytes();
+  EXPECT_GT(after_one, 0u);
+  index_.insert(op(2), bitcoin::TxOut{100, script(1)}, 10, meter_);
+  EXPECT_EQ(index_.memory_bytes(), 2 * after_one);
+  index_.remove(op(1), meter_);
+  EXPECT_EQ(index_.memory_bytes(), after_one);
+}
+
+TEST_F(UtxoIndexTest, FindAndScriptOf) {
+  index_.insert(op(7), bitcoin::TxOut{700, script(7)}, 70, meter_);
+  auto found = index_.find(op(7));
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->value, 700);
+  EXPECT_EQ(found->height, 70);
+  const auto* s = index_.script_of(op(7));
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(*s, script(7));
+  EXPECT_EQ(index_.script_of(op(8)), nullptr);
+}
+
+TEST_F(UtxoIndexTest, ApplyBlockChargesSplitCosts) {
+  // One spend, two outputs: instructions should be ~1 remove + 2 inserts.
+  index_.insert(op(1), bitcoin::TxOut{1000, script(1)}, 1, meter_);
+  bitcoin::Block block;
+  bitcoin::Transaction coinbase;
+  bitcoin::TxIn cin;
+  cin.prevout = bitcoin::OutPoint::null();
+  coinbase.inputs.push_back(cin);
+  coinbase.outputs.push_back(bitcoin::TxOut{50, script(2)});
+  bitcoin::Transaction tx;
+  bitcoin::TxIn in;
+  in.prevout = op(1);
+  tx.inputs.push_back(in);
+  tx.outputs.push_back(bitcoin::TxOut{999, script(3)});
+  block.transactions = {coinbase, tx};
+
+  ic::InstructionMeter meter;
+  index_.apply_block(block, 2, meter);
+  const auto& costs = index_.costs();
+  EXPECT_EQ(meter.count(),
+            2 * costs.per_tx_overhead + costs.input_remove + 2 * costs.output_insert);
+  EXPECT_EQ(index_.size(), 2u);
+}
+
+TEST_F(UtxoIndexTest, SameScriptManyUtxosPaginationOrderStable) {
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    index_.insert(op(i, i), bitcoin::TxOut{i + 1, script(1)}, 100 - i, meter_);
+  }
+  auto first = index_.utxos_for_script(script(1), meter_);
+  auto second = index_.utxos_for_script(script(1), meter_);
+  EXPECT_EQ(first.size(), 50u);
+  EXPECT_EQ(first, second);  // deterministic order for pagination
+  for (std::size_t i = 1; i < first.size(); ++i) {
+    EXPECT_GE(first[i - 1].height, first[i].height);
+  }
+}
+
+}  // namespace
+}  // namespace icbtc::canister

@@ -1,0 +1,159 @@
+// Property tests of the stability calculus (Definition II.1) over randomly
+// grown block trees.
+#include <gtest/gtest.h>
+
+#include "chain/block_builder.h"
+#include "util/rng.h"
+
+namespace icbtc::chain {
+namespace {
+
+/// Grows a random tree: at each step, extends a uniformly random existing
+/// block (biased towards tips to resemble mining).
+struct RandomTree {
+  const bitcoin::ChainParams& params = bitcoin::ChainParams::regtest();
+  HeaderTree tree{params, params.genesis_header};
+  util::Rng rng;
+  std::vector<util::Hash256> all_blocks{tree.root_hash()};
+  std::uint32_t time = params.genesis_header.time;
+  std::uint32_t salt = 0;
+
+  explicit RandomTree(std::uint64_t seed, int n_blocks, double fork_probability = 0.25)
+      : rng(seed) {
+    for (int i = 0; i < n_blocks; ++i) {
+      util::Hash256 parent;
+      if (rng.next_double() < fork_probability) {
+        parent = all_blocks[static_cast<std::size_t>(rng.next_below(all_blocks.size()))];
+      } else {
+        parent = tree.best_tip();
+      }
+      util::Hash256 merkle;
+      merkle.data[0] = static_cast<std::uint8_t>(++salt);
+      merkle.data[1] = static_cast<std::uint8_t>(salt >> 8);
+      time += 600;
+      auto header = build_child_header(tree, parent, time, merkle);
+      auto result = tree.accept(header, static_cast<std::int64_t>(time) + 100000);
+      EXPECT_EQ(result, AcceptResult::kAccepted);
+      all_blocks.push_back(header.hash());
+    }
+  }
+};
+
+class StabilityProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StabilityProperty, AtMostOneStableBlockPerHeightForEveryDelta) {
+  RandomTree t(GetParam(), 60);
+  for (int h = 0; h <= t.tree.max_height(); ++h) {
+    auto blocks = t.tree.blocks_at_height(h);
+    for (int delta : {1, 2, 3, 5, 8}) {
+      int stable = 0;
+      for (const auto& b : blocks) {
+        if (t.tree.is_confirmation_stable(b, delta)) ++stable;
+      }
+      EXPECT_LE(stable, 1) << "height " << h << " delta " << delta;
+    }
+  }
+}
+
+TEST_P(StabilityProperty, StabilityIsMonotoneInDelta) {
+  RandomTree t(GetParam(), 50);
+  for (const auto& b : t.all_blocks) {
+    int stability = t.tree.confirmation_stability(b);
+    for (int delta = 1; delta <= 10; ++delta) {
+      EXPECT_EQ(t.tree.is_confirmation_stable(b, delta), delta <= stability)
+          << b.hex() << " delta " << delta;
+    }
+  }
+}
+
+TEST_P(StabilityProperty, DepthBoundsStability) {
+  // Condition (1) of Definition II.1: δ-stable requires d(b) >= δ.
+  RandomTree t(GetParam(), 50);
+  for (const auto& b : t.all_blocks) {
+    EXPECT_LE(t.tree.confirmation_stability(b), t.tree.depth_count(b));
+  }
+}
+
+TEST_P(StabilityProperty, CurrentChainIsConsistent) {
+  RandomTree t(GetParam(), 60);
+  auto chain = t.tree.current_chain();
+  ASSERT_FALSE(chain.empty());
+  EXPECT_EQ(chain.front(), t.tree.root_hash());
+  EXPECT_EQ(chain.back(), t.tree.best_tip());
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    const auto* entry = t.tree.find(chain[i]);
+    ASSERT_NE(entry, nullptr);
+    EXPECT_EQ(entry->parent, chain[i - 1]);
+    EXPECT_EQ(entry->height, static_cast<int>(i));
+  }
+}
+
+TEST_P(StabilityProperty, BestTipMaximizesWork) {
+  RandomTree t(GetParam(), 60);
+  const auto* best = t.tree.find(t.tree.best_tip());
+  for (const auto& tip : t.tree.tips()) {
+    EXPECT_LE(t.tree.find(tip)->cumulative_work, best->cumulative_work);
+  }
+}
+
+TEST_P(StabilityProperty, DifficultyStableImpliesMostWorkAtHeight) {
+  RandomTree t(GetParam(), 60);
+  crypto::U256 ref = t.tree.root().block_work;
+  for (const auto& b : t.all_blocks) {
+    if (!t.tree.is_difficulty_stable(b, 2, ref)) continue;
+    const auto* entry = t.tree.find(b);
+    for (const auto& other : t.tree.blocks_at_height(entry->height)) {
+      if (other == b) continue;
+      EXPECT_LT(t.tree.depth_work(other), t.tree.depth_work(b));
+    }
+  }
+}
+
+TEST_P(StabilityProperty, DepthWorkConsistentWithDepthCount) {
+  // Constant difficulty: d_w == w * d_c for every block.
+  RandomTree t(GetParam(), 50);
+  crypto::U256 w = t.tree.root().block_work;
+  for (const auto& b : t.all_blocks) {
+    crypto::U256 expected =
+        crypto::mul_full(w, crypto::U256(static_cast<std::uint64_t>(t.tree.depth_count(b))))
+            .lo();
+    EXPECT_EQ(t.tree.depth_work(b), expected);
+  }
+}
+
+TEST_P(StabilityProperty, RerootPreservesSubtreeMetrics) {
+  RandomTree t(GetParam(), 60);
+  // Pick the current chain's first block as the new root.
+  auto chain = t.tree.current_chain();
+  if (chain.size() < 3) return;
+  util::Hash256 new_root = chain[1];
+  // Record depths of surviving blocks before the reroot.
+  std::vector<std::pair<util::Hash256, int>> before;
+  for (const auto& b : t.all_blocks) {
+    const auto* entry = t.tree.find(b);
+    if (entry == nullptr) continue;
+    // Survives iff in the subtree of new_root.
+    const auto* cur = entry;
+    bool survives = false;
+    while (cur != nullptr) {
+      if (cur->hash == new_root) {
+        survives = true;
+        break;
+      }
+      cur = t.tree.find(cur->parent);
+    }
+    if (survives) before.emplace_back(b, t.tree.depth_count(b));
+  }
+  t.tree.reroot(new_root);
+  for (const auto& [hash, depth] : before) {
+    ASSERT_TRUE(t.tree.contains(hash));
+    EXPECT_EQ(t.tree.depth_count(hash), depth) << hash.hex();
+  }
+  EXPECT_EQ(t.tree.root_hash(), new_root);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StabilityProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u, 55u, 89u));
+
+}  // namespace
+}  // namespace icbtc::chain

@@ -1,0 +1,234 @@
+// Tests of the ckBTC-style minter: deposit -> mint, token transfers, and
+// burn -> native BTC withdrawal, over the full simulated stack.
+#include <gtest/gtest.h>
+
+#include "btcnet/harness.h"
+#include "contracts/ckbtc_minter.h"
+
+namespace icbtc::contracts {
+namespace {
+
+using btcnet::BitcoinNetworkConfig;
+using btcnet::BitcoinNetworkHarness;
+
+TEST(LedgerTest, MintBurnTransfer) {
+  Ledger ledger;
+  EXPECT_EQ(ledger.balance_of("alice"), 0);
+  ledger.mint("alice", 1000);
+  EXPECT_EQ(ledger.balance_of("alice"), 1000);
+  EXPECT_EQ(ledger.total_supply(), 1000);
+
+  EXPECT_TRUE(ledger.transfer("alice", "bob", 400));
+  EXPECT_EQ(ledger.balance_of("alice"), 600);
+  EXPECT_EQ(ledger.balance_of("bob"), 400);
+  EXPECT_EQ(ledger.total_supply(), 1000);  // transfers conserve supply
+
+  EXPECT_FALSE(ledger.transfer("alice", "bob", 601));
+  EXPECT_FALSE(ledger.transfer("carol", "bob", 1));
+  EXPECT_FALSE(ledger.transfer("alice", "bob", 0));
+
+  EXPECT_TRUE(ledger.burn("bob", 400));
+  EXPECT_EQ(ledger.balance_of("bob"), 0);
+  EXPECT_EQ(ledger.total_supply(), 600);
+  EXPECT_FALSE(ledger.burn("bob", 1));
+  EXPECT_THROW(ledger.mint("x", 0), std::invalid_argument);
+  EXPECT_EQ(ledger.transactions(), 3u);  // mint + transfer + burn succeeded
+}
+
+class CkBtcTest : public ::testing::Test {
+ protected:
+  CkBtcTest() {
+    BitcoinNetworkConfig btc_config;
+    btc_config.num_nodes = 10;
+    btc_config.num_miners = 1;
+    btc_config.ipv6_fraction = 1.0;
+    harness_ = std::make_unique<BitcoinNetworkHarness>(sim_, params_, btc_config, 777);
+    sim_.run();
+
+    ic::SubnetConfig subnet_config;
+    subnet_config.num_nodes = 13;
+    subnet_config.num_byzantine = 4;
+    subnet_ = std::make_unique<ic::Subnet>(sim_, subnet_config, 778);
+
+    canister::IntegrationConfig config;
+    config.adapter.addr_lower_threshold = 3;
+    config.adapter.addr_upper_threshold = 8;
+    config.adapter.multi_block_below_height = 1 << 30;
+    config.canister = canister::CanisterConfig::for_params(params_);
+    integration_ = std::make_unique<canister::BitcoinIntegration>(
+        *subnet_, harness_->network(), params_, config, 779);
+    subnet_->start();
+    integration_->start();
+    minter_ = std::make_unique<CkBtcMinter>(*integration_, "ckbtc-test",
+                                            /*required_confirmations=*/2);
+  }
+
+  void pay(const std::string& address, bitcoin::Amount amount) {
+    auto decoded = bitcoin::decode_address(address, params_.network);
+    ASSERT_TRUE(decoded.has_value());
+    auto& node = harness_->node(0);
+    auto block = chain::build_child_block(
+        node.tree(), node.best_tip(),
+        static_cast<std::uint32_t>(params_.genesis_header.time +
+                                   sim_.now() / util::kSecond + 600),
+        bitcoin::script_for_address(*decoded), amount, {}, tag_++);
+    ASSERT_TRUE(node.submit_block(block));
+    settle();
+  }
+
+  void mine(int n) {
+    for (int i = 0; i < n; ++i) {
+      sim_.run_until(sim_.now() + 600 * util::kSecond);
+      harness_->miners()[0]->mine_one();
+    }
+    settle();
+  }
+
+  void settle() { sim_.run_until(sim_.now() + 3 * util::kMinute); }
+
+  util::Simulation sim_;
+  const bitcoin::ChainParams& params_ = bitcoin::ChainParams::regtest();
+  std::unique_ptr<BitcoinNetworkHarness> harness_;
+  std::unique_ptr<ic::Subnet> subnet_;
+  std::unique_ptr<canister::BitcoinIntegration> integration_;
+  std::unique_ptr<CkBtcMinter> minter_;
+  std::uint64_t tag_ = 0xcb;
+};
+
+TEST_F(CkBtcTest, DepositAddressesAreStablePerUserAndDistinct) {
+  auto a1 = minter_->deposit_address_for("alice");
+  auto a2 = minter_->deposit_address_for("alice");
+  auto b = minter_->deposit_address_for("bob");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+}
+
+TEST_F(CkBtcTest, DepositMintsAfterConfirmations) {
+  auto address = minter_->deposit_address_for("alice");
+  pay(address, bitcoin::kCoin);
+  // One block = one confirmation; c* = 2 not reached yet.
+  auto minted = minter_->update_balance("alice");
+  ASSERT_TRUE(minted.ok());
+  EXPECT_EQ(minted.value, 0);
+  EXPECT_EQ(minter_->ledger().balance_of("alice"), 0);
+
+  mine(2);
+  minted = minter_->update_balance("alice");
+  ASSERT_TRUE(minted.ok());
+  EXPECT_EQ(minted.value, bitcoin::kCoin);
+  EXPECT_EQ(minter_->ledger().balance_of("alice"), bitcoin::kCoin);
+  EXPECT_EQ(minter_->ledger().total_supply(), bitcoin::kCoin);
+  EXPECT_EQ(minter_->managed_btc(), bitcoin::kCoin);
+}
+
+TEST_F(CkBtcTest, NoDoubleCrediting) {
+  auto address = minter_->deposit_address_for("alice");
+  pay(address, bitcoin::kCoin);
+  mine(2);
+  EXPECT_EQ(minter_->update_balance("alice").value, bitcoin::kCoin);
+  EXPECT_EQ(minter_->update_balance("alice").value, 0);
+  mine(1);
+  EXPECT_EQ(minter_->update_balance("alice").value, 0);
+  EXPECT_EQ(minter_->ledger().balance_of("alice"), bitcoin::kCoin);
+}
+
+TEST_F(CkBtcTest, TokensTransferInstantly) {
+  pay(minter_->deposit_address_for("alice"), bitcoin::kCoin);
+  mine(2);
+  minter_->update_balance("alice");
+  // Token transfers need no Bitcoin transaction: the whole point of the
+  // integration (§I: fast, cheap Bitcoin-denominated applications).
+  EXPECT_TRUE(minter_->ledger().transfer("alice", "bob", 30'000'000));
+  EXPECT_EQ(minter_->ledger().balance_of("bob"), 30'000'000);
+  EXPECT_EQ(minter_->ledger().balance_of("alice"), 70'000'000);
+}
+
+TEST_F(CkBtcTest, RetrieveBtcPaysOutOnChain) {
+  pay(minter_->deposit_address_for("alice"), bitcoin::kCoin);
+  mine(2);
+  minter_->update_balance("alice");
+
+  util::Hash160 dest;
+  dest.data[0] = 0x99;
+  std::string dest_address = bitcoin::p2pkh_address(dest, params_.network);
+  auto result = minter_->retrieve_btc("alice", dest_address, 40'000'000);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.fee, 0);
+  EXPECT_EQ(result.amount_sent, 40'000'000 - result.fee);
+  // Tokens burned.
+  EXPECT_EQ(minter_->ledger().balance_of("alice"), 60'000'000);
+  EXPECT_EQ(minter_->ledger().total_supply(), 60'000'000);
+
+  settle();
+  mine(1);
+  auto balance = integration_->query_get_balance(dest_address);
+  ASSERT_TRUE(balance.outcome.ok());
+  EXPECT_EQ(balance.outcome.value, result.amount_sent);
+}
+
+TEST_F(CkBtcTest, RetrieveRejectsInsufficientTokens) {
+  pay(minter_->deposit_address_for("alice"), 10'000'000);
+  mine(2);
+  minter_->update_balance("alice");
+  util::Hash160 dest;
+  auto result = minter_->retrieve_btc("alice", bitcoin::p2pkh_address(dest, params_.network),
+                                      20'000'000);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(minter_->ledger().balance_of("alice"), 10'000'000);  // unchanged
+}
+
+TEST_F(CkBtcTest, RetrieveRejectsBadAddressAndDust) {
+  pay(minter_->deposit_address_for("alice"), bitcoin::kCoin);
+  mine(2);
+  minter_->update_balance("alice");
+  EXPECT_FALSE(minter_->retrieve_btc("alice", "garbage", 1'000'000).ok());
+  util::Hash160 dest;
+  EXPECT_FALSE(
+      minter_->retrieve_btc("alice", bitcoin::p2pkh_address(dest, params_.network), 100).ok());
+  EXPECT_EQ(minter_->ledger().balance_of("alice"), bitcoin::kCoin);
+}
+
+TEST_F(CkBtcTest, WithdrawalsPoolAcrossDepositors) {
+  // Alice and Bob deposit; Bob transfers tokens to Carol; Carol withdraws
+  // more than either single deposit — the minter spends pooled UTXOs.
+  pay(minter_->deposit_address_for("alice"), 30'000'000);
+  pay(minter_->deposit_address_for("bob"), 30'000'000);
+  mine(2);
+  minter_->update_balance("alice");
+  minter_->update_balance("bob");
+  ASSERT_TRUE(minter_->ledger().transfer("alice", "carol", 30'000'000));
+  ASSERT_TRUE(minter_->ledger().transfer("bob", "carol", 30'000'000));
+
+  util::Hash160 dest;
+  dest.data[0] = 0xcc;
+  std::string dest_address = bitcoin::p2pkh_address(dest, params_.network);
+  auto result = minter_->retrieve_btc("carol", dest_address, 50'000'000);
+  ASSERT_TRUE(result.ok());
+  settle();
+  mine(1);
+  auto balance = integration_->query_get_balance(dest_address);
+  EXPECT_EQ(balance.outcome.value, result.amount_sent);
+  EXPECT_EQ(minter_->ledger().balance_of("carol"), 10'000'000);
+}
+
+TEST_F(CkBtcTest, SupplyNeverExceedsManagedBtc) {
+  pay(minter_->deposit_address_for("alice"), bitcoin::kCoin);
+  mine(2);
+  minter_->update_balance("alice");
+  EXPECT_LE(minter_->ledger().total_supply(), minter_->managed_btc());
+
+  util::Hash160 dest;
+  auto result = minter_->retrieve_btc("alice", bitcoin::p2pkh_address(dest, params_.network),
+                                      25'000'000);
+  ASSERT_TRUE(result.ok());
+  // After the withdrawal, remaining supply is still backed by the pool
+  // (change output included).
+  EXPECT_LE(minter_->ledger().total_supply(), minter_->managed_btc());
+}
+
+TEST_F(CkBtcTest, ValidatesConstruction) {
+  EXPECT_THROW(CkBtcMinter(*integration_, "x", 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace icbtc::contracts

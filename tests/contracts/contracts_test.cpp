@@ -1,0 +1,280 @@
+// Tests of the smart-contract layer: threshold-ECDSA wallet, escrow, and
+// payroll, run against the full simulated stack.
+#include <gtest/gtest.h>
+
+#include "btcnet/harness.h"
+#include "contracts/btc_wallet.h"
+#include "contracts/escrow.h"
+#include "contracts/payroll.h"
+
+namespace icbtc::contracts {
+namespace {
+
+using btcnet::BitcoinNetworkConfig;
+using btcnet::BitcoinNetworkHarness;
+
+class ContractsTest : public ::testing::Test {
+ protected:
+  ContractsTest() {
+    BitcoinNetworkConfig btc_config;
+    btc_config.num_nodes = 10;
+    btc_config.connections_per_node = 3;
+    btc_config.num_dns_seeds = 3;
+    btc_config.num_miners = 1;
+    btc_config.ipv6_fraction = 1.0;
+    harness_ = std::make_unique<BitcoinNetworkHarness>(sim_, params_, btc_config, 4242);
+    sim_.run();
+
+    ic::SubnetConfig subnet_config;
+    subnet_config.num_nodes = 13;
+    subnet_config.num_byzantine = 4;  // worst tolerated corruption
+    subnet_ = std::make_unique<ic::Subnet>(sim_, subnet_config, 12345);
+
+    canister::IntegrationConfig config;
+    config.adapter.addr_lower_threshold = 3;
+    config.adapter.addr_upper_threshold = 8;
+    config.adapter.multi_block_below_height = 1 << 30;
+    config.canister = canister::CanisterConfig::for_params(params_);
+    integration_ = std::make_unique<canister::BitcoinIntegration>(
+        *subnet_, harness_->network(), params_, config, 31415);
+    subnet_->start();
+    integration_->start();
+  }
+
+  /// Mines a block paying `amount` to `address` and lets the stack settle.
+  void fund_address(const std::string& address, bitcoin::Amount amount) {
+    auto decoded = bitcoin::decode_address(address, params_.network);
+    ASSERT_TRUE(decoded.has_value());
+    auto& node = harness_->node(0);
+    auto block = chain::build_child_block(
+        node.tree(), node.best_tip(),
+        static_cast<std::uint32_t>(params_.genesis_header.time +
+                                   sim_.now() / util::kSecond + 600),
+        bitcoin::script_for_address(*decoded), amount, {}, next_tag_++);
+    ASSERT_TRUE(node.submit_block(block));
+    settle();
+  }
+
+  void mine(int n) {
+    auto* miner = harness_->miners()[0];
+    for (int i = 0; i < n; ++i) {
+      sim_.run_until(sim_.now() + 600 * util::kSecond);
+      miner->mine_one();
+    }
+    settle();
+  }
+
+  void settle() { sim_.run_until(sim_.now() + 3 * util::kMinute); }
+
+  util::Simulation sim_;
+  const bitcoin::ChainParams& params_ = bitcoin::ChainParams::regtest();
+  std::unique_ptr<BitcoinNetworkHarness> harness_;
+  std::unique_ptr<ic::Subnet> subnet_;
+  std::unique_ptr<canister::BitcoinIntegration> integration_;
+  std::uint64_t next_tag_ = 0xc0ffee;
+};
+
+TEST_F(ContractsTest, WalletAddressesAreDistinctPerPath) {
+  BtcWallet w1(*integration_, {{0x01}});
+  BtcWallet w2(*integration_, {{0x02}});
+  EXPECT_NE(w1.address(), w2.address());
+  EXPECT_NE(w1.public_key(), w2.public_key());
+  // Addresses decode on the right network.
+  EXPECT_TRUE(bitcoin::decode_address(w1.address(), params_.network).has_value());
+}
+
+TEST_F(ContractsTest, WalletSeesFunding) {
+  BtcWallet wallet(*integration_, {{0x03}});
+  EXPECT_EQ(wallet.balance(0).value, 0);
+  fund_address(wallet.address(), 2 * bitcoin::kCoin);
+  auto balance = wallet.balance(0);
+  ASSERT_TRUE(balance.ok());
+  EXPECT_EQ(balance.value, 2 * bitcoin::kCoin);
+  // With 1 confirmation required it is already visible (it is in a block).
+  EXPECT_EQ(wallet.balance(1).value, 2 * bitcoin::kCoin);
+}
+
+TEST_F(ContractsTest, WalletSpendsEndToEnd) {
+  BtcWallet wallet(*integration_, {{0x04}});
+  fund_address(wallet.address(), 1 * bitcoin::kCoin);
+
+  util::Hash160 merchant;
+  merchant.data[0] = 0x11;
+  std::string merchant_address = bitcoin::p2pkh_address(merchant, params_.network);
+
+  auto sent = wallet.send({{merchant_address, 30'000'000}}, 2, 1);
+  ASSERT_TRUE(sent.ok());
+  EXPECT_GT(sent.fee, 0);
+  EXPECT_EQ(sent.inputs_used, 1u);
+  EXPECT_GT(wallet.signatures_requested(), 0u);
+
+  // The signed transaction must be valid on the Bitcoin network: relayed,
+  // mined, and reflected back in the canister state.
+  settle();
+  mine(1);
+  auto merchant_balance = integration_->query_get_balance(merchant_address);
+  ASSERT_TRUE(merchant_balance.outcome.ok());
+  EXPECT_EQ(merchant_balance.outcome.value, 30'000'000);
+  // Change came back to the wallet.
+  auto change = wallet.balance(0);
+  ASSERT_TRUE(change.ok());
+  EXPECT_EQ(change.value, 1 * bitcoin::kCoin - 30'000'000 - sent.fee);
+}
+
+TEST_F(ContractsTest, WalletRejectsOverdraft) {
+  BtcWallet wallet(*integration_, {{0x05}});
+  fund_address(wallet.address(), 100'000);
+  auto sent = wallet.send({{wallet.address(), 10 * bitcoin::kCoin}});
+  EXPECT_FALSE(sent.ok());
+}
+
+TEST_F(ContractsTest, WalletRejectsBadRecipient) {
+  BtcWallet wallet(*integration_, {{0x06}});
+  fund_address(wallet.address(), bitcoin::kCoin);
+  EXPECT_EQ(wallet.send({{"nonsense", 1000}}).status, canister::Status::kBadAddress);
+  EXPECT_EQ(wallet.send({{wallet.address(), -5}}).status, canister::Status::kBadAddress);
+}
+
+TEST_F(ContractsTest, WalletConsolidatesMultipleUtxos) {
+  BtcWallet wallet(*integration_, {{0x07}});
+  fund_address(wallet.address(), 10'000'000);
+  fund_address(wallet.address(), 10'000'000);
+  fund_address(wallet.address(), 10'000'000);
+  auto utxos = wallet.utxos(0);
+  ASSERT_TRUE(utxos.ok());
+  EXPECT_EQ(utxos.value.size(), 3u);
+
+  util::Hash160 dest;
+  dest.data[0] = 0x22;
+  auto sent = wallet.send({{bitcoin::p2pkh_address(dest, params_.network), 25'000'000}}, 2, 0);
+  ASSERT_TRUE(sent.ok());
+  EXPECT_GE(sent.inputs_used, 3u);
+}
+
+TEST_F(ContractsTest, EscrowLifecycleRelease) {
+  util::Hash160 buyer, seller;
+  buyer.data[0] = 0xb1;
+  seller.data[0] = 0x51;
+  std::string buyer_addr = bitcoin::p2pkh_address(buyer, params_.network);
+  std::string seller_addr = bitcoin::p2pkh_address(seller, params_.network);
+
+  EscrowContract escrow(*integration_, "order-42", buyer_addr, seller_addr,
+                        bitcoin::kCoin, /*required_confirmations=*/2);
+  EXPECT_EQ(escrow.state(), EscrowState::kAwaitingDeposit);
+  EXPECT_EQ(escrow.refresh(), EscrowState::kAwaitingDeposit);
+
+  // Buyer deposits; one block is not enough for c*=2 confirmations.
+  fund_address(escrow.deposit_address(), bitcoin::kCoin);
+  EXPECT_EQ(escrow.refresh(), EscrowState::kAwaitingDeposit);
+  mine(2);
+  EXPECT_EQ(escrow.refresh(), EscrowState::kFunded);
+
+  auto released = escrow.release();
+  ASSERT_TRUE(released.ok());
+  EXPECT_EQ(escrow.state(), EscrowState::kReleased);
+  settle();
+  mine(1);
+  auto seller_balance = integration_->query_get_balance(seller_addr);
+  ASSERT_TRUE(seller_balance.outcome.ok());
+  EXPECT_GT(seller_balance.outcome.value, bitcoin::kCoin - 10'000);
+}
+
+TEST_F(ContractsTest, EscrowRefund) {
+  util::Hash160 buyer, seller;
+  buyer.data[0] = 0xb2;
+  seller.data[0] = 0x52;
+  std::string buyer_addr = bitcoin::p2pkh_address(buyer, params_.network);
+  EscrowContract escrow(*integration_, "order-43", buyer_addr,
+                        bitcoin::p2pkh_address(seller, params_.network),
+                        bitcoin::kCoin, 1);
+  fund_address(escrow.deposit_address(), bitcoin::kCoin);
+  mine(1);
+  ASSERT_EQ(escrow.refresh(), EscrowState::kFunded);
+  auto refunded = escrow.refund();
+  ASSERT_TRUE(refunded.ok());
+  EXPECT_EQ(escrow.state(), EscrowState::kRefunded);
+  settle();
+  mine(1);
+  auto buyer_balance = integration_->query_get_balance(buyer_addr);
+  EXPECT_GT(buyer_balance.outcome.value, bitcoin::kCoin - 10'000);
+}
+
+TEST_F(ContractsTest, EscrowRejectsActionsBeforeFunding) {
+  util::Hash160 a, b;
+  a.data[0] = 1;
+  b.data[0] = 2;
+  EscrowContract escrow(*integration_, "order-44",
+                        bitcoin::p2pkh_address(a, params_.network),
+                        bitcoin::p2pkh_address(b, params_.network), bitcoin::kCoin, 1);
+  EXPECT_FALSE(escrow.release().ok());
+  EXPECT_FALSE(escrow.refund().ok());
+  EXPECT_EQ(escrow.state(), EscrowState::kAwaitingDeposit);
+  EXPECT_THROW(EscrowContract(*integration_, "bad",
+                              bitcoin::p2pkh_address(a, params_.network),
+                              bitcoin::p2pkh_address(b, params_.network), 0, 1),
+               std::invalid_argument);
+}
+
+TEST_F(ContractsTest, PayrollPaysEveryone) {
+  std::vector<Employee> staff;
+  std::vector<std::string> addresses;
+  for (std::uint8_t i = 0; i < 3; ++i) {
+    util::Hash160 h;
+    h.data[0] = static_cast<std::uint8_t>(0xe0 + i);
+    addresses.push_back(bitcoin::p2pkh_address(h, params_.network));
+    staff.push_back(Employee{"emp" + std::to_string(i), addresses.back(), 10'000'000});
+  }
+  PayrollContract payroll(*integration_, "acme", staff, /*min_confirmations=*/1);
+  EXPECT_EQ(payroll.total_salaries(), 30'000'000);
+
+  fund_address(payroll.treasury_address(), bitcoin::kCoin);
+  mine(1);
+  auto record = payroll.run_payday(1);
+  ASSERT_TRUE(record.success);
+  EXPECT_EQ(record.employees_paid, 3u);
+  settle();
+  mine(1);
+  for (const auto& addr : addresses) {
+    auto balance = integration_->query_get_balance(addr);
+    ASSERT_TRUE(balance.outcome.ok()) << addr;
+    EXPECT_EQ(balance.outcome.value, 10'000'000) << addr;
+  }
+}
+
+TEST_F(ContractsTest, PayrollFailsGracefullyWhenUnderfunded) {
+  PayrollContract payroll(*integration_, "broke",
+                          {Employee{"e", bitcoin::p2pkh_address({}, params_.network),
+                                    bitcoin::kCoin}},
+                          1);
+  auto record = payroll.run_payday(1);
+  EXPECT_FALSE(record.success);
+  ASSERT_EQ(payroll.history().size(), 1u);
+  EXPECT_FALSE(payroll.history()[0].success);
+}
+
+TEST_F(ContractsTest, PayrollScheduledByTimer) {
+  util::Hash160 h;
+  h.data[0] = 0xf7;
+  std::string addr = bitcoin::p2pkh_address(h, params_.network);
+  PayrollContract payroll(*integration_, "timer-co", {Employee{"e", addr, 1'000'000}}, 1);
+  fund_address(payroll.treasury_address(), bitcoin::kCoin);
+  mine(1);
+  payroll.start_schedule(/*period_rounds=*/50);
+  sim_.run_until(sim_.now() + 120 * util::kSecond);  // ~2 paydays at 1s rounds
+  payroll.stop_schedule();
+  EXPECT_GE(payroll.history().size(), 1u);
+  std::size_t successes = 0;
+  for (const auto& r : payroll.history()) successes += r.success ? 1 : 0;
+  EXPECT_GE(successes, 1u);
+  EXPECT_THROW(payroll.start_schedule(0), std::invalid_argument);
+}
+
+TEST_F(ContractsTest, PayrollValidation) {
+  EXPECT_THROW(PayrollContract(*integration_, "x", {}, 1), std::invalid_argument);
+  EXPECT_THROW(PayrollContract(*integration_, "x",
+                               {Employee{"e", "addr", 0}}, 1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace icbtc::contracts

@@ -1,0 +1,146 @@
+// End-to-end taproot wallet: a canister holds BTC on a P2TR key-path output
+// under the subnet's threshold-Schnorr key and spends it through the
+// integration — the second signature scheme the paper's architecture exposes.
+#include <gtest/gtest.h>
+
+#include "btcnet/harness.h"
+#include "bitcoin/script.h"
+#include "contracts/btc_wallet.h"
+
+namespace icbtc::contracts {
+namespace {
+
+class TaprootWalletTest : public ::testing::Test {
+ protected:
+  TaprootWalletTest() {
+    btcnet::BitcoinNetworkConfig btc_config;
+    btc_config.num_nodes = 10;
+    btc_config.num_miners = 1;
+    btc_config.ipv6_fraction = 1.0;
+    harness_ = std::make_unique<btcnet::BitcoinNetworkHarness>(sim_, params_, btc_config, 888);
+    sim_.run();
+    ic::SubnetConfig subnet_config;
+    subnet_config.num_nodes = 13;
+    subnet_config.num_byzantine = 4;
+    subnet_ = std::make_unique<ic::Subnet>(sim_, subnet_config, 889);
+    canister::IntegrationConfig config;
+    config.adapter.addr_lower_threshold = 3;
+    config.adapter.addr_upper_threshold = 8;
+    config.adapter.multi_block_below_height = 1 << 30;
+    config.canister = canister::CanisterConfig::for_params(params_);
+    integration_ = std::make_unique<canister::BitcoinIntegration>(
+        *subnet_, harness_->network(), params_, config, 890);
+    subnet_->start();
+    integration_->start();
+  }
+
+  void fund(const std::string& address, bitcoin::Amount amount) {
+    auto decoded = bitcoin::decode_address(address, params_.network);
+    ASSERT_TRUE(decoded.has_value());
+    auto& node = harness_->node(0);
+    auto block = chain::build_child_block(
+        node.tree(), node.best_tip(),
+        static_cast<std::uint32_t>(params_.genesis_header.time +
+                                   sim_.now() / util::kSecond + 600),
+        bitcoin::script_for_address(*decoded), amount, {}, tag_++);
+    ASSERT_TRUE(node.submit_block(block));
+    settle();
+  }
+
+  void mine(int n) {
+    for (int i = 0; i < n; ++i) {
+      sim_.run_until(sim_.now() + 600 * util::kSecond);
+      harness_->miners()[0]->mine_one();
+    }
+    settle();
+  }
+
+  void settle() { sim_.run_until(sim_.now() + 3 * util::kMinute); }
+
+  util::Simulation sim_;
+  const bitcoin::ChainParams& params_ = bitcoin::ChainParams::regtest();
+  std::unique_ptr<btcnet::BitcoinNetworkHarness> harness_;
+  std::unique_ptr<ic::Subnet> subnet_;
+  std::unique_ptr<canister::BitcoinIntegration> integration_;
+  std::uint64_t tag_ = 0x7a9;
+};
+
+TEST_F(TaprootWalletTest, AddressIsBech32m) {
+  BtcWallet wallet(*integration_, {{0x01}}, WalletType::kP2tr);
+  EXPECT_EQ(wallet.address().substr(0, 5), "bcrt1");
+  auto decoded = bitcoin::decode_address(wallet.address(), params_.network);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->type, bitcoin::AddressType::kP2tr);
+}
+
+TEST_F(TaprootWalletTest, DistinctFromEcdsaWalletOnSamePath) {
+  BtcWallet legacy(*integration_, {{0x02}}, WalletType::kP2pkh);
+  BtcWallet taproot(*integration_, {{0x02}}, WalletType::kP2tr);
+  EXPECT_NE(legacy.address(), taproot.address());
+}
+
+TEST_F(TaprootWalletTest, ReceivesAndSeesBalance) {
+  BtcWallet wallet(*integration_, {{0x03}}, WalletType::kP2tr);
+  fund(wallet.address(), bitcoin::kCoin);
+  auto balance = wallet.balance(1);
+  ASSERT_TRUE(balance.ok());
+  EXPECT_EQ(balance.value, bitcoin::kCoin);
+}
+
+TEST_F(TaprootWalletTest, SpendsWithThresholdSchnorrEndToEnd) {
+  BtcWallet wallet(*integration_, {{0x04}}, WalletType::kP2tr);
+  fund(wallet.address(), bitcoin::kCoin);
+
+  util::Hash160 merchant;
+  merchant.data[0] = 0x44;
+  std::string merchant_address = bitcoin::p2pkh_address(merchant, params_.network);
+  auto sent = wallet.send({{merchant_address, 30'000'000}}, 2, 1);
+  ASSERT_TRUE(sent.ok());
+  EXPECT_GT(wallet.signatures_requested(), 0u);
+
+  // The Bitcoin network's nodes validate the Schnorr signature in their
+  // mempool policy — the spend must actually relay and mine.
+  settle();
+  mine(1);
+  auto merchant_balance = integration_->query_get_balance(merchant_address);
+  ASSERT_TRUE(merchant_balance.outcome.ok());
+  EXPECT_EQ(merchant_balance.outcome.value, 30'000'000);
+  auto change = wallet.balance(0);
+  EXPECT_EQ(change.value, bitcoin::kCoin - 30'000'000 - sent.fee);
+}
+
+TEST_F(TaprootWalletTest, TaprootToTaprootPayment) {
+  BtcWallet alice(*integration_, {{0x05}}, WalletType::kP2tr);
+  BtcWallet bob(*integration_, {{0x06}}, WalletType::kP2tr);
+  fund(alice.address(), 50'000'000);
+  auto sent = alice.send({{bob.address(), 20'000'000}}, 2, 1);
+  ASSERT_TRUE(sent.ok());
+  settle();
+  mine(1);
+  EXPECT_EQ(bob.balance(0).value, 20'000'000);
+  // Bob can spend what he received (signing works on received P2TR UTXOs).
+  auto forward = bob.send({{alice.address(), 10'000'000}}, 2, 0);
+  ASSERT_TRUE(forward.ok());
+}
+
+TEST_F(TaprootWalletTest, TamperedSchnorrSpendRejectedByNetwork) {
+  BtcWallet wallet(*integration_, {{0x07}}, WalletType::kP2tr);
+  fund(wallet.address(), bitcoin::kCoin);
+  // Build the spend but corrupt the signature before broadcasting directly
+  // to a node.
+  auto utxos = wallet.utxos(1);
+  ASSERT_TRUE(utxos.ok());
+  ASSERT_FALSE(utxos.value.empty());
+  bitcoin::Transaction tx;
+  bitcoin::TxIn in;
+  in.prevout = utxos.value[0].outpoint;
+  tx.inputs.push_back(in);
+  util::Hash160 dest;
+  tx.outputs.push_back(bitcoin::TxOut{1'000'000, bitcoin::p2pkh_script(dest)});
+  wallet.sign_input(tx, 0);
+  tx.inputs[0].script_sig[7] ^= 1;
+  EXPECT_FALSE(harness_->node(0).submit_tx(tx));
+}
+
+}  // namespace
+}  // namespace icbtc::contracts

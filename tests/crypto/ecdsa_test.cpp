@@ -1,0 +1,143 @@
+#include "crypto/ecdsa.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.h"
+
+namespace icbtc::crypto {
+namespace {
+
+util::ByteSpan span_of(const std::string& s) {
+  return util::ByteSpan(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+TEST(EcdsaTest, Rfc6979KnownNonce) {
+  // RFC 6979-style vector widely used for secp256k1 (e.g. in python-ecdsa and
+  // trezor-crypto): key = 1, message "Satoshi Nakamoto".
+  PrivateKey key(U256(1));
+  auto digest = Sha256::hash(span_of("Satoshi Nakamoto"));
+  U256 k = rfc6979_nonce(key.secret(), digest);
+  EXPECT_EQ(k.to_hex(), "8f8a276c19f4149656b280621e358cce24f5f52542772691ee69063b74f15d15");
+}
+
+TEST(EcdsaTest, KnownSignatureVector) {
+  // Same vector: expected (r, s) for key=1, msg="Satoshi Nakamoto".
+  PrivateKey key(U256(1));
+  auto digest = Sha256::hash(span_of("Satoshi Nakamoto"));
+  Signature sig = key.sign(digest);
+  EXPECT_EQ(sig.r.to_hex(), "934b1ea10a4b3c1757e2b0c017d0b6143ce3c9a7e6a4a49860d7a6ab210ee3d8");
+  EXPECT_EQ(sig.s.to_hex(), "2442ce9d2b916064108014783e923ec36b49743e2ffa1c4496f01a512aafd9e5");
+}
+
+TEST(EcdsaTest, SignVerifyRoundTrip) {
+  PrivateKey key = PrivateKey::from_seed(span_of("test seed"));
+  auto digest = Sha256::hash(span_of("a message"));
+  Signature sig = key.sign(digest);
+  EXPECT_TRUE(verify(key.public_key(), digest, sig));
+}
+
+TEST(EcdsaTest, VerifyRejectsWrongMessage) {
+  PrivateKey key = PrivateKey::from_seed(span_of("seed"));
+  Signature sig = key.sign(Sha256::hash(span_of("msg1")));
+  EXPECT_FALSE(verify(key.public_key(), Sha256::hash(span_of("msg2")), sig));
+}
+
+TEST(EcdsaTest, VerifyRejectsWrongKey) {
+  PrivateKey k1 = PrivateKey::from_seed(span_of("k1"));
+  PrivateKey k2 = PrivateKey::from_seed(span_of("k2"));
+  auto digest = Sha256::hash(span_of("msg"));
+  Signature sig = k1.sign(digest);
+  EXPECT_FALSE(verify(k2.public_key(), digest, sig));
+}
+
+TEST(EcdsaTest, VerifyRejectsTamperedSignature) {
+  PrivateKey key = PrivateKey::from_seed(span_of("k"));
+  auto digest = Sha256::hash(span_of("msg"));
+  Signature sig = key.sign(digest);
+  Signature bad = sig;
+  bad.r = scalar_ctx().add(bad.r, U256(1));
+  EXPECT_FALSE(verify(key.public_key(), digest, bad));
+}
+
+TEST(EcdsaTest, VerifyRejectsHighS) {
+  PrivateKey key = PrivateKey::from_seed(span_of("k"));
+  auto digest = Sha256::hash(span_of("msg"));
+  Signature sig = key.sign(digest);
+  Signature high = sig;
+  high.s = curve_order() - sig.s;  // mathematically valid but non-canonical
+  EXPECT_FALSE(verify(key.public_key(), digest, high));
+}
+
+TEST(EcdsaTest, VerifyRejectsZeroAndOverflow) {
+  PrivateKey key = PrivateKey::from_seed(span_of("k"));
+  auto digest = Sha256::hash(span_of("msg"));
+  EXPECT_FALSE(verify(key.public_key(), digest, Signature{U256(0), U256(1)}));
+  EXPECT_FALSE(verify(key.public_key(), digest, Signature{U256(1), U256(0)}));
+  EXPECT_FALSE(verify(key.public_key(), digest, Signature{curve_order(), U256(1)}));
+}
+
+TEST(EcdsaTest, SignaturesAreLowS) {
+  for (int i = 0; i < 20; ++i) {
+    PrivateKey key = PrivateKey::from_seed(util::Bytes{static_cast<std::uint8_t>(i)});
+    auto digest = Sha256::hash(util::Bytes{static_cast<std::uint8_t>(i), 99});
+    Signature sig = key.sign(digest);
+    EXPECT_LE(sig.s, curve_order().shifted_right(1));
+    EXPECT_TRUE(verify(key.public_key(), digest, sig));
+  }
+}
+
+TEST(EcdsaTest, DeterministicSignatures) {
+  PrivateKey key = PrivateKey::from_seed(span_of("det"));
+  auto digest = Sha256::hash(span_of("same message"));
+  EXPECT_EQ(key.sign(digest), key.sign(digest));
+}
+
+TEST(EcdsaTest, CompactRoundTrip) {
+  PrivateKey key = PrivateKey::from_seed(span_of("c"));
+  Signature sig = key.sign(Sha256::hash(span_of("m")));
+  auto enc = sig.compact();
+  ASSERT_EQ(enc.size(), 64u);
+  auto parsed = Signature::from_compact(enc);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, sig);
+  EXPECT_FALSE(Signature::from_compact(util::Bytes(63)).has_value());
+}
+
+TEST(EcdsaTest, DerRoundTrip) {
+  for (int i = 0; i < 10; ++i) {
+    PrivateKey key = PrivateKey::from_seed(util::Bytes{static_cast<std::uint8_t>(i), 1});
+    Signature sig = key.sign(Sha256::hash(util::Bytes{static_cast<std::uint8_t>(i)}));
+    auto der = sig.der();
+    auto parsed = Signature::from_der(der);
+    ASSERT_TRUE(parsed.has_value()) << i;
+    EXPECT_EQ(*parsed, sig);
+  }
+}
+
+TEST(EcdsaTest, DerRejectsTruncation) {
+  PrivateKey key = PrivateKey::from_seed(span_of("d"));
+  Signature sig = key.sign(Sha256::hash(span_of("m")));
+  auto der = sig.der();
+  der.pop_back();
+  EXPECT_FALSE(Signature::from_der(der).has_value());
+}
+
+TEST(EcdsaTest, DerEncodesSmallIntegersMinimally) {
+  // r = 1, s = 1 must encode as 02 01 01 twice.
+  Signature sig{U256(1), U256(1)};
+  EXPECT_EQ(util::to_hex(sig.der()), "3006020101020101");
+}
+
+TEST(EcdsaTest, PrivateKeyRangeChecks) {
+  EXPECT_THROW(PrivateKey{U256(0)}, std::invalid_argument);
+  EXPECT_THROW(PrivateKey{curve_order()}, std::invalid_argument);
+  EXPECT_NO_THROW(PrivateKey{curve_order() - U256(1)});
+}
+
+TEST(EcdsaTest, PublicKeyMatchesGeneratorMul) {
+  PrivateKey key(U256(12345));
+  EXPECT_EQ(key.public_key(), generator_mul(U256(12345)));
+}
+
+}  // namespace
+}  // namespace icbtc::crypto

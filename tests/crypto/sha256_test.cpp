@@ -1,0 +1,104 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+namespace icbtc::crypto {
+namespace {
+
+using util::Bytes;
+using util::from_hex;
+
+util::ByteSpan span_of(const std::string& s) {
+  return util::ByteSpan(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(Sha256::hash({}).hex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(Sha256::hash(span_of("abc")).hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      Sha256::hash(span_of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")).hex(),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(span_of(chunk));
+  EXPECT_EQ(h.finalize().hex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg = "The quick brown fox jumps over the lazy dog";
+  auto oneshot = Sha256::hash(span_of(msg));
+  for (std::size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.update(span_of(msg.substr(0, split)));
+    h.update(span_of(msg.substr(split)));
+    EXPECT_EQ(h.finalize(), oneshot) << "split at " << split;
+  }
+}
+
+TEST(Sha256Test, ExactBlockBoundary) {
+  std::string msg(64, 'x');
+  std::string msg2(128, 'x');
+  // Known-good values computed with coreutils sha256sum.
+  EXPECT_EQ(Sha256::hash(span_of(msg)).hex(),
+            "7ce100971f64e7001e8fe5a51973ecdfe1ced42befe7ee8d5fd6219506b5393c");
+  EXPECT_EQ(Sha256::hash(span_of(msg2)).hex(),
+            "24da1b81d0b16df6428eee73c69fcb2a93c76bc6df706f0c6670fe6bfe800464");
+}
+
+TEST(Sha256Test, ResetAllowsReuse) {
+  Sha256 h;
+  h.update(span_of("garbage"));
+  h.reset();
+  h.update(span_of("abc"));
+  EXPECT_EQ(h.finalize().hex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256dTest, GenesisHeaderHash) {
+  // The Bitcoin genesis block header; its double-SHA256 in display order is
+  // 000000000019d6689c085ae165831e934ff763ae46a2a6c172b3f1b60a8ce26f.
+  Bytes header = from_hex(
+      "0100000000000000000000000000000000000000000000000000000000000000000000003ba3edfd7a7b12b27a"
+      "c72c3e67768f617fc81bc3888a51323a9fb8aa4b1e5e4a29ab5f49ffff001d1dac2b7c");
+  util::Hash256 h = sha256d(header);
+  EXPECT_EQ(h.rpc_hex(), "000000000019d6689c085ae165831e934ff763ae46a2a6c172b3f1b60a8ce26f");
+}
+
+TEST(Sha256dTest, HelloDoubleHash) {
+  // sha256d("hello") well-known vector.
+  EXPECT_EQ(sha256d(span_of("hello")).hex(),
+            "9595c9df90075148eb06860365df33584b75bff782a510c6cd4883a419833d50");
+}
+
+TEST(HmacSha256Test, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  EXPECT_EQ(hmac_sha256(key, span_of("Hi There")).hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacSha256Test, Rfc4231Case2) {
+  EXPECT_EQ(hmac_sha256(span_of("Jefe"), span_of("what do ya want for nothing?")).hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacSha256Test, Rfc4231Case3LongKeyData) {
+  Bytes key(131, 0xaa);
+  EXPECT_EQ(hmac_sha256(key, span_of("Test Using Larger Than Block-Size Key - Hash Key First"))
+                .hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+}  // namespace
+}  // namespace icbtc::crypto

@@ -1,0 +1,114 @@
+#include "crypto/shamir.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/secp256k1.h"
+
+namespace icbtc::crypto {
+namespace {
+
+TEST(ShamirTest, SplitAndReconstruct) {
+  util::Rng rng(1);
+  U256 secret = U256::from_hex("00000000000000000000000000000000000000000000000000000000deadbeef");
+  auto shares = shamir_split(secret, 3, 5, rng);
+  ASSERT_EQ(shares.size(), 5u);
+  // Any 3 shares reconstruct.
+  std::vector<Share> subset = {shares[0], shares[2], shares[4]};
+  EXPECT_EQ(shamir_reconstruct(subset), secret);
+  subset = {shares[1], shares[2], shares[3]};
+  EXPECT_EQ(shamir_reconstruct(subset), secret);
+  // All shares also reconstruct.
+  EXPECT_EQ(shamir_reconstruct(shares), secret);
+}
+
+TEST(ShamirTest, FewerThanThresholdGivesWrongSecret) {
+  util::Rng rng(2);
+  U256 secret(42);
+  auto shares = shamir_split(secret, 3, 5, rng);
+  // Two shares interpolate a line, not the real polynomial: wrong value
+  // (with overwhelming probability over the random coefficients).
+  std::vector<Share> subset = {shares[0], shares[1]};
+  EXPECT_NE(shamir_reconstruct(subset), secret);
+}
+
+TEST(ShamirTest, ThresholdOneIsReplication) {
+  util::Rng rng(3);
+  U256 secret(7);
+  auto shares = shamir_split(secret, 1, 4, rng);
+  for (const auto& s : shares) EXPECT_EQ(s.value, secret);
+}
+
+TEST(ShamirTest, FullThresholdNeedsAll) {
+  util::Rng rng(4);
+  U256 secret = U256::from_hex("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef");
+  auto shares = shamir_split(secret, 5, 5, rng);
+  EXPECT_EQ(shamir_reconstruct(shares), secret);
+}
+
+TEST(ShamirTest, ParameterValidation) {
+  util::Rng rng(5);
+  EXPECT_THROW(shamir_split(U256(1), 0, 3, rng), std::invalid_argument);
+  EXPECT_THROW(shamir_split(U256(1), 4, 3, rng), std::invalid_argument);
+}
+
+TEST(ShamirTest, ReconstructValidation) {
+  util::Rng rng(6);
+  auto shares = shamir_split(U256(9), 2, 3, rng);
+  EXPECT_THROW(shamir_reconstruct({}), std::invalid_argument);
+  std::vector<Share> dup = {shares[0], shares[0]};
+  EXPECT_THROW(shamir_reconstruct(dup), std::invalid_argument);
+  std::vector<Share> zero_idx = {Share{0, U256(1)}, shares[1]};
+  EXPECT_THROW(shamir_reconstruct(zero_idx), std::invalid_argument);
+}
+
+TEST(ShamirTest, LagrangeCoefficientsSumToOneOnConstant) {
+  // Sharing a constant-zero polynomial: coefficients must interpolate any
+  // constant correctly, i.e. sum of lambda_i equals 1.
+  std::vector<std::uint32_t> indices = {1, 3, 7, 9};
+  const ModCtx& sc = scalar_ctx();
+  U256 sum(0);
+  for (auto i : indices) sum = sc.add(sum, lagrange_coefficient_at_zero(i, indices));
+  EXPECT_EQ(sum, U256(1));
+}
+
+TEST(ShamirTest, LagrangeRejectsForeignIndex) {
+  std::vector<std::uint32_t> indices = {1, 2};
+  EXPECT_THROW(lagrange_coefficient_at_zero(5, indices), std::invalid_argument);
+}
+
+TEST(ShamirTest, HomomorphicAddition) {
+  // Shamir shares are additively homomorphic — the property the threshold
+  // signing protocol relies on.
+  util::Rng rng(7);
+  const ModCtx& sc = scalar_ctx();
+  U256 s1(1111), s2(2222);
+  auto sh1 = shamir_split(s1, 3, 5, rng);
+  auto sh2 = shamir_split(s2, 3, 5, rng);
+  std::vector<Share> sum_shares;
+  for (std::size_t i = 0; i < 5; ++i) {
+    sum_shares.push_back(Share{sh1[i].index, sc.add(sh1[i].value, sh2[i].value)});
+  }
+  std::vector<Share> subset = {sum_shares[0], sum_shares[1], sum_shares[2]};
+  EXPECT_EQ(shamir_reconstruct(subset), sc.add(s1, s2));
+}
+
+class ShamirParamSweep : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint32_t>> {
+};
+
+TEST_P(ShamirParamSweep, AnyThresholdSubsetReconstructs) {
+  auto [t, n] = GetParam();
+  util::Rng rng(100 + t * 13 + n);
+  U256 secret = U256::from_hex("5555555555555555555555555555555555555555555555555555555555555555");
+  auto shares = shamir_split(secret, t, n, rng);
+  // Take a deterministic subset of exactly t shares.
+  std::vector<Share> subset(shares.end() - t, shares.end());
+  EXPECT_EQ(shamir_reconstruct(subset), secret);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ShamirParamSweep,
+                         ::testing::Values(std::pair{1u, 1u}, std::pair{1u, 5u}, std::pair{2u, 3u},
+                                           std::pair{3u, 4u}, std::pair{5u, 9u},
+                                           std::pair{9u, 13u}, std::pair{28u, 40u}));
+
+}  // namespace
+}  // namespace icbtc::crypto

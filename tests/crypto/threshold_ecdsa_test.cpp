@@ -1,0 +1,154 @@
+#include "crypto/threshold_ecdsa.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/sha256.h"
+
+namespace icbtc::crypto {
+namespace {
+
+util::Hash256 digest_of(const std::string& s) {
+  return Sha256::hash(util::ByteSpan(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+TEST(ThresholdEcdsaTest, DealerSharesReconstructMasterKey) {
+  util::Rng rng(1);
+  ThresholdEcdsaDealer dealer(3, 5, rng);
+  std::vector<Share> shares;
+  for (const auto& ks : dealer.key_shares()) shares.push_back(Share{ks.index, ks.x_share});
+  shares.resize(3);
+  U256 secret = shamir_reconstruct(shares);
+  EXPECT_EQ(generator_mul(secret), dealer.master_public_key());
+}
+
+TEST(ThresholdEcdsaTest, SignWithExactThreshold) {
+  ThresholdEcdsaService service(3, 5, 42);
+  auto digest = digest_of("spend 1 BTC");
+  Signature sig = service.sign(digest, {});
+  EXPECT_TRUE(verify(service.public_key({}), digest, sig));
+}
+
+TEST(ThresholdEcdsaTest, SignWithAnySubset) {
+  ThresholdEcdsaService service(3, 5, 43);
+  auto digest = digest_of("msg");
+  for (auto participants : std::vector<std::vector<std::uint32_t>>{
+           {1, 2, 3}, {3, 4, 5}, {1, 3, 5}, {2, 4, 5}, {1, 2, 3, 4, 5}}) {
+    Signature sig = service.sign(digest, {}, participants);
+    EXPECT_TRUE(verify(service.public_key({}), digest, sig));
+  }
+}
+
+TEST(ThresholdEcdsaTest, TooFewParticipantsThrows) {
+  ThresholdEcdsaService service(3, 5, 44);
+  EXPECT_THROW(service.sign(digest_of("m"), {}, {1, 2}), std::invalid_argument);
+}
+
+TEST(ThresholdEcdsaTest, InvalidParticipantIndicesThrow) {
+  ThresholdEcdsaService service(2, 3, 45);
+  EXPECT_THROW(service.sign(digest_of("m"), {}, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(service.sign(digest_of("m"), {}, {1, 4}), std::invalid_argument);
+  EXPECT_THROW(service.sign(digest_of("m"), {}, {2, 2}), std::invalid_argument);
+}
+
+TEST(ThresholdEcdsaTest, DerivedKeysDiffer) {
+  ThresholdEcdsaService service(2, 3, 46);
+  DerivationPath p1 = {{0x01}};
+  DerivationPath p2 = {{0x02}};
+  auto k0 = service.public_key({});
+  auto k1 = service.public_key(p1);
+  auto k2 = service.public_key(p2);
+  EXPECT_NE(k1, k2);
+  EXPECT_NE(k0, k1);
+  EXPECT_TRUE(k1.on_curve());
+  EXPECT_TRUE(k2.on_curve());
+}
+
+TEST(ThresholdEcdsaTest, EmptyPathIsMasterKey) {
+  ThresholdEcdsaService service(2, 3, 47);
+  EXPECT_EQ(service.public_key({}), service.public_key(DerivationPath{}));
+}
+
+TEST(ThresholdEcdsaTest, SignUnderDerivedKey) {
+  ThresholdEcdsaService service(3, 4, 48);
+  DerivationPath path = {{0xca, 0xfe}, {0x00, 0x01}};
+  auto digest = digest_of("derived spend");
+  Signature sig = service.sign(digest, path);
+  EXPECT_TRUE(verify(service.public_key(path), digest, sig));
+  // And not under the master key.
+  EXPECT_FALSE(verify(service.public_key({}), digest, sig));
+}
+
+TEST(ThresholdEcdsaTest, DerivationIsDeterministic) {
+  ThresholdEcdsaService a(2, 3, 49);
+  DerivationPath path = {{0x01, 0x02}};
+  EXPECT_EQ(a.public_key(path), a.public_key(path));
+}
+
+TEST(ThresholdEcdsaTest, PathComponentBoundariesMatter) {
+  // {"ab"} and {"a","b"} must derive different keys (length-prefixing).
+  ThresholdEcdsaService service(2, 3, 50);
+  DerivationPath joined = {{0x61, 0x62}};
+  DerivationPath split = {{0x61}, {0x62}};
+  EXPECT_NE(service.public_key(joined), service.public_key(split));
+}
+
+TEST(ThresholdEcdsaTest, CombineDetectsCorruptPartial) {
+  util::Rng rng(51);
+  ThresholdEcdsaDealer dealer(2, 3, rng);
+  auto [pub, shares] = dealer.deal_presignature(rng);
+  auto digest = digest_of("m");
+  U256 tweak(0);
+  std::vector<PartialSignature> partials = {
+      compute_partial_signature(shares[0], pub, tweak, digest),
+      compute_partial_signature(shares[1], pub, tweak, digest),
+  };
+  // Corrupt one partial.
+  partials[1].s_share = scalar_ctx().add(partials[1].s_share, U256(1));
+  EXPECT_FALSE(
+      combine_partial_signatures(partials, pub, dealer.master_public_key(), digest).has_value());
+}
+
+TEST(ThresholdEcdsaTest, CombineRejectsDuplicateIndices) {
+  util::Rng rng(52);
+  ThresholdEcdsaDealer dealer(2, 3, rng);
+  auto [pub, shares] = dealer.deal_presignature(rng);
+  auto digest = digest_of("m");
+  auto p = compute_partial_signature(shares[0], pub, U256(0), digest);
+  EXPECT_FALSE(combine_partial_signatures({p, p}, pub, dealer.master_public_key(), digest)
+                   .has_value());
+}
+
+TEST(ThresholdEcdsaTest, ManualPartialFlowMatchesService) {
+  util::Rng rng(53);
+  ThresholdEcdsaDealer dealer(3, 5, rng);
+  auto [pub, shares] = dealer.deal_presignature(rng);
+  auto digest = digest_of("manual");
+  std::vector<PartialSignature> partials;
+  for (int i : {0, 2, 4}) {
+    partials.push_back(compute_partial_signature(shares[static_cast<std::size_t>(i)], pub,
+                                                 U256(0), digest));
+  }
+  auto sig = combine_partial_signatures(partials, pub, dealer.master_public_key(), digest);
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_TRUE(verify(dealer.master_public_key(), digest, *sig));
+}
+
+TEST(ThresholdEcdsaTest, PresignatureConsumption) {
+  ThresholdEcdsaService service(2, 3, 54);
+  EXPECT_EQ(service.presignatures_used(), 0u);
+  service.sign(digest_of("a"), {});
+  service.sign(digest_of("b"), {});
+  EXPECT_EQ(service.presignatures_used(), 2u);
+}
+
+TEST(ThresholdEcdsaTest, IcMainnetParameters) {
+  // IC subnets run threshold 2f+1 over n=3f+1; a 13-node subnet has f=4,
+  // threshold 9.
+  ThresholdEcdsaService service(9, 13, 55);
+  auto digest = digest_of("ic-sized subnet");
+  Signature sig = service.sign(digest, {{0x42}});
+  EXPECT_TRUE(verify(service.public_key({{0x42}}), digest, sig));
+}
+
+}  // namespace
+}  // namespace icbtc::crypto

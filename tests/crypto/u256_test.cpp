@@ -1,0 +1,174 @@
+#include "crypto/u256.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/secp256k1.h"
+
+namespace icbtc::crypto {
+namespace {
+
+TEST(U256Test, HexRoundTrip) {
+  U256 v = U256::from_hex("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef");
+  EXPECT_EQ(v.to_hex(), "0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef");
+}
+
+TEST(U256Test, ShortHexIsZeroPadded) {
+  U256 v = U256::from_hex("ff");
+  EXPECT_EQ(v, U256(255));
+  EXPECT_EQ(v.to_hex(), std::string(62, '0') + "ff");
+}
+
+TEST(U256Test, ByteOrderBigEndian) {
+  U256 v(0x0102030405060708ULL);
+  auto be = v.to_be_bytes();
+  EXPECT_EQ(be.data[31], 0x08);
+  EXPECT_EQ(be.data[24], 0x01);
+  EXPECT_EQ(be.data[0], 0x00);
+  EXPECT_EQ(U256::from_be_bytes(be.span()), v);
+}
+
+TEST(U256Test, Comparison) {
+  U256 a(5), b(6);
+  U256 big = U256::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff");
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, big);
+  EXPECT_EQ(a, U256(5));
+}
+
+TEST(U256Test, AdditionWithCarry) {
+  U256 max = U256::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff");
+  U256 out;
+  EXPECT_EQ(U256::add_with_carry(max, U256(1), out), 1u);
+  EXPECT_TRUE(out.is_zero());
+  EXPECT_EQ(U256::add_with_carry(U256(2), U256(3), out), 0u);
+  EXPECT_EQ(out, U256(5));
+}
+
+TEST(U256Test, SubtractionWithBorrow) {
+  U256 out;
+  EXPECT_EQ(U256::sub_with_borrow(U256(5), U256(3), out), 0u);
+  EXPECT_EQ(out, U256(2));
+  EXPECT_EQ(U256::sub_with_borrow(U256(3), U256(5), out), 1u);
+  // 3 - 5 wraps to 2^256 - 2.
+  EXPECT_EQ(out.to_hex(), "fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffe");
+}
+
+TEST(U256Test, LimbCrossingCarry) {
+  U256 a = U256::from_hex("000000000000000000000000000000000000000000000000ffffffffffffffff");
+  U256 b(1);
+  U256 sum = a + b;
+  EXPECT_EQ(sum.to_hex(), "0000000000000000000000000000000000000000000000010000000000000000");
+}
+
+TEST(U256Test, BitLength) {
+  EXPECT_EQ(U256(0).bit_length(), 0);
+  EXPECT_EQ(U256(1).bit_length(), 1);
+  EXPECT_EQ(U256(255).bit_length(), 8);
+  EXPECT_EQ(U256(256).bit_length(), 9);
+  EXPECT_EQ(U256::from_hex("8000000000000000000000000000000000000000000000000000000000000000")
+                .bit_length(),
+            256);
+}
+
+TEST(U256Test, BitAccess) {
+  U256 v(0b1010);
+  EXPECT_FALSE(v.bit(0));
+  EXPECT_TRUE(v.bit(1));
+  EXPECT_FALSE(v.bit(2));
+  EXPECT_TRUE(v.bit(3));
+  EXPECT_FALSE(v.is_odd());
+  EXPECT_TRUE(U256(7).is_odd());
+}
+
+TEST(U256Test, Shifts) {
+  U256 v(1);
+  EXPECT_EQ(v.shifted_left(64), U256(0, 1, 0, 0));
+  EXPECT_EQ(v.shifted_left(70), U256(0, 64, 0, 0));
+  EXPECT_EQ(U256(0, 64, 0, 0).shifted_right(70), U256(1));
+  EXPECT_EQ(v.shifted_left(256), U256(0));
+  EXPECT_EQ(v.shifted_right(256), U256(0));
+  U256 pattern = U256::from_hex("00ff00ff00ff00ff00ff00ff00ff00ff00ff00ff00ff00ff00ff00ff00ff00ff");
+  EXPECT_EQ(pattern.shifted_left(8).shifted_right(8), pattern);
+}
+
+TEST(U256Test, MulFullSmall) {
+  U512 p = mul_full(U256(7), U256(6));
+  EXPECT_EQ(p.lo(), U256(42));
+  EXPECT_TRUE(p.hi_is_zero());
+}
+
+TEST(U256Test, MulFullMaximal) {
+  U256 max = U256::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff");
+  U512 p = mul_full(max, max);
+  // (2^256-1)^2 = 2^512 - 2^257 + 1.
+  EXPECT_EQ(p.lo(), U256(1));
+  EXPECT_EQ(p.hi().to_hex(),
+            "fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffe");
+}
+
+TEST(ModCtxTest, RejectsSmallModulus) {
+  EXPECT_THROW(ModCtx(U256(97)), std::invalid_argument);
+}
+
+TEST(ModCtxTest, FieldArithmeticIdentities) {
+  const ModCtx& f = field_ctx();
+  U256 a = U256::from_hex("123456789abcdef0fedcba9876543210deadbeefcafebabe0123456789abcdef");
+  U256 b = U256::from_hex("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa");
+  EXPECT_EQ(f.add(a, f.neg(a)), U256(0));
+  EXPECT_EQ(f.sub(a, a), U256(0));
+  EXPECT_EQ(f.mul(a, U256(1)), f.reduce(a));
+  EXPECT_EQ(f.add(a, b), f.add(b, a));
+  EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+  // Distributivity.
+  EXPECT_EQ(f.mul(a, f.add(b, U256(7))), f.add(f.mul(a, b), f.mul(a, U256(7))));
+}
+
+TEST(ModCtxTest, InverseIsInverse) {
+  const ModCtx& f = field_ctx();
+  U256 a = U256::from_hex("deadbeef00000000000000000000000000000000000000000000000000000001");
+  EXPECT_EQ(f.mul(a, f.inv(a)), U256(1));
+  EXPECT_THROW(f.inv(U256(0)), std::domain_error);
+}
+
+TEST(ModCtxTest, ScalarFieldInverse) {
+  const ModCtx& sc = scalar_ctx();
+  U256 a(123456789);
+  EXPECT_EQ(sc.mul(a, sc.inv(a)), U256(1));
+}
+
+TEST(ModCtxTest, ReduceHandlesValuesAboveModulus) {
+  const ModCtx& f = field_ctx();
+  U256 max = U256::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff");
+  // p = 2^256 - 2^32 - 977, so max mod p = 2^32 + 976.
+  EXPECT_EQ(f.reduce(max), U256(0x1000003d0ULL));
+}
+
+TEST(ModCtxTest, PowMatchesRepeatedMul) {
+  const ModCtx& f = field_ctx();
+  U256 base(3);
+  U256 expect(1);
+  for (int i = 0; i < 20; ++i) expect = f.mul(expect, base);
+  EXPECT_EQ(f.pow(base, U256(20)), expect);
+  EXPECT_EQ(f.pow(base, U256(0)), U256(1));
+}
+
+TEST(ModCtxTest, FermatHolds) {
+  // a^(p-1) == 1 mod p for prime p.
+  const ModCtx& f = field_ctx();
+  U256 a(987654321);
+  U256 p_minus_1 = f.modulus() - U256(1);
+  EXPECT_EQ(f.pow(a, p_minus_1), U256(1));
+}
+
+TEST(ModCtxTest, Reduce512KnownProduct) {
+  const ModCtx& f = field_ctx();
+  // (p-1)^2 mod p == 1.
+  U256 p_minus_1 = f.modulus() - U256(1);
+  EXPECT_EQ(f.mul(p_minus_1, p_minus_1), U256(1));
+  // (p-1)*(p-2) mod p == 2.
+  U256 p_minus_2 = f.modulus() - U256(2);
+  EXPECT_EQ(f.mul(p_minus_1, p_minus_2), U256(2));
+}
+
+}  // namespace
+}  // namespace icbtc::crypto

@@ -1,0 +1,236 @@
+#include "ic/subnet.h"
+
+#include <gtest/gtest.h>
+
+namespace icbtc::ic {
+namespace {
+
+TEST(MeterTest, ChargesAccumulate) {
+  InstructionMeter meter;
+  EXPECT_EQ(meter.count(), 0u);
+  meter.charge(10);
+  meter.charge(5);
+  EXPECT_EQ(meter.count(), 15u);
+  meter.reset();
+  EXPECT_EQ(meter.count(), 0u);
+}
+
+TEST(MeterTest, SegmentsMeasureDeltas) {
+  InstructionMeter meter;
+  meter.charge(100);
+  InstructionMeter::Segment segment(meter);
+  meter.charge(42);
+  EXPECT_EQ(segment.sample(), 42u);
+  meter.charge(8);
+  EXPECT_EQ(segment.sample(), 50u);
+}
+
+TEST(CostModelTest, UpdateCosts) {
+  CycleCostModel model;
+  std::uint64_t cycles = model.update_cost_cycles(1'000'000, 100);
+  EXPECT_EQ(cycles, model.update_base +
+                        static_cast<std::uint64_t>(model.per_instruction * 1'000'000) +
+                        model.per_response_byte * 100);
+  EXPECT_GT(model.cycles_to_usd(1'000'000'000'000ULL), 1.0);
+}
+
+TEST(SubnetConfigTest, ThresholdMath) {
+  SubnetConfig config;
+  config.num_nodes = 13;
+  EXPECT_EQ(config.max_faulty(), 4u);
+  EXPECT_EQ(config.threshold(), 9u);
+  config.num_nodes = 40;
+  EXPECT_EQ(config.max_faulty(), 13u);
+  EXPECT_EQ(config.threshold(), 27u);
+  config.num_nodes = 4;
+  EXPECT_EQ(config.max_faulty(), 1u);
+  EXPECT_EQ(config.threshold(), 3u);
+}
+
+TEST(SubnetTest, ConstructionValidation) {
+  util::Simulation sim;
+  SubnetConfig bad;
+  bad.num_nodes = 0;
+  EXPECT_THROW(Subnet(sim, bad, 1), std::invalid_argument);
+  bad.num_nodes = 4;
+  bad.num_byzantine = 4;
+  EXPECT_THROW(Subnet(sim, bad, 1), std::invalid_argument);
+}
+
+TEST(SubnetTest, RoundsAdvance) {
+  util::Simulation sim;
+  SubnetConfig config;
+  config.num_nodes = 13;
+  Subnet subnet(sim, config, 7);
+  subnet.start();
+  sim.run_until(60 * util::kSecond);
+  subnet.stop();
+  // ~1s rounds with 15% jitter: expect roughly 52-69 rounds in a minute.
+  EXPECT_GT(subnet.round(), 40u);
+  EXPECT_LT(subnet.round(), 80u);
+}
+
+TEST(SubnetTest, HeartbeatsFireEachRound) {
+  util::Simulation sim;
+  SubnetConfig config;
+  config.num_nodes = 4;
+  Subnet subnet(sim, config, 8);
+  std::uint64_t calls = 0;
+  std::uint64_t last_round = 0;
+  subnet.register_heartbeat([&](const RoundInfo& info) {
+    ++calls;
+    EXPECT_GT(info.round, last_round);
+    last_round = info.round;
+    EXPECT_LT(info.block_maker, 4u);
+  });
+  subnet.start();
+  sim.run_until(10 * util::kSecond);
+  subnet.stop();
+  EXPECT_EQ(calls, subnet.round());
+}
+
+TEST(SubnetTest, UnregisterStopsHeartbeat) {
+  util::Simulation sim;
+  SubnetConfig config;
+  config.num_nodes = 4;
+  Subnet subnet(sim, config, 9);
+  int calls = 0;
+  auto id = subnet.register_heartbeat([&](const RoundInfo&) { ++calls; });
+  subnet.start();
+  sim.run_until(5 * util::kSecond);
+  int at_unregister = calls;
+  subnet.unregister_heartbeat(id);
+  sim.run_until(10 * util::kSecond);
+  subnet.stop();
+  EXPECT_EQ(calls, at_unregister);
+  EXPECT_GT(calls, 0);
+}
+
+TEST(SubnetTest, BlockMakerRotatesUniformly) {
+  util::Simulation sim;
+  SubnetConfig config;
+  config.num_nodes = 4;
+  config.round_jitter = 0.0;
+  Subnet subnet(sim, config, 10);
+  std::vector<int> maker_counts(4, 0);
+  subnet.register_heartbeat([&](const RoundInfo& info) { maker_counts[info.block_maker]++; });
+  subnet.start();
+  sim.run_until(4000 * util::kSecond);
+  subnet.stop();
+  int total = 0;
+  for (int c : maker_counts) {
+    total += c;
+    EXPECT_GT(c, 800);  // each of 4 nodes ~1000 of ~4000 rounds
+    EXPECT_LT(c, 1200);
+  }
+  EXPECT_EQ(static_cast<std::uint64_t>(total), subnet.round());
+}
+
+TEST(SubnetTest, ByzantineMakerFrequencyMatchesFraction) {
+  util::Simulation sim;
+  SubnetConfig config;
+  config.num_nodes = 13;
+  config.num_byzantine = 4;  // f = 4 of 13
+  config.round_jitter = 0.0;
+  Subnet subnet(sim, config, 11);
+  subnet.start();
+  sim.run_until(13000 * util::kSecond);
+  subnet.stop();
+  double fraction = static_cast<double>(subnet.byzantine_maker_rounds()) /
+                    static_cast<double>(subnet.round());
+  EXPECT_NEAR(fraction, 4.0 / 13.0, 0.03);
+}
+
+TEST(SubnetTest, LatencyModelsMatchPaperBands) {
+  util::Simulation sim;
+  SubnetConfig config;
+  Subnet subnet(sim, config, 12);
+  // Replicated calls: min ~7s, p90 <= ~25s (paper: avg < 10s, p90 18s).
+  std::vector<util::SimTime> updates;
+  for (int i = 0; i < 2000; ++i) updates.push_back(subnet.sample_update_latency(10'000'000));
+  std::sort(updates.begin(), updates.end());
+  EXPECT_GE(updates.front(), 6 * util::kSecond);
+  EXPECT_LE(updates[updates.size() / 2], 14 * util::kSecond);   // median
+  EXPECT_LE(updates[updates.size() * 9 / 10], 25 * util::kSecond);  // p90
+
+  // Queries: small requests land in the couple-hundred-ms range.
+  std::vector<util::SimTime> queries;
+  for (int i = 0; i < 2000; ++i) queries.push_back(subnet.sample_query_latency(10'000'000));
+  std::sort(queries.begin(), queries.end());
+  EXPECT_GE(queries.front(), 100 * util::kMillisecond);
+  EXPECT_LE(queries[queries.size() / 2], 400 * util::kMillisecond);
+}
+
+TEST(SubnetTest, QueryLatencyGrowsWithInstructions) {
+  util::Simulation sim;
+  Subnet subnet(sim, SubnetConfig{}, 13);
+  double small = 0, large = 0;
+  for (int i = 0; i < 500; ++i) {
+    small += static_cast<double>(subnet.sample_query_latency(5'840'000));    // min of Fig. 7
+    large += static_cast<double>(subnet.sample_query_latency(476'000'000));  // max of Fig. 7
+  }
+  EXPECT_GT(large / 500, 2.0 * small / 500);
+}
+
+TEST(SubnetTest, SignWithEcdsaProducesValidSignature) {
+  util::Simulation sim;
+  SubnetConfig config;
+  config.num_nodes = 13;
+  config.num_byzantine = 4;
+  Subnet subnet(sim, config, 14);
+  util::Hash256 digest;
+  digest.data[0] = 0x42;
+  crypto::DerivationPath path = {{0x01}};
+  auto sig = subnet.sign_with_ecdsa(digest, path);
+  EXPECT_TRUE(crypto::verify(subnet.ecdsa().public_key(path), digest, sig));
+}
+
+TEST(SubnetTest, SigningWorksAtMaximumCorruption) {
+  // f = 13 corrupt of n = 40: the 27 honest replicas still meet the 2f+1
+  // threshold.
+  util::Simulation sim;
+  SubnetConfig config;
+  config.num_nodes = 40;
+  config.num_byzantine = 13;
+  Subnet subnet(sim, config, 15);
+  util::Hash256 digest;
+  digest.data[5] = 0x17;
+  auto sig = subnet.sign_with_ecdsa(digest, {});
+  EXPECT_TRUE(crypto::verify(subnet.ecdsa().public_key({}), digest, sig));
+}
+
+TEST(SubnetTest, SignWithSchnorrProducesValidSignature) {
+  util::Simulation sim;
+  SubnetConfig config;
+  config.num_nodes = 13;
+  config.num_byzantine = 4;
+  Subnet subnet(sim, config, 16);
+  util::Hash256 message;
+  message.data[3] = 0x77;
+  crypto::SchnorrDerivationPath path = {{0x05}};
+  auto sig = subnet.sign_with_schnorr(message, path);
+  EXPECT_TRUE(crypto::schnorr_verify(subnet.schnorr().public_key(path), message, sig));
+  // ECDSA and Schnorr services are independent keys.
+  EXPECT_NE(subnet.ecdsa().public_key({}).compressed(),
+            util::Bytes(subnet.schnorr().public_key().bytes().data.begin(),
+                        subnet.schnorr().public_key().bytes().data.end()));
+}
+
+TEST(SubnetTest, DeterministicGivenSeed) {
+  auto run = [](std::uint64_t seed) {
+    util::Simulation sim;
+    SubnetConfig config;
+    config.num_nodes = 7;
+    Subnet subnet(sim, config, seed);
+    std::vector<std::uint32_t> makers;
+    subnet.register_heartbeat([&](const RoundInfo& info) { makers.push_back(info.block_maker); });
+    subnet.start();
+    sim.run_until(30 * util::kSecond);
+    return makers;
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));
+}
+
+}  // namespace
+}  // namespace icbtc::ic

@@ -1,0 +1,91 @@
+#include "util/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace icbtc::util {
+namespace {
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes data = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  EXPECT_EQ(to_hex(data), "0001abff7f");
+  EXPECT_EQ(from_hex("0001abff7f"), data);
+  EXPECT_EQ(from_hex("0001ABFF7F"), data);
+}
+
+TEST(BytesTest, EmptyHex) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(BytesTest, FromHexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(BytesTest, FromHexRejectsNonHex) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+  EXPECT_THROW(from_hex("0g"), std::invalid_argument);
+}
+
+TEST(BytesTest, AppendConcatenates) {
+  Bytes a = {1, 2};
+  Bytes b = {3, 4, 5};
+  append(a, b);
+  EXPECT_EQ(a, (Bytes{1, 2, 3, 4, 5}));
+}
+
+TEST(BytesTest, EqualComparesContent) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  Bytes d = {1, 2};
+  EXPECT_TRUE(equal(a, b));
+  EXPECT_FALSE(equal(a, c));
+  EXPECT_FALSE(equal(a, d));
+}
+
+TEST(FixedBytesTest, FromSpanValidatesLength) {
+  Bytes ok(20, 0xaa);
+  EXPECT_NO_THROW(Hash160::from_span(ok));
+  Bytes bad(19, 0xaa);
+  EXPECT_THROW(Hash160::from_span(bad), std::invalid_argument);
+}
+
+TEST(FixedBytesTest, OrderingAndEquality) {
+  auto a = FixedBytes<4>::from_span(Bytes{0, 0, 0, 1});
+  auto b = FixedBytes<4>::from_span(Bytes{0, 0, 0, 2});
+  EXPECT_LT(a, b);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a, a);
+}
+
+TEST(FixedBytesTest, IsZero) {
+  FixedBytes<8> z;
+  EXPECT_TRUE(z.is_zero());
+  z.data[7] = 1;
+  EXPECT_FALSE(z.is_zero());
+}
+
+TEST(Hash256Test, RpcHexIsByteReversed) {
+  Hash256 h;
+  h.data[0] = 0x01;
+  h.data[31] = 0xff;
+  std::string rpc = h.rpc_hex();
+  EXPECT_EQ(rpc.substr(0, 2), "ff");
+  EXPECT_EQ(rpc.substr(62, 2), "01");
+  EXPECT_EQ(h.hex().substr(0, 2), "01");
+}
+
+TEST(Hash256Test, HashableInUnorderedSet) {
+  std::unordered_set<Hash256> set;
+  Hash256 a, b;
+  b.data[5] = 9;
+  set.insert(a);
+  set.insert(b);
+  set.insert(a);
+  EXPECT_EQ(set.size(), 2u);
+}
+
+}  // namespace
+}  // namespace icbtc::util

@@ -1,0 +1,48 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+namespace icbtc::util {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::kOff); }
+};
+
+TEST_F(LogTest, DefaultLevelIsOff) { EXPECT_EQ(log_level(), LogLevel::kOff); }
+
+TEST_F(LogTest, SetAndGetLevel) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kWarn);
+  EXPECT_EQ(log_level(), LogLevel::kWarn);
+}
+
+TEST_F(LogTest, FormatProducesPrintfStyleOutput) {
+  EXPECT_EQ(detail::format("plain"), "plain");
+  EXPECT_EQ(detail::format("%d + %d = %s", 1, 2, "three"), "1 + 2 = three");
+  EXPECT_EQ(detail::format("%05u", 42u), "00042");
+}
+
+TEST_F(LogTest, SuppressedBelowLevelDoesNotFormat) {
+  // Logging below the level must be a no-op (cheap in hot paths); this just
+  // exercises the guard branch.
+  set_log_level(LogLevel::kError);
+  ICBTC_LOG_DEBUG("test", "dropped %d", 1);
+  ICBTC_LOG_INFO("test", "dropped %d", 2);
+  ICBTC_LOG_WARN("test", "dropped %d", 3);
+  SUCCEED();
+}
+
+TEST_F(LogTest, EmittedAtOrAboveLevel) {
+  set_log_level(LogLevel::kDebug);
+  // Writes to stderr; just verify no crash with varied arity.
+  ICBTC_LOG_DEBUG("component", "no args");
+  ICBTC_LOG_INFO("component", "one: %s", "arg");
+  ICBTC_LOG_WARN("component", "two: %d %d", 1, 2);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace icbtc::util

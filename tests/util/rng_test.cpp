@@ -1,0 +1,127 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace icbtc::util {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+  EXPECT_THROW(rng.next_below(0), std::invalid_argument);
+}
+
+TEST(RngTest, NextBelowCoversAllValues) {
+  Rng rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.next_below(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextRangeInclusiveBounds) {
+  Rng rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 5000; ++i) {
+    auto v = rng.next_range(3, 6);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 6u);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 6);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+  EXPECT_THROW(rng.next_range(5, 4), std::invalid_argument);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(13);
+  double mean = 600.0;
+  double sum = 0;
+  const int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.next_exponential(mean);
+  EXPECT_NEAR(sum / kSamples, mean, mean * 0.05);
+  EXPECT_THROW(rng.next_exponential(0.0), std::invalid_argument);
+}
+
+TEST(RngTest, NextBytesLengthAndDeterminism) {
+  Rng a(5), b(5);
+  auto ba = a.next_bytes(37);
+  auto bb = b.next_bytes(37);
+  EXPECT_EQ(ba.size(), 37u);
+  EXPECT_EQ(ba, bb);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(19);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  auto orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndBounded) {
+  Rng rng(23);
+  auto idx = rng.sample_indices(100, 10);
+  EXPECT_EQ(idx.size(), 10u);
+  std::set<std::size_t> uniq(idx.begin(), idx.end());
+  EXPECT_EQ(uniq.size(), 10u);
+  for (auto i : idx) EXPECT_LT(i, 100u);
+  EXPECT_THROW(rng.sample_indices(3, 4), std::invalid_argument);
+}
+
+TEST(RngTest, SampleIndicesFullPopulation) {
+  Rng rng(29);
+  auto idx = rng.sample_indices(5, 5);
+  std::sort(idx.begin(), idx.end());
+  EXPECT_EQ(idx, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(31);
+  Rng child = a.fork();
+  // The child must not replay the parent's stream.
+  Rng parent_copy(31);
+  parent_copy.next();  // advance past the fork draw
+  EXPECT_NE(child.next(), parent_copy.next());
+}
+
+}  // namespace
+}  // namespace icbtc::util

@@ -1,0 +1,127 @@
+#include "util/sim.h"
+
+#include <gtest/gtest.h>
+
+namespace icbtc::util {
+namespace {
+
+TEST(SimTest, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule(30 * kSecond, [&] { order.push_back(3); });
+  sim.schedule(10 * kSecond, [&] { order.push_back(1); });
+  sim.schedule(20 * kSecond, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30 * kSecond);
+}
+
+TEST(SimTest, TiesBreakByScheduleOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule(kSecond, [&] { order.push_back(1); });
+  sim.schedule(kSecond, [&] { order.push_back(2); });
+  sim.schedule(kSecond, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimTest, NestedScheduling) {
+  Simulation sim;
+  std::vector<SimTime> fire_times;
+  sim.schedule(kSecond, [&] {
+    fire_times.push_back(sim.now());
+    sim.schedule(kSecond, [&] { fire_times.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(fire_times.size(), 2u);
+  EXPECT_EQ(fire_times[0], kSecond);
+  EXPECT_EQ(fire_times[1], 2 * kSecond);
+}
+
+TEST(SimTest, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  auto h = sim.schedule(kSecond, [&] { fired = true; });
+  sim.cancel(h);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimTest, CancelInvalidHandleIsSafe) {
+  Simulation sim;
+  sim.cancel(EventHandle{});
+  sim.cancel(EventHandle{999});
+  EXPECT_EQ(sim.run(), 0u);
+}
+
+TEST(SimTest, RunUntilStopsAtBoundary) {
+  Simulation sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) sim.schedule(i * kSecond, [&] { ++count; });
+  sim.run_until(5 * kSecond);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), 5 * kSecond);
+  sim.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(SimTest, RunUntilAdvancesClockWhenIdle) {
+  Simulation sim;
+  sim.run_until(kHour);
+  EXPECT_EQ(sim.now(), kHour);
+}
+
+TEST(SimTest, NegativeDelayClampsToNow) {
+  Simulation sim;
+  sim.schedule(10 * kSecond, [&] {
+    sim.schedule(-5 * kSecond, [&] { EXPECT_EQ(sim.now(), 10 * kSecond); });
+  });
+  sim.run();
+}
+
+TEST(SimTest, PendingCount) {
+  Simulation sim;
+  auto h1 = sim.schedule(kSecond, [] {});
+  sim.schedule(2 * kSecond, [] {});
+  EXPECT_EQ(sim.pending(), 2u);
+  sim.cancel(h1);
+  EXPECT_EQ(sim.pending(), 1u);
+  EXPECT_FALSE(sim.empty());
+  sim.run();
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(SimTest, MaxEventsLimit) {
+  Simulation sim;
+  int count = 0;
+  for (int i = 0; i < 10; ++i) sim.schedule(i, [&] { ++count; });
+  EXPECT_EQ(sim.run(3), 3u);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimTest, FormatTime) {
+  EXPECT_EQ(format_time(0), "00:00:00.000");
+  EXPECT_EQ(format_time(kSecond + 500 * kMillisecond), "00:00:01.500");
+  EXPECT_EQ(format_time(kDay + 2 * kHour + 3 * kMinute + 4 * kSecond + 5 * kMillisecond),
+            "1d 02:03:04.005");
+}
+
+TEST(SimTest, DeterministicReplay) {
+  auto run_once = [] {
+    Simulation sim;
+    std::vector<SimTime> log;
+    for (int i = 0; i < 50; ++i) {
+      sim.schedule((i * 37) % 100 * kMillisecond, [&, i] {
+        log.push_back(sim.now() + i);
+        if (i % 7 == 0) sim.schedule(3 * kMillisecond, [&] { log.push_back(sim.now()); });
+      });
+    }
+    sim.run();
+    return log;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace icbtc::util
