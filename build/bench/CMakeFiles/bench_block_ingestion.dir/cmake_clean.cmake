@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_block_ingestion.dir/bench_block_ingestion.cpp.o"
+  "CMakeFiles/bench_block_ingestion.dir/bench_block_ingestion.cpp.o.d"
+  "bench_block_ingestion"
+  "bench_block_ingestion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_block_ingestion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_request_cost.dir/bench_request_cost.cpp.o"
+  "CMakeFiles/bench_request_cost.dir/bench_request_cost.cpp.o.d"
+  "bench_request_cost"
+  "bench_request_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_request_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

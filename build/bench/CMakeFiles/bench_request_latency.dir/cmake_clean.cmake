@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_request_latency.dir/bench_request_latency.cpp.o"
+  "CMakeFiles/bench_request_latency.dir/bench_request_latency.cpp.o.d"
+  "bench_request_latency"
+  "bench_request_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_request_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_security_downtime.dir/bench_security_downtime.cpp.o"
+  "CMakeFiles/bench_security_downtime.dir/bench_security_downtime.cpp.o.d"
+  "bench_security_downtime"
+  "bench_security_downtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_security_downtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_security_eclipse.dir/bench_security_eclipse.cpp.o"
+  "CMakeFiles/bench_security_eclipse.dir/bench_security_eclipse.cpp.o.d"
+  "bench_security_eclipse"
+  "bench_security_eclipse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_security_eclipse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_security_fork.dir/bench_security_fork.cpp.o"
+  "CMakeFiles/bench_security_fork.dir/bench_security_fork.cpp.o.d"
+  "bench_security_fork"
+  "bench_security_fork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_security_fork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_storage_growth.dir/bench_storage_growth.cpp.o"
+  "CMakeFiles/bench_storage_growth.dir/bench_storage_growth.cpp.o.d"
+  "bench_storage_growth"
+  "bench_storage_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_storage_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

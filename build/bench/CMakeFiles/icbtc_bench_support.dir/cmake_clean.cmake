@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icbtc_bench_support.dir/workload.cpp.o"
+  "CMakeFiles/icbtc_bench_support.dir/workload.cpp.o.d"
+  "libicbtc_bench_support.a"
+  "libicbtc_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icbtc_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckbtc_demo.dir/ckbtc_demo.cpp.o"
+  "CMakeFiles/ckbtc_demo.dir/ckbtc_demo.cpp.o.d"
+  "ckbtc_demo"
+  "ckbtc_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckbtc_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

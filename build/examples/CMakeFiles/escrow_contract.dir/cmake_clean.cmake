@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/escrow_contract.dir/escrow_contract.cpp.o"
+  "CMakeFiles/escrow_contract.dir/escrow_contract.cpp.o.d"
+  "escrow_contract"
+  "escrow_contract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/escrow_contract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fork_monitor.dir/fork_monitor.cpp.o"
+  "CMakeFiles/fork_monitor.dir/fork_monitor.cpp.o.d"
+  "fork_monitor"
+  "fork_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fork_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payroll_contract.dir/payroll_contract.cpp.o"
+  "CMakeFiles/payroll_contract.dir/payroll_contract.cpp.o.d"
+  "payroll_contract"
+  "payroll_contract.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payroll_contract.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

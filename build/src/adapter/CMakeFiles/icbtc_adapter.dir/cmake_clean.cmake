@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icbtc_adapter.dir/adapter.cpp.o"
+  "CMakeFiles/icbtc_adapter.dir/adapter.cpp.o.d"
+  "libicbtc_adapter.a"
+  "libicbtc_adapter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icbtc_adapter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

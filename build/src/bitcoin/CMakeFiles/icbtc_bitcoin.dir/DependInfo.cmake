@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bitcoin/address.cpp" "src/bitcoin/CMakeFiles/icbtc_bitcoin.dir/address.cpp.o" "gcc" "src/bitcoin/CMakeFiles/icbtc_bitcoin.dir/address.cpp.o.d"
+  "/root/repo/src/bitcoin/block.cpp" "src/bitcoin/CMakeFiles/icbtc_bitcoin.dir/block.cpp.o" "gcc" "src/bitcoin/CMakeFiles/icbtc_bitcoin.dir/block.cpp.o.d"
+  "/root/repo/src/bitcoin/params.cpp" "src/bitcoin/CMakeFiles/icbtc_bitcoin.dir/params.cpp.o" "gcc" "src/bitcoin/CMakeFiles/icbtc_bitcoin.dir/params.cpp.o.d"
+  "/root/repo/src/bitcoin/pow.cpp" "src/bitcoin/CMakeFiles/icbtc_bitcoin.dir/pow.cpp.o" "gcc" "src/bitcoin/CMakeFiles/icbtc_bitcoin.dir/pow.cpp.o.d"
+  "/root/repo/src/bitcoin/script.cpp" "src/bitcoin/CMakeFiles/icbtc_bitcoin.dir/script.cpp.o" "gcc" "src/bitcoin/CMakeFiles/icbtc_bitcoin.dir/script.cpp.o.d"
+  "/root/repo/src/bitcoin/transaction.cpp" "src/bitcoin/CMakeFiles/icbtc_bitcoin.dir/transaction.cpp.o" "gcc" "src/bitcoin/CMakeFiles/icbtc_bitcoin.dir/transaction.cpp.o.d"
+  "/root/repo/src/bitcoin/utxo.cpp" "src/bitcoin/CMakeFiles/icbtc_bitcoin.dir/utxo.cpp.o" "gcc" "src/bitcoin/CMakeFiles/icbtc_bitcoin.dir/utxo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/crypto/CMakeFiles/icbtc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/icbtc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

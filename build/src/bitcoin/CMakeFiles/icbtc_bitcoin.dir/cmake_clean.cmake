@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icbtc_bitcoin.dir/address.cpp.o"
+  "CMakeFiles/icbtc_bitcoin.dir/address.cpp.o.d"
+  "CMakeFiles/icbtc_bitcoin.dir/block.cpp.o"
+  "CMakeFiles/icbtc_bitcoin.dir/block.cpp.o.d"
+  "CMakeFiles/icbtc_bitcoin.dir/params.cpp.o"
+  "CMakeFiles/icbtc_bitcoin.dir/params.cpp.o.d"
+  "CMakeFiles/icbtc_bitcoin.dir/pow.cpp.o"
+  "CMakeFiles/icbtc_bitcoin.dir/pow.cpp.o.d"
+  "CMakeFiles/icbtc_bitcoin.dir/script.cpp.o"
+  "CMakeFiles/icbtc_bitcoin.dir/script.cpp.o.d"
+  "CMakeFiles/icbtc_bitcoin.dir/transaction.cpp.o"
+  "CMakeFiles/icbtc_bitcoin.dir/transaction.cpp.o.d"
+  "CMakeFiles/icbtc_bitcoin.dir/utxo.cpp.o"
+  "CMakeFiles/icbtc_bitcoin.dir/utxo.cpp.o.d"
+  "libicbtc_bitcoin.a"
+  "libicbtc_bitcoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icbtc_bitcoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libicbtc_bitcoin.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for icbtc_bitcoin.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icbtc_btcnet.dir/harness.cpp.o"
+  "CMakeFiles/icbtc_btcnet.dir/harness.cpp.o.d"
+  "CMakeFiles/icbtc_btcnet.dir/miner.cpp.o"
+  "CMakeFiles/icbtc_btcnet.dir/miner.cpp.o.d"
+  "CMakeFiles/icbtc_btcnet.dir/network.cpp.o"
+  "CMakeFiles/icbtc_btcnet.dir/network.cpp.o.d"
+  "CMakeFiles/icbtc_btcnet.dir/node.cpp.o"
+  "CMakeFiles/icbtc_btcnet.dir/node.cpp.o.d"
+  "libicbtc_btcnet.a"
+  "libicbtc_btcnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icbtc_btcnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/canister/bitcoin_canister.cpp" "src/canister/CMakeFiles/icbtc_canister.dir/bitcoin_canister.cpp.o" "gcc" "src/canister/CMakeFiles/icbtc_canister.dir/bitcoin_canister.cpp.o.d"
+  "/root/repo/src/canister/integration.cpp" "src/canister/CMakeFiles/icbtc_canister.dir/integration.cpp.o" "gcc" "src/canister/CMakeFiles/icbtc_canister.dir/integration.cpp.o.d"
+  "/root/repo/src/canister/utxo_index.cpp" "src/canister/CMakeFiles/icbtc_canister.dir/utxo_index.cpp.o" "gcc" "src/canister/CMakeFiles/icbtc_canister.dir/utxo_index.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adapter/CMakeFiles/icbtc_adapter.dir/DependInfo.cmake"
+  "/root/repo/build/src/ic/CMakeFiles/icbtc_ic.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/icbtc_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitcoin/CMakeFiles/icbtc_bitcoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/btcnet/CMakeFiles/icbtc_btcnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/icbtc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/icbtc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icbtc_canister.dir/bitcoin_canister.cpp.o"
+  "CMakeFiles/icbtc_canister.dir/bitcoin_canister.cpp.o.d"
+  "CMakeFiles/icbtc_canister.dir/integration.cpp.o"
+  "CMakeFiles/icbtc_canister.dir/integration.cpp.o.d"
+  "CMakeFiles/icbtc_canister.dir/utxo_index.cpp.o"
+  "CMakeFiles/icbtc_canister.dir/utxo_index.cpp.o.d"
+  "libicbtc_canister.a"
+  "libicbtc_canister.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icbtc_canister.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

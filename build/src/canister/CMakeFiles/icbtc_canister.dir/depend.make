@@ -1,0 +1,2 @@
+# Empty dependencies file for icbtc_canister.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chain/block_builder.cpp" "src/chain/CMakeFiles/icbtc_chain.dir/block_builder.cpp.o" "gcc" "src/chain/CMakeFiles/icbtc_chain.dir/block_builder.cpp.o.d"
+  "/root/repo/src/chain/header_tree.cpp" "src/chain/CMakeFiles/icbtc_chain.dir/header_tree.cpp.o" "gcc" "src/chain/CMakeFiles/icbtc_chain.dir/header_tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bitcoin/CMakeFiles/icbtc_bitcoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/icbtc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/icbtc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icbtc_chain.dir/block_builder.cpp.o"
+  "CMakeFiles/icbtc_chain.dir/block_builder.cpp.o.d"
+  "CMakeFiles/icbtc_chain.dir/header_tree.cpp.o"
+  "CMakeFiles/icbtc_chain.dir/header_tree.cpp.o.d"
+  "libicbtc_chain.a"
+  "libicbtc_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icbtc_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/contracts/btc_wallet.cpp" "src/contracts/CMakeFiles/icbtc_contracts.dir/btc_wallet.cpp.o" "gcc" "src/contracts/CMakeFiles/icbtc_contracts.dir/btc_wallet.cpp.o.d"
+  "/root/repo/src/contracts/ckbtc_minter.cpp" "src/contracts/CMakeFiles/icbtc_contracts.dir/ckbtc_minter.cpp.o" "gcc" "src/contracts/CMakeFiles/icbtc_contracts.dir/ckbtc_minter.cpp.o.d"
+  "/root/repo/src/contracts/escrow.cpp" "src/contracts/CMakeFiles/icbtc_contracts.dir/escrow.cpp.o" "gcc" "src/contracts/CMakeFiles/icbtc_contracts.dir/escrow.cpp.o.d"
+  "/root/repo/src/contracts/payroll.cpp" "src/contracts/CMakeFiles/icbtc_contracts.dir/payroll.cpp.o" "gcc" "src/contracts/CMakeFiles/icbtc_contracts.dir/payroll.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/canister/CMakeFiles/icbtc_canister.dir/DependInfo.cmake"
+  "/root/repo/build/src/ic/CMakeFiles/icbtc_ic.dir/DependInfo.cmake"
+  "/root/repo/build/src/adapter/CMakeFiles/icbtc_adapter.dir/DependInfo.cmake"
+  "/root/repo/build/src/btcnet/CMakeFiles/icbtc_btcnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/chain/CMakeFiles/icbtc_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitcoin/CMakeFiles/icbtc_bitcoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/icbtc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/icbtc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icbtc_contracts.dir/btc_wallet.cpp.o"
+  "CMakeFiles/icbtc_contracts.dir/btc_wallet.cpp.o.d"
+  "CMakeFiles/icbtc_contracts.dir/ckbtc_minter.cpp.o"
+  "CMakeFiles/icbtc_contracts.dir/ckbtc_minter.cpp.o.d"
+  "CMakeFiles/icbtc_contracts.dir/escrow.cpp.o"
+  "CMakeFiles/icbtc_contracts.dir/escrow.cpp.o.d"
+  "CMakeFiles/icbtc_contracts.dir/payroll.cpp.o"
+  "CMakeFiles/icbtc_contracts.dir/payroll.cpp.o.d"
+  "libicbtc_contracts.a"
+  "libicbtc_contracts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icbtc_contracts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icbtc_crypto.dir/ecdsa.cpp.o"
+  "CMakeFiles/icbtc_crypto.dir/ecdsa.cpp.o.d"
+  "CMakeFiles/icbtc_crypto.dir/ripemd160.cpp.o"
+  "CMakeFiles/icbtc_crypto.dir/ripemd160.cpp.o.d"
+  "CMakeFiles/icbtc_crypto.dir/schnorr.cpp.o"
+  "CMakeFiles/icbtc_crypto.dir/schnorr.cpp.o.d"
+  "CMakeFiles/icbtc_crypto.dir/secp256k1.cpp.o"
+  "CMakeFiles/icbtc_crypto.dir/secp256k1.cpp.o.d"
+  "CMakeFiles/icbtc_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/icbtc_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/icbtc_crypto.dir/shamir.cpp.o"
+  "CMakeFiles/icbtc_crypto.dir/shamir.cpp.o.d"
+  "CMakeFiles/icbtc_crypto.dir/threshold_ecdsa.cpp.o"
+  "CMakeFiles/icbtc_crypto.dir/threshold_ecdsa.cpp.o.d"
+  "CMakeFiles/icbtc_crypto.dir/threshold_schnorr.cpp.o"
+  "CMakeFiles/icbtc_crypto.dir/threshold_schnorr.cpp.o.d"
+  "CMakeFiles/icbtc_crypto.dir/u256.cpp.o"
+  "CMakeFiles/icbtc_crypto.dir/u256.cpp.o.d"
+  "libicbtc_crypto.a"
+  "libicbtc_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icbtc_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icbtc_ic.dir/subnet.cpp.o"
+  "CMakeFiles/icbtc_ic.dir/subnet.cpp.o.d"
+  "libicbtc_ic.a"
+  "libicbtc_ic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icbtc_ic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

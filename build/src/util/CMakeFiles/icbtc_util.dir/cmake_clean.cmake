@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/icbtc_util.dir/byteio.cpp.o"
+  "CMakeFiles/icbtc_util.dir/byteio.cpp.o.d"
+  "CMakeFiles/icbtc_util.dir/bytes.cpp.o"
+  "CMakeFiles/icbtc_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/icbtc_util.dir/log.cpp.o"
+  "CMakeFiles/icbtc_util.dir/log.cpp.o.d"
+  "CMakeFiles/icbtc_util.dir/rng.cpp.o"
+  "CMakeFiles/icbtc_util.dir/rng.cpp.o.d"
+  "CMakeFiles/icbtc_util.dir/sim.cpp.o"
+  "CMakeFiles/icbtc_util.dir/sim.cpp.o.d"
+  "libicbtc_util.a"
+  "libicbtc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/icbtc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

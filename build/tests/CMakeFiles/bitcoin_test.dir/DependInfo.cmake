@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bitcoin/address_test.cpp" "tests/CMakeFiles/bitcoin_test.dir/bitcoin/address_test.cpp.o" "gcc" "tests/CMakeFiles/bitcoin_test.dir/bitcoin/address_test.cpp.o.d"
+  "/root/repo/tests/bitcoin/block_test.cpp" "tests/CMakeFiles/bitcoin_test.dir/bitcoin/block_test.cpp.o" "gcc" "tests/CMakeFiles/bitcoin_test.dir/bitcoin/block_test.cpp.o.d"
+  "/root/repo/tests/bitcoin/pow_test.cpp" "tests/CMakeFiles/bitcoin_test.dir/bitcoin/pow_test.cpp.o" "gcc" "tests/CMakeFiles/bitcoin_test.dir/bitcoin/pow_test.cpp.o.d"
+  "/root/repo/tests/bitcoin/script_test.cpp" "tests/CMakeFiles/bitcoin_test.dir/bitcoin/script_test.cpp.o" "gcc" "tests/CMakeFiles/bitcoin_test.dir/bitcoin/script_test.cpp.o.d"
+  "/root/repo/tests/bitcoin/taproot_test.cpp" "tests/CMakeFiles/bitcoin_test.dir/bitcoin/taproot_test.cpp.o" "gcc" "tests/CMakeFiles/bitcoin_test.dir/bitcoin/taproot_test.cpp.o.d"
+  "/root/repo/tests/bitcoin/transaction_test.cpp" "tests/CMakeFiles/bitcoin_test.dir/bitcoin/transaction_test.cpp.o" "gcc" "tests/CMakeFiles/bitcoin_test.dir/bitcoin/transaction_test.cpp.o.d"
+  "/root/repo/tests/bitcoin/utxo_test.cpp" "tests/CMakeFiles/bitcoin_test.dir/bitcoin/utxo_test.cpp.o" "gcc" "tests/CMakeFiles/bitcoin_test.dir/bitcoin/utxo_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bitcoin/CMakeFiles/icbtc_bitcoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/icbtc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/icbtc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

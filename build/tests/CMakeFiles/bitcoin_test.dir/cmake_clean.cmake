@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bitcoin_test.dir/bitcoin/address_test.cpp.o"
+  "CMakeFiles/bitcoin_test.dir/bitcoin/address_test.cpp.o.d"
+  "CMakeFiles/bitcoin_test.dir/bitcoin/block_test.cpp.o"
+  "CMakeFiles/bitcoin_test.dir/bitcoin/block_test.cpp.o.d"
+  "CMakeFiles/bitcoin_test.dir/bitcoin/pow_test.cpp.o"
+  "CMakeFiles/bitcoin_test.dir/bitcoin/pow_test.cpp.o.d"
+  "CMakeFiles/bitcoin_test.dir/bitcoin/script_test.cpp.o"
+  "CMakeFiles/bitcoin_test.dir/bitcoin/script_test.cpp.o.d"
+  "CMakeFiles/bitcoin_test.dir/bitcoin/taproot_test.cpp.o"
+  "CMakeFiles/bitcoin_test.dir/bitcoin/taproot_test.cpp.o.d"
+  "CMakeFiles/bitcoin_test.dir/bitcoin/transaction_test.cpp.o"
+  "CMakeFiles/bitcoin_test.dir/bitcoin/transaction_test.cpp.o.d"
+  "CMakeFiles/bitcoin_test.dir/bitcoin/utxo_test.cpp.o"
+  "CMakeFiles/bitcoin_test.dir/bitcoin/utxo_test.cpp.o.d"
+  "bitcoin_test"
+  "bitcoin_test.pdb"
+  "bitcoin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bitcoin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/btcnet_test.dir/btcnet/miner_test.cpp.o"
+  "CMakeFiles/btcnet_test.dir/btcnet/miner_test.cpp.o.d"
+  "CMakeFiles/btcnet_test.dir/btcnet/network_test.cpp.o"
+  "CMakeFiles/btcnet_test.dir/btcnet/network_test.cpp.o.d"
+  "CMakeFiles/btcnet_test.dir/btcnet/node_test.cpp.o"
+  "CMakeFiles/btcnet_test.dir/btcnet/node_test.cpp.o.d"
+  "btcnet_test"
+  "btcnet_test.pdb"
+  "btcnet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/btcnet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

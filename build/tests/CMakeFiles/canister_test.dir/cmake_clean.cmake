@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/canister_test.dir/canister/bitcoin_canister_test.cpp.o"
+  "CMakeFiles/canister_test.dir/canister/bitcoin_canister_test.cpp.o.d"
+  "CMakeFiles/canister_test.dir/canister/canister_api_test.cpp.o"
+  "CMakeFiles/canister_test.dir/canister/canister_api_test.cpp.o.d"
+  "CMakeFiles/canister_test.dir/canister/canister_property_test.cpp.o"
+  "CMakeFiles/canister_test.dir/canister/canister_property_test.cpp.o.d"
+  "CMakeFiles/canister_test.dir/canister/integration_test.cpp.o"
+  "CMakeFiles/canister_test.dir/canister/integration_test.cpp.o.d"
+  "CMakeFiles/canister_test.dir/canister/persistence_test.cpp.o"
+  "CMakeFiles/canister_test.dir/canister/persistence_test.cpp.o.d"
+  "CMakeFiles/canister_test.dir/canister/utxo_index_test.cpp.o"
+  "CMakeFiles/canister_test.dir/canister/utxo_index_test.cpp.o.d"
+  "canister_test"
+  "canister_test.pdb"
+  "canister_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/canister_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

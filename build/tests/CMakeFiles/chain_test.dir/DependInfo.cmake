@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/chain/header_tree_test.cpp" "tests/CMakeFiles/chain_test.dir/chain/header_tree_test.cpp.o" "gcc" "tests/CMakeFiles/chain_test.dir/chain/header_tree_test.cpp.o.d"
+  "/root/repo/tests/chain/stability_property_test.cpp" "tests/CMakeFiles/chain_test.dir/chain/stability_property_test.cpp.o" "gcc" "tests/CMakeFiles/chain_test.dir/chain/stability_property_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chain/CMakeFiles/icbtc_chain.dir/DependInfo.cmake"
+  "/root/repo/build/src/bitcoin/CMakeFiles/icbtc_bitcoin.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/icbtc_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/icbtc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

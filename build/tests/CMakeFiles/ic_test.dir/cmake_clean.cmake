@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ic_test.dir/ic/subnet_test.cpp.o"
+  "CMakeFiles/ic_test.dir/ic/subnet_test.cpp.o.d"
+  "ic_test"
+  "ic_test.pdb"
+  "ic_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

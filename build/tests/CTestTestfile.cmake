@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/bitcoin_test[1]_include.cmake")
+include("/root/repo/build/tests/btcnet_test[1]_include.cmake")
+include("/root/repo/build/tests/chain_test[1]_include.cmake")
+include("/root/repo/build/tests/ic_test[1]_include.cmake")
+include("/root/repo/build/tests/adapter_test[1]_include.cmake")
+include("/root/repo/build/tests/canister_test[1]_include.cmake")
+include("/root/repo/build/tests/contracts_test[1]_include.cmake")
