@@ -4,11 +4,13 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "adapter/adapter.h"
 #include "bitcoin/script.h"
 #include "btcnet/harness.h"
 #include "canister/bitcoin_canister.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -44,14 +46,18 @@ struct SyncStats {
 };
 
 SyncStats sync_canister(SyncSetup& setup, adapter::AdapterConfig adapter_config,
-                        int target_height, std::uint64_t seed) {
+                        int target_height, std::uint64_t seed,
+                        obs::MetricsRegistry* metrics = nullptr) {
   adapter::BitcoinAdapter adapter(setup.harness->network(), setup.params, adapter_config,
                                   util::Rng(seed));
+  adapter.set_metrics(metrics);
+  setup.harness->network().set_metrics(metrics);
   adapter.start();
   setup.sim.run_until(setup.sim.now() + 60 * util::kSecond);  // header sync
 
   canister::BitcoinCanister canister(setup.params,
                                      canister::CanisterConfig::for_params(setup.params));
+  canister.set_metrics(metrics);
   SyncStats stats;
   util::SimTime start = setup.sim.now();
   // Sync is complete once the canister holds the *blocks* to the target
@@ -72,7 +78,22 @@ SyncStats sync_canister(SyncSetup& setup, adapter::AdapterConfig adapter_config,
     setup.sim.run_until(setup.sim.now() + util::kSecond);
   }
   stats.wall = setup.sim.now() - start;
+  setup.harness->network().set_metrics(nullptr);
   return stats;
+}
+
+/// Dumps a full metrics snapshot: to stdout, and to $ICBTC_METRICS_JSON if
+/// set (the machine-readable BENCH_*.json path for downstream tooling).
+void emit_metrics_snapshot(const obs::MetricsRegistry& metrics, const char* bench_name) {
+  std::string json = obs::to_json(metrics);
+  std::printf("--- %s metrics snapshot (obs::to_json) ---\n%s", bench_name, json.c_str());
+  if (const char* path = std::getenv("ICBTC_METRICS_JSON"); path != nullptr) {
+    if (std::FILE* f = std::fopen(path, "w"); f != nullptr) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("(written to %s)\n", path);
+    }
+  }
 }
 
 void run_sync_table() {
@@ -87,6 +108,8 @@ void run_sync_table() {
     std::size_t max_headers;
     int multi_below;
   };
+  obs::MetricsRegistry metrics;
+  bool first = true;
   for (const Case& c : {Case{"multi-block, MAX_HEADERS=100", 100, 1 << 30},
                         Case{"multi-block, MAX_HEADERS=10", 10, 1 << 30},
                         Case{"single-block (post-checkpoint)", 100, 0},
@@ -96,15 +119,20 @@ void run_sync_table() {
     config.addr_upper_threshold = 6;
     config.max_headers = c.max_headers;
     config.multi_block_below_height = c.multi_below;
+    // Only the first configuration is instrumented, so the snapshot below is
+    // a single clean run rather than a blend of all four ablations.
     auto stats = sync_canister(setup, config, kChain,
                                static_cast<std::uint64_t>(c.max_headers) * 31 +
-                                   static_cast<std::uint64_t>(c.multi_below != 0));
+                                   static_cast<std::uint64_t>(c.multi_below != 0),
+                               first ? &metrics : nullptr);
+    first = false;
     std::printf("%-34s %-12d %-12s %-10zu\n", c.name, stats.iterations,
                 util::format_time(stats.wall).c_str(), stats.blocks);
   }
   std::printf("\nMulti-block responses sync the chain in far fewer consensus rounds;\n");
   std::printf("single-block mode trades sync speed for the Lemma IV.3 defence (one\n");
   std::printf("Byzantine block maker can inject at most one block per round).\n\n");
+  emit_metrics_snapshot(metrics, "multi-block MAX_HEADERS=100 sync");
 }
 
 void BM_HandleRequest(benchmark::State& state) {

@@ -10,6 +10,7 @@
 #include <string>
 
 #include "chain/block_builder.h"
+#include "obs/metrics.h"
 
 using namespace icbtc;
 
@@ -18,8 +19,10 @@ namespace {
 struct TreePrinter {
   const chain::HeaderTree& tree;
   std::map<util::Hash256, std::string> names;
+  obs::MetricsRegistry* metrics = nullptr;
 
   void print() const {
+    if (metrics != nullptr) update_metrics();
     std::printf("  %-6s %-7s %-5s %-5s %-10s %s\n", "block", "height", "d_c", "d_w",
                 "stability", "note");
     // Order by height, then name.
@@ -37,6 +40,20 @@ struct TreePrinter {
     }
     std::printf("\n");
   }
+
+  /// Refreshes the tree-shape gauges from the current snapshot (the
+  /// stability histogram is filled once, at the end, so observations are
+  /// not double-counted across prints).
+  void update_metrics() const {
+    metrics->gauge("monitor.tree_size").set(static_cast<std::int64_t>(tree.size()));
+    metrics->gauge("monitor.max_height").set(tree.max_height());
+    metrics->gauge("monitor.best_height").set(tree.best_height());
+    int forked_heights = 0;
+    for (int h = tree.root().height; h <= tree.max_height(); ++h) {
+      if (tree.blocks_at_height(h).size() > 1) ++forked_heights;
+    }
+    metrics->gauge("monitor.forked_heights").set(forked_heights);
+  }
 };
 
 }  // namespace
@@ -46,7 +63,8 @@ int main() {
 
   const auto& params = bitcoin::ChainParams::regtest();
   chain::HeaderTree tree(params, params.genesis_header);
-  TreePrinter printer{tree, {}};
+  obs::MetricsRegistry metrics;
+  TreePrinter printer{tree, {}, &metrics};
   printer.names[tree.root_hash()] = "g";
   std::uint32_t time = params.genesis_header.time;
   std::int64_t now = time + 1000000;
@@ -59,6 +77,7 @@ int main() {
     time += 600;
     auto header = chain::build_child_header(tree, parent, time, merkle);
     tree.accept(header, now);
+    metrics.counter("monitor.headers_accepted").inc();
     printer.names[header.hash()] = name;
     return header.hash();
   };
@@ -101,8 +120,23 @@ int main() {
   std::printf("  advance its anchor past m2 and prune the fork (Algorithm 2).\n");
 
   tree.reroot(main_chain[0]);
+  metrics.counter("monitor.reroots").inc();
   std::printf("\nAfter reroot: %zu headers remain, root at height %d, tip at height %d.\n",
               tree.size(), tree.root().height, tree.best_height());
+
+  // Final stability sweep: one observation per surviving block, so the
+  // histogram summarizes the end-state distribution (forks pruned by the
+  // reroot no longer contribute).
+  auto& stability =
+      metrics.histogram("monitor.stability", obs::Histogram::exponential_bounds(1.0, 2.0, 8));
+  for (int h = tree.root().height; h <= tree.max_height(); ++h) {
+    for (const auto& hash : tree.blocks_at_height(h)) {
+      stability.observe(tree.confirmation_stability(hash));
+    }
+  }
+  printer.update_metrics();
+
+  std::printf("\n--- monitor metrics (obs::to_table) ---\n%s", obs::to_table(metrics).c_str());
   std::printf("=== done ===\n");
   return 0;
 }

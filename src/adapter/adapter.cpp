@@ -40,6 +40,30 @@ BitcoinAdapter::~BitcoinAdapter() {
   if (network_->exists(id_)) network_->detach(id_);
 }
 
+void BitcoinAdapter::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  metrics_.peers = &registry->gauge("adapter.peers");
+  metrics_.header_height = &registry->gauge("adapter.header_height");
+  metrics_.headers_accepted = &registry->counter("adapter.headers_accepted");
+  metrics_.blocks_received = &registry->counter("adapter.blocks_received");
+  metrics_.blocks_stored = &registry->gauge("adapter.blocks_stored");
+  metrics_.block_requests = &registry->counter("adapter.block_requests");
+  metrics_.block_request_retries = &registry->counter("adapter.block_request_retries");
+  metrics_.requests_handled = &registry->counter("adapter.requests_handled");
+  metrics_.tx_cache_size = &registry->gauge("adapter.tx_cache.size");
+  metrics_.tx_cached = &registry->counter("adapter.tx_cache.added");
+  metrics_.tx_delivered = &registry->counter("adapter.tx_cache.delivered");
+  metrics_.tx_evicted_expired = &registry->counter("adapter.tx_cache.evicted_expired");
+  metrics_.tx_evicted_delivered = &registry->counter("adapter.tx_cache.evicted_delivered");
+  metrics_.peers->set(static_cast<std::int64_t>(connections_.size()));
+  metrics_.header_height->set(tree_.best_height());
+  metrics_.blocks_stored->set(static_cast<std::int64_t>(blocks_.size()));
+  metrics_.tx_cache_size->set(static_cast<std::int64_t>(tx_cache_.size()));
+}
+
 std::int64_t BitcoinAdapter::now_s() const {
   return static_cast<std::int64_t>(params_->genesis_header.time) +
          network_->sim().now() / util::kSecond;
@@ -88,6 +112,9 @@ void BitcoinAdapter::maintain() {
     }
     auto peer = random_peer();
     if (!peer) break;
+    if (pending.last_request >= 0 && metrics_.block_request_retries != nullptr) {
+      metrics_.block_request_retries->inc();
+    }
     pending.last_request = network_->sim().now();
     pending.asked = *peer;
     network_->send(id_, *peer, MsgGetData{{hash}, {}});
@@ -107,6 +134,7 @@ void BitcoinAdapter::request_addresses() {
         sync_headers(seed.id);
       }
     }
+    if (metrics_.peers != nullptr) metrics_.peers->set(static_cast<std::int64_t>(connections_.size()));
   }
   for (NodeId peer : connections_) network_->send(id_, peer, btcnet::MsgGetAddr{});
 }
@@ -126,10 +154,12 @@ void BitcoinAdapter::open_connections() {
       sync_headers(candidate.id);
     }
   }
+  if (metrics_.peers != nullptr) metrics_.peers->set(static_cast<std::int64_t>(connections_.size()));
 }
 
 void BitcoinAdapter::on_disconnected(NodeId peer) {
   connections_.erase(peer);
+  if (metrics_.peers != nullptr) metrics_.peers->set(static_cast<std::int64_t>(connections_.size()));
 }
 
 std::optional<NodeId> BitcoinAdapter::random_peer() {
@@ -207,6 +237,10 @@ void BitcoinAdapter::handle_headers(NodeId from, const MsgHeaders& msg) {
       sync_headers(from);  // we lag this peer; restart from a locator
       return;
     }
+    if (result == chain::AcceptResult::kAccepted && metrics_.headers_accepted != nullptr) {
+      metrics_.headers_accepted->inc();
+      metrics_.header_height->set(tree_.best_height());
+    }
   }
   if (msg.headers.size() == btcnet::kMaxHeadersPerMsg) sync_headers(from);
 }
@@ -231,6 +265,10 @@ void BitcoinAdapter::handle_block(const MsgBlock& msg) {
   if (!tree_.contains(hash)) return;
   blocks_.emplace(hash, msg.block);
   pending_blocks_.erase(hash);
+  if (metrics_.blocks_received != nullptr) {
+    metrics_.blocks_received->inc();
+    metrics_.blocks_stored->set(static_cast<std::int64_t>(blocks_.size()));
+  }
 }
 
 void BitcoinAdapter::handle_get_data(NodeId from, const MsgGetData& msg) {
@@ -239,13 +277,16 @@ void BitcoinAdapter::handle_get_data(NodeId from, const MsgGetData& msg) {
     auto it = tx_cache_.find(txid);
     if (it != tx_cache_.end()) {
       network_->send(id_, from, MsgTx{it->second.tx});
-      it->second.delivered_to.insert(from);
+      if (it->second.delivered_to.insert(from).second && metrics_.tx_delivered != nullptr) {
+        metrics_.tx_delivered->inc();
+      }
     }
   }
 }
 
 void BitcoinAdapter::request_block(const Hash256& hash) {
   if (blocks_.contains(hash) || pending_blocks_.contains(hash)) return;
+  if (metrics_.block_requests != nullptr) metrics_.block_requests->inc();
   PendingBlock pending;
   auto peer = random_peer();
   if (peer) {
@@ -269,23 +310,28 @@ void BitcoinAdapter::expire_transactions() {
   util::SimTime now = network_->sim().now();
   std::erase_if(tx_cache_, [&](const auto& entry) {
     const CachedTx& cached = entry.second;
-    // Drop when expired, or once every connected peer has pulled it.
-    if (cached.expires <= now) return true;
-    if (!connections_.empty()) {
-      bool all = true;
-      for (NodeId peer : connections_) {
-        if (!cached.delivered_to.contains(peer)) {
-          all = false;
-          break;
-        }
-      }
-      if (all) return true;
+    // Drop when expired, or once enough *distinct* peers have pulled it.
+    // Early-dropping as soon as every currently connected peer had it is
+    // wrong: with a single transient peer the tx would be evicted minutes
+    // before its 10-minute expiry (§III-B) and never reach later peers.
+    // ℓ distinct deliveries match the intended full-fan-out condition.
+    if (cached.expires <= now) {
+      if (metrics_.tx_evicted_expired != nullptr) metrics_.tx_evicted_expired->inc();
+      return true;
+    }
+    if (cached.delivered_to.size() >= config_.outbound_connections) {
+      if (metrics_.tx_evicted_delivered != nullptr) metrics_.tx_evicted_delivered->inc();
+      return true;
     }
     return false;
   });
+  if (metrics_.tx_cache_size != nullptr) {
+    metrics_.tx_cache_size->set(static_cast<std::int64_t>(tx_cache_.size()));
+  }
 }
 
 AdapterResponse BitcoinAdapter::handle_request(const AdapterRequest& request) {
+  if (metrics_.requests_handled != nullptr) metrics_.requests_handled->inc();
   // Lines 1-3: cache the outbound transactions; they are advertised
   // asynchronously by the maintenance loop.
   for (const auto& raw : request.transactions) {
@@ -296,6 +342,10 @@ AdapterResponse BitcoinAdapter::handle_request(const AdapterRequest& request) {
         tx_cache_.emplace(txid, CachedTx{std::move(tx),
                                          network_->sim().now() + config_.tx_cache_expiry,
                                          {}});
+        if (metrics_.tx_cached != nullptr) {
+          metrics_.tx_cached->inc();
+          metrics_.tx_cache_size->set(static_cast<std::int64_t>(tx_cache_.size()));
+        }
       }
     } catch (const util::DecodeError&) {
       // Undecodable bytes never reach the Bitcoin network.

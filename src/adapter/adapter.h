@@ -16,6 +16,7 @@
 
 #include "btcnet/network.h"
 #include "chain/header_tree.h"
+#include "obs/metrics.h"
 
 namespace icbtc::adapter {
 
@@ -81,6 +82,10 @@ class BitcoinAdapter : public btcnet::Endpoint {
   /// and prunes delivered blocks from the local block store.
   AdapterResponse handle_request(const AdapterRequest& request);
 
+  /// Attaches a metrics registry (nullptr detaches): peer connections,
+  /// header-sync progress, block-request retries, tx-cache size/evictions.
+  void set_metrics(obs::MetricsRegistry* registry);
+
   // Introspection.
   const chain::HeaderTree& header_tree() const { return tree_; }
   std::size_t known_addresses() const { return address_book_.size(); }
@@ -141,9 +146,29 @@ class BitcoinAdapter : public btcnet::Endpoint {
   struct CachedTx {
     bitcoin::Transaction tx;
     util::SimTime expires;
+    /// Every peer that ever pulled this tx, including since-disconnected
+    /// ones: eviction counts distinct deliveries, not current connections.
     std::unordered_set<btcnet::NodeId> delivered_to;
   };
   std::unordered_map<util::Hash256, CachedTx> tx_cache_;
+
+  // Optional observability hooks; all nullptr when no registry is attached.
+  struct Metrics {
+    obs::Gauge* peers = nullptr;
+    obs::Gauge* header_height = nullptr;
+    obs::Counter* headers_accepted = nullptr;
+    obs::Counter* blocks_received = nullptr;
+    obs::Gauge* blocks_stored = nullptr;
+    obs::Counter* block_requests = nullptr;
+    obs::Counter* block_request_retries = nullptr;
+    obs::Counter* requests_handled = nullptr;
+    obs::Gauge* tx_cache_size = nullptr;
+    obs::Counter* tx_cached = nullptr;
+    obs::Counter* tx_delivered = nullptr;
+    obs::Counter* tx_evicted_expired = nullptr;
+    obs::Counter* tx_evicted_delivered = nullptr;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace icbtc::adapter

@@ -101,20 +101,46 @@ std::vector<NodeId> Network::peers_of(NodeId id) const {
   return out;
 }
 
+void Network::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    messages_metric_ = bytes_metric_ = drops_metric_ = nullptr;
+    msg_type_metrics_.fill(nullptr);
+    return;
+  }
+  messages_metric_ = &registry->counter("net.messages");
+  bytes_metric_ = &registry->counter("net.bytes");
+  drops_metric_ = &registry->counter("net.drops");
+  // Indexed by the Message variant alternative order.
+  constexpr const char* kTypeNames[] = {"inv",   "getheaders", "headers", "getdata", "block",
+                                        "notfound", "tx",      "getaddr", "addr"};
+  static_assert(std::size(kTypeNames) == std::variant_size_v<Message>);
+  for (std::size_t i = 0; i < msg_type_metrics_.size(); ++i) {
+    msg_type_metrics_[i] = &registry->counter(std::string("net.msg.") + kTypeNames[i]);
+  }
+}
+
 void Network::send(NodeId from, NodeId to, Message msg) {
-  if (!connected(from, to)) return;
-  if (partitioned_.contains(from) != partitioned_.contains(to)) return;  // across the cut
+  if (!connected(from, to) || partitioned_.contains(from) != partitioned_.contains(to)) {
+    if (drops_metric_ != nullptr) drops_metric_->inc();
+    return;
+  }
   std::size_t size = message_size(msg);
   ++messages_sent_;
   bytes_sent_ += size;
+  if (messages_metric_ != nullptr) {
+    messages_metric_->inc();
+    bytes_metric_->inc(size);
+    msg_type_metrics_[msg.index()]->inc();
+  }
   util::SimTime delay = latency_.sample(size, rng_);
   sim_->schedule(delay, [this, from, to, m = std::move(msg)] {
     // The link may have been torn down or the endpoint detached in flight.
-    if (!connected(from, to)) return;
-    auto it = endpoints_.find(to);
-    if (it == endpoints_.end()) return;
-    if (partitioned_.contains(from) != partitioned_.contains(to)) return;
-    it->second->deliver(from, m);
+    if (!connected(from, to) || !endpoints_.contains(to) ||
+        partitioned_.contains(from) != partitioned_.contains(to)) {
+      if (drops_metric_ != nullptr) drops_metric_->inc();
+      return;
+    }
+    endpoints_.at(to)->deliver(from, m);
   });
 }
 

@@ -1,6 +1,7 @@
 // Transport and registry for the simulated Bitcoin P2P network.
 #pragma once
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <unordered_map>
@@ -8,6 +9,7 @@
 #include <vector>
 
 #include "btcnet/messages.h"
+#include "obs/metrics.h"
 #include "util/rng.h"
 #include "util/sim.h"
 
@@ -79,6 +81,11 @@ class Network {
   std::size_t message_count() const { return messages_sent_; }
   std::size_t bytes_sent() const { return bytes_sent_; }
 
+  /// Attaches a metrics registry (nullptr detaches): counts messages by type
+  /// (`net.msg.<type>`), total messages/bytes, and drops (disconnected link,
+  /// partition cut, or torn down in flight).
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   struct Link {
     NodeId a, b;
@@ -103,6 +110,11 @@ class Network {
   std::unordered_set<NodeId> partitioned_;
   std::size_t messages_sent_ = 0;
   std::size_t bytes_sent_ = 0;
+
+  obs::Counter* messages_metric_ = nullptr;
+  obs::Counter* bytes_metric_ = nullptr;
+  obs::Counter* drops_metric_ = nullptr;
+  std::array<obs::Counter*, std::variant_size_v<Message>> msg_type_metrics_{};
 };
 
 }  // namespace icbtc::btcnet

@@ -1,6 +1,7 @@
 #include "canister/bitcoin_canister.h"
 
 #include <algorithm>
+#include <cmath>
 #include <unordered_set>
 
 #include "bitcoin/script.h"
@@ -10,6 +11,68 @@ namespace icbtc::canister {
 
 using bitcoin::Block;
 using util::Hash256;
+
+namespace {
+/// Modelled deterministic execution rate used to convert instruction counts
+/// into simulated latency (≈2B instructions per second of replicated
+/// execution, the rate behind the paper's §IV-B latency figures).
+constexpr double kInstructionsPerMs = 2e6;
+}  // namespace
+
+BitcoinCanister::EndpointCall::~EndpointCall() {
+  if (metrics_->calls == nullptr) return;
+  metrics_->calls->inc();
+  double instructions = static_cast<double>(segment_.sample());
+  metrics_->instructions->observe(instructions);
+  metrics_->latency_ms->observe(instructions / kInstructionsPerMs);
+}
+
+void BitcoinCanister::set_metrics(obs::MetricsRegistry* registry) {
+  stable_utxos_.set_metrics(registry);
+  if (registry == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  auto endpoint = [registry](const char* name) {
+    EndpointMetrics em;
+    std::string prefix = std::string("canister.") + name;
+    em.calls = &registry->counter(prefix + ".calls");
+    em.instructions = &registry->histogram(prefix + ".instructions");
+    em.latency_ms = &registry->histogram(prefix + ".latency_ms",
+                                         obs::Histogram::decade_bounds(1e-3, 1e6));
+    return em;
+  };
+  metrics_.get_utxos = endpoint("get_utxos");
+  metrics_.get_balance = endpoint("get_balance");
+  metrics_.send_transaction = endpoint("send_transaction");
+  metrics_.fee_percentiles = endpoint("get_current_fee_percentiles");
+  metrics_.block_headers = endpoint("get_block_headers");
+  metrics_.process_response = endpoint("process_response");
+  metrics_.sync_rejections = &registry->counter("canister.sync_rejections");
+  metrics_.blocks_stored = &registry->counter("canister.blocks_stored");
+  metrics_.headers_appended = &registry->counter("canister.headers_appended");
+  metrics_.blocks_ingested = &registry->counter("canister.blocks_ingested");
+  metrics_.ingest_instructions = &registry->histogram("canister.ingest.instructions");
+  metrics_.anchor_height = &registry->gauge("canister.anchor_height");
+  metrics_.tip_height = &registry->gauge("canister.tip_height");
+  metrics_.unstable_blocks = &registry->gauge("canister.unstable_blocks");
+  metrics_.pending = &registry->gauge("canister.pending_transactions");
+  update_state_gauges();
+}
+
+void BitcoinCanister::update_state_gauges() {
+  if (metrics_.anchor_height == nullptr) return;
+  metrics_.anchor_height->set(tree_.root().height);
+  metrics_.tip_height->set(tree_.best_height());
+  metrics_.unstable_blocks->set(static_cast<std::int64_t>(unstable_blocks_.size()));
+  metrics_.pending->set(static_cast<std::int64_t>(pending_txs_.size()));
+}
+
+bool BitcoinCanister::sync_gate() {
+  if (is_synced()) return true;
+  if (metrics_.sync_rejections != nullptr) metrics_.sync_rejections->inc();
+  return false;
+}
 
 const char* to_string(Status s) {
   switch (s) {
@@ -46,11 +109,13 @@ adapter::AdapterRequest BitcoinCanister::make_request() {
     request.transactions.push_back(std::move(pending_txs_.front()));
     pending_txs_.pop_front();
   }
+  update_state_gauges();
   return request;
 }
 
 BitcoinCanister::ProcessResult BitcoinCanister::process_response(
     const adapter::AdapterResponse& response, std::int64_t now_s) {
+  EndpointCall call(meter_, metrics_.process_response);
   meter_.charge(config_.costs.request_overhead);
   ProcessResult result;
 
@@ -82,6 +147,11 @@ BitcoinCanister::ProcessResult BitcoinCanister::process_response(
       ++result.headers_appended;
     }
   }
+  if (metrics_.blocks_stored != nullptr) {
+    metrics_.blocks_stored->inc(result.blocks_stored);
+    metrics_.headers_appended->inc(result.headers_appended);
+  }
+  update_state_gauges();
   return result;
 }
 
@@ -134,6 +204,10 @@ std::size_t BitcoinCanister::advance_anchor() {
     }
     stats.instructions = segment.sample();
     ingest_log_.push_back(stats);
+    if (metrics_.blocks_ingested != nullptr) {
+      metrics_.blocks_ingested->inc();
+      metrics_.ingest_instructions->observe(static_cast<double>(stats.instructions));
+    }
 
     // The stable block header is archived (headers are kept forever); the
     // block itself is discarded and competing branches are pruned
@@ -229,7 +303,8 @@ std::vector<Utxo> BitcoinCanister::collect_utxos(const util::Bytes& script,
 }
 
 Outcome<GetUtxosResponse> BitcoinCanister::get_utxos(const GetUtxosRequest& request) {
-  if (!is_synced()) return {Status::kNotSynced, {}};
+  EndpointCall call(meter_, metrics_.get_utxos);
+  if (!sync_gate()) return {Status::kNotSynced, {}};
   if (request.min_confirmations > config_.stability_delta) {
     // Responses could be missing outputs spent below the anchor (§III-C).
     return {Status::kMinConfirmationsTooLarge, {}};
@@ -237,14 +312,22 @@ Outcome<GetUtxosResponse> BitcoinCanister::get_utxos(const GetUtxosRequest& requ
   auto script = script_for(request.address);
   if (!script.ok()) return {script.status, {}};
 
+  auto [tip_hash, tip_height] = considered_tip(request.min_confirmations);
+
+  // The page token (opaque to clients) binds the offset to the considered
+  // tip: [tip hash (32)][offset (8 LE)]. A raw offset alone is unsound —
+  // when a block arrives or a reorg happens between pages, offsets into the
+  // rebuilt UTXO list shift and clients silently see duplicated or skipped
+  // UTXOs. A token minted against a different tip is rejected instead.
   std::size_t offset = 0;
   if (request.page) {
-    if (request.page->size() != 8) return {Status::kBadPage, {}};
+    if (request.page->size() != 40) return {Status::kBadPage, {}};
     util::ByteReader r(*request.page);
+    Hash256 page_tip = r.hash256();
     offset = static_cast<std::size_t>(r.u64le());
+    if (page_tip != tip_hash) return {Status::kBadPage, {}};
   }
 
-  auto [tip_hash, tip_height] = considered_tip(request.min_confirmations);
   std::vector<Utxo> all = collect_utxos(script.value, tip_height);
   if (offset > all.size()) return {Status::kBadPage, {}};
 
@@ -256,15 +339,17 @@ Outcome<GetUtxosResponse> BitcoinCanister::get_utxos(const GetUtxosRequest& requ
                         all.begin() + static_cast<std::ptrdiff_t>(end));
   if (end < all.size()) {
     util::ByteWriter w;
+    w.bytes(tip_hash.span());
     w.u64le(end);
-    response.next_page = w.data();
+    response.next_page = std::move(w).take();
   }
   return {Status::kOk, std::move(response)};
 }
 
 Outcome<bitcoin::Amount> BitcoinCanister::get_balance(const std::string& address,
                                                       int min_confirmations) {
-  if (!is_synced()) return {Status::kNotSynced, {}};
+  EndpointCall call(meter_, metrics_.get_balance);
+  if (!sync_gate()) return {Status::kNotSynced, {}};
   if (min_confirmations > config_.stability_delta) {
     return {Status::kMinConfirmationsTooLarge, {}};
   }
@@ -281,6 +366,7 @@ Outcome<bitcoin::Amount> BitcoinCanister::get_balance(const std::string& address
 }
 
 Status BitcoinCanister::send_transaction(const util::Bytes& raw_transaction) {
+  EndpointCall call(meter_, metrics_.send_transaction);
   // Basic syntactic checks only (§III-C): decodable and well-formed.
   try {
     bitcoin::Transaction tx = bitcoin::Transaction::parse(raw_transaction);
@@ -289,11 +375,15 @@ Status BitcoinCanister::send_transaction(const util::Bytes& raw_transaction) {
     return Status::kMalformedTransaction;
   }
   pending_txs_.push_back(raw_transaction);
+  if (metrics_.pending != nullptr) {
+    metrics_.pending->set(static_cast<std::int64_t>(pending_txs_.size()));
+  }
   return Status::kOk;
 }
 
 Outcome<std::vector<std::uint64_t>> BitcoinCanister::get_current_fee_percentiles() {
-  if (!is_synced()) return {Status::kNotSynced, {}};
+  EndpointCall call(meter_, metrics_.fee_percentiles);
+  if (!sync_gate()) return {Status::kNotSynced, {}};
   // Scan the unstable suffix of the current chain. Outputs created earlier
   // in the window (or in the stable set) resolve input values; transactions
   // with unresolvable inputs are skipped, as in the production canister.
@@ -349,15 +439,18 @@ Outcome<std::vector<std::uint64_t>> BitcoinCanister::get_current_fee_percentiles
   percentiles.reserve(101);
   for (int p = 0; p <= 100; ++p) {
     double rank = static_cast<double>(p) / 100.0 * static_cast<double>(fee_rates.size() - 1);
-    percentiles.push_back(
-        static_cast<std::uint64_t>(fee_rates[static_cast<std::size_t>(rank)]));
+    // Nearest-rank: truncating the fractional rank would bias every
+    // non-endpoint percentile towards the lower sample.
+    auto index = std::min(static_cast<std::size_t>(std::llround(rank)), fee_rates.size() - 1);
+    percentiles.push_back(static_cast<std::uint64_t>(fee_rates[index]));
   }
   return {Status::kOk, std::move(percentiles)};
 }
 
 Outcome<BitcoinCanister::GetBlockHeadersResponse> BitcoinCanister::get_block_headers(
     int start_height, int end_height) {
-  if (!is_synced()) return {Status::kNotSynced, {}};
+  EndpointCall call(meter_, metrics_.block_headers);
+  if (!sync_gate()) return {Status::kNotSynced, {}};
   int tip = tree_.best_height();
   if (end_height < 0) end_height = tip;
   if (start_height < 0 || start_height > end_height || end_height > tip) {

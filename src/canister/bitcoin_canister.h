@@ -18,6 +18,7 @@
 #include "canister/utxo_index.h"
 #include "chain/header_tree.h"
 #include "ic/metering.h"
+#include "obs/metrics.h"
 
 namespace icbtc::canister {
 
@@ -173,8 +174,40 @@ class BitcoinCanister {
   /// Number of stable headers archived below the anchor (kept forever).
   std::size_t archived_headers() const { return stable_headers_.size(); }
 
+  /// Attaches a metrics registry (nullptr detaches): per-endpoint call
+  /// counts with instruction-cost and simulated-latency distributions,
+  /// anchor/tip/unstable-block gauges, sync-gate rejections, and the stable
+  /// UTXO store's `utxo.*` metrics.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   struct UnstableView;
+
+  /// Per-endpoint observability hooks; all nullptr without a registry.
+  struct EndpointMetrics {
+    obs::Counter* calls = nullptr;
+    obs::Histogram* instructions = nullptr;
+    obs::Histogram* latency_ms = nullptr;
+  };
+  /// RAII guard: counts the call and, on scope exit, records the metered
+  /// instruction delta and its simulated execution latency.
+  class EndpointCall {
+   public:
+    EndpointCall(const ic::InstructionMeter& meter, const EndpointMetrics& metrics)
+        : metrics_(&metrics), segment_(meter) {}
+    EndpointCall(const EndpointCall&) = delete;
+    EndpointCall& operator=(const EndpointCall&) = delete;
+    ~EndpointCall();
+
+   private:
+    const EndpointMetrics* metrics_;
+    ic::InstructionMeter::Segment segment_;
+  };
+
+  /// is_synced(), but counts a `canister.sync_rejections` when it fails.
+  bool sync_gate();
+  /// Pushes anchor/tip/unstable/pending gauges after a state change.
+  void update_state_gauges();
 
   /// Advances the anchor while some block at anchor height + 1 is
   /// difficulty-based δ-stable w.r.t. the anchor's work.
@@ -203,6 +236,25 @@ class BitcoinCanister {
   std::vector<bitcoin::BlockHeader> stable_headers_;  // archive below the anchor
   std::deque<util::Bytes> pending_txs_;
   std::vector<IngestStats> ingest_log_;
+
+  struct Metrics {
+    EndpointMetrics get_utxos;
+    EndpointMetrics get_balance;
+    EndpointMetrics send_transaction;
+    EndpointMetrics fee_percentiles;
+    EndpointMetrics block_headers;
+    EndpointMetrics process_response;
+    obs::Counter* sync_rejections = nullptr;
+    obs::Counter* blocks_stored = nullptr;
+    obs::Counter* headers_appended = nullptr;
+    obs::Counter* blocks_ingested = nullptr;
+    obs::Histogram* ingest_instructions = nullptr;
+    obs::Gauge* anchor_height = nullptr;
+    obs::Gauge* tip_height = nullptr;
+    obs::Gauge* unstable_blocks = nullptr;
+    obs::Gauge* pending = nullptr;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace icbtc::canister

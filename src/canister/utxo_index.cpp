@@ -14,6 +14,24 @@ std::uint64_t UtxoIndex::entry_footprint(const bitcoin::TxOut& output) {
   return 2 * (kStableBTreeOverhead + 36 + 8 + 4 + output.script_pubkey.size());
 }
 
+void UtxoIndex::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  metrics_.inserts = &registry->counter("utxo.inserts");
+  metrics_.removes = &registry->counter("utxo.removes");
+  metrics_.size = &registry->gauge("utxo.size");
+  metrics_.memory = &registry->gauge("utxo.memory_bytes");
+  update_size_gauges();
+}
+
+void UtxoIndex::update_size_gauges() {
+  if (metrics_.size == nullptr) return;
+  metrics_.size->set(static_cast<std::int64_t>(by_outpoint_.size()));
+  metrics_.memory->set(static_cast<std::int64_t>(memory_bytes_));
+}
+
 void UtxoIndex::insert(const bitcoin::OutPoint& outpoint, const bitcoin::TxOut& output,
                        int height, ic::InstructionMeter& meter) {
   if (bitcoin::is_op_return(output.script_pubkey)) {
@@ -25,6 +43,10 @@ void UtxoIndex::insert(const bitcoin::OutPoint& outpoint, const bitcoin::TxOut& 
   if (!inserted) return;  // duplicate outpoint (impossible post-BIP30); keep first
   by_script_[output.script_pubkey][Key{-height, outpoint}] = output.value;
   memory_bytes_ += entry_footprint(output);
+  if (metrics_.inserts != nullptr) {
+    metrics_.inserts->inc();
+    update_size_gauges();
+  }
 }
 
 void UtxoIndex::remove(const bitcoin::OutPoint& outpoint, ic::InstructionMeter& meter) {
@@ -39,6 +61,10 @@ void UtxoIndex::remove(const bitcoin::OutPoint& outpoint, ic::InstructionMeter& 
   }
   memory_bytes_ -= entry_footprint(entry.output);
   by_outpoint_.erase(it);
+  if (metrics_.removes != nullptr) {
+    metrics_.removes->inc();
+    update_size_gauges();
+  }
 }
 
 void UtxoIndex::apply_block(const bitcoin::Block& block, int height,

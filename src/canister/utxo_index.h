@@ -12,6 +12,7 @@
 #include "bitcoin/block.h"
 #include "bitcoin/transaction.h"
 #include "ic/metering.h"
+#include "obs/metrics.h"
 
 namespace icbtc::canister {
 
@@ -91,7 +92,13 @@ class UtxoIndex {
   std::uint64_t memory_bytes() const { return memory_bytes_; }
   std::size_t distinct_scripts() const { return by_script_.size(); }
 
+  /// Attaches a metrics registry (nullptr detaches): insert/remove rates and
+  /// size/memory gauges under `utxo.*`.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
+  void update_size_gauges();
+
   struct Entry {
     bitcoin::TxOut output;
     int height;
@@ -121,6 +128,14 @@ class UtxoIndex {
   };
   std::unordered_map<util::Bytes, std::map<Key, bitcoin::Amount>, BytesHash> by_script_;
   std::uint64_t memory_bytes_ = 0;
+
+  struct Metrics {
+    obs::Counter* inserts = nullptr;
+    obs::Counter* removes = nullptr;
+    obs::Gauge* size = nullptr;
+    obs::Gauge* memory = nullptr;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace icbtc::canister

@@ -1,0 +1,213 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace icbtc::obs {
+
+namespace {
+
+/// Shortest decimal representation that round-trips to the same double.
+/// Deterministic for a given value, and value-identity is all the snapshot
+/// determinism guarantee needs.
+std::string format_double(double v) {
+  char buf[64];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char esc[8];
+          std::snprintf(esc, sizeof(esc), "\\u%04x", c);
+          out += esc;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument("Histogram: bounds must be strictly ascending");
+    }
+  }
+  buckets_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double value) {
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double rank = q * static_cast<double>(count_);  // target rank in (0, count]
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    if (buckets_[i] == 0) continue;
+    double before = static_cast<double>(cumulative);
+    cumulative += buckets_[i];
+    if (rank > static_cast<double>(cumulative)) continue;
+    // Interpolate within this bucket, clamped to the observed range so the
+    // estimate never leaves [min, max].
+    double lower = i == 0 ? min_ : std::max(min_, bounds_[i - 1]);
+    double upper = i < bounds_.size() ? std::min(max_, bounds_[i]) : max_;
+    if (upper < lower) upper = lower;
+    double fraction = (rank - before) / static_cast<double>(buckets_[i]);
+    return lower + (upper - lower) * fraction;
+  }
+  return max_;
+}
+
+std::vector<double> Histogram::decade_bounds(double lo, double hi) {
+  if (!(lo > 0.0) || hi < lo) throw std::invalid_argument("decade_bounds: need 0 < lo <= hi");
+  std::vector<double> out;
+  double decade = std::pow(10.0, std::floor(std::log10(lo)));
+  for (;; decade *= 10.0) {
+    for (double step : {1.0, 2.0, 5.0}) {
+      double bound = decade * step;
+      if (bound < lo) continue;
+      out.push_back(bound);
+      if (bound >= hi) return out;
+    }
+  }
+}
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor, int n) {
+  if (!(start > 0.0) || factor <= 1.0 || n <= 0) {
+    throw std::invalid_argument("exponential_bounds: bad parameters");
+  }
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(n));
+  double bound = start;
+  for (int i = 0; i < n; ++i, bound *= factor) out.push_back(bound);
+  return out;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<double> bounds) {
+  auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  if (bounds.empty()) {
+    // Default: instruction-count scale (10^3 .. 10^12), 1-2-5 per decade.
+    bounds = Histogram::decade_bounds(1e3, 1e12);
+  }
+  return histograms_.emplace(name, Histogram(std::move(bounds))).first->second;
+}
+
+std::string to_json(const MetricsRegistry& registry) {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, counter] : registry.counters()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": " + std::to_string(counter.value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, gauge] : registry.gauges()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": " + std::to_string(gauge.value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : registry.histograms()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"" + json_escape(name) + "\": {\n";
+    out += "      \"count\": " + std::to_string(h.count()) + ",\n";
+    out += "      \"sum\": " + format_double(h.sum()) + ",\n";
+    out += "      \"min\": " + format_double(h.min()) + ",\n";
+    out += "      \"max\": " + format_double(h.max()) + ",\n";
+    out += "      \"p50\": " + format_double(h.quantile(0.5)) + ",\n";
+    out += "      \"p90\": " + format_double(h.quantile(0.9)) + ",\n";
+    out += "      \"p99\": " + format_double(h.quantile(0.99)) + ",\n";
+    out += "      \"buckets\": [";
+    const auto& counts = h.bucket_counts();
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+      if (counts[i] == 0) continue;  // sparse: empty buckets carry no signal
+      out += first_bucket ? "" : ", ";
+      first_bucket = false;
+      std::string le = i < h.bounds().size() ? format_double(h.bounds()[i]) : "\"+inf\"";
+      out += "{\"le\": " + le + ", \"count\": " + std::to_string(counts[i]) + "}";
+    }
+    out += "]\n    }";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string to_table(const MetricsRegistry& registry) {
+  char line[256];
+  std::string out;
+  auto short_num = [](double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+    return std::string(buf);
+  };
+  if (!registry.counters().empty() || !registry.gauges().empty()) {
+    std::snprintf(line, sizeof(line), "  %-44s %14s\n", "metric", "value");
+    out += line;
+    for (const auto& [name, counter] : registry.counters()) {
+      std::snprintf(line, sizeof(line), "  %-44s %14llu\n", name.c_str(),
+                    static_cast<unsigned long long>(counter.value()));
+      out += line;
+    }
+    for (const auto& [name, gauge] : registry.gauges()) {
+      std::snprintf(line, sizeof(line), "  %-44s %14lld\n", name.c_str(),
+                    static_cast<long long>(gauge.value()));
+      out += line;
+    }
+  }
+  if (!registry.histograms().empty()) {
+    std::snprintf(line, sizeof(line), "  %-44s %8s %10s %10s %10s %10s\n", "histogram", "count",
+                  "mean", "p50", "p90", "max");
+    out += line;
+    for (const auto& [name, h] : registry.histograms()) {
+      std::snprintf(line, sizeof(line), "  %-44s %8llu %10s %10s %10s %10s\n", name.c_str(),
+                    static_cast<unsigned long long>(h.count()), short_num(h.mean()).c_str(),
+                    short_num(h.quantile(0.5)).c_str(), short_num(h.quantile(0.9)).c_str(),
+                    short_num(h.max()).c_str());
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace icbtc::obs

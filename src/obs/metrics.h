@@ -1,0 +1,119 @@
+// Observability substrate (the measurement side of §IV-B): a zero-dependency
+// metrics registry with named counters, gauges, and histograms, plus JSON and
+// ASCII-table exporters.
+//
+// Everything is deterministic: metrics are stored and exported in name order,
+// histograms use fixed bucket bounds, and no wall-clock or randomness enters
+// the snapshot — two identical seeded simulation runs therefore produce
+// byte-identical to_json() output. Components accept an optional
+// MetricsRegistry* and no-op when none is attached, so the hot paths pay a
+// single null check when unobserved.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace icbtc::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time level (sizes, heights, ...). Signed so deltas can go down.
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_ = v; }
+  void add(std::int64_t delta) { value_ += delta; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Fixed-bucket histogram with an exact count/sum/min/max summary and
+/// bucket-interpolated quantile estimates (Prometheus-style: each bucket
+/// counts observations <= its upper bound; an implicit +inf bucket catches
+/// the rest).
+class Histogram {
+ public:
+  /// `bounds` are the finite bucket upper bounds, strictly ascending.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double value);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1, the
+  /// last entry being the +inf overflow bucket.
+  const std::vector<std::uint64_t>& bucket_counts() const { return buckets_; }
+
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation inside the
+  /// bucket holding the target rank, clamped to the observed [min, max].
+  double quantile(double q) const;
+
+  /// 1-2-5 decade bounds spanning [lo, hi], e.g. {1,2,5,10,20,50,...}.
+  static std::vector<double> decade_bounds(double lo, double hi);
+  /// Geometric bounds: start, start*factor, ... (`n` bounds).
+  static std::vector<double> exponential_bounds(double start, double factor, int n);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Named metrics, created on first use and stored in name order. References
+/// returned by counter()/gauge()/histogram() remain valid for the registry's
+/// lifetime (node-based map storage), so hot paths resolve once and keep the
+/// pointer.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  /// Creates the histogram with `bounds` on first use (default: instruction-
+  /// scale decade bounds); later calls return the existing histogram.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Serializes the registry as a deterministic JSON document (metrics in name
+/// order, stable number formatting). Shape:
+///   {"counters": {...}, "gauges": {...},
+///    "histograms": {"name": {"count":..,"sum":..,"min":..,"max":..,
+///                            "p50":..,"p90":..,"p99":..,
+///                            "buckets": [{"le":..,"count":..}, ...]}}}
+std::string to_json(const MetricsRegistry& registry);
+
+/// Renders the registry as a fixed-width ASCII table for live display (the
+/// fork_monitor example and bench stdout dumps).
+std::string to_table(const MetricsRegistry& registry);
+
+}  // namespace icbtc::obs

@@ -270,6 +270,119 @@ TEST_F(Algorithm1Test, TransactionCacheExpires) {
   EXPECT_EQ(adapter_->cached_transactions(), 0u);
 }
 
+TEST_F(Algorithm1Test, TransactionEarlyDropAfterFullFanout) {
+  // All ℓ = 5 connected peers pull the advertised tx within seconds; once
+  // ℓ distinct peers have it, the cache may drop it well before the
+  // 10-minute expiry.
+  bitcoin::Transaction tx;
+  bitcoin::TxIn in;
+  in.prevout.txid.data[0] = 3;
+  tx.inputs.push_back(in);
+  tx.outputs.push_back(bitcoin::TxOut{1000, {0x51}});
+  AdapterRequest request;
+  request.anchor = params_.genesis_header.hash();
+  request.transactions = {tx.serialize()};
+  adapter_->handle_request(request);
+  ASSERT_EQ(adapter_->cached_transactions(), 1u);
+  ASSERT_EQ(adapter_->active_connections(), adapter_config_.outbound_connections);
+  sim_.run_until(sim_.now() + 60 * util::kSecond);
+  EXPECT_EQ(adapter_->cached_transactions(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Transaction relay eviction (§III-B): a cached tx may only be dropped early
+// once ℓ = outbound_connections *distinct* peers have pulled it — not as soon
+// as every currently connected peer has (which, with one transient peer,
+// would evict minutes before expiry and starve later peers).
+
+bitcoin::Transaction relay_test_tx(std::uint8_t tag) {
+  bitcoin::Transaction tx;
+  bitcoin::TxIn in;
+  in.prevout.txid.data[0] = tag;
+  tx.inputs.push_back(in);
+  tx.outputs.push_back(bitcoin::TxOut{1000, {0x51}});
+  return tx;
+}
+
+TEST(TxRelayEvictionTest, SurvivesWhenFewerPeersThanFanoutPulled) {
+  util::Simulation sim;
+  const auto& params = bitcoin::ChainParams::regtest();
+  BitcoinNetworkConfig config;
+  config.num_nodes = 2;  // fewer peers than the adapter's fan-out target
+  config.connections_per_node = 1;
+  config.num_dns_seeds = 1;
+  config.num_miners = 1;
+  config.ipv6_fraction = 1.0;
+  BitcoinNetworkHarness harness(sim, params, config, 4321);
+  sim.run();
+
+  AdapterConfig aconfig;
+  aconfig.outbound_connections = 5;  // only 2 are reachable
+  aconfig.addr_lower_threshold = 1;
+  aconfig.addr_upper_threshold = 2;
+  BitcoinAdapter adapter(harness.network(), params, aconfig, util::Rng(10));
+  adapter.start();
+  sim.run_until(sim.now() + 30 * util::kSecond);
+  ASSERT_GT(adapter.active_connections(), 0u);
+  ASSERT_LT(adapter.active_connections(), aconfig.outbound_connections);
+
+  AdapterRequest request;
+  request.anchor = params.genesis_header.hash();
+  request.transactions = {relay_test_tx(5).serialize()};
+  adapter.handle_request(request);
+  ASSERT_EQ(adapter.cached_transactions(), 1u);
+
+  // Both reachable peers pull the tx, but 2 < ℓ: the tx must stay cached
+  // for the full expiry window in case more peers appear.
+  sim.run_until(sim.now() + 5 * util::kMinute);
+  EXPECT_EQ(adapter.cached_transactions(), 1u);
+  sim.run_until(sim.now() + 6 * util::kMinute);  // past the 10-minute expiry
+  EXPECT_EQ(adapter.cached_transactions(), 0u);
+}
+
+TEST(TxRelayEvictionTest, ReachesLaterReachablePeerThenDrops) {
+  util::Simulation sim;
+  const auto& params = bitcoin::ChainParams::regtest();
+  BitcoinNetworkConfig config;
+  config.num_nodes = 3;
+  config.connections_per_node = 2;
+  config.num_dns_seeds = 1;
+  config.num_miners = 1;
+  config.ipv6_fraction = 1.0;
+  BitcoinNetworkHarness harness(sim, params, config, 987);
+  sim.run();
+  // One node starts out unreachable (partitioned): its link stays up but
+  // messages are dropped, as with a mid-connection network outage.
+  btcnet::NodeId cut = harness.node(2).id();
+  harness.network().set_partitioned(cut, true);
+
+  AdapterConfig aconfig;
+  aconfig.outbound_connections = 3;
+  aconfig.addr_lower_threshold = 1;
+  aconfig.addr_upper_threshold = 3;
+  BitcoinAdapter adapter(harness.network(), params, aconfig, util::Rng(11));
+  adapter.start();
+  sim.run_until(sim.now() + 60 * util::kSecond);
+
+  AdapterRequest request;
+  request.anchor = params.genesis_header.hash();
+  request.transactions = {relay_test_tx(6).serialize()};
+  adapter.handle_request(request);
+  ASSERT_EQ(adapter.cached_transactions(), 1u);
+
+  // Only the two reachable peers can pull: fewer than ℓ = 3, so the tx
+  // survives (the old connected-peers-only rule would have dropped it here).
+  sim.run_until(sim.now() + 2 * util::kMinute);
+  ASSERT_EQ(adapter.cached_transactions(), 1u);
+
+  // The partition heals: the advertisement reaches the third peer, it pulls
+  // the tx, and with ℓ distinct deliveries the cache finally drops it —
+  // still well before the 10-minute expiry.
+  harness.network().set_partitioned(cut, false);
+  sim.run_until(sim.now() + 90 * util::kSecond);
+  EXPECT_EQ(adapter.cached_transactions(), 0u);
+}
+
 TEST_F(Algorithm1Test, ReconnectsAfterPeerLoss) {
   auto peers = adapter_->connected_peers();
   ASSERT_FALSE(peers.empty());

@@ -302,9 +302,77 @@ TEST_F(CanisterTest, BadPageRejected) {
   request.page = util::Bytes{1, 2, 3};  // wrong length
   EXPECT_EQ(canister_.get_utxos(request).status, Status::kBadPage);
   util::ByteWriter w;
-  w.u64le(999);  // offset beyond the set
+  w.u64le(999);  // a bare offset is not a valid token (no tip hash)
   request.page = w.data();
   EXPECT_EQ(canister_.get_utxos(request).status, Status::kBadPage);
+  // Well-formed token bound to the right tip, but offset beyond the set.
+  util::ByteWriter w2;
+  w2.bytes(tip_.span());
+  w2.u64le(999);
+  request.page = w2.data();
+  EXPECT_EQ(canister_.get_utxos(request).status, Status::kBadPage);
+}
+
+TEST_F(CanisterTest, PageTokenInvalidatedByNewBlock) {
+  CanisterConfig config = CanisterConfig::for_params(params_);
+  config.utxos_per_page = 2;
+  BitcoinCanister paged(params_, config);
+  auto blocks = extend(5, 1);
+  adapter::AdapterResponse response;
+  for (const auto& b : blocks) response.blocks.emplace_back(b, b.header);
+  paged.process_response(response, now_s());
+
+  GetUtxosRequest request;
+  request.address = address(1);
+  auto first = paged.get_utxos(request);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first.value.next_page.has_value());
+
+  // A block arrives mid-pagination: the considered tip moves, so offsets
+  // into the rebuilt UTXO list no longer line up. The stale token must be
+  // rejected instead of silently skipping or duplicating UTXOs.
+  Block extra = make_block(tip_, 1);
+  tip_ = extra.hash();
+  adapter::AdapterResponse more;
+  more.blocks.emplace_back(extra, extra.header);
+  paged.process_response(more, now_s());
+
+  request.page = first.value.next_page;
+  EXPECT_EQ(paged.get_utxos(request).status, Status::kBadPage);
+
+  // Restarting from the first page works and binds to the new tip.
+  request.page.reset();
+  auto restart = paged.get_utxos(request);
+  ASSERT_TRUE(restart.ok());
+  EXPECT_EQ(restart.value.tip_hash, tip_);
+}
+
+TEST_F(CanisterTest, PageTokenInvalidatedByReorg) {
+  CanisterConfig config = CanisterConfig::for_params(params_);
+  config.utxos_per_page = 1;
+  BitcoinCanister paged(params_, config);
+  auto blocks = extend(2, 1);
+  adapter::AdapterResponse response;
+  for (const auto& b : blocks) response.blocks.emplace_back(b, b.header);
+  paged.process_response(response, now_s());
+
+  GetUtxosRequest request;
+  request.address = address(1);
+  auto first = paged.get_utxos(request);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first.value.next_page.has_value());
+
+  // A heavier fork replaces the tip the token was minted against.
+  Hash256 fork_point = blocks[0].hash();
+  Block fork1 = make_block(fork_point, 1);
+  Block fork2 = make_block(fork1.hash(), 1);
+  adapter::AdapterResponse fork_response;
+  fork_response.blocks.emplace_back(fork1, fork1.header);
+  fork_response.blocks.emplace_back(fork2, fork2.header);
+  paged.process_response(fork_response, now_s());
+
+  request.page = first.value.next_page;
+  EXPECT_EQ(paged.get_utxos(request).status, Status::kBadPage);
 }
 
 TEST_F(CanisterTest, ForkResolutionFollowsHeavierChain) {

@@ -106,6 +106,33 @@ TEST_F(CanisterApiTest, FeePercentilesFromResolvableSpends) {
   }
 }
 
+TEST_F(CanisterApiTest, FeePercentilesUseNearestRank) {
+  // Two samples with distinct rates. The median's fractional rank is
+  // 0.5*(n-1) = 0.5, which nearest-rank rounds UP to the higher sample;
+  // truncation would bias it to the lower one.
+  auto funding1 = unpriceable_tx(1);
+  auto funding2 = unpriceable_tx(2);
+  feed({make_block({funding1, funding2})});
+  auto spend = [&](const bitcoin::Transaction& parent, bitcoin::Amount out_value,
+                   std::uint8_t tag) {
+    bitcoin::Transaction tx;
+    bitcoin::TxIn in;
+    in.prevout = bitcoin::OutPoint{parent.txid(), 0};
+    tx.inputs.push_back(in);
+    tx.outputs.push_back(bitcoin::TxOut{out_value, script(tag)});
+    return tx;
+  };
+  feed({make_block({spend(funding1, 90000, 11), spend(funding2, 50000, 12)})});
+
+  auto outcome = canister_.get_current_fee_percentiles();
+  ASSERT_TRUE(outcome.ok());
+  ASSERT_EQ(outcome.value.size(), 101u);
+  ASSERT_GT(outcome.value[100], outcome.value[0]);  // two distinct rates
+  EXPECT_EQ(outcome.value[49], outcome.value[0]);    // rank 0.49 -> lower
+  EXPECT_EQ(outcome.value[50], outcome.value[100]);  // rank 0.50 -> upper
+  EXPECT_EQ(outcome.value[51], outcome.value[100]);  // rank 0.51 -> upper
+}
+
 TEST_F(CanisterApiTest, FeePercentilesSkipUnresolvableTransactions) {
   // A block containing only unpriceable transactions yields no data.
   feed({make_block({unpriceable_tx(3), unpriceable_tx(4)})});

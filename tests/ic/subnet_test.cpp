@@ -210,10 +210,12 @@ TEST(SubnetTest, SignWithSchnorrProducesValidSignature) {
   crypto::SchnorrDerivationPath path = {{0x05}};
   auto sig = subnet.sign_with_schnorr(message, path);
   EXPECT_TRUE(crypto::schnorr_verify(subnet.schnorr().public_key(path), message, sig));
-  // ECDSA and Schnorr services are independent keys.
+  // ECDSA and Schnorr services are independent keys. (bytes() returns by
+  // value: bind it once, or begin/end would come from two distinct
+  // temporaries and form a garbage range.)
+  auto schnorr_bytes = subnet.schnorr().public_key().bytes();
   EXPECT_NE(subnet.ecdsa().public_key({}).compressed(),
-            util::Bytes(subnet.schnorr().public_key().bytes().data.begin(),
-                        subnet.schnorr().public_key().bytes().data.end()));
+            util::Bytes(schnorr_bytes.data.begin(), schnorr_bytes.data.end()));
 }
 
 TEST(SubnetTest, DeterministicGivenSeed) {
