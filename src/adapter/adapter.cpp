@@ -58,6 +58,11 @@ void BitcoinAdapter::set_metrics(obs::MetricsRegistry* registry) {
   metrics_.tx_delivered = &registry->counter("adapter.tx_cache.delivered");
   metrics_.tx_evicted_expired = &registry->counter("adapter.tx_cache.evicted_expired");
   metrics_.tx_evicted_delivered = &registry->counter("adapter.tx_cache.evicted_delivered");
+  metrics_.recent_tx_pool = &registry->gauge("adapter.recent_tx_pool");
+  metrics_.cmpct_received = &registry->counter("adapter.cmpct.received");
+  metrics_.cmpct_reconstructed = &registry->counter("adapter.cmpct.reconstructed");
+  metrics_.cmpct_fallback_getblocktxn = &registry->counter("adapter.cmpct.fallback.getblocktxn");
+  metrics_.cmpct_fallback_full = &registry->counter("adapter.cmpct.fallback.full");
   metrics_.peers->set(static_cast<std::int64_t>(connections_.size()));
   metrics_.header_height->set(tree_.best_height());
   metrics_.blocks_stored->set(static_cast<std::int64_t>(blocks_.size()));
@@ -117,7 +122,7 @@ void BitcoinAdapter::maintain() {
     }
     pending.last_request = network_->sim().now();
     pending.asked = *peer;
-    network_->send(id_, *peer, MsgGetData{{hash}, {}});
+    network_->send(id_, *peer, MsgGetData{{hash}, {}, config_.compact_block_fetch});
   }
 
   maintenance_timer_ =
@@ -210,6 +215,12 @@ void BitcoinAdapter::deliver(NodeId from, const Message& msg) {
           handle_get_data(from, m);
         } else if constexpr (std::is_same_v<T, MsgAddr>) {
           handle_addr(m);
+        } else if constexpr (std::is_same_v<T, MsgTx>) {
+          handle_tx(m);
+        } else if constexpr (std::is_same_v<T, btcnet::MsgCmpctBlock>) {
+          handle_cmpct_block(from, m);
+        } else if constexpr (std::is_same_v<T, btcnet::MsgBlockTxn>) {
+          handle_block_txn(from, m);
         } else if constexpr (std::is_same_v<T, MsgGetHeaders>) {
           // The adapter is a leech: it does not serve headers.
         }
@@ -252,8 +263,31 @@ void BitcoinAdapter::handle_inv(NodeId from, const MsgInv& msg) {
       break;
     }
   }
-  // Transaction inventory is irrelevant to the adapter: it only pushes
-  // canister transactions out, it does not track the mempool.
+  // Transaction inventory only matters for compact block fetch: the adapter
+  // then maintains a pool of recently relayed transactions to reconstruct
+  // compact blocks from. Otherwise it only pushes canister transactions out.
+  if (!config_.compact_block_fetch) return;
+  MsgGetData request;
+  for (const auto& txid : msg.tx_ids) {
+    if (recent_txs_.contains(txid) || tx_cache_.contains(txid) ||
+        requested_txs_.contains(txid)) {
+      continue;
+    }
+    requested_txs_.insert(txid);
+    request.tx_ids.push_back(txid);
+  }
+  if (!request.tx_ids.empty()) network_->send(id_, from, std::move(request));
+}
+
+void BitcoinAdapter::handle_tx(const btcnet::MsgTx& msg) {
+  Hash256 txid = msg.tx.txid();
+  requested_txs_.erase(txid);
+  if (!config_.compact_block_fetch || !msg.tx.is_well_formed()) return;
+  recent_txs_.emplace(txid,
+                      RecentTx{msg.tx, network_->sim().now() + config_.recent_tx_expiry});
+  if (metrics_.recent_tx_pool != nullptr) {
+    metrics_.recent_tx_pool->set(static_cast<std::int64_t>(recent_txs_.size()));
+  }
 }
 
 void BitcoinAdapter::handle_block(const MsgBlock& msg) {
@@ -263,12 +297,93 @@ void BitcoinAdapter::handle_block(const MsgBlock& msg) {
   // The header must be known and valid; unknown headers were requested via
   // sync, so simply drop blocks that do not fit the tree yet.
   if (!tree_.contains(hash)) return;
-  blocks_.emplace(hash, msg.block);
+  store_block(msg.block);
+}
+
+void BitcoinAdapter::store_block(const bitcoin::Block& block) {
+  Hash256 hash = block.hash();
+  blocks_.emplace(hash, block);
   pending_blocks_.erase(hash);
+  pending_compact_.erase(hash);
   if (metrics_.blocks_received != nullptr) {
     metrics_.blocks_received->inc();
     metrics_.blocks_stored->set(static_cast<std::int64_t>(blocks_.size()));
   }
+}
+
+void BitcoinAdapter::fetch_full_block(const Hash256& hash, NodeId peer) {
+  pending_compact_.erase(hash);
+  if (metrics_.cmpct_fallback_full != nullptr) metrics_.cmpct_fallback_full->inc();
+  // Keep the pending entry hot so the retry loop does not immediately fire a
+  // second (compact) request alongside this explicit full one.
+  auto pending = pending_blocks_.find(hash);
+  if (pending != pending_blocks_.end()) {
+    pending->second.last_request = network_->sim().now();
+    pending->second.asked = peer;
+  }
+  network_->send(id_, peer, MsgGetData{{hash}, {}, /*compact_blocks=*/false});
+}
+
+void BitcoinAdapter::handle_cmpct_block(NodeId from, const btcnet::MsgCmpctBlock& msg) {
+  const reconcile::CompactBlock& cb = msg.compact;
+  Hash256 hash = cb.header.hash();
+  if (metrics_.cmpct_received != nullptr) metrics_.cmpct_received->inc();
+  if (blocks_.contains(hash) || pending_compact_.contains(hash)) return;
+  // The header must fit the tree, as with full blocks. It may not have
+  // arrived through header sync yet, so try to connect it directly and fall
+  // back to a locator round; the pending-block retry loop re-requests the
+  // block once the ancestry is known.
+  if (!tree_.contains(hash)) {
+    auto result = tree_.accept(cb.header, now_s());
+    if (result == chain::AcceptResult::kInvalid) return;
+    if (result == chain::AcceptResult::kOrphan) {
+      sync_headers(from);
+      return;
+    }
+    if (metrics_.headers_accepted != nullptr) {
+      metrics_.headers_accepted->inc();
+      metrics_.header_height->set(tree_.best_height());
+    }
+  }
+
+  std::vector<const bitcoin::Transaction*> pool;
+  pool.reserve(recent_txs_.size() + tx_cache_.size());
+  for (const auto& [txid, recent] : recent_txs_) pool.push_back(&recent.tx);
+  for (const auto& [txid, cached] : tx_cache_) pool.push_back(&cached.tx);
+  auto decode = reconcile::CompactBlockCodec::decode(cb, pool);
+
+  if (decode.complete()) {
+    auto block = reconcile::CompactBlockCodec::assemble(cb, decode);
+    if (block && block->is_well_formed()) {
+      if (metrics_.cmpct_reconstructed != nullptr) metrics_.cmpct_reconstructed->inc();
+      store_block(*block);
+    } else {
+      fetch_full_block(hash, from);
+    }
+    return;
+  }
+  if (metrics_.cmpct_fallback_getblocktxn != nullptr) {
+    metrics_.cmpct_fallback_getblocktxn->inc();
+  }
+  btcnet::MsgGetBlockTxn request{hash, decode.missing};
+  pending_compact_.emplace(hash, PendingCompact{cb, std::move(decode), from});
+  network_->send(id_, from, std::move(request));
+}
+
+void BitcoinAdapter::handle_block_txn(NodeId from, const btcnet::MsgBlockTxn& msg) {
+  auto it = pending_compact_.find(msg.block_hash);
+  if (it == pending_compact_.end()) return;
+  if (!reconcile::CompactBlockCodec::fill(it->second.decode, msg.transactions)) {
+    fetch_full_block(msg.block_hash, from);
+    return;
+  }
+  auto block = reconcile::CompactBlockCodec::assemble(it->second.compact, it->second.decode);
+  if (block && block->is_well_formed()) {
+    if (metrics_.cmpct_reconstructed != nullptr) metrics_.cmpct_reconstructed->inc();
+    store_block(*block);
+    return;
+  }
+  fetch_full_block(msg.block_hash, from);
 }
 
 void BitcoinAdapter::handle_get_data(NodeId from, const MsgGetData& msg) {
@@ -292,7 +407,7 @@ void BitcoinAdapter::request_block(const Hash256& hash) {
   if (peer) {
     pending.last_request = network_->sim().now();
     pending.asked = *peer;
-    network_->send(id_, *peer, MsgGetData{{hash}, {}});
+    network_->send(id_, *peer, MsgGetData{{hash}, {}, config_.compact_block_fetch});
   }
   pending_blocks_.emplace(hash, pending);
 }
@@ -327,6 +442,10 @@ void BitcoinAdapter::expire_transactions() {
   });
   if (metrics_.tx_cache_size != nullptr) {
     metrics_.tx_cache_size->set(static_cast<std::int64_t>(tx_cache_.size()));
+  }
+  std::erase_if(recent_txs_, [&](const auto& entry) { return entry.second.expires <= now; });
+  if (metrics_.recent_tx_pool != nullptr) {
+    metrics_.recent_tx_pool->set(static_cast<std::int64_t>(recent_txs_.size()));
   }
 }
 

@@ -17,6 +17,7 @@
 #include "btcnet/network.h"
 #include "chain/header_tree.h"
 #include "obs/metrics.h"
+#include "reconcile/compact_block.h"
 
 namespace icbtc::adapter {
 
@@ -38,6 +39,13 @@ struct AdapterConfig {
   int multi_block_below_height = 0;
   /// Outbound transactions expire from the cache after this long.
   util::SimTime tx_cache_expiry = 10 * util::kMinute;
+  /// Fetch blocks as compact blocks (header + short ids + IBLT sketch, see
+  /// src/reconcile), reconstructed from a pool of recently relayed
+  /// transactions the adapter starts tracking when this is on. Falls back to
+  /// full blocks when reconstruction fails.
+  bool compact_block_fetch = false;
+  /// Recently observed transactions are kept this long for reconstruction.
+  util::SimTime recent_tx_expiry = 10 * util::kMinute;
   /// Retry interval for unanswered block requests.
   util::SimTime block_request_retry = 5 * util::kSecond;
   /// Period of the address/connection maintenance timer.
@@ -93,6 +101,7 @@ class BitcoinAdapter : public btcnet::Endpoint {
   std::vector<btcnet::NodeId> connected_peers() const;
   bool has_block(const util::Hash256& hash) const { return blocks_.contains(hash); }
   std::size_t cached_transactions() const { return tx_cache_.size(); }
+  std::size_t recent_tx_pool() const { return recent_txs_.size(); }
   std::size_t blocks_stored() const { return blocks_.size(); }
   bool in_discovery() const { return discovering_; }
 
@@ -111,6 +120,13 @@ class BitcoinAdapter : public btcnet::Endpoint {
   void handle_block(const btcnet::MsgBlock& msg);
   void handle_get_data(btcnet::NodeId from, const btcnet::MsgGetData& msg);
   void handle_addr(const btcnet::MsgAddr& msg);
+  void handle_tx(const btcnet::MsgTx& msg);
+  void handle_cmpct_block(btcnet::NodeId from, const btcnet::MsgCmpctBlock& msg);
+  void handle_block_txn(btcnet::NodeId from, const btcnet::MsgBlockTxn& msg);
+  /// Stores a fully validated block and clears its pending-request entry.
+  void store_block(const bitcoin::Block& block);
+  /// Re-requests `hash` as a full block after compact reconstruction failed.
+  void fetch_full_block(const util::Hash256& hash, btcnet::NodeId peer);
   void request_block(const util::Hash256& hash);
   void advertise_transactions();
   void expire_transactions();
@@ -152,6 +168,23 @@ class BitcoinAdapter : public btcnet::Endpoint {
   };
   std::unordered_map<util::Hash256, CachedTx> tx_cache_;
 
+  // Compact block fetch (config_.compact_block_fetch): recently relayed
+  // transactions pulled from peer invs, used as the reconstruction pool.
+  struct RecentTx {
+    bitcoin::Transaction tx;
+    util::SimTime expires;
+  };
+  std::unordered_map<util::Hash256, RecentTx> recent_txs_;
+  std::unordered_set<util::Hash256> requested_txs_;
+
+  // Compact blocks waiting for a getblocktxn answer.
+  struct PendingCompact {
+    reconcile::CompactBlock compact;
+    reconcile::CompactBlockCodec::Decode decode;
+    btcnet::NodeId from = btcnet::kInvalidNode;
+  };
+  std::unordered_map<util::Hash256, PendingCompact> pending_compact_;
+
   // Optional observability hooks; all nullptr when no registry is attached.
   struct Metrics {
     obs::Gauge* peers = nullptr;
@@ -167,6 +200,11 @@ class BitcoinAdapter : public btcnet::Endpoint {
     obs::Counter* tx_delivered = nullptr;
     obs::Counter* tx_evicted_expired = nullptr;
     obs::Counter* tx_evicted_delivered = nullptr;
+    obs::Gauge* recent_tx_pool = nullptr;
+    obs::Counter* cmpct_received = nullptr;
+    obs::Counter* cmpct_reconstructed = nullptr;
+    obs::Counter* cmpct_fallback_getblocktxn = nullptr;
+    obs::Counter* cmpct_fallback_full = nullptr;
   };
   Metrics metrics_;
 };

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bitcoin/block.h"
+#include "reconcile/compact_block.h"
 
 namespace icbtc::btcnet {
 
@@ -42,6 +43,9 @@ struct MsgHeaders {
 struct MsgGetData {
   std::vector<util::Hash256> block_hashes;
   std::vector<util::Hash256> tx_ids;
+  /// When set, the peer answers block requests with MsgCmpctBlock instead of
+  /// MsgBlock (the adapter's opt-in compact block fetch).
+  bool compact_blocks = false;
 };
 
 struct MsgBlock {
@@ -62,8 +66,28 @@ struct MsgAddr {
   std::vector<NetAddress> addresses;
 };
 
+/// Compact block announcement (BIP152-style high-bandwidth push, with an
+/// IBLT sketch instead of prefilled transactions; see src/reconcile).
+struct MsgCmpctBlock {
+  reconcile::CompactBlock compact;
+};
+
+/// Request for the transactions at the given positions of a compact block's
+/// short-id list (0-based, coinbase excluded) after reconstruction failed.
+struct MsgGetBlockTxn {
+  util::Hash256 block_hash;
+  std::vector<std::uint32_t> indexes;
+};
+
+/// Response to MsgGetBlockTxn: the requested transactions, in index order.
+struct MsgBlockTxn {
+  util::Hash256 block_hash;
+  std::vector<bitcoin::Transaction> transactions;
+};
+
 using Message = std::variant<MsgInv, MsgGetHeaders, MsgHeaders, MsgGetData, MsgBlock, MsgNotFound,
-                             MsgTx, MsgGetAddr, MsgAddr>;
+                             MsgTx, MsgGetAddr, MsgAddr, MsgCmpctBlock, MsgGetBlockTxn,
+                             MsgBlockTxn>;
 
 /// Maximum headers per headers message, as in Bitcoin.
 constexpr std::size_t kMaxHeadersPerMsg = 2000;

@@ -12,13 +12,20 @@ std::size_t message_size(const Message& msg) {
     std::size_t operator()(const MsgGetHeaders& m) const { return 8 + 32 * (m.locator.size() + 1); }
     std::size_t operator()(const MsgHeaders& m) const { return 8 + 81 * m.headers.size(); }
     std::size_t operator()(const MsgGetData& m) const {
-      return 8 + 36 * (m.block_hashes.size() + m.tx_ids.size());
+      return 9 + 36 * (m.block_hashes.size() + m.tx_ids.size());
     }
     std::size_t operator()(const MsgBlock& m) const { return 8 + m.block.size(); }
     std::size_t operator()(const MsgNotFound& m) const { return 8 + 36 * m.block_hashes.size(); }
     std::size_t operator()(const MsgTx& m) const { return 8 + m.tx.size(); }
     std::size_t operator()(const MsgGetAddr&) const { return 8; }
     std::size_t operator()(const MsgAddr& m) const { return 8 + 30 * m.addresses.size(); }
+    std::size_t operator()(const MsgCmpctBlock& m) const { return 8 + m.compact.wire_size(); }
+    std::size_t operator()(const MsgGetBlockTxn& m) const { return 8 + 32 + 3 + 3 * m.indexes.size(); }
+    std::size_t operator()(const MsgBlockTxn& m) const {
+      std::size_t total = 8 + 32 + 3;
+      for (const auto& tx : m.transactions) total += tx.size();
+      return total;
+    }
   };
   return std::visit(Sizer{}, msg);
 }
@@ -105,17 +112,20 @@ void Network::set_metrics(obs::MetricsRegistry* registry) {
   if (registry == nullptr) {
     messages_metric_ = bytes_metric_ = drops_metric_ = nullptr;
     msg_type_metrics_.fill(nullptr);
+    msg_type_bytes_.fill(nullptr);
     return;
   }
   messages_metric_ = &registry->counter("net.messages");
   bytes_metric_ = &registry->counter("net.bytes");
   drops_metric_ = &registry->counter("net.drops");
   // Indexed by the Message variant alternative order.
-  constexpr const char* kTypeNames[] = {"inv",   "getheaders", "headers", "getdata", "block",
-                                        "notfound", "tx",      "getaddr", "addr"};
+  constexpr const char* kTypeNames[] = {"inv",      "getheaders", "headers",    "getdata",
+                                        "block",    "notfound",   "tx",         "getaddr",
+                                        "addr",     "cmpctblock", "getblocktxn", "blocktxn"};
   static_assert(std::size(kTypeNames) == std::variant_size_v<Message>);
   for (std::size_t i = 0; i < msg_type_metrics_.size(); ++i) {
     msg_type_metrics_[i] = &registry->counter(std::string("net.msg.") + kTypeNames[i]);
+    msg_type_bytes_[i] = &registry->counter(std::string("net.bytes.") + kTypeNames[i]);
   }
 }
 
@@ -131,6 +141,7 @@ void Network::send(NodeId from, NodeId to, Message msg) {
     messages_metric_->inc();
     bytes_metric_->inc(size);
     msg_type_metrics_[msg.index()]->inc();
+    msg_type_bytes_[msg.index()]->inc(size);
   }
   util::SimTime delay = latency_.sample(size, rng_);
   sim_->schedule(delay, [this, from, to, m = std::move(msg)] {

@@ -81,9 +81,10 @@ class Network {
   std::size_t message_count() const { return messages_sent_; }
   std::size_t bytes_sent() const { return bytes_sent_; }
 
-  /// Attaches a metrics registry (nullptr detaches): counts messages by type
-  /// (`net.msg.<type>`), total messages/bytes, and drops (disconnected link,
-  /// partition cut, or torn down in flight).
+  /// Attaches a metrics registry (nullptr detaches): counts messages and
+  /// bytes by type (`net.msg.<type>`, `net.bytes.<type>`), total
+  /// messages/bytes, and drops (disconnected link, partition cut, or torn
+  /// down in flight).
   void set_metrics(obs::MetricsRegistry* registry);
 
  private:
@@ -115,6 +116,7 @@ class Network {
   obs::Counter* bytes_metric_ = nullptr;
   obs::Counter* drops_metric_ = nullptr;
   std::array<obs::Counter*, std::variant_size_v<Message>> msg_type_metrics_{};
+  std::array<obs::Counter*, std::variant_size_v<Message>> msg_type_bytes_{};
 };
 
 }  // namespace icbtc::btcnet

@@ -56,6 +56,29 @@ bool BitcoinNode::submit_block(const Block& block) { return accept_block(block, 
 
 bool BitcoinNode::submit_tx(const Transaction& tx) { return accept_tx(tx, kInvalidNode); }
 
+void BitcoinNode::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  metrics_.mempool_size = &registry->gauge("node.mempool.size");
+  metrics_.mempool_admitted = &registry->counter("node.mempool.admitted");
+  metrics_.mempool_rejected = &registry->counter("node.mempool.rejected");
+  metrics_.mempool_evicted_block = &registry->counter("node.mempool.evicted_block");
+  metrics_.mempool_evicted_conflict = &registry->counter("node.mempool.evicted_conflict");
+  metrics_.orphan_blocks = &registry->counter("node.orphan_blocks");
+  metrics_.cmpct_sent = &registry->counter("cmpct.sent");
+  metrics_.cmpct_received = &registry->counter("cmpct.received");
+  metrics_.cmpct_decode_success = &registry->counter("cmpct.decode_success");
+  metrics_.cmpct_peel_failure = &registry->counter("cmpct.peel_failure");
+  metrics_.cmpct_fallback_getblocktxn = &registry->counter("cmpct.fallback.getblocktxn");
+  metrics_.cmpct_fallback_full = &registry->counter("cmpct.fallback.full");
+  metrics_.cmpct_bytes_sketch = &registry->counter("cmpct.bytes.compact");
+  metrics_.cmpct_bytes_full_equiv = &registry->counter("cmpct.bytes.full_equiv");
+  metrics_.cmpct_sketch_cells =
+      &registry->histogram("cmpct.sketch_cells", obs::Histogram::decade_bounds(1, 100000));
+}
+
 void BitcoinNode::deliver(NodeId from, const Message& msg) {
   std::visit(
       [&](const auto& m) {
@@ -76,6 +99,12 @@ void BitcoinNode::deliver(NodeId from, const Message& msg) {
           handle_get_addr(from);
         } else if constexpr (std::is_same_v<T, MsgAddr>) {
           handle_addr(from, m);
+        } else if constexpr (std::is_same_v<T, MsgCmpctBlock>) {
+          handle_cmpct_block(from, m);
+        } else if constexpr (std::is_same_v<T, MsgGetBlockTxn>) {
+          handle_get_block_txn(from, m);
+        } else if constexpr (std::is_same_v<T, MsgBlockTxn>) {
+          handle_block_txn(from, m);
         } else if constexpr (std::is_same_v<T, MsgNotFound>) {
           // Nothing to do: the request simply stays unanswered.
         }
@@ -108,12 +137,16 @@ std::vector<Hash256> BitcoinNode::build_locator() const {
 void BitcoinNode::handle_inv(NodeId from, const MsgInv& msg) {
   MsgGetData request;
   for (const auto& hash : msg.block_hashes) {
-    if (blocks_.contains(hash) || requested_blocks_.contains(hash)) continue;
+    if (blocks_.contains(hash)) continue;
+    announced_by_[hash].insert(from);
+    if (requested_blocks_.contains(hash) || pending_compact_.contains(hash)) continue;
     requested_blocks_.insert(hash);
     request.block_hashes.push_back(hash);
   }
   for (const auto& txid : msg.tx_ids) {
-    if (mempool_.contains(txid) || requested_txs_.contains(txid)) continue;
+    if (mempool_.contains(txid)) continue;
+    announced_by_[txid].insert(from);
+    if (requested_txs_.contains(txid)) continue;
     requested_txs_.insert(txid);
     request.tx_ids.push_back(txid);
   }
@@ -158,7 +191,7 @@ void BitcoinNode::handle_headers(NodeId from, const MsgHeaders& msg) {
     }
     Hash256 hash = header.hash();
     if (!blocks_.contains(hash) && !requested_blocks_.contains(hash) &&
-        request.block_hashes.size() < options_.max_inv) {
+        !pending_compact_.contains(hash) && request.block_hashes.size() < options_.max_inv) {
       requested_blocks_.insert(hash);
       request.block_hashes.push_back(hash);
     }
@@ -173,10 +206,20 @@ void BitcoinNode::handle_get_data(NodeId from, const MsgGetData& msg) {
   MsgNotFound missing;
   for (const auto& hash : msg.block_hashes) {
     auto it = blocks_.find(hash);
-    if (it != blocks_.end()) {
-      network_->send(id_, from, MsgBlock{it->second});
-    } else {
+    if (it == blocks_.end()) {
       missing.block_hashes.push_back(hash);
+      continue;
+    }
+    if (msg.compact_blocks) {
+      MsgCmpctBlock compact = make_compact(it->second);
+      if (metrics_.cmpct_sent != nullptr) {
+        metrics_.cmpct_sent->inc();
+        metrics_.cmpct_bytes_sketch->inc(compact.compact.wire_size());
+        metrics_.cmpct_bytes_full_equiv->inc(it->second.size());
+      }
+      network_->send(id_, from, std::move(compact));
+    } else {
+      network_->send(id_, from, MsgBlock{it->second});
     }
   }
   for (const auto& txid : msg.tx_ids) {
@@ -206,6 +249,106 @@ void BitcoinNode::handle_addr(NodeId, const MsgAddr&) {
   // address books are only modelled in the Bitcoin adapter (§III-B).
 }
 
+MsgCmpctBlock BitcoinNode::make_compact(const Block& block) {
+  MsgCmpctBlock msg{reconcile::CompactBlockCodec::encode(block, estimator_.estimate())};
+  if (metrics_.cmpct_sketch_cells != nullptr) {
+    metrics_.cmpct_sketch_cells->observe(static_cast<double>(msg.compact.sketch.cell_count()));
+  }
+  return msg;
+}
+
+void BitcoinNode::handle_cmpct_block(NodeId from, const MsgCmpctBlock& msg) {
+  const reconcile::CompactBlock& cb = msg.compact;
+  Hash256 hash = cb.header.hash();
+  if (metrics_.cmpct_received != nullptr) metrics_.cmpct_received->inc();
+  if (blocks_.contains(hash) || pending_compact_.contains(hash)) return;
+  requested_blocks_.erase(hash);  // supersedes any earlier inv-triggered getdata
+  announced_by_[hash].insert(from);
+
+  std::vector<const Transaction*> pool;
+  pool.reserve(mempool_.size());
+  for (const auto& [txid, entry] : mempool_) pool.push_back(&entry.tx);
+  auto decode = reconcile::CompactBlockCodec::decode(cb, pool);
+  estimator_.observe(decode.diff_slices);
+  if (metrics_.cmpct_decode_success != nullptr) {
+    if (decode.peel_complete) {
+      metrics_.cmpct_decode_success->inc();
+    } else {
+      metrics_.cmpct_peel_failure->inc();
+    }
+  }
+
+  if (decode.complete()) {
+    auto block = reconcile::CompactBlockCodec::assemble(cb, decode);
+    if (block) {
+      accept_block(*block, from);
+      return;
+    }
+    // Merkle mismatch (short-id collision picked a wrong transaction): only
+    // the full block can resolve it.
+    if (metrics_.cmpct_fallback_full != nullptr) metrics_.cmpct_fallback_full->inc();
+    requested_blocks_.insert(hash);
+    network_->send(id_, from, MsgGetData{{hash}, {}});
+    return;
+  }
+
+  // Some positions are unresolved: ask the announcer for exactly those.
+  if (metrics_.cmpct_fallback_getblocktxn != nullptr) metrics_.cmpct_fallback_getblocktxn->inc();
+  MsgGetBlockTxn request{hash, decode.missing};
+  pending_compact_.emplace(hash, PendingCompact{cb, std::move(decode), from});
+  network_->send(id_, from, std::move(request));
+}
+
+void BitcoinNode::handle_get_block_txn(NodeId from, const MsgGetBlockTxn& msg) {
+  auto it = blocks_.find(msg.block_hash);
+  if (it == blocks_.end()) {
+    network_->send(id_, from, MsgNotFound{{msg.block_hash}});
+    return;
+  }
+  MsgBlockTxn response{msg.block_hash, {}};
+  response.transactions.reserve(msg.indexes.size());
+  for (std::uint32_t index : msg.indexes) {
+    std::size_t pos = static_cast<std::size_t>(index) + 1;  // index 0 = first non-coinbase
+    if (pos >= it->second.transactions.size()) {
+      network_->send(id_, from, MsgNotFound{{msg.block_hash}});
+      return;
+    }
+    response.transactions.push_back(it->second.transactions[pos]);
+  }
+  network_->send(id_, from, std::move(response));
+}
+
+void BitcoinNode::handle_block_txn(NodeId from, const MsgBlockTxn& msg) {
+  auto it = pending_compact_.find(msg.block_hash);
+  if (it == pending_compact_.end()) return;
+  if (!reconcile::CompactBlockCodec::fill(it->second.decode, msg.transactions)) {
+    pending_compact_.erase(it);
+    if (metrics_.cmpct_fallback_full != nullptr) metrics_.cmpct_fallback_full->inc();
+    requested_blocks_.insert(msg.block_hash);
+    network_->send(id_, from, MsgGetData{{msg.block_hash}, {}});
+    return;
+  }
+  finish_compact(msg.block_hash);
+}
+
+void BitcoinNode::finish_compact(const Hash256& hash) {
+  auto it = pending_compact_.find(hash);
+  if (it == pending_compact_.end()) return;
+  NodeId from = it->second.from;
+  std::optional<Block> block;
+  if (it->second.decode.complete()) {
+    block = reconcile::CompactBlockCodec::assemble(it->second.compact, it->second.decode);
+  }
+  pending_compact_.erase(it);
+  if (block) {
+    accept_block(*block, from);
+    return;
+  }
+  if (metrics_.cmpct_fallback_full != nullptr) metrics_.cmpct_fallback_full->inc();
+  requested_blocks_.insert(hash);
+  network_->send(id_, from, MsgGetData{{hash}, {}});
+}
+
 bool BitcoinNode::accept_block(const Block& block, NodeId from) {
   Hash256 hash = block.hash();
   if (blocks_.contains(hash)) return false;
@@ -213,14 +356,20 @@ bool BitcoinNode::accept_block(const Block& block, NodeId from) {
 
   auto result = tree_.accept(block.header, now_s());
   if (result == chain::AcceptResult::kOrphan) {
-    orphans_[block.header.prev_hash].push_back(block);
+    // Remember the sender so the eventual connect does not echo the
+    // announcement back to it.
+    orphans_[block.header.prev_hash].push_back(OrphanBlock{block, from});
+    if (metrics_.orphan_blocks != nullptr) metrics_.orphan_blocks->inc();
     // Learn the missing ancestry.
     if (from != kInvalidNode) {
       network_->send(id_, from, MsgGetHeaders{build_locator(), Hash256{}});
     }
     return false;
   }
-  if (result == chain::AcceptResult::kInvalid) return false;
+  if (result == chain::AcceptResult::kInvalid) {
+    announced_by_.erase(hash);
+    return false;
+  }
   // kAccepted or kDuplicate (header known, block was missing): store it.
   blocks_.emplace(hash, block);
   ++blocks_accepted_;
@@ -239,7 +388,7 @@ void BitcoinNode::try_connect_orphans() {
       if (tree_.contains(it->first)) {
         auto pending = std::move(it->second);
         it = orphans_.erase(it);
-        for (const auto& block : pending) accept_block(block, kInvalidNode);
+        for (const auto& orphan : pending) accept_block(orphan.block, orphan.from);
         progress = true;
         break;  // iterator invalidated by recursion; restart scan
       }
@@ -294,6 +443,7 @@ void BitcoinNode::update_active_chain() {
       if (mem != mempool_.end()) {
         for (const auto& in : mem->second.tx.inputs) mempool_spends_.erase(in.prevout);
         mempool_.erase(mem);
+        if (metrics_.mempool_evicted_block != nullptr) metrics_.mempool_evicted_block->inc();
       }
       for (const auto& in : tx.inputs) {
         auto spender = mempool_spends_.find(in.prevout);
@@ -304,10 +454,16 @@ void BitcoinNode::update_active_chain() {
               mempool_spends_.erase(cin.prevout);
             }
             mempool_.erase(conflict);
+            if (metrics_.mempool_evicted_conflict != nullptr) {
+              metrics_.mempool_evicted_conflict->inc();
+            }
           }
         }
       }
     }
+  }
+  if (metrics_.mempool_size != nullptr) {
+    metrics_.mempool_size->set(static_cast<std::int64_t>(mempool_.size()));
   }
   // Cap undo history to bound memory; deep reorgs past this are not
   // supported (Bitcoin Core behaves similarly with its pruning depth).
@@ -322,23 +478,32 @@ void BitcoinNode::update_active_chain() {
 bool BitcoinNode::accept_tx(const Transaction& tx, NodeId from) {
   Hash256 txid = tx.txid();
   if (mempool_.contains(txid)) return false;
-  if (!tx.is_well_formed() || tx.is_coinbase()) return false;
+  auto reject = [this, &txid] {
+    if (metrics_.mempool_rejected != nullptr) metrics_.mempool_rejected->inc();
+    announced_by_.erase(txid);
+    return false;
+  };
+  if (!tx.is_well_formed() || tx.is_coinbase()) return reject();
 
   // Each input must be unspent (in the UTXO view or an in-mempool output)
   // and not double-spend the mempool.
   bitcoin::Amount in_value = 0;
   bool value_known = true;
   for (const auto& in : tx.inputs) {
-    if (mempool_spends_.contains(in.prevout)) return false;
+    if (mempool_spends_.contains(in.prevout)) return reject();
     auto entry = utxos_.find(in.prevout);
     if (entry) {
       in_value += entry->output.value;
       if (options_.verify_scripts) {
         std::size_t index = static_cast<std::size_t>(&in - tx.inputs.data());
         if (bitcoin::is_p2pkh(entry->output.script_pubkey)) {
-          if (!bitcoin::verify_p2pkh_input(tx, index, entry->output.script_pubkey)) return false;
+          if (!bitcoin::verify_p2pkh_input(tx, index, entry->output.script_pubkey)) {
+            return reject();
+          }
         } else if (bitcoin::is_p2tr(entry->output.script_pubkey)) {
-          if (!bitcoin::verify_p2tr_input(tx, index, entry->output.script_pubkey)) return false;
+          if (!bitcoin::verify_p2tr_input(tx, index, entry->output.script_pubkey)) {
+            return reject();
+          }
         }
       }
       continue;
@@ -352,27 +517,48 @@ bool BitcoinNode::accept_tx(const Transaction& tx, NodeId from) {
     value_known = false;
     break;
   }
-  if (!value_known) return false;
-  if (in_value < tx.total_output_value()) return false;
+  if (!value_known) return reject();
+  if (in_value < tx.total_output_value()) return reject();
 
   for (const auto& in : tx.inputs) mempool_spends_[in.prevout] = txid;
   mempool_[txid] = MempoolEntry{tx, mempool_sequence_++};
+  if (metrics_.mempool_admitted != nullptr) {
+    metrics_.mempool_admitted->inc();
+    metrics_.mempool_size->set(static_cast<std::int64_t>(mempool_.size()));
+  }
   relay_tx_inv(txid, from);
   return true;
 }
 
 void BitcoinNode::relay_block_inv(const Hash256& hash, NodeId except) {
+  auto skip = announced_by_.find(hash);
+  std::optional<MsgCmpctBlock> compact;
   for (NodeId peer : network_->peers_of(id_)) {
     if (peer == except) continue;
-    network_->send(id_, peer, MsgInv{{hash}, {}});
+    if (skip != announced_by_.end() && skip->second.contains(peer)) continue;
+    if (options_.relay_mode == BlockRelayMode::kCompact) {
+      if (!compact) compact = make_compact(blocks_.at(hash));
+      if (metrics_.cmpct_sent != nullptr) {
+        metrics_.cmpct_sent->inc();
+        metrics_.cmpct_bytes_sketch->inc(compact->compact.wire_size());
+        metrics_.cmpct_bytes_full_equiv->inc(blocks_.at(hash).size());
+      }
+      network_->send(id_, peer, *compact);
+    } else {
+      network_->send(id_, peer, MsgInv{{hash}, {}});
+    }
   }
+  announced_by_.erase(hash);
 }
 
 void BitcoinNode::relay_tx_inv(const Hash256& txid, NodeId except) {
+  auto skip = announced_by_.find(txid);
   for (NodeId peer : network_->peers_of(id_)) {
     if (peer == except) continue;
+    if (skip != announced_by_.end() && skip->second.contains(peer)) continue;
     network_->send(id_, peer, MsgInv{{}, {txid}});
   }
+  announced_by_.erase(txid);
 }
 
 }  // namespace icbtc::btcnet

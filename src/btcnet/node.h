@@ -11,8 +11,19 @@
 #include "bitcoin/utxo.h"
 #include "btcnet/network.h"
 #include "chain/header_tree.h"
+#include "reconcile/compact_block.h"
 
 namespace icbtc::btcnet {
+
+/// How a node pushes newly accepted blocks to its peers.
+enum class BlockRelayMode {
+  /// Announce via inv; peers pull the full block with getdata.
+  kFull,
+  /// Push a compact block (header + coinbase + short ids + IBLT sketch);
+  /// peers reconstruct from their mempools, falling back to getblocktxn and
+  /// finally a full getdata (src/reconcile).
+  kCompact,
+};
 
 struct NodeOptions {
   /// Verify P2PKH spends when admitting transactions to the mempool.
@@ -21,6 +32,9 @@ struct NodeOptions {
   std::size_t max_addr_response = 1000;
   /// Maximum blocks announced per inv.
   std::size_t max_inv = 500;
+  /// Block relay mode. Nodes always *accept* compact blocks; this selects
+  /// what they send.
+  BlockRelayMode relay_mode = BlockRelayMode::kFull;
 };
 
 class BitcoinNode : public Endpoint {
@@ -64,6 +78,17 @@ class BitcoinNode : public Endpoint {
   std::size_t blocks_accepted() const { return blocks_accepted_; }
   std::size_t reorg_count() const { return reorg_count_; }
 
+  /// Attaches a metrics registry (nullptr detaches): mempool flow (size,
+  /// admissions, rejects, block/conflict evictions), orphan blocks, and the
+  /// compact-relay pipeline (sketch vs full bytes, decode outcomes, fallback
+  /// counters, sketch-size histogram). Shared registries aggregate across
+  /// nodes: the counters are network-wide totals.
+  void set_metrics(obs::MetricsRegistry* registry);
+
+  /// The node's current estimate of mempool divergence (slices), used to
+  /// size outgoing sketches.
+  const reconcile::DivergenceEstimator& divergence_estimator() const { return estimator_; }
+
  private:
   void handle_inv(NodeId from, const MsgInv& msg);
   void handle_get_headers(NodeId from, const MsgGetHeaders& msg);
@@ -73,6 +98,14 @@ class BitcoinNode : public Endpoint {
   void handle_tx(NodeId from, const MsgTx& msg);
   void handle_get_addr(NodeId from);
   void handle_addr(NodeId from, const MsgAddr& msg);
+  void handle_cmpct_block(NodeId from, const MsgCmpctBlock& msg);
+  void handle_get_block_txn(NodeId from, const MsgGetBlockTxn& msg);
+  void handle_block_txn(NodeId from, const MsgBlockTxn& msg);
+  /// Builds MsgCmpctBlock for `block`, sketch sized by the estimator.
+  MsgCmpctBlock make_compact(const bitcoin::Block& block);
+  /// Finishes a compact reconstruction: accept on success, full-getdata
+  /// fallback on Merkle/fill failure.
+  void finish_compact(const util::Hash256& hash);
 
   bool accept_block(const bitcoin::Block& block, NodeId from);
   bool accept_tx(const bitcoin::Transaction& tx, NodeId from);
@@ -92,8 +125,13 @@ class BitcoinNode : public Endpoint {
 
   chain::HeaderTree tree_;
   std::unordered_map<util::Hash256, bitcoin::Block> blocks_;
-  // Blocks whose parent header is unknown yet, keyed by parent hash.
-  std::unordered_map<util::Hash256, std::vector<bitcoin::Block>> orphans_;
+  // Blocks whose parent header is unknown yet, keyed by parent hash. The
+  // sender is remembered so a later connect does not echo the inv back.
+  struct OrphanBlock {
+    bitcoin::Block block;
+    NodeId from = kInvalidNode;
+  };
+  std::unordered_map<util::Hash256, std::vector<OrphanBlock>> orphans_;
 
   // UTXO view of the active chain plus undo data to unwind reorgs.
   bitcoin::UtxoSet utxos_;
@@ -112,8 +150,43 @@ class BitcoinNode : public Endpoint {
   std::unordered_set<util::Hash256> requested_blocks_;
   std::unordered_set<util::Hash256> requested_txs_;
 
+  // Peers that announced or delivered an item we do not have yet. Relay
+  // skips them (they evidently have it); entries are dropped once the item
+  // is relayed or rejected, so the map only tracks in-flight inventory.
+  std::unordered_map<util::Hash256, std::unordered_set<NodeId>> announced_by_;
+
+  // Compact blocks being reconstructed (waiting for blocktxn).
+  struct PendingCompact {
+    reconcile::CompactBlock compact;
+    reconcile::CompactBlockCodec::Decode decode;
+    NodeId from = kInvalidNode;
+  };
+  std::unordered_map<util::Hash256, PendingCompact> pending_compact_;
+
+  reconcile::DivergenceEstimator estimator_;
+
   std::size_t blocks_accepted_ = 0;
   std::size_t reorg_count_ = 0;
+
+  // Optional observability hooks; all nullptr when no registry is attached.
+  struct Metrics {
+    obs::Gauge* mempool_size = nullptr;
+    obs::Counter* mempool_admitted = nullptr;
+    obs::Counter* mempool_rejected = nullptr;
+    obs::Counter* mempool_evicted_block = nullptr;
+    obs::Counter* mempool_evicted_conflict = nullptr;
+    obs::Counter* orphan_blocks = nullptr;
+    obs::Counter* cmpct_sent = nullptr;
+    obs::Counter* cmpct_received = nullptr;
+    obs::Counter* cmpct_decode_success = nullptr;
+    obs::Counter* cmpct_peel_failure = nullptr;
+    obs::Counter* cmpct_fallback_getblocktxn = nullptr;
+    obs::Counter* cmpct_fallback_full = nullptr;
+    obs::Counter* cmpct_bytes_sketch = nullptr;
+    obs::Counter* cmpct_bytes_full_equiv = nullptr;
+    obs::Histogram* cmpct_sketch_cells = nullptr;
+  };
+  Metrics metrics_;
 };
 
 }  // namespace icbtc::btcnet

@@ -1,0 +1,101 @@
+// Compact block relay: a block encoded as (header, coinbase, ordered short
+// txids, IBLT sketch) and reconstructed against the receiver's mempool.
+//
+// The short-id list fixes the transaction *order* (the Merkle root binds it),
+// the sketch carries the transaction *bytes* the receiver is likely missing,
+// and the receiver's mempool supplies everything else. The sketch is sized by
+// a divergence estimator; when it was too small the peel fails detectably and
+// the receiver falls back to requesting the unresolved positions
+// (getblocktxn) or, if even that cannot complete the block, the full block.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bitcoin/block.h"
+#include "reconcile/iblt.h"
+#include "reconcile/txslice.h"
+
+namespace icbtc::reconcile {
+
+/// Wire form of a compactly relayed block. `short_ids` lists the salted
+/// 48-bit ids of the non-coinbase transactions in block order; `sketch`
+/// holds the slices of those same transactions.
+struct CompactBlock {
+  bitcoin::BlockHeader header;
+  std::uint64_t salt = 0;
+  bitcoin::Transaction coinbase;
+  std::vector<std::uint64_t> short_ids;
+  Iblt sketch;
+
+  bool operator==(const CompactBlock&) const = default;
+
+  util::Bytes serialize() const;
+  void serialize(util::ByteWriter& w) const;
+  static CompactBlock deserialize(util::ByteReader& r);
+  /// Serialized size in bytes (what the latency/bandwidth model charges).
+  std::size_t wire_size() const;
+};
+
+/// Cells needed to decode an expected symmetric difference of `diff_slices`
+/// slices with kIbltHashes hash functions (~1.5x + slack).
+std::size_t sketch_cells(std::size_t diff_slices);
+
+/// EWMA of observed mempool divergence (in slices), with a safety margin so
+/// sketches are sized for somewhat-worse-than-average blocks. Senders cannot
+/// see receiver mempools, so each node feeds its *own* decode experience back
+/// into the estimator it sizes outgoing sketches with.
+class DivergenceEstimator {
+ public:
+  explicit DivergenceEstimator(double prior_slices = 16.0) : ewma_(prior_slices) {}
+
+  void observe(std::size_t diff_slices);
+  /// Smoothed divergence plus margin, in slices.
+  std::size_t estimate() const;
+  double mean() const { return ewma_; }
+
+ private:
+  double ewma_;
+};
+
+class CompactBlockCodec {
+ public:
+  /// Deterministic per-block salt (derived from the block hash): receivers
+  /// can recompute it, and id collisions do not persist across blocks.
+  static std::uint64_t block_salt(const util::Hash256& block_hash);
+
+  /// Encodes `block` with a sketch sized for `expected_diff_slices`.
+  static CompactBlock encode(const bitcoin::Block& block, std::size_t expected_diff_slices);
+
+  struct Decode {
+    /// One slot per entry of short_ids, filled from the pool or the sketch.
+    std::vector<std::optional<bitcoin::Transaction>> txs;
+    /// Indexes into short_ids that are still unresolved.
+    std::vector<std::uint32_t> missing;
+    /// False when the subtracted sketch did not drain (undersized sketch).
+    bool peel_complete = true;
+    std::size_t pool_hits = 0;
+    std::size_t sketch_decoded = 0;
+    /// Observed divergence in slices — feed to DivergenceEstimator::observe.
+    std::size_t diff_slices = 0;
+
+    bool complete() const { return missing.empty(); }
+  };
+
+  /// Reconstructs against `pool` (the receiver's mempool / tx caches).
+  static Decode decode(const CompactBlock& cb,
+                       const std::vector<const bitcoin::Transaction*>& pool);
+
+  /// Fills unresolved slots with explicitly delivered transactions, in
+  /// `missing` order (the getblocktxn fallback). Returns false if the count
+  /// does not match the outstanding slots.
+  static bool fill(Decode& decode, const std::vector<bitcoin::Transaction>& txs);
+
+  /// Assembles the full block and verifies the Merkle root; nullopt when
+  /// slots are unresolved or the reconstruction does not match the header
+  /// (e.g. a short-id collision picked the wrong transaction).
+  static std::optional<bitcoin::Block> assemble(const CompactBlock& cb, const Decode& decode);
+};
+
+}  // namespace icbtc::reconcile

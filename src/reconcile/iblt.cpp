@@ -1,0 +1,156 @@
+#include "reconcile/iblt.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "reconcile/murmur.h"
+
+namespace icbtc::reconcile {
+
+namespace {
+
+constexpr std::size_t kMinCells = 4;
+constexpr std::uint32_t kChecksumSeed = 0x6b43a9b5;
+
+/// Flattens a slice to bytes for hashing (key LE, then payload).
+std::size_t flatten(const TxSlice& slice, std::uint8_t out[8 + kSliceBytes]) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(slice.key >> (8 * i));
+  std::copy(slice.payload.begin(), slice.payload.end(), out + 8);
+  return 8 + kSliceBytes;
+}
+
+}  // namespace
+
+Iblt::Iblt(std::size_t cells, std::uint32_t salt)
+    : salt_(salt), cells_(std::max(cells, kMinCells)) {}
+
+std::uint32_t Iblt::checksum(const TxSlice& slice) const {
+  std::uint8_t buf[8 + kSliceBytes];
+  std::size_t n = flatten(slice, buf);
+  return murmur3_32(salt_ ^ kChecksumSeed, util::ByteSpan(buf, n));
+}
+
+void Iblt::cell_indexes(const TxSlice& slice, std::size_t out[kIbltHashes]) const {
+  std::uint8_t buf[8 + kSliceBytes];
+  std::size_t n = flatten(slice, buf);
+  for (std::size_t i = 0; i < kIbltHashes; ++i) {
+    out[i] = murmur3_32(salt_ + static_cast<std::uint32_t>(i) * 0x9e3779b9u,
+                        util::ByteSpan(buf, n)) %
+             cells_.size();
+  }
+}
+
+void Iblt::apply(const TxSlice& slice, int direction) {
+  std::size_t idx[kIbltHashes];
+  cell_indexes(slice, idx);
+  std::uint32_t check = checksum(slice);
+  for (std::size_t i = 0; i < kIbltHashes; ++i) {
+    Cell& cell = cells_[idx[i]];
+    cell.count += direction;
+    cell.key_sum ^= slice.key;
+    cell.check_sum ^= check;
+    for (std::size_t b = 0; b < kSliceBytes; ++b) cell.payload_sum[b] ^= slice.payload[b];
+  }
+}
+
+void Iblt::insert(const TxSlice& slice) { apply(slice, +1); }
+
+void Iblt::erase(const TxSlice& slice) { apply(slice, -1); }
+
+Iblt& Iblt::subtract(const Iblt& other) {
+  if (other.cells_.size() != cells_.size() || other.salt_ != salt_) {
+    throw std::invalid_argument("Iblt::subtract: mismatched geometry");
+  }
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    Cell& a = cells_[i];
+    const Cell& b = other.cells_[i];
+    a.count -= b.count;
+    a.key_sum ^= b.key_sum;
+    a.check_sum ^= b.check_sum;
+    for (std::size_t p = 0; p < kSliceBytes; ++p) a.payload_sum[p] ^= b.payload_sum[p];
+  }
+  return *this;
+}
+
+bool Iblt::empty() const {
+  for (const Cell& c : cells_) {
+    if (c.count != 0 || c.key_sum != 0 || c.check_sum != 0) return false;
+    for (std::uint8_t b : c.payload_sum) {
+      if (b != 0) return false;
+    }
+  }
+  return true;
+}
+
+PeelResult Iblt::peel() const {
+  Iblt work = *this;
+  PeelResult result;
+
+  auto pure = [&work](std::size_t n) {
+    const Cell& c = work.cells_[n];
+    if (c.count != 1 && c.count != -1) return false;
+    TxSlice s{c.key_sum, c.payload_sum};
+    return work.checksum(s) == c.check_sum;
+  };
+
+  std::vector<std::size_t> queue;
+  for (std::size_t i = 0; i < work.cells_.size(); ++i) {
+    if (pure(i)) queue.push_back(i);
+  }
+
+  while (!queue.empty()) {
+    std::size_t n = queue.back();
+    queue.pop_back();
+    if (!pure(n)) continue;  // stale entry: a previous peel changed this cell
+
+    const Cell& c = work.cells_[n];
+    TxSlice slice{c.key_sum, c.payload_sum};
+    int direction = c.count;  // +1: sender-only, -1: receiver-only
+    (direction > 0 ? result.added : result.removed).push_back(slice);
+
+    std::size_t idx[kIbltHashes];
+    work.cell_indexes(slice, idx);
+    work.apply(slice, -direction);
+    for (std::size_t i = 0; i < kIbltHashes; ++i) {
+      if (pure(idx[i])) queue.push_back(idx[i]);
+    }
+  }
+
+  result.complete = work.empty();
+  return result;
+}
+
+std::size_t Iblt::serialized_size() const {
+  return 8 + cells_.size() * (4 + 8 + 4 + kSliceBytes);
+}
+
+void Iblt::serialize(util::ByteWriter& w) const {
+  w.u32le(static_cast<std::uint32_t>(cells_.size()));
+  w.u32le(salt_);
+  for (const Cell& c : cells_) {
+    w.i32le(c.count);
+    w.u64le(c.key_sum);
+    w.u32le(c.check_sum);
+    w.bytes(util::ByteSpan(c.payload_sum.data(), c.payload_sum.size()));
+  }
+}
+
+Iblt Iblt::deserialize(util::ByteReader& r) {
+  std::uint32_t cells = r.u32le();
+  std::uint32_t salt = r.u32le();
+  if (cells < kMinCells || cells > (1u << 24)) {
+    throw util::DecodeError("Iblt: implausible cell count");
+  }
+  Iblt out(cells, salt);
+  for (std::uint32_t i = 0; i < cells; ++i) {
+    Cell& c = out.cells_[i];
+    c.count = r.i32le();
+    c.key_sum = r.u64le();
+    c.check_sum = r.u32le();
+    auto payload = r.bytes(kSliceBytes);
+    std::copy(payload.begin(), payload.end(), c.payload_sum.begin());
+  }
+  return out;
+}
+
+}  // namespace icbtc::reconcile

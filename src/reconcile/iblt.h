@@ -1,0 +1,86 @@
+// Invertible Bloom Lookup Table over transaction slices.
+//
+// Each slice is hashed into kHashes cells; a cell accumulates (count,
+// XOR-of-keys, XOR-of-checksums, XOR-of-payloads). Subtracting the receiver's
+// table from the sender's leaves only the symmetric difference, which is
+// recovered by repeatedly "peeling" pure cells (|count| == 1 and matching
+// checksum). Peeling fails — detectably, never silently — when the
+// difference exceeds what the cell count can support (Eppstein et al.,
+// SIGCOMM'11; cell layout after rustyrussell's bitcoin-iblt).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "reconcile/txslice.h"
+#include "util/byteio.h"
+
+namespace icbtc::reconcile {
+
+/// Hash functions per slice; 3 gives the usual ~1.3-1.5x cell overhead.
+constexpr std::size_t kIbltHashes = 3;
+
+/// What a destructive peel recovered from a subtracted table.
+struct PeelResult {
+  /// True when every cell drained to zero: `added`/`removed` are exactly the
+  /// symmetric difference. False means the sketch was undersized (or
+  /// adversarial) and the lists are partial.
+  bool complete = false;
+  /// Slices present in the minuend only (the sender's side after subtract).
+  std::vector<TxSlice> added;
+  /// Slices present in the subtrahend only (the receiver's side).
+  std::vector<TxSlice> removed;
+};
+
+class Iblt {
+ public:
+  /// `cells` is clamped up to a small minimum so tiny sketches stay
+  /// decodable; `salt` seeds cell placement and checksums and must match
+  /// between the two sides of a subtract.
+  explicit Iblt(std::size_t cells, std::uint32_t salt = 0);
+  /// Minimum-size empty table (for default-constructed containers).
+  Iblt() : Iblt(0, 0) {}
+
+  std::size_t cell_count() const { return cells_.size(); }
+  std::uint32_t salt() const { return salt_; }
+
+  void insert(const TxSlice& slice);
+  void erase(const TxSlice& slice);
+
+  /// this -= other. Requires identical cell count and salt.
+  Iblt& subtract(const Iblt& other);
+
+  /// Non-destructive peel (works on a copy).
+  PeelResult peel() const;
+
+  /// True when every cell is zero (e.g. after subtracting an identical set).
+  bool empty() const;
+
+  /// Serialized wire size in bytes; the network layer charges this for the
+  /// sketch portion of a compact block.
+  std::size_t serialized_size() const;
+
+  void serialize(util::ByteWriter& w) const;
+  static Iblt deserialize(util::ByteReader& r);
+
+  bool operator==(const Iblt&) const = default;
+
+ private:
+  struct Cell {
+    std::int32_t count = 0;
+    std::uint64_t key_sum = 0;
+    std::uint32_t check_sum = 0;
+    std::array<std::uint8_t, kSliceBytes> payload_sum{};
+
+    bool operator==(const Cell&) const = default;
+  };
+
+  std::uint32_t checksum(const TxSlice& slice) const;
+  void cell_indexes(const TxSlice& slice, std::size_t out[kIbltHashes]) const;
+  void apply(const TxSlice& slice, int direction);
+
+  std::uint32_t salt_ = 0;
+  std::vector<Cell> cells_;
+};
+
+}  // namespace icbtc::reconcile

@@ -1,0 +1,57 @@
+#include "reconcile/murmur.h"
+
+namespace icbtc::reconcile {
+
+namespace {
+
+inline std::uint32_t rotl32(std::uint32_t x, int r) {
+  return (x << r) | (x >> (32 - r));
+}
+
+}  // namespace
+
+std::uint32_t murmur3_32(std::uint32_t seed, util::ByteSpan data) {
+  const std::uint32_t c1 = 0xcc9e2d51;
+  const std::uint32_t c2 = 0x1b873593;
+  std::uint32_t h = seed;
+  const std::size_t nblocks = data.size() / 4;
+
+  for (std::size_t i = 0; i < nblocks; ++i) {
+    std::uint32_t k = static_cast<std::uint32_t>(data[4 * i]) |
+                      static_cast<std::uint32_t>(data[4 * i + 1]) << 8 |
+                      static_cast<std::uint32_t>(data[4 * i + 2]) << 16 |
+                      static_cast<std::uint32_t>(data[4 * i + 3]) << 24;
+    k *= c1;
+    k = rotl32(k, 15);
+    k *= c2;
+    h ^= k;
+    h = rotl32(h, 13);
+    h = h * 5 + 0xe6546b64;
+  }
+
+  std::uint32_t k = 0;
+  switch (data.size() & 3) {
+    case 3:
+      k ^= static_cast<std::uint32_t>(data[4 * nblocks + 2]) << 16;
+      [[fallthrough]];
+    case 2:
+      k ^= static_cast<std::uint32_t>(data[4 * nblocks + 1]) << 8;
+      [[fallthrough]];
+    case 1:
+      k ^= static_cast<std::uint32_t>(data[4 * nblocks]);
+      k *= c1;
+      k = rotl32(k, 15);
+      k *= c2;
+      h ^= k;
+  }
+
+  h ^= static_cast<std::uint32_t>(data.size());
+  h ^= h >> 16;
+  h *= 0x85ebca6b;
+  h ^= h >> 13;
+  h *= 0xc2b2ae35;
+  h ^= h >> 16;
+  return h;
+}
+
+}  // namespace icbtc::reconcile

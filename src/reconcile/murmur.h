@@ -1,0 +1,18 @@
+// MurmurHash3 (x86 32-bit variant): the non-cryptographic hash used to place
+// IBLT slices into cells and to derive short transaction ids. Deterministic
+// across platforms; not collision-resistant against adversaries holding the
+// salt, which is why compact blocks carry a per-block salt (see
+// compact_block.h).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace icbtc::reconcile {
+
+/// MurmurHash3_x86_32 of `data` under `seed`.
+std::uint32_t murmur3_32(std::uint32_t seed, util::ByteSpan data);
+
+}  // namespace icbtc::reconcile

@@ -1,0 +1,79 @@
+#include "reconcile/txslice.h"
+
+#include <algorithm>
+
+#include "reconcile/murmur.h"
+
+namespace icbtc::reconcile {
+
+std::uint64_t short_tx_id(const util::Hash256& txid, std::uint64_t salt) {
+  std::uint32_t lo = murmur3_32(static_cast<std::uint32_t>(salt), txid.span());
+  std::uint32_t hi = murmur3_32(static_cast<std::uint32_t>(salt >> 32) ^ 0x5bd1e995u, txid.span());
+  return ((static_cast<std::uint64_t>(hi) << 32) | lo) & kShortIdMask;
+}
+
+std::size_t slice_count(std::size_t serialized_size) {
+  return (4 + serialized_size + kSliceBytes - 1) / kSliceBytes;
+}
+
+std::vector<TxSlice> slice_tx(const bitcoin::Transaction& tx, std::uint64_t salt) {
+  util::Bytes raw = tx.serialize();
+  std::uint64_t id = short_tx_id(tx.txid(), salt);
+  std::size_t n = slice_count(raw.size());
+
+  util::Bytes stream;
+  stream.reserve(n * kSliceBytes);
+  std::uint32_t len = static_cast<std::uint32_t>(raw.size());
+  for (int i = 0; i < 4; ++i) stream.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  util::append(stream, raw);
+  stream.resize(n * kSliceBytes, 0);
+
+  std::vector<TxSlice> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].key = (id << 16) | static_cast<std::uint16_t>(i);
+    std::copy_n(stream.begin() + static_cast<std::ptrdiff_t>(i * kSliceBytes), kSliceBytes,
+                out[i].payload.begin());
+  }
+  return out;
+}
+
+std::optional<bitcoin::Transaction> reassemble_tx(const std::vector<TxSlice>& slices) {
+  if (slices.empty()) return std::nullopt;
+  std::vector<const TxSlice*> ordered(slices.size(), nullptr);
+  for (const auto& s : slices) {
+    std::uint16_t frag = s.fragment();
+    if (frag >= ordered.size() || ordered[frag] != nullptr) return std::nullopt;
+    ordered[frag] = &s;
+  }
+
+  std::uint32_t len = 0;
+  for (int i = 3; i >= 0; --i) {
+    len = (len << 8) | ordered[0]->payload[static_cast<std::size_t>(i)];
+  }
+  if (slice_count(len) != slices.size()) return std::nullopt;
+
+  util::Bytes stream;
+  stream.reserve(slices.size() * kSliceBytes);
+  for (const auto* s : ordered) util::append(stream, s->payload);
+  // Padding must be zero, or the slices were corrupted / mixed up.
+  for (std::size_t i = 4 + len; i < stream.size(); ++i) {
+    if (stream[i] != 0) return std::nullopt;
+  }
+  try {
+    return bitcoin::Transaction::parse(util::ByteSpan(stream.data() + 4, len));
+  } catch (const util::DecodeError&) {
+    return std::nullopt;
+  }
+}
+
+std::map<std::uint64_t, bitcoin::Transaction> reassemble_all(const std::vector<TxSlice>& slices) {
+  std::map<std::uint64_t, std::vector<TxSlice>> grouped;
+  for (const auto& s : slices) grouped[s.short_id()].push_back(s);
+  std::map<std::uint64_t, bitcoin::Transaction> out;
+  for (auto& [id, group] : grouped) {
+    if (auto tx = reassemble_tx(group)) out.emplace(id, std::move(*tx));
+  }
+  return out;
+}
+
+}  // namespace icbtc::reconcile

@@ -1,0 +1,60 @@
+// Fixed-size transaction slices: the unit of IBLT set reconciliation.
+//
+// A transaction is serialized, length-prefixed, zero-padded to a multiple of
+// kSliceBytes, and cut into slices. Each slice carries a key combining the
+// transaction's salted 48-bit short id with the slice's fragment index, so a
+// peeled slice identifies both the transaction it belongs to and its position
+// in the reassembly buffer (rustyrussell's bitcoin-iblt layout).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "bitcoin/transaction.h"
+
+namespace icbtc::reconcile {
+
+/// Payload bytes per slice. Small enough that a one-slice divergence costs
+/// little sketch, large enough that a typical P2PKH transaction is 4 slices.
+constexpr std::size_t kSliceBytes = 64;
+
+/// Mask for the 48-bit short-id space.
+constexpr std::uint64_t kShortIdMask = (std::uint64_t{1} << 48) - 1;
+
+/// Salted 48-bit short transaction id. The salt is chosen per block by the
+/// encoder so id collisions cannot be precomputed and differ between blocks.
+std::uint64_t short_tx_id(const util::Hash256& txid, std::uint64_t salt);
+
+/// One reconciliation item: a slice key plus kSliceBytes of payload.
+struct TxSlice {
+  /// short id (upper 48 bits) | fragment index (lower 16 bits).
+  std::uint64_t key = 0;
+  std::array<std::uint8_t, kSliceBytes> payload{};
+
+  std::uint64_t short_id() const { return key >> 16; }
+  std::uint16_t fragment() const { return static_cast<std::uint16_t>(key & 0xffff); }
+
+  bool operator==(const TxSlice&) const = default;
+};
+
+/// Number of slices a transaction of `serialized_size` bytes occupies
+/// (4-byte length prefix included).
+std::size_t slice_count(std::size_t serialized_size);
+
+/// Cuts `tx` into slices under `salt`. The payload stream is
+/// u32le(serialized size) || serialization || zero padding.
+std::vector<TxSlice> slice_tx(const bitcoin::Transaction& tx, std::uint64_t salt);
+
+/// Reassembles one transaction from the slices of a single short id.
+/// Fragments may arrive in any order; returns nullopt when fragments are
+/// missing, the length prefix is inconsistent, or the bytes do not parse.
+std::optional<bitcoin::Transaction> reassemble_tx(const std::vector<TxSlice>& slices);
+
+/// Groups peeled slices by short id and reassembles every complete
+/// transaction. Ids whose slices do not form a valid transaction are skipped.
+std::map<std::uint64_t, bitcoin::Transaction> reassemble_all(const std::vector<TxSlice>& slices);
+
+}  // namespace icbtc::reconcile

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include "bitcoin/script.h"
 #include "btcnet/harness.h"
+#include "chain/block_builder.h"
+#include "crypto/ripemd160.h"
+#include "obs/metrics.h"
 
 namespace icbtc::adapter {
 namespace {
@@ -383,6 +387,54 @@ TEST(TxRelayEvictionTest, ReachesLaterReachablePeerThenDrops) {
   EXPECT_EQ(adapter.cached_transactions(), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Response limits: the MAX_SIZE soft cap and the multi-block height boundary.
+
+TEST_F(Algorithm1Test, SoftCapStillServesOversizedBlock) {
+  adapter_config_.max_response_bytes = 1;  // smaller than any block
+  BitcoinAdapter tiny(harness_->network(), params_, adapter_config_, util::Rng(12));
+  tiny.start();
+  mine(3);
+  sim_.run_until(sim_.now() + 60 * util::kSecond);
+  AdapterRequest request;
+  request.anchor = params_.genesis_header.hash();
+  tiny.handle_request(request);  // triggers the block downloads
+  sim_.run_until(sim_.now() + 30 * util::kSecond);
+  auto response = tiny.handle_request(request);
+  // MAX_SIZE is a soft limit: the block that crosses it is still served,
+  // but nothing after it.
+  ASSERT_EQ(response.blocks.size(), 1u);
+  EXPECT_GT(response.blocks[0].first.size(), adapter_config_.max_response_bytes);
+}
+
+TEST_F(Algorithm1Test, MultiBlockBoundaryIsExclusive) {
+  mine(6);
+  sim_.run_until(sim_.now() + 60 * util::kSecond);
+  auto chain = harness_->node(0).tree().current_chain();  // genesis .. tip
+  ASSERT_GE(chain.size(), 7u);
+
+  adapter_config_.multi_block_below_height = 2;
+  BitcoinAdapter bounded(harness_->network(), params_, adapter_config_, util::Rng(13));
+  bounded.start();
+  sim_.run_until(sim_.now() + 60 * util::kSecond);
+
+  // Anchor height 1 < 2: multi-block mode.
+  AdapterRequest low;
+  low.anchor = chain[1];
+  bounded.handle_request(low);
+  sim_.run_until(sim_.now() + 30 * util::kSecond);
+  auto low_response = bounded.handle_request(low);
+  EXPECT_GT(low_response.blocks.size(), 1u);
+
+  // Anchor height exactly at the threshold: single-block mode (strict <).
+  AdapterRequest at;
+  at.anchor = chain[2];
+  bounded.handle_request(at);
+  sim_.run_until(sim_.now() + 30 * util::kSecond);
+  auto at_response = bounded.handle_request(at);
+  EXPECT_EQ(at_response.blocks.size(), 1u);
+}
+
 TEST_F(Algorithm1Test, ReconnectsAfterPeerLoss) {
   auto peers = adapter_->connected_peers();
   ASSERT_FALSE(peers.empty());
@@ -390,6 +442,138 @@ TEST_F(Algorithm1Test, ReconnectsAfterPeerLoss) {
   EXPECT_EQ(adapter_->active_connections(), 0u);
   sim_.run_until(sim_.now() + 30 * util::kSecond);
   EXPECT_EQ(adapter_->active_connections(), adapter_config_.outbound_connections);
+}
+
+// ---------------------------------------------------------------------------
+// Compact block fetch (src/reconcile): opt-in getdata flag, recent-tx pool,
+// reconstruction, and the full-block fallback.
+
+class CompactFetchTest : public AdapterTest {
+ protected:
+  CompactFetchTest() {
+    adapter_config_.compact_block_fetch = true;
+    adapter_ = std::make_unique<BitcoinAdapter>(harness_->network(), params_, adapter_config_,
+                                                util::Rng(14));
+    adapter_->set_metrics(&registry_);
+    adapter_->start();
+    sim_.run_until(sim_.now() + 30 * util::kSecond);
+  }
+
+  std::vector<bitcoin::Block> sync_all(AdapterRequest request, int max_iters = 50) {
+    std::vector<bitcoin::Block> received;
+    for (int i = 0; i < max_iters; ++i) {
+      auto response = adapter_->handle_request(request);
+      for (auto& [block, header] : response.blocks) {
+        request.processed.push_back(header.hash());
+        received.push_back(block);
+      }
+      if (response.blocks.empty()) {
+        sim_.run_until(sim_.now() + 10 * util::kSecond);
+        auto retry = adapter_->handle_request(request);
+        if (retry.blocks.empty() && retry.next_headers.empty()) break;
+        for (auto& [block, header] : retry.blocks) {
+          request.processed.push_back(header.hash());
+          received.push_back(block);
+        }
+      }
+      sim_.run_until(sim_.now() + 5 * util::kSecond);
+    }
+    return received;
+  }
+
+  std::uint64_t counter(const std::string& name) const {
+    auto it = registry_.counters().find(name);
+    return it == registry_.counters().end() ? 0 : it->second.value();
+  }
+
+  obs::MetricsRegistry registry_;
+  std::unique_ptr<BitcoinAdapter> adapter_;
+};
+
+TEST_F(CompactFetchTest, SyncsViaCompactBlocks) {
+  mine(4);
+  AdapterRequest request;
+  request.anchor = params_.genesis_header.hash();
+  auto blocks = sync_all(request);
+  EXPECT_EQ(blocks.size(), 4u);
+  // Every block arrived as a compact block and reconstructed locally.
+  EXPECT_GE(counter("adapter.cmpct.received"), 4u);
+  EXPECT_GE(counter("adapter.cmpct.reconstructed"), 4u);
+  EXPECT_EQ(counter("adapter.cmpct.fallback.full"), 0u);
+}
+
+TEST_F(CompactFetchTest, RecentTxPoolFeedsReconstruction) {
+  // Fund a key we control on node 0 and broadcast a spend. With compact
+  // fetch enabled, the adapter pulls announced transactions into its
+  // recent-tx pool and later reconstructs the block carrying them.
+  auto key = crypto::PrivateKey::from_seed(util::Bytes{7, 8, 9});
+  auto key_hash = crypto::hash160(key.public_key().compressed());
+  auto& node = harness_->node(0);
+  std::uint32_t time = static_cast<std::uint32_t>(
+      params_.genesis_header.time + sim_.now() / util::kSecond + 60);
+  auto fund_block =
+      chain::build_child_block(node.tree(), node.best_tip(), time,
+                               bitcoin::p2pkh_script(key_hash), 50 * bitcoin::kCoin, {}, 4242);
+  ASSERT_TRUE(node.submit_block(fund_block));
+  sim_.run_until(sim_.now() + 30 * util::kSecond);
+
+  bitcoin::Transaction tx;
+  bitcoin::TxIn in;
+  in.prevout = bitcoin::OutPoint{fund_block.transactions[0].txid(), 0};
+  tx.inputs.push_back(in);
+  tx.outputs.push_back(bitcoin::TxOut{49 * bitcoin::kCoin, bitcoin::p2pkh_script(key_hash)});
+  auto lock = bitcoin::p2pkh_script(key_hash);
+  auto digest = bitcoin::legacy_sighash(tx, 0, lock);
+  tx.inputs[0].script_sig =
+      bitcoin::p2pkh_script_sig(key.sign(digest), key.public_key().compressed());
+  ASSERT_TRUE(node.submit_tx(tx));
+  sim_.run_until(sim_.now() + 30 * util::kSecond);
+  EXPECT_GE(adapter_->recent_tx_pool(), 1u);
+
+  mine(1);
+  AdapterRequest request;
+  request.anchor = params_.genesis_header.hash();
+  auto blocks = sync_all(request);
+  ASSERT_EQ(blocks.size(), 2u);
+  bool found = false;
+  for (const auto& block : blocks) {
+    for (const auto& mined_tx : block.transactions) found |= mined_tx.txid() == tx.txid();
+  }
+  EXPECT_TRUE(found);
+  EXPECT_GE(counter("adapter.cmpct.reconstructed"), 2u);
+  EXPECT_EQ(counter("adapter.cmpct.fallback.full"), 0u);
+}
+
+TEST_F(CompactFetchTest, ForgedCompactBlockFallsBackToFullFetch) {
+  mine(1);
+  const bitcoin::Block* tip = harness_->node(0).get_block(harness_->node(0).best_tip());
+  ASSERT_NE(tip, nullptr);
+
+  // An attacker serves a compact block with the real header but a tampered
+  // coinbase: the Merkle check must reject the reassembly and the adapter
+  // must fall back to fetching the full block.
+  bitcoin::Block forged = *tip;
+  forged.transactions[0].inputs[0].script_sig.push_back(0xff);
+
+  class Silent : public btcnet::Endpoint {
+   public:
+    void deliver(btcnet::NodeId, const btcnet::Message&) override {}
+  } attacker;
+  auto attacker_id = harness_->network().attach(&attacker, true, false);
+  harness_->network().connect(attacker_id, adapter_->id());
+  harness_->network().send(attacker_id, adapter_->id(),
+                           btcnet::MsgCmpctBlock{reconcile::CompactBlockCodec::encode(forged, 8)});
+  sim_.run_until(sim_.now() + 10 * util::kSecond);
+
+  EXPECT_GE(counter("adapter.cmpct.fallback.full"), 1u);
+  EXPECT_FALSE(adapter_->has_block(tip->hash()));  // the forgery was not stored
+
+  // The honest network still serves the real block on request.
+  AdapterRequest request;
+  request.anchor = params_.genesis_header.hash();
+  auto blocks = sync_all(request);
+  ASSERT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(blocks[0].hash(), tip->hash());
 }
 
 }  // namespace

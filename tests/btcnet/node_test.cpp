@@ -192,6 +192,44 @@ TEST_F(SpendTest, MempoolSnapshotPreservesOrder) {
   EXPECT_EQ(snapshot[1].txid(), tx2.txid());
 }
 
+TEST_F(NodeTest, BlockInvNotEchoedToSender) {
+  class Recorder : public Endpoint {
+   public:
+    void deliver(NodeId, const Message& msg) override { received.push_back(msg); }
+    std::vector<Message> received;
+  } recorder;
+
+  // Carol mines two blocks offline; the recorder feeds them to Alice out of
+  // order so the second one takes the orphan path (which used to forget who
+  // sent the block and echo the inv back).
+  BitcoinNode carol{net_, params_};
+  Miner carol_miner{carol, 1.0, util::Rng(14)};
+  auto b1 = carol_miner.mine_one();
+  auto b2 = carol_miner.mine_one();
+
+  net_.connect(alice_.id(), bob_.id());
+  NodeId rid = net_.attach(&recorder, true, false);
+  net_.connect(rid, alice_.id());
+  sim_.run();
+  recorder.received.clear();  // drop handshake traffic
+
+  net_.send(rid, alice_.id(), MsgBlock{b2});
+  net_.send(rid, alice_.id(), MsgBlock{b1});
+  sim_.run();
+
+  ASSERT_EQ(alice_.best_height(), 2);
+  EXPECT_EQ(bob_.best_tip(), alice_.best_tip());  // still relayed onward
+  for (const auto& msg : recorder.received) {
+    if (const auto* inv = std::get_if<MsgInv>(&msg)) {
+      for (const auto& hash : inv->block_hashes) {
+        EXPECT_NE(hash, b1.hash());
+        EXPECT_NE(hash, b2.hash());
+      }
+    }
+  }
+  net_.detach(rid);
+}
+
 TEST_F(NodeTest, GetAddrReturnsGossipedAddresses) {
   class Collector : public Endpoint {
    public:

@@ -1,0 +1,212 @@
+#include "reconcile/compact_block.h"
+
+#include <gtest/gtest.h>
+
+#include "util/byteio.h"
+
+namespace icbtc::reconcile {
+namespace {
+
+bitcoin::Transaction make_tx(std::uint64_t tag, std::size_t outputs = 2) {
+  bitcoin::Transaction tx;
+  bitcoin::TxIn in;
+  for (std::size_t i = 0; i < 8; ++i) {
+    in.prevout.txid.data[i] = static_cast<std::uint8_t>(tag >> (8 * i));
+  }
+  tx.inputs.push_back(in);
+  for (std::size_t i = 0; i < outputs; ++i) {
+    tx.outputs.push_back(bitcoin::TxOut{static_cast<bitcoin::Amount>(1000 + tag + i),
+                                        bitcoin::Bytes{0x76, 0xa9, 0x14}});
+  }
+  return tx;
+}
+
+bitcoin::Transaction make_coinbase(std::uint64_t tag) {
+  bitcoin::Transaction tx;
+  bitcoin::TxIn in;
+  in.prevout = bitcoin::OutPoint::null();
+  in.script_sig = bitcoin::Bytes{static_cast<std::uint8_t>(tag)};
+  tx.inputs.push_back(in);
+  tx.outputs.push_back(bitcoin::TxOut{50, bitcoin::Bytes{0x6a}});
+  return tx;
+}
+
+/// A structurally valid block over `n` deterministic transactions. The
+/// codec never checks PoW, so the header only needs a correct Merkle root.
+bitcoin::Block make_block(std::size_t n, std::uint64_t seed = 0) {
+  bitcoin::Block block;
+  block.transactions.push_back(make_coinbase(seed + 1));
+  for (std::size_t i = 0; i < n; ++i) block.transactions.push_back(make_tx(seed + 10 + i));
+  block.header.time = 1234;
+  block.header.merkle_root = block.compute_merkle_root();
+  return block;
+}
+
+std::vector<const bitcoin::Transaction*> pool_of(const bitcoin::Block& block,
+                                                 std::size_t skip = 0) {
+  std::vector<const bitcoin::Transaction*> pool;
+  for (std::size_t i = 1 + skip; i < block.transactions.size(); ++i) {
+    pool.push_back(&block.transactions[i]);
+  }
+  return pool;
+}
+
+TEST(CompactBlockTest, EncodeCarriesOrderedShortIds) {
+  auto block = make_block(6);
+  auto cb = CompactBlockCodec::encode(block, 16);
+  EXPECT_EQ(cb.header, block.header);
+  EXPECT_EQ(cb.salt, CompactBlockCodec::block_salt(block.hash()));
+  EXPECT_EQ(cb.coinbase, block.transactions[0]);
+  ASSERT_EQ(cb.short_ids.size(), 6u);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(cb.short_ids[i], short_tx_id(block.transactions[i + 1].txid(), cb.salt));
+  }
+  EXPECT_GE(cb.sketch.cell_count(), sketch_cells(16));
+}
+
+TEST(CompactBlockTest, FullPoolDecodesWithoutSketch) {
+  auto block = make_block(8);
+  auto cb = CompactBlockCodec::encode(block, 4);
+  auto decode = CompactBlockCodec::decode(cb, pool_of(block));
+  EXPECT_TRUE(decode.complete());
+  EXPECT_TRUE(decode.peel_complete);
+  EXPECT_EQ(decode.pool_hits, 8u);
+  EXPECT_EQ(decode.sketch_decoded, 0u);
+  EXPECT_EQ(decode.diff_slices, 0u);
+  auto assembled = CompactBlockCodec::assemble(cb, decode);
+  ASSERT_TRUE(assembled.has_value());
+  EXPECT_EQ(*assembled, block);
+}
+
+TEST(CompactBlockTest, SketchRepairsSmallDivergence) {
+  // Pool lacks two transactions; an adequately sized sketch supplies them
+  // with zero extra round trips.
+  auto block = make_block(10);
+  auto cb = CompactBlockCodec::encode(block, 16);
+  auto decode = CompactBlockCodec::decode(cb, pool_of(block, /*skip=*/2));
+  EXPECT_TRUE(decode.complete());
+  EXPECT_EQ(decode.pool_hits, 8u);
+  EXPECT_EQ(decode.sketch_decoded, 2u);
+  EXPECT_GT(decode.diff_slices, 0u);
+  auto assembled = CompactBlockCodec::assemble(cb, decode);
+  ASSERT_TRUE(assembled.has_value());
+  EXPECT_EQ(*assembled, block);
+}
+
+TEST(CompactBlockTest, ExtraPoolTransactionsDoNotConfuseDecode) {
+  // Receiver mempool holds unrelated transactions on top of the block's.
+  auto block = make_block(5);
+  auto cb = CompactBlockCodec::encode(block, 8);
+  auto pool = pool_of(block);
+  std::vector<bitcoin::Transaction> extras;
+  for (std::uint64_t t = 0; t < 20; ++t) extras.push_back(make_tx(90000 + t));
+  for (const auto& tx : extras) pool.push_back(&tx);
+  auto decode = CompactBlockCodec::decode(cb, pool);
+  EXPECT_TRUE(decode.complete());
+  auto assembled = CompactBlockCodec::assemble(cb, decode);
+  ASSERT_TRUE(assembled.has_value());
+  EXPECT_EQ(*assembled, block);
+}
+
+TEST(CompactBlockTest, UndersizedSketchFailsDetectablyAndFillCompletes) {
+  // Empty pool and a sketch sized for almost nothing: the peel must fail
+  // loudly, report which positions are unresolved, and a getblocktxn-style
+  // fill must complete the block.
+  auto block = make_block(20);
+  auto cb = CompactBlockCodec::encode(block, 0);
+  auto decode = CompactBlockCodec::decode(cb, {});
+  EXPECT_FALSE(decode.peel_complete);
+  EXPECT_FALSE(decode.complete());
+  // The reported divergence must be at least the sketch capacity so the
+  // sender's estimator grows past the undersized sketch.
+  EXPECT_GE(decode.diff_slices, cb.sketch.cell_count());
+
+  std::vector<bitcoin::Transaction> requested;
+  for (std::uint32_t index : decode.missing) {
+    requested.push_back(block.transactions[index + 1]);
+  }
+  ASSERT_TRUE(CompactBlockCodec::fill(decode, requested));
+  EXPECT_TRUE(decode.complete());
+  auto assembled = CompactBlockCodec::assemble(cb, decode);
+  ASSERT_TRUE(assembled.has_value());
+  EXPECT_EQ(*assembled, block);
+}
+
+TEST(CompactBlockTest, FillRejectsCountMismatch) {
+  auto block = make_block(4);
+  auto cb = CompactBlockCodec::encode(block, 0);
+  auto decode = CompactBlockCodec::decode(cb, {});
+  ASSERT_FALSE(decode.missing.empty());
+  std::vector<bitcoin::Transaction> wrong(decode.missing.size() + 1, make_tx(1));
+  EXPECT_FALSE(CompactBlockCodec::fill(decode, wrong));
+  EXPECT_FALSE(decode.complete());
+}
+
+TEST(CompactBlockTest, AssembleRejectsWrongTransaction) {
+  auto block = make_block(3);
+  auto cb = CompactBlockCodec::encode(block, 8);
+  auto decode = CompactBlockCodec::decode(cb, pool_of(block));
+  ASSERT_TRUE(decode.complete());
+  decode.txs[1] = make_tx(555555);  // impostor: Merkle root cannot match
+  EXPECT_FALSE(CompactBlockCodec::assemble(cb, decode).has_value());
+}
+
+TEST(CompactBlockTest, CoinbaseOnlyBlock) {
+  auto block = make_block(0);
+  auto cb = CompactBlockCodec::encode(block, 4);
+  EXPECT_TRUE(cb.short_ids.empty());
+  auto decode = CompactBlockCodec::decode(cb, {});
+  EXPECT_TRUE(decode.complete());
+  auto assembled = CompactBlockCodec::assemble(cb, decode);
+  ASSERT_TRUE(assembled.has_value());
+  EXPECT_EQ(*assembled, block);
+}
+
+TEST(CompactBlockTest, WireRoundTrip) {
+  auto block = make_block(7);
+  auto cb = CompactBlockCodec::encode(block, 12);
+  util::Bytes wire = cb.serialize();
+  util::ByteReader r(wire);
+  CompactBlock back = CompactBlock::deserialize(r);
+  EXPECT_TRUE(r.done());
+  EXPECT_EQ(back, cb);
+  // wire_size() is what the bandwidth model charges; it must track the real
+  // serialization (the 48-bit ids are sent as 6 bytes, not 8).
+  EXPECT_EQ(cb.wire_size(), wire.size());
+}
+
+TEST(CompactBlockTest, CompactIsSmallerThanFullBlockAtHighOverlap) {
+  // Realistically sized transactions (several outputs each), full overlap.
+  bitcoin::Block block;
+  block.transactions.push_back(make_coinbase(1));
+  for (std::size_t i = 0; i < 100; ++i) block.transactions.push_back(make_tx(10 + i, 6));
+  block.header.merkle_root = block.compute_merkle_root();
+  auto cb = CompactBlockCodec::encode(block, 8);
+  EXPECT_LT(cb.wire_size(), block.size() / 4);  // the ≤25% acceptance target
+}
+
+TEST(DivergenceEstimatorTest, TracksObservationsWithMargin) {
+  DivergenceEstimator est(16.0);
+  EXPECT_GT(est.estimate(), 16u);  // margin above the mean
+  for (int i = 0; i < 50; ++i) est.observe(0);
+  EXPECT_LT(est.mean(), 0.1);
+  std::size_t low = est.estimate();
+  for (int i = 0; i < 50; ++i) est.observe(200);
+  EXPECT_GT(est.mean(), 190.0);
+  EXPECT_GT(est.estimate(), low);
+  EXPECT_GE(est.estimate(), 200u);
+}
+
+TEST(DivergenceEstimatorTest, SketchCellsMonotonic) {
+  EXPECT_EQ(sketch_cells(0), 8u);
+  std::size_t prev = 0;
+  for (std::size_t d = 0; d < 100; d += 7) {
+    std::size_t cells = sketch_cells(d);
+    EXPECT_GE(cells, d + 4);
+    EXPECT_GE(cells, prev);
+    prev = cells;
+  }
+}
+
+}  // namespace
+}  // namespace icbtc::reconcile

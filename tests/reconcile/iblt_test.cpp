@@ -1,0 +1,216 @@
+#include "reconcile/iblt.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "reconcile/murmur.h"
+#include "util/byteio.h"
+
+namespace icbtc::reconcile {
+namespace {
+
+bitcoin::Transaction make_tx(std::uint64_t tag, std::size_t outputs = 2) {
+  bitcoin::Transaction tx;
+  bitcoin::TxIn in;
+  for (std::size_t i = 0; i < 8; ++i) {
+    in.prevout.txid.data[i] = static_cast<std::uint8_t>(tag >> (8 * i));
+  }
+  in.prevout.vout = 0;
+  tx.inputs.push_back(in);
+  for (std::size_t i = 0; i < outputs; ++i) {
+    tx.outputs.push_back(bitcoin::TxOut{static_cast<bitcoin::Amount>(1000 + tag + i),
+                                        bitcoin::Bytes{0x76, 0xa9, 0x14}});
+  }
+  return tx;
+}
+
+TEST(MurmurTest, MatchesReferenceVectors) {
+  // Published MurmurHash3_x86_32 test vectors.
+  EXPECT_EQ(murmur3_32(0, util::ByteSpan{}), 0u);
+  EXPECT_EQ(murmur3_32(1, util::ByteSpan{}), 0x514e28b7u);
+  const std::uint8_t hello[] = {'h', 'e', 'l', 'l', 'o'};
+  EXPECT_EQ(murmur3_32(0, util::ByteSpan(hello, 5)), 0x248bfa47u);
+  const std::uint8_t aaaa[] = {0xff, 0xff, 0xff, 0xff};
+  EXPECT_EQ(murmur3_32(0, util::ByteSpan(aaaa, 4)), 0x76293b50u);
+}
+
+TEST(TxSliceTest, SliceCountCoversLengthPrefix) {
+  // size + 4-byte prefix, rounded up to 64-byte slices.
+  EXPECT_EQ(slice_count(1), 1u);
+  EXPECT_EQ(slice_count(60), 1u);
+  EXPECT_EQ(slice_count(61), 2u);
+  EXPECT_EQ(slice_count(124), 2u);
+  EXPECT_EQ(slice_count(125), 3u);
+}
+
+TEST(TxSliceTest, SliceAndReassembleRoundTrip) {
+  bitcoin::Transaction tx = make_tx(42, 5);
+  auto slices = slice_tx(tx, 0x1234);
+  EXPECT_EQ(slices.size(), slice_count(tx.serialize().size()));
+  // All slices share the short id and carry ascending fragment indexes.
+  std::uint64_t id = short_tx_id(tx.txid(), 0x1234);
+  for (std::size_t i = 0; i < slices.size(); ++i) {
+    EXPECT_EQ(slices[i].short_id(), id);
+    EXPECT_EQ(slices[i].fragment(), i);
+  }
+  auto back = reassemble_tx(slices);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, tx);
+}
+
+TEST(TxSliceTest, ReassembleToleratesShuffledFragments) {
+  bitcoin::Transaction tx = make_tx(7, 12);
+  auto slices = slice_tx(tx, 99);
+  ASSERT_GT(slices.size(), 2u);
+  std::reverse(slices.begin(), slices.end());
+  auto back = reassemble_tx(slices);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, tx);
+}
+
+TEST(TxSliceTest, ReassembleRejectsMissingFragment) {
+  bitcoin::Transaction tx = make_tx(7, 6);
+  auto slices = slice_tx(tx, 99);
+  ASSERT_GT(slices.size(), 1u);
+  slices.pop_back();
+  EXPECT_FALSE(reassemble_tx(slices).has_value());
+}
+
+TEST(TxSliceTest, ReassembleRejectsCorruptPadding) {
+  bitcoin::Transaction tx = make_tx(8, 1);
+  auto slices = slice_tx(tx, 99);
+  slices.back().payload[kSliceBytes - 1] ^= 0x01;
+  // Either the padding check or the parse fails; never a silent wrong tx.
+  auto back = reassemble_tx(slices);
+  if (back.has_value()) FAIL() << "corrupt slice reassembled";
+}
+
+TEST(TxSliceTest, ShortIdDependsOnSalt) {
+  bitcoin::Transaction tx = make_tx(9);
+  EXPECT_NE(short_tx_id(tx.txid(), 1), short_tx_id(tx.txid(), 2));
+  EXPECT_LE(short_tx_id(tx.txid(), 1), kShortIdMask);
+}
+
+TEST(IbltTest, InsertPeelRecoversSlices) {
+  Iblt iblt(64, 5);
+  std::vector<TxSlice> inserted;
+  for (std::uint64_t t = 0; t < 5; ++t) {
+    for (const auto& s : slice_tx(make_tx(t), 77)) {
+      iblt.insert(s);
+      inserted.push_back(s);
+    }
+  }
+  auto result = iblt.peel();
+  ASSERT_TRUE(result.complete);
+  EXPECT_TRUE(result.removed.empty());
+  ASSERT_EQ(result.added.size(), inserted.size());
+  auto key = [](const TxSlice& s) { return s.key; };
+  std::multiset<std::uint64_t> want, got;
+  for (const auto& s : inserted) want.insert(key(s));
+  for (const auto& s : result.added) got.insert(key(s));
+  EXPECT_EQ(want, got);
+}
+
+TEST(IbltTest, InsertEraseLeavesEmpty) {
+  Iblt iblt(32, 1);
+  auto slices = slice_tx(make_tx(3), 8);
+  for (const auto& s : slices) iblt.insert(s);
+  EXPECT_FALSE(iblt.empty());
+  for (const auto& s : slices) iblt.erase(s);
+  EXPECT_TRUE(iblt.empty());
+}
+
+TEST(IbltTest, SubtractYieldsSymmetricDifference) {
+  Iblt a(96, 3), b(96, 3);
+  // Shared items cancel; only the difference remains.
+  for (std::uint64_t t = 0; t < 10; ++t) {
+    for (const auto& s : slice_tx(make_tx(t), 55)) {
+      a.insert(s);
+      b.insert(s);
+    }
+  }
+  auto only_a = slice_tx(make_tx(100), 55);
+  auto only_b = slice_tx(make_tx(200), 55);
+  for (const auto& s : only_a) a.insert(s);
+  for (const auto& s : only_b) b.insert(s);
+
+  a.subtract(b);
+  auto result = a.peel();
+  ASSERT_TRUE(result.complete);
+  EXPECT_EQ(result.added.size(), only_a.size());
+  EXPECT_EQ(result.removed.size(), only_b.size());
+  auto added = reassemble_all(result.added);
+  auto removed = reassemble_all(result.removed);
+  ASSERT_EQ(added.size(), 1u);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(added.begin()->second, make_tx(100));
+  EXPECT_EQ(removed.begin()->second, make_tx(200));
+}
+
+TEST(IbltTest, SubtractRequiresMatchingGeometry) {
+  Iblt a(32, 1), b(64, 1), c(32, 2);
+  EXPECT_THROW(a.subtract(b), std::invalid_argument);
+  EXPECT_THROW(a.subtract(c), std::invalid_argument);
+}
+
+TEST(IbltTest, UndersizedSketchFailsDetectably) {
+  // Far more slices than cells: peeling cannot complete, and says so.
+  Iblt iblt(8, 9);
+  for (std::uint64_t t = 0; t < 40; ++t) {
+    for (const auto& s : slice_tx(make_tx(t), 33)) iblt.insert(s);
+  }
+  auto result = iblt.peel();
+  EXPECT_FALSE(result.complete);
+}
+
+TEST(IbltTest, AdversarialGarbageCellsDoNotDecodeSilently) {
+  // A table that was never built by inserts: deserialize bytes with bogus
+  // counts/checksums. Peel must refuse to declare success.
+  Iblt iblt(16, 0);
+  auto slices = slice_tx(make_tx(1), 2);
+  iblt.insert(slices[0]);
+  util::ByteWriter w;
+  iblt.serialize(w);
+  util::Bytes wire = std::move(w).take();
+  // Corrupt a checksum byte somewhere past the header.
+  wire[wire.size() / 2] ^= 0xa5;
+  util::ByteReader r(wire);
+  Iblt corrupted = Iblt::deserialize(r);
+  auto result = corrupted.peel();
+  if (result.complete) {
+    // If peeling still completed, it must not have invented the slice.
+    for (const auto& s : result.added) EXPECT_NE(s, slices[0]);
+  }
+}
+
+TEST(IbltTest, SerializeRoundTrip) {
+  Iblt iblt(24, 0xdead);
+  for (const auto& s : slice_tx(make_tx(17, 3), 12)) iblt.insert(s);
+  util::ByteWriter w;
+  iblt.serialize(w);
+  util::Bytes wire = std::move(w).take();
+  EXPECT_EQ(wire.size(), iblt.serialized_size());
+  util::ByteReader r(wire);
+  Iblt back = Iblt::deserialize(r);
+  EXPECT_EQ(back, iblt);
+}
+
+TEST(IbltTest, DeserializeRejectsImplausibleCellCount) {
+  util::ByteWriter w;
+  w.u32le(0x7fffffff);  // absurd cell count
+  w.u32le(0xbeef);      // salt
+  util::Bytes wire = std::move(w).take();
+  util::ByteReader r(wire);
+  EXPECT_THROW(Iblt::deserialize(r), util::DecodeError);
+}
+
+TEST(IbltTest, MinimumCellClamp) {
+  Iblt tiny(0, 0);
+  EXPECT_GE(tiny.cell_count(), 4u);
+  EXPECT_TRUE(tiny.empty());
+}
+
+}  // namespace
+}  // namespace icbtc::reconcile
