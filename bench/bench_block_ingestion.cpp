@@ -1,15 +1,36 @@
-// Figure 6: instructions executed for block ingestion.
+// Figure 6: instructions executed for block ingestion — plus the hashing
+// pipeline wall-clock benchmark.
 //
-// Left panel: instructions per ingested block over a six-month stream,
-// averaging ~21.6e9 on mainnet. Right panel: the split between output
-// insertions and input removals (roughly half each). Block contents are
-// scaled down 1/10 from mainnet shape (200 inputs / 230 outputs per block)
-// and instruction counts scaled back up; the instruction *model* per UTXO
-// operation is the paper-calibrated cost in canister::InstructionCosts.
+// Figure 6 left panel: instructions per ingested block over a six-month
+// stream, averaging ~21.6e9 on mainnet. Right panel: the split between
+// output insertions and input removals (roughly half each). Block contents
+// are scaled down 1/10 from mainnet shape (200 inputs / 230 outputs per
+// block) and instruction counts scaled back up; the instruction *model* per
+// UTXO operation is the paper-calibrated cost in canister::InstructionCosts.
+//
+// The hashing pipeline benchmark generates one serialized block stream and
+// replays the identical bytes through four canister configurations:
+//   baseline    txid cache off, portable SHA-256, no thread pool
+//   cached      txid cache on,  portable SHA-256, no thread pool
+//   dispatched  txid cache on,  best SHA-256 (SHA-NI/SSE4), no thread pool
+//   parallel    txid cache on,  best SHA-256, shared thread pool
+// It writes BENCH_ingestion.json (override with ICBTC_BENCH_OUT) with ns/tx
+// and blocks/s per mode, and exits nonzero if any mode's UTXO-set digest or
+// metrics snapshot diverges from the scalar result. ICBTC_BENCH_QUICK=1
+// shrinks the workload and skips Figure 6 / the google-benchmark loops for
+// CI smoke runs.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
+#include "crypto/sha256.h"
+#include "obs/metrics.h"
+#include "parallel/thread_pool.h"
 #include "workload.h"
 
 namespace {
@@ -18,6 +39,11 @@ using namespace icbtc;
 using namespace icbtc::bench;
 
 constexpr int kIngestScale = 10;
+
+bool quick_mode() {
+  const char* quick = std::getenv("ICBTC_BENCH_QUICK");
+  return quick != nullptr && std::strcmp(quick, "0") != 0;
+}
 
 void run_figure6() {
   const auto& params = bitcoin::ChainParams::regtest();  // δ=6: fast stabilization
@@ -72,6 +98,172 @@ void run_figure6() {
   std::printf("(paper: roughly half of the ~20B instructions each)\n\n");
 }
 
+// ---------------------------------------------------------------------------
+// Hashing pipeline benchmark
+// ---------------------------------------------------------------------------
+
+struct ModeConfig {
+  const char* name;
+  bool txid_cache;
+  crypto::Sha256Impl impl;
+  std::size_t pool_threads;  // 0 = serial
+};
+
+struct ModeResult {
+  std::string name;
+  double seconds = 0;
+  double ns_per_tx = 0;
+  double blocks_per_s = 0;
+  std::string utxo_digest;
+  std::string metrics_json;
+};
+
+/// Replays the serialized block stream through a freshly configured
+/// canister, returning the best-of-`reps` wall-clock result plus the final
+/// UTXO-set digest and metrics snapshot.
+ModeResult replay(const ModeConfig& mode, const std::vector<util::Bytes>& stream,
+                  std::size_t total_txs, int reps) {
+  ModeResult result;
+  result.name = mode.name;
+  bitcoin::Transaction::set_txid_cache_enabled(mode.txid_cache);
+  if (!crypto::set_sha256_impl(mode.impl)) {
+    std::fprintf(stderr, "note: %s unsupported on this CPU, using portable\n",
+                 crypto::to_string(mode.impl));
+    crypto::set_sha256_impl(crypto::Sha256Impl::kPortable);
+  }
+  parallel::set_shared_pool(mode.pool_threads);
+
+  double best = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto& params = bitcoin::ChainParams::regtest();
+    canister::BitcoinCanister canister(params, canister::CanisterConfig::for_params(params));
+    obs::MetricsRegistry registry;
+    canister.set_metrics(&registry);
+
+    auto start = std::chrono::steady_clock::now();
+    for (const auto& raw : stream) {
+      bitcoin::Block block = bitcoin::Block::parse(raw);
+      adapter::AdapterResponse response;
+      bitcoin::BlockHeader header = block.header;
+      response.blocks.emplace_back(std::move(block), header);
+      canister.process_response(response, static_cast<std::int64_t>(header.time) + 10000);
+    }
+    auto stop = std::chrono::steady_clock::now();
+    double seconds = std::chrono::duration<double>(stop - start).count();
+    if (rep == 0 || seconds < best) best = seconds;
+    if (rep == reps - 1) {
+      result.utxo_digest = canister.utxo_digest().hex();
+      result.metrics_json = obs::to_json(registry);
+    }
+  }
+  result.seconds = best;
+  result.ns_per_tx = best * 1e9 / static_cast<double>(total_txs);
+  result.blocks_per_s = static_cast<double>(stream.size()) / best;
+
+  // Restore defaults for whatever runs next.
+  bitcoin::Transaction::set_txid_cache_enabled(true);
+  crypto::set_sha256_impl(crypto::sha256_best_impl());
+  parallel::set_shared_pool(0);
+  return result;
+}
+
+bool run_hashing_pipeline_bench() {
+  const bool quick = quick_mode();
+  const int warmup = quick ? 10 : 40;
+  const int blocks = quick ? 60 : 300;
+  const int reps = quick ? 2 : 3;
+
+  BlockShape shape;
+  shape.transactions = quick ? 40 : 90;
+  shape.inputs_per_tx = 3;
+  shape.outputs_per_tx = 3;
+  shape.jitter = 0.35;
+
+  // Generate the stream once; every mode replays the identical bytes.
+  std::vector<util::Bytes> stream;
+  {
+    const auto& params = bitcoin::ChainParams::regtest();
+    canister::BitcoinCanister generator(params, canister::CanisterConfig::for_params(params));
+    ChainFeeder feeder(generator, /*seed=*/68);
+    feeder.run(warmup, shape);
+    feeder.set_block_tap(&stream);
+    feeder.run(blocks, shape);
+  }
+  std::size_t total_txs = 0;
+  for (const auto& raw : stream) total_txs += bitcoin::Block::parse(raw).transactions.size();
+
+  const std::vector<ModeConfig> modes = {
+      {"baseline", false, crypto::Sha256Impl::kPortable, 0},
+      {"cached", true, crypto::Sha256Impl::kPortable, 0},
+      {"dispatched", true, crypto::sha256_best_impl(), 0},
+      {"parallel", true, crypto::sha256_best_impl(), 4},
+  };
+  std::vector<ModeResult> results;
+  for (const auto& mode : modes) {
+    results.push_back(replay(mode, stream, total_txs, reps));
+    const auto& r = results.back();
+    std::printf("%-11s %8.3f s   %10.0f ns/tx   %8.1f blocks/s\n", r.name.c_str(), r.seconds,
+                r.ns_per_tx, r.blocks_per_s);
+  }
+
+  // Correctness gate: every mode must land on the scalar UTXO set and the
+  // scalar metrics snapshot, byte for byte.
+  bool ok = true;
+  for (const auto& r : results) {
+    if (r.utxo_digest != results[0].utxo_digest) {
+      std::fprintf(stderr, "FAIL: %s UTXO digest %s != baseline %s\n", r.name.c_str(),
+                   r.utxo_digest.c_str(), results[0].utxo_digest.c_str());
+      ok = false;
+    }
+    if (r.metrics_json != results[0].metrics_json) {
+      std::fprintf(stderr, "FAIL: %s metrics snapshot differs from baseline\n", r.name.c_str());
+      ok = false;
+    }
+  }
+
+  double speedup_cached = results[0].seconds / results[1].seconds;
+  double speedup_dispatched = results[0].seconds / results[2].seconds;
+  double speedup_parallel = results[0].seconds / results[3].seconds;
+  std::printf("speedup vs baseline: cached %.2fx, dispatched %.2fx, parallel %.2fx\n",
+              speedup_cached, speedup_dispatched, speedup_parallel);
+
+  const char* out_path = std::getenv("ICBTC_BENCH_OUT");
+  if (out_path == nullptr) out_path = "BENCH_ingestion.json";
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", out_path);
+    return false;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"workload\": {\"blocks\": %zu, \"transactions\": %zu, \"quick\": %s},\n",
+               stream.size(), total_txs, quick ? "true" : "false");
+  std::fprintf(out, "  \"sha256_best_impl\": \"%s\",\n",
+               crypto::to_string(crypto::sha256_best_impl()));
+  std::fprintf(out, "  \"modes\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"seconds\": %.6f, \"ns_per_tx\": %.1f, "
+                 "\"blocks_per_s\": %.2f, \"utxo_digest\": \"%s\", \"metrics_digest\": \"%s\"}%s\n",
+                 r.name.c_str(), r.seconds, r.ns_per_tx, r.blocks_per_s, r.utxo_digest.c_str(),
+                 crypto::sha256d(util::ByteSpan(
+                                     reinterpret_cast<const std::uint8_t*>(r.metrics_json.data()),
+                                     r.metrics_json.size()))
+                     .hex()
+                     .c_str(),
+                 i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"speedup_vs_baseline\": {\"cached\": %.3f, \"dispatched\": %.3f, "
+               "\"parallel\": %.3f},\n",
+               speedup_cached, speedup_dispatched, speedup_parallel);
+  std::fprintf(out, "  \"digests_match\": %s\n", ok ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path);
+  return ok;
+}
+
 void BM_IngestBlock(benchmark::State& state) {
   const auto& params = bitcoin::ChainParams::regtest();
   canister::BitcoinCanister canister(params, canister::CanisterConfig::for_params(params));
@@ -98,8 +290,11 @@ BENCHMARK(BM_IngestBlock)->Arg(8)->Arg(80)->Unit(benchmark::kMillisecond);
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_figure6();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  bool ok = run_hashing_pipeline_bench();
+  if (!quick_mode()) {
+    run_figure6();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return ok ? 0 : 1;
 }

@@ -100,6 +100,8 @@ ChainFeeder::BlockResult ChainFeeder::step(const BlockShape& shape) {
                      spendable_.begin() + static_cast<std::ptrdiff_t>(spendable_.size() / 2));
   }
 
+  if (tap_ != nullptr) tap_->push_back(block.serialize());
+
   adapter::AdapterResponse response;
   response.blocks.emplace_back(std::move(block), tree_.find(tip_)->header);
   canister_->process_response(response, static_cast<std::int64_t>(time_) + 10000);

@@ -48,6 +48,11 @@ class ChainFeeder {
   /// (lets benchmarks accumulate UTXOs on known addresses).
   void add_tracked_script(const util::Bytes& script, double weight);
 
+  /// Records every generated block's wire serialization into `tap` (nullptr
+  /// detaches). Lets a benchmark generate a workload once and replay the
+  /// identical byte stream against differently-configured canisters.
+  void set_block_tap(std::vector<util::Bytes>* tap) { tap_ = tap; }
+
   int height() const { return height_; }
   const chain::HeaderTree& tree() const { return tree_; }
 
@@ -64,6 +69,7 @@ class ChainFeeder {
   // Pool of spendable outpoints created by earlier blocks.
   std::vector<bitcoin::OutPoint> spendable_;
   std::vector<std::pair<util::Bytes, double>> tracked_;
+  std::vector<util::Bytes>* tap_ = nullptr;
 };
 
 /// The paper's measured UTXO-count skew for its 1000 sampled addresses

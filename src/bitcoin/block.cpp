@@ -1,5 +1,7 @@
 #include "bitcoin/block.h"
 
+#include <cstring>
+
 #include "crypto/sha256.h"
 
 namespace icbtc::bitcoin {
@@ -67,38 +69,44 @@ Block Block::parse(ByteSpan data) {
   return b;
 }
 
-Hash256 Block::compute_merkle_root() const {
-  std::vector<Hash256> txids;
-  txids.reserve(transactions.size());
-  for (const auto& tx : transactions) txids.push_back(tx.txid());
-  return merkle_root(txids);
+std::vector<Hash256> Block::txids(parallel::ThreadPool* pool) const {
+  std::vector<Hash256> out(transactions.size());
+  // txid() is a pure function of the tx bytes and seeds each tx's cache, so
+  // computing the uncached ones concurrently is observationally identical to
+  // the serial loop.
+  parallel::parallel_for(pool, transactions.size(),
+                         [&](std::size_t i) { out[i] = transactions[i].txid(); });
+  return out;
 }
 
-bool Block::is_well_formed() const {
+Hash256 Block::compute_merkle_root(parallel::ThreadPool* pool) const {
+  return merkle_root(txids(pool));
+}
+
+bool Block::is_well_formed(parallel::ThreadPool* pool) const {
   if (transactions.empty()) return false;
   if (!transactions[0].is_coinbase()) return false;
   for (std::size_t i = 0; i < transactions.size(); ++i) {
     if (i > 0 && transactions[i].is_coinbase()) return false;
     if (!transactions[i].is_well_formed()) return false;
   }
-  return compute_merkle_root() == header.merkle_root;
+  return compute_merkle_root(pool) == header.merkle_root;
 }
 
 Hash256 merkle_root(const std::vector<Hash256>& txids) {
   if (txids.empty()) return Hash256{};
   std::vector<Hash256> level = txids;
+  std::uint8_t node[64];
   while (level.size() > 1) {
     if (level.size() % 2 == 1) level.push_back(level.back());
-    std::vector<Hash256> next;
-    next.reserve(level.size() / 2);
     for (std::size_t i = 0; i < level.size(); i += 2) {
-      util::Bytes concat;
-      concat.reserve(64);
-      util::append(concat, level[i].span());
-      util::append(concat, level[i + 1].span());
-      next.push_back(crypto::sha256d(concat));
+      // Inner node = sha256d(left || right): exactly 64 bytes, hashed via the
+      // fixed-size fast path with no heap allocation.
+      std::memcpy(node, level[i].data.data(), 32);
+      std::memcpy(node + 32, level[i + 1].data.data(), 32);
+      level[i / 2] = crypto::sha256d_64(node);
     }
-    level = std::move(next);
+    level.resize(level.size() / 2);
   }
   return level[0];
 }

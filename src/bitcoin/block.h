@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "bitcoin/transaction.h"
+#include "parallel/thread_pool.h"
 #include "util/byteio.h"
 #include "util/bytes.h"
 
@@ -44,12 +45,18 @@ struct Block {
   Hash256 hash() const { return header.hash(); }
   std::size_t size() const { return serialize().size(); }
 
+  /// All txids in transaction order. When `pool` is non-null, uncached txids
+  /// are computed concurrently (txid is a pure function of the tx bytes, so
+  /// the result is identical to the serial path); each tx's cache is seeded
+  /// so later consumers hash nothing.
+  std::vector<Hash256> txids(parallel::ThreadPool* pool = parallel::shared_pool()) const;
+
   /// Recomputes the Merkle root from the transactions.
-  Hash256 compute_merkle_root() const;
+  Hash256 compute_merkle_root(parallel::ThreadPool* pool = parallel::shared_pool()) const;
 
   /// Structural validity: non-empty, first tx (and only first) is coinbase,
   /// all transactions well-formed, and the header's Merkle root matches.
-  bool is_well_formed() const;
+  bool is_well_formed(parallel::ThreadPool* pool = parallel::shared_pool()) const;
 };
 
 /// Merkle root over a list of txids, per Bitcoin's (duplicate-last) rule.

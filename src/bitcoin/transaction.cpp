@@ -1,10 +1,16 @@
 #include "bitcoin/transaction.h"
 
 #include <unordered_set>
+#include <utility>
 
 #include "crypto/sha256.h"
 
 namespace icbtc::bitcoin {
+
+namespace {
+std::atomic<std::uint64_t> g_txid_computations{0};
+std::atomic<bool> g_txid_cache_enabled{true};
+}  // namespace
 
 void OutPoint::serialize(util::ByteWriter& w) const {
   w.bytes(txid.span());
@@ -60,6 +66,7 @@ Bytes Transaction::serialize() const {
 }
 
 Transaction Transaction::deserialize(util::ByteReader& r) {
+  std::size_t start = r.position();
   Transaction tx;
   tx.version = r.i32le();
   std::size_t n_in = r.checked_len(r.varint());
@@ -69,6 +76,12 @@ Transaction Transaction::deserialize(util::ByteReader& r) {
   tx.outputs.reserve(n_out);
   for (std::size_t i = 0; i < n_out; ++i) tx.outputs.push_back(TxOut::deserialize(r));
   tx.lock_time = r.u32le();
+  if (g_txid_cache_enabled.load(std::memory_order_relaxed)) {
+    // Hash the exact wire bytes just consumed — the txid comes for free at
+    // parse time, with no reserialization.
+    g_txid_computations.fetch_add(1, std::memory_order_relaxed);
+    tx.seed_txid(crypto::sha256d(r.window(start)));
+  }
   return tx;
 }
 
@@ -79,7 +92,85 @@ Transaction Transaction::parse(ByteSpan data) {
   return tx;
 }
 
-Hash256 Transaction::txid() const { return crypto::sha256d(serialize()); }
+Transaction::Transaction(const Transaction& other)
+    : version(other.version),
+      inputs(other.inputs),
+      outputs(other.outputs),
+      lock_time(other.lock_time) {
+  adopt_cache(other);
+}
+
+Transaction::Transaction(Transaction&& other) noexcept
+    : version(other.version),
+      inputs(std::move(other.inputs)),
+      outputs(std::move(other.outputs)),
+      lock_time(other.lock_time) {
+  adopt_cache(other);
+  other.invalidate_txid();
+}
+
+Transaction& Transaction::operator=(const Transaction& other) {
+  if (this != &other) {
+    version = other.version;
+    inputs = other.inputs;
+    outputs = other.outputs;
+    lock_time = other.lock_time;
+    adopt_cache(other);
+  }
+  return *this;
+}
+
+Transaction& Transaction::operator=(Transaction&& other) noexcept {
+  if (this != &other) {
+    version = other.version;
+    inputs = std::move(other.inputs);
+    outputs = std::move(other.outputs);
+    lock_time = other.lock_time;
+    adopt_cache(other);
+    other.invalidate_txid();
+  }
+  return *this;
+}
+
+void Transaction::adopt_cache(const Transaction& other) {
+  if (other.txid_state_.load(std::memory_order_acquire) == kTxidReady) {
+    txid_cache_ = other.txid_cache_;
+    txid_state_.store(kTxidReady, std::memory_order_release);
+  } else {
+    txid_state_.store(kTxidEmpty, std::memory_order_relaxed);
+  }
+}
+
+void Transaction::seed_txid(const Hash256& h) const {
+  std::uint8_t expected = kTxidEmpty;
+  if (txid_state_.compare_exchange_strong(expected, kTxidFilling, std::memory_order_acq_rel)) {
+    txid_cache_ = h;
+    txid_state_.store(kTxidReady, std::memory_order_release);
+  }
+}
+
+Hash256 Transaction::txid() const {
+  if (g_txid_cache_enabled.load(std::memory_order_relaxed) &&
+      txid_state_.load(std::memory_order_acquire) == kTxidReady) {
+    return txid_cache_;
+  }
+  g_txid_computations.fetch_add(1, std::memory_order_relaxed);
+  Hash256 h = crypto::sha256d(serialize());
+  if (g_txid_cache_enabled.load(std::memory_order_relaxed)) seed_txid(h);
+  return h;
+}
+
+std::uint64_t Transaction::txid_computations() {
+  return g_txid_computations.load(std::memory_order_relaxed);
+}
+
+void Transaction::set_txid_cache_enabled(bool enabled) {
+  g_txid_cache_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool Transaction::txid_cache_enabled() {
+  return g_txid_cache_enabled.load(std::memory_order_relaxed);
+}
 
 bool Transaction::is_well_formed() const {
   if (inputs.empty() || outputs.empty()) return false;

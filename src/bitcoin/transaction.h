@@ -1,6 +1,7 @@
 // Bitcoin transaction structures and (de)serialization (legacy format).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -55,7 +56,21 @@ struct Transaction {
   std::vector<TxOut> outputs;
   std::uint32_t lock_time = 0;
 
-  bool operator==(const Transaction&) const = default;
+  Transaction() = default;
+  // The txid cache is per-value state, not identity: copies adopt the source's
+  // cached hash (same logical tx, same txid); a moved-from source is left
+  // invalidated because its field contents are gone.
+  Transaction(const Transaction& other);
+  Transaction(Transaction&& other) noexcept;
+  Transaction& operator=(const Transaction& other);
+  Transaction& operator=(Transaction&& other) noexcept;
+
+  /// Logical equality over the four serialized fields; the txid cache is
+  /// excluded (it is derived state).
+  bool operator==(const Transaction& other) const {
+    return version == other.version && inputs == other.inputs && outputs == other.outputs &&
+           lock_time == other.lock_time;
+  }
 
   /// True for a coinbase transaction (single input spending the null outpoint).
   bool is_coinbase() const {
@@ -69,7 +84,28 @@ struct Transaction {
   static Transaction parse(ByteSpan data);
 
   /// Transaction id: double-SHA256 of the serialization (internal byte order).
+  /// Memoized — the first call (or deserialize()) computes and caches the
+  /// hash; later calls return it for free. Contract: code that mutates the
+  /// public fields of a tx that may already have been hashed must call
+  /// invalidate_txid() afterwards (the hot paths — relay, ingestion, merkle
+  /// validation — treat transactions as immutable once parsed).
   Hash256 txid() const;
+
+  /// Drops the cached txid after a field mutation.
+  void invalidate_txid() { txid_state_.store(kTxidEmpty, std::memory_order_release); }
+
+  /// Whether a txid is currently cached (test/bench introspection).
+  bool txid_cached() const { return txid_state_.load(std::memory_order_acquire) == kTxidReady; }
+
+  /// Process-wide count of full txid computations (serialize + sha256d), for
+  /// tests asserting each tx is hashed exactly once on a hot path.
+  static std::uint64_t txid_computations();
+
+  /// Globally enables/disables the cache (default on). Benches disable it to
+  /// measure the pre-cache baseline; with the cache off every txid() call
+  /// recomputes and deserialize() skips the eager fill.
+  static void set_txid_cache_enabled(bool enabled);
+  static bool txid_cache_enabled();
 
   Amount total_output_value() const {
     Amount sum = 0;
@@ -84,6 +120,20 @@ struct Transaction {
   /// send_transaction endpoint performs: non-empty inputs/outputs, values in
   /// the money range, no duplicate inputs.
   bool is_well_formed() const;
+
+ private:
+  static constexpr std::uint8_t kTxidEmpty = 0;
+  static constexpr std::uint8_t kTxidFilling = 1;
+  static constexpr std::uint8_t kTxidReady = 2;
+
+  void adopt_cache(const Transaction& other);
+  void seed_txid(const Hash256& h) const;
+
+  // Lazy memoized txid. The state machine (empty → filling → ready) makes
+  // concurrent txid() calls on the same const tx safe: both compute the same
+  // pure value and the CAS loser simply discards its copy.
+  mutable std::atomic<std::uint8_t> txid_state_{kTxidEmpty};
+  mutable Hash256 txid_cache_{};
 };
 
 }  // namespace icbtc::bitcoin

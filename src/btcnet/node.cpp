@@ -235,7 +235,11 @@ void BitcoinNode::handle_block(NodeId from, const MsgBlock& msg) {
 }
 
 void BitcoinNode::handle_tx(NodeId from, const MsgTx& msg) {
-  requested_txs_.erase(msg.tx.txid());
+  // Single txid computation per received tx: this call seeds msg.tx's cache,
+  // so accept_tx — and the mempool/relay copies made downstream — reuse the
+  // hash instead of reserializing.
+  const Hash256 txid = msg.tx.txid();
+  requested_txs_.erase(txid);
   accept_tx(msg.tx, from);
 }
 

@@ -202,6 +202,7 @@ std::size_t BitcoinCanister::advance_anchor() {
       }
       stats.insert_instructions += inserts.sample();
     }
+    stable_utxos_.flush_size_gauges();  // size gauges are batched per block
     stats.instructions = segment.sample();
     ingest_log_.push_back(stats);
     if (metrics_.blocks_ingested != nullptr) {
@@ -254,16 +255,18 @@ std::pair<Hash256, int> BitcoinCanister::considered_tip(int min_confirmations) c
   return {tree_.root_hash(), tree_.root().height};
 }
 
-std::vector<Utxo> BitcoinCanister::collect_utxos(const util::Bytes& script,
-                                                 int considered_height,
-                                                 std::uint64_t stable_read_cost) {
-  // Stable part.
-  std::vector<Utxo> result;
-  std::unordered_set<bitcoin::OutPoint> spent;
+struct BitcoinCanister::UnstableView {
+  std::vector<Utxo> survivors;                  // script's unstable UTXOs, newest first
+  std::unordered_set<bitcoin::OutPoint> spent;  // every outpoint spent above the anchor
+};
+
+BitcoinCanister::UnstableView BitcoinCanister::unstable_view(const util::Bytes& script,
+                                                             int considered_height) {
+  UnstableView view;
   std::vector<Utxo> unstable_added;
 
-  // Unstable part: scan the current chain above the anchor up to the
-  // considered height, tracking outputs added for the script and all spends.
+  // Scan the current chain above the anchor up to the considered height,
+  // tracking outputs added for the script and all spends.
   std::vector<Hash256> chain = tree_.current_chain();
   for (std::size_t i = 1; i < chain.size(); ++i) {
     const auto* entry = tree_.find(chain[i]);
@@ -273,7 +276,7 @@ std::vector<Utxo> BitcoinCanister::collect_utxos(const util::Bytes& script,
     meter_.charge(config_.costs.unstable_block_scan);
     for (const auto& tx : block_it->second.transactions) {
       if (!tx.is_coinbase()) {
-        for (const auto& in : tx.inputs) spent.insert(in.prevout);
+        for (const auto& in : tx.inputs) view.spent.insert(in.prevout);
       }
       Hash256 txid = tx.txid();
       for (std::uint32_t v = 0; v < tx.outputs.size(); ++v) {
@@ -287,19 +290,46 @@ std::vector<Utxo> BitcoinCanister::collect_utxos(const util::Bytes& script,
 
   // Unstable outputs spent by later unstable transactions drop out.
   for (const auto& u : unstable_added) {
-    if (!spent.contains(u.outpoint)) result.push_back(u);
+    if (!view.spent.contains(u.outpoint)) view.survivors.push_back(u);
   }
   // Newest first: unstable entries carry the greatest heights.
-  std::sort(result.begin(), result.end(), [](const Utxo& a, const Utxo& b) {
+  std::sort(view.survivors.begin(), view.survivors.end(), [](const Utxo& a, const Utxo& b) {
     return a.height != b.height ? a.height > b.height : a.outpoint < b.outpoint;
   });
+  return view;
+}
 
+std::vector<Utxo> BitcoinCanister::collect_utxos(const util::Bytes& script,
+                                                 int considered_height,
+                                                 std::uint64_t stable_read_cost) {
+  UnstableView view = unstable_view(script, considered_height);
+  std::vector<Utxo> result = std::move(view.survivors);
   // Stable entries are already sorted by height descending.
   for (const auto& stored : stable_utxos_.utxos_for_script(script, meter_, stable_read_cost)) {
-    if (spent.contains(stored.outpoint)) continue;  // spent by an unstable tx
+    if (view.spent.contains(stored.outpoint)) continue;  // spent by an unstable tx
     result.push_back(Utxo{stored.outpoint, stored.value, stored.height});
   }
   return result;
+}
+
+std::size_t BitcoinCanister::collect_utxos_page(const util::Bytes& script, int considered_height,
+                                                std::size_t offset, std::size_t limit,
+                                                std::vector<Utxo>& out) {
+  UnstableView view = unstable_view(script, considered_height);
+  const std::size_t unstable_total = view.survivors.size();
+  for (std::size_t i = offset; i < unstable_total && out.size() < limit; ++i) {
+    out.push_back(view.survivors[i]);
+  }
+  // Single ordered walk of the stable list: the spent filter is applied
+  // before ranking, so page boundaries line up with the unpaged view, and
+  // only appended entries are metered.
+  std::size_t stable_offset = offset > unstable_total ? offset - unstable_total : 0;
+  std::vector<StoredUtxo> stable_page;
+  std::size_t stable_total = stable_utxos_.utxos_for_script_paged(
+      script, meter_, stable_offset, limit - out.size(), stable_page,
+      [&](const bitcoin::OutPoint& op) { return !view.spent.contains(op); });
+  for (const auto& s : stable_page) out.push_back(Utxo{s.outpoint, s.value, s.height});
+  return unstable_total + stable_total;
 }
 
 Outcome<GetUtxosResponse> BitcoinCanister::get_utxos(const GetUtxosRequest& request) {
@@ -328,16 +358,15 @@ Outcome<GetUtxosResponse> BitcoinCanister::get_utxos(const GetUtxosRequest& requ
     if (page_tip != tip_hash) return {Status::kBadPage, {}};
   }
 
-  std::vector<Utxo> all = collect_utxos(script.value, tip_height);
-  if (offset > all.size()) return {Status::kBadPage, {}};
-
   GetUtxosResponse response;
   response.tip_hash = tip_hash;
   response.tip_height = tip_height;
-  std::size_t end = std::min(all.size(), offset + config_.utxos_per_page);
-  response.utxos.assign(all.begin() + static_cast<std::ptrdiff_t>(offset),
-                        all.begin() + static_cast<std::ptrdiff_t>(end));
-  if (end < all.size()) {
+  std::size_t total =
+      collect_utxos_page(script.value, tip_height, offset, config_.utxos_per_page, response.utxos);
+  if (offset > total) return {Status::kBadPage, {}};
+
+  std::size_t end = offset + response.utxos.size();
+  if (end < total) {
     util::ByteWriter w;
     w.bytes(tip_hash.span());
     w.u64le(end);

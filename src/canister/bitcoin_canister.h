@@ -169,6 +169,9 @@ class BitcoinCanister {
   std::size_t pending_transactions() const { return pending_txs_.size(); }
   const chain::HeaderTree& header_tree() const { return tree_; }
   const UtxoIndex& stable_utxos() const { return stable_utxos_; }
+  /// Deterministic digest of the stable UTXO set (see UtxoIndex::digest);
+  /// the bench/CI compare scalar vs. parallel ingestion through this.
+  util::Hash256 utxo_digest() const { return stable_utxos_.digest(); }
   ic::InstructionMeter& meter() { return meter_; }
   const std::vector<IngestStats>& ingest_log() const { return ingest_log_; }
   /// Number of stable headers archived below the anchor (kept forever).
@@ -220,11 +223,24 @@ class BitcoinCanister {
   /// chain.
   std::pair<util::Hash256, int> considered_tip(int min_confirmations) const;
 
+  /// Scans the unstable chain up to the considered height for `script`:
+  /// surviving unstable outputs (sorted newest-first) plus the set of all
+  /// outpoints spent by unstable transactions.
+  UnstableView unstable_view(const util::Bytes& script, int considered_height);
+
   /// Collects the address view (stable + unstable up to the considered tip).
   /// `stable_read_cost` overrides the per-UTXO read cost (0 = default); the
   /// balance endpoint uses the cheaper accumulate-only cost.
   std::vector<Utxo> collect_utxos(const util::Bytes& script, int considered_height,
                                   std::uint64_t stable_read_cost = 0);
+
+  /// Paged variant used by get_utxos: appends the entries with rank
+  /// [offset, offset + limit) of the combined (unstable, then stable)
+  /// survivor list to `out`, metering stable reads only for what it appends.
+  /// Returns the total survivor count so the caller can validate the offset
+  /// and mint the next page token.
+  std::size_t collect_utxos_page(const util::Bytes& script, int considered_height,
+                                 std::size_t offset, std::size_t limit, std::vector<Utxo>& out);
 
   const bitcoin::ChainParams* params_;
   CanisterConfig config_;

@@ -1,6 +1,10 @@
 #include "canister/utxo_index.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "bitcoin/script.h"
+#include "crypto/sha256.h"
 
 namespace icbtc::canister {
 
@@ -43,10 +47,7 @@ void UtxoIndex::insert(const bitcoin::OutPoint& outpoint, const bitcoin::TxOut& 
   if (!inserted) return;  // duplicate outpoint (impossible post-BIP30); keep first
   by_script_[output.script_pubkey][Key{-height, outpoint}] = output.value;
   memory_bytes_ += entry_footprint(output);
-  if (metrics_.inserts != nullptr) {
-    metrics_.inserts->inc();
-    update_size_gauges();
-  }
+  if (metrics_.inserts != nullptr) metrics_.inserts->inc();
 }
 
 void UtxoIndex::remove(const bitcoin::OutPoint& outpoint, ic::InstructionMeter& meter) {
@@ -61,10 +62,7 @@ void UtxoIndex::remove(const bitcoin::OutPoint& outpoint, ic::InstructionMeter& 
   }
   memory_bytes_ -= entry_footprint(entry.output);
   by_outpoint_.erase(it);
-  if (metrics_.removes != nullptr) {
-    metrics_.removes->inc();
-    update_size_gauges();
-  }
+  if (metrics_.removes != nullptr) metrics_.removes->inc();
 }
 
 void UtxoIndex::apply_block(const bitcoin::Block& block, int height,
@@ -79,6 +77,7 @@ void UtxoIndex::apply_block(const bitcoin::Block& block, int height,
       insert(bitcoin::OutPoint{txid, i}, tx.outputs[i], height, meter);
     }
   }
+  flush_size_gauges();  // gauges are batched: one update per block, not per UTXO
 }
 
 std::vector<StoredUtxo> UtxoIndex::utxos_for_script(const util::Bytes& script_pubkey,
@@ -94,6 +93,14 @@ std::vector<StoredUtxo> UtxoIndex::utxos_for_script(const util::Bytes& script_pu
     out.push_back(StoredUtxo{key.outpoint, value, -key.neg_height});
   }
   return out;
+}
+
+std::size_t UtxoIndex::utxos_for_script(const util::Bytes& script_pubkey,
+                                        ic::InstructionMeter& meter, std::size_t offset,
+                                        std::size_t limit, std::vector<StoredUtxo>& out,
+                                        std::uint64_t per_read_cost) const {
+  return utxos_for_script_paged(script_pubkey, meter, offset, limit, out,
+                                [](const bitcoin::OutPoint&) { return true; }, per_read_cost);
 }
 
 bitcoin::Amount UtxoIndex::balance_of_script(const util::Bytes& script_pubkey,
@@ -118,6 +125,25 @@ const util::Bytes* UtxoIndex::script_of(const bitcoin::OutPoint& outpoint) const
   auto it = by_outpoint_.find(outpoint);
   if (it == by_outpoint_.end()) return nullptr;
   return &it->second.output.script_pubkey;
+}
+
+util::Hash256 UtxoIndex::digest() const {
+  std::vector<const std::pair<const bitcoin::OutPoint, Entry>*> entries;
+  entries.reserve(by_outpoint_.size());
+  for (const auto& kv : by_outpoint_) entries.push_back(&kv);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
+
+  util::ByteWriter w;
+  w.u64le(entries.size());
+  for (const auto* kv : entries) {
+    w.bytes(kv->first.txid.span());
+    w.u32le(kv->first.vout);
+    w.i64le(kv->second.output.value);
+    w.i32le(kv->second.height);
+    w.var_bytes(kv->second.output.script_pubkey);
+  }
+  return crypto::sha256d(w.data());
 }
 
 }  // namespace icbtc::canister

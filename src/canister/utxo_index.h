@@ -69,6 +69,37 @@ class UtxoIndex {
                                            ic::InstructionMeter& meter,
                                            std::uint64_t per_read_cost = 0) const;
 
+  /// Pagination-aware variant: walks the script's UTXO list (canonical order)
+  /// exactly once, appends the entries with rank [offset, offset + limit)
+  /// among those passing `keep(outpoint)` to `out`, and charges
+  /// `per_read_cost` only for appended entries — a page meters only what it
+  /// returns. Returns the total number of entries passing `keep`.
+  template <typename Keep>
+  std::size_t utxos_for_script_paged(const util::Bytes& script_pubkey,
+                                     ic::InstructionMeter& meter, std::size_t offset,
+                                     std::size_t limit, std::vector<StoredUtxo>& out, Keep&& keep,
+                                     std::uint64_t per_read_cost = 0) const {
+    if (per_read_cost == 0) per_read_cost = costs_.stable_utxo_read;
+    auto it = by_script_.find(script_pubkey);
+    if (it == by_script_.end()) return 0;
+    std::size_t kept = 0;
+    for (const auto& [key, value] : it->second) {
+      if (!keep(key.outpoint)) continue;
+      if (kept >= offset && kept - offset < limit) {
+        meter.charge(per_read_cost);
+        out.push_back(StoredUtxo{key.outpoint, value, -key.neg_height});
+      }
+      ++kept;
+    }
+    return kept;
+  }
+
+  /// Keep-all offset/limit overload.
+  std::size_t utxos_for_script(const util::Bytes& script_pubkey, ic::InstructionMeter& meter,
+                               std::size_t offset, std::size_t limit,
+                               std::vector<StoredUtxo>& out,
+                               std::uint64_t per_read_cost = 0) const;
+
   /// Sum of values paying `script_pubkey`.
   bitcoin::Amount balance_of_script(const util::Bytes& script_pubkey,
                                     ic::InstructionMeter& meter) const;
@@ -95,6 +126,17 @@ class UtxoIndex {
   /// Attaches a metrics registry (nullptr detaches): insert/remove rates and
   /// size/memory gauges under `utxo.*`.
   void set_metrics(obs::MetricsRegistry* registry);
+
+  /// Pushes the size/memory gauges to the registry. insert/remove no longer
+  /// update gauges per mutation; batch callers (apply_block, the canister's
+  /// ingestion loop) flush once per block instead.
+  void flush_size_gauges() { update_size_gauges(); }
+
+  /// Deterministic digest of the entire UTXO set: sha256 over the
+  /// outpoint-sorted serialization of every entry (outpoint, value, height,
+  /// script). Independent of insertion order and hash-map iteration order,
+  /// so scalar and parallel ingestion must produce identical digests.
+  util::Hash256 digest() const;
 
  private:
   void update_size_gauges();

@@ -1,6 +1,13 @@
 #include "crypto/sha256.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstring>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define ICBTC_SHA256_X86 1
+#include <immintrin.h>
+#endif
 
 namespace icbtc::crypto {
 
@@ -18,86 +25,391 @@ constexpr std::uint32_t kK[64] = {
     0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7,
     0xc67178f2};
 
+constexpr std::uint32_t kIv[8] = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+                                  0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+
 inline std::uint32_t rotr(std::uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+
+inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (std::uint32_t(p[0]) << 24) | (std::uint32_t(p[1]) << 16) | (std::uint32_t(p[2]) << 8) |
+         std::uint32_t(p[3]);
+}
+
+inline void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+using TransformFn = void (*)(std::uint32_t* state, const std::uint8_t* data, std::size_t nblocks);
+
+// ---------------------------------------------------------------------------
+// Portable transform — straight FIPS 180-4 loop.
+// ---------------------------------------------------------------------------
+
+void transform_portable(std::uint32_t* state, const std::uint8_t* data, std::size_t nblocks) {
+  while (nblocks-- > 0) {
+    std::uint32_t w[64];
+    for (int i = 0; i < 16; ++i) w[i] = load_be32(data + 4 * i);
+    for (int i = 16; i < 64; ++i) {
+      std::uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+      std::uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+      w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+    }
+
+    std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+
+    for (int i = 0; i < 64; ++i) {
+      std::uint32_t S1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+      std::uint32_t ch = (e & f) ^ (~e & g);
+      std::uint32_t temp1 = h + S1 + ch + kK[i] + w[i];
+      std::uint32_t S0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+      std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+      std::uint32_t temp2 = S0 + maj;
+      h = g;
+      g = f;
+      f = e;
+      e = d + temp1;
+      d = c;
+      c = b;
+      b = a;
+      a = temp1 + temp2;
+    }
+
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+    data += 64;
+  }
+}
+
+#if defined(ICBTC_SHA256_X86) && defined(__GNUC__)
+
+// ---------------------------------------------------------------------------
+// SSE4-tuned transform — fully unrolled rounds with a 16-word message ring,
+// so the compiler keeps the working set in registers and schedules across
+// rounds (the 8-way variable shuffle of the portable loop disappears).
+// ---------------------------------------------------------------------------
+
+#define ICBTC_SHA_RND(a, b, c, d, e, f, g, h, ki, wi)                         \
+  do {                                                                        \
+    std::uint32_t t1 = (h) + (rotr((e), 6) ^ rotr((e), 11) ^ rotr((e), 25)) + \
+                       (((e) & (f)) ^ (~(e) & (g))) + (ki) + (wi);            \
+    std::uint32_t t2 = (rotr((a), 2) ^ rotr((a), 13) ^ rotr((a), 22)) +       \
+                       (((a) & (b)) ^ ((a) & (c)) ^ ((b) & (c)));             \
+    (d) += t1;                                                                \
+    (h) = t1 + t2;                                                            \
+  } while (0)
+
+#define ICBTC_SHA_W(i)                                                                  \
+  (w[(i) & 15] += (rotr(w[((i) - 2) & 15], 17) ^ rotr(w[((i) - 2) & 15], 19) ^          \
+                   (w[((i) - 2) & 15] >> 10)) +                                         \
+                  w[((i) - 7) & 15] +                                                   \
+                  (rotr(w[((i) - 15) & 15], 7) ^ rotr(w[((i) - 15) & 15], 18) ^         \
+                   (w[((i) - 15) & 15] >> 3)))
+
+__attribute__((target("sse4.1"))) void transform_sse4(std::uint32_t* state,
+                                                      const std::uint8_t* data,
+                                                      std::size_t nblocks) {
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+  std::uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+  while (nblocks-- > 0) {
+    std::uint32_t w[16];
+    for (int i = 0; i < 16; ++i) w[i] = load_be32(data + 4 * i);
+
+    ICBTC_SHA_RND(a, b, c, d, e, f, g, h, kK[0], w[0]);
+    ICBTC_SHA_RND(h, a, b, c, d, e, f, g, kK[1], w[1]);
+    ICBTC_SHA_RND(g, h, a, b, c, d, e, f, kK[2], w[2]);
+    ICBTC_SHA_RND(f, g, h, a, b, c, d, e, kK[3], w[3]);
+    ICBTC_SHA_RND(e, f, g, h, a, b, c, d, kK[4], w[4]);
+    ICBTC_SHA_RND(d, e, f, g, h, a, b, c, kK[5], w[5]);
+    ICBTC_SHA_RND(c, d, e, f, g, h, a, b, kK[6], w[6]);
+    ICBTC_SHA_RND(b, c, d, e, f, g, h, a, kK[7], w[7]);
+    ICBTC_SHA_RND(a, b, c, d, e, f, g, h, kK[8], w[8]);
+    ICBTC_SHA_RND(h, a, b, c, d, e, f, g, kK[9], w[9]);
+    ICBTC_SHA_RND(g, h, a, b, c, d, e, f, kK[10], w[10]);
+    ICBTC_SHA_RND(f, g, h, a, b, c, d, e, kK[11], w[11]);
+    ICBTC_SHA_RND(e, f, g, h, a, b, c, d, kK[12], w[12]);
+    ICBTC_SHA_RND(d, e, f, g, h, a, b, c, kK[13], w[13]);
+    ICBTC_SHA_RND(c, d, e, f, g, h, a, b, kK[14], w[14]);
+    ICBTC_SHA_RND(b, c, d, e, f, g, h, a, kK[15], w[15]);
+
+    for (int i = 16; i < 64; i += 16) {
+      ICBTC_SHA_RND(a, b, c, d, e, f, g, h, kK[i + 0], ICBTC_SHA_W(i + 0));
+      ICBTC_SHA_RND(h, a, b, c, d, e, f, g, kK[i + 1], ICBTC_SHA_W(i + 1));
+      ICBTC_SHA_RND(g, h, a, b, c, d, e, f, kK[i + 2], ICBTC_SHA_W(i + 2));
+      ICBTC_SHA_RND(f, g, h, a, b, c, d, e, kK[i + 3], ICBTC_SHA_W(i + 3));
+      ICBTC_SHA_RND(e, f, g, h, a, b, c, d, kK[i + 4], ICBTC_SHA_W(i + 4));
+      ICBTC_SHA_RND(d, e, f, g, h, a, b, c, kK[i + 5], ICBTC_SHA_W(i + 5));
+      ICBTC_SHA_RND(c, d, e, f, g, h, a, b, kK[i + 6], ICBTC_SHA_W(i + 6));
+      ICBTC_SHA_RND(b, c, d, e, f, g, h, a, kK[i + 7], ICBTC_SHA_W(i + 7));
+      ICBTC_SHA_RND(a, b, c, d, e, f, g, h, kK[i + 8], ICBTC_SHA_W(i + 8));
+      ICBTC_SHA_RND(h, a, b, c, d, e, f, g, kK[i + 9], ICBTC_SHA_W(i + 9));
+      ICBTC_SHA_RND(g, h, a, b, c, d, e, f, kK[i + 10], ICBTC_SHA_W(i + 10));
+      ICBTC_SHA_RND(f, g, h, a, b, c, d, e, kK[i + 11], ICBTC_SHA_W(i + 11));
+      ICBTC_SHA_RND(e, f, g, h, a, b, c, d, kK[i + 12], ICBTC_SHA_W(i + 12));
+      ICBTC_SHA_RND(d, e, f, g, h, a, b, c, kK[i + 13], ICBTC_SHA_W(i + 13));
+      ICBTC_SHA_RND(c, d, e, f, g, h, a, b, kK[i + 14], ICBTC_SHA_W(i + 14));
+      ICBTC_SHA_RND(b, c, d, e, f, g, h, a, kK[i + 15], ICBTC_SHA_W(i + 15));
+    }
+
+    a = (state[0] += a);
+    b = (state[1] += b);
+    c = (state[2] += c);
+    d = (state[3] += d);
+    e = (state[4] += e);
+    f = (state[5] += f);
+    g = (state[6] += g);
+    h = (state[7] += h);
+    data += 64;
+  }
+}
+
+#undef ICBTC_SHA_RND
+#undef ICBTC_SHA_W
+
+// ---------------------------------------------------------------------------
+// SHA-NI transform — x86 SHA extensions; the canonical two-lane layout with
+// sha256rnds2/sha256msg1/sha256msg2. Round constants come from the same kK
+// table (a loadu of four consecutive words matches the lane order).
+// ---------------------------------------------------------------------------
+
+#define ICBTC_SHANI_QROUND(ki, mcur, mprev, mnext)                                         \
+  do {                                                                                     \
+    MSG = _mm_add_epi32(mcur, _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[ki]))); \
+    STATE1 = _mm_sha256rnds2_epu32(STATE1, STATE0, MSG);                                   \
+    TMP = _mm_alignr_epi8(mcur, mprev, 4);                                                 \
+    mnext = _mm_add_epi32(mnext, TMP);                                                     \
+    mnext = _mm_sha256msg2_epu32(mnext, mcur);                                             \
+    MSG = _mm_shuffle_epi32(MSG, 0x0E);                                                    \
+    STATE0 = _mm_sha256rnds2_epu32(STATE0, STATE1, MSG);                                   \
+    mprev = _mm_sha256msg1_epu32(mprev, mcur);                                             \
+  } while (0)
+
+__attribute__((target("sha,sse4.1"))) void transform_shani(std::uint32_t* state,
+                                                           const std::uint8_t* data,
+                                                           std::size_t nblocks) {
+  const __m128i kShuffle =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);  // big-endian word loads
+
+  __m128i TMP = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  __m128i STATE1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+
+  TMP = _mm_shuffle_epi32(TMP, 0xB1);                // CDAB
+  STATE1 = _mm_shuffle_epi32(STATE1, 0x1B);          // EFGH
+  __m128i STATE0 = _mm_alignr_epi8(TMP, STATE1, 8);  // ABEF
+  STATE1 = _mm_blend_epi16(STATE1, TMP, 0xF0);       // CDGH
+
+  __m128i MSG, MSG0, MSG1, MSG2, MSG3;
+  while (nblocks-- > 0) {
+    const __m128i ABEF_SAVE = STATE0;
+    const __m128i CDGH_SAVE = STATE1;
+
+    // Rounds 0-3
+    MSG0 =
+        _mm_shuffle_epi8(_mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 0)), kShuffle);
+    MSG = _mm_add_epi32(MSG0, _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[0])));
+    STATE1 = _mm_sha256rnds2_epu32(STATE1, STATE0, MSG);
+    MSG = _mm_shuffle_epi32(MSG, 0x0E);
+    STATE0 = _mm_sha256rnds2_epu32(STATE0, STATE1, MSG);
+
+    // Rounds 4-7
+    MSG1 =
+        _mm_shuffle_epi8(_mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16)), kShuffle);
+    MSG = _mm_add_epi32(MSG1, _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[4])));
+    STATE1 = _mm_sha256rnds2_epu32(STATE1, STATE0, MSG);
+    MSG = _mm_shuffle_epi32(MSG, 0x0E);
+    STATE0 = _mm_sha256rnds2_epu32(STATE0, STATE1, MSG);
+    MSG0 = _mm_sha256msg1_epu32(MSG0, MSG1);
+
+    // Rounds 8-11
+    MSG2 =
+        _mm_shuffle_epi8(_mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32)), kShuffle);
+    MSG = _mm_add_epi32(MSG2, _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[8])));
+    STATE1 = _mm_sha256rnds2_epu32(STATE1, STATE0, MSG);
+    MSG = _mm_shuffle_epi32(MSG, 0x0E);
+    STATE0 = _mm_sha256rnds2_epu32(STATE0, STATE1, MSG);
+    MSG1 = _mm_sha256msg1_epu32(MSG1, MSG2);
+
+    // Rounds 12-15
+    MSG3 =
+        _mm_shuffle_epi8(_mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48)), kShuffle);
+    ICBTC_SHANI_QROUND(12, MSG3, MSG2, MSG0);
+    // Rounds 16-51
+    ICBTC_SHANI_QROUND(16, MSG0, MSG3, MSG1);
+    ICBTC_SHANI_QROUND(20, MSG1, MSG0, MSG2);
+    ICBTC_SHANI_QROUND(24, MSG2, MSG1, MSG3);
+    ICBTC_SHANI_QROUND(28, MSG3, MSG2, MSG0);
+    ICBTC_SHANI_QROUND(32, MSG0, MSG3, MSG1);
+    ICBTC_SHANI_QROUND(36, MSG1, MSG0, MSG2);
+    ICBTC_SHANI_QROUND(40, MSG2, MSG1, MSG3);
+    ICBTC_SHANI_QROUND(44, MSG3, MSG2, MSG0);
+    ICBTC_SHANI_QROUND(48, MSG0, MSG3, MSG1);
+    // Rounds 52-59 (the remaining schedule words are already final)
+    ICBTC_SHANI_QROUND(52, MSG1, MSG0, MSG2);
+    ICBTC_SHANI_QROUND(56, MSG2, MSG1, MSG3);
+
+    // Rounds 60-63
+    MSG = _mm_add_epi32(MSG3, _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[60])));
+    STATE1 = _mm_sha256rnds2_epu32(STATE1, STATE0, MSG);
+    MSG = _mm_shuffle_epi32(MSG, 0x0E);
+    STATE0 = _mm_sha256rnds2_epu32(STATE0, STATE1, MSG);
+
+    STATE0 = _mm_add_epi32(STATE0, ABEF_SAVE);
+    STATE1 = _mm_add_epi32(STATE1, CDGH_SAVE);
+    data += 64;
+  }
+
+  TMP = _mm_shuffle_epi32(STATE0, 0x1B);        // FEBA
+  STATE1 = _mm_shuffle_epi32(STATE1, 0xB1);     // DCHG
+  STATE0 = _mm_blend_epi16(TMP, STATE1, 0xF0);  // DCBA
+  STATE1 = _mm_alignr_epi8(STATE1, TMP, 8);     // HGFE
+
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), STATE0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), STATE1);
+}
+
+#undef ICBTC_SHANI_QROUND
+
+bool cpu_supports(Sha256Impl impl) {
+  switch (impl) {
+    case Sha256Impl::kPortable:
+      return true;
+    case Sha256Impl::kSse4:
+      return __builtin_cpu_supports("sse4.1");
+    case Sha256Impl::kShaNi:
+      return __builtin_cpu_supports("sha") && __builtin_cpu_supports("sse4.1");
+  }
+  return false;
+}
+
+TransformFn transform_for(Sha256Impl impl) {
+  switch (impl) {
+    case Sha256Impl::kShaNi:
+      return &transform_shani;
+    case Sha256Impl::kSse4:
+      return &transform_sse4;
+    case Sha256Impl::kPortable:
+      break;
+  }
+  return &transform_portable;
+}
+
+#else  // !x86 or non-GNU compiler: portable only.
+
+bool cpu_supports(Sha256Impl impl) { return impl == Sha256Impl::kPortable; }
+TransformFn transform_for(Sha256Impl) { return &transform_portable; }
+
+#endif
+
+Sha256Impl detect_best_impl() {
+  if (cpu_supports(Sha256Impl::kShaNi)) return Sha256Impl::kShaNi;
+  if (cpu_supports(Sha256Impl::kSse4)) return Sha256Impl::kSse4;
+  return Sha256Impl::kPortable;
+}
+
+// The active transform. Relaxed atomics suffice: every candidate function is
+// bit-identical, so a racy read during set_sha256_impl still hashes correctly.
+std::atomic<TransformFn> g_transform{nullptr};
+std::atomic<int> g_active_impl{-1};
+
+TransformFn active_transform() {
+  TransformFn fn = g_transform.load(std::memory_order_relaxed);
+  if (fn == nullptr) {
+    Sha256Impl best = detect_best_impl();
+    g_active_impl.store(static_cast<int>(best), std::memory_order_relaxed);
+    fn = transform_for(best);
+    g_transform.store(fn, std::memory_order_relaxed);
+  }
+  return fn;
+}
+
+/// Second SHA-256 pass over a 32-byte first-pass digest: one compression of
+/// the padded single block, straight from the state words (no stream state).
+Hash256 double_finish(const std::uint32_t first[8]) {
+  std::uint8_t block[64];
+  for (int i = 0; i < 8; ++i) store_be32(block + 4 * i, first[i]);
+  block[32] = 0x80;
+  std::memset(block + 33, 0, 29);
+  block[62] = 0x01;  // message length: 256 bits
+  block[63] = 0x00;
+
+  std::uint32_t s[8];
+  std::memcpy(s, kIv, sizeof(s));
+  active_transform()(s, block, 1);
+
+  Hash256 out;
+  for (int i = 0; i < 8; ++i) store_be32(out.data.data() + 4 * i, s[i]);
+  return out;
+}
 
 }  // namespace
 
+Sha256Impl sha256_best_impl() { return detect_best_impl(); }
+
+Sha256Impl sha256_active_impl() {
+  active_transform();  // force detection
+  return static_cast<Sha256Impl>(g_active_impl.load(std::memory_order_relaxed));
+}
+
+bool set_sha256_impl(Sha256Impl impl) {
+  if (!cpu_supports(impl)) return false;
+  g_active_impl.store(static_cast<int>(impl), std::memory_order_relaxed);
+  g_transform.store(transform_for(impl), std::memory_order_relaxed);
+  return true;
+}
+
+const char* to_string(Sha256Impl impl) {
+  switch (impl) {
+    case Sha256Impl::kPortable:
+      return "portable";
+    case Sha256Impl::kSse4:
+      return "sse4";
+    case Sha256Impl::kShaNi:
+      return "sha-ni";
+  }
+  return "unknown";
+}
+
 void Sha256::reset() {
-  state_[0] = 0x6a09e667;
-  state_[1] = 0xbb67ae85;
-  state_[2] = 0x3c6ef372;
-  state_[3] = 0xa54ff53a;
-  state_[4] = 0x510e527f;
-  state_[5] = 0x9b05688c;
-  state_[6] = 0x1f83d9ab;
-  state_[7] = 0x5be0cd19;
+  std::memcpy(state_, kIv, sizeof(state_));
   total_len_ = 0;
   buffer_len_ = 0;
 }
 
-void Sha256::compress(const std::uint8_t* block) {
-  std::uint32_t w[64];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (std::uint32_t(block[4 * i]) << 24) | (std::uint32_t(block[4 * i + 1]) << 16) |
-           (std::uint32_t(block[4 * i + 2]) << 8) | std::uint32_t(block[4 * i + 3]);
-  }
-  for (int i = 16; i < 64; ++i) {
-    std::uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
-    std::uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
-    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
-  }
-
-  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
-  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
-
-  for (int i = 0; i < 64; ++i) {
-    std::uint32_t S1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
-    std::uint32_t ch = (e & f) ^ (~e & g);
-    std::uint32_t temp1 = h + S1 + ch + kK[i] + w[i];
-    std::uint32_t S0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
-    std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
-    std::uint32_t temp2 = S0 + maj;
-    h = g;
-    g = f;
-    f = e;
-    e = d + temp1;
-    d = c;
-    c = b;
-    b = a;
-    a = temp1 + temp2;
-  }
-
-  state_[0] += a;
-  state_[1] += b;
-  state_[2] += c;
-  state_[3] += d;
-  state_[4] += e;
-  state_[5] += f;
-  state_[6] += g;
-  state_[7] += h;
-}
-
 Sha256& Sha256::update(ByteSpan data) {
+  TransformFn transform = active_transform();
   total_len_ += data.size();
-  std::size_t off = 0;
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+
   if (buffer_len_ > 0) {
-    std::size_t need = 64 - buffer_len_;
-    std::size_t take = std::min(need, data.size());
-    std::memcpy(buffer_ + buffer_len_, data.data(), take);
+    std::size_t take = std::min(n, 64 - buffer_len_);
+    std::memcpy(buffer_ + buffer_len_, p, take);
     buffer_len_ += take;
-    off += take;
+    p += take;
+    n -= take;
     if (buffer_len_ == 64) {
-      compress(buffer_);
+      transform(state_, buffer_, 1);
       buffer_len_ = 0;
     }
   }
-  while (off + 64 <= data.size()) {
-    compress(data.data() + off);
-    off += 64;
+  if (n >= 64) {
+    std::size_t blocks = n / 64;
+    transform(state_, p, blocks);
+    p += blocks * 64;
+    n -= blocks * 64;
   }
-  if (off < data.size()) {
-    std::memcpy(buffer_, data.data() + off, data.size() - off);
-    buffer_len_ = data.size() - off;
+  if (n > 0) {
+    std::memcpy(buffer_, p, n);
+    buffer_len_ = n;
   }
   return *this;
 }
@@ -112,18 +424,55 @@ Hash256 Sha256::finalize() {
   update(ByteSpan(pad, pad_len + 8));
 
   Hash256 out;
-  for (int i = 0; i < 8; ++i) {
-    out.data[4 * i] = static_cast<std::uint8_t>(state_[i] >> 24);
-    out.data[4 * i + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
-    out.data[4 * i + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
-    out.data[4 * i + 3] = static_cast<std::uint8_t>(state_[i]);
-  }
+  for (int i = 0; i < 8; ++i) store_be32(out.data.data() + 4 * i, state_[i]);
   return out;
 }
 
 Hash256 sha256d(ByteSpan data) {
-  Hash256 first = Sha256::hash(data);
-  return Sha256::hash(first.span());
+  // First pass streams over `data` in place; the second pass compresses the
+  // resulting state words directly — no Hash256 round-trip through
+  // update()/finalize() and no intermediate buffer copies.
+  TransformFn transform = active_transform();
+  std::uint32_t s[8];
+  std::memcpy(s, kIv, sizeof(s));
+
+  const std::uint8_t* p = data.data();
+  std::size_t n = data.size();
+  std::size_t blocks = n / 64;
+  if (blocks > 0) {
+    transform(s, p, blocks);
+    p += blocks * 64;
+    n -= blocks * 64;
+  }
+
+  // Pad the tail (fewer than 64 bytes remain) into at most two blocks.
+  std::uint8_t tail[128];
+  if (n > 0) std::memcpy(tail, p, n);
+  tail[n] = 0x80;
+  std::size_t tail_blocks = (n < 56) ? 1 : 2;
+  std::memset(tail + n + 1, 0, tail_blocks * 64 - n - 1 - 8);
+  std::uint64_t bit_len = static_cast<std::uint64_t>(data.size()) * 8;
+  for (int i = 0; i < 8; ++i)
+    tail[tail_blocks * 64 - 8 + i] = static_cast<std::uint8_t>(bit_len >> (56 - 8 * i));
+  transform(s, tail, tail_blocks);
+
+  return double_finish(s);
+}
+
+Hash256 sha256d_64(const std::uint8_t* data64) {
+  TransformFn transform = active_transform();
+  std::uint32_t s[8];
+  std::memcpy(s, kIv, sizeof(s));
+  transform(s, data64, 1);
+
+  // Padding block for a 64-byte message: 0x80, zeros, 512-bit length.
+  static constexpr std::uint8_t kPad512[64] = {
+      0x80, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+      0,    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+      0,    0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0x02, 0x00};
+  transform(s, kPad512, 1);
+
+  return double_finish(s);
 }
 
 Hash256 hmac_sha256(ByteSpan key, ByteSpan data) {

@@ -1,4 +1,12 @@
 // SHA-256, double-SHA-256 (Bitcoin's block/tx hash), and HMAC-SHA256.
+//
+// The compression function is runtime-dispatched: a portable FIPS 180-4
+// loop, an SSE4-tuned fully unrolled scalar variant, and a SHA-NI
+// (x86 SHA extensions) variant are selected by CPU detection at first use.
+// All variants are bit-identical; `set_sha256_impl` lets tests and benches
+// pin a specific one. Double-SHA256 avoids intermediate buffer copies, and
+// the 64-byte-input path (`sha256d_64`) used for Merkle inner nodes skips
+// the streaming state machine entirely.
 #pragma once
 
 #include <cstdint>
@@ -10,6 +18,20 @@ namespace icbtc::crypto {
 using util::ByteSpan;
 using util::Bytes;
 using util::Hash256;
+
+/// Available compression-function implementations, in increasing preference
+/// order. kSse4 and kShaNi are only usable when the CPU supports them.
+enum class Sha256Impl : int { kPortable = 0, kSse4 = 1, kShaNi = 2 };
+
+/// The fastest implementation this CPU supports.
+Sha256Impl sha256_best_impl();
+/// The implementation currently used by every SHA-256 entry point.
+Sha256Impl sha256_active_impl();
+/// Pins the active implementation; returns false (and leaves the active one
+/// unchanged) when the CPU does not support `impl`. Not safe to call
+/// concurrently with in-flight hashing.
+bool set_sha256_impl(Sha256Impl impl);
+const char* to_string(Sha256Impl impl);
 
 /// Incremental SHA-256 (FIPS 180-4).
 class Sha256 {
@@ -25,16 +47,21 @@ class Sha256 {
   static Hash256 hash(ByteSpan data) { return Sha256().update(data).finalize(); }
 
  private:
-  void compress(const std::uint8_t* block);
-
   std::uint32_t state_[8];
   std::uint8_t buffer_[64];
   std::uint64_t total_len_ = 0;
   std::size_t buffer_len_ = 0;
 };
 
-/// SHA-256 applied twice — Bitcoin's hash function H.
+/// SHA-256 applied twice — Bitcoin's hash function H. The second pass is a
+/// single specialized compression of the 32-byte first digest (no stream
+/// state, no intermediate copies).
 Hash256 sha256d(ByteSpan data);
+
+/// sha256d of exactly 64 bytes of input — the Merkle inner-node shape
+/// (left hash || right hash). Two fixed compressions for the first pass and
+/// one for the second, with no buffering or length bookkeeping.
+Hash256 sha256d_64(const std::uint8_t* data64);
 
 /// HMAC-SHA256 (RFC 2104); used by the RFC 6979 deterministic nonce derivation.
 Hash256 hmac_sha256(ByteSpan key, ByteSpan data);

@@ -1,0 +1,97 @@
+#include "parallel/thread_pool.h"
+
+#include <atomic>
+
+namespace icbtc::parallel {
+
+// One fan-out of run(): a shared work counter claimed lock-free by whichever
+// threads show up. Heap-allocated per run and held via shared_ptr so a worker
+// that wakes up late can still probe a completed job safely (its claim just
+// fails) instead of racing a reused slot.
+struct ThreadPool::Job {
+  std::size_t n = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = 1;
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  job_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::work_on(Job& job) {
+  for (;;) {
+    std::size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.n) break;
+    // job.fn is guaranteed alive here: run() cannot return until this claimed
+    // item's done-increment lands.
+    (*job.fn)(i);
+    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n) {
+      std::lock_guard<std::mutex> lock(job.mu);
+      job.cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_ready_.wait(lock, [&] { return stop_ || (generation_ != seen && current_ != nullptr); });
+      if (stop_) return;
+      seen = generation_;
+      job = current_;
+    }
+    work_on(*job);
+  }
+}
+
+void ThreadPool::run(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  auto job = std::make_shared<Job>();
+  job->n = n;
+  job->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    current_ = job;
+    ++generation_;
+  }
+  job_ready_.notify_all();
+
+  work_on(*job);
+
+  {
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->cv.wait(lock, [&] { return job->done.load(std::memory_order_acquire) >= job->n; });
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  current_.reset();
+}
+
+namespace {
+std::unique_ptr<ThreadPool> g_shared_pool;  // NOLINT: intentional process-wide singleton
+}
+
+ThreadPool* shared_pool() { return g_shared_pool.get(); }
+
+void set_shared_pool(std::size_t threads) {
+  g_shared_pool.reset();
+  if (threads > 0) g_shared_pool = std::make_unique<ThreadPool>(threads);
+}
+
+}  // namespace icbtc::parallel

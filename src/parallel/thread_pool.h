@@ -1,0 +1,92 @@
+// Fixed-size worker pool with a deterministic parallel_map primitive.
+//
+// The pool is built for the block-ingestion hot path: a block's txids and
+// merkle leaf hashes are pure functions of the transaction bytes, so they can
+// be computed on any thread in any order as long as each result lands at the
+// index of its input. parallel_map guarantees exactly that — out[i] is
+// fn(items[i]) regardless of thread count or scheduling — which keeps seeded
+// simulation runs byte-identical whether a pool is used or not.
+//
+// Parallelism is opt-in: `shared_pool()` returns nullptr until
+// `set_shared_pool(threads)` installs one, and every consumer treats a null
+// pool as "run serially on the caller's thread".
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace icbtc::parallel {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (at least 1). The caller's thread also
+  /// participates in run(), so total concurrency is threads + 1.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return workers_.size(); }
+
+  /// Invokes fn(i) for every i in [0, n), spread across the workers and the
+  /// calling thread, and returns when all n calls have finished. fn must be
+  /// safe to call concurrently for distinct i. Reentrant run() calls from
+  /// inside fn are not supported.
+  void run(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+ private:
+  struct Job;
+
+  void worker_loop();
+  static void work_on(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable job_ready_;
+  std::shared_ptr<Job> current_;
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+};
+
+/// The process-wide pool used by hashing helpers when none is passed
+/// explicitly. Null (serial execution) until set_shared_pool() is called.
+ThreadPool* shared_pool();
+
+/// Installs a process-wide pool with `threads` workers (replacing any previous
+/// one), or tears it down when threads == 0. Not thread-safe against
+/// concurrent shared_pool() users; call during setup.
+void set_shared_pool(std::size_t threads);
+
+/// Deterministic parallel map: out[i] = fn(items[i]) for every i, computed on
+/// `pool` when non-null (plus the calling thread) or serially otherwise.
+/// fn must be a pure function of its argument for determinism to hold.
+template <typename T, typename R, typename Fn>
+void parallel_map(ThreadPool* pool, const std::vector<T>& items, std::vector<R>& out, Fn&& fn) {
+  out.resize(items.size());
+  if (pool == nullptr || items.size() <= 1) {
+    for (std::size_t i = 0; i < items.size(); ++i) out[i] = fn(items[i]);
+    return;
+  }
+  const std::function<void(std::size_t)> task = [&](std::size_t i) { out[i] = fn(items[i]); };
+  pool->run(items.size(), task);
+}
+
+/// Index-based variant for callers whose inputs are not a plain vector.
+template <typename Fn>
+void parallel_for(ThreadPool* pool, std::size_t n, Fn&& fn) {
+  if (pool == nullptr || n <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const std::function<void(std::size_t)> task = [&](std::size_t i) { fn(i); };
+  pool->run(n, task);
+}
+
+}  // namespace icbtc::parallel

@@ -91,6 +91,13 @@ class ByteReader {
   bool done() const { return remaining() == 0; }
   std::size_t position() const { return pos_; }
 
+  /// The already-consumed slice [start, position()). Lets a decoder hash the
+  /// exact wire bytes of a value it just parsed without reserializing.
+  ByteSpan window(std::size_t start) const {
+    if (start > pos_) throw DecodeError("window start past read position");
+    return data_.subspan(start, pos_ - start);
+  }
+
   /// Ensures a CompactSize-decoded length fits the remaining buffer before it
   /// is used for an allocation.
   std::size_t checked_len(std::uint64_t n) {

@@ -554,6 +554,9 @@ TEST_F(CompactFetchTest, ForgedCompactBlockFallsBackToFullFetch) {
   // must fall back to fetching the full block.
   bitcoin::Block forged = *tip;
   forged.transactions[0].inputs[0].script_sig.push_back(0xff);
+  // The attacker serves freshly forged bytes, so the tampered coinbase must
+  // not retain the honest tx's cached txid.
+  forged.transactions[0].invalidate_txid();
 
   class Silent : public btcnet::Endpoint {
    public:

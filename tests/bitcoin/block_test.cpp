@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "bitcoin/params.h"
 #include "crypto/sha256.h"
 
@@ -80,6 +82,45 @@ TEST(MerkleTest, OddLeafCountDuplicatesLast) {
   };
   auto expected = pair_hash(pair_hash(a, b), pair_hash(c, c));
   EXPECT_EQ(merkle_root({a, b, c}), expected);
+}
+
+TEST(MerkleTest, MainnetBlock100000KnownAnswer) {
+  // Bitcoin mainnet block 100000 (000000000003ba27aa200b1cecaad478d2b00432346c3f1f3986da1afd33e506)
+  // has four transactions; its merkle root is a real-world known answer that
+  // also exercises the duplicate-last rule at the second level (4 → 2 → 1).
+  auto txid = [](const char* display_hex) {
+    // Explorers display txids byte-reversed; internal order flips them back.
+    util::Hash256 h = util::Hash256::from_span(util::from_hex(display_hex));
+    std::reverse(h.data.begin(), h.data.end());
+    return h;
+  };
+  std::vector<util::Hash256> txids = {
+      txid("8c14f0db3df150123e6f3dbbf30f8b955a8249b62ac1d1ff16284aefa3d06d87"),
+      txid("fff2525b8931402dd09222c50775608f75787bd2b87e56995a7bdd30f79702c4"),
+      txid("6359f0868171b1d194cbee1af2f16ea598ae8fad666d9b012c8ed2b79a236ec4"),
+      txid("e9a66845e05d5abc0ad04ec80f774a7e585c6e8db975962d069a522137b80c1d"),
+  };
+  EXPECT_EQ(merkle_root(txids).rpc_hex(),
+            "f3e94742aca4b5ef85488dc37c06c3282295ffec960994b2c0d5ac2a25a95766");
+}
+
+TEST(MerkleTest, OddTransactionCountBlockRoundTrip) {
+  // A block with an odd (>1) transaction count: compute_merkle_root must
+  // agree leaf-by-leaf with the reference pairing, and the block must verify.
+  Block b = genesis_block(ChainParams::regtest());
+  Transaction t1, t2;
+  t1.inputs.push_back(TxIn{OutPoint{b.transactions[0].txid(), 0}, {0x51}, 0xffffffff});
+  t1.outputs.push_back(TxOut{1000, {0x51}});
+  t2.inputs.push_back(TxIn{OutPoint{t1.txid(), 0}, {0x52}, 0xffffffff});
+  t2.outputs.push_back(TxOut{900, {0x52}});
+  b.transactions.push_back(t1);
+  b.transactions.push_back(t2);
+  ASSERT_EQ(b.transactions.size() % 2, 1u);
+  auto expected =
+      merkle_root({b.transactions[0].txid(), b.transactions[1].txid(), b.transactions[2].txid()});
+  EXPECT_EQ(b.compute_merkle_root(), expected);
+  b.header.merkle_root = expected;
+  EXPECT_TRUE(b.is_well_formed());
 }
 
 TEST(MerkleTest, OrderSensitivity) {

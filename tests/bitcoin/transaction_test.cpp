@@ -64,7 +64,49 @@ TEST(TransactionTest, TxidIsDeterministicAndSensitive) {
   auto id1 = tx.txid();
   EXPECT_EQ(id1, tx.txid());
   tx.lock_time++;
+  tx.invalidate_txid();  // field mutation after hashing requires invalidation
   EXPECT_NE(id1, tx.txid());
+}
+
+TEST(TransactionTest, TxidCacheSeededByDeserializeAndAdoptedByCopies) {
+  Transaction tx = sample_tx();
+  ASSERT_FALSE(tx.txid_cached());
+
+  // Round-tripping through the wire format seeds the cache eagerly.
+  Transaction parsed = Transaction::parse(tx.serialize());
+  EXPECT_TRUE(parsed.txid_cached());
+  EXPECT_EQ(parsed.txid(), tx.txid());
+  EXPECT_TRUE(tx.txid_cached());  // txid() filled the lazy cache
+
+  // Copies and moves carry the cached value; the moved-from tx is reset.
+  Transaction copy = parsed;
+  EXPECT_TRUE(copy.txid_cached());
+  EXPECT_EQ(copy.txid(), tx.txid());
+  Transaction moved = std::move(parsed);
+  EXPECT_TRUE(moved.txid_cached());
+  EXPECT_FALSE(parsed.txid_cached());  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(moved.txid(), tx.txid());
+}
+
+TEST(TransactionTest, TxidCacheCountsOneComputationAcrossRepeatedCalls) {
+  Transaction tx = sample_tx();
+  auto before = Transaction::txid_computations();
+  auto id = tx.txid();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(id, tx.txid());
+  Transaction copy = tx;
+  EXPECT_EQ(id, copy.txid());
+  EXPECT_EQ(Transaction::txid_computations() - before, 1u);
+}
+
+TEST(TransactionTest, TxidCacheDisableForcesRecompute) {
+  Transaction tx = sample_tx();
+  auto id = tx.txid();
+  Transaction::set_txid_cache_enabled(false);
+  auto before = Transaction::txid_computations();
+  EXPECT_EQ(id, tx.txid());
+  EXPECT_EQ(id, tx.txid());
+  EXPECT_EQ(Transaction::txid_computations() - before, 2u);
+  Transaction::set_txid_cache_enabled(true);
 }
 
 TEST(TransactionTest, KnownSerializationLayout) {

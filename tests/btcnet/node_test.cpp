@@ -179,6 +179,23 @@ TEST_F(SpendTest, TxPropagatesAndGetsMined) {
   EXPECT_TRUE(bob_.utxos().contains(bitcoin::OutPoint{tx.txid(), 0}));
 }
 
+TEST_F(SpendTest, RelayedTxHashedExactlyOnce) {
+  net_.connect(alice_.id(), bob_.id());
+  sim_.run();
+  auto outpoint = fund();
+  sim_.run();
+  auto tx = spend(outpoint, 49 * bitcoin::kCoin);
+  // From submission at bob through inv/getdata relay into alice's mempool,
+  // the tx must be serialized+hashed exactly once; every later consumer
+  // (request bookkeeping, mempool keys, relay announcements) reuses the
+  // cached txid.
+  auto before = bitcoin::Transaction::txid_computations();
+  ASSERT_TRUE(bob_.submit_tx(tx));
+  sim_.run();
+  EXPECT_EQ(bitcoin::Transaction::txid_computations() - before, 1u);
+  EXPECT_TRUE(alice_.in_mempool(tx.txid()));
+}
+
 TEST_F(SpendTest, MempoolSnapshotPreservesOrder) {
   auto o1 = fund();
   auto o2 = fund();

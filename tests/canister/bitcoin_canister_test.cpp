@@ -295,6 +295,54 @@ TEST_F(CanisterTest, Pagination) {
   }
 }
 
+TEST_F(CanisterTest, PaginationMetersOnlyReturnedStableUtxos) {
+  CanisterConfig config = CanisterConfig::for_params(params_);
+  config.utxos_per_page = 2;
+  BitcoinCanister paged(params_, config);
+  // 5 blocks fund address(1); 10 more on top push them below the anchor so
+  // the pages are served from the stable index.
+  auto blocks = extend(5, 1);
+  auto filler = extend(10, 2);
+  adapter::AdapterResponse response;
+  for (const auto& b : blocks) response.blocks.emplace_back(b, b.header);
+  for (const auto& b : filler) response.blocks.emplace_back(b, b.header);
+  paged.process_response(response, now_s());
+  ASSERT_GE(paged.utxo_count(), 5u);
+
+  // Fixed per-request overhead (request charge + unstable-block scans),
+  // measured on an address with no UTXOs anywhere.
+  GetUtxosRequest empty_request;
+  empty_request.address = address(7);
+  ic::InstructionMeter::Segment fixed_segment(paged.meter());
+  ASSERT_TRUE(paged.get_utxos(empty_request).ok());
+  const std::uint64_t fixed = fixed_segment.sample();
+
+  // Each page must charge stable_utxo_read only for the UTXOs it returns,
+  // not for the address's full stable list (the pre-pagination behavior).
+  GetUtxosRequest request;
+  request.address = address(1);
+  std::size_t total_entries = 0;
+  std::uint64_t total_read_charges = 0;
+  int pages = 0;
+  for (;;) {
+    ic::InstructionMeter::Segment segment(paged.meter());
+    auto outcome = paged.get_utxos(request);
+    ASSERT_TRUE(outcome.ok());
+    const std::uint64_t delta = segment.sample();
+    EXPECT_EQ(delta - fixed, outcome.value.utxos.size() * config.costs.stable_utxo_read)
+        << "page " << pages;
+    total_entries += outcome.value.utxos.size();
+    total_read_charges += delta - fixed;
+    ++pages;
+    if (!outcome.value.next_page) break;
+    request.page = outcome.value.next_page;
+  }
+  EXPECT_EQ(pages, 3);
+  EXPECT_EQ(total_entries, 5u);
+  // Across the whole walk, every returned UTXO was metered exactly once.
+  EXPECT_EQ(total_read_charges, 5u * config.costs.stable_utxo_read);
+}
+
 TEST_F(CanisterTest, BadPageRejected) {
   feed(extend(2, 1));
   GetUtxosRequest request;

@@ -146,5 +146,60 @@ TEST_F(UtxoIndexTest, SameScriptManyUtxosPaginationOrderStable) {
   }
 }
 
+TEST_F(UtxoIndexTest, PagedReadReturnsWindowAndMetersOnlyIt) {
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    index_.insert(op(i), bitcoin::TxOut{i + 1, script(1)}, 100 - i, meter_);
+  }
+  auto full = index_.utxos_for_script(script(1), meter_);
+  ASSERT_EQ(full.size(), 10u);
+
+  std::vector<StoredUtxo> page;
+  auto before = meter_.count();
+  std::size_t total = index_.utxos_for_script(script(1), meter_, 3, 4, page);
+  EXPECT_EQ(total, 10u);
+  ASSERT_EQ(page.size(), 4u);
+  // Charged per returned entry, not per entry of the full list.
+  EXPECT_EQ(meter_.count() - before, 4 * index_.costs().stable_utxo_read);
+  for (std::size_t i = 0; i < page.size(); ++i) {
+    EXPECT_EQ(page[i].outpoint, full[3 + i].outpoint);
+    EXPECT_EQ(page[i].height, full[3 + i].height);
+  }
+
+  // Offset past the end: nothing copied, nothing charged, total still right.
+  page.clear();
+  before = meter_.count();
+  EXPECT_EQ(index_.utxos_for_script(script(1), meter_, 10, 4, page), 10u);
+  EXPECT_TRUE(page.empty());
+  EXPECT_EQ(meter_.count(), before);
+}
+
+TEST_F(UtxoIndexTest, PagedReadAppliesKeepPredicateBeforeRanking) {
+  for (std::uint8_t i = 0; i < 6; ++i) {
+    index_.insert(op(i), bitcoin::TxOut{i + 1, script(1)}, 10 + i, meter_);
+  }
+  // Filter out even-tagged outpoints; offsets must index the filtered view.
+  auto keep = [](const bitcoin::OutPoint& o) { return o.txid.data[0] % 2 == 1; };
+  std::vector<StoredUtxo> page;
+  std::size_t total = index_.utxos_for_script_paged(script(1), meter_, 1, 2, page, keep);
+  EXPECT_EQ(total, 3u);  // tags 1, 3, 5 survive
+  ASSERT_EQ(page.size(), 2u);
+  for (const auto& u : page) EXPECT_EQ(u.outpoint.txid.data[0] % 2, 1);
+}
+
+TEST_F(UtxoIndexTest, DigestIsOrderInsensitiveAndContentSensitive) {
+  UtxoIndex a, b;
+  ic::InstructionMeter meter;
+  a.insert(op(1), bitcoin::TxOut{100, script(1)}, 10, meter);
+  a.insert(op(2), bitcoin::TxOut{200, script(2)}, 20, meter);
+  b.insert(op(2), bitcoin::TxOut{200, script(2)}, 20, meter);
+  b.insert(op(1), bitcoin::TxOut{100, script(1)}, 10, meter);
+  EXPECT_EQ(a.digest(), b.digest());  // insertion order does not matter
+
+  b.remove(op(2), meter);
+  EXPECT_NE(a.digest(), b.digest());
+  b.insert(op(2), bitcoin::TxOut{201, script(2)}, 20, meter);  // value differs
+  EXPECT_NE(a.digest(), b.digest());
+}
+
 }  // namespace
 }  // namespace icbtc::canister

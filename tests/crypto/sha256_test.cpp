@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 namespace icbtc::crypto {
 namespace {
 
@@ -12,23 +14,53 @@ util::ByteSpan span_of(const std::string& s) {
   return util::ByteSpan(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
 }
 
-TEST(Sha256Test, EmptyString) {
+// Every vector below runs once per dispatchable compression implementation
+// (portable, SSE4-unrolled, SHA-NI); unsupported ones are skipped on this
+// CPU. This is what "verified bit-identical" means in practice: the same
+// NIST and Bitcoin known answers must come out of every code path.
+class Sha256ImplTest : public ::testing::TestWithParam<Sha256Impl> {
+ protected:
+  void SetUp() override {
+    if (!set_sha256_impl(GetParam())) {
+      GTEST_SKIP() << "CPU does not support " << to_string(GetParam());
+    }
+    ASSERT_EQ(sha256_active_impl(), GetParam());
+  }
+  void TearDown() override { set_sha256_impl(sha256_best_impl()); }
+};
+
+INSTANTIATE_TEST_SUITE_P(AllImpls, Sha256ImplTest,
+                         ::testing::Values(Sha256Impl::kPortable, Sha256Impl::kSse4,
+                                           Sha256Impl::kShaNi),
+                         [](const ::testing::TestParamInfo<Sha256Impl>& info) {
+                           switch (info.param) {
+                             case Sha256Impl::kPortable:
+                               return std::string("Portable");
+                             case Sha256Impl::kSse4:
+                               return std::string("Sse4");
+                             case Sha256Impl::kShaNi:
+                               return std::string("ShaNi");
+                           }
+                           return std::string("Unknown");
+                         });
+
+TEST_P(Sha256ImplTest, NistEmptyString) {
   EXPECT_EQ(Sha256::hash({}).hex(),
             "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
 }
 
-TEST(Sha256Test, Abc) {
+TEST_P(Sha256ImplTest, NistAbc) {
   EXPECT_EQ(Sha256::hash(span_of("abc")).hex(),
             "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
 }
 
-TEST(Sha256Test, TwoBlockMessage) {
+TEST_P(Sha256ImplTest, NistTwoBlockMessage) {
   EXPECT_EQ(
       Sha256::hash(span_of("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")).hex(),
       "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
 }
 
-TEST(Sha256Test, MillionAs) {
+TEST_P(Sha256ImplTest, NistMillionAs) {
   Sha256 h;
   std::string chunk(1000, 'a');
   for (int i = 0; i < 1000; ++i) h.update(span_of(chunk));
@@ -36,7 +68,7 @@ TEST(Sha256Test, MillionAs) {
             "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
 }
 
-TEST(Sha256Test, IncrementalMatchesOneShot) {
+TEST_P(Sha256ImplTest, IncrementalMatchesOneShot) {
   std::string msg = "The quick brown fox jumps over the lazy dog";
   auto oneshot = Sha256::hash(span_of(msg));
   for (std::size_t split = 0; split <= msg.size(); ++split) {
@@ -47,7 +79,7 @@ TEST(Sha256Test, IncrementalMatchesOneShot) {
   }
 }
 
-TEST(Sha256Test, ExactBlockBoundary) {
+TEST_P(Sha256ImplTest, ExactBlockBoundary) {
   std::string msg(64, 'x');
   std::string msg2(128, 'x');
   // Known-good values computed with coreutils sha256sum.
@@ -57,7 +89,7 @@ TEST(Sha256Test, ExactBlockBoundary) {
             "24da1b81d0b16df6428eee73c69fcb2a93c76bc6df706f0c6670fe6bfe800464");
 }
 
-TEST(Sha256Test, ResetAllowsReuse) {
+TEST_P(Sha256ImplTest, ResetAllowsReuse) {
   Sha256 h;
   h.update(span_of("garbage"));
   h.reset();
@@ -66,38 +98,65 @@ TEST(Sha256Test, ResetAllowsReuse) {
             "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
 }
 
-TEST(Sha256dTest, GenesisHeaderHash) {
-  // The Bitcoin genesis block header; its double-SHA256 in display order is
-  // 000000000019d6689c085ae165831e934ff763ae46a2a6c172b3f1b60a8ce26f.
+TEST_P(Sha256ImplTest, BitcoinGenesisHeaderHash) {
+  // The Bitcoin mainnet genesis block header; its double-SHA256 in display
+  // order is the famous 000000000019d668... hash.
   Bytes header = from_hex(
       "0100000000000000000000000000000000000000000000000000000000000000000000003ba3edfd7a7b12b27a"
       "c72c3e67768f617fc81bc3888a51323a9fb8aa4b1e5e4a29ab5f49ffff001d1dac2b7c");
+  ASSERT_EQ(header.size(), 80u);
   util::Hash256 h = sha256d(header);
   EXPECT_EQ(h.rpc_hex(), "000000000019d6689c085ae165831e934ff763ae46a2a6c172b3f1b60a8ce26f");
 }
 
-TEST(Sha256dTest, HelloDoubleHash) {
+TEST_P(Sha256ImplTest, HelloDoubleHash) {
   // sha256d("hello") well-known vector.
   EXPECT_EQ(sha256d(span_of("hello")).hex(),
             "9595c9df90075148eb06860365df33584b75bff782a510c6cd4883a419833d50");
 }
 
-TEST(HmacSha256Test, Rfc4231Case1) {
-  Bytes key(20, 0x0b);
-  EXPECT_EQ(hmac_sha256(key, span_of("Hi There")).hex(),
-            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+TEST_P(Sha256ImplTest, Sha256d64MatchesGenericDoubleHash) {
+  // The merkle inner-node fast path must agree with the general sha256d on
+  // every 64-byte input.
+  std::uint8_t buf[64];
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 64; ++i) buf[i] = static_cast<std::uint8_t>(i * 37 + round * 11);
+    EXPECT_EQ(sha256d_64(buf), sha256d(util::ByteSpan(buf, 64))) << "round " << round;
+  }
 }
 
-TEST(HmacSha256Test, Rfc4231Case2) {
+TEST_P(Sha256ImplTest, Sha256dLengthSweepMatchesStreaming) {
+  // sha256d's copy-free padding path must agree with the reference
+  // two-pass construction across the single/double tail-block boundary
+  // (55/56/63/64 bytes) and beyond.
+  for (std::size_t len : {0u, 1u, 31u, 32u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 200u}) {
+    Bytes data(len);
+    for (std::size_t i = 0; i < len; ++i) data[i] = static_cast<std::uint8_t>(i ^ (len * 3));
+    util::Hash256 expected = Sha256::hash(Sha256::hash(data).span());
+    EXPECT_EQ(sha256d(data), expected) << "len " << len;
+  }
+}
+
+TEST_P(Sha256ImplTest, HmacRfc4231Vectors) {
+  Bytes key1(20, 0x0b);
+  EXPECT_EQ(hmac_sha256(key1, span_of("Hi There")).hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
   EXPECT_EQ(hmac_sha256(span_of("Jefe"), span_of("what do ya want for nothing?")).hex(),
             "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+  Bytes key3(131, 0xaa);
+  EXPECT_EQ(
+      hmac_sha256(key3, span_of("Test Using Larger Than Block-Size Key - Hash Key First")).hex(),
+      "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
 }
 
-TEST(HmacSha256Test, Rfc4231Case3LongKeyData) {
-  Bytes key(131, 0xaa);
-  EXPECT_EQ(hmac_sha256(key, span_of("Test Using Larger Than Block-Size Key - Hash Key First"))
-                .hex(),
-            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+TEST(Sha256DispatchTest, BestImplIsSupportedAndActiveByDefault) {
+  Sha256Impl best = sha256_best_impl();
+  EXPECT_TRUE(set_sha256_impl(best));
+  EXPECT_EQ(sha256_active_impl(), best);
+  // Portable is always available.
+  EXPECT_TRUE(set_sha256_impl(Sha256Impl::kPortable));
+  EXPECT_EQ(sha256_active_impl(), Sha256Impl::kPortable);
+  set_sha256_impl(best);
 }
 
 }  // namespace

@@ -1,0 +1,103 @@
+#include "parallel/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "bitcoin/block.h"
+#include "bitcoin/params.h"
+
+namespace icbtc::parallel {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.run(kN, [&](std::size_t i) { counts[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+}
+
+TEST(ThreadPoolTest, RepeatedRunsAreIndependent) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> sum{0};
+    pool.run(17, [&](std::size_t i) { sum.fetch_add(static_cast<int>(i)); });
+    EXPECT_EQ(sum.load(), 16 * 17 / 2);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroAndOneItemRuns) {
+  ThreadPool pool(2);
+  pool.run(0, [](std::size_t) { FAIL() << "must not be called"; });
+  std::atomic<int> calls{0};
+  pool.run(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ParallelMapTest, MatchesSerialResultForAnyThreadCount) {
+  std::vector<int> items(257);
+  std::iota(items.begin(), items.end(), 0);
+  auto fn = [](int x) { return x * x + 7; };
+
+  std::vector<int> serial;
+  parallel_map(nullptr, items, serial, fn);
+  ASSERT_EQ(serial.size(), items.size());
+
+  for (std::size_t threads : {1u, 2u, 5u}) {
+    ThreadPool pool(threads);
+    std::vector<int> parallel_out;
+    parallel_map(&pool, items, parallel_out, fn);
+    EXPECT_EQ(parallel_out, serial) << threads << " threads";
+  }
+}
+
+TEST(ParallelMapTest, NullPoolRunsSerially) {
+  std::vector<int> items = {1, 2, 3};
+  std::vector<int> out;
+  parallel_map(nullptr, items, out, [](int x) { return x + 1; });
+  EXPECT_EQ(out, (std::vector<int>{2, 3, 4}));
+}
+
+TEST(SharedPoolTest, DisabledByDefaultAndInstallable) {
+  // Serial by default: no pool unless a consumer opts in.
+  EXPECT_EQ(shared_pool(), nullptr);
+  set_shared_pool(2);
+  ASSERT_NE(shared_pool(), nullptr);
+  EXPECT_EQ(shared_pool()->worker_count(), 2u);
+  set_shared_pool(0);
+  EXPECT_EQ(shared_pool(), nullptr);
+}
+
+TEST(ParallelHashingTest, BlockTxidsAndMerkleRootMatchSerial) {
+  // Deterministic fan-out on the real consumer: a block's txids and merkle
+  // root must be byte-identical with and without a pool, whatever the cache
+  // state.
+  bitcoin::Block block = bitcoin::genesis_block(bitcoin::ChainParams::regtest());
+  for (int i = 0; i < 9; ++i) {
+    bitcoin::Transaction tx;
+    tx.inputs.push_back(bitcoin::TxIn{
+        bitcoin::OutPoint{block.transactions.back().txid(), 0}, {0x51}, 0xffffffff});
+    tx.outputs.push_back(bitcoin::TxOut{1000 + i, {0x51, static_cast<std::uint8_t>(i)}});
+    block.transactions.push_back(tx);
+  }
+
+  auto serial_ids = block.txids(nullptr);
+  auto serial_root = block.compute_merkle_root(nullptr);
+
+  ThreadPool pool(4);
+  // Fresh copies with cold caches so the pool actually computes the hashes.
+  bitcoin::Block reparsed = bitcoin::Block::parse(block.serialize());
+  for (auto& tx : reparsed.transactions) tx.invalidate_txid();
+  EXPECT_EQ(reparsed.txids(&pool), serial_ids);
+  EXPECT_EQ(reparsed.compute_merkle_root(&pool), serial_root);
+}
+
+}  // namespace
+}  // namespace icbtc::parallel
