@@ -18,9 +18,12 @@
 // and blocks/s per mode, and exits nonzero if any mode's UTXO-set digest or
 // metrics snapshot diverges from the scalar result. ICBTC_BENCH_QUICK=1
 // shrinks the workload and skips Figure 6 / the google-benchmark loops for
-// CI smoke runs.
+// CI smoke runs. A short traced replay additionally writes
+// BENCH_ingestion_chrome.json (ICBTC_CHROME_TRACE_OUT) — per-block
+// Algorithm 2 ingestion spans viewable in chrome://tracing.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -30,6 +33,8 @@
 
 #include "crypto/sha256.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "parallel/thread_pool.h"
 #include "workload.h"
 
@@ -167,6 +172,49 @@ ModeResult replay(const ModeConfig& mode, const std::vector<util::Bytes>& stream
   return result;
 }
 
+/// Replays a prefix of the block stream under a tracer whose clock follows
+/// the instruction meter (2000 instructions/µs) and writes a Chrome trace of
+/// the ingestion spans — the per-block Algorithm 2 view of Fig. 6. Runs with
+/// the shared pool installed so the traced parallel txid precompute shows up
+/// (and stays byte-identical to a serial replay).
+bool write_ingestion_trace(const std::vector<util::Bytes>& stream) {
+  const std::size_t n_blocks = std::min<std::size_t>(stream.size(), 40);
+
+  obs::TracerConfig tracer_config;
+  tracer_config.event_capacity = 256;
+  obs::Tracer tracer(tracer_config);
+
+  const auto& params = bitcoin::ChainParams::regtest();
+  canister::BitcoinCanister canister(params, canister::CanisterConfig::for_params(params));
+  ic::InstructionMeter& meter = canister.meter();
+  tracer.set_clock([&meter] { return static_cast<obs::TraceTime>(meter.count() / 2000); });
+  canister.set_tracer(&tracer);
+  parallel::set_shared_pool(4);
+
+  for (std::size_t i = 0; i < n_blocks; ++i) {
+    bitcoin::Block block = bitcoin::Block::parse(stream[i]);
+    adapter::AdapterResponse response;
+    bitcoin::BlockHeader header = block.header;
+    response.blocks.emplace_back(std::move(block), header);
+    canister.process_response(response, static_cast<std::int64_t>(header.time) + 10000);
+  }
+  parallel::set_shared_pool(0);
+  canister.set_tracer(nullptr);
+
+  const char* path = std::getenv("ICBTC_CHROME_TRACE_OUT");
+  if (path == nullptr || *path == '\0') path = "BENCH_ingestion_chrome.json";
+  std::string body = obs::to_chrome_trace(tracer);
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", path);
+    return false;
+  }
+  std::fwrite(body.data(), 1, body.size(), out);
+  std::fclose(out);
+  std::printf("wrote %s (chrome trace, %zu blocks)\n", path, n_blocks);
+  return true;
+}
+
 bool run_hashing_pipeline_bench() {
   const bool quick = quick_mode();
   const int warmup = quick ? 10 : 40;
@@ -261,6 +309,8 @@ bool run_hashing_pipeline_bench() {
   std::fprintf(out, "}\n");
   std::fclose(out);
   std::printf("wrote %s\n", out_path);
+
+  ok &= write_ingestion_trace(stream);
   return ok;
 }
 

@@ -5,19 +5,41 @@
 // replicated and query calls for both endpoints, and the instruction count
 // vs. response size for replicated UTXO requests, including the
 // stable/unstable bifurcation.
+//
+// Every measured call runs under a tracer whose clock is derived from the
+// canister's instruction meter (1 µs per 2000 instructions), so each call
+// yields one RequestCostRecord — a Fig. 7 data point binding latency,
+// instructions, and response bytes. The run writes:
+//   BENCH_latency.json         summary percentiles   (ICBTC_BENCH_OUT)
+//   BENCH_latency_trace.json   deterministic traces  (ICBTC_TRACE_OUT)
+//   BENCH_latency_chrome.json  chrome://tracing view (ICBTC_CHROME_TRACE_OUT)
+// ICBTC_BENCH_QUICK=1 shrinks the address population and skips the
+// google-benchmark loops for CI smoke runs; the trace exports are
+// byte-identical across identically configured runs.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bitcoin/script.h"
 #include "ic/subnet.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "workload.h"
 
 namespace {
 
 using namespace icbtc;
 using namespace icbtc::bench;
+
+bool quick_mode() {
+  const char* quick = std::getenv("ICBTC_BENCH_QUICK");
+  return quick != nullptr && std::strcmp(quick, "0") != 0;
+}
 
 struct Fixture {
   static canister::CanisterConfig fixture_config(const bitcoin::ChainParams& params) {
@@ -123,17 +145,73 @@ struct Fixture {
   }
 };
 
-void print_percentiles(const char* label, std::vector<double>& series) {
+struct SeriesSummary {
+  std::string name;
+  double min = 0, median = 0, p90 = 0, max = 0;  // microseconds
+  std::size_t n = 0;
+};
+
+SeriesSummary summarize(const char* name, std::vector<double>& series) {
   std::sort(series.begin(), series.end());
-  std::printf("  %-28s min %7.3fs  median %7.3fs  p90 %7.3fs  max %7.3fs\n", label,
-              percentile(series, 0) / 1e6, percentile(series, 50) / 1e6,
-              percentile(series, 90) / 1e6, percentile(series, 100) / 1e6);
+  SeriesSummary s;
+  s.name = name;
+  s.n = series.size();
+  if (!series.empty()) {
+    s.min = percentile(series, 0);
+    s.median = percentile(series, 50);
+    s.p90 = percentile(series, 90);
+    s.max = percentile(series, 100);
+  }
+  return s;
 }
 
-void run_figure7() {
+void print_summary(const SeriesSummary& s) {
+  std::printf("  %-28s min %7.3fs  median %7.3fs  p90 %7.3fs  max %7.3fs\n", s.name.c_str(),
+              s.min / 1e6, s.median / 1e6, s.p90 / 1e6, s.max / 1e6);
+}
+
+struct Figure7Result {
+  std::size_t addresses = 0;
+  std::vector<SeriesSummary> series;
+  std::uint64_t min_instructions = 0;
+  std::uint64_t max_instructions = 0;
+  std::size_t requests_traced = 0;
+  bool ok = true;
+};
+
+bool write_file(const char* env_var, const char* fallback, const std::string& body,
+                const char* what) {
+  const char* path = std::getenv(env_var);
+  if (path == nullptr || *path == '\0') path = fallback;
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot write %s (%s)\n", path, what);
+    return false;
+  }
+  std::fwrite(body.data(), 1, body.size(), out);
+  std::fclose(out);
+  std::printf("wrote %s (%s)\n", path, what);
+  return true;
+}
+
+Figure7Result run_figure7() {
+  const bool quick = quick_mode();
+  const std::size_t n_addresses = quick ? 150 : 1000;
+
   std::printf("\n--- Figure 7: request latency and instruction cost ---\n");
-  Fixture fx(1000);
-  std::printf("address population: 1000 with the paper's UTXO-count skew\n\n");
+  Fixture fx(n_addresses);
+  std::printf("address population: %zu with the paper's UTXO-count skew%s\n\n", n_addresses,
+              quick ? " (quick mode)" : "");
+
+  // The tracer clock advances with the canister's instruction meter: 2000
+  // instructions per microsecond — the IC's 2e9 instructions/s execution
+  // rate. Everything downstream of it is deterministic.
+  obs::TracerConfig tracer_config;
+  tracer_config.event_capacity = 512;
+  obs::Tracer tracer(tracer_config);
+  ic::InstructionMeter& meter = fx.canister.meter();
+  tracer.set_clock([&meter] { return static_cast<obs::TraceTime>(meter.count() / 2000); });
+  fx.canister.set_tracer(&tracer);
 
   std::vector<double> rep_balance, rep_utxos, q_balance, q_utxos;
   struct UtxoCost {
@@ -143,39 +221,74 @@ void run_figure7() {
   };
   std::vector<UtxoCost> utxo_costs;
 
+  const auto& cost_model = fx.subnet.config().cost_model;
   for (std::size_t i = 0; i < fx.addresses.size(); ++i) {
     const auto& addr = fx.addresses[i];
-    // Replicated + query get_balance.
-    ic::InstructionMeter::Segment seg_b(fx.canister.meter());
-    auto balance = fx.canister.get_balance(addr);
-    std::uint64_t instr_b = seg_b.sample();
-    if (!balance.ok()) continue;
-    rep_balance.push_back(static_cast<double>(fx.subnet.sample_update_latency(instr_b)));
-    q_balance.push_back(static_cast<double>(fx.subnet.sample_query_latency(instr_b)));
+    // Replicated + query get_balance. The root request span is ended at the
+    // replicated latency; the nested canister.get_balance span ends at the
+    // pure execution latency.
+    {
+      obs::ScopedSpan span(&tracer, "request.get_balance", "request");
+      span.attr("kind", "replicated");
+      ic::InstructionMeter::Segment segment(fx.canister.meter());
+      auto balance = fx.canister.get_balance(addr);
+      std::uint64_t instr = segment.sample();
+      if (!balance.ok()) continue;
+      util::SimTime latency = fx.subnet.sample_update_latency(instr);
+      rep_balance.push_back(static_cast<double>(latency));
+      q_balance.push_back(static_cast<double>(fx.subnet.sample_query_latency(instr)));
+      span.attr("latency_us", latency);
+      span.attr("instructions", instr);
+      span.attr("response_bytes", static_cast<std::uint64_t>(16));
+      tracer.record_request_cost(obs::RequestCostRecord{
+          "get_balance", span.context().trace_id, latency, instr, 16,
+          cost_model.update_cost_cycles(instr, 16)});
+      span.end_at(span.start() + latency);
+    }
 
     // Replicated + query get_utxos (first page).
+    obs::ScopedSpan span(&tracer, "request.get_utxos", "request");
+    span.attr("kind", "replicated");
     canister::GetUtxosRequest request;
     request.address = addr;
-    ic::InstructionMeter::Segment seg_u(fx.canister.meter());
+    ic::InstructionMeter::Segment segment(fx.canister.meter());
     auto utxos = fx.canister.get_utxos(request);
-    std::uint64_t instr_u = seg_u.sample();
+    std::uint64_t instr = segment.sample();
     if (!utxos.ok()) continue;
-    rep_utxos.push_back(static_cast<double>(fx.subnet.sample_update_latency(instr_u)));
-    q_utxos.push_back(static_cast<double>(fx.subnet.sample_query_latency(instr_u)));
+    util::SimTime latency = fx.subnet.sample_update_latency(instr);
+    rep_utxos.push_back(static_cast<double>(latency));
+    q_utxos.push_back(static_cast<double>(fx.subnet.sample_query_latency(instr)));
 
     std::size_t n = utxos.value.utxos.size();
+    std::size_t response_bytes = 48 * n + 44;
+    span.attr("latency_us", latency);
+    span.attr("instructions", instr);
+    span.attr("response_bytes", static_cast<std::uint64_t>(response_bytes));
+    span.attr("utxos", static_cast<std::uint64_t>(n));
+    tracer.record_request_cost(obs::RequestCostRecord{
+        "get_utxos", span.context().trace_id, latency, instr,
+        static_cast<std::uint64_t>(response_bytes),
+        cost_model.update_cost_cycles(instr, response_bytes)});
+    span.end_at(span.start() + latency);
+
     std::size_t unstable = 0;
     for (const auto& u : utxos.value.utxos) {
       if (u.height > fx.canister.anchor_height()) ++unstable;
     }
-    utxo_costs.push_back(UtxoCost{n, instr_u, unstable * 2 > n});
+    utxo_costs.push_back(UtxoCost{n, instr, unstable * 2 > n});
   }
+  fx.canister.set_tracer(nullptr);
+
+  Figure7Result result;
+  result.addresses = n_addresses;
+  result.requests_traced = tracer.request_costs().size();
 
   std::printf("Left/centre panels — latency (replicated goes through consensus):\n");
-  print_percentiles("replicated get_balance", rep_balance);
-  print_percentiles("replicated get_utxos", rep_utxos);
-  print_percentiles("query get_balance", q_balance);
-  print_percentiles("query get_utxos", q_utxos);
+  result.series.push_back(summarize("replicated get_balance", rep_balance));
+  result.series.push_back(summarize("replicated get_utxos", rep_utxos));
+  result.series.push_back(summarize("query get_balance", q_balance));
+  result.series.push_back(summarize("query get_utxos", q_utxos));
+  for (const auto& s : result.series) print_summary(s);
   std::printf("  (paper: replicated avg <10s / p90 18s; query medians 220ms & 310ms)\n\n");
 
   std::printf("Right panel — instructions for replicated UTXO requests vs response size:\n");
@@ -204,10 +317,49 @@ void run_figure7() {
   auto [min_it, max_it] = std::minmax_element(
       utxo_costs.begin(), utxo_costs.end(),
       [](const UtxoCost& a, const UtxoCost& b) { return a.instructions < b.instructions; });
+  result.min_instructions = min_it->instructions;
+  result.max_instructions = max_it->instructions;
   std::printf("  range: %.2e .. %.2e instructions (paper: 5.84e6 .. 4.76e8)\n",
-              static_cast<double>(min_it->instructions),
-              static_cast<double>(max_it->instructions));
+              static_cast<double>(result.min_instructions),
+              static_cast<double>(result.max_instructions));
   std::printf("  bifurcation: unstable UTXOs are cheaper to fetch than stable-set UTXOs\n\n");
+
+  result.ok &= write_file("ICBTC_TRACE_OUT", "BENCH_latency_trace.json",
+                          obs::to_trace_json(tracer), "trace records");
+  result.ok &= write_file("ICBTC_CHROME_TRACE_OUT", "BENCH_latency_chrome.json",
+                          obs::to_chrome_trace(tracer), "chrome trace");
+  return result;
+}
+
+bool write_bench_json(const Figure7Result& r) {
+  const char* out_path = std::getenv("ICBTC_BENCH_OUT");
+  if (out_path == nullptr || *out_path == '\0') out_path = "BENCH_latency.json";
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", out_path);
+    return false;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out, "  \"workload\": {\"addresses\": %zu, \"quick\": %s},\n", r.addresses,
+               quick_mode() ? "true" : "false");
+  std::fprintf(out, "  \"requests_traced\": %zu,\n", r.requests_traced);
+  std::fprintf(out, "  \"series\": [\n");
+  for (std::size_t i = 0; i < r.series.size(); ++i) {
+    const auto& s = r.series[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"n\": %zu, \"min_s\": %.6f, \"median_s\": %.6f, "
+                 "\"p90_s\": %.6f, \"max_s\": %.6f}%s\n",
+                 s.name.c_str(), s.n, s.min / 1e6, s.median / 1e6, s.p90 / 1e6, s.max / 1e6,
+                 i + 1 < r.series.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out, "  \"utxo_request_instructions\": {\"min\": %llu, \"max\": %llu}\n",
+               static_cast<unsigned long long>(r.min_instructions),
+               static_cast<unsigned long long>(r.max_instructions));
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path);
+  return true;
 }
 
 void BM_GetBalance(benchmark::State& state) {
@@ -235,8 +387,11 @@ BENCHMARK(BM_GetUtxosFirstPage);
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_figure7();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  Figure7Result result = run_figure7();
+  bool ok = result.ok && write_bench_json(result);
+  if (!quick_mode()) {
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  return ok ? 0 : 1;
 }

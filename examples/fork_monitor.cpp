@@ -5,12 +5,22 @@
 // losing branch, and when the difficulty-based rule lets the anchor advance.
 //
 // Build & run:  cmake --build build && ./build/examples/fork_monitor
+//
+// With --trace, every header acceptance becomes a span on a logical clock
+// (600 µs per header), fork appearances land in the flight recorder (dumped
+// the moment a fork is detected), and the full trace is written as Chrome
+// trace-event JSON to fork_monitor_trace.json (ICBTC_CHROME_TRACE_OUT) for
+// chrome://tracing / Perfetto.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <map>
 #include <string>
 
 #include "chain/block_builder.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 
 using namespace icbtc;
 
@@ -58,7 +68,12 @@ struct TreePrinter {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool trace_enabled = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace") == 0) trace_enabled = true;
+  }
+
   std::printf("=== fork monitor: δ-stability in action (cf. Fig. 3) ===\n\n");
 
   const auto& params = bitcoin::ChainParams::regtest();
@@ -70,15 +85,39 @@ int main() {
   std::int64_t now = time + 1000000;
   std::uint32_t salt = 0;
 
+  // Headers arrive on a logical clock: 600 µs apart (a µs-for-second
+  // miniature of Bitcoin's 10-minute block interval), entirely
+  // deterministic.
+  obs::TracerConfig tracer_config;
+  tracer_config.event_capacity = 128;
+  obs::Tracer tracer(tracer_config);
+  obs::TraceTime logical_now = 0;
+  tracer.set_clock([&logical_now] { return logical_now; });
+  obs::Tracer* tracer_ptr = trace_enabled ? &tracer : nullptr;
+
   auto extend = [&](const util::Hash256& parent, const std::string& name) {
     util::Hash256 merkle;
     merkle.data[0] = static_cast<std::uint8_t>(++salt);
     merkle.data[1] = static_cast<std::uint8_t>(salt >> 8);
     time += 600;
+    logical_now += 600;
+    obs::ScopedSpan span(tracer_ptr, "monitor.accept_header", "chain");
     auto header = chain::build_child_header(tree, parent, time, merkle);
     tree.accept(header, now);
     metrics.counter("monitor.headers_accepted").inc();
     printer.names[header.hash()] = name;
+    int height = tree.find(header.hash())->height;
+    span.attr("name", name);
+    span.attr("height", static_cast<std::int64_t>(height));
+    if (tree.blocks_at_height(height).size() > 1) {
+      span.attr("fork", "true");
+      span.event(obs::Severity::kWarn, "fork_detected",
+                 name + " competes at height " + std::to_string(height));
+      if (trace_enabled) {
+        std::printf("--- fork detected at height %d: flight recorder ---\n%s\n", height,
+                    obs::flight_recorder_text(tracer).c_str());
+      }
+    }
     return header.hash();
   };
 
@@ -121,6 +160,8 @@ int main() {
 
   tree.reroot(main_chain[0]);
   metrics.counter("monitor.reroots").inc();
+  tracer.event(obs::Severity::kInfo, "reroot",
+               "anchor advanced to height " + std::to_string(tree.root().height));
   std::printf("\nAfter reroot: %zu headers remain, root at height %d, tip at height %d.\n",
               tree.size(), tree.root().height, tree.best_height());
 
@@ -137,6 +178,21 @@ int main() {
   printer.update_metrics();
 
   std::printf("\n--- monitor metrics (obs::to_table) ---\n%s", obs::to_table(metrics).c_str());
+
+  if (trace_enabled) {
+    const char* path = std::getenv("ICBTC_CHROME_TRACE_OUT");
+    if (path == nullptr || *path == '\0') path = "fork_monitor_trace.json";
+    std::string body = obs::to_chrome_trace(tracer);
+    std::FILE* out = std::fopen(path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "FAIL: cannot write %s\n", path);
+      return 1;
+    }
+    std::fwrite(body.data(), 1, body.size(), out);
+    std::fclose(out);
+    std::printf("\nwrote %s — open it in chrome://tracing or https://ui.perfetto.dev\n", path);
+  }
+
   std::printf("=== done ===\n");
   return 0;
 }

@@ -117,8 +117,13 @@ void BitcoinAdapter::maintain() {
     }
     auto peer = random_peer();
     if (!peer) break;
-    if (pending.last_request >= 0 && metrics_.block_request_retries != nullptr) {
-      metrics_.block_request_retries->inc();
+    if (pending.last_request >= 0) {
+      if (metrics_.block_request_retries != nullptr) metrics_.block_request_retries->inc();
+      if (tracer_ != nullptr) {
+        tracer_->event(obs::Severity::kWarn, "adapter.block_request_retry",
+                       "unanswered for " +
+                           std::to_string(network_->sim().now() - pending.last_request) + "us");
+      }
     }
     pending.last_request = network_->sim().now();
     pending.asked = *peer;
@@ -313,6 +318,10 @@ void BitcoinAdapter::store_block(const bitcoin::Block& block) {
 
 void BitcoinAdapter::fetch_full_block(const Hash256& hash, NodeId peer) {
   pending_compact_.erase(hash);
+  if (tracer_ != nullptr) {
+    tracer_->event(obs::Severity::kWarn, "adapter.cmpct_fallback_full",
+                   "compact reconstruction failed; re-requesting full block");
+  }
   if (metrics_.cmpct_fallback_full != nullptr) metrics_.cmpct_fallback_full->inc();
   // Keep the pending entry hot so the retry loop does not immediately fire a
   // second (compact) request alongside this explicit full one.
@@ -350,18 +359,25 @@ void BitcoinAdapter::handle_cmpct_block(NodeId from, const btcnet::MsgCmpctBlock
   pool.reserve(recent_txs_.size() + tx_cache_.size());
   for (const auto& [txid, recent] : recent_txs_) pool.push_back(&recent.tx);
   for (const auto& [txid, cached] : tx_cache_) pool.push_back(&cached.tx);
+  obs::ScopedSpan span(tracer_, "adapter.cmpct_decode", "reconcile");
+  span.attr("sketch_cells", static_cast<std::uint64_t>(cb.sketch.cell_count()));
+  span.attr("pool", static_cast<std::uint64_t>(pool.size()));
   auto decode = reconcile::CompactBlockCodec::decode(cb, pool);
 
   if (decode.complete()) {
     auto block = reconcile::CompactBlockCodec::assemble(cb, decode);
     if (block && block->is_well_formed()) {
+      span.attr("outcome", "reconstructed");
       if (metrics_.cmpct_reconstructed != nullptr) metrics_.cmpct_reconstructed->inc();
       store_block(*block);
     } else {
+      span.attr("outcome", "fallback_full");
       fetch_full_block(hash, from);
     }
     return;
   }
+  span.attr("outcome", "getblocktxn");
+  span.attr("missing", static_cast<std::uint64_t>(decode.missing.size()));
   if (metrics_.cmpct_fallback_getblocktxn != nullptr) {
     metrics_.cmpct_fallback_getblocktxn->inc();
   }
@@ -450,6 +466,10 @@ void BitcoinAdapter::expire_transactions() {
 }
 
 AdapterResponse BitcoinAdapter::handle_request(const AdapterRequest& request) {
+  obs::ScopedSpan span(tracer_, "adapter.handle_request", "adapter");
+  span.attr("adapter", static_cast<std::uint64_t>(id_));
+  span.attr("txs_in", static_cast<std::uint64_t>(request.transactions.size()));
+  span.attr("processed_in", static_cast<std::uint64_t>(request.processed.size()));
   if (metrics_.requests_handled != nullptr) metrics_.requests_handled->inc();
   // Lines 1-3: cache the outbound transactions; they are advertised
   // asynchronously by the maintenance loop.
@@ -474,7 +494,11 @@ AdapterResponse BitcoinAdapter::handle_request(const AdapterRequest& request) {
 
   AdapterResponse response;
   const auto* anchor_entry = tree_.find(request.anchor);
-  if (anchor_entry == nullptr) return response;  // unknown anchor: nothing to serve
+  if (anchor_entry == nullptr) {
+    span.attr("outcome", "unknown_anchor");
+    span.event(obs::Severity::kWarn, "adapter.unknown_anchor");
+    return response;  // unknown anchor: nothing to serve
+  }
 
   std::unordered_set<Hash256> in_a(request.processed.begin(), request.processed.end());
   in_a.insert(request.anchor);  // β* counts as processed
@@ -518,6 +542,9 @@ AdapterResponse BitcoinAdapter::handle_request(const AdapterRequest& request) {
     }
     for (const auto& child : entry->children) queue.push_back(child);
   }
+  span.attr("blocks", static_cast<std::uint64_t>(response.blocks.size()));
+  span.attr("headers", static_cast<std::uint64_t>(response.next_headers.size()));
+  span.attr("bytes", static_cast<std::uint64_t>(total_bytes));
   return response;
 }
 

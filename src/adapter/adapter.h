@@ -17,6 +17,7 @@
 #include "btcnet/network.h"
 #include "chain/header_tree.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "reconcile/compact_block.h"
 
 namespace icbtc::adapter {
@@ -93,6 +94,12 @@ class BitcoinAdapter : public btcnet::Endpoint {
   /// Attaches a metrics registry (nullptr detaches): peer connections,
   /// header-sync progress, block-request retries, tx-cache size/evictions.
   void set_metrics(obs::MetricsRegistry* registry);
+
+  /// Attaches a tracer (nullptr detaches): an "adapter.handle_request" span
+  /// per Algorithm 1 round-trip, compact-decode spans with their outcome,
+  /// and flight-recorder events for block-request retries and full-block
+  /// fallbacks.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
   // Introspection.
   const chain::HeaderTree& header_tree() const { return tree_; }
@@ -207,6 +214,7 @@ class BitcoinAdapter : public btcnet::Endpoint {
     obs::Counter* cmpct_fallback_full = nullptr;
   };
   Metrics metrics_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace icbtc::adapter

@@ -4,6 +4,18 @@
 
 namespace icbtc::btcnet {
 
+namespace {
+// Indexed by the Message variant alternative order.
+constexpr const char* kTypeNames[] = {"inv",      "getheaders", "headers",     "getdata",
+                                      "block",    "notfound",   "tx",          "getaddr",
+                                      "addr",     "cmpctblock", "getblocktxn", "blocktxn"};
+static_assert(std::size(kTypeNames) == std::variant_size_v<Message>);
+}  // namespace
+
+const char* message_type_name(std::size_t index) {
+  return index < std::size(kTypeNames) ? kTypeNames[index] : "unknown";
+}
+
 std::size_t message_size(const Message& msg) {
   struct Sizer {
     std::size_t operator()(const MsgInv& m) const {
@@ -118,11 +130,6 @@ void Network::set_metrics(obs::MetricsRegistry* registry) {
   messages_metric_ = &registry->counter("net.messages");
   bytes_metric_ = &registry->counter("net.bytes");
   drops_metric_ = &registry->counter("net.drops");
-  // Indexed by the Message variant alternative order.
-  constexpr const char* kTypeNames[] = {"inv",      "getheaders", "headers",    "getdata",
-                                        "block",    "notfound",   "tx",         "getaddr",
-                                        "addr",     "cmpctblock", "getblocktxn", "blocktxn"};
-  static_assert(std::size(kTypeNames) == std::variant_size_v<Message>);
   for (std::size_t i = 0; i < msg_type_metrics_.size(); ++i) {
     msg_type_metrics_[i] = &registry->counter(std::string("net.msg.") + kTypeNames[i]);
     msg_type_bytes_[i] = &registry->counter(std::string("net.bytes.") + kTypeNames[i]);
@@ -144,13 +151,26 @@ void Network::send(NodeId from, NodeId to, Message msg) {
     msg_type_bytes_[msg.index()]->inc(size);
   }
   util::SimTime delay = latency_.sample(size, rng_);
-  sim_->schedule(delay, [this, from, to, m = std::move(msg)] {
+  // Capture the causal parent at send time: the delivery event then nests
+  // under whatever span initiated the send, stitching request/response
+  // chains into one trace across the scheduler boundary.
+  obs::SpanContext parent = tracer_ != nullptr ? tracer_->current() : obs::SpanContext{};
+  sim_->schedule(delay, [this, from, to, size, parent, m = std::move(msg)] {
     // The link may have been torn down or the endpoint detached in flight.
     if (!connected(from, to) || !endpoints_.contains(to) ||
         partitioned_.contains(from) != partitioned_.contains(to)) {
       if (drops_metric_ != nullptr) drops_metric_->inc();
+      if (tracer_ != nullptr) {
+        tracer_->event(obs::Severity::kDebug, "net.drop_in_flight",
+                       std::string(message_type_name(m.index())), parent);
+      }
       return;
     }
+    obs::ScopedSpan span(tracer_, std::string("net.") + message_type_name(m.index()), "btcnet",
+                         parent);
+    span.attr("from", static_cast<std::uint64_t>(from));
+    span.attr("to", static_cast<std::uint64_t>(to));
+    span.attr("bytes", static_cast<std::uint64_t>(size));
     endpoints_.at(to)->deliver(from, m);
   });
 }

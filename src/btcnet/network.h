@@ -10,10 +10,15 @@
 
 #include "btcnet/messages.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/rng.h"
 #include "util/sim.h"
 
 namespace icbtc::btcnet {
+
+/// Wire-protocol name of the Message variant alternative at `index`
+/// ("inv", "headers", "block", ...), or "unknown" if out of range.
+const char* message_type_name(std::size_t index);
 
 /// Anything that can be attached to the network: full nodes and Bitcoin
 /// adapters implement this.
@@ -87,6 +92,13 @@ class Network {
   /// down in flight).
   void set_metrics(obs::MetricsRegistry* registry);
 
+  /// Attaches a tracer (nullptr detaches). Each delivery then runs inside a
+  /// "net.<type>" span whose parent is the span that was current at *send*
+  /// time, so request/response chains (e.g. an adapter GetSuccessors
+  /// round-trip) form one causal trace across scheduled events.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
  private:
   struct Link {
     NodeId a, b;
@@ -112,6 +124,7 @@ class Network {
   std::size_t messages_sent_ = 0;
   std::size_t bytes_sent_ = 0;
 
+  obs::Tracer* tracer_ = nullptr;
   obs::Counter* messages_metric_ = nullptr;
   obs::Counter* bytes_metric_ = nullptr;
   obs::Counter* drops_metric_ = nullptr;

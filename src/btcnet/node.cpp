@@ -272,6 +272,10 @@ void BitcoinNode::handle_cmpct_block(NodeId from, const MsgCmpctBlock& msg) {
   std::vector<const Transaction*> pool;
   pool.reserve(mempool_.size());
   for (const auto& [txid, entry] : mempool_) pool.push_back(&entry.tx);
+  obs::ScopedSpan span(tracer_, "cmpct.decode", "reconcile");
+  span.attr("node", static_cast<std::uint64_t>(id_));
+  span.attr("sketch_cells", static_cast<std::uint64_t>(cb.sketch.cell_count()));
+  span.attr("mempool", static_cast<std::uint64_t>(pool.size()));
   auto decode = reconcile::CompactBlockCodec::decode(cb, pool);
   estimator_.observe(decode.diff_slices);
   if (metrics_.cmpct_decode_success != nullptr) {
@@ -285,11 +289,14 @@ void BitcoinNode::handle_cmpct_block(NodeId from, const MsgCmpctBlock& msg) {
   if (decode.complete()) {
     auto block = reconcile::CompactBlockCodec::assemble(cb, decode);
     if (block) {
+      span.attr("outcome", "reconstructed");
       accept_block(*block, from);
       return;
     }
     // Merkle mismatch (short-id collision picked a wrong transaction): only
     // the full block can resolve it.
+    span.attr("outcome", "fallback_full");
+    span.event(obs::Severity::kWarn, "cmpct.merkle_mismatch", "falling back to full block");
     if (metrics_.cmpct_fallback_full != nullptr) metrics_.cmpct_fallback_full->inc();
     requested_blocks_.insert(hash);
     network_->send(id_, from, MsgGetData{{hash}, {}});
@@ -297,6 +304,8 @@ void BitcoinNode::handle_cmpct_block(NodeId from, const MsgCmpctBlock& msg) {
   }
 
   // Some positions are unresolved: ask the announcer for exactly those.
+  span.attr("outcome", "getblocktxn");
+  span.attr("missing", static_cast<std::uint64_t>(decode.missing.size()));
   if (metrics_.cmpct_fallback_getblocktxn != nullptr) metrics_.cmpct_fallback_getblocktxn->inc();
   MsgGetBlockTxn request{hash, decode.missing};
   pending_compact_.emplace(hash, PendingCompact{cb, std::move(decode), from});
@@ -327,6 +336,9 @@ void BitcoinNode::handle_block_txn(NodeId from, const MsgBlockTxn& msg) {
   if (it == pending_compact_.end()) return;
   if (!reconcile::CompactBlockCodec::fill(it->second.decode, msg.transactions)) {
     pending_compact_.erase(it);
+    if (tracer_ != nullptr) {
+      tracer_->event(obs::Severity::kWarn, "cmpct.fill_failed", "falling back to full block");
+    }
     if (metrics_.cmpct_fallback_full != nullptr) metrics_.cmpct_fallback_full->inc();
     requested_blocks_.insert(msg.block_hash);
     network_->send(id_, from, MsgGetData{{msg.block_hash}, {}});
@@ -348,6 +360,9 @@ void BitcoinNode::finish_compact(const Hash256& hash) {
     accept_block(*block, from);
     return;
   }
+  if (tracer_ != nullptr) {
+    tracer_->event(obs::Severity::kWarn, "cmpct.assemble_failed", "falling back to full block");
+  }
   if (metrics_.cmpct_fallback_full != nullptr) metrics_.cmpct_fallback_full->inc();
   requested_blocks_.insert(hash);
   network_->send(id_, from, MsgGetData{{hash}, {}});
@@ -363,6 +378,10 @@ bool BitcoinNode::accept_block(const Block& block, NodeId from) {
     // Remember the sender so the eventual connect does not echo the
     // announcement back to it.
     orphans_[block.header.prev_hash].push_back(OrphanBlock{block, from});
+    if (tracer_ != nullptr) {
+      tracer_->event(obs::Severity::kWarn, "node.orphan_block",
+                     "node " + std::to_string(id_) + " missing parent");
+    }
     if (metrics_.orphan_blocks != nullptr) metrics_.orphan_blocks->inc();
     // Learn the missing ancestry.
     if (from != kInvalidNode) {
@@ -425,7 +444,13 @@ void BitcoinNode::update_active_chain() {
     undo_stack_.pop_back();
     rolled_back = true;
   }
-  if (rolled_back) ++reorg_count_;
+  if (rolled_back) {
+    ++reorg_count_;
+    if (tracer_ != nullptr) {
+      tracer_->event(obs::Severity::kWarn, "node.reorg",
+                     "node " + std::to_string(id_) + " switched best chain");
+    }
+  }
 
   // Walk forward from the fork point.
   const auto* active_entry = tree_.find(active_tip_);

@@ -85,6 +85,11 @@ class BitcoinNode : public Endpoint {
   /// nodes: the counters are network-wide totals.
   void set_metrics(obs::MetricsRegistry* registry);
 
+  /// Attaches a tracer (nullptr detaches): spans around compact-block decode
+  /// with the outcome (mempool reconstruction, getblocktxn round-trip, full
+  /// fallback) and flight-recorder events for orphan blocks and reorgs.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
   /// The node's current estimate of mempool divergence (slices), used to
   /// size outgoing sketches.
   const reconcile::DivergenceEstimator& divergence_estimator() const { return estimator_; }
@@ -187,6 +192,7 @@ class BitcoinNode : public Endpoint {
     obs::Histogram* cmpct_sketch_cells = nullptr;
   };
   Metrics metrics_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace icbtc::btcnet

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "bitcoin/script.h"
+#include "parallel/thread_pool.h"
 #include "util/byteio.h"
 
 namespace icbtc::canister {
@@ -17,12 +18,27 @@ namespace {
 /// into simulated latency (≈2B instructions per second of replicated
 /// execution, the rate behind the paper's §IV-B latency figures).
 constexpr double kInstructionsPerMs = 2e6;
+constexpr double kInstructionsPerUs = kInstructionsPerMs / 1000.0;
 }  // namespace
 
+BitcoinCanister::EndpointCall::EndpointCall(BitcoinCanister& canister, std::string_view name,
+                                            const EndpointMetrics& metrics)
+    : metrics_(&metrics),
+      segment_(canister.meter_),
+      span_(canister.tracer_, std::string("canister.") + std::string(name), "canister") {}
+
 BitcoinCanister::EndpointCall::~EndpointCall() {
+  double instructions = static_cast<double>(segment_.sample());
+  if (span_.active()) {
+    // Simulated time stands still while a call executes, so the span ends at
+    // its modelled execution latency rather than at now().
+    span_.attr("instructions", segment_.sample());
+    span_.attr("latency_ms", instructions / kInstructionsPerMs);
+    span_.end_at(span_.start() +
+                 static_cast<obs::TraceTime>(instructions / kInstructionsPerUs));
+  }
   if (metrics_->calls == nullptr) return;
   metrics_->calls->inc();
-  double instructions = static_cast<double>(segment_.sample());
   metrics_->instructions->observe(instructions);
   metrics_->latency_ms->observe(instructions / kInstructionsPerMs);
 }
@@ -115,9 +131,26 @@ adapter::AdapterRequest BitcoinCanister::make_request() {
 
 BitcoinCanister::ProcessResult BitcoinCanister::process_response(
     const adapter::AdapterResponse& response, std::int64_t now_s) {
-  EndpointCall call(meter_, metrics_.process_response);
+  EndpointCall call(*this, "process_response", metrics_.process_response);
   meter_.charge(config_.costs.request_overhead);
   ProcessResult result;
+
+  // Traced txid precompute: with a tracer attached the memoized caches of the
+  // incoming blocks are warmed up front — in parallel when the shared pool is
+  // installed — so each block's hash work shows up as one task span. Txid
+  // memoization makes this behaviour-neutral: the validation below computes
+  // the same hashes either way. The TraceTaskGroup pre-allocates span ids on
+  // this thread and joins in index order, keeping exports pool-invariant.
+  if (tracer_ != nullptr && !response.blocks.empty()) {
+    obs::TraceTaskGroup group(tracer_, "canister.precompute_txids", "parallel",
+                              response.blocks.size());
+    parallel::parallel_for(parallel::shared_pool(), response.blocks.size(), [&](std::size_t i) {
+      const Block& block = response.blocks[i].first;
+      for (const auto& tx : block.transactions) (void)tx.txid();
+      group.record(i, {{"txs", static_cast<std::uint64_t>(block.transactions.size())}});
+    });
+    group.join();
+  }
 
   // Lines 1-15: validate and store each block, then try to advance the
   // anchor (possibly repeatedly: one arrival can make several blocks
@@ -183,6 +216,7 @@ std::size_t BitcoinCanister::advance_anchor() {
     IngestStats stats;
     stats.height = next_height;
     stats.transactions = block.transactions.size();
+    obs::ScopedSpan ingest_span(tracer_, "canister.ingest_block", "canister");
     ic::InstructionMeter::Segment segment(meter_);
     for (const auto& tx : block.transactions) {
       meter_.charge(config_.costs.per_tx_overhead);
@@ -204,6 +238,16 @@ std::size_t BitcoinCanister::advance_anchor() {
     }
     stable_utxos_.flush_size_gauges();  // size gauges are batched per block
     stats.instructions = segment.sample();
+    if (ingest_span.active()) {
+      ingest_span.attr("height", static_cast<std::int64_t>(stats.height));
+      ingest_span.attr("txs", static_cast<std::uint64_t>(stats.transactions));
+      ingest_span.attr("inputs_removed", static_cast<std::uint64_t>(stats.inputs_removed));
+      ingest_span.attr("outputs_inserted", static_cast<std::uint64_t>(stats.outputs_inserted));
+      ingest_span.attr("instructions", stats.instructions);
+      ingest_span.end_at(ingest_span.start() +
+                         static_cast<obs::TraceTime>(static_cast<double>(stats.instructions) /
+                                                     kInstructionsPerUs));
+    }
     ingest_log_.push_back(stats);
     if (metrics_.blocks_ingested != nullptr) {
       metrics_.blocks_ingested->inc();
@@ -220,6 +264,10 @@ std::size_t BitcoinCanister::advance_anchor() {
     std::erase_if(unstable_blocks_,
                   [&](const auto& entry) { return !tree_.contains(entry.first); });
     ++advanced;
+    if (tracer_ != nullptr) {
+      tracer_->event(obs::Severity::kInfo, "anchor_advanced",
+                     "height " + std::to_string(tree_.root().height));
+    }
   }
   return advanced;
 }
@@ -333,7 +381,7 @@ std::size_t BitcoinCanister::collect_utxos_page(const util::Bytes& script, int c
 }
 
 Outcome<GetUtxosResponse> BitcoinCanister::get_utxos(const GetUtxosRequest& request) {
-  EndpointCall call(meter_, metrics_.get_utxos);
+  EndpointCall call(*this, "get_utxos", metrics_.get_utxos);
   if (!sync_gate()) return {Status::kNotSynced, {}};
   if (request.min_confirmations > config_.stability_delta) {
     // Responses could be missing outputs spent below the anchor (§III-C).
@@ -377,7 +425,7 @@ Outcome<GetUtxosResponse> BitcoinCanister::get_utxos(const GetUtxosRequest& requ
 
 Outcome<bitcoin::Amount> BitcoinCanister::get_balance(const std::string& address,
                                                       int min_confirmations) {
-  EndpointCall call(meter_, metrics_.get_balance);
+  EndpointCall call(*this, "get_balance", metrics_.get_balance);
   if (!sync_gate()) return {Status::kNotSynced, {}};
   if (min_confirmations > config_.stability_delta) {
     return {Status::kMinConfirmationsTooLarge, {}};
@@ -395,7 +443,7 @@ Outcome<bitcoin::Amount> BitcoinCanister::get_balance(const std::string& address
 }
 
 Status BitcoinCanister::send_transaction(const util::Bytes& raw_transaction) {
-  EndpointCall call(meter_, metrics_.send_transaction);
+  EndpointCall call(*this, "send_transaction", metrics_.send_transaction);
   // Basic syntactic checks only (§III-C): decodable and well-formed.
   try {
     bitcoin::Transaction tx = bitcoin::Transaction::parse(raw_transaction);
@@ -411,7 +459,7 @@ Status BitcoinCanister::send_transaction(const util::Bytes& raw_transaction) {
 }
 
 Outcome<std::vector<std::uint64_t>> BitcoinCanister::get_current_fee_percentiles() {
-  EndpointCall call(meter_, metrics_.fee_percentiles);
+  EndpointCall call(*this, "get_current_fee_percentiles", metrics_.fee_percentiles);
   if (!sync_gate()) return {Status::kNotSynced, {}};
   // Scan the unstable suffix of the current chain. Outputs created earlier
   // in the window (or in the stable set) resolve input values; transactions
@@ -478,7 +526,7 @@ Outcome<std::vector<std::uint64_t>> BitcoinCanister::get_current_fee_percentiles
 
 Outcome<BitcoinCanister::GetBlockHeadersResponse> BitcoinCanister::get_block_headers(
     int start_height, int end_height) {
-  EndpointCall call(meter_, metrics_.block_headers);
+  EndpointCall call(*this, "get_block_headers", metrics_.block_headers);
   if (!sync_gate()) return {Status::kNotSynced, {}};
   int tip = tree_.best_height();
   if (end_height < 0) end_height = tip;

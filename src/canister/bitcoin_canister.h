@@ -19,6 +19,7 @@
 #include "chain/header_tree.h"
 #include "ic/metering.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace icbtc::canister {
 
@@ -183,6 +184,16 @@ class BitcoinCanister {
   /// UTXO store's `utxo.*` metrics.
   void set_metrics(obs::MetricsRegistry* registry);
 
+  /// Attaches a tracer (nullptr detaches): every endpoint call becomes a
+  /// "canister.<endpoint>" span ending at its modelled execution latency
+  /// (metered instructions at 2e9/s), block ingestion yields per-block
+  /// "canister.ingest_block" child spans, and anchor advancement emits an
+  /// "anchor_advanced" flight-recorder event. With the shared thread pool
+  /// installed, process_response precomputes txids in parallel under a
+  /// TraceTaskGroup, keeping exports identical to serial runs.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
  private:
   struct UnstableView;
 
@@ -193,11 +204,13 @@ class BitcoinCanister {
     obs::Histogram* latency_ms = nullptr;
   };
   /// RAII guard: counts the call and, on scope exit, records the metered
-  /// instruction delta and its simulated execution latency.
+  /// instruction delta and its simulated execution latency — into the
+  /// metrics histograms and, when a tracer is attached, a
+  /// "canister.<endpoint>" span carrying the same numbers.
   class EndpointCall {
    public:
-    EndpointCall(const ic::InstructionMeter& meter, const EndpointMetrics& metrics)
-        : metrics_(&metrics), segment_(meter) {}
+    EndpointCall(BitcoinCanister& canister, std::string_view name,
+                 const EndpointMetrics& metrics);
     EndpointCall(const EndpointCall&) = delete;
     EndpointCall& operator=(const EndpointCall&) = delete;
     ~EndpointCall();
@@ -205,6 +218,7 @@ class BitcoinCanister {
    private:
     const EndpointMetrics* metrics_;
     ic::InstructionMeter::Segment segment_;
+    obs::ScopedSpan span_;
   };
 
   /// is_synced(), but counts a `canister.sync_rejections` when it fails.
@@ -271,6 +285,7 @@ class BitcoinCanister {
     obs::Gauge* pending = nullptr;
   };
   Metrics metrics_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace icbtc::canister

@@ -60,6 +60,16 @@ class BitcoinIntegration {
   void start();
   void stop();
 
+  /// Attaches a tracer to the whole integration (nullptr detaches): the
+  /// canister, every adapter, and this layer's own spans — an
+  /// "ic.round_request" span per consensus round-trip and one root
+  /// "request.<endpoint>" span per client call. Each client call also
+  /// records a RequestCostRecord (a Fig. 7 data point) binding its sim-time
+  /// latency, metered instructions, response bytes, and cycle cost. The
+  /// caller is responsible for installing a clock on the tracer (normally
+  /// the subnet's simulation time).
+  void set_tracer(obs::Tracer* tracer);
+
   void set_byzantine_response_provider(ByzantineResponseProvider provider) {
     byzantine_provider_ = std::move(provider);
   }
@@ -91,6 +101,7 @@ class BitcoinIntegration {
   BitcoinCanister canister_;
   std::vector<std::unique_ptr<adapter::BitcoinAdapter>> adapters_;
   ByzantineResponseProvider byzantine_provider_;
+  obs::Tracer* tracer_ = nullptr;
   std::size_t heartbeat_id_ = 0;
   bool running_ = false;
   bool canister_down_ = false;

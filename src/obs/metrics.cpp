@@ -3,48 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
-#include <cstdlib>
 #include <stdexcept>
+
+#include "obs/json_detail.h"
 
 namespace icbtc::obs {
 
-namespace {
-
-/// Shortest decimal representation that round-trips to the same double.
-/// Deterministic for a given value, and value-identity is all the snapshot
-/// determinism guarantee needs.
-std::string format_double(double v) {
-  char buf[64];
-  for (int precision = 15; precision <= 17; ++precision) {
-    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
-    if (std::strtod(buf, nullptr) == v) break;
-  }
-  return buf;
-}
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char esc[8];
-          std::snprintf(esc, sizeof(esc), "\\u%04x", c);
-          out += esc;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
+using detail::format_double;
+using detail::json_escape;
 
 Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   for (std::size_t i = 1; i < bounds_.size(); ++i) {
@@ -55,7 +21,18 @@ Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
   buckets_.assign(bounds_.size() + 1, 0);
 }
 
+Histogram::Histogram(Histogram&& other) noexcept {
+  std::lock_guard<std::mutex> lock(other.mu_);
+  bounds_ = std::move(other.bounds_);
+  buckets_ = std::move(other.buckets_);
+  count_ = other.count_;
+  sum_ = other.sum_;
+  min_ = other.min_;
+  max_ = other.max_;
+}
+
 void Histogram::observe(double value) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (count_ == 0) {
     min_ = max_ = value;
   } else {
@@ -68,9 +45,50 @@ void Histogram::observe(double value) {
   ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
 }
 
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_;
+}
+
 double Histogram::quantile(double q) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return quantile_locked(q);
+}
+
+double Histogram::quantile_locked(double q) const {
+  // Empty histogram: min_/max_ carry no observation, so the only defensible
+  // answer is 0 (matching mean()).
   if (count_ == 0) return 0.0;
+  // A single observation is the whole distribution — every quantile is it.
+  if (count_ == 1) return min_;
   q = std::clamp(q, 0.0, 1.0);
+  if (q <= 0.0) return min_;
+  if (q >= 1.0) return max_;
   double rank = q * static_cast<double>(count_);  // target rank in (0, count]
   std::uint64_t cumulative = 0;
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
@@ -114,7 +132,18 @@ std::vector<double> Histogram::exponential_bounds(double start, double factor, i
   return out;
 }
 
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return gauges_[name];
+}
+
 Histogram& MetricsRegistry::histogram(const std::string& name, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = histograms_.find(name);
   if (it != histograms_.end()) return it->second;
   if (bounds.empty()) {
@@ -157,7 +186,7 @@ std::string to_json(const MetricsRegistry& registry) {
     out += "      \"p90\": " + format_double(h.quantile(0.9)) + ",\n";
     out += "      \"p99\": " + format_double(h.quantile(0.99)) + ",\n";
     out += "      \"buckets\": [";
-    const auto& counts = h.bucket_counts();
+    const auto counts = h.bucket_counts();
     bool first_bucket = true;
     for (std::size_t i = 0; i < counts.size(); ++i) {
       if (counts[i] == 0) continue;  // sparse: empty buckets carry no signal

@@ -8,60 +8,75 @@
 // byte-identical to_json() output. Components accept an optional
 // MetricsRegistry* and no-op when none is attached, so the hot paths pay a
 // single null check when unobserved.
+//
+// Thread safety: counters and gauges are atomics, histogram observation and
+// registry lookup/creation are mutex-guarded, so instruments may be updated
+// from parallel::ThreadPool workers. Snapshotting (to_json/to_table) is only
+// meaningful once concurrent writers have quiesced — totals are exact then,
+// but a snapshot raced against writers may mix per-metric states.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace icbtc::obs {
 
-/// Monotonically increasing event count.
+/// Monotonically increasing event count. inc() is lock-free.
 class Counter {
  public:
-  void inc(std::uint64_t n = 1) { value_ += n; }
-  std::uint64_t value() const { return value_; }
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  std::uint64_t value_ = 0;
+  std::atomic<std::uint64_t> value_{0};
 };
 
 /// Point-in-time level (sizes, heights, ...). Signed so deltas can go down.
+/// set()/add() are lock-free.
 class Gauge {
  public:
-  void set(std::int64_t v) { value_ = v; }
-  void add(std::int64_t delta) { value_ += delta; }
-  std::int64_t value() const { return value_; }
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  std::int64_t value() const { return value_.load(std::memory_order_relaxed); }
 
  private:
-  std::int64_t value_ = 0;
+  std::atomic<std::int64_t> value_{0};
 };
 
 /// Fixed-bucket histogram with an exact count/sum/min/max summary and
 /// bucket-interpolated quantile estimates (Prometheus-style: each bucket
 /// counts observations <= its upper bound; an implicit +inf bucket catches
-/// the rest).
+/// the rest). observe() and the accessors take an internal mutex, so a
+/// histogram may be fed from multiple pool workers.
 class Histogram {
  public:
   /// `bounds` are the finite bucket upper bounds, strictly ascending.
   explicit Histogram(std::vector<double> bounds);
 
+  /// Move is needed for map emplacement; the source must be quiescent.
+  Histogram(Histogram&& other) noexcept;
+
   void observe(double value);
 
-  std::uint64_t count() const { return count_; }
-  double sum() const { return sum_; }
-  double min() const { return min_; }
-  double max() const { return max_; }
-  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  std::uint64_t count() const;
+  double sum() const;
+  double min() const;
+  double max() const;
+  double mean() const;
 
   const std::vector<double>& bounds() const { return bounds_; }
   /// Per-bucket (non-cumulative) counts; size() == bounds().size() + 1, the
   /// last entry being the +inf overflow bucket.
-  const std::vector<std::uint64_t>& bucket_counts() const { return buckets_; }
+  std::vector<std::uint64_t> bucket_counts() const;
 
   /// Estimated q-quantile (q in [0,1]) by linear interpolation inside the
   /// bucket holding the target rank, clamped to the observed [min, max].
+  /// Edge cases: an empty histogram returns 0; a single observation is
+  /// returned for every q; q=0 returns min(), q=1 returns max().
   double quantile(double q) const;
 
   /// 1-2-5 decade bounds spanning [lo, hi], e.g. {1,2,5,10,20,50,...}.
@@ -70,7 +85,10 @@ class Histogram {
   static std::vector<double> exponential_bounds(double start, double factor, int n);
 
  private:
+  double quantile_locked(double q) const;
+
   std::vector<double> bounds_;
+  mutable std::mutex mu_;
   std::vector<std::uint64_t> buckets_;
   std::uint64_t count_ = 0;
   double sum_ = 0.0;
@@ -81,11 +99,12 @@ class Histogram {
 /// Named metrics, created on first use and stored in name order. References
 /// returned by counter()/gauge()/histogram() remain valid for the registry's
 /// lifetime (node-based map storage), so hot paths resolve once and keep the
-/// pointer.
+/// pointer. Lookup/creation is mutex-guarded; the returned instruments are
+/// themselves thread-safe.
 class MetricsRegistry {
  public:
-  Counter& counter(const std::string& name) { return counters_[name]; }
-  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
   /// Creates the histogram with `bounds` on first use (default: instruction-
   /// scale decade bounds); later calls return the existing histogram.
   Histogram& histogram(const std::string& name, std::vector<double> bounds = {});
@@ -99,6 +118,7 @@ class MetricsRegistry {
   }
 
  private:
+  std::mutex mu_;
   std::map<std::string, Counter> counters_;
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;

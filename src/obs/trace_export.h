@@ -1,0 +1,35 @@
+// Deterministic serializers for Tracer contents.
+//
+// Two formats:
+//  - to_trace_json: our own trace-record schema — one record per trace with
+//    the span tree nested parent→children, plus per-request cost records and
+//    the flight-recorder tail. This is the machine-readable artifact the
+//    benches and tests diff byte-for-byte.
+//  - to_chrome_trace: Chrome trace-event JSON ("X" complete events, "i"
+//    instants, "M" thread-name metadata) loadable in chrome://tracing and
+//    Perfetto. Span categories map to tracks (tid = deterministic category
+//    index) so the canister/adapter/btcnet layers render as separate rows.
+//
+// Both outputs are pure functions of the tracer's recorded state: same
+// spans/events/records in, same bytes out.
+#pragma once
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace icbtc::obs {
+
+/// Full structured dump: {"traces":[...],"requests":[...],"events":[...],
+/// "dropped_spans":N}. Spans nest under their parents; children are ordered
+/// by begin seq; orphans (parent dropped/still open) surface as trace roots.
+std::string to_trace_json(const Tracer& tracer);
+
+/// Chrome trace-event format: {"traceEvents":[...]}.
+std::string to_chrome_trace(const Tracer& tracer);
+
+/// Human-readable flight-recorder dump (one line per event, oldest first) —
+/// what `fork_monitor --trace` prints when it spots a fork.
+std::string flight_recorder_text(const Tracer& tracer);
+
+}  // namespace icbtc::obs

@@ -10,6 +10,7 @@
 #include "bitcoin/script.h"
 #include "btcnet/harness.h"
 #include "canister/bitcoin_canister.h"
+#include "parallel/thread_pool.h"
 
 namespace icbtc::obs {
 namespace {
@@ -65,6 +66,31 @@ TEST(HistogramTest, QuantilesClampToObservedRange) {
   EXPECT_DOUBLE_EQ(h.quantile(0.0), 7.0);
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 7.0);
   EXPECT_DOUBLE_EQ(h.quantile(1.0), 7.0);
+}
+
+TEST(HistogramTest, QuantileOfEmptyHistogramIsZero) {
+  Histogram h({1.0, 10.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(HistogramTest, SingleObservationIsEveryQuantile) {
+  Histogram h(Histogram::decade_bounds(1.0, 1000.0));
+  h.observe(37.5);
+  for (double q : {0.0, 0.01, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q), 37.5) << "q=" << q;
+  }
+}
+
+TEST(HistogramTest, ExtremeQuantilesReturnObservedMinAndMax) {
+  Histogram h({1.0, 10.0, 100.0});
+  for (double v : {3.0, 7.0, 42.0}) h.observe(v);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 42.0);
+  // Out-of-range q clamps rather than extrapolating.
+  EXPECT_DOUBLE_EQ(h.quantile(-0.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.5), 42.0);
 }
 
 TEST(HistogramTest, QuantilesAreMonotone) {
@@ -149,6 +175,60 @@ TEST(TableTest, RendersCountersGaugesAndHistograms) {
   EXPECT_NE(table.find("12"), std::string::npos);
   EXPECT_NE(table.find("adapter.peers"), std::string::npos);
   EXPECT_NE(table.find("lat"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Thread safety: metrics are written from pool workers during parallel
+// ingestion, so concurrent updates must neither tear nor lose increments.
+// Run under `-L sanitize` these double as TSan regression tests.
+
+TEST(ThreadSafetyTest, CountersAndGaugesSurviveConcurrentHammering) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("hammered");
+  Gauge& gauge = registry.gauge("level");
+  constexpr std::size_t kTasks = 64;
+  constexpr std::uint64_t kIncrementsPerTask = 10000;
+  parallel::ThreadPool pool(4);
+  parallel::parallel_for(&pool, kTasks, [&](std::size_t) {
+    for (std::uint64_t i = 0; i < kIncrementsPerTask; ++i) {
+      counter.inc();
+      gauge.add(2);
+      gauge.add(-1);
+    }
+  });
+  EXPECT_EQ(counter.value(), kTasks * kIncrementsPerTask);
+  EXPECT_EQ(gauge.value(), static_cast<std::int64_t>(kTasks * kIncrementsPerTask));
+}
+
+TEST(ThreadSafetyTest, HistogramObservationsAreNotLost) {
+  MetricsRegistry registry;
+  Histogram& h = registry.histogram("latency", {1.0, 10.0, 100.0});
+  constexpr std::size_t kTasks = 32;
+  constexpr int kObservationsPerTask = 2000;
+  parallel::ThreadPool pool(4);
+  parallel::parallel_for(&pool, kTasks, [&](std::size_t task) {
+    for (int i = 0; i < kObservationsPerTask; ++i) {
+      h.observe(static_cast<double>(task % 3 == 0 ? 5 : 50));
+    }
+  });
+  EXPECT_EQ(h.count(), kTasks * kObservationsPerTask);
+  std::uint64_t bucket_total = 0;
+  for (std::uint64_t c : h.bucket_counts()) bucket_total += c;
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST(ThreadSafetyTest, RegistryCreationRacesResolveToOneMetric) {
+  MetricsRegistry registry;
+  constexpr std::size_t kTasks = 48;
+  parallel::ThreadPool pool(4);
+  parallel::parallel_for(&pool, kTasks, [&](std::size_t task) {
+    // Everyone races to create the same counter, plus one private each.
+    registry.counter("shared").inc();
+    registry.counter("private." + std::to_string(task)).inc();
+    registry.histogram("shared.h").observe(1.0);
+  });
+  EXPECT_EQ(registry.counter("shared").value(), kTasks);
+  EXPECT_EQ(registry.histogram("shared.h").count(), kTasks);
 }
 
 // ---------------------------------------------------------------------------
