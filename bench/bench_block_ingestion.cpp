@@ -141,7 +141,11 @@ ModeResult replay(const ModeConfig& mode, const std::vector<util::Bytes>& stream
   double best = 0;
   for (int rep = 0; rep < reps; ++rep) {
     const auto& params = bitcoin::ChainParams::regtest();
-    canister::BitcoinCanister canister(params, canister::CanisterConfig::for_params(params));
+    auto config = canister::CanisterConfig::for_params(params);
+    // Scan mode: this comparison isolates hashing work, so skip the delta
+    // builds (benched separately in bench_request_latency's modes section).
+    config.unstable_query_mode = canister::UnstableQueryMode::kScan;
+    canister::BitcoinCanister canister(params, config);
     obs::MetricsRegistry registry;
     canister.set_metrics(&registry);
 

@@ -19,6 +19,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -362,6 +363,312 @@ bool write_bench_json(const Figure7Result& r) {
   return true;
 }
 
+// --- Scan vs. indexed unstable reads -------------------------------------
+//
+// The delta index (src/canister/unstable_index.h) replaces the per-request
+// unstable-chain scan with chain-ordered delta lookups. The contract: host
+// wall-clock drops, responses and metered instruction counts are identical.
+// This section replays one deep-unstable workload (δ-deep unstable chain,
+// mainnet shape: 144 blocks) into a scan-mode and an indexed-mode canister,
+// digests every response and meter sample, fails on any divergence, and
+// writes BENCH_requests.json with the scan baseline column retained.
+
+std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  h ^= (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+  return h * 0xff51afd7ed558ccdULL;
+}
+
+std::uint64_t now_us() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+struct ModesWorkload {
+  std::vector<adapter::AdapterResponse> responses;  // identical bytes for both modes
+  std::vector<std::string> addresses;
+  std::int64_t now_s = 0;
+  std::size_t unstable_blocks = 0;
+  std::size_t total_outputs = 0;
+  int stability_delta = 0;
+};
+
+/// A deep-unstable workload: every dealt block stays below δ of the tip, so
+/// each request's view is assembled from the full unstable chain. Tracked
+/// addresses follow the paper's UTXO-count skew (the >=1000 bucket forces
+/// multi-page get_utxos chains); background transactions pay untracked
+/// scripts so the scan path has realistic non-matching work, and some spend
+/// earlier outputs to exercise the spent-outpoint filtering.
+ModesWorkload build_modes_workload(bool quick) {
+  ModesWorkload w;
+  w.unstable_blocks = quick ? 24 : 144;
+  w.stability_delta = static_cast<int>(w.unstable_blocks);  // nothing stabilizes
+  const std::size_t n_addresses = quick ? 40 : 200;
+  const std::size_t background_txs = quick ? 4 : 8;
+  const std::size_t background_outputs = quick ? 25 : 60;
+
+  util::Rng rng(4242);
+  const auto& params = bitcoin::ChainParams::regtest();
+  chain::HeaderTree tree(params, params.genesis_header);
+  util::Hash256 tip = params.genesis_header.hash();
+  std::uint32_t time = params.genesis_header.time;
+  std::uint64_t tag = 515000;
+
+  auto counts = paper_address_skew(n_addresses, rng);
+  std::vector<util::Bytes> scripts;
+  for (std::size_t i = 0; i < n_addresses; ++i) {
+    util::Hash160 h;
+    auto bytes = rng.next_bytes(20);
+    std::copy(bytes.begin(), bytes.end(), h.data.begin());
+    scripts.push_back(bitcoin::p2pkh_script(h));
+    w.addresses.push_back(bitcoin::p2pkh_address(h, params.network));
+  }
+
+  std::vector<std::size_t> remaining = counts;
+  std::vector<bitcoin::OutPoint> spendable;
+  for (std::size_t b = 0; b < w.unstable_blocks; ++b) {
+    std::vector<bitcoin::Transaction> txs;
+    // Tracked payments: spread every address's quota evenly across blocks.
+    bitcoin::Transaction tracked;
+    bitcoin::TxIn in;
+    in.prevout.txid = rng.next_hash();
+    tracked.inputs.push_back(in);
+    for (std::size_t a = 0; a < n_addresses; ++a) {
+      std::size_t blocks_left = w.unstable_blocks - b;
+      std::size_t chunk = (remaining[a] + blocks_left - 1) / blocks_left;
+      chunk = std::min(chunk, remaining[a]);
+      for (std::size_t i = 0; i < chunk; ++i) {
+        tracked.outputs.push_back(bitcoin::TxOut{1000, scripts[a]});
+      }
+      remaining[a] -= chunk;
+    }
+    if (!tracked.outputs.empty()) txs.push_back(std::move(tracked));
+    // Background noise, occasionally spending earlier unstable outputs.
+    for (std::size_t t = 0; t < background_txs; ++t) {
+      bitcoin::Transaction tx;
+      bitcoin::TxIn bg_in;
+      if (!spendable.empty() && rng.chance(0.5)) {
+        bg_in.prevout = spendable[rng.next_below(spendable.size())];
+      } else {
+        bg_in.prevout.txid = rng.next_hash();
+      }
+      tx.inputs.push_back(bg_in);
+      for (std::size_t o = 0; o < background_outputs; ++o) {
+        util::Hash160 h;
+        auto bytes = rng.next_bytes(20);
+        std::copy(bytes.begin(), bytes.end(), h.data.begin());
+        tx.outputs.push_back(bitcoin::TxOut{900, bitcoin::p2pkh_script(h)});
+      }
+      txs.push_back(std::move(tx));
+    }
+    time += 600;
+    auto block =
+        chain::build_child_block(tree, tip, time, scripts[0], bitcoin::block_subsidy(0),
+                                 std::move(txs), tag++);
+    tip = block.hash();
+    tree.accept(block.header, static_cast<std::int64_t>(time) + 10000);
+    for (const auto& tx : block.transactions) {
+      util::Hash256 txid = tx.txid();
+      w.total_outputs += tx.outputs.size();
+      for (std::uint32_t v = 0; v < tx.outputs.size() && v < 4; ++v) {
+        spendable.push_back(bitcoin::OutPoint{txid, v});
+      }
+    }
+    adapter::AdapterResponse response;
+    response.blocks.emplace_back(std::move(block), tree.find(tip)->header);
+    w.responses.push_back(std::move(response));
+  }
+  w.now_s = static_cast<std::int64_t>(time) + 10000;
+  return w;
+}
+
+struct ModeRun {
+  double ingest_us = 0;
+  double utxos_us = 0, utxos_hot_us = 0;
+  double balance_us = 0, balance_hot_us = 0;
+  std::vector<std::uint64_t> probes;  // response digest + instruction count per request
+  std::uint64_t meter_total = 0;
+  std::uint64_t memo_hits = 0, memo_misses = 0;
+  std::uint64_t delta_builds = 0, resident_bytes = 0;
+};
+
+ModeRun run_mode(const ModesWorkload& w, canister::UnstableQueryMode mode) {
+  const auto& params = bitcoin::ChainParams::regtest();
+  auto config = canister::CanisterConfig::for_params(params);
+  config.stability_delta = w.stability_delta;
+  config.unstable_query_mode = mode;
+  canister::BitcoinCanister canister(params, config);
+  obs::MetricsRegistry registry;
+  canister.set_metrics(&registry);
+  canister.set_delta_build_clock(now_us);
+
+  ModeRun run;
+  std::uint64_t t0 = now_us();
+  for (const auto& response : w.responses) canister.process_response(response, w.now_s);
+  run.ingest_us = static_cast<double>(now_us() - t0);
+
+  auto probe_utxos = [&](double& bucket) {
+    std::uint64_t start = now_us();
+    for (const auto& addr : w.addresses) {
+      canister::GetUtxosRequest request;
+      request.address = addr;
+      for (;;) {
+        ic::InstructionMeter::Segment segment(canister.meter());
+        auto outcome = canister.get_utxos(request);
+        std::uint64_t digest = mix64(0, static_cast<std::uint64_t>(outcome.status));
+        digest = mix64(digest, segment.sample());
+        if (outcome.ok()) {
+          digest = mix64(digest, static_cast<std::uint64_t>(outcome.value.tip_height));
+          for (const auto& u : outcome.value.utxos) {
+            digest = mix64(digest, u.outpoint.txid.data[0] |
+                                       static_cast<std::uint64_t>(u.outpoint.vout) << 8);
+            digest = mix64(digest, static_cast<std::uint64_t>(u.value));
+            digest = mix64(digest, static_cast<std::uint64_t>(u.height));
+          }
+        }
+        run.probes.push_back(digest);
+        if (!outcome.ok() || !outcome.value.next_page) break;
+        request.page = outcome.value.next_page;
+      }
+    }
+    bucket = static_cast<double>(now_us() - start);
+  };
+  auto probe_balance = [&](double& bucket) {
+    std::uint64_t start = now_us();
+    for (const auto& addr : w.addresses) {
+      ic::InstructionMeter::Segment segment(canister.meter());
+      auto outcome = canister.get_balance(addr);
+      std::uint64_t digest = mix64(0, static_cast<std::uint64_t>(outcome.status));
+      digest = mix64(digest, segment.sample());
+      digest = mix64(digest, static_cast<std::uint64_t>(outcome.value));
+      run.probes.push_back(digest);
+    }
+    bucket = static_cast<double>(now_us() - start);
+  };
+
+  probe_utxos(run.utxos_us);
+  probe_utxos(run.utxos_hot_us);  // indexed mode: memoized views
+  probe_balance(run.balance_us);
+  probe_balance(run.balance_hot_us);
+
+  run.meter_total = canister.meter().count();
+  run.memo_hits = registry.counter("canister.delta.memo_hits").value();
+  run.memo_misses = registry.counter("canister.delta.memo_misses").value();
+  run.delta_builds = registry.counter("canister.delta.builds").value();
+  run.resident_bytes = canister.unstable_index().resident_bytes();
+  return run;
+}
+
+struct RequestModesResult {
+  ModesWorkload workload;  // responses cleared before storing
+  ModeRun scan;
+  ModeRun indexed;
+  std::size_t divergent = 0;
+  bool ok = true;
+};
+
+RequestModesResult run_request_modes() {
+  const bool quick = quick_mode();
+  std::printf("\n--- Scan vs. indexed unstable reads (deep-unstable workload) ---\n");
+  RequestModesResult r;
+  ModesWorkload w = build_modes_workload(quick);
+  std::printf("workload: %zu addresses, %zu unstable blocks, %zu outputs%s\n", w.addresses.size(),
+              w.unstable_blocks, w.total_outputs, quick ? " (quick mode)" : "");
+
+  r.scan = run_mode(w, canister::UnstableQueryMode::kScan);
+  r.indexed = run_mode(w, canister::UnstableQueryMode::kIndexed);
+
+  if (r.scan.probes.size() != r.indexed.probes.size()) {
+    r.divergent = SIZE_MAX;
+  } else {
+    for (std::size_t i = 0; i < r.scan.probes.size(); ++i) {
+      if (r.scan.probes[i] != r.indexed.probes[i]) ++r.divergent;
+    }
+  }
+  if (r.scan.meter_total != r.indexed.meter_total) r.divergent += 1;
+  if (r.divergent != 0) {
+    std::fprintf(stderr,
+                 "FAIL: scan and indexed modes diverged (%zu mismatching request "
+                 "digests/meter totals) — responses and metering must be identical\n",
+                 r.divergent);
+    r.ok = false;
+  }
+
+  auto speedup = [](double scan, double indexed) { return indexed > 0 ? scan / indexed : 0.0; };
+  std::printf("  %-22s %12s %12s %9s\n", "series", "scan (ms)", "indexed (ms)", "speedup");
+  auto row = [&](const char* name, double s, double i) {
+    std::printf("  %-22s %12.2f %12.2f %8.1fx\n", name, s / 1e3, i / 1e3, speedup(s, i));
+  };
+  row("get_utxos cold", r.scan.utxos_us, r.indexed.utxos_us);
+  row("get_utxos hot", r.scan.utxos_hot_us, r.indexed.utxos_hot_us);
+  row("get_balance cold", r.scan.balance_us, r.indexed.balance_us);
+  row("get_balance hot", r.scan.balance_hot_us, r.indexed.balance_hot_us);
+  std::printf("  ingest overhead: scan %.2fms, indexed %.2fms (delta builds: %llu)\n",
+              r.scan.ingest_us / 1e3, r.indexed.ingest_us / 1e3,
+              static_cast<unsigned long long>(r.indexed.delta_builds));
+  std::printf("  indexed memo: %llu hits / %llu misses; resident deltas: %.1f MiB\n",
+              static_cast<unsigned long long>(r.indexed.memo_hits),
+              static_cast<unsigned long long>(r.indexed.memo_misses),
+              static_cast<double>(r.indexed.resident_bytes) / (1024.0 * 1024.0));
+  std::printf("  metering: scan %llu == indexed %llu instructions (%s)\n",
+              static_cast<unsigned long long>(r.scan.meter_total),
+              static_cast<unsigned long long>(r.indexed.meter_total),
+              r.scan.meter_total == r.indexed.meter_total ? "identical" : "DIVERGED");
+
+  w.responses.clear();  // keep only the metadata for the JSON report
+  r.workload = std::move(w);
+  return r;
+}
+
+bool write_requests_json(const RequestModesResult& r) {
+  const char* out_path = std::getenv("ICBTC_BENCH_REQUESTS_OUT");
+  if (out_path == nullptr || *out_path == '\0') out_path = "BENCH_requests.json";
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", out_path);
+    return false;
+  }
+  auto mode_json = [&](const char* name, const ModeRun& m, bool last) {
+    std::fprintf(out,
+                 "    \"%s\": {\"ingest_ms\": %.3f, \"get_utxos_ms\": %.3f, "
+                 "\"get_utxos_hot_ms\": %.3f, \"get_balance_ms\": %.3f, "
+                 "\"get_balance_hot_ms\": %.3f, \"metered_instructions\": %llu}%s\n",
+                 name, m.ingest_us / 1e3, m.utxos_us / 1e3, m.utxos_hot_us / 1e3,
+                 m.balance_us / 1e3, m.balance_hot_us / 1e3,
+                 static_cast<unsigned long long>(m.meter_total), last ? "" : ",");
+  };
+  std::fprintf(out, "{\n");
+  std::fprintf(out,
+               "  \"workload\": {\"addresses\": %zu, \"unstable_blocks\": %zu, "
+               "\"total_outputs\": %zu, \"quick\": %s},\n",
+               r.workload.addresses.size(), r.workload.unstable_blocks, r.workload.total_outputs,
+               quick_mode() ? "true" : "false");
+  std::fprintf(out, "  \"divergent_requests\": %zu,\n", r.divergent);
+  std::fprintf(out, "  \"modes\": {\n");
+  mode_json("scan", r.scan, false);
+  mode_json("indexed", r.indexed, true);
+  std::fprintf(out, "  },\n");
+  std::fprintf(out,
+               "  \"speedup\": {\"get_utxos\": %.2f, \"get_utxos_hot\": %.2f, "
+               "\"get_balance\": %.2f, \"get_balance_hot\": %.2f},\n",
+               r.indexed.utxos_us > 0 ? r.scan.utxos_us / r.indexed.utxos_us : 0.0,
+               r.indexed.utxos_hot_us > 0 ? r.scan.utxos_hot_us / r.indexed.utxos_hot_us : 0.0,
+               r.indexed.balance_us > 0 ? r.scan.balance_us / r.indexed.balance_us : 0.0,
+               r.indexed.balance_hot_us > 0 ? r.scan.balance_hot_us / r.indexed.balance_hot_us
+                                            : 0.0);
+  std::fprintf(out,
+               "  \"delta_index\": {\"builds\": %llu, \"memo_hits\": %llu, "
+               "\"memo_misses\": %llu, \"resident_bytes\": %llu}\n",
+               static_cast<unsigned long long>(r.indexed.delta_builds),
+               static_cast<unsigned long long>(r.indexed.memo_hits),
+               static_cast<unsigned long long>(r.indexed.memo_misses),
+               static_cast<unsigned long long>(r.indexed.resident_bytes));
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path);
+  return true;
+}
+
 void BM_GetBalance(benchmark::State& state) {
   static Fixture fx(200);
   std::size_t i = 0;
@@ -389,6 +696,8 @@ BENCHMARK(BM_GetUtxosFirstPage);
 int main(int argc, char** argv) {
   Figure7Result result = run_figure7();
   bool ok = result.ok && write_bench_json(result);
+  RequestModesResult modes = run_request_modes();
+  ok = ok && modes.ok && write_requests_json(modes);
   if (!quick_mode()) {
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();

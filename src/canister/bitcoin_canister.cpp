@@ -45,6 +45,7 @@ BitcoinCanister::EndpointCall::~EndpointCall() {
 
 void BitcoinCanister::set_metrics(obs::MetricsRegistry* registry) {
   stable_utxos_.set_metrics(registry);
+  unstable_index_.set_metrics(registry);
   if (registry == nullptr) {
     metrics_ = Metrics{};
     return;
@@ -170,6 +171,11 @@ BitcoinCanister::ProcessResult BitcoinCanister::process_response(
     if (unstable_blocks_.contains(header.hash())) continue;
 
     unstable_blocks_.emplace(header.hash(), block);
+    const chain::HeaderTree::Entry* entry = tree_.find(header.hash());
+    max_available_height_ = std::max(max_available_height_, entry->height);
+    if (indexed_queries()) {
+      unstable_index_.add_block(header.hash(), block, entry->height, parallel::shared_pool());
+    }
     ++result.blocks_stored;
     result.anchors_advanced += advance_anchor();
   }
@@ -263,6 +269,9 @@ std::size_t BitcoinCanister::advance_anchor() {
     // Drop any unstable blocks whose headers were pruned with their forks.
     std::erase_if(unstable_blocks_,
                   [&](const auto& entry) { return !tree_.contains(entry.first); });
+    unstable_index_.prune(
+        [&](const util::Hash256& hash) { return unstable_blocks_.contains(hash); });
+    recompute_max_available_height();
     ++advanced;
     if (tracer_ != nullptr) {
       tracer_->event(obs::Severity::kInfo, "anchor_advanced",
@@ -272,13 +281,20 @@ std::size_t BitcoinCanister::advance_anchor() {
   return advanced;
 }
 
-bool BitcoinCanister::is_synced() const {
+void BitcoinCanister::recompute_max_available_height() {
   int max_block_height = tree_.root().height;
   for (const auto& [hash, block] : unstable_blocks_) {
     const auto* entry = tree_.find(hash);
     if (entry != nullptr) max_block_height = std::max(max_block_height, entry->height);
   }
-  return tree_.max_height() - max_block_height <= config_.sync_slack;
+  max_available_height_ = max_block_height;
+}
+
+bool BitcoinCanister::is_synced() const {
+  // max_available_height_ is maintained on block arrival and recomputed when
+  // anchor advances or pruning shrink the unstable set, so the sync gate is
+  // O(1) instead of a tree_.find per stored block on every call.
+  return tree_.max_height() - max_available_height_ <= config_.sync_slack;
 }
 
 Outcome<util::Bytes> BitcoinCanister::script_for(const std::string& address) const {
@@ -304,13 +320,26 @@ std::pair<Hash256, int> BitcoinCanister::considered_tip(int min_confirmations) c
 }
 
 struct BitcoinCanister::UnstableView {
-  std::vector<Utxo> survivors;                  // script's unstable UTXOs, newest first
-  std::unordered_set<bitcoin::OutPoint> spent;  // every outpoint spent above the anchor
+  std::vector<Utxo> survivors;  // script's unstable UTXOs, newest first
+  /// Every outpoint spent above the anchor (shared with the index's memo on
+  /// the indexed path; owned on the scan path).
+  std::shared_ptr<const std::unordered_set<bitcoin::OutPoint>> spent;
+
+  bool is_spent(const bitcoin::OutPoint& outpoint) const {
+    return spent != nullptr && spent->contains(outpoint);
+  }
 };
 
 BitcoinCanister::UnstableView BitcoinCanister::unstable_view(const util::Bytes& script,
                                                              int considered_height) {
+  return indexed_queries() ? unstable_view_indexed(script, considered_height)
+                           : unstable_view_scan(script, considered_height);
+}
+
+BitcoinCanister::UnstableView BitcoinCanister::unstable_view_scan(const util::Bytes& script,
+                                                                  int considered_height) {
   UnstableView view;
+  auto spent = std::make_shared<std::unordered_set<bitcoin::OutPoint>>();
   std::vector<Utxo> unstable_added;
 
   // Scan the current chain above the anchor up to the considered height,
@@ -324,7 +353,7 @@ BitcoinCanister::UnstableView BitcoinCanister::unstable_view(const util::Bytes& 
     meter_.charge(config_.costs.unstable_block_scan);
     for (const auto& tx : block_it->second.transactions) {
       if (!tx.is_coinbase()) {
-        for (const auto& in : tx.inputs) view.spent.insert(in.prevout);
+        for (const auto& in : tx.inputs) spent->insert(in.prevout);
       }
       Hash256 txid = tx.txid();
       for (std::uint32_t v = 0; v < tx.outputs.size(); ++v) {
@@ -338,12 +367,46 @@ BitcoinCanister::UnstableView BitcoinCanister::unstable_view(const util::Bytes& 
 
   // Unstable outputs spent by later unstable transactions drop out.
   for (const auto& u : unstable_added) {
-    if (!view.spent.contains(u.outpoint)) view.survivors.push_back(u);
+    if (!spent->contains(u.outpoint)) view.survivors.push_back(u);
   }
   // Newest first: unstable entries carry the greatest heights.
   std::sort(view.survivors.begin(), view.survivors.end(), [](const Utxo& a, const Utxo& b) {
     return a.height != b.height ? a.height > b.height : a.outpoint < b.outpoint;
   });
+  view.spent = std::move(spent);
+  return view;
+}
+
+BitcoinCanister::UnstableView BitcoinCanister::unstable_view_indexed(const util::Bytes& script,
+                                                                     int considered_height) {
+  // Chain walk: the same anchor-exclusive prefix the scan visits (stop at
+  // the considered height or the first block-data gap), but touching only
+  // per-block deltas. `unstable_block_scan` is charged per visited block
+  // exactly as the scan charges it.
+  std::vector<Hash256> chain = tree_.current_chain();
+  std::vector<const BlockDelta*> deltas;
+  Hash256 view_key = tree_.root_hash();  // memo key: last visited block
+  for (std::size_t i = 1; i < chain.size(); ++i) {
+    const auto* entry = tree_.find(chain[i]);
+    if (entry->height > considered_height) break;
+    const BlockDelta* delta = unstable_index_.delta(chain[i]);
+    if (delta == nullptr) break;  // cannot see past a gap
+    meter_.charge(config_.costs.unstable_block_scan);
+    deltas.push_back(delta);
+    view_key = chain[i];
+  }
+
+  UnstableIndex::View indexed = unstable_index_.view(view_key, script, deltas);
+  // Metering parity: the scan charges one unstable_utxo_read per output
+  // paying the script, survivors and spent-again outputs alike.
+  meter_.charge(config_.costs.unstable_utxo_read * indexed.matched_outputs);
+
+  UnstableView view;
+  view.spent = std::move(indexed.spent);
+  view.survivors.reserve(indexed.survivors.size());
+  for (const auto& u : indexed.survivors) {
+    view.survivors.push_back(Utxo{u.outpoint, u.value, u.height});
+  }
   return view;
 }
 
@@ -354,7 +417,7 @@ std::vector<Utxo> BitcoinCanister::collect_utxos(const util::Bytes& script,
   std::vector<Utxo> result = std::move(view.survivors);
   // Stable entries are already sorted by height descending.
   for (const auto& stored : stable_utxos_.utxos_for_script(script, meter_, stable_read_cost)) {
-    if (view.spent.contains(stored.outpoint)) continue;  // spent by an unstable tx
+    if (view.is_spent(stored.outpoint)) continue;  // spent by an unstable tx
     result.push_back(Utxo{stored.outpoint, stored.value, stored.height});
   }
   return result;
@@ -375,7 +438,7 @@ std::size_t BitcoinCanister::collect_utxos_page(const util::Bytes& script, int c
   std::vector<StoredUtxo> stable_page;
   std::size_t stable_total = stable_utxos_.utxos_for_script_paged(
       script, meter_, stable_offset, limit - out.size(), stable_page,
-      [&](const bitcoin::OutPoint& op) { return !view.spent.contains(op); });
+      [&](const bitcoin::OutPoint& op) { return !view.is_spent(op); });
   for (const auto& s : stable_page) out.push_back(Utxo{s.outpoint, s.value, s.height});
   return unstable_total + stable_total;
 }
@@ -631,8 +694,13 @@ BitcoinCanister BitcoinCanister::from_snapshot(const bitcoin::ChainParams& param
     bitcoin::Block block = bitcoin::Block::parse(r.var_bytes());
     util::Hash256 hash = block.hash();
     if (!canister.tree_.contains(hash)) throw util::DecodeError("snapshot: stray block");
+    if (canister.indexed_queries()) {
+      canister.unstable_index_.add_block(hash, block, canister.tree_.find(hash)->height,
+                                         parallel::shared_pool());
+    }
     canister.unstable_blocks_.emplace(hash, std::move(block));
   }
+  canister.recompute_max_available_height();
 
   canister.stable_headers_.clear();
   std::size_t n_archived = r.checked_len(r.varint());

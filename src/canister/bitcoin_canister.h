@@ -9,12 +9,14 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
 
 #include "adapter/adapter.h"
 #include "bitcoin/address.h"
+#include "canister/unstable_index.h"
 #include "canister/utxo_index.h"
 #include "chain/header_tree.h"
 #include "ic/metering.h"
@@ -22,6 +24,15 @@
 #include "obs/trace.h"
 
 namespace icbtc::canister {
+
+/// How the query endpoints derive the unstable part of the merged view.
+/// Responses and metered instruction counts are identical in both modes
+/// (enforced by differential tests and the bench_request_latency gate);
+/// only host wall-clock differs.
+enum class UnstableQueryMode {
+  kScan,     // re-scan every unstable block's transactions per request
+  kIndexed,  // chain-ordered BlockDelta lookups + tip-keyed memo
+};
 
 struct CanisterConfig {
   /// δ: difficulty-based stability threshold for anchor advancement
@@ -34,6 +45,9 @@ struct CanisterConfig {
   std::size_t utxos_per_page = 1000;
   /// Blocks scanned by get_current_fee_percentiles.
   int fee_window_blocks = 6;
+  /// Unstable read path; kScan is kept as the differential-test oracle and
+  /// the bench baseline.
+  UnstableQueryMode unstable_query_mode = UnstableQueryMode::kIndexed;
   InstructionCosts costs;
 
   static CanisterConfig for_params(const bitcoin::ChainParams& params) {
@@ -191,8 +205,20 @@ class BitcoinCanister {
   /// "anchor_advanced" flight-recorder event. With the shared thread pool
   /// installed, process_response precomputes txids in parallel under a
   /// TraceTaskGroup, keeping exports identical to serial runs.
-  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_ = tracer;
+    unstable_index_.set_tracer(tracer);
+  }
   obs::Tracer* tracer() const { return tracer_; }
+
+  /// The unstable-block delta index (empty in kScan mode).
+  const UnstableIndex& unstable_index() const { return unstable_index_; }
+
+  /// Installs a host wall-clock (µs) feeding the `canister.delta.build_us`
+  /// histogram; see UnstableIndex::set_build_clock.
+  void set_delta_build_clock(std::function<std::uint64_t()> now_us) {
+    unstable_index_.set_build_clock(std::move(now_us));
+  }
 
  private:
   struct UnstableView;
@@ -237,10 +263,23 @@ class BitcoinCanister {
   /// chain.
   std::pair<util::Hash256, int> considered_tip(int min_confirmations) const;
 
-  /// Scans the unstable chain up to the considered height for `script`:
+  /// The unstable chain's view up to the considered height for `script`:
   /// surviving unstable outputs (sorted newest-first) plus the set of all
-  /// outpoints spent by unstable transactions.
+  /// outpoints spent by unstable transactions. Dispatches on
+  /// config_.unstable_query_mode; both paths charge identical instructions.
   UnstableView unstable_view(const util::Bytes& script, int considered_height);
+  /// Naive per-request scan over every unstable block's transactions (the
+  /// oracle for the differential tests and the bench baseline).
+  UnstableView unstable_view_scan(const util::Bytes& script, int considered_height);
+  /// Chain-ordered BlockDelta lookups with a tip-keyed memo — O(relevant).
+  UnstableView unstable_view_indexed(const util::Bytes& script, int considered_height);
+
+  bool indexed_queries() const {
+    return config_.unstable_query_mode == UnstableQueryMode::kIndexed;
+  }
+  /// Recomputes the incrementally tracked max available-block height after
+  /// anchor advances or fork pruning shrink the unstable set.
+  void recompute_max_available_height();
 
   /// Collects the address view (stable + unstable up to the considered tip).
   /// `stable_read_cost` overrides the per-UTXO read cost (0 = default); the
@@ -263,6 +302,10 @@ class BitcoinCanister {
   UtxoIndex stable_utxos_;
   chain::HeaderTree tree_;  // rooted at the anchor
   std::unordered_map<util::Hash256, bitcoin::Block> unstable_blocks_;
+  UnstableIndex unstable_index_;  // per-block deltas over unstable_blocks_
+  /// Max height among available (stored) blocks and the anchor, maintained
+  /// incrementally so is_synced() is O(1) instead of a per-call scan.
+  int max_available_height_ = 0;
   std::vector<bitcoin::BlockHeader> stable_headers_;  // archive below the anchor
   std::deque<util::Bytes> pending_txs_;
   std::vector<IngestStats> ingest_log_;

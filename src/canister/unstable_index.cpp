@@ -1,0 +1,159 @@
+#include "canister/unstable_index.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace icbtc::canister {
+
+namespace {
+
+/// Deterministic host-footprint estimate of a delta: hash-table node and
+/// key overheads plus the stored entries. Rough by design — it feeds a
+/// gauge, not an allocator.
+std::uint64_t delta_footprint(const BlockDelta& d) {
+  std::uint64_t bytes = sizeof(BlockDelta);
+  for (const auto& [script, utxos] : d.added) {
+    bytes += 64 + script.size() + utxos.size() * sizeof(StoredUtxo);
+  }
+  bytes += d.spent.size() * (sizeof(bitcoin::OutPoint) + 16);
+  return bytes;
+}
+
+}  // namespace
+
+void UnstableIndex::add_block(const util::Hash256& hash, const bitcoin::Block& block,
+                              int height, parallel::ThreadPool* pool) {
+  if (deltas_.contains(hash)) return;
+  std::uint64_t t0 = build_clock_ ? build_clock_() : 0;
+  obs::ScopedSpan span(tracer_, "canister.delta.build", "canister");
+
+  // Warm the memoized txid caches in parallel — sha256d over the wire bytes
+  // is the expensive part of delta construction. The merge below is serial
+  // in transaction order, so the delta content is pool-invariant.
+  const auto& txs = block.transactions;
+  parallel::parallel_for(pool, txs.size(), [&](std::size_t i) { (void)txs[i].txid(); });
+
+  auto delta = std::make_unique<BlockDelta>();
+  delta->height = height;
+  delta->transactions = txs.size();
+  for (const auto& tx : txs) {
+    if (!tx.is_coinbase()) {
+      for (const auto& in : tx.inputs) delta->spent.insert(in.prevout);
+    }
+    util::Hash256 txid = tx.txid();
+    for (std::uint32_t v = 0; v < tx.outputs.size(); ++v) {
+      const auto& out = tx.outputs[v];
+      auto [it, inserted] = delta->added.try_emplace(out.script_pubkey);
+      if (inserted) delta->filter.add(ScriptHash{}(out.script_pubkey));
+      it->second.push_back(StoredUtxo{bitcoin::OutPoint{txid, v}, out.value, height});
+      ++delta->added_outputs;
+    }
+  }
+  delta->resident_bytes = delta_footprint(*delta);
+  resident_bytes_ += delta->resident_bytes;
+
+  if (span.active()) {
+    span.attr("height", static_cast<std::int64_t>(height));
+    span.attr("txs", static_cast<std::uint64_t>(delta->transactions));
+    span.attr("outputs", static_cast<std::uint64_t>(delta->added_outputs));
+    span.attr("spends", static_cast<std::uint64_t>(delta->spent.size()));
+    span.attr("scripts", static_cast<std::uint64_t>(delta->added.size()));
+  }
+  deltas_.emplace(hash, std::move(delta));
+  invalidate_memo();
+  if (metrics_.builds != nullptr) {
+    metrics_.builds->inc();
+    if (build_clock_) {
+      metrics_.build_us->observe(static_cast<double>(build_clock_() - t0));
+    }
+  }
+  update_gauges();
+}
+
+void UnstableIndex::remove_block(const util::Hash256& hash) {
+  auto it = deltas_.find(hash);
+  if (it == deltas_.end()) return;
+  resident_bytes_ -= it->second->resident_bytes;
+  deltas_.erase(it);
+  invalidate_memo();
+  update_gauges();
+}
+
+void UnstableIndex::clear() {
+  deltas_.clear();
+  resident_bytes_ = 0;
+  invalidate_memo();
+  update_gauges();
+}
+
+void UnstableIndex::invalidate_memo() {
+  memo_.clear();
+  spent_memo_.clear();
+}
+
+std::shared_ptr<const UnstableIndex::SpentSet> UnstableIndex::spent_union(
+    const util::Hash256& key, const std::vector<const BlockDelta*>& deltas) {
+  if (auto it = spent_memo_.find(key); it != spent_memo_.end()) return it->second;
+  auto merged = std::make_shared<SpentSet>();
+  std::size_t total = 0;
+  for (const auto* d : deltas) total += d->spent.size();
+  merged->reserve(total);
+  for (const auto* d : deltas) merged->insert(d->spent.begin(), d->spent.end());
+  if (spent_memo_.size() >= kMemoCapacity) spent_memo_.clear();
+  spent_memo_.emplace(key, merged);
+  return merged;
+}
+
+UnstableIndex::View UnstableIndex::view(const util::Hash256& key, const util::Bytes& script,
+                                        const std::vector<const BlockDelta*>& deltas) {
+  MemoKey memo_key{key, script};
+  if (auto it = memo_.find(memo_key); it != memo_.end()) {
+    if (metrics_.memo_hits != nullptr) metrics_.memo_hits->inc();
+    return it->second;
+  }
+  if (metrics_.memo_misses != nullptr) metrics_.memo_misses->inc();
+
+  View v;
+  v.spent = spent_union(key, deltas);
+  std::size_t script_hash = ScriptHash{}(script);
+  for (const auto* d : deltas) {
+    if (!d->filter.may_contain(script_hash)) continue;
+    auto it = d->added.find(script);
+    if (it == d->added.end()) continue;
+    v.matched_outputs += it->second.size();
+    for (const auto& u : it->second) {
+      if (!v.spent->contains(u.outpoint)) v.survivors.push_back(u);
+    }
+  }
+  // Newest first, exactly the scan path's order (heights are unique per
+  // chain block; outpoints break ties within a block).
+  std::sort(v.survivors.begin(), v.survivors.end(), [](const StoredUtxo& a, const StoredUtxo& b) {
+    return a.height != b.height ? a.height > b.height : a.outpoint < b.outpoint;
+  });
+  if (memo_.size() >= kMemoCapacity) memo_.clear();
+  memo_.emplace(std::move(memo_key), v);
+  return v;
+}
+
+void UnstableIndex::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  metrics_.builds = &registry->counter("canister.delta.builds");
+  metrics_.memo_hits = &registry->counter("canister.delta.memo_hits");
+  metrics_.memo_misses = &registry->counter("canister.delta.memo_misses");
+  metrics_.resident = &registry->gauge("canister.delta.resident_bytes");
+  metrics_.blocks = &registry->gauge("canister.delta.blocks");
+  metrics_.build_us = &registry->histogram("canister.delta.build_us",
+                                           obs::Histogram::decade_bounds(1.0, 1e6));
+  update_gauges();
+}
+
+void UnstableIndex::update_gauges() {
+  if (metrics_.resident == nullptr) return;
+  metrics_.resident->set(static_cast<std::int64_t>(resident_bytes_));
+  metrics_.blocks->set(static_cast<std::int64_t>(deltas_.size()));
+}
+
+}  // namespace icbtc::canister

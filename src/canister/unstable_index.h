@@ -1,0 +1,200 @@
+// Incremental delta index over the canister's unstable blocks (§III-C).
+//
+// The Bitcoin canister serves get_utxos/get_balance against the merged
+// stable + unstable view. The naive implementation re-scans every
+// transaction of every unstable block on every request — O(unstable chain)
+// per call, hundreds of thousands of tx visits at mainnet shape (δ=144
+// blocks above the anchor). This index makes the read path O(relevant): when
+// a block enters the unstable set its per-block delta is computed exactly
+// once — `scriptPubKey → outputs added` plus the block's spent-outpoint set
+// and a bloom-style "may touch script" summary for cheap negative lookups —
+// and queries assemble their view from chain-ordered delta lookups, with a
+// tip-keyed memo so repeated queries for hot scripts touch only their own
+// entries.
+//
+// Metering contract: the index changes HOST wall-clock only. The instruction
+// meter models the IC canister's measured request costs (Fig. 7), so the
+// indexed path must charge exactly what the scan would have:
+// `unstable_block_scan` per chain block visited (charged during the
+// canister's chain walk) and `unstable_utxo_read` per matching output —
+// View reports `matched_outputs` and the canister charges it, memo hit or
+// miss alike.
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "bitcoin/block.h"
+#include "canister/utxo_index.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "parallel/thread_pool.h"
+
+namespace icbtc::canister {
+
+/// 512-bit bloom-style summary of the scripts a block pays. Two probes per
+/// script keep the false-positive rate low for realistic per-block script
+/// counts; a negative answer proves the block added nothing for the script,
+/// skipping the hash-map lookup entirely.
+class ScriptFilter {
+ public:
+  void add(std::size_t script_hash) {
+    for (auto [word, bit] : probes(script_hash)) words_[word] |= bit;
+  }
+  bool may_contain(std::size_t script_hash) const {
+    for (auto [word, bit] : probes(script_hash)) {
+      if ((words_[word] & bit) == 0) return false;
+    }
+    return true;
+  }
+
+ private:
+  static std::array<std::pair<std::size_t, std::uint64_t>, 2> probes(std::size_t h) {
+    // Derive two independent probes from the 64-bit script hash: low bits
+    // and a mixed rotation. 512 bits total.
+    std::uint64_t h2 = (h >> 17 | h << 47) * 0x9e3779b97f4a7c15ULL;
+    return {{{(h >> 6) & 7, 1ULL << (h & 63)}, {(h2 >> 6) & 7, 1ULL << (h2 & 63)}}};
+  }
+
+  std::array<std::uint64_t, 8> words_{};
+};
+
+/// Everything a query needs to know about one unstable block, computed once
+/// at block arrival: outputs grouped by scriptPubKey (in transaction order,
+/// OP_RETURN outputs included — the scan path visits and meters them too)
+/// and the set of outpoints the block spends.
+struct BlockDelta {
+  int height = 0;
+  std::size_t transactions = 0;
+  std::size_t added_outputs = 0;
+  ScriptFilter filter;
+  std::unordered_map<util::Bytes, std::vector<StoredUtxo>, ScriptHash> added;
+  std::unordered_set<bitcoin::OutPoint> spent;
+  /// Host-side footprint estimate of this delta (deterministic).
+  std::uint64_t resident_bytes = 0;
+};
+
+class UnstableIndex {
+ public:
+  using SpentSet = std::unordered_set<bitcoin::OutPoint>;
+
+  /// A script's assembled unstable view plus the charge counts the canister
+  /// must replay against the instruction meter (identical to the scan path).
+  struct View {
+    std::vector<StoredUtxo> survivors;  // newest first: height desc, outpoint asc
+    std::shared_ptr<const SpentSet> spent;  // every outpoint spent by visited blocks
+    std::size_t matched_outputs = 0;        // charged unstable_utxo_read each
+  };
+
+  /// Builds and stores the delta for `hash`. Txid hashing — the expensive
+  /// part — runs on `pool` when one is installed; the merge is serial in
+  /// transaction order, so the delta is byte-identical with or without a
+  /// pool. Idempotent for a hash already present.
+  void add_block(const util::Hash256& hash, const bitcoin::Block& block, int height,
+                 parallel::ThreadPool* pool);
+
+  void remove_block(const util::Hash256& hash);
+
+  /// Drops every delta for which keep(hash) is false (anchor advance /
+  /// reorg pruning) and invalidates the memo.
+  template <typename Keep>
+  void prune(Keep&& keep) {
+    bool changed = false;
+    for (auto it = deltas_.begin(); it != deltas_.end();) {
+      if (keep(it->first)) {
+        ++it;
+      } else {
+        resident_bytes_ -= it->second->resident_bytes;
+        it = deltas_.erase(it);
+        changed = true;
+      }
+    }
+    if (changed) {
+      invalidate_memo();
+      update_gauges();
+    }
+  }
+
+  void clear();
+
+  const BlockDelta* delta(const util::Hash256& hash) const {
+    auto it = deltas_.find(hash);
+    return it == deltas_.end() ? nullptr : it->second.get();
+  }
+
+  /// Assembles (and memoizes) the view for `script` over the chain-ordered
+  /// delta sequence `deltas` — the anchor-exclusive prefix of the current
+  /// chain the canister walked, ending at the block `key`. Two calls with the
+  /// same key between invalidations see the same chain prefix, so the memo is
+  /// sound; any delta mutation invalidates it. Deterministic.
+  View view(const util::Hash256& key, const util::Bytes& script,
+            const std::vector<const BlockDelta*>& deltas);
+
+  /// Drops all memoized views and spent-set unions. Called by every delta
+  /// mutation (block arrival, anchor advance, reorg pruning).
+  void invalidate_memo();
+
+  std::size_t size() const { return deltas_.size(); }
+  std::uint64_t resident_bytes() const { return resident_bytes_; }
+
+  /// Attaches a metrics registry (nullptr detaches): `canister.delta.*` —
+  /// builds counter, memo hit/miss counters, resident-bytes and block-count
+  /// gauges, and a build-duration histogram (only fed when a build clock is
+  /// installed, keeping default metric exports deterministic).
+  void set_metrics(obs::MetricsRegistry* registry);
+
+  /// Attaches a tracer (nullptr detaches): every delta build emits a
+  /// "canister.delta.build" span with height/txs/outputs/spends attributes.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Installs a host wall-clock (µs) for the `canister.delta.build_us`
+  /// histogram. Off by default: the metrics JSON export is deterministic by
+  /// contract, so wall-clock observation is opt-in (benches, fork_monitor).
+  void set_build_clock(std::function<std::uint64_t()> now_us) {
+    build_clock_ = std::move(now_us);
+  }
+
+ private:
+  struct MemoKey {
+    util::Hash256 considered;
+    util::Bytes script;
+    bool operator==(const MemoKey&) const = default;
+  };
+  struct MemoKeyHash {
+    std::size_t operator()(const MemoKey& k) const noexcept {
+      return std::hash<util::Hash256>{}(k.considered) * 0x9e3779b97f4a7c15ULL ^
+             ScriptHash{}(k.script);
+    }
+  };
+
+  std::shared_ptr<const SpentSet> spent_union(const util::Hash256& key,
+                                              const std::vector<const BlockDelta*>& deltas);
+  void update_gauges();
+
+  std::unordered_map<util::Hash256, std::unique_ptr<BlockDelta>> deltas_;
+  std::uint64_t resident_bytes_ = 0;
+
+  /// Tip-keyed memo. Bounded: wholesale flush at capacity keeps eviction
+  /// deterministic and the bookkeeping trivial.
+  static constexpr std::size_t kMemoCapacity = 4096;
+  std::unordered_map<MemoKey, View, MemoKeyHash> memo_;
+  std::unordered_map<util::Hash256, std::shared_ptr<const SpentSet>> spent_memo_;
+
+  struct Metrics {
+    obs::Counter* builds = nullptr;
+    obs::Counter* memo_hits = nullptr;
+    obs::Counter* memo_misses = nullptr;
+    obs::Gauge* resident = nullptr;
+    obs::Gauge* blocks = nullptr;
+    obs::Histogram* build_us = nullptr;
+  };
+  Metrics metrics_;
+  obs::Tracer* tracer_ = nullptr;
+  std::function<std::uint64_t()> build_clock_;
+};
+
+}  // namespace icbtc::canister

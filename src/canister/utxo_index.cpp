@@ -1,12 +1,39 @@
 #include "canister/utxo_index.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "bitcoin/script.h"
 #include "crypto/sha256.h"
 
 namespace icbtc::canister {
+
+std::size_t ScriptHash::operator()(const util::Bytes& b) const noexcept {
+  // FNV-1a folded over 64-bit words with the length mixed into the seed, so
+  // prefixes of different lengths cannot collide trivially. The zero-padded
+  // tail load is safe because the length disambiguates it.
+  constexpr std::uint64_t kPrime = 1099511628211ULL;
+  std::uint64_t h = 14695981039346656037ULL ^ (static_cast<std::uint64_t>(b.size()) * kPrime);
+  const std::uint8_t* p = b.data();
+  std::size_t n = b.size();
+  while (n >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    h = (h ^ word) * kPrime;
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    std::uint64_t tail = 0;
+    std::memcpy(&tail, p, n);
+    h = (h ^ tail) * kPrime;
+  }
+  // Finalizer: FNV's multiply mixes upward only; fold the high bits back so
+  // the table's low-bit bucket selection sees the whole word.
+  h ^= h >> 32;
+  return h;
+}
 
 std::uint64_t UtxoIndex::entry_footprint(const bitcoin::TxOut& output) {
   // Payload (outpoint 36 + value 8 + height 4 + script) plus the stable

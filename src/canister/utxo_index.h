@@ -44,6 +44,16 @@ struct StoredUtxo {
   bool operator==(const StoredUtxo&) const = default;
 };
 
+/// Hash functor for scriptPubKey byte strings, shared by the stable store's
+/// script index and the unstable delta index. Folds eight bytes per step
+/// (FNV-style multiply over 64-bit words) instead of the byte-at-a-time loop
+/// it replaces — same interface, same lookup behavior, ~8x fewer multiplies
+/// on the `by_script_` hot path. Process-local only: values depend on host
+/// endianness and must never be serialized.
+struct ScriptHash {
+  std::size_t operator()(const util::Bytes& b) const noexcept;
+};
+
 class UtxoIndex {
  public:
   explicit UtxoIndex(InstructionCosts costs = {}) : costs_(costs) {}
@@ -148,17 +158,6 @@ class UtxoIndex {
 
   static std::uint64_t entry_footprint(const bitcoin::TxOut& output);
 
-  struct BytesHash {
-    std::size_t operator()(const util::Bytes& b) const noexcept {
-      std::size_t h = 1469598103934665603ULL;
-      for (auto byte : b) {
-        h ^= byte;
-        h *= 1099511628211ULL;
-      }
-      return h;
-    }
-  };
-
   InstructionCosts costs_;
   std::unordered_map<bitcoin::OutPoint, Entry> by_outpoint_;
   // Script index: script bytes -> (height desc, outpoint) -> value. std::map
@@ -168,7 +167,7 @@ class UtxoIndex {
     bitcoin::OutPoint outpoint;
     auto operator<=>(const Key&) const = default;
   };
-  std::unordered_map<util::Bytes, std::map<Key, bitcoin::Amount>, BytesHash> by_script_;
+  std::unordered_map<util::Bytes, std::map<Key, bitcoin::Amount>, ScriptHash> by_script_;
   std::uint64_t memory_bytes_ = 0;
 
   struct Metrics {

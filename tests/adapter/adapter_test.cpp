@@ -577,6 +577,10 @@ TEST_F(CompactFetchTest, ForgedCompactBlockFallsBackToFullFetch) {
   auto blocks = sync_all(request);
   ASSERT_EQ(blocks.size(), 1u);
   EXPECT_EQ(blocks[0].hash(), tip->hash());
+
+  // The attacker endpoint is a stack object that dies before the fixture's
+  // adapter; detach it so the network drops its pointer first.
+  harness_->network().detach(attacker_id);
 }
 
 }  // namespace

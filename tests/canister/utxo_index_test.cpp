@@ -201,5 +201,57 @@ TEST_F(UtxoIndexTest, DigestIsOrderInsensitiveAndContentSensitive) {
   EXPECT_NE(a.digest(), b.digest());
 }
 
+// Pins the lookup behavior of the word-at-a-time ScriptHash: scripts of every
+// tail length (0..40 bytes, covering empty, sub-word, word-aligned, and
+// multi-word cases plus realistic P2PKH/P2WSH sizes) must round-trip through
+// the script index, and absent scripts must miss.
+TEST_F(UtxoIndexTest, ScriptHashLookupBehaviorAcrossLengths) {
+  std::vector<util::Bytes> scripts;
+  for (std::size_t len = 0; len <= 40; ++len) {
+    util::Bytes s(len);
+    for (std::size_t i = 0; i < len; ++i) s[i] = static_cast<std::uint8_t>(0xA0 + len + i);
+    scripts.push_back(std::move(s));
+  }
+  for (std::size_t i = 0; i < scripts.size(); ++i) {
+    bitcoin::OutPoint o = op(static_cast<std::uint8_t>(i + 1));
+    index_.insert(o, bitcoin::TxOut{static_cast<bitcoin::Amount>(100 * (i + 1)), scripts[i]},
+                  static_cast<int>(i), meter_);
+  }
+  EXPECT_EQ(index_.distinct_scripts(), scripts.size());
+  for (std::size_t i = 0; i < scripts.size(); ++i) {
+    EXPECT_EQ(index_.balance_of_script(scripts[i], meter_),
+              static_cast<bitcoin::Amount>(100 * (i + 1)))
+        << "length " << i;
+    auto utxos = index_.utxos_for_script(scripts[i], meter_);
+    ASSERT_EQ(utxos.size(), 1u) << "length " << i;
+    EXPECT_EQ(utxos[0].outpoint, op(static_cast<std::uint8_t>(i + 1)));
+  }
+  // Absent scripts miss, including near-collisions differing only in the
+  // final byte of a partial tail word.
+  util::Bytes almost = scripts[11];
+  almost.back() ^= 0x01;
+  EXPECT_EQ(index_.balance_of_script(almost, meter_), 0);
+  EXPECT_TRUE(index_.utxos_for_script(almost, meter_).empty());
+  EXPECT_EQ(index_.balance_of_script(script(99), meter_), 0);
+}
+
+// The hash itself must give equal results for equal bytes regardless of how
+// the vector was produced, and (overwhelmingly likely) differ when any single
+// byte differs — guarding against a word loop that reads past the tail.
+TEST(ScriptHashTest, EqualBytesHashEqualAndTailBytesMatter) {
+  ScriptHash h;
+  for (std::size_t len : {0u, 1u, 7u, 8u, 9u, 16u, 23u, 25u, 40u}) {
+    util::Bytes a(len, 0x5C);
+    util::Bytes b(len, 0x5C);
+    EXPECT_EQ(h(a), h(b));
+    if (len == 0) continue;
+    for (std::size_t i = 0; i < len; ++i) {
+      util::Bytes c = a;
+      c[i] ^= 0x80;
+      EXPECT_NE(h(a), h(c)) << "flipping byte " << i << " of " << len << " ignored";
+    }
+  }
+}
+
 }  // namespace
 }  // namespace icbtc::canister
