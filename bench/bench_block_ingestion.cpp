@@ -24,13 +24,16 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "canister/utxo_index.h"
 #include "crypto/sha256.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -219,6 +222,134 @@ bool write_ingestion_trace(const std::vector<util::Bytes>& stream) {
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Sharded stable-UTXO ingestion
+// ---------------------------------------------------------------------------
+
+struct ShardedResult {
+  std::size_t shards = 0;
+  double seconds = 0;
+  double blocks_per_s = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t critical_path = 0;
+  std::uint64_t reads_mid_ingestion = 0;
+  std::string utxo_digest;
+};
+
+/// Replays the parsed block stream straight into a sharded UtxoIndex (the
+/// stable-store slice of Algorithm 2) with a 4-thread pool, while a reader
+/// thread issues epoch-snapshot queries against live scripts. Reports wall
+/// clock plus the modelled shard-parallel latency: on a single-subnet replica
+/// the per-shard mutation charges run concurrently, so the modelled cost per
+/// block is the serial prologue + max per-shard charge, and the modelled
+/// speedup is total instructions / total critical path. Wall clock on small
+/// CI hosts shows little change (one core); the instruction model is the
+/// figure of merit, consistent with the 2000 instructions/us clock used by
+/// the trace exporter.
+bool run_sharded_section(std::FILE* out, const std::vector<util::Bytes>& stream) {
+  std::vector<bitcoin::Block> blocks;
+  blocks.reserve(stream.size());
+  for (const auto& raw : stream) blocks.push_back(bitcoin::Block::parse(raw));
+  // A handful of live scripts for the mid-ingestion reader.
+  std::vector<util::Bytes> probe_scripts;
+  for (const auto& tx : blocks.front().transactions) {
+    for (const auto& txo : tx.outputs) {
+      if (probe_scripts.size() < 8) probe_scripts.push_back(txo.script_pubkey);
+    }
+  }
+
+  std::printf("\n--- sharded stable-UTXO ingestion (epoch snapshot reads) ---\n");
+  std::vector<ShardedResult> results;
+  for (std::size_t shards : {1u, 4u, 8u}) {
+    canister::UtxoIndex index(canister::InstructionCosts{},
+                              canister::UtxoIndex::ShardConfig{shards, true});
+    parallel::ThreadPool pool(4);
+    ic::InstructionMeter meter;
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> reads{0};
+    std::thread reader([&] {
+      ic::InstructionMeter reader_meter;
+      std::size_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        benchmark::DoNotOptimize(
+            index.utxos_for_script(probe_scripts[i++ % probe_scripts.size()], reader_meter));
+        reads.fetch_add(1, std::memory_order_relaxed);
+        std::this_thread::yield();
+      }
+    });
+
+    ShardedResult r;
+    r.shards = shards;
+    auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      auto stats = index.apply_block(blocks[i], static_cast<int>(i + 1), meter, &pool);
+      r.critical_path += stats.critical_path_instructions;
+    }
+    auto end = std::chrono::steady_clock::now();
+    stop.store(true);
+    reader.join();
+
+    r.seconds = std::chrono::duration<double>(end - start).count();
+    r.blocks_per_s = static_cast<double>(blocks.size()) / r.seconds;
+    r.instructions = meter.count();
+    r.reads_mid_ingestion = reads.load();
+    r.utxo_digest = index.digest().hex();
+    std::printf(
+        "%zu shard(s): %8.3f s  %8.1f blocks/s  modelled speedup %.2fx  "
+        "%llu reads mid-ingestion\n",
+        shards, r.seconds, r.blocks_per_s,
+        static_cast<double>(r.instructions) / static_cast<double>(r.critical_path),
+        static_cast<unsigned long long>(r.reads_mid_ingestion));
+    results.push_back(std::move(r));
+  }
+
+  // Gates: bit-identical state and metering at every shard count, and the
+  // modelled shard-parallel latency must win >=2x at 4+ shards.
+  bool ok = true;
+  for (const auto& r : results) {
+    if (r.utxo_digest != results[0].utxo_digest) {
+      std::fprintf(stderr, "FAIL: %zu-shard UTXO digest %s != serial %s\n", r.shards,
+                   r.utxo_digest.c_str(), results[0].utxo_digest.c_str());
+      ok = false;
+    }
+    if (r.instructions != results[0].instructions) {
+      std::fprintf(stderr, "FAIL: %zu-shard metered %llu instructions != serial %llu\n",
+                   r.shards, static_cast<unsigned long long>(r.instructions),
+                   static_cast<unsigned long long>(results[0].instructions));
+      ok = false;
+    }
+    double modelled =
+        static_cast<double>(r.instructions) / static_cast<double>(r.critical_path);
+    if (r.shards >= 4 && modelled < 2.0) {
+      std::fprintf(stderr, "FAIL: %zu-shard modelled speedup %.2fx < 2x\n", r.shards,
+                   modelled);
+      ok = false;
+    }
+  }
+
+  std::fprintf(out, "  \"sharded\": {\n");
+  std::fprintf(out, "    \"pool_threads\": 4, \"snapshot_reads\": true,\n");
+  std::fprintf(out, "    \"modes\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::fprintf(out,
+                 "      {\"shards\": %zu, \"seconds\": %.6f, \"blocks_per_s\": %.2f, "
+                 "\"instructions\": %llu, \"critical_path_instructions\": %llu, "
+                 "\"modelled_speedup\": %.3f, \"reads_mid_ingestion\": %llu, "
+                 "\"utxo_digest\": \"%s\"}%s\n",
+                 r.shards, r.seconds, r.blocks_per_s,
+                 static_cast<unsigned long long>(r.instructions),
+                 static_cast<unsigned long long>(r.critical_path),
+                 static_cast<double>(r.instructions) / static_cast<double>(r.critical_path),
+                 static_cast<unsigned long long>(r.reads_mid_ingestion),
+                 r.utxo_digest.c_str(), i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "    ],\n");
+  std::fprintf(out, "    \"digests_match\": %s\n", ok ? "true" : "false");
+  std::fprintf(out, "  },\n");
+  return ok;
+}
+
 bool run_hashing_pipeline_bench() {
   const bool quick = quick_mode();
   const int warmup = quick ? 10 : 40;
@@ -309,6 +440,7 @@ bool run_hashing_pipeline_bench() {
   std::fprintf(out, "  \"speedup_vs_baseline\": {\"cached\": %.3f, \"dispatched\": %.3f, "
                "\"parallel\": %.3f},\n",
                speedup_cached, speedup_dispatched, speedup_parallel);
+  ok &= run_sharded_section(out, stream);
   std::fprintf(out, "  \"digests_match\": %s\n", ok ? "true" : "false");
   std::fprintf(out, "}\n");
   std::fclose(out);

@@ -107,7 +107,8 @@ const char* to_string(Status s) {
 BitcoinCanister::BitcoinCanister(const bitcoin::ChainParams& params, CanisterConfig config)
     : params_(&params),
       config_(config),
-      stable_utxos_(config.costs),
+      stable_utxos_(config.costs,
+                    UtxoIndex::ShardConfig{config.utxo_shards, config.utxo_snapshot_reads}),
       tree_(params, params.genesis_header) {
   // The genesis block's outputs are part of the stable set by definition
   // (the anchor starts at genesis).
@@ -135,6 +136,9 @@ BitcoinCanister::ProcessResult BitcoinCanister::process_response(
   EndpointCall call(*this, "process_response", metrics_.process_response);
   meter_.charge(config_.costs.request_overhead);
   ProcessResult result;
+  // One owning pool reference for the whole response: fan-outs below stay
+  // valid even if another thread replaces the shared pool mid-call.
+  std::shared_ptr<parallel::ThreadPool> pool = parallel::shared_pool_ref();
 
   // Traced txid precompute: with a tracer attached the memoized caches of the
   // incoming blocks are warmed up front — in parallel when the shared pool is
@@ -145,7 +149,7 @@ BitcoinCanister::ProcessResult BitcoinCanister::process_response(
   if (tracer_ != nullptr && !response.blocks.empty()) {
     obs::TraceTaskGroup group(tracer_, "canister.precompute_txids", "parallel",
                               response.blocks.size());
-    parallel::parallel_for(parallel::shared_pool(), response.blocks.size(), [&](std::size_t i) {
+    parallel::parallel_for(pool.get(), response.blocks.size(), [&](std::size_t i) {
       const Block& block = response.blocks[i].first;
       for (const auto& tx : block.transactions) (void)tx.txid();
       group.record(i, {{"txs", static_cast<std::uint64_t>(block.transactions.size())}});
@@ -174,7 +178,7 @@ BitcoinCanister::ProcessResult BitcoinCanister::process_response(
     const chain::HeaderTree::Entry* entry = tree_.find(header.hash());
     max_available_height_ = std::max(max_available_height_, entry->height);
     if (indexed_queries()) {
-      unstable_index_.add_block(header.hash(), block, entry->height, parallel::shared_pool());
+      unstable_index_.add_block(header.hash(), block, entry->height, pool.get());
     }
     ++result.blocks_stored;
     result.anchors_advanced += advance_anchor();
@@ -216,40 +220,33 @@ std::size_t BitcoinCanister::advance_anchor() {
     if (!found) break;
     if (!tree_.is_difficulty_stable(best, config_.stability_delta, anchor_work)) break;
 
-    // process_block(U, b_next): migrate the block into the stable UTXO set.
+    // process_block(U, b_next): migrate the block into the stable UTXO set,
+    // shard-parallel when the shared pool is installed. The owning pool
+    // reference is held across the fan-out so a concurrent set_shared_pool()
+    // cannot tear the pool down mid-application (see thread_pool.h).
     auto block_it = unstable_blocks_.find(best);
     const Block& block = block_it->second;
     IngestStats stats;
     stats.height = next_height;
-    stats.transactions = block.transactions.size();
     obs::ScopedSpan ingest_span(tracer_, "canister.ingest_block", "canister");
-    ic::InstructionMeter::Segment segment(meter_);
-    for (const auto& tx : block.transactions) {
-      meter_.charge(config_.costs.per_tx_overhead);
-      if (!tx.is_coinbase()) {
-        ic::InstructionMeter::Segment removes(meter_);
-        for (const auto& in : tx.inputs) {
-          stable_utxos_.remove(in.prevout, meter_);
-          ++stats.inputs_removed;
-        }
-        stats.remove_instructions += removes.sample();
-      }
-      Hash256 txid = tx.txid();
-      ic::InstructionMeter::Segment inserts(meter_);
-      for (std::uint32_t i = 0; i < tx.outputs.size(); ++i) {
-        stable_utxos_.insert(bitcoin::OutPoint{txid, i}, tx.outputs[i], next_height, meter_);
-        if (!bitcoin::is_op_return(tx.outputs[i].script_pubkey)) ++stats.outputs_inserted;
-      }
-      stats.insert_instructions += inserts.sample();
-    }
-    stable_utxos_.flush_size_gauges();  // size gauges are batched per block
-    stats.instructions = segment.sample();
+    std::shared_ptr<parallel::ThreadPool> pool = parallel::shared_pool_ref();
+    BlockApplyStats applied = stable_utxos_.apply_block(block, next_height, meter_, pool.get());
+    stats.transactions = applied.transactions;
+    stats.inputs_removed = applied.inputs_removed;
+    stats.outputs_inserted = applied.outputs_inserted;
+    stats.instructions = applied.instructions;
+    stats.insert_instructions = applied.insert_instructions;
+    stats.remove_instructions = applied.remove_instructions;
+    stats.critical_path_instructions = applied.critical_path_instructions;
+    stats.shards_touched = applied.shards_touched;
     if (ingest_span.active()) {
       ingest_span.attr("height", static_cast<std::int64_t>(stats.height));
       ingest_span.attr("txs", static_cast<std::uint64_t>(stats.transactions));
       ingest_span.attr("inputs_removed", static_cast<std::uint64_t>(stats.inputs_removed));
       ingest_span.attr("outputs_inserted", static_cast<std::uint64_t>(stats.outputs_inserted));
       ingest_span.attr("instructions", stats.instructions);
+      ingest_span.attr("shards_touched", static_cast<std::uint64_t>(stats.shards_touched));
+      ingest_span.attr("critical_path_instructions", stats.critical_path_instructions);
       ingest_span.end_at(ingest_span.start() +
                          static_cast<obs::TraceTime>(static_cast<double>(stats.instructions) /
                                                      kInstructionsPerUs));
@@ -672,7 +669,9 @@ BitcoinCanister BitcoinCanister::from_snapshot(const bitcoin::ChainParams& param
   int root_height = r.i32le();
   crypto::U256 prev_work = crypto::U256::from_be_bytes(r.bytes(32));
   bitcoin::BlockHeader root = bitcoin::BlockHeader::deserialize(r);
-  canister.stable_utxos_ = UtxoIndex(config.costs);  // drop the genesis seed
+  canister.stable_utxos_ = UtxoIndex(
+      config.costs, UtxoIndex::ShardConfig{config.utxo_shards,
+                                           config.utxo_snapshot_reads});  // drop the genesis seed
   canister.tree_ = chain::HeaderTree(params, root, root_height, prev_work);
 
   // The stored headers were fully validated before the snapshot was taken;
@@ -695,8 +694,9 @@ BitcoinCanister BitcoinCanister::from_snapshot(const bitcoin::ChainParams& param
     util::Hash256 hash = block.hash();
     if (!canister.tree_.contains(hash)) throw util::DecodeError("snapshot: stray block");
     if (canister.indexed_queries()) {
+      std::shared_ptr<parallel::ThreadPool> pool = parallel::shared_pool_ref();
       canister.unstable_index_.add_block(hash, block, canister.tree_.find(hash)->height,
-                                         parallel::shared_pool());
+                                         pool.get());
     }
     canister.unstable_blocks_.emplace(hash, std::move(block));
   }

@@ -48,6 +48,14 @@ struct CanisterConfig {
   /// Unstable read path; kScan is kept as the differential-test oracle and
   /// the bench baseline.
   UnstableQueryMode unstable_query_mode = UnstableQueryMode::kIndexed;
+  /// Stable UTXO set shards (>= 1); block ingestion applies them in parallel
+  /// when the shared thread pool is installed. Responses, metering, and
+  /// digests are bit-identical for every shard count (1 reproduces the
+  /// unsharded layout exactly).
+  std::size_t utxo_shards = 8;
+  /// Epoch snapshot reads: queries serve the last published shard snapshots
+  /// while ingestion builds the next epoch (see UtxoIndex::ShardConfig).
+  bool utxo_snapshot_reads = true;
   InstructionCosts costs;
 
   static CanisterConfig for_params(const bitcoin::ChainParams& params) {
@@ -110,6 +118,10 @@ struct IngestStats {
   std::uint64_t instructions = 0;
   std::uint64_t insert_instructions = 0;
   std::uint64_t remove_instructions = 0;
+  /// Modelled shard-parallel latency: serial prologue + max per-shard
+  /// mutation charge (== instructions at 1 shard). See BlockApplyStats.
+  std::uint64_t critical_path_instructions = 0;
+  std::size_t shards_touched = 0;
 };
 
 class BitcoinCanister {
@@ -207,6 +219,7 @@ class BitcoinCanister {
   /// TraceTaskGroup, keeping exports identical to serial runs.
   void set_tracer(obs::Tracer* tracer) {
     tracer_ = tracer;
+    stable_utxos_.set_tracer(tracer);
     unstable_index_.set_tracer(tracer);
   }
   obs::Tracer* tracer() const { return tracer_; }

@@ -2,12 +2,20 @@
 
 #include <algorithm>
 #include <cstring>
+#include <thread>
 #include <utility>
 
 #include "bitcoin/script.h"
 #include "crypto/sha256.h"
 
 namespace icbtc::canister {
+
+namespace {
+/// Modelled deterministic execution rate (2e9 instructions/s, the §IV-B
+/// convention shared with BitcoinCanister's endpoint spans).
+constexpr double kInstructionsPerUs = 2000.0;
+constexpr std::size_t kUnrouted = static_cast<std::size_t>(-1);
+}  // namespace
 
 std::size_t ScriptHash::operator()(const util::Bytes& b) const noexcept {
   // FNV-1a folded over 64-bit words with the length mixed into the seed, so
@@ -35,6 +43,20 @@ std::size_t ScriptHash::operator()(const util::Bytes& b) const noexcept {
   return h;
 }
 
+std::uint64_t stable_script_shard_hash(const util::Bytes& script) noexcept {
+  // Canonical byte-at-a-time FNV-1a 64: every host folds the same byte
+  // sequence the same way, so shard assignment is identical across
+  // endianness, word size, and process restarts. Pinned by known-answer
+  // tests (utxo_shard_test); the in-memory ScriptHash above is free to
+  // change, this function is part of the (future) checkpoint format.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::uint8_t byte : script) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
 std::uint64_t UtxoIndex::entry_footprint(const bitcoin::TxOut& output) {
   // Payload (outpoint 36 + value 8 + height 4 + script) plus the stable
   // B-tree node overhead (fixed-width keys, slack, versioning) of the
@@ -43,6 +65,63 @@ std::uint64_t UtxoIndex::entry_footprint(const bitcoin::TxOut& output) {
   // ~103 GiB for ~170M UTXOs ≈ 600 bytes per UTXO.
   constexpr std::uint64_t kStableBTreeOverhead = 220;
   return 2 * (kStableBTreeOverhead + 36 + 8 + 4 + output.script_pubkey.size());
+}
+
+UtxoIndex::UtxoIndex(InstructionCosts costs) : UtxoIndex(costs, ShardConfig{}) {}
+
+UtxoIndex::UtxoIndex(InstructionCosts costs, ShardConfig shard_config)
+    : costs_(costs), shard_config_(shard_config) {
+  if (shard_config_.shards == 0) shard_config_.shards = 1;
+  shards_.reserve(shard_config_.shards);
+  for (std::size_t s = 0; s < shard_config_.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->front = std::make_shared<ShardData>();
+    if (shard_config_.snapshot_reads) shard->back = std::make_shared<ShardData>();
+    shards_.push_back(std::move(shard));
+  }
+}
+
+// Moves are for value-semantics plumbing (from_snapshot reassigns the store,
+// BitcoinCanister is returned by value); the source must be quiescent. The
+// epoch atomic is copied by value and the source is left holding one fresh
+// empty shard so its invariants (shards_.size() >= 1) survive.
+UtxoIndex::UtxoIndex(UtxoIndex&& other) noexcept
+    : costs_(other.costs_),
+      shard_config_(other.shard_config_),
+      shards_(std::move(other.shards_)),
+      metrics_(other.metrics_),
+      tracer_(other.tracer_) {
+  epoch_seq_.store(other.epoch_seq_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  other.shards_.clear();
+  auto fresh = std::make_unique<Shard>();
+  fresh->front = std::make_shared<ShardData>();
+  if (other.shard_config_.snapshot_reads) fresh->back = std::make_shared<ShardData>();
+  other.shards_.push_back(std::move(fresh));
+}
+
+UtxoIndex& UtxoIndex::operator=(UtxoIndex&& other) noexcept {
+  if (this == &other) return *this;
+  costs_ = other.costs_;
+  shard_config_ = other.shard_config_;
+  shards_ = std::move(other.shards_);
+  metrics_ = other.metrics_;
+  tracer_ = other.tracer_;
+  epoch_seq_.store(other.epoch_seq_.load(std::memory_order_relaxed), std::memory_order_relaxed);
+  other.shards_.clear();
+  auto fresh = std::make_unique<Shard>();
+  fresh->front = std::make_shared<ShardData>();
+  if (other.shard_config_.snapshot_reads) fresh->back = std::make_shared<ShardData>();
+  other.shards_.push_back(std::move(fresh));
+  return *this;
+}
+
+UtxoIndex::Pinned UtxoIndex::pin_shard(std::size_t shard) const {
+  const Shard& s = *shards_[shard];
+  // The pin count must be registered while the mutex is held: publish() also
+  // swaps under this mutex, so once the lock is released the writer either
+  // saw the pin (and waits in catch_up) or the reader got the new front.
+  std::lock_guard<std::mutex> lock(s.mu);
+  return Pinned(s.front);
 }
 
 void UtxoIndex::set_metrics(obs::MetricsRegistry* registry) {
@@ -54,13 +133,106 @@ void UtxoIndex::set_metrics(obs::MetricsRegistry* registry) {
   metrics_.removes = &registry->counter("utxo.removes");
   metrics_.size = &registry->gauge("utxo.size");
   metrics_.memory = &registry->gauge("utxo.memory_bytes");
+  metrics_.shard_count = &registry->gauge("utxo.shard.count");
+  metrics_.shard_epoch = &registry->gauge("utxo.shard.epoch");
+  metrics_.shard_max_utxos = &registry->gauge("utxo.shard.max_utxos");
+  metrics_.shard_min_utxos = &registry->gauge("utxo.shard.min_utxos");
   update_size_gauges();
 }
 
 void UtxoIndex::update_size_gauges() {
   if (metrics_.size == nullptr) return;
-  metrics_.size->set(static_cast<std::int64_t>(by_outpoint_.size()));
-  metrics_.memory->set(static_cast<std::int64_t>(memory_bytes_));
+  std::size_t total = 0;
+  std::uint64_t memory = 0;
+  std::size_t max_shard = 0;
+  std::size_t min_shard = static_cast<std::size_t>(-1);
+  for (const auto& shard : shards_) {
+    std::size_t n = shard->front->by_outpoint.size();
+    total += n;
+    memory += shard->front->memory_bytes;
+    max_shard = std::max(max_shard, n);
+    min_shard = std::min(min_shard, n);
+  }
+  metrics_.size->set(static_cast<std::int64_t>(total));
+  metrics_.memory->set(static_cast<std::int64_t>(memory));
+  metrics_.shard_count->set(static_cast<std::int64_t>(shards_.size()));
+  metrics_.shard_epoch->set(static_cast<std::int64_t>(epoch()));
+  metrics_.shard_max_utxos->set(static_cast<std::int64_t>(max_shard));
+  metrics_.shard_min_utxos->set(static_cast<std::int64_t>(min_shard));
+}
+
+std::uint64_t UtxoIndex::apply_op(ShardData& data, const PendingOp& op, OpCounts* counts) const {
+  if (op.kind == PendingOp::Kind::kInsert) {
+    auto [it, inserted] = data.by_outpoint.emplace(op.outpoint, Entry{op.output, op.height});
+    if (!inserted) return costs_.output_insert;  // duplicate (pre-BIP30); keep first
+    data.by_script[op.output.script_pubkey][Key{-op.height, op.outpoint}] = op.output.value;
+    data.memory_bytes += entry_footprint(op.output);
+    if (counts != nullptr) ++counts->inserted;
+    return costs_.output_insert;
+  }
+  auto it = data.by_outpoint.find(op.outpoint);
+  if (it == data.by_outpoint.end()) return costs_.input_remove;  // unvalidated input; tolerated
+  const Entry& entry = it->second;
+  auto script_it = data.by_script.find(entry.output.script_pubkey);
+  if (script_it != data.by_script.end()) {
+    script_it->second.erase(Key{-entry.height, op.outpoint});
+    if (script_it->second.empty()) data.by_script.erase(script_it);
+  }
+  data.memory_bytes -= entry_footprint(entry.output);
+  data.by_outpoint.erase(it);
+  if (counts != nullptr) ++counts->removed;
+  return costs_.input_remove;
+}
+
+void UtxoIndex::catch_up(std::size_t shard) {
+  Shard& s = *shards_[shard];
+  // The build target was the published buffer two epochs ago; wait for the
+  // last straggling reader to unpin it before mutating. The acquire pairs
+  // with Pinned's release decrement, ordering the reader's last table reads
+  // before our writes.
+  while (s.back->active_pins.load(std::memory_order_acquire) != 0) std::this_thread::yield();
+  for (const auto& op : s.pending) apply_op(*s.back, op, nullptr);  // silent replay
+  s.pending.clear();
+}
+
+void UtxoIndex::publish(std::size_t shard) {
+  Shard& s = *shards_[shard];
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::swap(s.front, s.back);
+}
+
+void UtxoIndex::point_mutation(const PendingOp& op, ic::InstructionMeter& meter) {
+  std::size_t shard = kUnrouted;
+  if (op.kind == PendingOp::Kind::kInsert) {
+    shard = shard_of(op.output.script_pubkey);
+  } else {
+    // Outpoint-keyed: probe the shards (an entry lives in exactly one, the
+    // shard of its script).
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      if (front_of(s).by_outpoint.contains(op.outpoint)) {
+        shard = s;
+        break;
+      }
+    }
+    if (shard == kUnrouted) {
+      meter.charge(costs_.input_remove);  // miss: charged, tolerated, no epoch
+      return;
+    }
+  }
+  OpCounts counts;
+  if (shard_config_.snapshot_reads) {
+    catch_up(shard);
+    meter.charge(apply_op(*shards_[shard]->back, op, &counts));
+    shards_[shard]->pending.push_back(op);
+    epoch_seq_.fetch_add(1, std::memory_order_acq_rel);  // odd: publishing
+    publish(shard);
+    epoch_seq_.fetch_add(1, std::memory_order_release);
+  } else {
+    meter.charge(apply_op(*shards_[shard]->front, op, &counts));
+    epoch_seq_.fetch_add(2, std::memory_order_release);
+  }
+  if (metrics_.inserts != nullptr && counts.inserted > 0) metrics_.inserts->inc();
+  if (metrics_.removes != nullptr && counts.removed > 0) metrics_.removes->inc();
 }
 
 void UtxoIndex::insert(const bitcoin::OutPoint& outpoint, const bitcoin::TxOut& output,
@@ -69,42 +241,198 @@ void UtxoIndex::insert(const bitcoin::OutPoint& outpoint, const bitcoin::TxOut& 
     meter.charge(costs_.per_tx_overhead / 8);
     return;
   }
-  meter.charge(costs_.output_insert);
-  auto [it, inserted] = by_outpoint_.emplace(outpoint, Entry{output, height});
-  if (!inserted) return;  // duplicate outpoint (impossible post-BIP30); keep first
-  by_script_[output.script_pubkey][Key{-height, outpoint}] = output.value;
-  memory_bytes_ += entry_footprint(output);
-  if (metrics_.inserts != nullptr) metrics_.inserts->inc();
+  PendingOp op;
+  op.kind = PendingOp::Kind::kInsert;
+  op.outpoint = outpoint;
+  op.output = output;
+  op.height = height;
+  point_mutation(op, meter);
 }
 
 void UtxoIndex::remove(const bitcoin::OutPoint& outpoint, ic::InstructionMeter& meter) {
-  meter.charge(costs_.input_remove);
-  auto it = by_outpoint_.find(outpoint);
-  if (it == by_outpoint_.end()) return;  // unvalidated input; tolerated
-  const Entry& entry = it->second;
-  auto script_it = by_script_.find(entry.output.script_pubkey);
-  if (script_it != by_script_.end()) {
-    script_it->second.erase(Key{-entry.height, outpoint});
-    if (script_it->second.empty()) by_script_.erase(script_it);
-  }
-  memory_bytes_ -= entry_footprint(entry.output);
-  by_outpoint_.erase(it);
-  if (metrics_.removes != nullptr) metrics_.removes->inc();
+  PendingOp op;
+  op.kind = PendingOp::Kind::kRemove;
+  op.outpoint = outpoint;
+  point_mutation(op, meter);
 }
 
-void UtxoIndex::apply_block(const bitcoin::Block& block, int height,
-                            ic::InstructionMeter& meter) {
+BlockApplyStats UtxoIndex::apply_block(const bitcoin::Block& block, int height,
+                                       ic::InstructionMeter& meter,
+                                       parallel::ThreadPool* pool) {
+  const std::size_t n_shards = shards_.size();
+  const bool snapshot = shard_config_.snapshot_reads;
+  BlockApplyStats stats;
+  stats.transactions = block.transactions.size();
+
+  // Pass 1 — route. Every output of the block is mapped first so spends of
+  // any in-block output resolve to the output's shard regardless of tx order
+  // (a spend *preceding* its output stays a tolerated miss there, exactly as
+  // on the serial path, because shard order preserves block order). Inserts
+  // route directly by script; OP_RETURN outputs are charge-only and never
+  // become ops.
+  std::unordered_map<bitcoin::OutPoint, std::size_t> local_outputs;
   for (const auto& tx : block.transactions) {
-    meter.charge(costs_.per_tx_overhead);
+    util::Hash256 txid = tx.txid();
+    for (std::uint32_t i = 0; i < tx.outputs.size(); ++i) {
+      if (bitcoin::is_op_return(tx.outputs[i].script_pubkey)) continue;
+      local_outputs.emplace(bitcoin::OutPoint{txid, i}, shard_of(tx.outputs[i].script_pubkey));
+    }
+  }
+
+  struct SeqOp {
+    PendingOp op;
+    std::size_t shard = kUnrouted;
+  };
+  std::vector<SeqOp> seq;
+  std::vector<std::size_t> unresolved;  // indices into seq: removes of pre-block outputs
+  std::uint64_t per_tx_charges = 0;
+  std::uint64_t op_return_charges = 0;
+  for (const auto& tx : block.transactions) {
+    per_tx_charges += costs_.per_tx_overhead;
     if (!tx.is_coinbase()) {
-      for (const auto& in : tx.inputs) remove(in.prevout, meter);
+      for (const auto& in : tx.inputs) {
+        ++stats.inputs_removed;
+        SeqOp sop;
+        sop.op.kind = PendingOp::Kind::kRemove;
+        sop.op.outpoint = in.prevout;
+        auto local = local_outputs.find(in.prevout);
+        if (local != local_outputs.end()) sop.shard = local->second;
+        if (sop.shard == kUnrouted) unresolved.push_back(seq.size());
+        seq.push_back(std::move(sop));
+      }
     }
     util::Hash256 txid = tx.txid();
     for (std::uint32_t i = 0; i < tx.outputs.size(); ++i) {
-      insert(bitcoin::OutPoint{txid, i}, tx.outputs[i], height, meter);
+      const bitcoin::TxOut& out = tx.outputs[i];
+      if (bitcoin::is_op_return(out.script_pubkey)) {
+        op_return_charges += costs_.per_tx_overhead / 8;
+        continue;
+      }
+      ++stats.outputs_inserted;
+      SeqOp sop;
+      sop.op.kind = PendingOp::Kind::kInsert;
+      sop.op.outpoint = bitcoin::OutPoint{txid, i};
+      sop.op.output = out;
+      sop.op.height = height;
+      sop.shard = shard_of(out.script_pubkey);
+      seq.push_back(std::move(sop));
     }
   }
-  flush_size_gauges();  // gauges are batched: one update per block, not per UTXO
+
+  // Pass 2 — resolve outpoint-keyed removes against the published state,
+  // shard-parallel. An outpoint lives in at most one shard, so the probes
+  // write disjoint slots; misses everywhere are charged (serial semantics:
+  // remove() always charges) and dropped.
+  std::uint64_t miss_charges = 0;
+  if (!unresolved.empty()) {
+    std::vector<std::size_t> probe(unresolved.size(), kUnrouted);
+    parallel::parallel_for(pool, n_shards, [&](std::size_t s) {
+      const auto& table = front_of(s).by_outpoint;
+      for (std::size_t i = 0; i < unresolved.size(); ++i) {
+        if (table.contains(seq[unresolved[i]].op.outpoint)) probe[i] = s;
+      }
+    });
+    for (std::size_t i = 0; i < unresolved.size(); ++i) {
+      if (probe[i] != kUnrouted) {
+        seq[unresolved[i]].shard = probe[i];
+      } else {
+        miss_charges += costs_.input_remove;
+      }
+    }
+  }
+
+  // Pass 3 — distribute to per-shard op lists, preserving block order.
+  struct ShardWork {
+    std::vector<PendingOp> ops;
+    std::uint64_t insert_charges = 0;
+    std::uint64_t remove_charges = 0;
+    OpCounts counts;
+  };
+  std::vector<ShardWork> work(n_shards);
+  for (auto& sop : seq) {
+    if (sop.shard == kUnrouted) continue;
+    work[sop.shard].ops.push_back(std::move(sop.op));
+  }
+  std::vector<std::size_t> touched;
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    if (!work[s].ops.empty()) touched.push_back(s);
+  }
+  stats.shards_touched = touched.size();
+
+  // Pass 4 — apply, shard-parallel. Snapshot mode mutates each shard's back
+  // buffer (after catching it up and waiting out its last readers) while the
+  // front keeps serving the previous epoch; otherwise mutate in place.
+  // Charges and counts accumulate per shard, never touching the meter from a
+  // worker thread.
+  parallel::parallel_for(pool, touched.size(), [&](std::size_t t) {
+    std::size_t s = touched[t];
+    ShardWork& w = work[s];
+    if (snapshot) catch_up(s);
+    ShardData& target = snapshot ? *shards_[s]->back : *shards_[s]->front;
+    for (const auto& op : w.ops) {
+      std::uint64_t charge = apply_op(target, op, &w.counts);
+      if (op.kind == PendingOp::Kind::kInsert) {
+        w.insert_charges += charge;
+      } else {
+        w.remove_charges += charge;
+      }
+    }
+    if (snapshot) shards_[s]->pending = std::move(w.ops);
+  });
+
+  // Pass 5 — serial epilogue in deterministic order: fixed charges first,
+  // then each touched shard's accumulated charges in shard-index order. The
+  // sum — and therefore every enclosing meter segment — is identical to the
+  // serial path for every shard count and pool configuration.
+  meter.charge(per_tx_charges + op_return_charges + miss_charges);
+  std::uint64_t max_shard_charges = 0;
+  std::uint64_t inserted = 0;
+  std::uint64_t removed = 0;
+  for (std::size_t s : touched) {
+    const ShardWork& w = work[s];
+    std::uint64_t shard_charges = w.insert_charges + w.remove_charges;
+    meter.charge(shard_charges);
+    stats.insert_instructions += w.insert_charges;
+    stats.remove_instructions += w.remove_charges;
+    max_shard_charges = std::max(max_shard_charges, shard_charges);
+    inserted += w.counts.inserted;
+    removed += w.counts.removed;
+  }
+  // Stats mirror the serial ingestion breakdown: OP_RETURN decode counts as
+  // insert work, unresolved-miss charges as remove work.
+  stats.insert_instructions += op_return_charges;
+  stats.remove_instructions += miss_charges;
+  stats.instructions = per_tx_charges + stats.insert_instructions + stats.remove_instructions;
+  stats.critical_path_instructions =
+      per_tx_charges + op_return_charges + miss_charges + max_shard_charges;
+
+  if (metrics_.inserts != nullptr && inserted > 0) metrics_.inserts->inc(inserted);
+  if (metrics_.removes != nullptr && removed > 0) metrics_.removes->inc(removed);
+
+  // Pass 6 — publish: swap every touched shard's buffers under its mutex.
+  // The epoch sequence is odd while swaps are in flight so multi-shard
+  // readers (pin()) can detect a torn acquisition and retry.
+  if (snapshot) {
+    epoch_seq_.fetch_add(1, std::memory_order_acq_rel);
+    for (std::size_t s : touched) publish(s);
+    epoch_seq_.fetch_add(1, std::memory_order_release);
+  } else {
+    epoch_seq_.fetch_add(2, std::memory_order_release);
+  }
+  update_size_gauges();
+
+  if (tracer_ != nullptr) {
+    obs::ScopedSpan span(tracer_, "utxo.apply_block", "canister");
+    span.attr("height", static_cast<std::int64_t>(height));
+    span.attr("shards_touched", static_cast<std::uint64_t>(stats.shards_touched));
+    span.attr("ops", static_cast<std::uint64_t>(stats.inputs_removed + stats.outputs_inserted));
+    span.attr("instructions", stats.instructions);
+    span.attr("critical_path_instructions", stats.critical_path_instructions);
+    span.end_at(span.start() +
+                static_cast<obs::TraceTime>(
+                    static_cast<double>(stats.critical_path_instructions) / kInstructionsPerUs));
+  }
+  return stats;
 }
 
 std::vector<StoredUtxo> UtxoIndex::utxos_for_script(const util::Bytes& script_pubkey,
@@ -112,8 +440,9 @@ std::vector<StoredUtxo> UtxoIndex::utxos_for_script(const util::Bytes& script_pu
                                                     std::uint64_t per_read_cost) const {
   if (per_read_cost == 0) per_read_cost = costs_.stable_utxo_read;
   std::vector<StoredUtxo> out;
-  auto it = by_script_.find(script_pubkey);
-  if (it == by_script_.end()) return out;
+  Pinned pin = pin_shard(shard_of(script_pubkey));
+  auto it = pin->by_script.find(script_pubkey);
+  if (it == pin->by_script.end()) return out;
   out.reserve(it->second.size());
   for (const auto& [key, value] : it->second) {
     meter.charge(per_read_cost);
@@ -133,8 +462,9 @@ std::size_t UtxoIndex::utxos_for_script(const util::Bytes& script_pubkey,
 bitcoin::Amount UtxoIndex::balance_of_script(const util::Bytes& script_pubkey,
                                              ic::InstructionMeter& meter) const {
   bitcoin::Amount total = 0;
-  auto it = by_script_.find(script_pubkey);
-  if (it == by_script_.end()) return 0;
+  Pinned pin = pin_shard(shard_of(script_pubkey));
+  auto it = pin->by_script.find(script_pubkey);
+  if (it == pin->by_script.end()) return 0;
   for (const auto& [key, value] : it->second) {
     meter.charge(costs_.stable_balance_read);
     total += value;
@@ -143,21 +473,59 @@ bitcoin::Amount UtxoIndex::balance_of_script(const util::Bytes& script_pubkey,
 }
 
 std::optional<StoredUtxo> UtxoIndex::find(const bitcoin::OutPoint& outpoint) const {
-  auto it = by_outpoint_.find(outpoint);
-  if (it == by_outpoint_.end()) return std::nullopt;
-  return StoredUtxo{outpoint, it->second.output.value, it->second.height};
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    Pinned pin = pin_shard(s);
+    auto it = pin->by_outpoint.find(outpoint);
+    if (it != pin->by_outpoint.end()) {
+      return StoredUtxo{outpoint, it->second.output.value, it->second.height};
+    }
+  }
+  return std::nullopt;
 }
 
 const util::Bytes* UtxoIndex::script_of(const bitcoin::OutPoint& outpoint) const {
-  auto it = by_outpoint_.find(outpoint);
-  if (it == by_outpoint_.end()) return nullptr;
-  return &it->second.output.script_pubkey;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const auto& table = front_of(s).by_outpoint;
+    auto it = table.find(outpoint);
+    if (it != table.end()) return &it->second.output.script_pubkey;
+  }
+  return nullptr;
+}
+
+std::size_t UtxoIndex::size() const {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) total += pin_shard(s)->by_outpoint.size();
+  return total;
+}
+
+std::uint64_t UtxoIndex::memory_bytes() const {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) total += pin_shard(s)->memory_bytes;
+  return total;
+}
+
+std::size_t UtxoIndex::distinct_scripts() const {
+  // A script's entries live in exactly one shard, so per-shard counts sum.
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) total += pin_shard(s)->by_script.size();
+  return total;
 }
 
 util::Hash256 UtxoIndex::digest() const {
+  // Pin every shard (kept alive for the walk), gather, sort globally by
+  // outpoint: the serialization — and hence the digest — is independent of
+  // shard count, insertion order, and hash-map iteration order.
+  std::vector<Pinned> pins;
+  pins.reserve(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) pins.push_back(pin_shard(s));
+
+  std::size_t total = 0;
+  for (const auto& pin : pins) total += pin->by_outpoint.size();
   std::vector<const std::pair<const bitcoin::OutPoint, Entry>*> entries;
-  entries.reserve(by_outpoint_.size());
-  for (const auto& kv : by_outpoint_) entries.push_back(&kv);
+  entries.reserve(total);
+  for (const auto& pin : pins) {
+    for (const auto& kv : pin->by_outpoint) entries.push_back(&kv);
+  }
   std::sort(entries.begin(), entries.end(),
             [](const auto* a, const auto* b) { return a->first < b->first; });
 

@@ -1,6 +1,7 @@
 #include "parallel/thread_pool.h"
 
 #include <atomic>
+#include <utility>
 
 namespace icbtc::parallel {
 
@@ -63,6 +64,13 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::run(std::size_t n, const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  // One submission at a time: without this, two overlapping run() calls
+  // would clobber current_/generation_ — workers could strand on the
+  // overwritten job while its submitter ground through every item alone,
+  // and the overwriting submitter could return before stragglers finished
+  // claiming its items. The second submitter simply queues behind the
+  // first; each fan-out still uses every worker.
+  std::lock_guard<std::mutex> submit(submit_mu_);
   auto job = std::make_shared<Job>();
   job->n = n;
   job->fn = &fn;
@@ -84,14 +92,36 @@ void ThreadPool::run(std::size_t n, const std::function<void(std::size_t)>& fn) 
 }
 
 namespace {
-std::unique_ptr<ThreadPool> g_shared_pool;  // NOLINT: intentional process-wide singleton
+// Process-wide singleton, owned via shared_ptr so replacement cannot free a
+// pool out from under an in-flight fan-out: shared_pool_ref() holders keep
+// the old pool alive until they finish; the destructor (which joins the
+// workers) then runs on whichever thread drops the last reference.
+std::mutex g_pool_mu;
+std::shared_ptr<ThreadPool> g_shared_pool;  // NOLINT: intentional process-wide singleton
+}  // namespace
+
+ThreadPool* shared_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  return g_shared_pool.get();
 }
 
-ThreadPool* shared_pool() { return g_shared_pool.get(); }
+std::shared_ptr<ThreadPool> shared_pool_ref() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  return g_shared_pool;
+}
 
 void set_shared_pool(std::size_t threads) {
-  g_shared_pool.reset();
-  if (threads > 0) g_shared_pool = std::make_unique<ThreadPool>(threads);
+  // Construct the replacement outside the lock (spawning threads is slow),
+  // swap under it, and let `old` drop after release: if a fan-out is still
+  // running on the old pool through a shared_pool_ref() reference, teardown
+  // defers to that holder instead of use-after-freeing it.
+  std::shared_ptr<ThreadPool> next =
+      threads > 0 ? std::make_shared<ThreadPool>(threads) : nullptr;
+  std::shared_ptr<ThreadPool> old;
+  {
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    old = std::exchange(g_shared_pool, std::move(next));
+  }
 }
 
 }  // namespace icbtc::parallel

@@ -37,8 +37,13 @@ class ThreadPool {
 
   /// Invokes fn(i) for every i in [0, n), spread across the workers and the
   /// calling thread, and returns when all n calls have finished. fn must be
-  /// safe to call concurrently for distinct i. Reentrant run() calls from
-  /// inside fn are not supported.
+  /// safe to call concurrently for distinct i.
+  ///
+  /// Concurrent run() calls from different threads are safe: submissions are
+  /// serialized on an internal mutex, so overlapping fan-outs execute one
+  /// after the other, each to completion, and neither can strand the other's
+  /// items. Reentrant run() from inside fn (on the same pool) remains
+  /// unsupported and deadlocks on the submission mutex.
   void run(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
@@ -48,6 +53,10 @@ class ThreadPool {
   static void work_on(Job& job);
 
   std::vector<std::thread> workers_;
+  /// Held for the whole duration of one run(): publication, participation,
+  /// and completion wait. Serializes concurrent submitters so current_ /
+  /// generation_ describe exactly one in-flight job at a time.
+  std::mutex submit_mu_;
   std::mutex mu_;
   std::condition_variable job_ready_;
   std::shared_ptr<Job> current_;
@@ -55,13 +64,37 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+// ---------------------------------------------------------------------------
+// Process-wide shared pool
+//
+// Lifecycle contract: the shared pool is owned by a process-wide
+// shared_ptr. set_shared_pool() atomically (mutex-guarded) replaces the
+// owning pointer; the previous pool is destroyed when its last reference
+// drops, NOT at replacement time. Callers that may overlap a replacement —
+// anything outside single-threaded setup — must acquire the pool via
+// shared_pool_ref() and keep the returned shared_ptr alive for the duration
+// of their fan-out: an in-flight run() then completes on the old pool while
+// new acquirers already see the replacement (or nullptr). The raw
+// shared_pool() accessor is a convenience for setup/teardown phases where no
+// replacement can race; the pointer it returns is only guaranteed valid
+// until the next set_shared_pool() call.
+// ---------------------------------------------------------------------------
+
 /// The process-wide pool used by hashing helpers when none is passed
 /// explicitly. Null (serial execution) until set_shared_pool() is called.
+/// Raw observer — see the lifecycle contract above.
 ThreadPool* shared_pool();
 
-/// Installs a process-wide pool with `threads` workers (replacing any previous
-/// one), or tears it down when threads == 0. Not thread-safe against
-/// concurrent shared_pool() users; call during setup.
+/// Owning reference to the process-wide pool (null when none installed).
+/// Safe against concurrent set_shared_pool(): the pool stays alive for as
+/// long as the returned shared_ptr does.
+std::shared_ptr<ThreadPool> shared_pool_ref();
+
+/// Installs a process-wide pool with `threads` workers (replacing any
+/// previous one), or tears it down when threads == 0. Safe to call while
+/// other threads hold shared_pool_ref() references: they keep the old pool
+/// alive until their fan-outs finish. Only raw shared_pool() pointers
+/// obtained before the call are invalidated.
 void set_shared_pool(std::size_t threads);
 
 /// Deterministic parallel map: out[i] = fn(items[i]) for every i, computed on

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 
 #include "bitcoin/address.h"
 #include "bitcoin/script.h"
@@ -217,23 +218,35 @@ TEST_F(DeltaMemoTest, AnchorAdvanceShrinksIndex) {
 }
 
 // ---------------------------------------------------------------------------
-// Differential: indexed vs. scan across randomized reorg workloads
+// Differential: indexed and sharded-snapshot canisters vs. the serial scan
+// oracle across randomized reorg workloads
 
 class DifferentialHarness {
  public:
   explicit DifferentialHarness(std::uint64_t seed)
       : rng_(seed),
-        scan_(params_, config(UnstableQueryMode::kScan)),
-        indexed_(params_, config(UnstableQueryMode::kIndexed)),
+        scan_(params_, config(UnstableQueryMode::kScan, 1, false)),
         build_tree_(params_, params_.genesis_header) {
+    // Candidates vs. the serial scan oracle: the indexed read path on the
+    // unsharded store, then sharded stores with epoch snapshot reads — every
+    // response, per-call meter segment, and cumulative total must match the
+    // oracle bit-for-bit at every shard count.
+    candidates_.push_back(std::make_unique<BitcoinCanister>(
+        params_, config(UnstableQueryMode::kIndexed, 1, false)));
+    candidates_.push_back(std::make_unique<BitcoinCanister>(
+        params_, config(UnstableQueryMode::kIndexed, 4, true)));
+    candidates_.push_back(std::make_unique<BitcoinCanister>(
+        params_, config(UnstableQueryMode::kIndexed, 16, true)));
     heights_[params_.genesis_header.hash()] = 0;
     by_height_.push_back({params_.genesis_header.hash()});
   }
 
-  static CanisterConfig config(UnstableQueryMode mode) {
+  static CanisterConfig config(UnstableQueryMode mode, std::size_t shards, bool snapshots) {
     auto c = CanisterConfig::for_params(ChainParams::regtest());
     c.unstable_query_mode = mode;
     c.utxos_per_page = 7;  // force pagination
+    c.utxo_shards = shards;
+    c.utxo_snapshot_reads = snapshots;
     return c;
   }
 
@@ -263,14 +276,19 @@ class DifferentialHarness {
     if (!withheld_.empty() && rng_.next() % 3 == 0) release_withheld();
   }
 
-  /// Compares every endpoint across the two canisters; each is queried
-  /// twice so the memoized (hot) path must also charge identically.
+  /// Compares every endpoint of every candidate against the scan oracle;
+  /// each is queried twice so the memoized (hot) path must also charge
+  /// identically.
   void check_equivalence() {
-    ASSERT_EQ(scan_.is_synced(), indexed_.is_synced());
-    ASSERT_EQ(scan_.anchor_height(), indexed_.anchor_height());
-    ASSERT_EQ(scan_.tip_height(), indexed_.tip_height());
-    ASSERT_EQ(scan_.unstable_block_count(), indexed_.unstable_block_count());
-    ASSERT_EQ(scan_.utxo_digest(), indexed_.utxo_digest());
+    for (auto& candidate : candidates_) {
+      BitcoinCanister& other = *candidate;
+      ASSERT_EQ(scan_.is_synced(), other.is_synced());
+      ASSERT_EQ(scan_.anchor_height(), other.anchor_height());
+      ASSERT_EQ(scan_.tip_height(), other.tip_height());
+      ASSERT_EQ(scan_.unstable_block_count(), other.unstable_block_count());
+      ASSERT_EQ(scan_.utxo_digest(), other.utxo_digest())
+          << "digest diverged at " << other.config().utxo_shards << " shards";
+    }
 
     for (std::uint8_t tag = 1; tag <= kTags; ++tag) {
       int minconf = static_cast<int>(rng_.next() % 9);
@@ -280,42 +298,58 @@ class DifferentialHarness {
       }
     }
     compare_fee_percentiles();
-    ASSERT_EQ(scan_.meter().count(), indexed_.meter().count())
-        << "cumulative metered instructions diverged";
+    for (auto& candidate : candidates_) {
+      ASSERT_EQ(scan_.meter().count(), candidate->meter().count())
+          << "cumulative metered instructions diverged at "
+          << candidate->config().utxo_shards << " shards";
+    }
   }
 
   void compare_balance(std::uint8_t tag, int minconf) {
     ic::InstructionMeter::Segment s(scan_.meter());
     auto a = scan_.get_balance(address(tag), minconf);
     std::uint64_t scan_cost = s.sample();
-    ic::InstructionMeter::Segment i(indexed_.meter());
-    auto b = indexed_.get_balance(address(tag), minconf);
-    std::uint64_t indexed_cost = i.sample();
-    ASSERT_EQ(a.status, b.status);
-    ASSERT_EQ(a.value, b.value);
-    ASSERT_EQ(scan_cost, indexed_cost) << "get_balance metering diverged";
+    for (auto& candidate : candidates_) {
+      ic::InstructionMeter::Segment i(candidate->meter());
+      auto b = candidate->get_balance(address(tag), minconf);
+      std::uint64_t candidate_cost = i.sample();
+      ASSERT_EQ(a.status, b.status);
+      ASSERT_EQ(a.value, b.value);
+      ASSERT_EQ(scan_cost, candidate_cost)
+          << "get_balance metering diverged at " << candidate->config().utxo_shards << " shards";
+    }
   }
 
   void compare_utxos(std::uint8_t tag, int minconf) {
-    GetUtxosRequest request;
-    request.address = address(tag);
-    request.min_confirmations = minconf;
+    std::vector<GetUtxosRequest> requests(candidates_.size() + 1);
+    for (auto& request : requests) {
+      request.address = address(tag);
+      request.min_confirmations = minconf;
+    }
     for (int page = 0; page < 64; ++page) {  // bounded pagination walk
       ic::InstructionMeter::Segment s(scan_.meter());
-      auto a = scan_.get_utxos(request);
+      auto a = scan_.get_utxos(requests[0]);
       std::uint64_t scan_cost = s.sample();
-      ic::InstructionMeter::Segment i(indexed_.meter());
-      auto b = indexed_.get_utxos(request);
-      std::uint64_t indexed_cost = i.sample();
-      ASSERT_EQ(a.status, b.status);
-      ASSERT_EQ(scan_cost, indexed_cost) << "get_utxos metering diverged";
-      if (!a.ok()) return;
-      ASSERT_EQ(a.value.utxos, b.value.utxos);
-      ASSERT_EQ(a.value.tip_hash, b.value.tip_hash);
-      ASSERT_EQ(a.value.tip_height, b.value.tip_height);
-      ASSERT_EQ(a.value.next_page, b.value.next_page);
-      if (!a.value.next_page) return;
-      request.page = a.value.next_page;
+      for (std::size_t c = 0; c < candidates_.size(); ++c) {
+        BitcoinCanister& other = *candidates_[c];
+        ic::InstructionMeter::Segment i(other.meter());
+        auto b = other.get_utxos(requests[c + 1]);
+        std::uint64_t candidate_cost = i.sample();
+        ASSERT_EQ(a.status, b.status);
+        ASSERT_EQ(scan_cost, candidate_cost)
+            << "get_utxos metering diverged at " << other.config().utxo_shards << " shards";
+        if (!a.ok()) continue;
+        ASSERT_EQ(a.value.utxos, b.value.utxos);
+        ASSERT_EQ(a.value.tip_hash, b.value.tip_hash);
+        ASSERT_EQ(a.value.tip_height, b.value.tip_height);
+        // Page tokens byte-identical: offsets into the sharded merged view
+        // line up with the serial one.
+        ASSERT_EQ(a.value.next_page, b.value.next_page)
+            << "page token diverged at " << other.config().utxo_shards << " shards";
+        if (b.value.next_page) requests[c + 1].page = b.value.next_page;
+      }
+      if (!a.ok() || !a.value.next_page) return;
+      requests[0].page = a.value.next_page;
     }
     FAIL() << "pagination did not terminate";
   }
@@ -324,11 +358,13 @@ class DifferentialHarness {
     ic::InstructionMeter::Segment s(scan_.meter());
     auto a = scan_.get_current_fee_percentiles();
     std::uint64_t scan_cost = s.sample();
-    ic::InstructionMeter::Segment i(indexed_.meter());
-    auto b = indexed_.get_current_fee_percentiles();
-    ASSERT_EQ(a.status, b.status);
-    ASSERT_EQ(a.value, b.value);
-    ASSERT_EQ(scan_cost, i.sample());
+    for (auto& candidate : candidates_) {
+      ic::InstructionMeter::Segment i(candidate->meter());
+      auto b = candidate->get_current_fee_percentiles();
+      ASSERT_EQ(a.status, b.status);
+      ASSERT_EQ(a.value, b.value);
+      ASSERT_EQ(scan_cost, i.sample());
+    }
   }
 
   void send_random_transaction() {
@@ -338,10 +374,14 @@ class DifferentialHarness {
     tx.inputs.push_back(in);
     tx.outputs.push_back(bitcoin::TxOut{1234, script(1)});
     util::Bytes raw = tx.serialize();
-    ASSERT_EQ(scan_.send_transaction(raw), indexed_.send_transaction(raw));
-    ASSERT_EQ(scan_.pending_transactions(), indexed_.pending_transactions());
     util::Bytes garbage = rng_.next_bytes(1 + rng_.next() % 16);
-    ASSERT_EQ(scan_.send_transaction(garbage), indexed_.send_transaction(garbage));
+    Status accepted = scan_.send_transaction(raw);
+    Status rejected = scan_.send_transaction(garbage);
+    for (auto& candidate : candidates_) {
+      ASSERT_EQ(accepted, candidate->send_transaction(raw));
+      ASSERT_EQ(scan_.pending_transactions(), candidate->pending_transactions());
+      ASSERT_EQ(rejected, candidate->send_transaction(garbage));
+    }
   }
 
   int steps_run() const { return steps_; }
@@ -394,10 +434,12 @@ class DifferentialHarness {
     for (const auto& b : blocks) response.blocks.emplace_back(b, b.header);
     response.next_headers = headers;
     auto a = scan_.process_response(response, now_s());
-    auto b = indexed_.process_response(response, now_s());
-    ASSERT_EQ(a.blocks_stored, b.blocks_stored);
-    ASSERT_EQ(a.headers_appended, b.headers_appended);
-    ASSERT_EQ(a.anchors_advanced, b.anchors_advanced);
+    for (auto& candidate : candidates_) {
+      auto b = candidate->process_response(response, now_s());
+      ASSERT_EQ(a.blocks_stored, b.blocks_stored);
+      ASSERT_EQ(a.headers_appended, b.headers_appended);
+      ASSERT_EQ(a.anchors_advanced, b.anchors_advanced);
+    }
   }
 
   void extend_tip() {
@@ -452,7 +494,7 @@ class DifferentialHarness {
   const ChainParams& params_ = ChainParams::regtest();  // δ=6, τ=2
   util::Rng rng_;
   BitcoinCanister scan_;
-  BitcoinCanister indexed_;
+  std::vector<std::unique_ptr<BitcoinCanister>> candidates_;
   chain::HeaderTree build_tree_;
   Hash256 tip_ = ChainParams::regtest().genesis_header.hash();
   std::uint32_t time_ = ChainParams::regtest().genesis_header.time;

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "bitcoin/block.h"
@@ -39,6 +40,62 @@ TEST(ThreadPoolTest, ZeroAndOneItemRuns) {
     calls.fetch_add(1);
   });
   EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPoolTest, ConcurrentSubmittersEachCompleteExactlyOnce) {
+  // Two threads submitting overlapping run() calls to the same pool: before
+  // submissions were serialized, the second submission clobbered
+  // current_/generation_, stranding workers on the overwritten job and
+  // letting a submitter return with stragglers still claiming its items.
+  // Under TSan this also shakes out any residual data race in the
+  // publication protocol.
+  ThreadPool pool(3);
+  constexpr int kRounds = 200;
+  constexpr std::size_t kN = 64;
+  std::atomic<int> failures{0};
+  auto submitter = [&] {
+    for (int round = 0; round < kRounds; ++round) {
+      std::vector<std::atomic<int>> counts(kN);
+      pool.run(kN, [&](std::size_t i) { counts[i].fetch_add(1); });
+      for (std::size_t i = 0; i < kN; ++i) {
+        if (counts[i].load() != 1) failures.fetch_add(1);
+      }
+    }
+  };
+  std::thread a(submitter);
+  std::thread b(submitter);
+  a.join();
+  b.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(SharedPoolTest, ReplacementDuringFlightIsSafe) {
+  // A fan-out holding shared_pool_ref() must survive concurrent
+  // set_shared_pool() replacement: the old pool stays alive until the last
+  // reference drops (previously reset() could destroy — and join — a pool
+  // out from under an in-flight run()).
+  set_shared_pool(2);
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> completed{0};
+  std::thread user([&] {
+    while (!stop.load()) {
+      std::shared_ptr<ThreadPool> pool = shared_pool_ref();
+      if (pool == nullptr) continue;
+      std::atomic<int> sum{0};
+      pool->run(32, [&](std::size_t i) { sum.fetch_add(static_cast<int>(i)); });
+      ASSERT_EQ(sum.load(), 31 * 32 / 2);
+      completed.fetch_add(1);
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    set_shared_pool(1 + static_cast<std::size_t>(i % 3));
+    std::this_thread::yield();
+  }
+  stop.store(true);
+  user.join();
+  set_shared_pool(0);
+  EXPECT_EQ(shared_pool(), nullptr);
+  EXPECT_GT(completed.load(), 0u);
 }
 
 TEST(ParallelMapTest, MatchesSerialResultForAnyThreadCount) {
