@@ -1,12 +1,18 @@
 // Attack lab: walks through the three §IV-A attack scenarios against a live
 // stack and shows each defence doing its job — the adapter's validation, the
-// δ-stability margin, and the N-set/τ sync gate after downtime.
+// δ-stability margin, and the N-set/τ sync gate after downtime — plus a
+// fourth scenario: restoring the canister from a stable-memory checkpoint
+// after an outage and replaying a fork injection against the restored
+// canister and a never-stopped twin.
 //
 // Build & run:  cmake --build build && ./build/examples/attack_lab
 #include <cstdio>
 
+#include "bitcoin/script.h"
 #include "btcnet/harness.h"
 #include "canister/integration.h"
+#include "chain/block_builder.h"
+#include "persist/checkpoint.h"
 
 using namespace icbtc;
 
@@ -116,6 +122,64 @@ int main() {
   std::printf("synced: %s (Lemma IV.3: success would need %d byzantine makers in a row,\n",
               integration.canister().is_synced() ? "yes" : "no", 3);
   std::printf("probability < 3^-3 = %.3f)\n", 1.0 / 27.0);
-  std::printf("\n=== all three defences held ===\n");
-  return 0;
+
+  // --- Scenario 4: checkpoint/restore after downtime --------------------
+  // The operator checkpoints the canister, the canister goes down, and the
+  // state is restored into a differently-sharded deployment (3 shards, the
+  // node-map backend instead of the flat arena). A byzantine maker then
+  // replays a fork injection against the restored canister and against a
+  // never-stopped twin: every observable — UTXO digest, queries, the
+  // instruction meter — must stay identical, or the restore changed
+  // consensus-visible state.
+  std::printf("\n--- scenario 4: post-downtime restore from a stable-memory checkpoint ---\n");
+  auto& live = integration.canister();
+  live.checkpoint("attack_lab.ckpt");
+  std::printf("checkpointed canister at height %d (%zu utxos) to attack_lab.ckpt\n",
+              live.tip_height(), live.utxo_count());
+
+  auto restore_config = config.canister;
+  restore_config.utxo_shards = 3;
+  restore_config.utxo_backend = persist::UtxoBackend::kMap;
+  auto restored = canister::BitcoinCanister::restore(params, restore_config, "attack_lab.ckpt");
+  auto twin = canister::BitcoinCanister::restore(params, config.canister, "attack_lab.ckpt");
+  std::printf("restored at 3 shards + map backend; twin kept the writer's config\n");
+  std::printf("digest after restore: %s (writer: %s)\n",
+              restored.utxo_digest() == live.utxo_digest() ? "MATCHES writer" : "DIFFERS",
+              live.utxo_digest().hex().substr(0, 16).c_str());
+
+  // Replay: a two-block fork off the tip's parent, then three honest blocks,
+  // fed identically to both canisters.
+  util::Hash160 payee;
+  payee.data[0] = 0x42;
+  util::Bytes coinbase_script = bitcoin::p2pkh_script(payee);
+  std::string payee_addr = bitcoin::p2pkh_address(payee, params.network);
+  t = static_cast<std::uint32_t>(params.genesis_header.time + sim.now() / util::kSecond);
+  std::uint64_t tag = 0x5c4;
+  auto feed_both = [&](const util::Hash256& parent) {
+    auto block = chain::build_child_block(twin.header_tree(), parent, t += 600, coinbase_script,
+                                          bitcoin::block_subsidy(0), {}, tag++);
+    adapter::AdapterResponse response;
+    response.blocks.emplace_back(block, block.header);
+    restored.process_response(response, static_cast<std::int64_t>(t) + 10000);
+    twin.process_response(response, static_cast<std::int64_t>(t) + 10000);
+    return block.hash();
+  };
+  util::Hash256 fork_parent =
+      twin.header_tree().find(twin.header_tree().best_tip())->header.prev_hash;
+  auto fork_tip = feed_both(fork_parent);
+  feed_both(fork_tip);  // fork overtakes by one: both canisters reorg
+  for (int i = 0; i < 3; ++i) feed_both(twin.header_tree().best_tip());
+
+  bool digests = restored.utxo_digest() == twin.utxo_digest();
+  bool meters = restored.meter().count() == twin.meter().count();
+  bool balances = restored.get_balance(payee_addr).value == twin.get_balance(payee_addr).value;
+  std::printf("replayed 2 fork + 3 honest blocks through both canisters:\n");
+  std::printf("  utxo digest equal: %s, meter totals equal: %s (%llu instructions),\n",
+              digests ? "YES" : "no", meters ? "YES" : "no",
+              static_cast<unsigned long long>(twin.meter().count()));
+  std::printf("  %s balance equal: %s -> the checkpoint is consensus-invisible\n",
+              payee_addr.c_str(), balances ? "YES" : "no");
+
+  std::printf("\n=== all four defences held ===\n");
+  return (digests && meters && balances) ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 
 #include "bitcoin/script.h"
 #include "parallel/thread_pool.h"
+#include "persist/checkpoint.h"
 #include "util/byteio.h"
 
 namespace icbtc::canister {
@@ -108,7 +109,8 @@ BitcoinCanister::BitcoinCanister(const bitcoin::ChainParams& params, CanisterCon
     : params_(&params),
       config_(config),
       stable_utxos_(config.costs,
-                    UtxoIndex::ShardConfig{config.utxo_shards, config.utxo_snapshot_reads}),
+                    UtxoIndex::ShardConfig{config.utxo_shards, config.utxo_snapshot_reads,
+                                           config.utxo_backend}),
       tree_(params, params.genesis_header) {
   // The genesis block's outputs are part of the stable set by definition
   // (the anchor starts at genesis).
@@ -644,11 +646,11 @@ util::Bytes BitcoinCanister::serialize_state() const {
   for (const auto& header : stable_headers_) header.serialize(w);
 
   w.varint(stable_utxos_.size());
-  stable_utxos_.visit([&](const bitcoin::OutPoint& outpoint, const bitcoin::TxOut& output,
-                          int height) {
+  stable_utxos_.visit([&](const bitcoin::OutPoint& outpoint, bitcoin::Amount value, int height,
+                          util::ByteSpan script) {
     outpoint.serialize(w);
-    w.i64le(output.value);
-    w.var_bytes(output.script_pubkey);
+    w.i64le(value);
+    w.var_bytes(script);
     w.i32le(height);
   });
 
@@ -669,9 +671,10 @@ BitcoinCanister BitcoinCanister::from_snapshot(const bitcoin::ChainParams& param
   int root_height = r.i32le();
   crypto::U256 prev_work = crypto::U256::from_be_bytes(r.bytes(32));
   bitcoin::BlockHeader root = bitcoin::BlockHeader::deserialize(r);
-  canister.stable_utxos_ = UtxoIndex(
-      config.costs, UtxoIndex::ShardConfig{config.utxo_shards,
-                                           config.utxo_snapshot_reads});  // drop the genesis seed
+  canister.stable_utxos_ =
+      UtxoIndex(config.costs,
+                UtxoIndex::ShardConfig{config.utxo_shards, config.utxo_snapshot_reads,
+                                       config.utxo_backend});  // drop the genesis seed
   canister.tree_ = chain::HeaderTree(params, root, root_height, prev_work);
 
   // The stored headers were fully validated before the snapshot was taken;
@@ -710,21 +713,231 @@ BitcoinCanister BitcoinCanister::from_snapshot(const bitcoin::ChainParams& param
   }
 
   std::size_t n_utxos = r.checked_len(r.varint());
-  ic::InstructionMeter silent;  // restoring is not metered request work
   for (std::size_t i = 0; i < n_utxos; ++i) {
     bitcoin::OutPoint outpoint = bitcoin::OutPoint::deserialize(r);
-    bitcoin::TxOut output;
-    output.value = r.i64le();
-    output.script_pubkey = r.var_bytes();
+    bitcoin::Amount value = r.i64le();
+    util::Bytes script = r.var_bytes();
     int height = r.i32le();
-    canister.stable_utxos_.insert(outpoint, output, height, silent);
+    canister.stable_utxos_.load_entry(outpoint, value, height, script);
   }
+  canister.stable_utxos_.finish_load();
 
   std::size_t n_pending = r.checked_len(r.varint());
   for (std::size_t i = 0; i < n_pending; ++i) canister.pending_txs_.push_back(r.var_bytes());
 
   if (!r.done()) throw util::DecodeError("snapshot: trailing bytes");
   return canister;
+}
+
+namespace {
+// Checkpoint section ids (persist envelope; strictly increasing on the wire).
+constexpr std::uint32_t kSecMeta = 1;            // anchor: height, prev work, root header
+constexpr std::uint32_t kSecHeaders = 2;         // unstable headers, parents first
+constexpr std::uint32_t kSecUnstableBlocks = 3;  // full blocks, sorted by hash
+constexpr std::uint32_t kSecStableHeaders = 4;   // archived headers below the anchor
+constexpr std::uint32_t kSecUtxos = 5;           // stable set, sorted by outpoint
+constexpr std::uint32_t kSecPending = 6;         // outbound tx queue, queue order
+constexpr std::uint32_t kSecMeter = 7;           // lifetime instruction total
+}  // namespace
+
+util::Bytes BitcoinCanister::write_checkpoint() const {
+  persist::CheckpointWriter cw;
+  {
+    util::ByteWriter& w = cw.begin_section(kSecMeta);
+    const auto& root = tree_.root();
+    w.i32le(root.height);
+    crypto::U256 prev_work = root.cumulative_work - root.block_work;
+    w.bytes(prev_work.to_be_bytes().span());
+    root.header.serialize(w);
+  }
+  {
+    // Height order keeps parents before children; within a height the hashes
+    // are sorted so the bytes do not depend on ingestion interleaving.
+    util::ByteWriter& w = cw.begin_section(kSecHeaders);
+    std::vector<bitcoin::BlockHeader> headers;
+    for (int h = tree_.root().height + 1; h <= tree_.max_height(); ++h) {
+      std::vector<Hash256> at_height = tree_.blocks_at_height(h);
+      std::sort(at_height.begin(), at_height.end());
+      for (const auto& hash : at_height) headers.push_back(tree_.find(hash)->header);
+    }
+    w.varint(headers.size());
+    for (const auto& header : headers) header.serialize(w);
+  }
+  {
+    util::ByteWriter& w = cw.begin_section(kSecUnstableBlocks);
+    std::vector<Hash256> hashes;
+    hashes.reserve(unstable_blocks_.size());
+    for (const auto& [hash, block] : unstable_blocks_) hashes.push_back(hash);
+    std::sort(hashes.begin(), hashes.end());
+    w.varint(hashes.size());
+    for (const auto& hash : hashes) w.var_bytes(unstable_blocks_.at(hash).serialize());
+  }
+  {
+    util::ByteWriter& w = cw.begin_section(kSecStableHeaders);
+    w.varint(stable_headers_.size());
+    for (const auto& header : stable_headers_) header.serialize(w);
+  }
+  {
+    // Globally sorted by outpoint: the section bytes are invariant under the
+    // writer's shard count, backend, and snapshot mode. Script bytes are
+    // copied out because shard pins only live for the duration of visit().
+    util::ByteWriter& w = cw.begin_section(kSecUtxos);
+    struct Row {
+      bitcoin::OutPoint outpoint;
+      bitcoin::Amount value;
+      int height;
+      util::Bytes script;
+    };
+    std::vector<Row> rows;
+    rows.reserve(stable_utxos_.size());
+    stable_utxos_.visit([&](const bitcoin::OutPoint& outpoint, bitcoin::Amount value, int height,
+                            util::ByteSpan script) {
+      rows.push_back(Row{outpoint, value, height, util::Bytes(script.begin(), script.end())});
+    });
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) { return a.outpoint < b.outpoint; });
+    w.u64le(rows.size());
+    for (const Row& row : rows) {
+      row.outpoint.serialize(w);
+      w.i64le(row.value);
+      w.i32le(row.height);
+      w.var_bytes(row.script);
+    }
+  }
+  {
+    util::ByteWriter& w = cw.begin_section(kSecPending);
+    w.varint(pending_txs_.size());
+    for (const auto& raw : pending_txs_) w.var_bytes(raw);
+  }
+  {
+    util::ByteWriter& w = cw.begin_section(kSecMeter);
+    w.u64le(meter_.count());
+  }
+  return std::move(cw).finish();
+}
+
+BitcoinCanister BitcoinCanister::from_checkpoint(const bitcoin::ChainParams& params,
+                                                 CanisterConfig config,
+                                                 util::ByteSpan checkpoint) {
+  using Code = persist::CheckpointError::Code;
+  persist::CheckpointReader reader(checkpoint);  // validates envelope + every CRC
+
+  // Section payloads decode with ByteReader, which throws util::DecodeError
+  // on any truncation/malformation; wrap so callers always see the typed
+  // error, and build into a fresh canister so a failure can never leave a
+  // partially restored one behind.
+  try {
+    BitcoinCanister canister(params, config);
+
+    {
+      util::ByteReader r = reader.section(kSecMeta);
+      int root_height = r.i32le();
+      crypto::U256 prev_work = crypto::U256::from_be_bytes(r.bytes(32));
+      bitcoin::BlockHeader root = bitcoin::BlockHeader::deserialize(r);
+      if (!r.done()) throw util::DecodeError("meta trailing bytes");
+      canister.stable_utxos_ =
+          UtxoIndex(config.costs, UtxoIndex::ShardConfig{config.utxo_shards,
+                                                         config.utxo_snapshot_reads,
+                                                         config.utxo_backend});
+      canister.tree_ = chain::HeaderTree(params, root, root_height, prev_work);
+    }
+
+    // Headers were fully validated before the checkpoint was written; only
+    // structural linkage matters on restore.
+    chain::ValidationOptions lax;
+    lax.check_pow = false;
+    lax.check_difficulty = false;
+    lax.check_timestamp = false;
+    {
+      util::ByteReader r = reader.section(kSecHeaders);
+      std::size_t n = r.checked_len(r.varint());
+      for (std::size_t i = 0; i < n; ++i) {
+        bitcoin::BlockHeader header = bitcoin::BlockHeader::deserialize(r);
+        if (canister.tree_.accept(header, 0, nullptr, lax) != chain::AcceptResult::kAccepted) {
+          throw util::DecodeError("orphan header");
+        }
+      }
+      if (!r.done()) throw util::DecodeError("headers trailing bytes");
+    }
+
+    {
+      util::ByteReader r = reader.section(kSecUnstableBlocks);
+      std::size_t n = r.checked_len(r.varint());
+      for (std::size_t i = 0; i < n; ++i) {
+        bitcoin::Block block = bitcoin::Block::parse(r.var_bytes());
+        Hash256 hash = block.hash();
+        if (!canister.tree_.contains(hash)) throw util::DecodeError("stray block");
+        if (canister.indexed_queries()) {
+          std::shared_ptr<parallel::ThreadPool> pool = parallel::shared_pool_ref();
+          canister.unstable_index_.add_block(hash, block, canister.tree_.find(hash)->height,
+                                             pool.get());
+        }
+        canister.unstable_blocks_.emplace(hash, std::move(block));
+      }
+      if (!r.done()) throw util::DecodeError("blocks trailing bytes");
+      canister.recompute_max_available_height();
+    }
+
+    {
+      util::ByteReader r = reader.section(kSecStableHeaders);
+      std::size_t n = r.checked_len(r.varint());
+      canister.stable_headers_.clear();
+      canister.stable_headers_.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        canister.stable_headers_.push_back(bitcoin::BlockHeader::deserialize(r));
+      }
+      if (!r.done()) throw util::DecodeError("stable headers trailing bytes");
+    }
+
+    {
+      util::ByteReader r = reader.section(kSecUtxos);
+      std::uint64_t n = r.u64le();
+      for (std::uint64_t i = 0; i < n; ++i) {
+        bitcoin::OutPoint outpoint = bitcoin::OutPoint::deserialize(r);
+        bitcoin::Amount value = r.i64le();
+        int height = r.i32le();
+        util::Bytes script = r.var_bytes();
+        canister.stable_utxos_.load_entry(outpoint, value, height, script);
+      }
+      if (!r.done()) throw util::DecodeError("utxo trailing bytes");
+      canister.stable_utxos_.finish_load();
+    }
+
+    {
+      util::ByteReader r = reader.section(kSecPending);
+      std::size_t n = r.checked_len(r.varint());
+      canister.pending_txs_.clear();
+      for (std::size_t i = 0; i < n; ++i) canister.pending_txs_.push_back(r.var_bytes());
+      if (!r.done()) throw util::DecodeError("pending trailing bytes");
+    }
+
+    {
+      util::ByteReader r = reader.section(kSecMeter);
+      std::uint64_t total = r.u64le();
+      if (!r.done()) throw util::DecodeError("meter trailing bytes");
+      // The writer's lifetime total subsumes everything this constructor
+      // charged (genesis seeding); replaying it keeps the restored canister's
+      // meter bit-identical to a never-stopped twin.
+      canister.meter_.reset();
+      canister.meter_.charge(total);
+    }
+
+    return canister;
+  } catch (const persist::CheckpointError&) {
+    throw;
+  } catch (const util::DecodeError& e) {
+    throw persist::CheckpointError(Code::kMalformed, e.what());
+  }
+}
+
+void BitcoinCanister::checkpoint(const std::string& path) const {
+  persist::write_checkpoint_file(path, write_checkpoint());
+}
+
+BitcoinCanister BitcoinCanister::restore(const bitcoin::ChainParams& params,
+                                         CanisterConfig config, const std::string& path) {
+  util::Bytes bytes = persist::read_checkpoint_file(path);
+  return from_checkpoint(params, config, bytes);
 }
 
 std::uint64_t BitcoinCanister::memory_bytes() const {

@@ -56,6 +56,10 @@ struct CanisterConfig {
   /// Epoch snapshot reads: queries serve the last published shard snapshots
   /// while ingestion builds the next epoch (see UtxoIndex::ShardConfig).
   bool utxo_snapshot_reads = true;
+  /// Stable shard backing store (see persist::UtxoBackend). Responses,
+  /// metering, digests, and checkpoints are backend-invariant; only host
+  /// memory and wall-clock differ.
+  persist::UtxoBackend utxo_backend = persist::UtxoBackend::kArena;
   InstructionCosts costs;
 
   static CanisterConfig for_params(const bitcoin::ChainParams& params) {
@@ -183,6 +187,27 @@ class BitcoinCanister {
   /// util::DecodeError on malformed input.
   static BitcoinCanister from_snapshot(const bitcoin::ChainParams& params,
                                        CanisterConfig config, util::ByteSpan snapshot);
+
+  /// V2 checkpoint: the sectioned, CRC-guarded persist envelope (see
+  /// persist/checkpoint.h and DESIGN.md §12). Every section is canonical —
+  /// the UTXO set globally sorted by outpoint, header/block sets sorted by
+  /// hash — so the byte stream is a pure function of logical state:
+  /// invariant under the writer's shard count, backend, snapshot mode, and
+  /// ingestion interleaving. A checkpoint written at 16 shards restores at 4.
+  util::Bytes write_checkpoint() const;
+
+  /// Rebuilds a canister from a write_checkpoint() stream under a possibly
+  /// different CanisterConfig (shard count / backend / query mode). The
+  /// restored canister's UTXO digest, query responses, and meter total are
+  /// identical to the writer's. Throws persist::CheckpointError — never a
+  /// partially restored canister — on any corruption.
+  static BitcoinCanister from_checkpoint(const bitcoin::ChainParams& params,
+                                         CanisterConfig config, util::ByteSpan checkpoint);
+
+  /// File convenience wrappers (`*.ckpt` by convention; gitignored).
+  void checkpoint(const std::string& path) const;
+  static BitcoinCanister restore(const bitcoin::ChainParams& params, CanisterConfig config,
+                                 const std::string& path);
 
   // ---------------------------- Introspection ---------------------------
 

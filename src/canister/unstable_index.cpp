@@ -7,19 +7,31 @@ namespace icbtc::canister {
 
 namespace {
 
-/// Deterministic host-footprint estimate of a delta: hash-table node and
-/// key overheads plus the stored entries. Rough by design — it feeds a
-/// gauge, not an allocator.
-std::uint64_t delta_footprint(const BlockDelta& d) {
-  std::uint64_t bytes = sizeof(BlockDelta);
-  for (const auto& [script, utxos] : d.added) {
-    bytes += 64 + script.size() + utxos.size() * sizeof(StoredUtxo);
-  }
-  bytes += d.spent.size() * (sizeof(bitcoin::OutPoint) + 16);
-  return bytes;
+/// Heap-block model shared with the persist layer's map accounting: an
+/// allocator header plus the payload rounded to 16.
+std::uint64_t heap_block(std::size_t payload) {
+  return 16 + ((payload + 15) / 16) * 16;
 }
 
 }  // namespace
+
+std::uint64_t delta_resident_bytes(const BlockDelta& d) {
+  // Capacity-accurate accounting from the actual container shapes: both
+  // hash tables' bucket arrays, one heap node per element (payload + next
+  // pointer), script byte buffers and UTXO vectors at capacity — not the
+  // node-count estimate this replaces. Deterministic for a fixed build
+  // history (bucket growth and vector growth are deterministic).
+  std::uint64_t bytes = sizeof(BlockDelta);
+  bytes += d.added.bucket_count() * sizeof(void*);
+  for (const auto& [script, utxos] : d.added) {
+    bytes += heap_block(sizeof(util::Bytes) + sizeof(std::vector<StoredUtxo>) + sizeof(void*));
+    bytes += heap_block(script.capacity());
+    bytes += heap_block(utxos.capacity() * sizeof(StoredUtxo));
+  }
+  bytes += d.spent.bucket_count() * sizeof(void*);
+  bytes += d.spent.size() * heap_block(sizeof(bitcoin::OutPoint) + sizeof(void*));
+  return bytes;
+}
 
 void UnstableIndex::add_block(const util::Hash256& hash, const bitcoin::Block& block,
                               int height, parallel::ThreadPool* pool) {
@@ -49,7 +61,7 @@ void UnstableIndex::add_block(const util::Hash256& hash, const bitcoin::Block& b
       ++delta->added_outputs;
     }
   }
-  delta->resident_bytes = delta_footprint(*delta);
+  delta->resident_bytes = delta_resident_bytes(*delta);
   resident_bytes_ += delta->resident_bytes;
 
   if (span.active()) {

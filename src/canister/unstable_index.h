@@ -74,9 +74,16 @@ struct BlockDelta {
   ScriptFilter filter;
   std::unordered_map<util::Bytes, std::vector<StoredUtxo>, ScriptHash> added;
   std::unordered_set<bitcoin::OutPoint> spent;
-  /// Host-side footprint estimate of this delta (deterministic).
+  /// Exact host-side footprint of this delta at build time (computed by
+  /// delta_resident_bytes; deterministic).
   std::uint64_t resident_bytes = 0;
 };
+
+/// Capacity-accurate host bytes held by a delta, derived from the actual
+/// container shapes (bucket arrays, per-node heap blocks, vector and byte
+/// buffer capacities). Feeds `canister.delta.resident_bytes`; pinned by
+/// tests so the gauge can't silently regress to an estimate.
+std::uint64_t delta_resident_bytes(const BlockDelta& delta);
 
 class UnstableIndex {
  public:

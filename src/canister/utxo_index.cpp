@@ -43,7 +43,7 @@ std::size_t ScriptHash::operator()(const util::Bytes& b) const noexcept {
   return h;
 }
 
-std::uint64_t stable_script_shard_hash(const util::Bytes& script) noexcept {
+std::uint64_t stable_script_shard_hash(util::ByteSpan script) noexcept {
   // Canonical byte-at-a-time FNV-1a 64: every host folds the same byte
   // sequence the same way, so shard assignment is identical across
   // endianness, word size, and process restarts. Pinned by known-answer
@@ -57,14 +57,14 @@ std::uint64_t stable_script_shard_hash(const util::Bytes& script) noexcept {
   return h;
 }
 
-std::uint64_t UtxoIndex::entry_footprint(const bitcoin::TxOut& output) {
+std::uint64_t UtxoIndex::entry_footprint(std::size_t script_len) {
   // Payload (outpoint 36 + value 8 + height 4 + script) plus the stable
   // B-tree node overhead (fixed-width keys, slack, versioning) of the
   // production canister's stable structures, stored in both the outpoint
   // index and the address index. Calibrated against the paper's Fig. 5:
   // ~103 GiB for ~170M UTXOs ≈ 600 bytes per UTXO.
   constexpr std::uint64_t kStableBTreeOverhead = 220;
-  return 2 * (kStableBTreeOverhead + 36 + 8 + 4 + output.script_pubkey.size());
+  return 2 * (kStableBTreeOverhead + 36 + 8 + 4 + script_len);
 }
 
 UtxoIndex::UtxoIndex(InstructionCosts costs) : UtxoIndex(costs, ShardConfig{}) {}
@@ -75,8 +75,10 @@ UtxoIndex::UtxoIndex(InstructionCosts costs, ShardConfig shard_config)
   shards_.reserve(shard_config_.shards);
   for (std::size_t s = 0; s < shard_config_.shards; ++s) {
     auto shard = std::make_unique<Shard>();
-    shard->front = std::make_shared<ShardData>();
-    if (shard_config_.snapshot_reads) shard->back = std::make_shared<ShardData>();
+    shard->front = std::make_shared<ShardData>(shard_config_.backend);
+    if (shard_config_.snapshot_reads) {
+      shard->back = std::make_shared<ShardData>(shard_config_.backend);
+    }
     shards_.push_back(std::move(shard));
   }
 }
@@ -94,8 +96,10 @@ UtxoIndex::UtxoIndex(UtxoIndex&& other) noexcept
   epoch_seq_.store(other.epoch_seq_.load(std::memory_order_relaxed), std::memory_order_relaxed);
   other.shards_.clear();
   auto fresh = std::make_unique<Shard>();
-  fresh->front = std::make_shared<ShardData>();
-  if (other.shard_config_.snapshot_reads) fresh->back = std::make_shared<ShardData>();
+  fresh->front = std::make_shared<ShardData>(other.shard_config_.backend);
+  if (other.shard_config_.snapshot_reads) {
+    fresh->back = std::make_shared<ShardData>(other.shard_config_.backend);
+  }
   other.shards_.push_back(std::move(fresh));
 }
 
@@ -109,8 +113,10 @@ UtxoIndex& UtxoIndex::operator=(UtxoIndex&& other) noexcept {
   epoch_seq_.store(other.epoch_seq_.load(std::memory_order_relaxed), std::memory_order_relaxed);
   other.shards_.clear();
   auto fresh = std::make_unique<Shard>();
-  fresh->front = std::make_shared<ShardData>();
-  if (other.shard_config_.snapshot_reads) fresh->back = std::make_shared<ShardData>();
+  fresh->front = std::make_shared<ShardData>(other.shard_config_.backend);
+  if (other.shard_config_.snapshot_reads) {
+    fresh->back = std::make_shared<ShardData>(other.shard_config_.backend);
+  }
   other.shards_.push_back(std::move(fresh));
   return *this;
 }
@@ -137,6 +143,8 @@ void UtxoIndex::set_metrics(obs::MetricsRegistry* registry) {
   metrics_.shard_epoch = &registry->gauge("utxo.shard.epoch");
   metrics_.shard_max_utxos = &registry->gauge("utxo.shard.max_utxos");
   metrics_.shard_min_utxos = &registry->gauge("utxo.shard.min_utxos");
+  metrics_.shard_live_bytes = &registry->gauge("utxo.shard.live_bytes");
+  metrics_.shard_resident_bytes = &registry->gauge("utxo.shard.resident_bytes");
   update_size_gauges();
 }
 
@@ -144,12 +152,17 @@ void UtxoIndex::update_size_gauges() {
   if (metrics_.size == nullptr) return;
   std::size_t total = 0;
   std::uint64_t memory = 0;
+  std::uint64_t live = 0;
+  std::uint64_t resident = 0;
   std::size_t max_shard = 0;
   std::size_t min_shard = static_cast<std::size_t>(-1);
   for (const auto& shard : shards_) {
-    std::size_t n = shard->front->by_outpoint.size();
+    std::size_t n = shard->front->store->size();
     total += n;
     memory += shard->front->memory_bytes;
+    live += shard->front->store->live_bytes();
+    resident += shard->front->store->resident_bytes();
+    if (shard->back != nullptr) resident += shard->back->store->resident_bytes();
     max_shard = std::max(max_shard, n);
     min_shard = std::min(min_shard, n);
   }
@@ -159,27 +172,22 @@ void UtxoIndex::update_size_gauges() {
   metrics_.shard_epoch->set(static_cast<std::int64_t>(epoch()));
   metrics_.shard_max_utxos->set(static_cast<std::int64_t>(max_shard));
   metrics_.shard_min_utxos->set(static_cast<std::int64_t>(min_shard));
+  metrics_.shard_live_bytes->set(static_cast<std::int64_t>(live));
+  metrics_.shard_resident_bytes->set(static_cast<std::int64_t>(resident));
 }
 
 std::uint64_t UtxoIndex::apply_op(ShardData& data, const PendingOp& op, OpCounts* counts) const {
   if (op.kind == PendingOp::Kind::kInsert) {
-    auto [it, inserted] = data.by_outpoint.emplace(op.outpoint, Entry{op.output, op.height});
-    if (!inserted) return costs_.output_insert;  // duplicate (pre-BIP30); keep first
-    data.by_script[op.output.script_pubkey][Key{-op.height, op.outpoint}] = op.output.value;
-    data.memory_bytes += entry_footprint(op.output);
+    if (!data.store->insert(op.outpoint, op.output.value, op.height, op.output.script_pubkey)) {
+      return costs_.output_insert;  // duplicate (pre-BIP30); keep first
+    }
+    data.memory_bytes += entry_footprint(op.output.script_pubkey.size());
     if (counts != nullptr) ++counts->inserted;
     return costs_.output_insert;
   }
-  auto it = data.by_outpoint.find(op.outpoint);
-  if (it == data.by_outpoint.end()) return costs_.input_remove;  // unvalidated input; tolerated
-  const Entry& entry = it->second;
-  auto script_it = data.by_script.find(entry.output.script_pubkey);
-  if (script_it != data.by_script.end()) {
-    script_it->second.erase(Key{-entry.height, op.outpoint});
-    if (script_it->second.empty()) data.by_script.erase(script_it);
-  }
-  data.memory_bytes -= entry_footprint(entry.output);
-  data.by_outpoint.erase(it);
+  auto erased = data.store->erase(op.outpoint);
+  if (!erased) return costs_.input_remove;  // unvalidated input; tolerated
+  data.memory_bytes -= entry_footprint(erased->script_len);
   if (counts != nullptr) ++counts->removed;
   return costs_.input_remove;
 }
@@ -209,7 +217,7 @@ void UtxoIndex::point_mutation(const PendingOp& op, ic::InstructionMeter& meter)
     // Outpoint-keyed: probe the shards (an entry lives in exactly one, the
     // shard of its script).
     for (std::size_t s = 0; s < shards_.size(); ++s) {
-      if (front_of(s).by_outpoint.contains(op.outpoint)) {
+      if (front_of(s).store->contains(op.outpoint)) {
         shard = s;
         break;
       }
@@ -327,9 +335,9 @@ BlockApplyStats UtxoIndex::apply_block(const bitcoin::Block& block, int height,
   if (!unresolved.empty()) {
     std::vector<std::size_t> probe(unresolved.size(), kUnrouted);
     parallel::parallel_for(pool, n_shards, [&](std::size_t s) {
-      const auto& table = front_of(s).by_outpoint;
+      const persist::ShardStore& store = *front_of(s).store;
       for (std::size_t i = 0; i < unresolved.size(); ++i) {
-        if (table.contains(seq[unresolved[i]].op.outpoint)) probe[i] = s;
+        if (store.contains(seq[unresolved[i]].op.outpoint)) probe[i] = s;
       }
     });
     for (std::size_t i = 0; i < unresolved.size(); ++i) {
@@ -441,13 +449,12 @@ std::vector<StoredUtxo> UtxoIndex::utxos_for_script(const util::Bytes& script_pu
   if (per_read_cost == 0) per_read_cost = costs_.stable_utxo_read;
   std::vector<StoredUtxo> out;
   Pinned pin = pin_shard(shard_of(script_pubkey));
-  auto it = pin->by_script.find(script_pubkey);
-  if (it == pin->by_script.end()) return out;
-  out.reserve(it->second.size());
-  for (const auto& [key, value] : it->second) {
+  out.reserve(pin->store->script_utxo_count(script_pubkey));
+  auto walk = [&](const bitcoin::OutPoint& outpoint, bitcoin::Amount value, int height) {
     meter.charge(per_read_cost);
-    out.push_back(StoredUtxo{key.outpoint, value, -key.neg_height});
-  }
+    out.push_back(StoredUtxo{outpoint, value, height});
+  };
+  pin->store->for_each_of_script(script_pubkey, persist::ShardStore::UtxoVisitor(walk));
   return out;
 }
 
@@ -463,38 +470,58 @@ bitcoin::Amount UtxoIndex::balance_of_script(const util::Bytes& script_pubkey,
                                              ic::InstructionMeter& meter) const {
   bitcoin::Amount total = 0;
   Pinned pin = pin_shard(shard_of(script_pubkey));
-  auto it = pin->by_script.find(script_pubkey);
-  if (it == pin->by_script.end()) return 0;
-  for (const auto& [key, value] : it->second) {
+  auto walk = [&](const bitcoin::OutPoint&, bitcoin::Amount value, int) {
     meter.charge(costs_.stable_balance_read);
     total += value;
-  }
+  };
+  pin->store->for_each_of_script(script_pubkey, persist::ShardStore::UtxoVisitor(walk));
   return total;
 }
 
 std::optional<StoredUtxo> UtxoIndex::find(const bitcoin::OutPoint& outpoint) const {
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     Pinned pin = pin_shard(s);
-    auto it = pin->by_outpoint.find(outpoint);
-    if (it != pin->by_outpoint.end()) {
-      return StoredUtxo{outpoint, it->second.output.value, it->second.height};
+    if (auto found = pin->store->find(outpoint)) {
+      return StoredUtxo{outpoint, found->value, found->height};
     }
   }
   return std::nullopt;
 }
 
-const util::Bytes* UtxoIndex::script_of(const bitcoin::OutPoint& outpoint) const {
+std::optional<util::Bytes> UtxoIndex::script_of(const bitcoin::OutPoint& outpoint) const {
+  util::Bytes script;
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    const auto& table = front_of(s).by_outpoint;
-    auto it = table.find(outpoint);
-    if (it != table.end()) return &it->second.output.script_pubkey;
+    Pinned pin = pin_shard(s);
+    if (pin->store->script_of(outpoint, script)) return script;
   }
-  return nullptr;
+  return std::nullopt;
+}
+
+void UtxoIndex::load_entry(const bitcoin::OutPoint& outpoint, bitcoin::Amount value, int height,
+                           util::ByteSpan script) {
+  Shard& s = *shards_[shard_of(script)];
+  if (s.front->store->insert(outpoint, value, height, script)) {
+    s.front->memory_bytes += entry_footprint(script.size());
+  }
+  if (s.back != nullptr && s.back->store->insert(outpoint, value, height, script)) {
+    s.back->memory_bytes += entry_footprint(script.size());
+  }
+}
+
+void UtxoIndex::finish_load() {
+  // Bulk loads grow the backends by vector doubling; a restore should end
+  // memory-tight, so compact every buffer before publishing the epoch.
+  for (auto& shard : shards_) {
+    shard->front->store->compact();
+    if (shard->back != nullptr) shard->back->store->compact();
+  }
+  epoch_seq_.fetch_add(2, std::memory_order_release);
+  update_size_gauges();
 }
 
 std::size_t UtxoIndex::size() const {
   std::size_t total = 0;
-  for (std::size_t s = 0; s < shards_.size(); ++s) total += pin_shard(s)->by_outpoint.size();
+  for (std::size_t s = 0; s < shards_.size(); ++s) total += pin_shard(s)->store->size();
   return total;
 }
 
@@ -504,39 +531,68 @@ std::uint64_t UtxoIndex::memory_bytes() const {
   return total;
 }
 
+std::uint64_t UtxoIndex::live_bytes() const {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) total += pin_shard(s)->store->live_bytes();
+  return total;
+}
+
+std::uint64_t UtxoIndex::resident_bytes() const {
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.front->store->resident_bytes();
+    if (shard.back != nullptr) total += shard.back->store->resident_bytes();
+  }
+  return total;
+}
+
 std::size_t UtxoIndex::distinct_scripts() const {
   // A script's entries live in exactly one shard, so per-shard counts sum.
   std::size_t total = 0;
-  for (std::size_t s = 0; s < shards_.size(); ++s) total += pin_shard(s)->by_script.size();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    total += pin_shard(s)->store->distinct_scripts();
+  }
   return total;
 }
 
 util::Hash256 UtxoIndex::digest() const {
   // Pin every shard (kept alive for the walk), gather, sort globally by
   // outpoint: the serialization — and hence the digest — is independent of
-  // shard count, insertion order, and hash-map iteration order.
+  // shard count, backend, insertion order, and table iteration order. The
+  // script spans point into pinned shard storage and stay valid until the
+  // pins drop at function exit.
   std::vector<Pinned> pins;
   pins.reserve(shards_.size());
   for (std::size_t s = 0; s < shards_.size(); ++s) pins.push_back(pin_shard(s));
 
+  struct Row {
+    bitcoin::OutPoint outpoint;
+    bitcoin::Amount value;
+    int height;
+    util::ByteSpan script;
+  };
   std::size_t total = 0;
-  for (const auto& pin : pins) total += pin->by_outpoint.size();
-  std::vector<const std::pair<const bitcoin::OutPoint, Entry>*> entries;
-  entries.reserve(total);
+  for (const auto& pin : pins) total += pin->store->size();
+  std::vector<Row> rows;
+  rows.reserve(total);
   for (const auto& pin : pins) {
-    for (const auto& kv : pin->by_outpoint) entries.push_back(&kv);
+    auto walk = [&](const bitcoin::OutPoint& outpoint, bitcoin::Amount value, int height,
+                    util::ByteSpan script) { rows.push_back(Row{outpoint, value, height, script}); };
+    pin->store->visit(persist::ShardStore::EntryVisitor(walk));
   }
-  std::sort(entries.begin(), entries.end(),
-            [](const auto* a, const auto* b) { return a->first < b->first; });
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.outpoint < b.outpoint; });
 
   util::ByteWriter w;
-  w.u64le(entries.size());
-  for (const auto* kv : entries) {
-    w.bytes(kv->first.txid.span());
-    w.u32le(kv->first.vout);
-    w.i64le(kv->second.output.value);
-    w.i32le(kv->second.height);
-    w.var_bytes(kv->second.output.script_pubkey);
+  w.u64le(rows.size());
+  for (const Row& row : rows) {
+    w.bytes(row.outpoint.txid.span());
+    w.u32le(row.outpoint.vout);
+    w.i64le(row.value);
+    w.i32le(row.height);
+    w.var_bytes(row.script);
   }
   return crypto::sha256d(w.data());
 }

@@ -31,6 +31,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "parallel/thread_pool.h"
+#include "persist/shard_store.h"
 
 namespace icbtc::canister {
 
@@ -77,7 +78,7 @@ struct ScriptHash {
 /// byte-at-a-time FNV-1a 64, independent of host endianness and word size,
 /// so shard assignment survives checkpoint/restart across machines. Pinned
 /// by known-answer tests; never change without a migration plan.
-std::uint64_t stable_script_shard_hash(const util::Bytes& script) noexcept;
+std::uint64_t stable_script_shard_hash(util::ByteSpan script) noexcept;
 
 /// Per-block apply statistics (drives IngestStats and the Fig. 6 benches).
 struct BlockApplyStats {
@@ -104,6 +105,10 @@ class UtxoIndex {
     /// consistent snapshot while apply_block mutates. Costs 2x host memory
     /// and replays each block's ops once more (catch-up) per touched shard.
     bool snapshot_reads = false;
+    /// Per-shard backing store. The flat arena is the production layout; the
+    /// node-map backend is kept as the differential oracle and bench
+    /// baseline. Responses, metering, and digests are backend-invariant.
+    persist::UtxoBackend backend = persist::UtxoBackend::kArena;
   };
 
   UtxoIndex() : UtxoIndex(InstructionCosts{}) {}
@@ -116,12 +121,13 @@ class UtxoIndex {
   const InstructionCosts& costs() const { return costs_; }
   std::size_t shard_count() const { return shards_.size(); }
   bool snapshot_reads() const { return shard_config_.snapshot_reads; }
+  persist::UtxoBackend backend() const { return shard_config_.backend; }
   /// Published epoch: increments once per apply_block (and once per point
   /// mutation), after the new state becomes visible to readers.
   std::uint64_t epoch() const { return epoch_seq_.load(std::memory_order_acquire) / 2; }
 
   /// Shard owning `script_pubkey` under the current configuration.
-  std::size_t shard_of(const util::Bytes& script_pubkey) const {
+  std::size_t shard_of(util::ByteSpan script_pubkey) const {
     return static_cast<std::size_t>(stable_script_shard_hash(script_pubkey) % shards_.size());
   }
 
@@ -168,17 +174,16 @@ class UtxoIndex {
                                      std::uint64_t per_read_cost = 0) const {
     if (per_read_cost == 0) per_read_cost = costs_.stable_utxo_read;
     Pinned pin = pin_shard(shard_of(script_pubkey));
-    auto it = pin->by_script.find(script_pubkey);
-    if (it == pin->by_script.end()) return 0;
     std::size_t kept = 0;
-    for (const auto& [key, value] : it->second) {
-      if (!keep(key.outpoint)) continue;
+    auto walk = [&](const bitcoin::OutPoint& outpoint, bitcoin::Amount value, int height) {
+      if (!keep(outpoint)) return;
       if (kept >= offset && kept - offset < limit) {
         meter.charge(per_read_cost);
-        out.push_back(StoredUtxo{key.outpoint, value, -key.neg_height});
+        out.push_back(StoredUtxo{outpoint, value, height});
       }
       ++kept;
-    }
+    };
+    pin->store->for_each_of_script(script_pubkey, persist::ShardStore::UtxoVisitor(walk));
     return kept;
   }
 
@@ -196,23 +201,35 @@ class UtxoIndex {
   /// stable outputs). Probes the shards; an outpoint lives in the shard of
   /// its script, so at most one shard answers.
   std::optional<StoredUtxo> find(const bitcoin::OutPoint& outpoint) const;
-  /// Pointer into shard-owned storage; valid until the next mutation of that
-  /// shard. Single-threaded callers only.
-  const util::Bytes* script_of(const bitcoin::OutPoint& outpoint) const;
+  /// The script paying a stored outpoint (copied out of the backing store),
+  /// or nullopt.
+  std::optional<util::Bytes> script_of(const bitcoin::OutPoint& outpoint) const;
 
-  /// Visits every entry; used by state serialization. Order is deterministic
-  /// for a fixed shard configuration and mutation history (shards in index
-  /// order, each shard in its table order) but NOT shard-count-invariant —
-  /// use digest() for cross-configuration comparison. Quiesced callers only.
+  /// Visits every entry as fn(outpoint, value, height, script_span); used by
+  /// state serialization. Order is deterministic for a fixed shard
+  /// configuration and mutation history (shards in index order, each shard
+  /// in its backend order) but NOT shard-count-invariant — use digest() for
+  /// cross-configuration comparison. The script span is only valid for the
+  /// duration of the callback. Quiesced callers only.
   template <typename Fn>
   void visit(Fn&& fn) const {
     for (std::size_t s = 0; s < shards_.size(); ++s) {
       Pinned pin = pin_shard(s);
-      for (const auto& [outpoint, entry] : pin->by_outpoint) {
-        fn(outpoint, entry.output, entry.height);
-      }
+      auto walk = [&](const bitcoin::OutPoint& outpoint, bitcoin::Amount value, int height,
+                      util::ByteSpan script) { fn(outpoint, value, height, script); };
+      pin->store->visit(persist::ShardStore::EntryVisitor(walk));
     }
   }
+
+  /// Bulk-restore path: inserts one entry directly into the owning shard's
+  /// buffers (both buffers in snapshot mode), bypassing the per-mutation
+  /// catch-up/publish machinery — restoring 1M+ UTXOs must not replay the
+  /// epoch protocol per entry. The index must be quiescent and freshly
+  /// constructed; call finish_load() once after the last entry.
+  void load_entry(const bitcoin::OutPoint& outpoint, bitcoin::Amount value, int height,
+                  util::ByteSpan script);
+  /// Seals a load_entry() sequence: bumps the epoch once and refreshes gauges.
+  void finish_load();
 
   std::size_t size() const;
   /// Modelled stable-memory footprint in bytes (drives Fig. 5): outpoint +
@@ -220,6 +237,12 @@ class UtxoIndex {
   /// snapshot-invariant: the model charges the logical set once, regardless
   /// of host-side double-buffering.
   std::uint64_t memory_bytes() const;
+  /// Exact host bytes attributable to live entries in the published buffers
+  /// (backend accounting, not the Fig. 5 model).
+  std::uint64_t live_bytes() const;
+  /// Exact host capacity held by every shard buffer — front AND back in
+  /// snapshot mode, since the host really holds both.
+  std::uint64_t resident_bytes() const;
   std::size_t distinct_scripts() const;
 
   /// Attaches a metrics registry (nullptr detaches): insert/remove rates,
@@ -247,26 +270,15 @@ class UtxoIndex {
   util::Hash256 digest() const;
 
  private:
-  struct Entry {
-    bitcoin::TxOut output;
-    int height;
-  };
-  // Script index key: (height desc, outpoint). std::map keeps the pagination
-  // order canonical.
-  struct Key {
-    int neg_height;
-    bitcoin::OutPoint outpoint;
-    auto operator<=>(const Key&) const = default;
-  };
-
-  /// One shard's table pair. Published snapshots are immutable while they
+  /// One shard's backing store. Published snapshots are immutable while they
   /// are the front buffer; `active_pins` counts readers still traversing a
   /// buffer after it was unpublished, so the writer knows when it may be
   /// recycled as the next epoch's build target.
   struct ShardData {
-    std::unordered_map<bitcoin::OutPoint, Entry> by_outpoint;
-    std::unordered_map<util::Bytes, std::map<Key, bitcoin::Amount>, ScriptHash> by_script;
-    std::uint64_t memory_bytes = 0;
+    explicit ShardData(persist::UtxoBackend backend)
+        : store(persist::make_shard_store(backend)) {}
+    std::unique_ptr<persist::ShardStore> store;
+    std::uint64_t memory_bytes = 0;  // modelled Fig. 5 footprint of this buffer
     std::atomic<std::uint32_t> active_pins{0};
   };
 
@@ -339,7 +351,7 @@ class UtxoIndex {
 
   void update_size_gauges();
 
-  static std::uint64_t entry_footprint(const bitcoin::TxOut& output);
+  static std::uint64_t entry_footprint(std::size_t script_len);
 
   InstructionCosts costs_;
   ShardConfig shard_config_;
@@ -359,6 +371,8 @@ class UtxoIndex {
     obs::Gauge* shard_epoch = nullptr;
     obs::Gauge* shard_max_utxos = nullptr;
     obs::Gauge* shard_min_utxos = nullptr;
+    obs::Gauge* shard_live_bytes = nullptr;
+    obs::Gauge* shard_resident_bytes = nullptr;
   };
   Metrics metrics_;
   obs::Tracer* tracer_ = nullptr;

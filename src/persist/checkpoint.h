@@ -1,0 +1,110 @@
+// Versioned, sectioned, CRC-guarded checkpoint envelope — the deterministic
+// wire format the canister's checkpoint/restore subsystem writes to stable
+// storage (and the attack lab replays across a simulated node restart).
+//
+// File layout (all integers little-endian):
+//
+//   magic   u32   "ICKP"
+//   version u32   kCheckpointVersion
+//   count   u32   number of sections
+//   flags   u32   reserved, must be 0
+//   count × section:
+//     id    u32   strictly increasing across the file
+//     len   u64   payload byte length
+//     crc   u32   CRC-32 (IEEE reflected, poly 0xEDB88320) of the payload
+//     payload
+//   crc     u32   file CRC over every preceding byte
+//
+// The envelope is canonical: one byte stream per logical content. Writers
+// emit sections in increasing id order and readers reject duplicates,
+// non-monotone ids, nonzero flags, and trailing bytes, so two checkpoints of
+// identical state `cmp` equal — which CI checks. Every decode failure is a
+// typed CheckpointError; corruption can never surface as UB or a partially
+// restored canister (the reader validates the whole envelope before any
+// section payload is handed out).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/byteio.h"
+#include "util/bytes.h"
+
+namespace icbtc::persist {
+
+inline constexpr std::uint32_t kCheckpointMagic = 0x504b4349;  // "ICKP" (LE)
+inline constexpr std::uint32_t kCheckpointVersion = 1;
+
+/// Typed decode failure. Derives from util::DecodeError so generic snapshot
+/// error handling keeps working; code() says what exactly was wrong.
+class CheckpointError : public util::DecodeError {
+ public:
+  enum class Code {
+    kIo,             // file could not be read/written
+    kBadMagic,       // not a checkpoint file
+    kBadVersion,     // produced by an unknown format version
+    kTruncated,      // envelope runs past the end of the file
+    kCrcMismatch,    // a section CRC or the file CRC does not match
+    kBadSection,     // duplicate/non-monotone id, nonzero flags, missing section
+    kTrailingBytes,  // bytes after the file CRC
+    kMalformed,      // a section payload failed to decode
+  };
+
+  CheckpointError(Code code, const std::string& what)
+      : util::DecodeError("checkpoint: " + what), code_(code) {}
+
+  Code code() const { return code_; }
+
+ private:
+  Code code_;
+};
+
+const char* to_string(CheckpointError::Code code);
+
+/// Accumulates sections and seals them into the canonical envelope.
+class CheckpointWriter {
+ public:
+  /// Opens a new section; write its payload through the returned writer.
+  /// Ids must strictly increase call to call.
+  util::ByteWriter& begin_section(std::uint32_t id);
+
+  /// Seals the envelope (section headers, per-section CRCs, file CRC).
+  util::Bytes finish() &&;
+
+ private:
+  struct Section {
+    std::uint32_t id = 0;
+    util::ByteWriter payload;
+  };
+  std::vector<Section> sections_;
+};
+
+/// Parses and fully validates an envelope up front; section payloads are
+/// only reachable after magic, version, structure, every section CRC, and
+/// the file CRC have all checked out. Does not own the underlying bytes.
+class CheckpointReader {
+ public:
+  /// Throws CheckpointError if the envelope is invalid in any way.
+  explicit CheckpointReader(util::ByteSpan file);
+
+  bool has_section(std::uint32_t id) const;
+  /// Reader over one section's payload; throws kBadSection if absent.
+  util::ByteReader section(std::uint32_t id) const;
+  std::size_t section_count() const { return sections_.size(); }
+
+ private:
+  struct Section {
+    std::uint32_t id = 0;
+    util::ByteSpan payload;
+  };
+  std::vector<Section> sections_;
+};
+
+/// Reads a whole file; throws CheckpointError(kIo) on failure.
+util::Bytes read_checkpoint_file(const std::string& path);
+/// Writes bytes to a file atomically enough for the lab (truncate +
+/// write + close); throws CheckpointError(kIo) on failure.
+void write_checkpoint_file(const std::string& path, util::ByteSpan bytes);
+
+}  // namespace icbtc::persist

@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the per-section
+// integrity check of the checkpoint wire format. Not a cryptographic MAC:
+// it detects torn writes, truncation, and bit rot, which is exactly what a
+// stable-memory restore needs to refuse before replaying state.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace icbtc::persist {
+
+/// One-shot CRC-32 of `data`. `seed` chains incremental computations:
+/// crc32(ab) == crc32(b, crc32(a)).
+std::uint32_t crc32(util::ByteSpan data, std::uint32_t seed = 0);
+
+}  // namespace icbtc::persist

@@ -1,0 +1,132 @@
+#include "persist/shard_store.h"
+
+#include <cstring>
+
+namespace icbtc::persist {
+
+const char* to_string(UtxoBackend backend) {
+  switch (backend) {
+    case UtxoBackend::kArena: return "arena";
+    case UtxoBackend::kMap: return "map";
+  }
+  return "?";
+}
+
+std::unique_ptr<ShardStore> make_shard_store(UtxoBackend backend) {
+  if (backend == UtxoBackend::kMap) return std::make_unique<MapShardStore>();
+  return std::make_unique<ArenaShardStore>();
+}
+
+std::size_t MapShardStore::ScriptBytesHash::operator()(const util::Bytes& b) const noexcept {
+  // FNV-1a; process-local (never serialized).
+  std::size_t h = 14695981039346656037ULL ^ (b.size() * 1099511628211ULL);
+  for (std::uint8_t byte : b) {
+    h ^= byte;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool MapShardStore::insert(const bitcoin::OutPoint& outpoint, bitcoin::Amount value,
+                           int height, util::ByteSpan script) {
+  Entry entry;
+  entry.script.assign(script.begin(), script.end());
+  entry.value = value;
+  entry.height = height;
+  auto [it, inserted] = by_outpoint_.emplace(outpoint, std::move(entry));
+  if (!inserted) return false;
+  by_script_[it->second.script][Key{-height, outpoint}] = value;
+  return true;
+}
+
+std::optional<ShardStore::Erased> MapShardStore::erase(const bitcoin::OutPoint& outpoint) {
+  auto it = by_outpoint_.find(outpoint);
+  if (it == by_outpoint_.end()) return std::nullopt;
+  const Entry& entry = it->second;
+  Erased erased{entry.value, entry.height, static_cast<std::uint32_t>(entry.script.size())};
+  auto script_it = by_script_.find(entry.script);
+  if (script_it != by_script_.end()) {
+    script_it->second.erase(Key{-entry.height, outpoint});
+    if (script_it->second.empty()) by_script_.erase(script_it);
+  }
+  by_outpoint_.erase(it);
+  return erased;
+}
+
+std::optional<ShardStore::Found> MapShardStore::find(const bitcoin::OutPoint& outpoint) const {
+  auto it = by_outpoint_.find(outpoint);
+  if (it == by_outpoint_.end()) return std::nullopt;
+  return Found{it->second.value, it->second.height};
+}
+
+bool MapShardStore::script_of(const bitcoin::OutPoint& outpoint, util::Bytes& out) const {
+  auto it = by_outpoint_.find(outpoint);
+  if (it == by_outpoint_.end()) return false;
+  out = it->second.script;
+  return true;
+}
+
+void MapShardStore::for_each_of_script(util::ByteSpan script, const UtxoVisitor& fn) const {
+  util::Bytes key(script.begin(), script.end());
+  auto it = by_script_.find(key);
+  if (it == by_script_.end()) return;
+  for (const auto& [k, value] : it->second) {
+    fn(k.outpoint, value, -k.neg_height);
+  }
+}
+
+std::size_t MapShardStore::script_utxo_count(util::ByteSpan script) const {
+  util::Bytes key(script.begin(), script.end());
+  auto it = by_script_.find(key);
+  return it == by_script_.end() ? 0 : it->second.size();
+}
+
+void MapShardStore::visit(const EntryVisitor& fn) const {
+  for (const auto& [outpoint, entry] : by_outpoint_) {
+    fn(outpoint, entry.value, entry.height, entry.script);
+  }
+}
+
+namespace {
+/// Heap-block model for the node maps: allocator header plus size rounded to
+/// 16. Accounted, not measured — but from the real container shapes.
+std::uint64_t heap_block(std::size_t payload) {
+  return 16 + ((payload + 15) / 16) * 16;
+}
+}  // namespace
+
+std::uint64_t MapShardStore::live_bytes() const {
+  // Bytes attributable to live entries: the node payloads and script bytes,
+  // without bucket arrays or allocator rounding.
+  std::uint64_t bytes = 0;
+  for (const auto& [outpoint, entry] : by_outpoint_) {
+    bytes += sizeof(outpoint) + sizeof(Entry) + entry.script.size();
+  }
+  for (const auto& [script, chain] : by_script_) {
+    bytes += script.size() + chain.size() * (sizeof(Key) + sizeof(bitcoin::Amount));
+  }
+  return bytes;
+}
+
+std::uint64_t MapShardStore::resident_bytes() const {
+  // Capacity actually held: hash bucket arrays, one heap node per
+  // unordered_map element (payload + next pointer), per-script heap byte
+  // buffers at capacity, and one red-black node per script-chain entry
+  // (payload + 3 pointers + color word).
+  std::uint64_t bytes =
+      (by_outpoint_.bucket_count() + by_script_.bucket_count()) * sizeof(void*);
+  for (const auto& [outpoint, entry] : by_outpoint_) {
+    bytes += heap_block(sizeof(outpoint) + sizeof(Entry) + sizeof(void*));
+    bytes += heap_block(entry.script.capacity());
+  }
+  for (const auto& [script, chain] : by_script_) {
+    bytes += heap_block(sizeof(util::Bytes) + sizeof(std::map<Key, bitcoin::Amount>) +
+                        sizeof(void*));
+    bytes += heap_block(script.capacity());
+    bytes += chain.size() *
+             heap_block(sizeof(Key) + sizeof(bitcoin::Amount) + 4 * sizeof(void*));
+  }
+  return bytes;
+}
+
+}  // namespace icbtc::persist

@@ -1,0 +1,36 @@
+// Non-owning callable reference, the trampoline idiom std::function_ref
+// standardizes in C++26. Used on read hot paths (shard-store visitation)
+// where std::function's ownership and potential allocation are unwanted:
+// a FunctionRef is two words, never allocates, and must not outlive the
+// callable it was constructed from.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace icbtc::util {
+
+template <typename Sig>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, FunctionRef>>>
+  FunctionRef(F&& f) noexcept  // NOLINT(google-explicit-constructor): by design
+      : obj_(const_cast<void*>(static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const { return call_(obj_, std::forward<Args>(args)...); }
+
+ private:
+  void* obj_;
+  R (*call_)(void*, Args...);
+};
+
+}  // namespace icbtc::util

@@ -103,10 +103,10 @@ TEST_F(UtxoIndexTest, FindAndScriptOf) {
   ASSERT_TRUE(found.has_value());
   EXPECT_EQ(found->value, 700);
   EXPECT_EQ(found->height, 70);
-  const auto* s = index_.script_of(op(7));
-  ASSERT_NE(s, nullptr);
+  auto s = index_.script_of(op(7));
+  ASSERT_TRUE(s.has_value());
   EXPECT_EQ(*s, script(7));
-  EXPECT_EQ(index_.script_of(op(8)), nullptr);
+  EXPECT_FALSE(index_.script_of(op(8)).has_value());
 }
 
 TEST_F(UtxoIndexTest, ApplyBlockChargesSplitCosts) {

@@ -37,11 +37,11 @@ TEST(StableShardHashTest, KnownAnswers) {
   // FNV-1a 64 reference values: the function is part of the (future)
   // checkpoint format, so these must never change. A failure here means the
   // shard assignment of every persisted UTXO set silently moved.
-  EXPECT_EQ(stable_script_shard_hash({}), 0xcbf29ce484222325ULL);
-  EXPECT_EQ(stable_script_shard_hash({'a'}), 0xaf63dc4c8601ec8cULL);
-  EXPECT_EQ(stable_script_shard_hash({'a', 'b', 'c'}), 0xe71fa2190541574bULL);
-  EXPECT_EQ(stable_script_shard_hash({0x00}), 0xaf63bd4c8601b7dfULL);
-  EXPECT_EQ(stable_script_shard_hash({0xff, 0x00, 0xff}), 0xf920341be414d4afULL);
+  EXPECT_EQ(stable_script_shard_hash(util::Bytes{}), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(stable_script_shard_hash(util::Bytes{'a'}), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(stable_script_shard_hash(util::Bytes{'a', 'b', 'c'}), 0xe71fa2190541574bULL);
+  EXPECT_EQ(stable_script_shard_hash(util::Bytes{0x00}), 0xaf63bd4c8601b7dfULL);
+  EXPECT_EQ(stable_script_shard_hash(util::Bytes{0xff, 0x00, 0xff}), 0xf920341be414d4afULL);
 }
 
 TEST(StableShardHashTest, IndependentOfProcessLocalScriptHash) {
