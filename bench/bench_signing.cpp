@@ -1,0 +1,365 @@
+// Threshold-ECDSA signing pipeline bench: per-request online dealing vs the
+// offline presignature pool vs pooled + batched signing, at the IC mainnet
+// subnet size (t = 9 of n = 13).
+//
+// Scenarios (identical request streams, identical service seed):
+//   online         pool depth 0, derived-key cache off — every sign() deals
+//                  its presignature inside the call, recomputes the path
+//                  derivation, inverts per-partial Lagrange denominators,
+//                  and runs a full per-signature verification. The pre-pool
+//                  cost model.
+//   pooled         presignatures prefilled offline; sign() only pays the
+//                  online phase (partials + combine + verify).
+//   pooled_batched sign_batch(): shared Lagrange coefficients (one modular
+//                  inversion per batch), pooled partial computation, one
+//                  batched multi-scalar verification for the whole batch.
+//
+// Because every scenario consumes the same deterministic deal sequence, all
+// three must produce byte-identical signature transcripts — gated here, along
+// with a second seeded run (reproducibility) and a refill-timing variation
+// (small pool + watermark refills mid-stream). Every signature is verified
+// individually in an untimed pass. The >= 5x pooled_batched-vs-online
+// throughput gate is enforced in full mode only (quick mode still reports
+// it); verification and determinism gates always apply.
+//
+// Writes BENCH_signing.json (override with ICBTC_BENCH_OUT).
+// ICBTC_BENCH_QUICK=1 shrinks the workload for CI. Exits nonzero when any
+// gate fails.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "crypto/presig_pool.h"
+#include "crypto/sha256.h"
+#include "crypto/threshold_ecdsa.h"
+
+namespace {
+
+using namespace icbtc;
+using namespace icbtc::crypto;
+
+constexpr std::uint32_t kThreshold = 9;
+constexpr std::uint32_t kParties = 13;
+constexpr std::uint64_t kSeed = 20260807;
+
+bool quick_mode() {
+  const char* quick = std::getenv("ICBTC_BENCH_QUICK");
+  return quick != nullptr && std::strcmp(quick, "0") != 0;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+ThresholdEcdsaServiceConfig make_config(std::size_t depth, std::size_t watermark,
+                                        bool cache_derived) {
+  ThresholdEcdsaServiceConfig config;
+  config.pool_depth = depth;
+  config.pool_low_watermark = watermark;
+  config.cache_derived_keys = cache_derived;
+  return config;
+}
+
+/// The request stream: distinct digests across a contract-like set of
+/// derivation paths (many signatures per path, as wallets produce).
+std::vector<ThresholdEcdsaService::SignRequest> make_requests(std::size_t n,
+                                                              std::size_t contracts) {
+  std::vector<ThresholdEcdsaService::SignRequest> requests;
+  requests.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::string msg = "sign request " + std::to_string(i);
+    auto digest = Sha256::hash(
+        util::ByteSpan(reinterpret_cast<const std::uint8_t*>(msg.data()), msg.size()));
+    auto contract = i % contracts;
+    requests.push_back({digest, DerivationPath{{'c', 'o', 'n', 't', 'r', 'a', 'c', 't'},
+                                               {static_cast<std::uint8_t>(contract >> 8),
+                                                static_cast<std::uint8_t>(contract & 0xff)}}});
+  }
+  return requests;
+}
+
+util::Hash256 transcript_digest(const std::vector<Signature>& sigs) {
+  Sha256 h;
+  for (const auto& sig : sigs) {
+    util::Bytes compact = sig.compact();
+    h.update(util::ByteSpan(compact.data(), compact.size()));
+  }
+  return h.finalize();
+}
+
+struct ScenarioResult {
+  std::string name;
+  std::size_t signatures = 0;
+  double seconds = 0;
+  double sigs_per_s = 0;
+  double p50_ms = 0;
+  double p90_ms = 0;
+  double p99_ms = 0;
+  std::vector<Signature> sigs;
+  util::Hash256 transcript;
+};
+
+void finish(ScenarioResult& r, std::vector<double>& latencies_ms) {
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  auto pct = [&](double q) {
+    if (latencies_ms.empty()) return 0.0;
+    auto idx = static_cast<std::size_t>(q * static_cast<double>(latencies_ms.size() - 1));
+    return latencies_ms[idx];
+  };
+  r.sigs_per_s = static_cast<double>(r.signatures) / r.seconds;
+  r.p50_ms = pct(0.50);
+  r.p90_ms = pct(0.90);
+  r.p99_ms = pct(0.99);
+  r.transcript = transcript_digest(r.sigs);
+  std::printf("%-16s %6zu sigs  %7.3f s  %8.1f sigs/s  p50 %7.3f ms  p90 %7.3f ms  p99 %7.3f ms\n",
+              r.name.c_str(), r.signatures, r.seconds, r.sigs_per_s, r.p50_ms, r.p90_ms,
+              r.p99_ms);
+}
+
+/// Per-request online dealing (depth 0) or pooled serial signing.
+ScenarioResult run_serial(const std::string& name,
+                          const std::vector<ThresholdEcdsaService::SignRequest>& requests,
+                          const ThresholdEcdsaServiceConfig& config, bool prefill) {
+  ThresholdEcdsaService service(kThreshold, kParties, kSeed, config);
+  if (prefill) service.pool().refill();  // offline phase, untimed by design
+  ScenarioResult r;
+  r.name = name;
+  r.signatures = requests.size();
+  r.sigs.reserve(requests.size());
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(requests.size());
+  auto start = std::chrono::steady_clock::now();
+  for (const auto& req : requests) {
+    auto t0 = std::chrono::steady_clock::now();
+    r.sigs.push_back(service.sign(req.digest, req.path));
+    latencies_ms.push_back(seconds_since(t0) * 1e3);
+  }
+  r.seconds = seconds_since(start);
+  finish(r, latencies_ms);
+  return r;
+}
+
+/// Pooled + batched signing; latency per signature is the batch latency
+/// amortized over its requests (a batch completes as a unit).
+ScenarioResult run_batched(const std::string& name,
+                           const std::vector<ThresholdEcdsaService::SignRequest>& requests,
+                           const ThresholdEcdsaServiceConfig& config, std::size_t batch_size) {
+  ThresholdEcdsaService service(kThreshold, kParties, kSeed, config);
+  service.pool().refill();
+  ScenarioResult r;
+  r.name = name;
+  r.signatures = requests.size();
+  r.sigs.reserve(requests.size());
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(requests.size());
+  auto start = std::chrono::steady_clock::now();
+  for (std::size_t off = 0; off < requests.size(); off += batch_size) {
+    std::size_t count = std::min(batch_size, requests.size() - off);
+    std::vector<ThresholdEcdsaService::SignRequest> batch(
+        requests.begin() + static_cast<std::ptrdiff_t>(off),
+        requests.begin() + static_cast<std::ptrdiff_t>(off + count));
+    auto t0 = std::chrono::steady_clock::now();
+    auto sigs = service.sign_batch(batch);
+    double per_sig_ms = seconds_since(t0) * 1e3 / static_cast<double>(count);
+    for (auto& sig : sigs) {
+      r.sigs.push_back(sig);
+      latencies_ms.push_back(per_sig_ms);
+    }
+  }
+  r.seconds = seconds_since(start);
+  finish(r, latencies_ms);
+  return r;
+}
+
+int run() {
+  const bool quick = quick_mode();
+  // Full mode is the many-thousand-contract workload: 4096 requests spread
+  // over 2048 distinct contract derivation paths.
+  const std::size_t n_requests = quick ? 96 : 4096;
+  const std::size_t n_contracts = quick ? 32 : 2048;
+  const std::size_t batch_size = quick ? 16 : 128;
+  // One presignature of headroom keeps the pool from hitting the low
+  // watermark on the last request, so the post-sign refill (offline work by
+  // definition) stays out of the timed region.
+  const std::size_t pool_depth = n_requests + 1;
+  bool ok = true;
+
+  std::printf("--- threshold-ECDSA signing pipeline, t=%u of n=%u, %zu requests ---\n",
+              kThreshold, kParties, n_requests);
+  auto requests = make_requests(n_requests, n_contracts);
+
+  // Offline dealing throughput, reported for context (this cost is what the
+  // pool moves out of the request path).
+  {
+    ThresholdEcdsaService service(kThreshold, kParties, kSeed,
+                                  make_config(n_requests, 0, true));
+    auto start = std::chrono::steady_clock::now();
+    service.pool().refill();
+    double s = seconds_since(start);
+    std::printf("offline dealing: %zu presignatures in %.3f s (%.1f presigs/s)\n", n_requests, s,
+                static_cast<double>(n_requests) / s);
+  }
+
+  ScenarioResult online =
+      run_serial("online", requests, make_config(0, 0, /*cache=*/false), /*prefill=*/false);
+  ScenarioResult pooled =
+      run_serial("pooled", requests, make_config(pool_depth, 0, true), /*prefill=*/true);
+  ScenarioResult batched =
+      run_batched("pooled_batched", requests, make_config(pool_depth, 0, true), batch_size);
+
+  double pooled_speedup = pooled.sigs_per_s / online.sigs_per_s;
+  double batched_speedup = batched.sigs_per_s / online.sigs_per_s;
+  std::printf("speedup vs online: pooled %.2fx, pooled+batched %.2fx (gate: >= 5x, %s)\n",
+              pooled_speedup, batched_speedup, quick ? "reported only in quick mode" : "enforced");
+  if (!quick && batched_speedup < 5.0) {
+    std::fprintf(stderr, "FAIL: pooled+batched speedup %.2fx below the 5x gate\n",
+                 batched_speedup);
+    ok = false;
+  }
+
+  // ---- Verification: every signature, every scenario, untimed ----------
+  bool all_verified = true;
+  {
+    ThresholdEcdsaService reference(kThreshold, kParties, kSeed, make_config(0, 0, true));
+    for (const ScenarioResult* r : {&online, &pooled, &batched}) {
+      for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (!verify(reference.public_key(requests[i].path), requests[i].digest, r->sigs[i])) {
+          std::fprintf(stderr, "FAIL: %s signature %zu does not verify\n", r->name.c_str(), i);
+          all_verified = false;
+          ok = false;
+        }
+      }
+    }
+    std::printf("verification: %s\n", all_verified ? "all signatures valid" : "FAILURES");
+  }
+
+  // ---- Determinism gates ----------------------------------------------
+  // (1) All scenarios consume the same deal sequence => identical bytes.
+  bool cross_scenario_match =
+      online.transcript == pooled.transcript && online.transcript == batched.transcript;
+  if (!cross_scenario_match) {
+    std::fprintf(stderr, "FAIL: scenario transcripts diverge (pool changed signature bytes)\n");
+    ok = false;
+  }
+  // (2) A second seeded run reproduces the transcript byte-for-byte.
+  ScenarioResult rerun =
+      run_batched("pooled_batched#2", requests, make_config(pool_depth, 0, true), batch_size);
+  bool two_run_match = rerun.transcript == batched.transcript;
+  if (!two_run_match) {
+    std::fprintf(stderr, "FAIL: repeated seeded run produced different signatures\n");
+    ok = false;
+  }
+  // (3) Refill timing must not matter: small pool, watermark refills
+  // mid-stream, exhaustion fallbacks — same bytes.
+  ScenarioResult small_pool = run_batched(
+      "small_pool", requests, make_config(batch_size / 2, batch_size / 4, true), batch_size);
+  bool refill_timing_match = small_pool.transcript == batched.transcript;
+  if (!refill_timing_match) {
+    std::fprintf(stderr, "FAIL: refill timing changed signature bytes\n");
+    ok = false;
+  }
+  std::printf("determinism: cross-scenario %s, two-run %s, refill-timing %s\n",
+              cross_scenario_match ? "ok" : "FAIL", two_run_match ? "ok" : "FAIL",
+              refill_timing_match ? "ok" : "FAIL");
+
+  // ---- Exhaustion behaviour -------------------------------------------
+  // A burst 4x the pool depth: the overflow falls back to online dealing
+  // (the documented backpressure policy), the pool refills afterwards, and
+  // everything still verifies.
+  const std::size_t exhaustion_depth = quick ? 8 : 32;
+  std::uint64_t exhaustion_stalls = 0;
+  std::uint64_t exhaustion_refills = 0;
+  std::size_t exhaustion_pool_after = 0;
+  double exhaustion_seconds = 0;
+  bool exhaustion_verified = true;
+  {
+    ThresholdEcdsaService service(
+        kThreshold, kParties, kSeed,
+        make_config(exhaustion_depth, exhaustion_depth / 2, true));
+    service.pool().refill();
+    auto burst = make_requests(4 * exhaustion_depth, n_contracts);
+    auto start = std::chrono::steady_clock::now();
+    auto sigs = service.sign_batch(burst);
+    exhaustion_seconds = seconds_since(start);
+    for (std::size_t i = 0; i < burst.size(); ++i) {
+      if (!verify(service.public_key(burst[i].path), burst[i].digest, sigs[i])) {
+        exhaustion_verified = false;
+        ok = false;
+      }
+    }
+    exhaustion_stalls = service.pool().exhaustion_stalls();
+    exhaustion_refills = service.pool().refills();
+    exhaustion_pool_after = service.pool().size();
+    if (exhaustion_stalls == 0) {
+      std::fprintf(stderr, "FAIL: exhaustion burst never hit the online-dealing fallback\n");
+      ok = false;
+    }
+    if (exhaustion_pool_after == 0) {
+      std::fprintf(stderr, "FAIL: pool did not refill after the burst\n");
+      ok = false;
+    }
+    std::printf(
+        "exhaustion: burst %zu vs depth %zu -> %llu online fallbacks, %llu refills, "
+        "%zu pooled after, %s\n",
+        4 * exhaustion_depth, exhaustion_depth,
+        static_cast<unsigned long long>(exhaustion_stalls),
+        static_cast<unsigned long long>(exhaustion_refills), exhaustion_pool_after,
+        exhaustion_verified ? "all verified" : "VERIFY FAIL");
+  }
+
+  // ---- JSON ------------------------------------------------------------
+  const char* out_path = std::getenv("ICBTC_BENCH_OUT");
+  if (out_path == nullptr || *out_path == '\0') out_path = "BENCH_signing.json";
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  std::fprintf(out,
+               "  \"workload\": {\"requests\": %zu, \"batch_size\": %zu, \"threshold\": %u, "
+               "\"parties\": %u, \"quick\": %s},\n",
+               n_requests, batch_size, kThreshold, kParties, quick ? "true" : "false");
+  std::fprintf(out, "  \"scenarios\": [\n");
+  const ScenarioResult* scenarios[] = {&online, &pooled, &batched};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const ScenarioResult* r = scenarios[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"signatures\": %zu, \"seconds\": %.6f, "
+                 "\"sigs_per_s\": %.2f, \"p50_ms\": %.4f, \"p90_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
+                 r->name.c_str(), r->signatures, r->seconds, r->sigs_per_s, r->p50_ms, r->p90_ms,
+                 r->p99_ms, i + 1 < 3 ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"speedup_vs_online\": {\"pooled\": %.3f, \"pooled_batched\": %.3f, "
+               "\"gate_min_batched\": 5.0, \"gate_enforced\": %s},\n",
+               pooled_speedup, batched_speedup, quick ? "false" : "true");
+  std::fprintf(out,
+               "  \"exhaustion\": {\"pool_depth\": %zu, \"burst\": %zu, \"seconds\": %.6f, "
+               "\"online_fallbacks\": %llu, \"refills\": %llu, \"pooled_after\": %zu, "
+               "\"policy\": \"fallback_to_online_dealing\", \"all_verified\": %s},\n",
+               exhaustion_depth, 4 * exhaustion_depth, exhaustion_seconds,
+               static_cast<unsigned long long>(exhaustion_stalls),
+               static_cast<unsigned long long>(exhaustion_refills), exhaustion_pool_after,
+               exhaustion_verified ? "true" : "false");
+  std::fprintf(out,
+               "  \"determinism\": {\"cross_scenario_match\": %s, \"two_run_match\": %s, "
+               "\"refill_timing_match\": %s},\n",
+               cross_scenario_match ? "true" : "false", two_run_match ? "true" : "false",
+               refill_timing_match ? "true" : "false");
+  std::fprintf(out, "  \"all_signatures_verified\": %s,\n", all_verified ? "true" : "false");
+  std::fprintf(out, "  \"gates_pass\": %s\n", ok ? "true" : "false");
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path);
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return run(); }

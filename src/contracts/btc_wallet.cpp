@@ -49,17 +49,42 @@ Outcome<std::vector<canister::Utxo>> BtcWallet::utxos(int min_confirmations) {
   return {Status::kOk, std::move(all)};
 }
 
-void BtcWallet::sign_input(bitcoin::Transaction& tx, std::size_t index) {
+util::Hash256 BtcWallet::input_digest(const bitcoin::Transaction& tx, std::size_t index) const {
+  return type_ == WalletType::kP2pkh ? bitcoin::legacy_sighash(tx, index, script_pubkey_)
+                                     : bitcoin::taproot_sighash(tx, index, script_pubkey_);
+}
+
+void BtcWallet::apply_input_signature(bitcoin::Transaction& tx, std::size_t index,
+                                      const crypto::Signature& sig) {
   ++signatures_requested_;
+  tx.inputs[index].script_sig = bitcoin::p2pkh_script_sig(sig, pubkey_bytes_);
+}
+
+void BtcWallet::sign_input(bitcoin::Transaction& tx, std::size_t index) {
   if (type_ == WalletType::kP2pkh) {
-    util::Hash256 digest = bitcoin::legacy_sighash(tx, index, script_pubkey_);
+    util::Hash256 digest = input_digest(tx, index);
     crypto::Signature sig = integration_->subnet().sign_with_ecdsa(digest, path_);
-    tx.inputs[index].script_sig = bitcoin::p2pkh_script_sig(sig, pubkey_bytes_);
+    apply_input_signature(tx, index, sig);
   } else {
+    ++signatures_requested_;
     util::Hash256 digest = bitcoin::taproot_sighash(tx, index, script_pubkey_);
     crypto::SchnorrSignature sig = integration_->subnet().sign_with_schnorr(digest, path_);
     tx.inputs[index].script_sig = sig.bytes();
   }
+}
+
+void BtcWallet::sign_all_inputs(bitcoin::Transaction& tx) {
+  if (type_ != WalletType::kP2pkh) {
+    for (std::size_t i = 0; i < tx.inputs.size(); ++i) sign_input(tx, i);
+    return;
+  }
+  std::vector<crypto::ThresholdEcdsaService::SignRequest> requests;
+  requests.reserve(tx.inputs.size());
+  for (std::size_t i = 0; i < tx.inputs.size(); ++i) {
+    requests.push_back({input_digest(tx, i), path_});
+  }
+  std::vector<crypto::Signature> sigs = integration_->subnet().sign_with_ecdsa_batch(requests);
+  for (std::size_t i = 0; i < sigs.size(); ++i) apply_input_signature(tx, i, sigs[i]);
 }
 
 SendResult BtcWallet::send(const std::vector<Payment>& payments,
@@ -124,8 +149,9 @@ SendResult BtcWallet::send(const std::vector<Payment>& payments,
     fee += change;  // dust folds into the fee
   }
 
-  // Threshold-sign every input under this wallet's derivation path.
-  for (std::size_t i = 0; i < tx.inputs.size(); ++i) sign_input(tx, i);
+  // Threshold-sign every input under this wallet's derivation path, as one
+  // batched signing pass.
+  sign_all_inputs(tx);
 
   result.raw_tx = tx.serialize();
   result.status = integration_->canister().send_transaction(result.raw_tx);

@@ -66,6 +66,23 @@ class BtcWallet {
   /// transactions across several derived wallets (e.g. the ckBTC minter).
   void sign_input(bitcoin::Transaction& tx, std::size_t index);
 
+  /// Threshold-signs every input of `tx` (all of which must spend outputs of
+  /// this wallet) in one batched sign_with_ecdsa_batch pass. Taproot wallets
+  /// sign serially (Schnorr signing is not batched here).
+  void sign_all_inputs(bitcoin::Transaction& tx);
+
+  /// Sighash of input `index` under this wallet's scriptPubKey — the digest
+  /// sign_with_ecdsa is asked to sign.
+  util::Hash256 input_digest(const bitcoin::Transaction& tx, std::size_t index) const;
+
+  /// Installs a signature obtained for input_digest(tx, index) (ECDSA
+  /// wallets only). Lets contracts batch signatures across several wallets
+  /// and apply the results per input.
+  void apply_input_signature(bitcoin::Transaction& tx, std::size_t index,
+                             const crypto::Signature& sig);
+
+  const crypto::DerivationPath& path() const { return path_; }
+
   const util::Bytes& script_pubkey() const { return script_pubkey_; }
 
   std::uint64_t signatures_requested() const { return signatures_requested_; }

@@ -150,8 +150,22 @@ RetrieveResult CkBtcMinter::retrieve_btc(const Ledger::Principal& user,
         bitcoin::TxOut{change, account_for(selected.front().owner).wallet->script_pubkey()});
   }
 
+  // Batch-sign across the owning deposit wallets: one sign_with_ecdsa_batch
+  // call covers every input even though each spends under a different
+  // derivation path.
+  std::vector<BtcWallet*> input_wallets;
+  std::vector<crypto::ThresholdEcdsaService::SignRequest> requests;
+  input_wallets.reserve(selected.size());
+  requests.reserve(selected.size());
   for (std::size_t i = 0; i < selected.size(); ++i) {
-    account_for(selected[i].owner).wallet->sign_input(tx, i);
+    BtcWallet* wallet = account_for(selected[i].owner).wallet.get();
+    input_wallets.push_back(wallet);
+    requests.push_back({wallet->input_digest(tx, i), wallet->path()});
+  }
+  std::vector<crypto::Signature> sigs =
+      integration_->subnet().sign_with_ecdsa_batch(requests);
+  for (std::size_t i = 0; i < sigs.size(); ++i) {
+    input_wallets[i]->apply_input_signature(tx, i, sigs[i]);
   }
 
   util::Bytes raw = tx.serialize();

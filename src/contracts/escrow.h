@@ -31,6 +31,8 @@ class EscrowContract {
 
   /// Where the buyer must deposit.
   const std::string& deposit_address() const { return wallet_.address(); }
+  /// The escrow's threshold wallet (its key path and public key).
+  const BtcWallet& wallet() const { return wallet_; }
   EscrowState state() const { return state_; }
   bitcoin::Amount price() const { return price_; }
 

@@ -1,6 +1,7 @@
 #include "crypto/ecdsa.h"
 
 #include <cstring>
+#include <map>
 
 #include "crypto/sha256.h"
 
@@ -180,6 +181,166 @@ bool verify(const AffinePoint& pubkey, const util::Hash256& digest, const Signat
   AffinePoint point = double_mul(u1, u2, pubkey);
   if (point.infinity) return false;
   return sc.reduce(point.x) == sig.r;
+}
+
+bool batch_verify(const std::vector<BatchVerifyEntry>& entries) {
+  if (entries.empty()) return true;
+  const ModCtx& sc = scalar_ctx();
+  // Cheap per-entry checks, identical in effect to verify()'s preamble, plus
+  // consistency of the claimed nonce point with the signature's r.
+  for (const auto& e : entries) {
+    if (e.pubkey.infinity || !e.pubkey.on_curve()) return false;
+    if (e.sig.r.is_zero() || e.sig.r >= curve_order()) return false;
+    if (e.sig.s.is_zero() || e.sig.s >= curve_order()) return false;
+    if (e.sig.s > half_order()) return false;
+    if (e.big_r.infinity || !e.big_r.on_curve()) return false;
+    if (sc.reduce(e.big_r.x) != e.sig.r) return false;
+  }
+
+  // Batch coefficients: hash the whole batch into a seed, then c_i =
+  // first 128 bits of H(seed || i). Deterministic (no RNG state consumed),
+  // and an adversary fixing the batch cannot steer the c_i.
+  Sha256 seed_hash;
+  const char tag[] = "icbtc-batch-verify";
+  seed_hash.update(util::ByteSpan(reinterpret_cast<const std::uint8_t*>(tag), sizeof(tag) - 1));
+  for (const auto& e : entries) {
+    seed_hash.update(e.sig.r.to_be_bytes().span());
+    seed_hash.update(e.sig.s.to_be_bytes().span());
+    seed_hash.update(e.digest.span());
+    auto pk = e.pubkey.compressed();
+    seed_hash.update(util::ByteSpan(pk.data(), pk.size()));
+    auto rp = e.big_r.compressed();
+    seed_hash.update(util::ByteSpan(rp.data(), rp.size()));
+  }
+  util::Hash256 seed = seed_hash.finalize();
+
+  // Check Σ c_i·R_i − (Σ c_i·u1_i)·G − Σ_P (Σ_{i: P_i=P} c_i·u2_i)·P = O,
+  // where u1 = z·s^-1 and u2 = r·s^-1 (the textbook R = u1·G + u2·P form).
+  // This shape keeps the per-signature coefficient at the raw 128-bit c_i —
+  // each R_i contributes bucket additions in only half the Pippenger rounds
+  // — and collapses the generator term always and the pubkey terms per
+  // distinct key (threshold wallets sign many requests under one derived
+  // key). The s^-1 all come from one batched Montgomery inversion.
+  const std::size_t n = entries.size();
+  std::vector<U256> prefix(n + 1, U256(1));
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = sc.mul(prefix[i], entries[i].sig.s);
+  U256 inv_all = sc.inv(prefix[n]);
+  std::vector<U256> sinv(n);
+  for (std::size_t i = n; i-- > 0;) {
+    sinv[i] = sc.mul(inv_all, prefix[i]);
+    inv_all = sc.mul(inv_all, entries[i].sig.s);
+  }
+
+  std::vector<U256> scalars;
+  std::vector<AffinePoint> points;
+  scalars.reserve(n + 8);
+  points.reserve(n + 8);
+  U256 g_coeff(0);
+  std::map<util::Bytes, std::pair<AffinePoint, U256>> pubkey_terms;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& e = entries[i];
+    Sha256 ci_hash;
+    ci_hash.update(seed.span());
+    std::uint8_t idx[8];
+    for (int b = 0; b < 8; ++b) idx[b] = static_cast<std::uint8_t>(i >> (8 * (7 - b)));
+    ci_hash.update(util::ByteSpan(idx, sizeof(idx)));
+    util::Hash256 ci_bytes = ci_hash.finalize();
+    U256 c = U256::from_be_bytes(ci_bytes.span());
+    c.limb[2] = 0;  // truncate to 128 bits
+    c.limb[3] = 0;
+    if (c.is_zero()) c = U256(1);
+
+    U256 z = sc.reduce(U256::from_be_bytes(e.digest.span()));
+    g_coeff = sc.add(g_coeff, sc.mul(c, sc.mul(z, sinv[i])));
+    scalars.push_back(c);
+    points.push_back(e.big_r);
+    auto& term = pubkey_terms[e.pubkey.compressed()];
+    term.first = e.pubkey;
+    term.second = sc.add(term.second, sc.mul(c, sc.mul(e.sig.r, sinv[i])));
+  }
+  scalars.push_back(sc.neg(g_coeff));
+  points.push_back(generator());
+  for (const auto& [bytes, term] : pubkey_terms) {
+    scalars.push_back(sc.neg(term.second));
+    points.push_back(term.first);
+  }
+
+  return multi_mul(scalars, points).infinity;
+}
+
+bool batch_verify_tweaked(const AffinePoint& master_pubkey,
+                          const std::vector<TweakedBatchVerifyEntry>& entries) {
+  if (entries.empty()) return true;
+  if (master_pubkey.infinity || !master_pubkey.on_curve()) return false;
+  const ModCtx& sc = scalar_ctx();
+  for (const auto& e : entries) {
+    if (e.sig.r.is_zero() || e.sig.r >= curve_order()) return false;
+    if (e.sig.s.is_zero() || e.sig.s >= curve_order()) return false;
+    if (e.sig.s > half_order()) return false;
+    if (e.big_r.infinity || !e.big_r.on_curve()) return false;
+    if (sc.reduce(e.big_r.x) != e.sig.r) return false;
+  }
+
+  Sha256 seed_hash;
+  const char tag[] = "icbtc-batch-verify-tweaked";
+  seed_hash.update(util::ByteSpan(reinterpret_cast<const std::uint8_t*>(tag), sizeof(tag) - 1));
+  auto mp = master_pubkey.compressed();
+  seed_hash.update(util::ByteSpan(mp.data(), mp.size()));
+  for (const auto& e : entries) {
+    seed_hash.update(e.tweak.to_be_bytes().span());
+    seed_hash.update(e.sig.r.to_be_bytes().span());
+    seed_hash.update(e.sig.s.to_be_bytes().span());
+    seed_hash.update(e.digest.span());
+    auto rp = e.big_r.compressed();
+    seed_hash.update(util::ByteSpan(rp.data(), rp.size()));
+  }
+  util::Hash256 seed = seed_hash.finalize();
+
+  // With P_i = M + tweak_i·G, the per-entry pubkey term folds away:
+  //   Σ c_i·R_i − (Σ c_i·(u1_i + u2_i·tweak_i))·G − (Σ c_i·u2_i)·M = O.
+  const std::size_t n = entries.size();
+  std::vector<U256> prefix(n + 1, U256(1));
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = sc.mul(prefix[i], entries[i].sig.s);
+  U256 inv_all = sc.inv(prefix[n]);
+  std::vector<U256> sinv(n);
+  for (std::size_t i = n; i-- > 0;) {
+    sinv[i] = sc.mul(inv_all, prefix[i]);
+    inv_all = sc.mul(inv_all, entries[i].sig.s);
+  }
+
+  std::vector<U256> scalars;
+  std::vector<AffinePoint> points;
+  scalars.reserve(n + 2);
+  points.reserve(n + 2);
+  U256 g_coeff(0);
+  U256 m_coeff(0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto& e = entries[i];
+    Sha256 ci_hash;
+    ci_hash.update(seed.span());
+    std::uint8_t idx[8];
+    for (int b = 0; b < 8; ++b) idx[b] = static_cast<std::uint8_t>(i >> (8 * (7 - b)));
+    ci_hash.update(util::ByteSpan(idx, sizeof(idx)));
+    util::Hash256 ci_bytes = ci_hash.finalize();
+    U256 c = U256::from_be_bytes(ci_bytes.span());
+    c.limb[2] = 0;  // truncate to 128 bits
+    c.limb[3] = 0;
+    if (c.is_zero()) c = U256(1);
+
+    U256 z = sc.reduce(U256::from_be_bytes(e.digest.span()));
+    U256 u2 = sc.mul(e.sig.r, sinv[i]);
+    U256 u1_plus = sc.add(sc.mul(z, sinv[i]), sc.mul(u2, e.tweak));
+    g_coeff = sc.add(g_coeff, sc.mul(c, u1_plus));
+    m_coeff = sc.add(m_coeff, sc.mul(c, u2));
+    scalars.push_back(c);
+    points.push_back(e.big_r);
+  }
+  scalars.push_back(sc.neg(g_coeff));
+  points.push_back(generator());
+  scalars.push_back(sc.neg(m_coeff));
+  points.push_back(master_pubkey);
+
+  return multi_mul(scalars, points).infinity;
 }
 
 }  // namespace icbtc::crypto

@@ -45,6 +45,47 @@ class PrivateKey {
 /// Verifies `sig` over `digest` under `pubkey`. Rejects high-s signatures.
 bool verify(const AffinePoint& pubkey, const util::Hash256& digest, const Signature& sig);
 
+/// One signature of a batch verification. Unlike plain ECDSA verification,
+/// batch verification needs the nonce point R itself (not just r = R.x mod
+/// n); threshold signing has it — the presignature publishes R. `big_r` must
+/// be the point matching the final signature: if s was negated for low-s
+/// normalization the satisfying point is the negation of the presignature's R
+/// (the combiner reports which).
+struct BatchVerifyEntry {
+  AffinePoint pubkey;
+  util::Hash256 digest;
+  Signature sig;
+  AffinePoint big_r;
+};
+
+/// Verifies every entry with one multi-scalar multiplication instead of two
+/// point multiplications each: checks Σ c_i·(s_i·R_i − z_i·G − r_i·P_i) = O
+/// for deterministic pseudo-random 128-bit coefficients c_i derived by
+/// hashing the whole batch (an invalid batch passes with probability
+/// ~2^-128). Per-entry range/low-s/consistency checks match verify().
+/// Empty batches verify trivially.
+bool batch_verify(const std::vector<BatchVerifyEntry>& entries);
+
+/// Batch entry whose public key is additively derived from a shared master
+/// key: P_i = M + tweak_i·G (BIP32-style non-hardened derivation, and exactly
+/// how threshold-service derivation paths work). The caller asserts that
+/// relationship; the verifier never materializes P_i.
+struct TweakedBatchVerifyEntry {
+  U256 tweak;
+  util::Hash256 digest;
+  Signature sig;
+  AffinePoint big_r;
+};
+
+/// batch_verify for signatures under keys derived from one master key. The
+/// derived-key terms fold into the master and generator terms by linearity
+/// (r_i·P_i = r_i·M + r_i·tweak_i·G), so the multi-scalar multiplication has
+/// N + 2 points — with only the short 128-bit c_i on the per-signature
+/// points — no matter how many distinct derivation paths the batch spans.
+/// Same soundness bound and per-entry checks as batch_verify.
+bool batch_verify_tweaked(const AffinePoint& master_pubkey,
+                          const std::vector<TweakedBatchVerifyEntry>& entries);
+
 /// RFC 6979 nonce derivation (HMAC-SHA256 variant), exposed for tests and for
 /// the threshold-signing simulation, which derives shared nonces the same way.
 U256 rfc6979_nonce(const U256& secret, const util::Hash256& digest, std::uint32_t counter = 0);

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "crypto/u256.h"
 #include "util/bytes.h"
@@ -30,6 +31,10 @@ struct AffinePoint {
 
   /// True if the point satisfies the curve equation (or is infinity).
   bool on_curve() const;
+
+  /// The point with the same x and negated y (-P); infinity negates to
+  /// itself. Cheap: one field subtraction.
+  AffinePoint negated() const;
 
   /// SEC1 compressed encoding (33 bytes: 02/03 prefix + x).
   util::Bytes compressed() const;
@@ -64,5 +69,12 @@ AffinePoint generator_mul(const U256& k);
 
 /// u1*G + u2*P, the ECDSA verification combination.
 AffinePoint double_mul(const U256& u1, const U256& u2, const AffinePoint& p);
+
+/// Multi-scalar multiplication Σ scalars[i] * points[i] (scalars reduced mod
+/// the group order) via windowed bucket accumulation (Pippenger). For large
+/// batches this costs a small number of group operations per term instead of
+/// a full double-and-add ladder each — the primitive behind batched signature
+/// verification. Requires scalars.size() == points.size().
+AffinePoint multi_mul(const std::vector<U256>& scalars, const std::vector<AffinePoint>& points);
 
 }  // namespace icbtc::crypto

@@ -26,7 +26,14 @@ std::vector<Share> shamir_split(const U256& secret, std::uint32_t t, std::uint32
   coeffs.reserve(t);
   coeffs.push_back(sc.reduce(secret));
   for (std::uint32_t i = 1; i < t; ++i) coeffs.push_back(random_scalar(rng));
+  return shamir_split_with_coeffs(coeffs, n);
+}
 
+std::vector<Share> shamir_split_with_coeffs(const std::vector<U256>& coeffs, std::uint32_t n) {
+  if (coeffs.empty() || coeffs.size() > n) {
+    throw std::invalid_argument("shamir_split_with_coeffs: need 1 <= t <= n");
+  }
+  const ModCtx& sc = scalar_ctx();
   std::vector<Share> shares;
   shares.reserve(n);
   for (std::uint32_t i = 1; i <= n; ++i) {
@@ -58,6 +65,42 @@ U256 lagrange_coefficient_at_zero(std::uint32_t index, const std::vector<std::ui
   }
   if (!found) throw std::invalid_argument("lagrange: index not in set");
   return sc.mul(num, sc.inv(den));
+}
+
+std::vector<U256> lagrange_coefficients_at_zero(const std::vector<std::uint32_t>& indices) {
+  const ModCtx& sc = scalar_ctx();
+  const std::size_t n = indices.size();
+  std::unordered_set<std::uint32_t> seen;
+  for (auto i : indices) {
+    if (i == 0 || !seen.insert(i).second) {
+      throw std::invalid_argument("lagrange: invalid or duplicate index");
+    }
+  }
+  // λ_i = (Π_{j≠i} x_j) / (Π_{j≠i} (x_j − x_i)). Collect every denominator,
+  // then invert them all with one modular inversion (Montgomery's trick).
+  std::vector<U256> nums(n, U256(1));
+  std::vector<U256> dens(n, U256(1));
+  for (std::size_t a = 0; a < n; ++a) {
+    U256 xa(indices[a]);
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      U256 xb(indices[b]);
+      nums[a] = sc.mul(nums[a], xb);
+      dens[a] = sc.mul(dens[a], sc.sub(xb, xa));
+    }
+  }
+  // prefix[i] = dens[0] * ... * dens[i-1]; invert the full product once and
+  // peel per-element inverses off the back.
+  std::vector<U256> prefix(n + 1, U256(1));
+  for (std::size_t i = 0; i < n; ++i) prefix[i + 1] = sc.mul(prefix[i], dens[i]);
+  U256 inv_all = sc.inv(prefix[n]);
+  std::vector<U256> out(n);
+  for (std::size_t i = n; i-- > 0;) {
+    U256 inv_i = sc.mul(inv_all, prefix[i]);
+    inv_all = sc.mul(inv_all, dens[i]);
+    out[i] = sc.mul(nums[i], inv_i);
+  }
+  return out;
 }
 
 U256 shamir_reconstruct(const std::vector<Share>& shares) {

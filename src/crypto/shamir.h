@@ -25,8 +25,21 @@ std::vector<Share> shamir_split(const U256& secret, std::uint32_t t, std::uint32
 /// Throws std::invalid_argument on duplicate indices or an empty set.
 U256 shamir_reconstruct(const std::vector<Share>& shares);
 
+/// Evaluates the polynomial f(x) = coeffs[0] + coeffs[1] x + ... at x = 1..n.
+/// Pure function of its inputs (no RNG): the deterministic core of
+/// shamir_split, exposed so callers can draw randomness up front and run the
+/// evaluations later (possibly on another thread). coeffs.size() is the
+/// threshold t; coeffs[0] is the secret.
+std::vector<Share> shamir_split_with_coeffs(const std::vector<U256>& coeffs, std::uint32_t n);
+
 /// The Lagrange coefficient λ_i for interpolating at x = 0 from the given set
 /// of participant indices; used to recombine partial threshold signatures.
 U256 lagrange_coefficient_at_zero(std::uint32_t index, const std::vector<std::uint32_t>& indices);
+
+/// All Lagrange coefficients for the index set at once, in input order, using
+/// one modular inversion total (Montgomery batch inversion) instead of one
+/// per index — the recombination hot path when signing in batches. Throws
+/// std::invalid_argument on duplicate or zero indices.
+std::vector<U256> lagrange_coefficients_at_zero(const std::vector<std::uint32_t>& indices);
 
 }  // namespace icbtc::crypto

@@ -18,11 +18,22 @@
 //   - any t partials interpolate to s = k^-1 (z + r*x), a standard ECDSA
 //     signature verifiable under the (derived) public key.
 //
+// Production IC tECDSA hides the expensive quadruple generation behind an
+// offline pool consumed per request; ThresholdEcdsaService mirrors that: all
+// presignature material flows through a PresignaturePool (depth 0 degrades
+// to per-request online dealing), consumption order is the deal order, and
+// sign_batch() signs many requests in one pass — shared Lagrange
+// coefficients, pooled partial computation, and one batched verification.
+//
 // Derived keys use additive tweaks (BIP32-style, non-hardened): each canister
 // obtains its own Bitcoin key under the subnet master key.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -31,7 +42,15 @@
 #include "crypto/shamir.h"
 #include "util/rng.h"
 
+namespace icbtc::obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace icbtc::obs
+
 namespace icbtc::crypto {
+
+class PresignaturePool;
+struct PresigPoolConfig;
 
 /// A derivation path, as in the IC's `ecdsa_public_key`/`sign_with_ecdsa`
 /// management-canister API: arbitrary byte-string components.
@@ -65,6 +84,27 @@ struct PartialSignature {
   U256 s_share;
 };
 
+/// Randomness for one presignature deal, drawn up front: the nonce k plus
+/// the random (degree >= 1) coefficients of the two sharing polynomials.
+/// Dealing from it is a pure function, so a refill can draw serially (fixing
+/// the RNG stream and hence the deal sequence) and compute in parallel.
+struct PresigRandomness {
+  U256 k;
+  std::vector<U256> w_coeffs;   // t-1 coefficients for the k^-1 sharing
+  std::vector<U256> mu_coeffs;  // t-1 coefficients for the k^-1 * x sharing
+};
+
+/// A dealt presignature ready for consumption: public part plus every
+/// party's shares, tagged with its position in the deal sequence. Single-use
+/// by construction — ThresholdEcdsaService::sign_prepared marks it consumed
+/// and rejects reuse (nonce reuse leaks the master key).
+struct DealtPresignature {
+  std::uint64_t seq = 0;
+  Presignature pub;
+  std::vector<PresignatureShare> shares;
+  bool consumed = false;
+};
+
 /// Trusted dealer simulating DKG + quadruple generation.
 class ThresholdEcdsaDealer {
  public:
@@ -77,7 +117,17 @@ class ThresholdEcdsaDealer {
   const std::vector<KeyShare>& key_shares() const { return key_shares_; }
 
   /// Produces a fresh presignature: public (R, r) plus one share per party.
-  std::pair<Presignature, std::vector<PresignatureShare>> deal_presignature(util::Rng& rng);
+  std::pair<Presignature, std::vector<PresignatureShare>> deal_presignature(util::Rng& rng) const;
+
+  /// Phase 1 of dealing: draws the nonce and polynomial coefficients. The
+  /// only part that touches the RNG.
+  PresigRandomness draw_presig_randomness(util::Rng& rng) const;
+
+  /// Phase 2: the expensive, deterministic computation (nonce point, modular
+  /// inversion, share evaluation). Pure function of `randomness`, safe to run
+  /// on any thread.
+  std::pair<Presignature, std::vector<PresignatureShare>> deal_presignature_from(
+      const PresigRandomness& randomness) const;
 
  private:
   std::uint32_t t_;
@@ -95,20 +145,85 @@ AffinePoint derive_public_key(const AffinePoint& master_pubkey, const Derivation
 PartialSignature compute_partial_signature(const PresignatureShare& pre, const Presignature& pub,
                                            const U256& tweak, const util::Hash256& digest);
 
-/// Combines >= t partial signatures into a full signature and verifies it
-/// against the derived public key; returns nullopt if the partials do not
-/// produce a valid signature (e.g. a Byzantine replica contributed garbage).
+/// Why a recombination failed. Structural defects (bad ids, too few shares)
+/// are distinguished from cryptographic failure so callers can tell a
+/// protocol violation from a Byzantine contribution without waiting for an
+/// expensive verification to fail.
+enum class CombineError {
+  kOk = 0,
+  kNoPartials,         // empty input
+  kBadPartyId,         // a party index of 0 (not a valid share x-coordinate)
+  kDuplicateParty,     // the same party contributed twice
+  kBelowThreshold,     // fewer than `threshold` distinct partials
+  kInvalidSignature,   // interpolation produced s = 0 or verification failed
+};
+
+const char* to_string(CombineError e);
+
+/// Result of combine_partial_signatures_checked. `s_negated` reports whether
+/// low-s normalization flipped s — the nonce point satisfying the final
+/// signature is then -R, which batched verification needs to know.
+struct CombineOutcome {
+  std::optional<Signature> signature;
+  CombineError error = CombineError::kOk;
+  bool s_negated = false;
+
+  bool ok() const { return error == CombineError::kOk; }
+};
+
+/// Combines partial signatures into a full signature. Rejects malformed
+/// input (zero/duplicate party ids, fewer than `threshold` partials) with a
+/// distinct error before doing any expensive math. With `precomputed_lambda`
+/// the caller supplies the Lagrange coefficients for the partials' index set
+/// (in partials order) — shared across a batch signed by one participant
+/// set. With verify_result = false the (costly) ECDSA verification is
+/// skipped; callers must then verify by other means (e.g. batch_verify).
+CombineOutcome combine_partial_signatures_checked(
+    const std::vector<PartialSignature>& partials, const Presignature& pub,
+    const AffinePoint& derived_pubkey, const util::Hash256& digest, std::uint32_t threshold,
+    const std::vector<U256>* precomputed_lambda = nullptr, bool verify_result = true);
+
+/// Legacy interface: combines >= 1 partial signatures and verifies against
+/// the derived public key; nullopt on any failure.
 std::optional<Signature> combine_partial_signatures(const std::vector<PartialSignature>& partials,
                                                     const Presignature& pub,
                                                     const AffinePoint& derived_pubkey,
                                                     const util::Hash256& digest);
 
+/// Service configuration. The defaults reproduce the IC's shape: a modest
+/// offline pool refilled at a low watermark, derived keys cached.
+struct ThresholdEcdsaServiceConfig {
+  /// Presignature pool depth (0 = deal online inside every sign call, the
+  /// pre-pool behaviour) and refill trigger; see PresigPoolConfig.
+  std::size_t pool_depth = 0;
+  std::size_t pool_low_watermark = 0;
+  /// Compute refill batches on the process-wide parallel::ThreadPool when
+  /// one is installed.
+  bool parallel_refill = true;
+  /// Cache (tweak, derived pubkey) per derivation path. Contracts sign many
+  /// times under one path; the derivation costs a point multiplication.
+  bool cache_derived_keys = true;
+};
+
 /// Convenience façade: holds the dealer and replicas, exposes the
-/// management-canister-style API. Combines the first `t` honest partials and
-/// retries over subsets when corrupt partials are injected.
+/// management-canister-style API. All presignatures flow through an internal
+/// PresignaturePool in deal order, so for a fixed seed the k-th signing
+/// request consumes the k-th dealt presignature no matter when refills run —
+/// signatures are reproducible across pool depths and refill timing.
+///
+/// Thread safety: sign()/sign_batch()/public_key() may be called
+/// concurrently (the pool, derived-key cache, and counters are internally
+/// synchronized); attach metrics/tracers only while quiescent, and tracers
+/// only when all signing happens on one thread (the Tracer is
+/// single-threaded by contract).
 class ThresholdEcdsaService {
  public:
-  ThresholdEcdsaService(std::uint32_t t, std::uint32_t n, std::uint64_t seed);
+  ThresholdEcdsaService(std::uint32_t t, std::uint32_t n, std::uint64_t seed,
+                        ThresholdEcdsaServiceConfig config = {});
+  ~ThresholdEcdsaService();
+
+  ThresholdEcdsaService(const ThresholdEcdsaService&) = delete;
+  ThresholdEcdsaService& operator=(const ThresholdEcdsaService&) = delete;
 
   AffinePoint public_key(const DerivationPath& path) const;
 
@@ -120,17 +235,70 @@ class ThresholdEcdsaService {
   /// Signs with the first t replicas.
   Signature sign(const util::Hash256& digest, const DerivationPath& path);
 
-  std::uint32_t threshold() const { return dealer_.threshold(); }
-  std::uint32_t num_parties() const { return dealer_.num_parties(); }
+  /// One pending sign_with_ecdsa call.
+  struct SignRequest {
+    util::Hash256 digest;
+    DerivationPath path;
+  };
 
-  /// Number of presignatures consumed so far (each sign() uses one, matching
-  /// the IC's quadruple consumption).
-  std::uint64_t presignatures_used() const { return presignatures_used_; }
+  /// Signs every request in one pass: presignatures are consumed in request
+  /// order, Lagrange coefficients are computed once for the participant set,
+  /// partial signatures for the whole batch are computed in parallel when a
+  /// shared thread pool is installed, and the results are verified together
+  /// with one batched verification (falling back to per-signature checks to
+  /// identify corrupt results if the batch check fails). Element i of the
+  /// result is byte-identical to what sign() would have produced for request
+  /// i at the same point in the consumption sequence.
+  std::vector<Signature> sign_batch(const std::vector<SignRequest>& requests,
+                                    const std::vector<std::uint32_t>& participants);
+  std::vector<Signature> sign_batch(const std::vector<SignRequest>& requests);
+
+  /// Signs with an explicitly provided presignature (consumed by this call).
+  /// Throws std::logic_error if `presig` was already consumed — the k-reuse
+  /// guard.
+  Signature sign_prepared(const util::Hash256& digest, const DerivationPath& path,
+                          DealtPresignature& presig,
+                          const std::vector<std::uint32_t>& participants);
+
+  std::uint32_t threshold() const;
+  std::uint32_t num_parties() const;
+  const ThresholdEcdsaDealer& dealer() const { return dealer_; }
+
+  /// The offline presignature pool feeding sign()/sign_batch().
+  PresignaturePool& pool() { return *pool_; }
+  const PresignaturePool& pool() const { return *pool_; }
+
+  /// Number of presignatures consumed so far (each signature uses exactly
+  /// one, matching the IC's quadruple consumption).
+  std::uint64_t presignatures_used() const;
+
+  /// Attaches tecdsa.* metrics / trace spans (nullptr detaches).
+  void set_metrics(obs::MetricsRegistry* registry);
+  void set_tracer(obs::Tracer* tracer);
 
  private:
+  struct DerivedKey {
+    U256 tweak;
+    AffinePoint pubkey;
+  };
+
+  /// Validates and truncates to the first `threshold` participant indices.
+  std::vector<std::uint32_t> signing_set(const std::vector<std::uint32_t>& participants) const;
+  std::vector<std::uint32_t> default_participants() const;
+  DerivedKey derived_for(const DerivationPath& path) const;
+  Signature sign_with(DealtPresignature& presig, const util::Hash256& digest,
+                      const DerivationPath& path, const std::vector<std::uint32_t>& signing);
+
   util::Rng rng_;
   ThresholdEcdsaDealer dealer_;
-  std::uint64_t presignatures_used_ = 0;
+  ThresholdEcdsaServiceConfig config_;
+  std::unique_ptr<PresignaturePool> pool_;
+
+  mutable std::mutex derived_mu_;
+  mutable std::map<util::Bytes, DerivedKey> derived_cache_;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace icbtc::crypto

@@ -3,13 +3,25 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "crypto/presig_pool.h"
+
 namespace icbtc::ic {
+
+namespace {
+crypto::ThresholdEcdsaServiceConfig ecdsa_service_config(const SubnetConfig& config) {
+  crypto::ThresholdEcdsaServiceConfig ec;
+  ec.pool_depth = config.ecdsa_presig_depth;
+  ec.pool_low_watermark = config.ecdsa_presig_low_watermark;
+  return ec;
+}
+}  // namespace
 
 Subnet::Subnet(util::Simulation& sim, SubnetConfig config, std::uint64_t seed)
     : sim_(&sim),
       config_(config),
       rng_(seed),
-      ecdsa_(config.threshold(), config.num_nodes, seed ^ 0xecd5a5eedULL),
+      ecdsa_(config.threshold(), config.num_nodes, seed ^ 0xecd5a5eedULL,
+             ecdsa_service_config(config)),
       schnorr_(config.threshold(), config.num_nodes, seed ^ 0x5c40044bb1ULL) {
   if (config_.num_nodes == 0) throw std::invalid_argument("Subnet: need nodes");
   if (config_.num_byzantine >= config_.num_nodes) {
@@ -21,6 +33,9 @@ Subnet::Subnet(util::Simulation& sim, SubnetConfig config, std::uint64_t seed)
   auto corrupted = rng_.sample_indices(config_.num_nodes, config_.num_byzantine);
   for (auto i : corrupted) byzantine_[i] = true;
   block_maker_ = static_cast<std::uint32_t>(rng_.next_below(config_.num_nodes));
+  // Prefill the presignature pool: the offline phase runs before any signing
+  // demand, as it would between consensus rounds on the IC.
+  ecdsa_.pool().refill();
 }
 
 bool Subnet::node_is_byzantine(std::uint32_t node) const {
@@ -116,8 +131,7 @@ crypto::SchnorrSignature Subnet::sign_with_schnorr(const util::Hash256& message,
   return schnorr_.sign(message, path, participants);
 }
 
-crypto::Signature Subnet::sign_with_ecdsa(const util::Hash256& digest,
-                                          const crypto::DerivationPath& path) {
+std::vector<std::uint32_t> Subnet::honest_signing_quorum() const {
   // Honest replicas suffice: 2f+1 <= number of honest nodes.
   std::vector<std::uint32_t> participants;
   for (std::uint32_t i = 0; i < config_.num_nodes && participants.size() < config_.threshold();
@@ -127,7 +141,17 @@ crypto::Signature Subnet::sign_with_ecdsa(const util::Hash256& digest,
   if (participants.size() < config_.threshold()) {
     throw std::runtime_error("sign_with_ecdsa: not enough honest replicas");
   }
-  return ecdsa_.sign(digest, path, participants);
+  return participants;
+}
+
+crypto::Signature Subnet::sign_with_ecdsa(const util::Hash256& digest,
+                                          const crypto::DerivationPath& path) {
+  return ecdsa_.sign(digest, path, honest_signing_quorum());
+}
+
+std::vector<crypto::Signature> Subnet::sign_with_ecdsa_batch(
+    const std::vector<crypto::ThresholdEcdsaService::SignRequest>& requests) {
+  return ecdsa_.sign_batch(requests, honest_signing_quorum());
 }
 
 }  // namespace icbtc::ic

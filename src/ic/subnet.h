@@ -40,6 +40,13 @@ struct SubnetConfig {
 
   CycleCostModel cost_model;
 
+  // Offline threshold-ECDSA presignature pool, mirroring the IC: quadruples
+  // are precomputed between rounds so sign_with_ecdsa only pays the online
+  // phase. Depth 0 disables precomputation (every request deals online);
+  // the pool refills once the stock reaches the low watermark.
+  std::size_t ecdsa_presig_depth = 16;
+  std::size_t ecdsa_presig_low_watermark = 4;
+
   std::uint32_t max_faulty() const { return (num_nodes - 1) / 3; }
   /// Threshold for tECDSA and certification: 2f+1.
   std::uint32_t threshold() const { return 2 * max_faulty() + 1; }
@@ -88,6 +95,14 @@ class Subnet {
   /// latency of the signing protocol via `sample_signing_latency`.
   crypto::Signature sign_with_ecdsa(const util::Hash256& digest,
                                     const crypto::DerivationPath& path);
+
+  /// Signs every pending request of a round in one pass (shared Lagrange
+  /// coefficients, batched verification); element i corresponds to request
+  /// i. One signing-latency sample covers the whole batch — the batch rides
+  /// a single signing round, which is the point of batching.
+  std::vector<crypto::Signature> sign_with_ecdsa_batch(
+      const std::vector<crypto::ThresholdEcdsaService::SignRequest>& requests);
+
   util::SimTime sample_signing_latency();
 
   /// The subnet's threshold-Schnorr service (BIP-340), the second signing
@@ -102,6 +117,9 @@ class Subnet {
  private:
   void run_round();
   void schedule_next_round();
+  /// First 2f+1 honest replica indices (1-based), the signing quorum. Throws
+  /// std::runtime_error when fewer than 2f+1 nodes are honest.
+  std::vector<std::uint32_t> honest_signing_quorum() const;
 
   util::Simulation* sim_;
   SubnetConfig config_;
