@@ -48,10 +48,7 @@ using namespace icbtc::bench;
 
 constexpr int kIngestScale = 10;
 
-bool quick_mode() {
-  const char* quick = std::getenv("ICBTC_BENCH_QUICK");
-  return quick != nullptr && std::strcmp(quick, "0") != 0;
-}
+using bench::quick_mode;
 
 void run_figure6() {
   const auto& params = bitcoin::ChainParams::regtest();  // δ=6: fast stabilization

@@ -33,10 +33,7 @@ namespace {
 using namespace icbtc;
 using namespace icbtc::bench;
 
-bool quick_mode() {
-  const char* quick = std::getenv("ICBTC_BENCH_QUICK");
-  return quick != nullptr && std::strcmp(quick, "0") != 0;
-}
+using bench::quick_mode;
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();

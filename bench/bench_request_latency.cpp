@@ -37,10 +37,8 @@ namespace {
 using namespace icbtc;
 using namespace icbtc::bench;
 
-bool quick_mode() {
-  const char* quick = std::getenv("ICBTC_BENCH_QUICK");
-  return quick != nullptr && std::strcmp(quick, "0") != 0;
-}
+using bench::quick_mode;
+using bench::write_file;
 
 struct Fixture {
   static canister::CanisterConfig fixture_config(const bitcoin::ChainParams& params) {
@@ -146,54 +144,14 @@ struct Fixture {
   }
 };
 
-struct SeriesSummary {
-  std::string name;
-  double min = 0, median = 0, p90 = 0, max = 0;  // microseconds
-  std::size_t n = 0;
-};
-
-SeriesSummary summarize(const char* name, std::vector<double>& series) {
-  std::sort(series.begin(), series.end());
-  SeriesSummary s;
-  s.name = name;
-  s.n = series.size();
-  if (!series.empty()) {
-    s.min = percentile(series, 0);
-    s.median = percentile(series, 50);
-    s.p90 = percentile(series, 90);
-    s.max = percentile(series, 100);
-  }
-  return s;
-}
-
-void print_summary(const SeriesSummary& s) {
-  std::printf("  %-28s min %7.3fs  median %7.3fs  p90 %7.3fs  max %7.3fs\n", s.name.c_str(),
-              s.min / 1e6, s.median / 1e6, s.p90 / 1e6, s.max / 1e6);
-}
-
 struct Figure7Result {
   std::size_t addresses = 0;
-  std::vector<SeriesSummary> series;
+  std::vector<bench::SeriesSummary> series;
   std::uint64_t min_instructions = 0;
   std::uint64_t max_instructions = 0;
   std::size_t requests_traced = 0;
   bool ok = true;
 };
-
-bool write_file(const char* env_var, const char* fallback, const std::string& body,
-                const char* what) {
-  const char* path = std::getenv(env_var);
-  if (path == nullptr || *path == '\0') path = fallback;
-  std::FILE* out = std::fopen(path, "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "FAIL: cannot write %s (%s)\n", path, what);
-    return false;
-  }
-  std::fwrite(body.data(), 1, body.size(), out);
-  std::fclose(out);
-  std::printf("wrote %s (%s)\n", path, what);
-  return true;
-}
 
 Figure7Result run_figure7() {
   const bool quick = quick_mode();
@@ -285,11 +243,11 @@ Figure7Result run_figure7() {
   result.requests_traced = tracer.request_costs().size();
 
   std::printf("Left/centre panels — latency (replicated goes through consensus):\n");
-  result.series.push_back(summarize("replicated get_balance", rep_balance));
-  result.series.push_back(summarize("replicated get_utxos", rep_utxos));
-  result.series.push_back(summarize("query get_balance", q_balance));
-  result.series.push_back(summarize("query get_utxos", q_utxos));
-  for (const auto& s : result.series) print_summary(s);
+  result.series.push_back(bench::summarize_series("replicated get_balance", rep_balance));
+  result.series.push_back(bench::summarize_series("replicated get_utxos", rep_utxos));
+  result.series.push_back(bench::summarize_series("query get_balance", q_balance));
+  result.series.push_back(bench::summarize_series("query get_utxos", q_utxos));
+  for (const auto& s : result.series) bench::print_series_seconds(s);
   std::printf("  (paper: replicated avg <10s / p90 18s; query medians 220ms & 310ms)\n\n");
 
   std::printf("Right panel — instructions for replicated UTXO requests vs response size:\n");
@@ -350,7 +308,7 @@ bool write_bench_json(const Figure7Result& r) {
     std::fprintf(out,
                  "    {\"name\": \"%s\", \"n\": %zu, \"min_s\": %.6f, \"median_s\": %.6f, "
                  "\"p90_s\": %.6f, \"max_s\": %.6f}%s\n",
-                 s.name.c_str(), s.n, s.min / 1e6, s.median / 1e6, s.p90 / 1e6, s.max / 1e6,
+                 s.name.c_str(), s.n, s.min / 1e6, s.p50 / 1e6, s.p90 / 1e6, s.max / 1e6,
                  i + 1 < r.series.size() ? "," : "");
   }
   std::fprintf(out, "  ],\n");

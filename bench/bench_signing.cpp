@@ -36,20 +36,18 @@
 #include "crypto/presig_pool.h"
 #include "crypto/sha256.h"
 #include "crypto/threshold_ecdsa.h"
+#include "workload.h"
 
 namespace {
 
 using namespace icbtc;
 using namespace icbtc::crypto;
 
+using bench::quick_mode;
+
 constexpr std::uint32_t kThreshold = 9;
 constexpr std::uint32_t kParties = 13;
 constexpr std::uint64_t kSeed = 20260807;
-
-bool quick_mode() {
-  const char* quick = std::getenv("ICBTC_BENCH_QUICK");
-  return quick != nullptr && std::strcmp(quick, "0") != 0;
-}
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
@@ -104,16 +102,11 @@ struct ScenarioResult {
 };
 
 void finish(ScenarioResult& r, std::vector<double>& latencies_ms) {
-  std::sort(latencies_ms.begin(), latencies_ms.end());
-  auto pct = [&](double q) {
-    if (latencies_ms.empty()) return 0.0;
-    auto idx = static_cast<std::size_t>(q * static_cast<double>(latencies_ms.size() - 1));
-    return latencies_ms[idx];
-  };
+  bench::SeriesSummary s = bench::summarize_series(r.name, latencies_ms);
   r.sigs_per_s = static_cast<double>(r.signatures) / r.seconds;
-  r.p50_ms = pct(0.50);
-  r.p90_ms = pct(0.90);
-  r.p99_ms = pct(0.99);
+  r.p50_ms = s.p50;
+  r.p90_ms = s.p90;
+  r.p99_ms = s.p99;
   r.transcript = transcript_digest(r.sigs);
   std::printf("%-16s %6zu sigs  %7.3f s  %8.1f sigs/s  p50 %7.3f ms  p90 %7.3f ms  p99 %7.3f ms\n",
               r.name.c_str(), r.signatures, r.seconds, r.sigs_per_s, r.p50_ms, r.p90_ms,
@@ -312,51 +305,51 @@ int run() {
   }
 
   // ---- JSON ------------------------------------------------------------
-  const char* out_path = std::getenv("ICBTC_BENCH_OUT");
-  if (out_path == nullptr || *out_path == '\0') out_path = "BENCH_signing.json";
-  std::FILE* out = std::fopen(out_path, "w");
-  if (out == nullptr) {
-    std::fprintf(stderr, "FAIL: cannot write %s\n", out_path);
-    return 1;
-  }
-  std::fprintf(out, "{\n");
-  std::fprintf(out,
-               "  \"workload\": {\"requests\": %zu, \"batch_size\": %zu, \"threshold\": %u, "
-               "\"parties\": %u, \"quick\": %s},\n",
-               n_requests, batch_size, kThreshold, kParties, quick ? "true" : "false");
-  std::fprintf(out, "  \"scenarios\": [\n");
+  std::string body;
+  char line[512];
+  auto appendf = [&](const char* fmt, auto... args) {
+    std::snprintf(line, sizeof(line), fmt, args...);
+    body += line;
+  };
+  appendf("{\n");
+  appendf(
+      "  \"workload\": {\"requests\": %zu, \"batch_size\": %zu, \"threshold\": %u, "
+      "\"parties\": %u, \"quick\": %s},\n",
+      n_requests, batch_size, kThreshold, kParties, quick ? "true" : "false");
+  appendf("  \"scenarios\": [\n");
   const ScenarioResult* scenarios[] = {&online, &pooled, &batched};
   for (std::size_t i = 0; i < 3; ++i) {
     const ScenarioResult* r = scenarios[i];
-    std::fprintf(out,
-                 "    {\"name\": \"%s\", \"signatures\": %zu, \"seconds\": %.6f, "
-                 "\"sigs_per_s\": %.2f, \"p50_ms\": %.4f, \"p90_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
-                 r->name.c_str(), r->signatures, r->seconds, r->sigs_per_s, r->p50_ms, r->p90_ms,
-                 r->p99_ms, i + 1 < 3 ? "," : "");
+    appendf(
+        "    {\"name\": \"%s\", \"signatures\": %zu, \"seconds\": %.6f, "
+        "\"sigs_per_s\": %.2f, \"p50_ms\": %.4f, \"p90_ms\": %.4f, \"p99_ms\": %.4f}%s\n",
+        r->name.c_str(), r->signatures, r->seconds, r->sigs_per_s, r->p50_ms, r->p90_ms,
+        r->p99_ms, i + 1 < 3 ? "," : "");
   }
-  std::fprintf(out, "  ],\n");
-  std::fprintf(out,
-               "  \"speedup_vs_online\": {\"pooled\": %.3f, \"pooled_batched\": %.3f, "
-               "\"gate_min_batched\": 5.0, \"gate_enforced\": %s},\n",
-               pooled_speedup, batched_speedup, quick ? "false" : "true");
-  std::fprintf(out,
-               "  \"exhaustion\": {\"pool_depth\": %zu, \"burst\": %zu, \"seconds\": %.6f, "
-               "\"online_fallbacks\": %llu, \"refills\": %llu, \"pooled_after\": %zu, "
-               "\"policy\": \"fallback_to_online_dealing\", \"all_verified\": %s},\n",
-               exhaustion_depth, 4 * exhaustion_depth, exhaustion_seconds,
-               static_cast<unsigned long long>(exhaustion_stalls),
-               static_cast<unsigned long long>(exhaustion_refills), exhaustion_pool_after,
-               exhaustion_verified ? "true" : "false");
-  std::fprintf(out,
-               "  \"determinism\": {\"cross_scenario_match\": %s, \"two_run_match\": %s, "
-               "\"refill_timing_match\": %s},\n",
-               cross_scenario_match ? "true" : "false", two_run_match ? "true" : "false",
-               refill_timing_match ? "true" : "false");
-  std::fprintf(out, "  \"all_signatures_verified\": %s,\n", all_verified ? "true" : "false");
-  std::fprintf(out, "  \"gates_pass\": %s\n", ok ? "true" : "false");
-  std::fprintf(out, "}\n");
-  std::fclose(out);
-  std::printf("wrote %s\n", out_path);
+  appendf("  ],\n");
+  appendf(
+      "  \"speedup_vs_online\": {\"pooled\": %.3f, \"pooled_batched\": %.3f, "
+      "\"gate_min_batched\": 5.0, \"gate_enforced\": %s},\n",
+      pooled_speedup, batched_speedup, quick ? "false" : "true");
+  appendf(
+      "  \"exhaustion\": {\"pool_depth\": %zu, \"burst\": %zu, \"seconds\": %.6f, "
+      "\"online_fallbacks\": %llu, \"refills\": %llu, \"pooled_after\": %zu, "
+      "\"policy\": \"fallback_to_online_dealing\", \"all_verified\": %s},\n",
+      exhaustion_depth, 4 * exhaustion_depth, exhaustion_seconds,
+      static_cast<unsigned long long>(exhaustion_stalls),
+      static_cast<unsigned long long>(exhaustion_refills), exhaustion_pool_after,
+      exhaustion_verified ? "true" : "false");
+  appendf(
+      "  \"determinism\": {\"cross_scenario_match\": %s, \"two_run_match\": %s, "
+      "\"refill_timing_match\": %s},\n",
+      cross_scenario_match ? "true" : "false", two_run_match ? "true" : "false",
+      refill_timing_match ? "true" : "false");
+  appendf("  \"all_signatures_verified\": %s,\n", all_verified ? "true" : "false");
+  appendf("  \"gates_pass\": %s\n", ok ? "true" : "false");
+  appendf("}\n");
+  if (!bench::write_file("ICBTC_BENCH_OUT", "BENCH_signing.json", body, "signing bench")) {
+    return 1;
+  }
   return ok ? 0 : 1;
 }
 

@@ -1,0 +1,101 @@
+// Open-loop load generation and virtual-time queue simulation for
+// bench_load: Zipfian address sampling, seeded Poisson arrival schedules,
+// and a deterministic multi-server FIFO queue that turns per-request
+// service times into end-to-end latencies.
+//
+// Coordinated omission is avoided *by construction*: the arrival schedule
+// is generated up front from a seeded RNG and never consults completions,
+// so a slow server cannot suppress the arrivals that would have piled up
+// behind it — exactly the failure mode of closed-loop load generators,
+// which simulate_closed_loop() reproduces as the control arm.
+//
+// Everything here runs in virtual time (double microseconds) off seeded
+// RNGs; two identically seeded runs produce bit-identical schedules,
+// latencies, and therefore reports.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace icbtc::bench {
+
+/// Zipfian rank sampler over [0, n): P(rank = i) ∝ 1/(i+1)^s. The CDF is
+/// precomputed once; sample() is a binary search, so sampling order cannot
+/// perturb the distribution. s ≈ 0.99 is the classic web/YCSB hot-set skew.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s);
+
+  std::size_t sample(util::Rng& rng) const;
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i), cdf_.back() == 1
+};
+
+/// The three traffic classes of the paper's workload.
+enum class LoadEndpoint { kGetUtxos = 0, kGetBalance = 1, kSendTransaction = 2 };
+constexpr std::size_t kNumLoadEndpoints = 3;
+const char* to_string(LoadEndpoint endpoint);
+
+/// Traffic mix (fractions; anything left over goes to send_transaction).
+struct LoadMix {
+  double get_utxos = 0.45;
+  double get_balance = 0.45;
+  double send_transaction = 0.10;
+};
+
+struct LoadRequest {
+  double arrival_us = 0;
+  LoadEndpoint endpoint = LoadEndpoint::kGetUtxos;
+  std::size_t address = 0;  // rank into the address population
+};
+
+/// Generates `n_requests` open-loop arrivals at `rate_rps`: exponential
+/// (Poisson-process) inter-arrival gaps, endpoint drawn from `mix`, address
+/// drawn from `zipf`. The schedule is complete before any request is
+/// "served" — arrivals are independent of completions by construction.
+std::vector<LoadRequest> make_open_loop_schedule(double rate_rps, std::size_t n_requests,
+                                                 const LoadMix& mix, const ZipfSampler& zipf,
+                                                 util::Rng& rng);
+
+/// A service outage: no request may *start* inside [start_us, end_us) —
+/// in-flight requests finish, queued ones wait for the window to close.
+struct StallWindow {
+  double start_us = 0;
+  double end_us = 0;
+};
+
+struct QueueSimResult {
+  std::vector<double> latency_us;  // per request, schedule order
+  double makespan_us = 0;          // last completion - first arrival/issue
+  double offered_rps = 0;
+  double achieved_rps = 0;  // completed / makespan
+  std::size_t requests = 0;
+};
+
+/// Virtual-time FIFO queue over `servers` identical servers: requests are
+/// taken in arrival order, each starts on the earliest-free server at
+/// max(arrival, server_free) (pushed past any stall window), and its
+/// latency is completion - arrival — queueing delay included. This is the
+/// open-loop measurement: a stall makes every queued arrival's latency
+/// grow, exactly as real clients would experience it.
+QueueSimResult simulate_open_loop(const std::vector<LoadRequest>& schedule, std::size_t servers,
+                                  const std::function<double(const LoadRequest&)>& service,
+                                  const std::vector<StallWindow>& stalls = {});
+
+/// Closed-loop control arm: `clients` issue the same requests back-to-back,
+/// each new request leaving only when the previous one returned. Arrival
+/// times in `schedule` are ignored — that is the point: the generator's
+/// own backpressure hides queueing, so an injected stall delays only the
+/// `clients` requests in flight and the reported p99 barely moves. Use it
+/// to demonstrate coordinated omission, never to measure.
+QueueSimResult simulate_closed_loop(const std::vector<LoadRequest>& schedule, std::size_t clients,
+                                    const std::function<double(const LoadRequest&)>& service,
+                                    const std::vector<StallWindow>& stalls = {});
+
+}  // namespace icbtc::bench

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "bitcoin/script.h"
 
@@ -133,6 +136,46 @@ double percentile(const std::vector<double>& sorted, double p) {
   std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   double frac = rank - static_cast<double>(lo);
   return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+bool quick_mode() {
+  const char* quick = std::getenv("ICBTC_BENCH_QUICK");
+  return quick != nullptr && std::strcmp(quick, "0") != 0;
+}
+
+bool write_file(const char* env_var, const char* fallback, const std::string& body,
+                const char* what) {
+  const char* path = std::getenv(env_var);
+  if (path == nullptr || *path == '\0') path = fallback;
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "FAIL: cannot write %s (%s)\n", path, what);
+    return false;
+  }
+  std::fwrite(body.data(), 1, body.size(), out);
+  std::fclose(out);
+  std::printf("wrote %s (%s)\n", path, what);
+  return true;
+}
+
+SeriesSummary summarize_series(std::string name, std::vector<double>& series) {
+  std::sort(series.begin(), series.end());
+  SeriesSummary s;
+  s.name = std::move(name);
+  s.n = series.size();
+  if (!series.empty()) {
+    s.min = percentile(series, 0);
+    s.p50 = percentile(series, 50);
+    s.p90 = percentile(series, 90);
+    s.p99 = percentile(series, 99);
+    s.max = percentile(series, 100);
+  }
+  return s;
+}
+
+void print_series_seconds(const SeriesSummary& s) {
+  std::printf("  %-28s min %7.3fs  median %7.3fs  p90 %7.3fs  max %7.3fs\n", s.name.c_str(),
+              s.min / 1e6, s.p50 / 1e6, s.p90 / 1e6, s.max / 1e6);
 }
 
 }  // namespace icbtc::bench

@@ -80,4 +80,36 @@ std::vector<std::size_t> paper_address_skew(std::size_t n, util::Rng& rng);
 /// Percentile helper for latency series (expects sorted input).
 double percentile(const std::vector<double>& sorted, double p);
 
+// ---------------------------------------------------------------------------
+// Shared report plumbing for the bench executables (bench_request_latency,
+// bench_signing, bench_load): quick-mode detection, percentile summaries,
+// and env-var-redirected artifact writing.
+// ---------------------------------------------------------------------------
+
+/// True when ICBTC_BENCH_QUICK is set to anything but "0" — the CI smoke
+/// convention shared by every bench.
+bool quick_mode();
+
+/// Writes `body` to the path named by env var `env_var` (falling back to
+/// `fallback` when unset/empty), logging the destination. Returns false —
+/// and prints a FAIL line — when the file cannot be opened.
+bool write_file(const char* env_var, const char* fallback, const std::string& body,
+                const char* what);
+
+/// Percentile summary of one latency/duration series. Units follow the
+/// input series (the benches feed microseconds).
+struct SeriesSummary {
+  std::string name;
+  double min = 0, p50 = 0, p90 = 0, p99 = 0, max = 0;
+  std::size_t n = 0;
+};
+
+/// Sorts `series` in place and summarizes it with linearly interpolated
+/// percentiles (the same estimator as percentile()).
+SeriesSummary summarize_series(std::string name, std::vector<double>& series);
+
+/// Prints one " name  min ...s  median ...s  p90 ...s  max ...s" row,
+/// interpreting the summary values as microseconds.
+void print_series_seconds(const SeriesSummary& s);
+
 }  // namespace icbtc::bench

@@ -25,6 +25,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
+#include "parallel/thread_pool.h"
 
 using namespace icbtc;
 
@@ -190,6 +191,11 @@ int main(int argc, char** argv) {
   // registry export is only deterministic when that clock stays detached).
   std::printf("\nReplaying a fork scenario through a Bitcoin canister (delta index):\n");
   {
+    // A small shared pool so ingestion's parallel txid hashing shows up in
+    // the pool.* rows of the table (pool.runs / pool.tasks_executed; both
+    // gauges read 0 once the fan-outs drain).
+    parallel::set_shared_pool(2);
+    parallel::shared_pool()->set_metrics(&metrics);
     canister::BitcoinCanister canister(params, canister::CanisterConfig::for_params(params));
     canister.set_metrics(&metrics);
     canister.set_delta_build_clock([] {
@@ -203,13 +209,25 @@ int main(int argc, char** argv) {
     pkh.data[0] = 0x42;
     util::Bytes script = bitcoin::p2pkh_script(pkh);
     std::string address = bitcoin::p2pkh_address(pkh, params.network);
-    util::Hash256 block_tip = params.genesis_header.hash();
     std::uint32_t block_time = params.genesis_header.time;
     std::uint64_t tag = 1;
     auto feed = [&](const util::Hash256& parent) {
       block_time += 600;
+      // A handful of transactions per block, enough for the txid hashing to
+      // fan out across the shared pool.
+      std::vector<bitcoin::Transaction> txs;
+      for (int t = 0; t < 8; ++t) {
+        bitcoin::Transaction tx;
+        bitcoin::TxIn in;
+        in.prevout.txid.data[0] = static_cast<std::uint8_t>(tag);
+        in.prevout.txid.data[1] = static_cast<std::uint8_t>(t + 1);
+        tx.inputs.push_back(in);
+        tx.outputs.push_back(bitcoin::TxOut{1000, script});
+        tx.lock_time = static_cast<std::uint32_t>(tag * 100 + static_cast<std::uint64_t>(t));
+        txs.push_back(std::move(tx));
+      }
       auto block = chain::build_child_block(feed_tree, parent, block_time, script,
-                                            50 * bitcoin::kCoin, {}, tag++);
+                                            50 * bitcoin::kCoin, std::move(txs), tag++);
       feed_tree.accept(block.header, static_cast<std::int64_t>(block_time) + 10000);
       adapter::AdapterResponse response;
       response.blocks.emplace_back(block, block.header);
@@ -233,7 +251,9 @@ int main(int argc, char** argv) {
     std::printf("  unstable blocks: %zu, resident deltas: %llu bytes\n",
                 canister.unstable_block_count(),
                 static_cast<unsigned long long>(canister.unstable_index().resident_bytes()));
+    parallel::shared_pool()->set_metrics(nullptr);
   }
+  parallel::set_shared_pool(0);
 
   std::printf("\n--- monitor metrics (obs::to_table) ---\n%s", obs::to_table(metrics).c_str());
 

@@ -17,6 +17,7 @@
 #include "btcnet/network.h"
 #include "chain/header_tree.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 #include "reconcile/compact_block.h"
 
@@ -100,6 +101,13 @@ class BitcoinAdapter : public btcnet::Endpoint {
   /// and flight-recorder events for block-request retries and full-block
   /// fallbacks.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Attaches an SLO tracker (nullptr detaches): each Algorithm 1 round-trip
+  /// records a deterministic modelled serving latency (µs; a base cost plus
+  /// per-byte and per-header terms — a model of adapter-side work, not a
+  /// wall-clock measurement, so exports stay byte-identical across runs)
+  /// into the tracker's "adapter.handle_request" endpoint.
+  void set_slo(obs::SloTracker* slo);
 
   // Introspection.
   const chain::HeaderTree& header_tree() const { return tree_; }
@@ -201,6 +209,8 @@ class BitcoinAdapter : public btcnet::Endpoint {
     obs::Gauge* blocks_stored = nullptr;
     obs::Counter* block_requests = nullptr;
     obs::Counter* block_request_retries = nullptr;
+    /// Saturation signal: blocks requested from peers but not yet stored.
+    obs::Gauge* pending_block_requests = nullptr;
     obs::Counter* requests_handled = nullptr;
     obs::Gauge* tx_cache_size = nullptr;
     obs::Counter* tx_cached = nullptr;
@@ -215,6 +225,7 @@ class BitcoinAdapter : public btcnet::Endpoint {
   };
   Metrics metrics_;
   obs::Tracer* tracer_ = nullptr;
+  obs::SloTracker::Endpoint* slo_requests_ = nullptr;
 };
 
 }  // namespace icbtc::adapter

@@ -38,6 +38,9 @@ BitcoinCanister::EndpointCall::~EndpointCall() {
     span_.end_at(span_.start() +
                  static_cast<obs::TraceTime>(instructions / kInstructionsPerUs));
   }
+  if (metrics_->slo != nullptr) {
+    metrics_->slo->record(static_cast<std::uint64_t>(instructions / kInstructionsPerUs));
+  }
   if (metrics_->calls == nullptr) return;
   metrics_->calls->inc();
   metrics_->instructions->observe(instructions);
@@ -49,6 +52,7 @@ void BitcoinCanister::set_metrics(obs::MetricsRegistry* registry) {
   unstable_index_.set_metrics(registry);
   if (registry == nullptr) {
     metrics_ = Metrics{};
+    resolve_slo_endpoints();  // keep SLO handles across a metrics detach
     return;
   }
   auto endpoint = [registry](const char* name) {
@@ -75,7 +79,26 @@ void BitcoinCanister::set_metrics(obs::MetricsRegistry* registry) {
   metrics_.tip_height = &registry->gauge("canister.tip_height");
   metrics_.unstable_blocks = &registry->gauge("canister.unstable_blocks");
   metrics_.pending = &registry->gauge("canister.pending_transactions");
+  resolve_slo_endpoints();  // set_metrics rebuilt the EndpointMetrics structs
   update_state_gauges();
+}
+
+void BitcoinCanister::set_slo(obs::SloTracker* slo) {
+  slo_tracker_ = slo;
+  resolve_slo_endpoints();
+}
+
+void BitcoinCanister::resolve_slo_endpoints() {
+  auto ep = [this](const char* name) -> obs::SloTracker::Endpoint* {
+    if (slo_tracker_ == nullptr) return nullptr;
+    return &slo_tracker_->endpoint(std::string("canister.") + name);
+  };
+  metrics_.get_utxos.slo = ep("get_utxos");
+  metrics_.get_balance.slo = ep("get_balance");
+  metrics_.send_transaction.slo = ep("send_transaction");
+  metrics_.fee_percentiles.slo = ep("get_current_fee_percentiles");
+  metrics_.block_headers.slo = ep("get_block_headers");
+  metrics_.process_response.slo = ep("process_response");
 }
 
 void BitcoinCanister::update_state_gauges() {

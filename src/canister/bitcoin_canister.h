@@ -21,6 +21,7 @@
 #include "chain/header_tree.h"
 #include "ic/metering.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
 #include "obs/trace.h"
 
 namespace icbtc::canister {
@@ -249,6 +250,15 @@ class BitcoinCanister {
   }
   obs::Tracer* tracer() const { return tracer_; }
 
+  /// Attaches a per-endpoint SLO tracker (nullptr detaches): every endpoint
+  /// call records its modelled execution latency (µs, metered instructions
+  /// at 2e9/s) into the tracker's "canister.<endpoint>" endpoint. Handles
+  /// are resolved once here, so the per-call cost is one null check plus a
+  /// histogram record. Latency only — errors are recorded by drivers that
+  /// see the response status. Order-independent w.r.t. set_metrics().
+  void set_slo(obs::SloTracker* slo);
+  obs::SloTracker* slo() const { return slo_tracker_; }
+
   /// The unstable-block delta index (empty in kScan mode).
   const UnstableIndex& unstable_index() const { return unstable_index_; }
 
@@ -266,6 +276,7 @@ class BitcoinCanister {
     obs::Counter* calls = nullptr;
     obs::Histogram* instructions = nullptr;
     obs::Histogram* latency_ms = nullptr;
+    obs::SloTracker::Endpoint* slo = nullptr;
   };
   /// RAII guard: counts the call and, on scope exit, records the metered
   /// instruction delta and its simulated execution latency — into the
@@ -289,6 +300,10 @@ class BitcoinCanister {
   bool sync_gate();
   /// Pushes anchor/tip/unstable/pending gauges after a state change.
   void update_state_gauges();
+  /// (Re)resolves the per-endpoint SLO handles from slo_tracker_ into
+  /// metrics_.*.slo — called by both set_metrics() and set_slo() so the two
+  /// attachments compose in either order.
+  void resolve_slo_endpoints();
 
   /// Advances the anchor while some block at anchor height + 1 is
   /// difficulty-based δ-stable w.r.t. the anchor's work.
@@ -367,6 +382,7 @@ class BitcoinCanister {
   };
   Metrics metrics_;
   obs::Tracer* tracer_ = nullptr;
+  obs::SloTracker* slo_tracker_ = nullptr;
 };
 
 }  // namespace icbtc::canister

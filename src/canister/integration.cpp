@@ -41,6 +41,12 @@ void BitcoinIntegration::set_tracer(obs::Tracer* tracer) {
   for (auto& adapter : adapters_) adapter->set_tracer(tracer);
 }
 
+void BitcoinIntegration::set_slo(obs::SloTracker* slo) {
+  canister_.set_slo(slo);
+  for (auto& adapter : adapters_) adapter->set_slo(slo);
+  subnet_->set_slo(slo);
+}
+
 void BitcoinIntegration::on_round(const ic::RoundInfo& info) {
   if (canister_down_) return;
   if (info.round % config_.request_every_rounds != 0) return;

@@ -68,6 +68,18 @@ void Subnet::run_round() {
   block_maker_ = static_cast<std::uint32_t>(rng_.next_below(config_.num_nodes));
   if (node_is_byzantine(block_maker_)) ++byzantine_maker_rounds_;
 
+  util::SimTime now = sim_->now();
+  std::uint64_t gap_us = last_round_time_ >= 0
+                             ? static_cast<std::uint64_t>(now - last_round_time_)
+                             : static_cast<std::uint64_t>(config_.round_interval);
+  last_round_time_ = now;
+  if (metrics_.rounds != nullptr) {
+    metrics_.rounds->inc();
+    if (node_is_byzantine(block_maker_)) metrics_.byzantine_maker_rounds->inc();
+    metrics_.round_gap_us->observe(static_cast<double>(gap_us));
+  }
+  if (slo_rounds_ != nullptr) slo_rounds_->record(gap_us);
+
   RoundInfo info;
   info.round = round_;
   info.block_maker = block_maker_;
@@ -82,11 +94,34 @@ void Subnet::run_round() {
 std::size_t Subnet::register_heartbeat(std::function<void(const RoundInfo&)> fn) {
   std::size_t id = next_heartbeat_id_++;
   heartbeats_.emplace_back(id, std::move(fn));
+  if (metrics_.heartbeats != nullptr) {
+    metrics_.heartbeats->set(static_cast<std::int64_t>(heartbeats_.size()));
+  }
   return id;
 }
 
 void Subnet::unregister_heartbeat(std::size_t id) {
   std::erase_if(heartbeats_, [id](const auto& entry) { return entry.first == id; });
+  if (metrics_.heartbeats != nullptr) {
+    metrics_.heartbeats->set(static_cast<std::int64_t>(heartbeats_.size()));
+  }
+}
+
+void Subnet::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metrics_ = Metrics{};
+    return;
+  }
+  metrics_.rounds = &registry->counter("ic.rounds");
+  metrics_.byzantine_maker_rounds = &registry->counter("ic.byzantine_maker_rounds");
+  metrics_.heartbeats = &registry->gauge("ic.heartbeats");
+  metrics_.round_gap_us = &registry->histogram(
+      "ic.round_gap_us", obs::Histogram::decade_bounds(1e3, 1e8));
+  metrics_.heartbeats->set(static_cast<std::int64_t>(heartbeats_.size()));
+}
+
+void Subnet::set_slo(obs::SloTracker* slo) {
+  slo_rounds_ = slo == nullptr ? nullptr : &slo->endpoint("ic.round_dispatch");
 }
 
 util::SimTime Subnet::sample_update_latency(std::uint64_t instructions) {

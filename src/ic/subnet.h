@@ -14,6 +14,8 @@
 #include "crypto/threshold_ecdsa.h"
 #include "crypto/threshold_schnorr.h"
 #include "ic/metering.h"
+#include "obs/metrics.h"
+#include "obs/slo.h"
 #include "util/rng.h"
 #include "util/sim.h"
 
@@ -114,6 +116,18 @@ class Subnet {
   /// Number of rounds in which a Byzantine node was block maker.
   std::uint64_t byzantine_maker_rounds() const { return byzantine_maker_rounds_; }
 
+  /// Attaches a metrics registry (nullptr detaches):
+  ///   ic.rounds                  counter — consensus rounds dispatched
+  ///   ic.byzantine_maker_rounds  counter — rounds with a Byzantine maker
+  ///   ic.heartbeats              gauge   — registered heartbeat callbacks
+  ///   ic.round_gap_us            histogram — gap between round dispatches
+  void set_metrics(obs::MetricsRegistry* registry);
+
+  /// Attaches an SLO tracker (nullptr detaches): each round records the
+  /// simulated-time gap since the previous round into "ic.round_dispatch" —
+  /// the cadence SLO (a round that fires late is a saturated subnet).
+  void set_slo(obs::SloTracker* slo);
+
  private:
   void run_round();
   void schedule_next_round();
@@ -136,6 +150,16 @@ class Subnet {
 
   std::vector<std::pair<std::size_t, std::function<void(const RoundInfo&)>>> heartbeats_;
   std::size_t next_heartbeat_id_ = 1;
+
+  struct Metrics {
+    obs::Counter* rounds = nullptr;
+    obs::Counter* byzantine_maker_rounds = nullptr;
+    obs::Gauge* heartbeats = nullptr;
+    obs::Histogram* round_gap_us = nullptr;
+  };
+  Metrics metrics_;
+  obs::SloTracker::Endpoint* slo_rounds_ = nullptr;
+  util::SimTime last_round_time_ = -1;
 };
 
 }  // namespace icbtc::ic

@@ -45,6 +45,39 @@ void Histogram::observe(double value) {
   ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
 }
 
+void Histogram::merge(const Histogram& other) {
+  // Snapshot the other side under its own lock first so self-merge and
+  // cross-thread cross-merge cannot deadlock on lock ordering.
+  std::vector<double> other_bounds;
+  std::vector<std::uint64_t> other_buckets;
+  std::uint64_t other_count;
+  double other_sum, other_min, other_max;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    other_bounds = other.bounds_;
+    other_buckets = other.buckets_;
+    other_count = other.count_;
+    other_sum = other.sum_;
+    other_min = other.min_;
+    other_max = other.max_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (other_bounds != bounds_) {
+    throw std::invalid_argument("Histogram::merge: bucket bounds differ");
+  }
+  if (other_count == 0) return;
+  if (count_ == 0) {
+    min_ = other_min;
+    max_ = other_max;
+  } else {
+    min_ = std::min(min_, other_min);
+    max_ = std::max(max_, other_max);
+  }
+  count_ += other_count;
+  sum_ += other_sum;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other_buckets[i];
+}
+
 std::uint64_t Histogram::count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return count_;

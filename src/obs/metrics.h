@@ -62,6 +62,14 @@ class Histogram {
 
   void observe(double value);
 
+  /// Exact merge: adds `other`'s buckets and summary into this histogram.
+  /// Both histograms must share identical bucket bounds (fixed boundaries
+  /// are what make the merge exact — the result is bucket-for-bucket what a
+  /// single histogram observing both streams would hold); throws
+  /// std::invalid_argument otherwise. Quantile estimates therefore never
+  /// drift under sharded collection. Thread-safe, including self-merge.
+  void merge(const Histogram& other);
+
   std::uint64_t count() const;
   double sum() const;
   double min() const;

@@ -1,0 +1,215 @@
+// SLO observability layer (the tail-latency side of §IV-B): an HDR-style
+// log-bucketed latency histogram with *fixed* bucket boundaries, and a
+// per-endpoint SloTracker holding p50/p99/p999 gauges, target thresholds,
+// and error-budget burn counters.
+//
+// Why fixed boundaries: the bucket an observation lands in is a pure
+// function of its value — independent of what was observed before it, of
+// the thread that recorded it, and of any configuration. Two histograms fed
+// disjoint shards of one latency stream therefore merge() into exactly the
+// histogram the combined stream would have produced: quantiles never drift
+// under sharding, and exports are byte-identical across seeded runs. This
+// is the property that lets per-replica / per-shard trackers combine into
+// one subnet-wide SLO picture (and lets bench_load gate on deterministic
+// BENCH_load.json bytes).
+//
+// Bucketing scheme (value domain: unsigned microseconds):
+//   - values < 2^kSubBits are exact (one bucket per value);
+//   - above that, each power-of-two octave is split into 2^(kSubBits-1)
+//     equal sub-buckets, so the relative bucket width — and therefore the
+//     worst-case quantile error — is bounded by 2^(1-kSubBits) (~3% at the
+//     default 6 sub-bucket bits), uniformly across the whole 64-bit range.
+//
+// Thread safety: record()/merge() and the accessors take an internal mutex,
+// so a tracker may be hammered from parallel::ThreadPool workers (exercised
+// by the TSan hammer test). Snapshots are exact once writers quiesce.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace icbtc::obs {
+
+/// Fixed-boundary log-bucketed histogram for latency values in microseconds.
+class LatencyHistogram {
+ public:
+  /// Sub-bucket resolution: 2^kSubBits exact values, then 2^(kSubBits-1)
+  /// sub-buckets per octave. 6 bits bounds quantile error at ~3.2%.
+  static constexpr unsigned kSubBits = 6;
+  static constexpr std::uint64_t kSubBuckets = 1ULL << kSubBits;
+  /// Total bucket count for the full 64-bit value domain.
+  static constexpr std::size_t kBucketCount =
+      static_cast<std::size_t>(kSubBuckets) + (64 - kSubBits) * (kSubBuckets / 2);
+
+  /// Bucket index for `value` — a pure function, identical in every
+  /// histogram instance (the "fixed boundaries" contract).
+  static std::size_t bucket_index(std::uint64_t value);
+  /// Inclusive lower bound of bucket `index`.
+  static std::uint64_t bucket_lower(std::size_t index);
+  /// Inclusive upper bound of bucket `index`.
+  static std::uint64_t bucket_upper(std::size_t index);
+
+  LatencyHistogram();
+
+  void record(std::uint64_t value_us);
+
+  /// Exact merge: adds the other histogram's buckets and summary into this
+  /// one. Because boundaries are fixed, the result is bucket-for-bucket
+  /// identical to a single histogram that observed both streams.
+  void merge(const LatencyHistogram& other);
+
+  /// Resets to the empty state (used by SloTracker window rolls).
+  void reset();
+
+  std::uint64_t count() const;
+  std::uint64_t sum() const;
+  std::uint64_t min() const;  // 0 when empty
+  std::uint64_t max() const;
+  double mean() const;
+
+  /// q-quantile (q in [0,1]) as the midpoint of the bucket holding the
+  /// target rank, clamped to the observed [min, max]. Deterministic: a pure
+  /// function of the recorded multiset. Empty histogram returns 0.
+  std::uint64_t quantile(double q) const;
+
+  /// Number of recorded values strictly greater than `threshold_us`
+  /// resolvable at bucket granularity (counts whole buckets whose lower
+  /// bound exceeds the threshold; the threshold's own bucket is excluded).
+  std::uint64_t count_above(std::uint64_t threshold_us) const;
+
+  /// Sparse snapshot of the non-empty buckets, ascending by bound.
+  struct Bucket {
+    std::uint64_t lower = 0;
+    std::uint64_t upper = 0;
+    std::uint64_t count = 0;
+  };
+  std::vector<Bucket> nonzero_buckets() const;
+
+ private:
+  std::uint64_t quantile_locked(double q) const;
+
+  mutable std::mutex mu_;
+  std::vector<std::uint64_t> buckets_;  // kBucketCount entries
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+/// Per-endpoint latency / availability objectives. Zero disables a bound.
+struct SloTarget {
+  std::uint64_t p50_us = 0;
+  std::uint64_t p99_us = 0;
+  std::uint64_t p999_us = 0;
+  /// Error budget: tolerated fraction of bad requests (errors or requests
+  /// slower than p99_us) per window. 0.001 = "99.9% of requests good".
+  double error_budget = 0.001;
+};
+
+/// Snapshot of one endpoint's standing against its targets.
+struct SloVerdict {
+  std::string endpoint;
+  std::uint64_t requests = 0;
+  std::uint64_t errors = 0;
+  std::uint64_t slow = 0;  // latency above target p99 (when a target is set)
+  std::uint64_t p50_us = 0;
+  std::uint64_t p99_us = 0;
+  std::uint64_t p999_us = 0;
+  std::uint64_t max_us = 0;
+  SloTarget target;
+  bool p50_ok = true;
+  bool p99_ok = true;
+  bool p999_ok = true;
+  /// Error-budget burn: (errors + slow) / (error_budget * requests).
+  /// 1.0 = budget exactly consumed; > 1.0 = budget blown.
+  double budget_burn = 0.0;
+
+  bool ok() const { return p50_ok && p99_ok && p999_ok && budget_burn <= 1.0; }
+};
+
+/// Windowed, mergeable per-endpoint SLO tracker.
+///
+/// Endpoints are registered (or resolved) by name; the returned handle is
+/// stable for the tracker's lifetime, so hot paths resolve once and record
+/// through the pointer. Each endpoint keeps a *cumulative* histogram plus a
+/// *current-window* histogram; roll_window() folds the window into nothing
+/// (the cumulative histogram already saw every sample) but snapshots the
+/// window's quantiles and advances the window counter — giving burn-rate
+/// style "how bad was the last window" visibility without losing the
+/// all-time distribution.
+class SloTracker {
+ public:
+  class Endpoint {
+   public:
+    explicit Endpoint(std::string name, SloTarget target)
+        : name_(std::move(name)), target_(target) {}
+
+    /// Records one request: its end-to-end latency and whether it errored.
+    /// Thread-safe.
+    void record(std::uint64_t latency_us, bool error = false);
+
+    const std::string& name() const { return name_; }
+    const SloTarget& target() const { return target_; }
+    const LatencyHistogram& histogram() const { return total_; }
+    std::uint64_t requests() const;
+    std::uint64_t errors() const;
+    std::uint64_t slow() const;
+
+    SloVerdict verdict() const;
+
+   private:
+    friend class SloTracker;
+
+    std::string name_;
+    SloTarget target_;
+    LatencyHistogram total_;
+    LatencyHistogram window_;
+    mutable std::mutex mu_;  // guards the counters below
+    std::uint64_t requests_ = 0;
+    std::uint64_t errors_ = 0;
+    std::uint64_t slow_ = 0;
+    // Last completed window, captured by roll_window().
+    std::uint64_t windows_completed_ = 0;
+    SloVerdict last_window_;
+  };
+
+  /// Resolves (creating on first use) the endpoint `name`. A later call with
+  /// a different target keeps the original registration's target.
+  Endpoint& endpoint(const std::string& name, SloTarget target = {});
+
+  /// Convenience for cold paths: resolve + record in one call.
+  void record(const std::string& name, std::uint64_t latency_us, bool error = false) {
+    endpoint(name).record(latency_us, error);
+  }
+
+  /// Closes the current window on every endpoint: snapshots the window
+  /// verdict, clears the window histogram, bumps the window counter.
+  void roll_window();
+
+  /// Verdicts for every endpoint, in name order (deterministic).
+  std::vector<SloVerdict> verdicts() const;
+  /// Last completed window's verdicts, in name order.
+  std::vector<SloVerdict> window_verdicts() const;
+  std::uint64_t windows_completed() const;
+
+  /// Publishes the current standing into `registry` as deterministic gauges:
+  ///   slo.<endpoint>.requests / .errors / .slow
+  ///   slo.<endpoint>.p50_us / .p99_us / .p999_us / .max_us
+  ///   slo.<endpoint>.ok           (1 when every bound holds, else 0)
+  ///   slo.<endpoint>.budget_burn_pct  (error-budget burn, percent)
+  ///   slo.windows                 (completed window count)
+  /// Call after writers quiesce; repeated calls overwrite.
+  void publish(MetricsRegistry& registry) const;
+
+ private:
+  mutable std::mutex mu_;  // guards the endpoint map (not the endpoints)
+  std::map<std::string, Endpoint> endpoints_;
+  std::uint64_t windows_completed_ = 0;
+};
+
+}  // namespace icbtc::obs

@@ -12,6 +12,10 @@ namespace icbtc::parallel {
 struct ThreadPool::Job {
   std::size_t n = 0;
   const std::function<void(std::size_t)>* fn = nullptr;
+  /// Snapshot of the pool's instruments at publication time, so a fan-out
+  /// keeps reporting to the registry it started with even if set_metrics()
+  /// swaps instruments while stragglers are still draining claims.
+  Instruments ins;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::mutex mu;
@@ -39,7 +43,16 @@ void ThreadPool::work_on(Job& job) {
     if (i >= job.n) break;
     // job.fn is guaranteed alive here: run() cannot return until this claimed
     // item's done-increment lands.
+    if (job.ins.workers_busy != nullptr) job.ins.workers_busy->add(1);
     (*job.fn)(i);
+    // Instrument updates stay ahead of the done-increment: the release half
+    // of the fetch_add below publishes them before the submitter can observe
+    // completion, so run() returns with queue_depth/workers_busy back at 0.
+    if (job.ins.workers_busy != nullptr) {
+      job.ins.workers_busy->add(-1);
+      job.ins.queue_depth->add(-1);
+      job.ins.tasks_executed->inc();
+    }
     if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.n) {
       std::lock_guard<std::mutex> lock(job.mu);
       job.cv.notify_all();
@@ -74,6 +87,11 @@ void ThreadPool::run(std::size_t n, const std::function<void(std::size_t)>& fn) 
   auto job = std::make_shared<Job>();
   job->n = n;
   job->fn = &fn;
+  job->ins = instruments_;
+  if (instruments_.runs != nullptr) {
+    instruments_.runs->inc();
+    instruments_.queue_depth->add(static_cast<std::int64_t>(n));
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     current_ = job;
@@ -89,6 +107,19 @@ void ThreadPool::run(std::size_t n, const std::function<void(std::size_t)>& fn) 
   }
   std::lock_guard<std::mutex> lock(mu_);
   current_.reset();
+}
+
+void ThreadPool::set_metrics(obs::MetricsRegistry* registry) {
+  // Serialize against run(): instruments_ is only read under submit_mu_.
+  std::lock_guard<std::mutex> submit(submit_mu_);
+  if (registry == nullptr) {
+    instruments_ = {};
+    return;
+  }
+  instruments_.runs = &registry->counter("pool.runs");
+  instruments_.tasks_executed = &registry->counter("pool.tasks_executed");
+  instruments_.queue_depth = &registry->gauge("pool.queue_depth");
+  instruments_.workers_busy = &registry->gauge("pool.workers_busy");
 }
 
 namespace {

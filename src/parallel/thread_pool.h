@@ -21,6 +21,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace icbtc::parallel {
 
 class ThreadPool {
@@ -46,8 +48,27 @@ class ThreadPool {
   /// unsupported and deadlocks on the submission mutex.
   void run(std::size_t n, const std::function<void(std::size_t)>& fn);
 
+  /// Attaches pool instrumentation resolved once from `registry` (null
+  /// detaches):
+  ///   pool.runs            counter — run() fan-outs submitted
+  ///   pool.tasks_executed  counter — individual fn(i) items completed
+  ///   pool.queue_depth     gauge   — items published but not yet finished
+  ///   pool.workers_busy    gauge   — threads currently inside fn
+  /// Serialized against run() on the submission mutex; in-flight fan-outs
+  /// keep the instruments they started with. Gauge updates are ordered
+  /// before each item's completion count, so by the time run() returns both
+  /// gauges read exactly 0 again — post-run snapshots are deterministic.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   struct Job;
+
+  struct Instruments {
+    obs::Counter* runs = nullptr;
+    obs::Counter* tasks_executed = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Gauge* workers_busy = nullptr;
+  };
 
   void worker_loop();
   static void work_on(Job& job);
@@ -57,6 +78,8 @@ class ThreadPool {
   /// and completion wait. Serializes concurrent submitters so current_ /
   /// generation_ describe exactly one in-flight job at a time.
   std::mutex submit_mu_;
+  /// Guarded by submit_mu_; copied into each Job at publication.
+  Instruments instruments_;
   std::mutex mu_;
   std::condition_variable job_ready_;
   std::shared_ptr<Job> current_;

@@ -1,0 +1,180 @@
+// Load-generator unit tests: Zipf sampling, seeded schedule determinism,
+// queue-sim sanity, and the coordinated-omission regression — an injected
+// stall must blow up the open-loop p99 while the closed-loop control arm
+// barely notices it.
+#include "load_sim.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "workload.h"
+
+namespace icbtc::bench {
+namespace {
+
+TEST(ZipfSamplerTest, HotRanksDominate) {
+  ZipfSampler zipf(100'000, 0.99);
+  util::Rng rng(1);
+  std::vector<int> hits(10, 0);
+  int in_top10 = 0;
+  const int kSamples = 50'000;
+  for (int i = 0; i < kSamples; ++i) {
+    std::size_t rank = zipf.sample(rng);
+    ASSERT_LT(rank, zipf.size());
+    if (rank < 10) {
+      ++in_top10;
+      ++hits[rank];
+    }
+  }
+  // With s=0.99 over 100k ranks, the top-10 carries roughly a fifth of the
+  // mass; rank probabilities must be monotone decreasing.
+  EXPECT_GT(in_top10, kSamples / 10);
+  EXPECT_GT(hits[0], hits[9]);
+}
+
+TEST(ZipfSamplerTest, RejectsEmptyPopulation) {
+  EXPECT_THROW(ZipfSampler(0, 0.99), std::invalid_argument);
+}
+
+TEST(ScheduleTest, SeededSchedulesAreIdentical) {
+  ZipfSampler zipf(1000, 0.99);
+  LoadMix mix;
+  util::Rng a(77), b(77);
+  auto s1 = make_open_loop_schedule(500.0, 2000, mix, zipf, a);
+  auto s2 = make_open_loop_schedule(500.0, 2000, mix, zipf, b);
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].arrival_us, s2[i].arrival_us);
+    EXPECT_EQ(s1[i].endpoint, s2[i].endpoint);
+    EXPECT_EQ(s1[i].address, s2[i].address);
+  }
+}
+
+TEST(ScheduleTest, ArrivalsAreMonotoneAtTheOfferedRate) {
+  ZipfSampler zipf(100, 0.99);
+  LoadMix mix;
+  util::Rng rng(5);
+  auto schedule = make_open_loop_schedule(1000.0, 10'000, mix, zipf, rng);
+  for (std::size_t i = 1; i < schedule.size(); ++i) {
+    EXPECT_GE(schedule[i].arrival_us, schedule[i - 1].arrival_us);
+  }
+  // Mean inter-arrival gap of a 1000 rps Poisson process is 1000us (within
+  // sampling noise at 10k draws).
+  double span = schedule.back().arrival_us - schedule.front().arrival_us;
+  double mean_gap = span / static_cast<double>(schedule.size() - 1);
+  EXPECT_NEAR(mean_gap, 1000.0, 50.0);
+}
+
+TEST(ScheduleTest, MixFractionsAreRespected) {
+  ZipfSampler zipf(100, 0.99);
+  LoadMix mix;
+  mix.get_utxos = 0.2;
+  mix.get_balance = 0.2;
+  mix.send_transaction = 0.6;
+  util::Rng rng(9);
+  auto schedule = make_open_loop_schedule(100.0, 20'000, mix, zipf, rng);
+  std::size_t sends = 0;
+  for (const auto& r : schedule) {
+    if (r.endpoint == LoadEndpoint::kSendTransaction) ++sends;
+  }
+  EXPECT_NEAR(static_cast<double>(sends) / static_cast<double>(schedule.size()), 0.6, 0.02);
+}
+
+TEST(QueueSimTest, UncontendedLatencyIsServiceTime) {
+  // One request per virtual second against 4 servers with 100us service:
+  // no queueing, every latency is exactly the service time.
+  ZipfSampler zipf(10, 0.99);
+  LoadMix mix;
+  util::Rng rng(3);
+  auto schedule = make_open_loop_schedule(1.0, 50, mix, zipf, rng);
+  auto result = simulate_open_loop(schedule, 4, [](const LoadRequest&) { return 100.0; });
+  ASSERT_EQ(result.latency_us.size(), 50u);
+  for (double l : result.latency_us) EXPECT_DOUBLE_EQ(l, 100.0);
+  EXPECT_NEAR(result.achieved_rps, result.offered_rps, result.offered_rps * 0.05);
+}
+
+TEST(QueueSimTest, OverloadSaturatesAchievedThroughput) {
+  // Offered 2x what one server can do: achieved pins at capacity and
+  // latency grows without bound over the run.
+  ZipfSampler zipf(10, 0.99);
+  LoadMix mix;
+  util::Rng rng(4);
+  auto schedule = make_open_loop_schedule(2000.0, 4000, mix, zipf, rng);  // 2000 rps offered
+  auto result =
+      simulate_open_loop(schedule, 1, [](const LoadRequest&) { return 1000.0; });  // 1000 rps cap
+  EXPECT_LT(result.achieved_rps, 0.6 * result.offered_rps);
+  EXPECT_GT(result.latency_us.back(), result.latency_us.front());
+}
+
+TEST(CoordinatedOmissionTest, StallRaisesOpenLoopTailButNotClosedLoop) {
+  // The regression the open-loop harness exists for: a 2-second service
+  // stall in a 10-second run. Every open-loop arrival during the stall
+  // queues and reports seconds of latency; the closed-loop control issues
+  // only `clients` requests into the stall and its p99 barely moves.
+  ZipfSampler zipf(100, 0.99);
+  LoadMix mix;
+  util::Rng rng(11);
+  const double kRate = 1000.0;
+  auto schedule = make_open_loop_schedule(kRate, 10'000, mix, zipf, rng);
+  auto service = [](const LoadRequest&) { return 500.0; };  // 4 servers => 50% load
+  std::vector<StallWindow> stall{{2'000'000.0, 4'000'000.0}};
+
+  auto open_clean = simulate_open_loop(schedule, 4, service);
+  auto open_stalled = simulate_open_loop(schedule, 4, service, stall);
+  // 2 clients so the closed-loop run is long enough to cross the stall.
+  auto closed_stalled = simulate_closed_loop(schedule, 2, service, stall);
+
+  auto p99 = [](std::vector<double> v) {
+    std::sort(v.begin(), v.end());
+    return percentile(v, 99);
+  };
+  double clean_p99 = p99(open_clean.latency_us);
+  double open_p99 = p99(open_stalled.latency_us);
+  double closed_p99 = p99(closed_stalled.latency_us);
+
+  // ~2000 of 10000 arrivals land inside the stall: the open-loop p99 must
+  // report near the full stall duration.
+  EXPECT_LT(clean_p99, 5'000.0);
+  EXPECT_GT(open_p99, 1'000'000.0);
+  // The closed-loop arm understates by orders of magnitude: only its 2
+  // in-flight requests ever see the stall.
+  EXPECT_LT(closed_p99, 10'000.0);
+  EXPECT_GT(open_p99 / closed_p99, 50.0);
+}
+
+TEST(QueueSimTest, StallDelaysOnlyRequestsStartingInsideIt) {
+  std::vector<LoadRequest> schedule(3);
+  schedule[0].arrival_us = 0;
+  schedule[1].arrival_us = 1000;
+  schedule[2].arrival_us = 10'000;
+  std::vector<StallWindow> stall{{500.0, 5000.0}};
+  auto result = simulate_open_loop(schedule, 1, [](const LoadRequest&) { return 100.0; }, stall);
+  EXPECT_DOUBLE_EQ(result.latency_us[0], 100.0);            // starts before the stall
+  EXPECT_DOUBLE_EQ(result.latency_us[1], 5000.0 - 1000.0 + 100.0);  // pushed to stall end
+  EXPECT_DOUBLE_EQ(result.latency_us[2], 100.0);            // starts after the stall
+}
+
+TEST(QueueSimTest, EmptyScheduleAndBadArgs) {
+  auto result = simulate_open_loop({}, 2, [](const LoadRequest&) { return 1.0; });
+  EXPECT_EQ(result.requests, 0u);
+  EXPECT_TRUE(result.latency_us.empty());
+  EXPECT_THROW(
+      simulate_open_loop({}, 0, [](const LoadRequest&) { return 1.0; }), std::invalid_argument);
+  EXPECT_THROW(
+      simulate_closed_loop({}, 0, [](const LoadRequest&) { return 1.0; }), std::invalid_argument);
+  ZipfSampler zipf(10, 0.99);
+  LoadMix mix;
+  util::Rng rng(1);
+  EXPECT_THROW(make_open_loop_schedule(0.0, 10, mix, zipf, rng), std::invalid_argument);
+}
+
+TEST(EndpointNamesTest, ToString) {
+  EXPECT_STREQ(to_string(LoadEndpoint::kGetUtxos), "get_utxos");
+  EXPECT_STREQ(to_string(LoadEndpoint::kGetBalance), "get_balance");
+  EXPECT_STREQ(to_string(LoadEndpoint::kSendTransaction), "send_transaction");
+}
+
+}  // namespace
+}  // namespace icbtc::bench

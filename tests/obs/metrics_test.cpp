@@ -105,6 +105,53 @@ TEST(HistogramTest, QuantilesAreMonotone) {
   EXPECT_LE(p99, h.max());
 }
 
+TEST(HistogramTest, MergeMatchesSingleHistogramOracle) {
+  // Two histograms fed disjoint halves of one stream merge into exactly the
+  // histogram a single instance observing the full stream would hold —
+  // the fixed-boundary contract that makes sharded collection exact.
+  auto bounds = Histogram::decade_bounds(1.0, 1e6);
+  Histogram a(bounds), b(bounds), oracle(bounds);
+  for (int i = 0; i < 2000; ++i) {
+    double v = static_cast<double>((i * 7919) % 1000000) + 0.5;
+    oracle.observe(v);
+    (i % 2 == 0 ? a : b).observe(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), oracle.count());
+  EXPECT_DOUBLE_EQ(a.sum(), oracle.sum());
+  EXPECT_DOUBLE_EQ(a.min(), oracle.min());
+  EXPECT_DOUBLE_EQ(a.max(), oracle.max());
+  EXPECT_EQ(a.bucket_counts(), oracle.bucket_counts());
+  for (double q : {0.5, 0.9, 0.99}) EXPECT_DOUBLE_EQ(a.quantile(q), oracle.quantile(q));
+}
+
+TEST(HistogramTest, MergeRejectsMismatchedBounds) {
+  Histogram a({1.0, 2.0});
+  Histogram b({1.0, 3.0});
+  b.observe(1.5);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  // A failed merge leaves the target untouched.
+  EXPECT_EQ(a.count(), 0u);
+}
+
+TEST(HistogramTest, SelfMergeDoublesAndEmptyMergeIsNoOp) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(5.0);
+  h.observe(50.0);
+  h.merge(h);  // snapshot-then-apply: self-merge must not deadlock
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 110.0);
+  EXPECT_DOUBLE_EQ(h.min(), 5.0);
+  EXPECT_DOUBLE_EQ(h.max(), 50.0);
+
+  Histogram empty({1.0, 10.0, 100.0});
+  h.merge(empty);
+  EXPECT_EQ(h.count(), 4u);
+  empty.merge(h);
+  EXPECT_EQ(empty.count(), 4u);
+  EXPECT_DOUBLE_EQ(empty.min(), 5.0);
+}
+
 TEST(HistogramTest, BoundGenerators) {
   EXPECT_EQ(Histogram::decade_bounds(1.0, 100.0),
             (std::vector<double>{1, 2, 5, 10, 20, 50, 100}));

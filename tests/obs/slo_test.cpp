@@ -1,0 +1,301 @@
+// LatencyHistogram / SloTracker unit tests: fixed-boundary bucket math,
+// quantile determinism, exact merges, window rolls, published metric names,
+// and a ThreadPool hammer for the sanitizer builds.
+#include "obs/slo.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <iterator>
+#include <limits>
+#include <vector>
+
+#include "parallel/thread_pool.h"
+#include "util/rng.h"
+
+namespace icbtc::obs {
+namespace {
+
+TEST(LatencyHistogramTest, SmallValuesAreExact) {
+  for (std::uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+    std::size_t idx = LatencyHistogram::bucket_index(v);
+    EXPECT_EQ(idx, static_cast<std::size_t>(v));
+    EXPECT_EQ(LatencyHistogram::bucket_lower(idx), v);
+    EXPECT_EQ(LatencyHistogram::bucket_upper(idx), v);
+  }
+}
+
+TEST(LatencyHistogramTest, EveryValueLandsInsideItsBucket) {
+  util::Rng rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    // Exercise every octave: random mantissa at a random bit width.
+    std::uint64_t width = rng.next_below(64);
+    std::uint64_t v = rng.next() >> width;
+    std::size_t idx = LatencyHistogram::bucket_index(v);
+    ASSERT_LT(idx, LatencyHistogram::kBucketCount);
+    EXPECT_GE(v, LatencyHistogram::bucket_lower(idx));
+    EXPECT_LE(v, LatencyHistogram::bucket_upper(idx));
+  }
+}
+
+TEST(LatencyHistogramTest, BucketBoundariesAreContiguousAndSorted) {
+  // upper(i) + 1 == lower(i+1) across the whole table: no gaps, no overlap.
+  for (std::size_t i = 0; i + 1 < LatencyHistogram::kBucketCount; ++i) {
+    ASSERT_EQ(LatencyHistogram::bucket_upper(i) + 1, LatencyHistogram::bucket_lower(i + 1))
+        << "discontinuity at bucket " << i;
+  }
+  EXPECT_EQ(LatencyHistogram::bucket_upper(LatencyHistogram::kBucketCount - 1),
+            std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(LatencyHistogramTest, RelativeBucketWidthIsBounded) {
+  // The HDR guarantee: bucket width / lower bound <= 2^(1-kSubBits).
+  const double kMaxRelative = 1.0 / static_cast<double>(LatencyHistogram::kSubBuckets / 2);
+  for (std::size_t i = LatencyHistogram::kSubBuckets; i < LatencyHistogram::kBucketCount; ++i) {
+    double lower = static_cast<double>(LatencyHistogram::bucket_lower(i));
+    double width = static_cast<double>(LatencyHistogram::bucket_upper(i) -
+                                       LatencyHistogram::bucket_lower(i) + 1);
+    EXPECT_LE(width / lower, kMaxRelative + 1e-12) << "bucket " << i;
+  }
+}
+
+TEST(LatencyHistogramTest, SummaryStatistics) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  for (std::uint64_t v : {5u, 10u, 10u, 1000u}) h.record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 1025u);
+  EXPECT_EQ(h.min(), 5u);
+  EXPECT_EQ(h.max(), 1000u);
+  EXPECT_DOUBLE_EQ(h.mean(), 1025.0 / 4.0);
+}
+
+TEST(LatencyHistogramTest, ExactQuantilesBelowSubBucketRange) {
+  // Values < 64 are bucketed exactly, so quantiles are exact nearest-rank.
+  LatencyHistogram h;
+  for (std::uint64_t v = 1; v <= 50; ++v) h.record(v);
+  EXPECT_EQ(h.quantile(0.0), 1u);
+  EXPECT_EQ(h.quantile(0.5), 25u);
+  EXPECT_EQ(h.quantile(1.0), 50u);
+}
+
+TEST(LatencyHistogramTest, QuantileErrorWithinBucketBound) {
+  LatencyHistogram h;
+  util::Rng rng(7);
+  std::vector<std::uint64_t> values;
+  for (int i = 0; i < 5000; ++i) {
+    std::uint64_t v = 100 + rng.next_below(1'000'000);
+    values.push_back(v);
+    h.record(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    std::size_t rank = static_cast<std::size_t>(q * static_cast<double>(values.size()));
+    if (rank >= values.size()) rank = values.size() - 1;
+    double exact = static_cast<double>(values[rank]);
+    double est = static_cast<double>(h.quantile(q));
+    EXPECT_NEAR(est, exact, exact * 0.04) << "q=" << q;  // ~3.2% bucket width
+  }
+}
+
+TEST(LatencyHistogramTest, MergeMatchesSingleHistogramOracle) {
+  // Two shards fed disjoint halves of one stream must merge into exactly
+  // the histogram the combined stream produces — the fixed-boundary
+  // contract bench_load's replica fan-in depends on.
+  LatencyHistogram a, b, oracle;
+  util::Rng rng(99);
+  for (int i = 0; i < 4000; ++i) {
+    std::uint64_t v = rng.next() >> rng.next_below(60);
+    oracle.record(v);
+    (i % 2 == 0 ? a : b).record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), oracle.count());
+  EXPECT_EQ(a.sum(), oracle.sum());
+  EXPECT_EQ(a.min(), oracle.min());
+  EXPECT_EQ(a.max(), oracle.max());
+  auto ab = a.nonzero_buckets();
+  auto ob = oracle.nonzero_buckets();
+  ASSERT_EQ(ab.size(), ob.size());
+  for (std::size_t i = 0; i < ab.size(); ++i) {
+    EXPECT_EQ(ab[i].lower, ob[i].lower);
+    EXPECT_EQ(ab[i].count, ob[i].count);
+  }
+  for (double q : {0.5, 0.9, 0.99, 0.999}) EXPECT_EQ(a.quantile(q), oracle.quantile(q));
+}
+
+TEST(LatencyHistogramTest, SelfMergeDoubles) {
+  LatencyHistogram h;
+  for (std::uint64_t v : {10u, 20u, 30u}) h.record(v);
+  h.merge(h);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.sum(), 120u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 30u);
+}
+
+TEST(LatencyHistogramTest, MergeEmptyIsNoOp) {
+  LatencyHistogram h, empty;
+  h.record(77);
+  h.merge(empty);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 77u);
+  empty.merge(h);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.min(), 77u);
+}
+
+TEST(LatencyHistogramTest, CountAboveThreshold) {
+  LatencyHistogram h;
+  for (std::uint64_t v : {10u, 20u, 40u, 50000u, 60000u}) h.record(v);
+  EXPECT_EQ(h.count_above(40), 2u);   // exact below kSubBuckets
+  EXPECT_EQ(h.count_above(100000), 0u);
+  EXPECT_EQ(h.count_above(0), 5u);
+}
+
+TEST(LatencyHistogramTest, ResetClears) {
+  LatencyHistogram h;
+  h.record(123);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_TRUE(h.nonzero_buckets().empty());
+}
+
+TEST(SloTrackerTest, VerdictAgainstTargets) {
+  SloTracker tracker;
+  SloTarget target;
+  target.p50_us = 100;
+  target.p99_us = 1000;
+  target.error_budget = 0.1;
+  auto& ep = tracker.endpoint("api.read", target);
+  for (int i = 0; i < 99; ++i) ep.record(50);
+  ep.record(500);  // within p99 target
+  SloVerdict v = ep.verdict();
+  EXPECT_EQ(v.requests, 100u);
+  EXPECT_EQ(v.errors, 0u);
+  EXPECT_EQ(v.slow, 0u);
+  EXPECT_TRUE(v.p50_ok);
+  EXPECT_TRUE(v.p99_ok);
+  EXPECT_TRUE(v.ok());
+
+  // Blow the p50 target and the error budget.
+  auto& bad = tracker.endpoint("api.write", target);
+  for (int i = 0; i < 80; ++i) bad.record(500);
+  for (int i = 0; i < 20; ++i) bad.record(5000, /*error=*/true);
+  SloVerdict w = bad.verdict();
+  EXPECT_EQ(w.errors, 20u);
+  EXPECT_EQ(w.slow, 20u);  // the 5000us records exceed the 1000us p99 target
+  EXPECT_FALSE(w.p50_ok);
+  EXPECT_GT(w.budget_burn, 1.0);
+  EXPECT_FALSE(w.ok());
+}
+
+TEST(SloTrackerTest, EndpointHandleIsStableAndTargetSticks) {
+  SloTracker tracker;
+  SloTarget target;
+  target.p99_us = 42;
+  auto& first = tracker.endpoint("x", target);
+  SloTarget other;
+  other.p99_us = 9999;
+  auto& second = tracker.endpoint("x", other);
+  EXPECT_EQ(&first, &second);
+  EXPECT_EQ(second.target().p99_us, 42u);  // original registration wins
+}
+
+TEST(SloTrackerTest, WindowRollSnapshotsAndResets) {
+  SloTracker tracker;
+  auto& ep = tracker.endpoint("svc");
+  ep.record(100);
+  ep.record(200);
+  EXPECT_EQ(tracker.windows_completed(), 0u);
+  tracker.roll_window();
+  EXPECT_EQ(tracker.windows_completed(), 1u);
+  auto window = tracker.window_verdicts();
+  ASSERT_EQ(window.size(), 1u);
+  EXPECT_EQ(window[0].requests, 2u);
+
+  // The next window starts empty, but the cumulative verdict keeps history.
+  ep.record(300);
+  tracker.roll_window();
+  window = tracker.window_verdicts();
+  EXPECT_EQ(window[0].requests, 1u);
+  auto total = tracker.verdicts();
+  ASSERT_EQ(total.size(), 1u);
+  EXPECT_EQ(total[0].requests, 3u);
+}
+
+TEST(SloTrackerTest, VerdictsAreNameOrdered) {
+  SloTracker tracker;
+  tracker.record("zeta", 1);
+  tracker.record("alpha", 1);
+  tracker.record("mid", 1);
+  auto verdicts = tracker.verdicts();
+  ASSERT_EQ(verdicts.size(), 3u);
+  EXPECT_EQ(verdicts[0].endpoint, "alpha");
+  EXPECT_EQ(verdicts[1].endpoint, "mid");
+  EXPECT_EQ(verdicts[2].endpoint, "zeta");
+}
+
+TEST(SloTrackerTest, PublishedMetricNamesArePinned) {
+  // The exported gauge names are API: dashboards and the CI artifact diff
+  // key on them. This test pins the full set for one endpoint.
+  SloTracker tracker;
+  auto& ep = tracker.endpoint("canister.get_utxos");
+  ep.record(100);
+  tracker.roll_window();
+  MetricsRegistry registry;
+  tracker.publish(registry);
+  const char* expected[] = {
+      "slo.canister.get_utxos.requests",      "slo.canister.get_utxos.errors",
+      "slo.canister.get_utxos.slow",          "slo.canister.get_utxos.p50_us",
+      "slo.canister.get_utxos.p99_us",        "slo.canister.get_utxos.p999_us",
+      "slo.canister.get_utxos.max_us",        "slo.canister.get_utxos.ok",
+      "slo.canister.get_utxos.budget_burn_pct",
+  };
+  for (const char* name : expected) {
+    EXPECT_EQ(registry.gauges().count(name), 1u) << "missing gauge " << name;
+  }
+  EXPECT_EQ(registry.gauges().count("slo.windows"), 1u);
+  EXPECT_EQ(registry.gauges().size(), std::size(expected) + 1);
+  EXPECT_EQ(registry.gauges().at("slo.canister.get_utxos.requests").value(), 1);
+  EXPECT_EQ(registry.gauges().at("slo.canister.get_utxos.ok").value(), 1);
+  EXPECT_EQ(registry.gauges().at("slo.windows").value(), 1);
+}
+
+TEST(SloTrackerHammerTest, ParallelRecordingLosesNothing) {
+  // TSan target: many pool workers hammer one tracker — handles resolved
+  // up front (the hot-path contract) and via the name-resolving record().
+  SloTracker tracker;
+  auto& fast = tracker.endpoint("hammer.fast");
+  constexpr std::size_t kTasks = 64;
+  constexpr int kPerTask = 500;
+  parallel::ThreadPool pool(4);
+  pool.run(kTasks, [&](std::size_t i) {
+    for (int j = 0; j < kPerTask; ++j) {
+      fast.record(static_cast<std::uint64_t>(i * 131 + static_cast<std::size_t>(j) % 97),
+                  /*error=*/j % 100 == 0);
+      tracker.record("hammer.slow", 1000 + static_cast<std::uint64_t>(j));
+    }
+  });
+  EXPECT_EQ(fast.requests(), kTasks * kPerTask);
+  EXPECT_EQ(fast.errors(), kTasks * (kPerTask / 100));
+  EXPECT_EQ(tracker.endpoint("hammer.slow").requests(), kTasks * kPerTask);
+  EXPECT_EQ(fast.histogram().count(), kTasks * kPerTask);
+
+  // Concurrent merges into a fan-in histogram while recording continues.
+  LatencyHistogram fanin;
+  pool.run(kTasks, [&](std::size_t i) {
+    if (i % 2 == 0) {
+      fanin.merge(tracker.endpoint("hammer.slow").histogram());
+    } else {
+      tracker.record("hammer.slow", 5);
+    }
+  });
+  EXPECT_GE(fanin.count(), 1u);
+}
+
+}  // namespace
+}  // namespace icbtc::obs

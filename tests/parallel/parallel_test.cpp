@@ -69,6 +69,57 @@ TEST(ThreadPoolTest, ConcurrentSubmittersEachCompleteExactlyOnce) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+TEST(PoolMetricsTest, CountersAndGaugesAreDeterministicAfterRuns) {
+  // The pinned contract of ThreadPool::set_metrics: after any number of
+  // completed runs, pool.runs counts fan-outs, pool.tasks_executed counts
+  // items, and both gauges read exactly 0 (instrument updates are ordered
+  // before each item's completion count).
+  obs::MetricsRegistry registry;
+  ThreadPool pool(3);
+  pool.set_metrics(&registry);
+  pool.run(8, [](std::size_t) {});
+  pool.run(5, [](std::size_t) {});
+  pool.run(0, [](std::size_t) {});  // empty fan-out short-circuits: no run counted
+  EXPECT_EQ(registry.counter("pool.runs").value(), 2u);
+  EXPECT_EQ(registry.counter("pool.tasks_executed").value(), 13u);
+  EXPECT_EQ(registry.gauge("pool.queue_depth").value(), 0);
+  EXPECT_EQ(registry.gauge("pool.workers_busy").value(), 0);
+}
+
+TEST(PoolMetricsTest, GaugesAreLiveDuringAFanOut) {
+  obs::MetricsRegistry registry;
+  ThreadPool pool(2);
+  pool.set_metrics(&registry);
+  std::atomic<std::int64_t> max_busy{0};
+  std::atomic<std::int64_t> max_depth{0};
+  pool.run(64, [&](std::size_t) {
+    std::int64_t busy = registry.gauge("pool.workers_busy").value();
+    std::int64_t depth = registry.gauge("pool.queue_depth").value();
+    std::int64_t prev = max_busy.load();
+    while (busy > prev && !max_busy.compare_exchange_weak(prev, busy)) {
+    }
+    prev = max_depth.load();
+    while (depth > prev && !max_depth.compare_exchange_weak(prev, depth)) {
+    }
+  });
+  // The observing task itself is inside fn, so both gauges were >= 1.
+  EXPECT_GE(max_busy.load(), 1);
+  EXPECT_GE(max_depth.load(), 1);
+  EXPECT_EQ(registry.gauge("pool.queue_depth").value(), 0);
+  EXPECT_EQ(registry.gauge("pool.workers_busy").value(), 0);
+}
+
+TEST(PoolMetricsTest, DetachStopsRecording) {
+  obs::MetricsRegistry registry;
+  ThreadPool pool(2);
+  pool.set_metrics(&registry);
+  pool.run(4, [](std::size_t) {});
+  pool.set_metrics(nullptr);
+  pool.run(4, [](std::size_t) {});
+  EXPECT_EQ(registry.counter("pool.runs").value(), 1u);
+  EXPECT_EQ(registry.counter("pool.tasks_executed").value(), 4u);
+}
+
 TEST(SharedPoolTest, ReplacementDuringFlightIsSafe) {
   // A fan-out holding shared_pool_ref() must survive concurrent
   // set_shared_pool() replacement: the old pool stays alive until the last
