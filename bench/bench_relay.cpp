@@ -1,12 +1,25 @@
-// Compact block relay (src/reconcile): bytes on the wire for full-block
-// relay vs IBLT-sketch compact relay, at high and low mempool overlap. The
-// high-overlap scenario is the acceptance target (compact ≤ 25% of full);
-// the low-overlap scenario exercises the getblocktxn/full fallbacks.
+// Transaction and block relay (src/reconcile): two wire-bandwidth studies.
+//
+// 1. Compact block relay — bytes for full-block relay vs IBLT-sketch compact
+//    relay at high and low mempool overlap (compact ≤ 25% of full is the
+//    acceptance target; low overlap exercises the getblocktxn/full fallbacks).
+// 2. Continuous mempool reconciliation — announcement bytes for per-peer inv
+//    flooding vs Erlay-style sketch reconciliation on a 100-node network
+//    under a sustained transaction stream. The acceptance gate is a ≥ 3x
+//    announcement-bandwidth reduction; the process exits nonzero (and the CI
+//    bench-smoke job fails) if reconciliation misses the gate or either mode
+//    fails to converge every node's mempool.
+//
+// ICBTC_BENCH_QUICK=1 shrinks the transaction stream for CI smoke runs.
+// Every number derives from the seeded simulation — two runs of the same
+// build produce byte-identical JSON reports.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "bitcoin/script.h"
 #include "btcnet/miner.h"
@@ -111,12 +124,13 @@ RelayStats run_relay(btcnet::BlockRelayMode mode, bool high_overlap, int blocks,
   return stats;
 }
 
-void run_relay_table() {
+/// Returns the `"scenarios"` JSON fragment for the report.
+std::string run_relay_table() {
   std::printf("\n--- compact block relay: bytes on the wire (full vs IBLT sketch) ---\n");
   const int kBlocks = 3;
   const int kTxs = 100;
 
-  std::string json = "{\n  \"bench\": \"relay\",\n  \"blocks\": " + std::to_string(kBlocks) +
+  std::string json = "  \"blocks\": " + std::to_string(kBlocks) +
                      ",\n  \"txs_per_block\": " + std::to_string(kTxs) +
                      ",\n  \"scenarios\": [\n";
   std::printf("%-14s %-14s %-14s %-8s %-22s\n", "scenario", "full bytes", "compact bytes",
@@ -151,17 +165,214 @@ void run_relay_table() {
     json += entry;
     first = false;
   }
-  json += "\n  ]\n}\n";
+  json += "\n  ]";
   std::printf("\nAt high overlap the sketch replaces the block body; at low overlap the\n");
-  std::printf("peel fails detectably and getblocktxn/blocktxn (or a full getdata) fill in.\n\n");
-  std::printf("--- bench_relay JSON report ---\n%s", json.c_str());
-  if (const char* path = std::getenv("ICBTC_METRICS_JSON"); path != nullptr) {
-    if (std::FILE* f = std::fopen(path, "w"); f != nullptr) {
-      std::fwrite(json.data(), 1, json.size(), f);
-      std::fclose(f);
-      std::printf("(written to %s)\n", path);
+  std::printf("peel fails detectably and getblocktxn/blocktxn (or a full getdata) fill in.\n");
+  return json;
+}
+
+// ---------------------------------------------------------------------------
+// Continuous mempool reconciliation: flooding vs Erlay-style sketches.
+// ---------------------------------------------------------------------------
+
+struct ContinuousStats {
+  std::uint64_t announce_bytes = 0;  // inv + reconsketch + recondiff + reconfinalize
+  std::uint64_t announce_msgs = 0;
+  std::uint64_t inv_bytes = 0;
+  std::uint64_t sketch_bytes = 0;
+  std::uint64_t diff_bytes = 0;
+  std::uint64_t finalize_bytes = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t bisections = 0;
+  std::uint64_t full_inv_fallbacks = 0;
+  std::uint64_t fanout_invs = 0;
+  bool converged = true;
+};
+
+/// A 100-node network shaped like the one Erlay assumes — sparse but well
+/// connected (a ring with three chord strides gives every node 8 links and a
+/// diameter of ~3). `txs` distinct-fee spends are injected in bursts from
+/// seeded random origins, several per reconciliation interval, and the run
+/// drains to quiescence. Announcement bandwidth is everything spent deciding
+/// *which* transactions a peer is missing: inv traffic plus the three
+/// reconciliation message types. getdata and tx payload bytes are excluded
+/// from both modes alike — both modes move every transaction exactly once.
+ContinuousStats run_continuous(btcnet::TxRelayMode mode, int peers, int txs) {
+  util::Simulation sim;
+  btcnet::Network net{sim, util::Rng(41)};
+  const auto& params = bitcoin::ChainParams::regtest();
+  obs::MetricsRegistry metrics;
+  btcnet::NodeOptions options;
+  options.tx_relay_mode = mode;
+  // Pure reconciliation, on Erlay's cadence: a fanout inv cascade would cover
+  // nearly the whole network by itself (paying flooding's per-announcement
+  // price), and a short interval spends a sketch's fixed cost on a handful of
+  // transactions. An 8s interval lets each round carry a large batch, which
+  // is where sketch amortisation wins.
+  options.flood_fanout = 0;
+  options.recon_interval = 8 * util::kSecond;
+  std::vector<std::unique_ptr<btcnet::BitcoinNode>> nodes;
+  nodes.reserve(static_cast<std::size_t>(peers));
+  for (int i = 0; i < peers; ++i) {
+    nodes.push_back(std::make_unique<btcnet::BitcoinNode>(net, params, options));
+    nodes.back()->set_metrics(&metrics);
+  }
+  net.set_metrics(&metrics);
+  for (int i = 0; i < peers; ++i) {
+    for (int step : {1, 7, 19, 43}) {
+      net.connect(nodes[static_cast<std::size_t>(i)]->id(),
+                  nodes[static_cast<std::size_t>((i + step) % peers)]->id());
     }
   }
+  sim.run();
+
+  auto key = crypto::PrivateKey::from_seed(util::Bytes{3, 1, 4});
+  auto key_hash = crypto::hash160(key.public_key().compressed());
+  std::uint32_t fund_time = params.genesis_header.time;
+  std::uint64_t tag = 7000;
+  auto fund = [&] {
+    fund_time += 600;
+    auto block = chain::build_child_block(nodes[0]->tree(), nodes[0]->best_tip(), fund_time,
+                                          bitcoin::p2pkh_script(key_hash), 50 * bitcoin::kCoin,
+                                          {}, tag++);
+    nodes[0]->submit_block(block);
+    sim.run_until(sim.now() + 600 * util::kSecond);  // stay ahead of future drift
+    return bitcoin::OutPoint{block.transactions[0].txid(), 0};
+  };
+  auto spend = [&](const bitcoin::OutPoint& coin, int i) {
+    bitcoin::Transaction tx;
+    bitcoin::TxIn in;
+    in.prevout = coin;
+    tx.inputs.push_back(in);
+    tx.outputs.push_back(bitcoin::TxOut{49 * bitcoin::kCoin - i * 1000,
+                                        bitcoin::p2pkh_script(key_hash)});
+    auto lock = bitcoin::p2pkh_script(key_hash);
+    auto digest = bitcoin::legacy_sighash(tx, 0, lock);
+    tx.inputs[0].script_sig =
+        bitcoin::p2pkh_script_sig(key.sign(digest), key.public_key().compressed());
+    return tx;
+  };
+
+  std::vector<bitcoin::OutPoint> coins;
+  for (int i = 0; i < txs; ++i) coins.push_back(fund());
+  sim.run();
+
+  auto announce_bytes = [&] {
+    return counter(metrics, "net.bytes.inv") + counter(metrics, "net.bytes.reconsketch") +
+           counter(metrics, "net.bytes.recondiff") + counter(metrics, "net.bytes.reconfinalize");
+  };
+  auto announce_msgs = [&] {
+    return counter(metrics, "net.msg.inv") + counter(metrics, "net.msg.reconsketch") +
+           counter(metrics, "net.msg.recondiff") + counter(metrics, "net.msg.reconfinalize");
+  };
+  // Snapshot after funding: the deltas below exclude block-relay invs.
+  std::uint64_t bytes0 = announce_bytes();
+  std::uint64_t msgs0 = announce_msgs();
+  std::uint64_t inv0 = counter(metrics, "net.bytes.inv");
+
+  util::Rng origins(43);
+  std::vector<util::Hash256> txids;
+  for (int i = 0; i < txs; ++i) {
+    auto tx = spend(coins[static_cast<std::size_t>(i)], i);
+    txids.push_back(tx.txid());
+    nodes[origins.next_below(static_cast<std::uint64_t>(peers))]->submit_tx(tx);
+    // A sustained stream of 16 tx/s: arrivals span several reconciliation
+    // intervals, so sketches carry steady batches the divergence estimator
+    // can track rather than one untrackable spike, and the per-round fixed
+    // costs amortise over dense diffs.
+    if ((i + 1) % 4 == 0) sim.run_until(sim.now() + util::kSecond / 4);
+  }
+  sim.run();
+
+  ContinuousStats stats;
+  stats.announce_bytes = announce_bytes() - bytes0;
+  stats.announce_msgs = announce_msgs() - msgs0;
+  stats.inv_bytes = counter(metrics, "net.bytes.inv") - inv0;
+  stats.sketch_bytes = counter(metrics, "net.bytes.reconsketch");
+  stats.diff_bytes = counter(metrics, "net.bytes.recondiff");
+  stats.finalize_bytes = counter(metrics, "net.bytes.reconfinalize");
+  stats.rounds = counter(metrics, "relay.rounds_completed");
+  stats.bisections = counter(metrics, "relay.bisections");
+  stats.full_inv_fallbacks = counter(metrics, "relay.full_inv_fallbacks");
+  stats.fanout_invs = counter(metrics, "relay.fanout_invs");
+  for (const auto& node : nodes) {
+    for (const auto& txid : txids) {
+      if (!node->in_mempool(txid)) stats.converged = false;
+    }
+  }
+  return stats;
+}
+
+/// Returns {json fragment, gate passed}.
+std::pair<std::string, bool> run_continuous_table() {
+  const bool quick = std::getenv("ICBTC_BENCH_QUICK") != nullptr;
+  const int kPeers = 100;
+  // The gate needs a sustained stream: with too few transactions the fixed
+  // per-round sketch cost dominates and neither mode's asymptotic behaviour
+  // shows. 128 is past the knee; the full run doubles it.
+  const int kTxs = quick ? 256 : 512;
+  std::printf("\n--- continuous tx relay: announcement bytes (flood vs reconciliation) ---\n");
+  std::printf("peers=%d txs=%d%s\n", kPeers, kTxs, quick ? " (quick)" : "");
+
+  auto flood = run_continuous(btcnet::TxRelayMode::kFlood, kPeers, kTxs);
+  auto recon = run_continuous(btcnet::TxRelayMode::kReconcile, kPeers, kTxs);
+  double reduction = recon.announce_bytes == 0
+                         ? 0.0
+                         : static_cast<double>(flood.announce_bytes) /
+                               static_cast<double>(recon.announce_bytes);
+
+  std::printf("%-12s %-16s %-16s %-14s\n", "mode", "announce bytes", "announce msgs",
+              "bytes per tx");
+  std::printf("%-12s %-16llu %-16llu %-14llu\n", "flood",
+              static_cast<unsigned long long>(flood.announce_bytes),
+              static_cast<unsigned long long>(flood.announce_msgs),
+              static_cast<unsigned long long>(flood.announce_bytes / kTxs));
+  std::printf("%-12s %-16llu %-16llu %-14llu\n", "reconcile",
+              static_cast<unsigned long long>(recon.announce_bytes),
+              static_cast<unsigned long long>(recon.announce_msgs),
+              static_cast<unsigned long long>(recon.announce_bytes / kTxs));
+  std::printf("reduction: %.2fx  (rounds %llu, bisections %llu, full-inv %llu, fanout invs %llu)\n",
+              reduction, static_cast<unsigned long long>(recon.rounds),
+              static_cast<unsigned long long>(recon.bisections),
+              static_cast<unsigned long long>(recon.full_inv_fallbacks),
+              static_cast<unsigned long long>(recon.fanout_invs));
+  std::printf("reconcile breakdown: inv %llu, sketch %llu, diff %llu, finalize %llu\n",
+              static_cast<unsigned long long>(recon.inv_bytes),
+              static_cast<unsigned long long>(recon.sketch_bytes),
+              static_cast<unsigned long long>(recon.diff_bytes),
+              static_cast<unsigned long long>(recon.finalize_bytes));
+
+  char entry[768];
+  std::snprintf(entry, sizeof(entry),
+                "  \"continuous\": {\"peers\": %d, \"txs\": %d, "
+                "\"flood_announce_bytes\": %llu, \"flood_announce_msgs\": %llu, "
+                "\"recon_announce_bytes\": %llu, \"recon_announce_msgs\": %llu, "
+                "\"flood_over_recon\": %.4f, \"recon_rounds\": %llu, "
+                "\"recon_bisections\": %llu, \"recon_full_inv_fallbacks\": %llu, "
+                "\"recon_fanout_invs\": %llu, \"flood_converged\": %s, "
+                "\"recon_converged\": %s}",
+                kPeers, kTxs, static_cast<unsigned long long>(flood.announce_bytes),
+                static_cast<unsigned long long>(flood.announce_msgs),
+                static_cast<unsigned long long>(recon.announce_bytes),
+                static_cast<unsigned long long>(recon.announce_msgs), reduction,
+                static_cast<unsigned long long>(recon.rounds),
+                static_cast<unsigned long long>(recon.bisections),
+                static_cast<unsigned long long>(recon.full_inv_fallbacks),
+                static_cast<unsigned long long>(recon.fanout_invs),
+                flood.converged ? "true" : "false", recon.converged ? "true" : "false");
+
+  bool pass = true;
+  if (!flood.converged || !recon.converged) {
+    std::printf("GATE FAILED: a relay mode did not converge every mempool "
+                "(flood %s, reconcile %s)\n",
+                flood.converged ? "ok" : "diverged", recon.converged ? "ok" : "diverged");
+    pass = false;
+  }
+  if (reduction < 3.0) {
+    std::printf("GATE FAILED: announcement-bandwidth reduction %.2fx < 3x\n", reduction);
+    pass = false;
+  }
+  return {std::string(entry), pass};
 }
 
 bitcoin::Block make_bench_block(std::size_t txs) {
@@ -216,7 +427,20 @@ BENCHMARK(BM_CompactDecode)->Arg(16)->Arg(128)->Arg(1024)->Unit(benchmark::kMicr
 }  // namespace
 
 int main(int argc, char** argv) {
-  run_relay_table();
+  std::string scenarios = run_relay_table();
+  auto [continuous, pass] = run_continuous_table();
+
+  std::string json = "{\n  \"bench\": \"relay\",\n" + scenarios + ",\n" + continuous + "\n}\n";
+  std::printf("\n--- bench_relay JSON report ---\n%s", json.c_str());
+  if (const char* path = std::getenv("ICBTC_METRICS_JSON"); path != nullptr) {
+    if (std::FILE* f = std::fopen(path, "w"); f != nullptr) {
+      std::fwrite(json.data(), 1, json.size(), f);
+      std::fclose(f);
+      std::printf("(written to %s)\n", path);
+    }
+  }
+  if (!pass) return 1;
+
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

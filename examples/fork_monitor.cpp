@@ -20,8 +20,11 @@
 
 #include "bitcoin/address.h"
 #include "bitcoin/script.h"
+#include "btcnet/node.h"
 #include "canister/bitcoin_canister.h"
 #include "chain/block_builder.h"
+#include "crypto/ecdsa.h"
+#include "crypto/ripemd160.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
@@ -254,6 +257,80 @@ int main(int argc, char** argv) {
     parallel::shared_pool()->set_metrics(nullptr);
   }
   parallel::set_shared_pool(0);
+
+  // --- Transaction relay + fee market: the relay.* / mempool.* rows -------
+  // A three-node line relays a fee ladder by Erlay-style set reconciliation
+  // (fanout 0, so sketches are the only announcement channel), with one RBF
+  // bump and six-slot mempools that evict the cheapest arrivals. The relay.*
+  // and mempool.* exporter rows in the table below come from this traffic;
+  // everything runs on the simulated clock, so the counts are identical on
+  // every run.
+  std::printf("\nRelaying a fee ladder by set reconciliation (3-node line):\n");
+  {
+    util::Simulation sim;
+    btcnet::Network net(sim, util::Rng(31));
+    net.set_metrics(&metrics);
+    btcnet::NodeOptions options;
+    options.tx_relay_mode = btcnet::TxRelayMode::kReconcile;
+    options.flood_fanout = 0;
+    options.mempool_max_txs = 6;
+    btcnet::BitcoinNode alice(net, params, options);
+    btcnet::BitcoinNode bob(net, params, options);
+    btcnet::BitcoinNode carol(net, params, options);
+    for (auto* node : {&alice, &bob, &carol}) node->set_metrics(&metrics);
+    net.connect(alice.id(), bob.id());
+    net.connect(bob.id(), carol.id());
+    sim.run();
+
+    crypto::PrivateKey key = crypto::PrivateKey::from_seed(util::Bytes{7, 8, 9});
+    util::Hash160 key_hash = crypto::hash160(key.public_key().compressed());
+    util::Bytes lock = bitcoin::p2pkh_script(key_hash);
+    auto spend = [&](const bitcoin::OutPoint& from, bitcoin::Amount value) {
+      bitcoin::Transaction tx;
+      bitcoin::TxIn in;
+      in.prevout = from;
+      tx.inputs.push_back(in);
+      tx.outputs.push_back(bitcoin::TxOut{value, lock});
+      auto digest = bitcoin::legacy_sighash(tx, 0, lock);
+      tx.inputs[0].script_sig =
+          bitcoin::p2pkh_script_sig(key.sign(digest), key.public_key().compressed());
+      return tx;
+    };
+
+    // Nine coinbases to spend, mined 600 simulated seconds apart so the
+    // future-drift rule stays happy.
+    std::uint32_t chain_time = params.genesis_header.time;
+    std::uint64_t fund_tag = 9000;
+    std::vector<bitcoin::OutPoint> outpoints;
+    for (int i = 0; i < 9; ++i) {
+      sim.run_until(sim.now() + 600 * util::kSecond);
+      chain_time += 600;
+      auto block = chain::build_child_block(alice.tree(), alice.best_tip(), chain_time, lock,
+                                            50 * bitcoin::kCoin, {}, fund_tag++);
+      alice.submit_block(block);
+      outpoints.push_back(bitcoin::OutPoint{block.transactions[0].txid(), 0});
+    }
+    sim.run();
+
+    // A nine-rung fee ladder into six-slot mempools: the three cheapest
+    // spends fall out the bottom as the cap bites.
+    for (std::size_t i = 0; i < outpoints.size(); ++i) {
+      bitcoin::Amount fee = static_cast<bitcoin::Amount>(i + 1) * 100000;
+      alice.submit_tx(spend(outpoints[i], 50 * bitcoin::kCoin - fee));
+    }
+    sim.run();
+
+    // RBF: the top rung is bumped past its original fee, displacing the
+    // earlier spend in every mempool it already reached.
+    alice.submit_tx(spend(outpoints.back(), 50 * bitcoin::kCoin - 1200000));
+    sim.run();
+
+    std::printf("  mempools after the ladder: alice %zu, bob %zu, carol %zu (cap 6)\n",
+                alice.mempool_size(), bob.mempool_size(), carol.mempool_size());
+    std::printf("  fee floor at carol: %llu millisat/vbyte\n",
+                static_cast<unsigned long long>(carol.mempool_fee_floor()));
+    net.set_metrics(nullptr);
+  }
 
   std::printf("\n--- monitor metrics (obs::to_table) ---\n%s", obs::to_table(metrics).c_str());
 

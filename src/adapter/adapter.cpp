@@ -60,6 +60,8 @@ void BitcoinAdapter::set_metrics(obs::MetricsRegistry* registry) {
   metrics_.tx_evicted_expired = &registry->counter("adapter.tx_cache.evicted_expired");
   metrics_.tx_evicted_delivered = &registry->counter("adapter.tx_cache.evicted_delivered");
   metrics_.recent_tx_pool = &registry->gauge("adapter.recent_tx_pool");
+  metrics_.recon_sketches_answered = &registry->counter("adapter.recon.sketches_answered");
+  metrics_.recon_txs_learned = &registry->counter("adapter.recon.txs_learned");
   metrics_.cmpct_received = &registry->counter("adapter.cmpct.received");
   metrics_.cmpct_reconstructed = &registry->counter("adapter.cmpct.reconstructed");
   metrics_.cmpct_fallback_getblocktxn = &registry->counter("adapter.cmpct.fallback.getblocktxn");
@@ -175,6 +177,7 @@ void BitcoinAdapter::open_connections() {
 
 void BitcoinAdapter::on_disconnected(NodeId peer) {
   connections_.erase(peer);
+  recon_sets_.erase(peer);
   if (metrics_.peers != nullptr) metrics_.peers->set(static_cast<std::int64_t>(connections_.size()));
 }
 
@@ -232,6 +235,10 @@ void BitcoinAdapter::deliver(NodeId from, const Message& msg) {
           handle_cmpct_block(from, m);
         } else if constexpr (std::is_same_v<T, btcnet::MsgBlockTxn>) {
           handle_block_txn(from, m);
+        } else if constexpr (std::is_same_v<T, btcnet::MsgReconSketch>) {
+          handle_recon_sketch(from, m);
+        } else if constexpr (std::is_same_v<T, btcnet::MsgReconFinalize>) {
+          handle_recon_finalize(from, m);
         } else if constexpr (std::is_same_v<T, MsgGetHeaders>) {
           // The adapter is a leech: it does not serve headers.
         }
@@ -277,15 +284,92 @@ void BitcoinAdapter::handle_inv(NodeId from, const MsgInv& msg) {
   // Transaction inventory only matters for compact block fetch: the adapter
   // then maintains a pool of recently relayed transactions to reconstruct
   // compact blocks from. Otherwise it only pushes canister transactions out.
+  // Either way, the announcer holds these: drop them from its pending set.
+  if (config_.recon_relay) {
+    auto set = recon_sets_.find(from);
+    if (set != recon_sets_.end()) {
+      for (const auto& txid : msg.tx_ids) set->second.remove(txid);
+    }
+  }
   if (!config_.compact_block_fetch) return;
   MsgGetData request;
-  for (const auto& txid : msg.tx_ids) {
-    if (recent_txs_.contains(txid) || tx_cache_.contains(txid) ||
-        requested_txs_.contains(txid)) {
-      continue;
+  for (const auto& txid : msg.tx_ids) observe_tx_announcement(from, txid, request);
+  if (!request.tx_ids.empty()) network_->send(id_, from, std::move(request));
+}
+
+void BitcoinAdapter::observe_tx_announcement(NodeId from, const Hash256& txid,
+                                             MsgGetData& request) {
+  (void)from;
+  if (recent_txs_.contains(txid) || tx_cache_.contains(txid) || requested_txs_.contains(txid)) {
+    return;
+  }
+  requested_txs_.insert(txid);
+  request.tx_ids.push_back(txid);
+}
+
+reconcile::ReconSet& BitcoinAdapter::recon_set(NodeId peer) {
+  auto it = recon_sets_.find(peer);
+  if (it == recon_sets_.end()) {
+    it = recon_sets_
+             .emplace(peer,
+                      reconcile::ReconSet(reconcile::link_salt(id_, peer, config_.relay_salt)))
+             .first;
+  }
+  return it->second;
+}
+
+void BitcoinAdapter::handle_recon_sketch(NodeId from, const btcnet::MsgReconSketch& msg) {
+  // Passive responder: answer with our pending set for this link (canister
+  // transactions when recon_relay is on, empty otherwise — an empty set
+  // still decodes the initiator's side, which is what keeps node rounds
+  // from timing out against an adapter peer).
+  reconcile::ReconSet& set = recon_set(from);
+  std::size_t mine_before = set.part_size(msg.part);
+  reconcile::ReconDiffResult result = reconcile::respond_to_sketch(set, msg.sketch, msg.part);
+  btcnet::MsgReconDiff reply{msg.round, msg.part, result.decode_failed,
+                             static_cast<std::uint32_t>(mine_before),
+                             0,
+                             {},
+                             {}};
+  std::vector<const bitcoin::Transaction*> push;
+  if (!result.decode_failed) {
+    reply.want = std::move(result.want);
+    for (const auto& [short_id, txid] : result.have) {
+      // The decoded sketch proves the peer lacks this transaction: push the
+      // body outright instead of announcing the txid for a getdata pull.
+      auto cached = tx_cache_.find(txid);
+      if (cached != tx_cache_.end()) {
+        ++reply.have_count;
+        push.push_back(&cached->second.tx);
+        if (cached->second.delivered_to.insert(from).second &&
+            metrics_.tx_delivered != nullptr) {
+          metrics_.tx_delivered->inc();
+        }
+      } else {
+        reply.have_txs.push_back(txid);  // evicted from the cache mid-round
+      }
     }
-    requested_txs_.insert(txid);
-    request.tx_ids.push_back(txid);
+  }
+  if (metrics_.recon_sketches_answered != nullptr) metrics_.recon_sketches_answered->inc();
+  network_->send(id_, from, std::move(reply));
+  for (const bitcoin::Transaction* tx : push) network_->send(id_, from, btcnet::MsgTx{*tx});
+}
+
+void BitcoinAdapter::handle_recon_finalize(NodeId from, const btcnet::MsgReconFinalize& msg) {
+  // The initiator's exclusive transactions: pull them into the recent pool
+  // (the reconciliation-era replacement for learning the mempool via
+  // flooded invs).
+  if (config_.recon_relay) {
+    auto set = recon_sets_.find(from);
+    if (set != recon_sets_.end()) {
+      for (const auto& txid : msg.tx_ids) set->second.remove(txid);
+    }
+  }
+  if (!config_.compact_block_fetch) return;
+  MsgGetData request;
+  for (const auto& txid : msg.tx_ids) observe_tx_announcement(from, txid, request);
+  if (metrics_.recon_txs_learned != nullptr) {
+    metrics_.recon_txs_learned->inc(request.tx_ids.size());
   }
   if (!request.tx_ids.empty()) network_->send(id_, from, std::move(request));
 }
@@ -442,7 +526,13 @@ void BitcoinAdapter::advertise_transactions() {
   for (auto& [txid, cached] : tx_cache_) {
     for (NodeId peer : connections_) {
       if (cached.delivered_to.contains(peer)) continue;
-      network_->send(id_, peer, MsgInv{{}, {txid}});
+      if (config_.recon_relay) {
+        // Queue for the next sketch the peer initiates: the tx shows up as
+        // a `have` entry in our diff and the body is pushed outright.
+        recon_set(peer).add(txid);
+      } else {
+        network_->send(id_, peer, MsgInv{{}, {txid}});
+      }
     }
   }
 }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -20,6 +21,7 @@
 #include "obs/slo.h"
 #include "obs/trace.h"
 #include "reconcile/compact_block.h"
+#include "reconcile/recon_set.h"
 
 namespace icbtc::adapter {
 
@@ -52,6 +54,15 @@ struct AdapterConfig {
   util::SimTime block_request_retry = 5 * util::kSecond;
   /// Period of the address/connection maintenance timer.
   util::SimTime maintenance_interval = 2 * util::kSecond;
+  /// Network-wide relay seed; must match the nodes' NodeOptions::relay_salt
+  /// so both ends of a link derive the same short-id space. The adapter
+  /// always *answers* reconciliation sketches (it is a passive responder —
+  /// it never runs a cadence of its own).
+  std::uint64_t relay_salt = 0x69636274u;
+  /// Queue outbound (canister) transactions into the per-peer
+  /// reconciliation sets instead of periodically inv-flooding them; they
+  /// then ride out as `have` entries of the next sketch a peer sends.
+  bool recon_relay = false;
 
   static AdapterConfig for_params(const bitcoin::ChainParams& params);
 };
@@ -138,6 +149,13 @@ class BitcoinAdapter : public btcnet::Endpoint {
   void handle_tx(const btcnet::MsgTx& msg);
   void handle_cmpct_block(btcnet::NodeId from, const btcnet::MsgCmpctBlock& msg);
   void handle_block_txn(btcnet::NodeId from, const btcnet::MsgBlockTxn& msg);
+  void handle_recon_sketch(btcnet::NodeId from, const btcnet::MsgReconSketch& msg);
+  void handle_recon_finalize(btcnet::NodeId from, const btcnet::MsgReconFinalize& msg);
+  /// Requests an unknown transaction into the recent pool (compact fetch /
+  /// reconciliation observation path).
+  void observe_tx_announcement(btcnet::NodeId from, const util::Hash256& txid,
+                               btcnet::MsgGetData& request);
+  reconcile::ReconSet& recon_set(btcnet::NodeId peer);
   /// Stores a fully validated block and clears its pending-request entry.
   void store_block(const bitcoin::Block& block);
   /// Re-requests `hash` as a full block after compact reconstruction failed.
@@ -192,6 +210,11 @@ class BitcoinAdapter : public btcnet::Endpoint {
   std::unordered_map<util::Hash256, RecentTx> recent_txs_;
   std::unordered_set<util::Hash256> requested_txs_;
 
+  /// Per-peer reconciliation sets (the transactions this adapter holds and
+  /// the peer may lack), answered against incoming sketches. std::map keeps
+  /// responses deterministic.
+  std::map<btcnet::NodeId, reconcile::ReconSet> recon_sets_;
+
   // Compact blocks waiting for a getblocktxn answer.
   struct PendingCompact {
     reconcile::CompactBlock compact;
@@ -222,6 +245,8 @@ class BitcoinAdapter : public btcnet::Endpoint {
     obs::Counter* cmpct_reconstructed = nullptr;
     obs::Counter* cmpct_fallback_getblocktxn = nullptr;
     obs::Counter* cmpct_fallback_full = nullptr;
+    obs::Counter* recon_sketches_answered = nullptr;
+    obs::Counter* recon_txs_learned = nullptr;
   };
   Metrics metrics_;
   obs::Tracer* tracer_ = nullptr;

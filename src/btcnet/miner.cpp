@@ -60,7 +60,10 @@ bitcoin::Block Miner::mine_one() {
   std::int64_t mtp = tree.median_time_past(node_->best_tip());
   if (time <= mtp) time = static_cast<std::uint32_t>(mtp + 1);
 
-  auto txs = node_->mempool_snapshot();
+  // Fee-ordered template: highest feerate first (admission order as the
+  // tie-break, so zero-fee simulations mine exactly what they always did),
+  // parents always before children.
+  auto txs = node_->mempool_template();
   bitcoin::Block block = chain::build_child_block(
       tree, node_->best_tip(), time, coinbase_script_,
       bitcoin::block_subsidy(height / 210000), std::move(txs),

@@ -6,9 +6,11 @@ namespace icbtc::btcnet {
 
 namespace {
 // Indexed by the Message variant alternative order.
-constexpr const char* kTypeNames[] = {"inv",      "getheaders", "headers",     "getdata",
-                                      "block",    "notfound",   "tx",          "getaddr",
-                                      "addr",     "cmpctblock", "getblocktxn", "blocktxn"};
+constexpr const char* kTypeNames[] = {"inv",         "getheaders", "headers",
+                                      "getdata",     "block",      "notfound",
+                                      "tx",          "getaddr",    "addr",
+                                      "cmpctblock",  "getblocktxn", "blocktxn",
+                                      "reconsketch", "recondiff",  "reconfinalize"};
 static_assert(std::size(kTypeNames) == std::variant_size_v<Message>);
 }  // namespace
 
@@ -27,7 +29,9 @@ std::size_t message_size(const Message& msg) {
       return 9 + 36 * (m.block_hashes.size() + m.tx_ids.size());
     }
     std::size_t operator()(const MsgBlock& m) const { return 8 + m.block.size(); }
-    std::size_t operator()(const MsgNotFound& m) const { return 8 + 36 * m.block_hashes.size(); }
+    std::size_t operator()(const MsgNotFound& m) const {
+      return 8 + 36 * (m.block_hashes.size() + m.tx_ids.size());
+    }
     std::size_t operator()(const MsgTx& m) const { return 8 + m.tx.size(); }
     std::size_t operator()(const MsgGetAddr&) const { return 8; }
     std::size_t operator()(const MsgAddr& m) const { return 8 + 30 * m.addresses.size(); }
@@ -37,6 +41,16 @@ std::size_t message_size(const Message& msg) {
       std::size_t total = 8 + 32 + 3;
       for (const auto& tx : m.transactions) total += tx.size();
       return total;
+    }
+    std::size_t operator()(const MsgReconSketch& m) const {
+      return 8 + 4 + 1 + 4 + m.sketch.wire_size();
+    }
+    std::size_t operator()(const MsgReconDiff& m) const {
+      // Short ids travel as 6 bytes each; txids as full 32.
+      return 8 + 4 + 1 + 1 + 4 + 4 + 6 * m.want.size() + 32 * m.have_txs.size();
+    }
+    std::size_t operator()(const MsgReconFinalize& m) const {
+      return 8 + 4 + 1 + 32 * m.tx_ids.size();
     }
   };
   return std::visit(Sizer{}, msg);

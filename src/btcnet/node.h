@@ -3,6 +3,7 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -12,6 +13,7 @@
 #include "btcnet/network.h"
 #include "chain/header_tree.h"
 #include "reconcile/compact_block.h"
+#include "reconcile/recon_set.h"
 
 namespace icbtc::btcnet {
 
@@ -25,6 +27,15 @@ enum class BlockRelayMode {
   kCompact,
 };
 
+/// How a node announces newly accepted transactions.
+enum class TxRelayMode {
+  /// inv to every peer (classic flooding).
+  kFlood,
+  /// Erlay-style: inv to a small fanout subset, everyone else learns via
+  /// periodic per-link sketch reconciliation (src/reconcile/recon_set).
+  kReconcile,
+};
+
 struct NodeOptions {
   /// Verify P2PKH spends when admitting transactions to the mempool.
   bool verify_scripts = true;
@@ -35,6 +46,40 @@ struct NodeOptions {
   /// Block relay mode. Nodes always *accept* compact blocks; this selects
   /// what they send.
   BlockRelayMode relay_mode = BlockRelayMode::kFull;
+
+  /// Transaction relay mode. Nodes always *answer* reconciliation messages;
+  /// this selects how their own announcements go out.
+  TxRelayMode tx_relay_mode = TxRelayMode::kFlood;
+  /// Peers a new transaction is inv-flooded to in kReconcile mode; the rest
+  /// learn it through sketch exchange.
+  std::size_t flood_fanout = 2;
+  /// Reconciliation cadence. Ticks land on staggered per-node phases of this
+  /// interval (simulated time, so traces stay byte-identical).
+  util::SimTime recon_interval = 2 * util::kSecond;
+  /// A round with no response after this long is abandoned (its snapshot is
+  /// re-queued); three consecutive timeouts park the link until it
+  /// reconnects or new transactions arrive.
+  util::SimTime recon_timeout = 10 * util::kSecond;
+  /// Network-wide seed all per-link short-id salts and fanout ranks derive
+  /// from.
+  std::uint64_t relay_salt = 0x69636274u;
+
+  // Fee-market policy. The zero defaults keep the legacy permissive mempool
+  // (no floor, no cap, no expiry); RBF only changes behaviour when a
+  // replacement actually pays more.
+  /// Minimum feerate (millisatoshi per vbyte) to enter the mempool; also the
+  /// incremental rate an RBF replacement must pay over the evicted total.
+  std::uint64_t min_relay_fee_rate = 0;
+  /// Replace-by-fee: a conflicting transaction may displace mempool entries
+  /// when its feerate strictly beats every direct conflict and its absolute
+  /// fee covers the evicted fees plus the incremental rate.
+  bool replace_by_fee = true;
+  /// Mempool size cap in transactions (0 = unbounded). When full, arrivals
+  /// not beating the current fee floor are rejected; otherwise the
+  /// lowest-feerate entry (and its descendants) is evicted.
+  std::size_t mempool_max_txs = 0;
+  /// Transactions expire from the mempool after this long (0 = never).
+  util::SimTime mempool_tx_ttl = 0;
 };
 
 class BitcoinNode : public Endpoint {
@@ -63,6 +108,23 @@ class BitcoinNode : public Endpoint {
   /// Mempool transactions in admission order (miners consume this).
   std::vector<bitcoin::Transaction> mempool_snapshot() const;
 
+  /// Block template: transactions ordered by feerate (descending, admission
+  /// order as tie-break), parents always before children. Capped at
+  /// `max_txs` entries.
+  std::vector<bitcoin::Transaction> mempool_template(std::size_t max_txs = SIZE_MAX) const;
+
+  struct MempoolTxInfo {
+    bitcoin::Amount fee = 0;
+    std::size_t vsize = 0;
+    std::uint64_t feerate_milli = 0;  // millisatoshi per vbyte
+  };
+  std::optional<MempoolTxInfo> mempool_info(const util::Hash256& txid) const;
+  /// Lowest feerate currently in the mempool (msat/vbyte; 0 when empty).
+  std::uint64_t mempool_fee_floor() const;
+  /// Transactions queued for reconciliation with `peer` (0 when flooding or
+  /// no such link).
+  std::size_t recon_pending(NodeId peer) const;
+
   /// Locally submits a block (e.g. from an attached miner). Returns true if
   /// the block was accepted and stored.
   bool submit_block(const bitcoin::Block& block);
@@ -74,6 +136,7 @@ class BitcoinNode : public Endpoint {
   // Endpoint interface.
   void deliver(NodeId from, const Message& msg) override;
   void on_connected(NodeId peer) override;
+  void on_disconnected(NodeId peer) override;
 
   std::size_t blocks_accepted() const { return blocks_accepted_; }
   std::size_t reorg_count() const { return reorg_count_; }
@@ -101,11 +164,15 @@ class BitcoinNode : public Endpoint {
   void handle_get_data(NodeId from, const MsgGetData& msg);
   void handle_block(NodeId from, const MsgBlock& msg);
   void handle_tx(NodeId from, const MsgTx& msg);
+  void handle_not_found(NodeId from, const MsgNotFound& msg);
   void handle_get_addr(NodeId from);
   void handle_addr(NodeId from, const MsgAddr& msg);
   void handle_cmpct_block(NodeId from, const MsgCmpctBlock& msg);
   void handle_get_block_txn(NodeId from, const MsgGetBlockTxn& msg);
   void handle_block_txn(NodeId from, const MsgBlockTxn& msg);
+  void handle_recon_sketch(NodeId from, const MsgReconSketch& msg);
+  void handle_recon_diff(NodeId from, const MsgReconDiff& msg);
+  void handle_recon_finalize(NodeId from, const MsgReconFinalize& msg);
   /// Builds MsgCmpctBlock for `block`, sketch sized by the estimator.
   MsgCmpctBlock make_compact(const bitcoin::Block& block);
   /// Finishes a compact reconstruction: accept on success, full-getdata
@@ -117,11 +184,38 @@ class BitcoinNode : public Endpoint {
   /// Moves the UTXO view to the (possibly new) best chain.
   void update_active_chain();
   void relay_block_inv(const util::Hash256& hash, NodeId except);
-  void relay_tx_inv(const util::Hash256& txid, NodeId except);
+  /// Mode dispatch: flood invs everywhere, or fanout-inv + queue into the
+  /// per-peer reconciliation sets.
+  void announce_tx(const util::Hash256& txid, NodeId except);
   std::vector<util::Hash256> build_locator() const;
   std::int64_t now_s() const;
   /// Tries to connect orphan blocks whose parent just arrived.
   void try_connect_orphans();
+
+  // --- Continuous reconciliation (TxRelayMode::kReconcile) ---
+  struct ReconLink;
+  ReconLink& recon_link(NodeId peer);
+  /// Arms the cadence timer iff some link has unreconciled work.
+  void schedule_recon_tick();
+  /// Per-link phase slot key: spreads one node's rounds across the interval.
+  std::uint32_t recon_phase_key(NodeId peer) const;
+  void run_recon_ticks();
+  void start_recon_round(NodeId peer, ReconLink& link);
+  /// Timeout path: restores the round snapshot, counts the failure, parks
+  /// the link after three in a row.
+  void fail_recon_round(NodeId peer, ReconLink& link);
+  void finish_recon_round(ReconLink& link);
+  void send_tx_inv_chunked(NodeId peer, const std::vector<util::Hash256>& txids);
+
+  // --- Fee-market mempool maintenance ---
+  /// Removes one entry and all its bookkeeping (spends, fee index, expiry
+  /// timer, queued announcements). No-op when absent.
+  void remove_mempool_tx(const util::Hash256& txid);
+  /// Removes `txid` and every in-mempool descendant, counting each into
+  /// `reason` (when attached).
+  void evict_subtree(const util::Hash256& txid, obs::Counter* reason);
+  void enforce_mempool_cap();
+  void update_mempool_gauges();
 
   Network* network_;
   const bitcoin::ChainParams* params_;
@@ -145,11 +239,49 @@ class BitcoinNode : public Endpoint {
 
   struct MempoolEntry {
     bitcoin::Transaction tx;
-    std::uint64_t sequence;  // admission order
+    std::uint64_t sequence = 0;  // admission order
+    bitcoin::Amount fee = 0;
+    std::size_t vsize = 0;
+    std::uint64_t feerate_milli = 0;  // millisatoshi per vbyte
+    util::EventHandle expiry{};       // armed when mempool_tx_ttl > 0
   };
   std::unordered_map<util::Hash256, MempoolEntry> mempool_;
   std::unordered_map<bitcoin::OutPoint, util::Hash256> mempool_spends_;
+  /// (feerate_milli, sequence) -> txid, ascending: begin() is the eviction
+  /// candidate, and ties break deterministically by admission order.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, util::Hash256> fee_index_;
   std::uint64_t mempool_sequence_ = 0;
+
+  /// Per-peer reconciliation state (kReconcile mode; created lazily, dropped
+  /// on disconnect). std::map keeps round scheduling deterministic.
+  struct ReconLink {
+    reconcile::ReconSet set;
+    reconcile::DivergenceEstimator estimator{4.0};
+    bool round_active = false;
+    std::uint32_t round = 0;
+    /// Outstanding sketch parts this round (1, or 2 while bisecting).
+    std::uint8_t awaiting_parts = 0;
+    std::size_t round_cells = 0;
+    /// The diff estimate the active round's sketch was sized for; a failed
+    /// decode escalates geometrically from it rather than from the (far
+    /// larger) union bound.
+    std::size_t round_sized = 0;
+    std::size_t round_diff = 0;
+    std::uint32_t failed_rounds = 0;
+    /// Three consecutive timeouts (e.g. a partition) stop the cadence for
+    /// this link until it reconnects or new work arrives.
+    bool parked = false;
+    /// False until the first observed diff: a cold link sizes its sketch by
+    /// its own pending-set size instead of the (meaningless) prior mean.
+    bool warmed = false;
+    /// The set contents the active round is reconciling; arrivals during the
+    /// round accumulate in `set` for the next one.
+    std::map<std::uint64_t, util::Hash256> snapshot;
+    util::EventHandle timeout{};
+  };
+  std::map<NodeId, ReconLink> recon_links_;
+  std::uint32_t next_round_ = 1;
+  util::EventHandle recon_tick_{};
 
   // Inventory bookkeeping: what we already requested, to avoid floods.
   std::unordered_set<util::Hash256> requested_blocks_;
@@ -190,6 +322,22 @@ class BitcoinNode : public Endpoint {
     obs::Counter* cmpct_bytes_sketch = nullptr;
     obs::Counter* cmpct_bytes_full_equiv = nullptr;
     obs::Histogram* cmpct_sketch_cells = nullptr;
+    // Continuous tx relay (relay.*).
+    obs::Counter* relay_sketches_sent = nullptr;
+    obs::Counter* relay_sketch_bytes = nullptr;
+    obs::Counter* relay_diffs_decoded = nullptr;
+    obs::Counter* relay_diffs_failed = nullptr;
+    obs::Counter* relay_bisections = nullptr;
+    obs::Counter* relay_full_inv = nullptr;
+    obs::Counter* relay_fanout_invs = nullptr;
+    obs::Counter* relay_rounds = nullptr;
+    obs::Counter* relay_round_timeouts = nullptr;
+    obs::Histogram* relay_sketch_cells = nullptr;
+    // Fee market (mempool.*).
+    obs::Counter* mempool_rbf_replaced = nullptr;
+    obs::Counter* mempool_evicted_expired = nullptr;
+    obs::Counter* mempool_evicted_sizecap = nullptr;
+    obs::Gauge* mempool_fee_floor = nullptr;
   };
   Metrics metrics_;
   obs::Tracer* tracer_ = nullptr;

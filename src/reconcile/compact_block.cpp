@@ -22,8 +22,16 @@ std::size_t sketch_cells(std::size_t diff_slices) {
 }
 
 void DivergenceEstimator::observe(std::size_t diff_slices) {
-  constexpr double kAlpha = 0.25;
-  ewma_ += kAlpha * (static_cast<double>(diff_slices) - ewma_);
+  // Track recent rounds tightly: divergence is bursty, and a half-life of
+  // one observation means a drained link's sketches shrink back to the floor
+  // within a round or two instead of paying for a remembered burst. Decay
+  // is faster than growth because the cost asymmetry differs: an oversized
+  // sketch is pure waste on every subsequent round, while an undersized one
+  // costs a single (capped) bisection.
+  constexpr double kAlphaUp = 0.5;
+  constexpr double kAlphaDown = 0.7;
+  double obs = static_cast<double>(diff_slices);
+  ewma_ += (obs < ewma_ ? kAlphaDown : kAlphaUp) * (obs - ewma_);
 }
 
 std::size_t DivergenceEstimator::estimate() const {

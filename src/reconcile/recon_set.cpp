@@ -1,0 +1,290 @@
+#include "reconcile/recon_set.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "reconcile/murmur.h"
+#include "reconcile/txslice.h"
+
+namespace icbtc::reconcile {
+
+namespace {
+
+constexpr std::size_t kMinReconCells = 8;
+constexpr std::uint32_t kReconChecksumSeed = 0x52656c59;  // "RelY"
+
+std::size_t id_bytes(std::uint64_t short_id, std::uint8_t out[8]) {
+  for (int i = 0; i < 8; ++i) out[i] = static_cast<std::uint8_t>(short_id >> (8 * i));
+  return 8;
+}
+
+}  // namespace
+
+std::size_t recon_sketch_cells(std::size_t diff) {
+  // Piecewise sizing. Small IBLTs need a 2x + constant margin (peel failure
+  // at 1.5x sizing is 5-25% below ~50 cells, <1% at 2x+12), so oversizing
+  // there is far cheaper than the bisection a failed decode costs. Past ~50
+  // cells the peeling threshold takes over and ~1.55x + slack keeps the
+  // failure rate low at ~25% fewer wire bytes than the small-diff rule; the
+  // two segments join at diff 20/21 (52 -> 56 cells) so the law stays
+  // monotonic.
+  if (diff <= 20) return std::max(kMinReconCells, 2 * diff + 12);
+  return (diff * 31) / 20 + 24;  // 1.55x + 24, integer arithmetic
+}
+
+std::uint64_t link_salt(std::uint32_t a, std::uint32_t b, std::uint64_t network_salt) {
+  std::uint32_t lo = std::min(a, b);
+  std::uint32_t hi = std::max(a, b);
+  std::uint8_t buf[16];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<std::uint8_t>(lo >> (8 * i));
+  for (int i = 0; i < 4; ++i) buf[4 + i] = static_cast<std::uint8_t>(hi >> (8 * i));
+  for (int i = 0; i < 8; ++i) buf[8 + i] = static_cast<std::uint8_t>(network_salt >> (8 * i));
+  std::uint64_t h0 = murmur3_32(0x6c696e6b, util::ByteSpan(buf, 16));  // "link"
+  std::uint64_t h1 = murmur3_32(0x73616c74, util::ByteSpan(buf, 16));  // "salt"
+  return (h0 << 32) | h1;
+}
+
+ShortIdSketch::ShortIdSketch(std::size_t cells, std::uint64_t salt)
+    : salt_(salt), cells_(std::max(cells, kMinReconCells)) {}
+
+std::uint32_t ShortIdSketch::checksum(std::uint64_t short_id) const {
+  std::uint8_t buf[8];
+  std::size_t n = id_bytes(short_id, buf);
+  // Only 24 bits travel on the wire (kReconCellBytes); mask here so the
+  // in-memory purity check agrees with what a deserialized cell would hold.
+  return murmur3_32(static_cast<std::uint32_t>(salt_) ^ kReconChecksumSeed,
+                    util::ByteSpan(buf, n)) &
+         0xffffffu;
+}
+
+void ShortIdSketch::cell_indexes(std::uint64_t short_id, std::size_t out[kReconHashes]) const {
+  std::uint8_t buf[8];
+  std::size_t n = id_bytes(short_id, buf);
+  std::uint32_t seed = static_cast<std::uint32_t>(salt_ >> 32);
+  // Partitioned placement: each hash function owns a disjoint stripe of the
+  // table, so an id always occupies kReconHashes *distinct* cells. Letting
+  // the hashes share the full range would cancel an id's contribution
+  // whenever two of them collided, silently degrading it to a one-hash
+  // entry and wrecking the peel success rate near capacity.
+  std::size_t stripe = cells_.size() / kReconHashes;
+  for (std::size_t i = 0; i < kReconHashes; ++i) {
+    std::size_t base = i * stripe;
+    std::size_t span = (i + 1 == kReconHashes) ? cells_.size() - base : stripe;
+    out[i] = base + murmur3_32(seed + static_cast<std::uint32_t>(i) * 0x9e3779b9u,
+                               util::ByteSpan(buf, n)) %
+                        span;
+  }
+}
+
+void ShortIdSketch::apply(std::uint64_t short_id, int direction) {
+  std::size_t idx[kReconHashes];
+  cell_indexes(short_id, idx);
+  std::uint32_t check = checksum(short_id);
+  for (std::size_t i = 0; i < kReconHashes; ++i) {
+    Cell& cell = cells_[idx[i]];
+    cell.count += direction;
+    cell.id_sum ^= short_id;
+    cell.check_sum ^= check;
+  }
+}
+
+void ShortIdSketch::insert(std::uint64_t short_id) { apply(short_id, +1); }
+
+void ShortIdSketch::erase(std::uint64_t short_id) { apply(short_id, -1); }
+
+ShortIdSketch& ShortIdSketch::subtract(const ShortIdSketch& other) {
+  if (other.cells_.size() != cells_.size() || other.salt_ != salt_) {
+    throw std::invalid_argument("ShortIdSketch::subtract: mismatched geometry");
+  }
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    Cell& a = cells_[i];
+    const Cell& b = other.cells_[i];
+    a.count -= b.count;
+    a.id_sum ^= b.id_sum;
+    a.check_sum ^= b.check_sum;
+  }
+  return *this;
+}
+
+bool ShortIdSketch::empty() const {
+  for (const Cell& c : cells_) {
+    if (c.count != 0 || c.id_sum != 0 || c.check_sum != 0) return false;
+  }
+  return true;
+}
+
+ShortIdSketch::Peel ShortIdSketch::peel() const {
+  ShortIdSketch work = *this;
+  Peel result;
+
+  auto pure = [&work](std::size_t n) {
+    const Cell& c = work.cells_[n];
+    if (c.count != 1 && c.count != -1) return false;
+    return work.checksum(c.id_sum) == c.check_sum;
+  };
+
+  std::vector<std::size_t> queue;
+  for (std::size_t i = 0; i < work.cells_.size(); ++i) {
+    if (pure(i)) queue.push_back(i);
+  }
+
+  while (!queue.empty()) {
+    std::size_t n = queue.back();
+    queue.pop_back();
+    if (!pure(n)) continue;  // stale entry: a previous peel changed this cell
+
+    const Cell& c = work.cells_[n];
+    std::uint64_t id = c.id_sum;
+    int direction = c.count;  // +1: minuend-only, -1: subtrahend-only
+    (direction > 0 ? result.a_only : result.b_only).push_back(id);
+
+    std::size_t idx[kReconHashes];
+    work.cell_indexes(id, idx);
+    work.apply(id, -direction);
+    for (std::size_t i = 0; i < kReconHashes; ++i) {
+      if (pure(idx[i])) queue.push_back(idx[i]);
+    }
+  }
+
+  result.complete = work.empty();
+  std::sort(result.a_only.begin(), result.a_only.end());
+  std::sort(result.b_only.begin(), result.b_only.end());
+  return result;
+}
+
+std::size_t ShortIdSketch::wire_size() const {
+  // Cell count prefix plus the cells. The 64-bit link salt is negotiated once
+  // at connection time (both sides derive it from link_salt), so per-round
+  // sketches do not resend it.
+  return 4 + cells_.size() * kReconCellBytes;
+}
+
+bool id_in_part(std::uint64_t short_id, std::uint8_t part) {
+  if (part == 0) return true;
+  return (short_id & 1) == (part == 1 ? 0u : 1u);
+}
+
+bool ReconSet::add(const util::Hash256& txid) {
+  std::uint64_t id = short_tx_id(txid, salt_);
+  auto [it, inserted] = entries_.emplace(id, txid);
+  (void)it;
+  return inserted;
+}
+
+bool ReconSet::remove(const util::Hash256& txid) {
+  return entries_.erase(short_tx_id(txid, salt_)) > 0;
+}
+
+const util::Hash256* ReconSet::find_id(std::uint64_t short_id) const {
+  auto it = entries_.find(short_id);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+bool ReconSet::contains(const util::Hash256& txid) const {
+  auto it = entries_.find(short_tx_id(txid, salt_));
+  return it != entries_.end() && it->second == txid;
+}
+
+ShortIdSketch ReconSet::sketch(std::size_t cells, std::uint8_t part) const {
+  ShortIdSketch out(cells, salt_);
+  for (const auto& [id, txid] : entries_) {
+    if (id_in_part(id, part)) out.insert(id);
+  }
+  return out;
+}
+
+std::size_t ReconSet::part_size(std::uint8_t part) const {
+  if (part == 0) return entries_.size();
+  std::size_t n = 0;
+  for (const auto& [id, txid] : entries_) {
+    if (id_in_part(id, part)) ++n;
+  }
+  return n;
+}
+
+std::vector<util::Hash256> ReconSet::txids() const {
+  std::vector<util::Hash256> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, txid] : entries_) out.push_back(txid);
+  return out;
+}
+
+std::map<std::uint64_t, util::Hash256> ReconSet::take_snapshot() {
+  return std::exchange(entries_, {});
+}
+
+void ReconSet::restore_snapshot(std::map<std::uint64_t, util::Hash256> snapshot) {
+  // Arrivals during the round stay; the snapshot fills in around them.
+  entries_.merge(snapshot);
+}
+
+ReconDiffResult respond_to_sketch(ReconSet& set, const ShortIdSketch& received,
+                                  std::uint8_t part) {
+  ShortIdSketch mine = set.sketch(received.cell_count(), part);
+  // Subtracting leaves (initiator − this side) with positive counts and
+  // (this side − initiator) negative.
+  ShortIdSketch diff = received;
+  diff.subtract(mine);
+  auto peel = diff.peel();
+  ReconDiffResult result;
+  if (!peel.complete) {
+    result.decode_failed = true;
+    return result;
+  }
+  result.want = std::move(peel.a_only);
+
+  // Everything of ours in this part either cancelled (the initiator has it
+  // too — drop, nothing to announce) or appears in b_only (ours alone —
+  // hand to the caller to announce, and drop from the set either way).
+  std::vector<std::uint64_t> ours;
+  for (const auto& [id, txid] : set.entries()) {
+    if (id_in_part(id, part)) ours.push_back(id);
+  }
+  for (std::uint64_t id : ours) {
+    const util::Hash256* txid = set.find_id(id);
+    if (std::binary_search(peel.b_only.begin(), peel.b_only.end(), id)) {
+      result.have.emplace_back(id, *txid);
+    }
+  }
+  for (std::uint64_t id : ours) {
+    const util::Hash256 txid = *set.find_id(id);
+    set.remove(txid);
+  }
+  return result;
+}
+
+std::vector<std::uint32_t> select_fanout_peers(const util::Hash256& txid,
+                                               std::vector<std::uint32_t> peers,
+                                               std::size_t fanout, std::uint64_t salt) {
+  if (peers.size() <= fanout) return peers;
+  auto rank = [&](std::uint32_t peer) {
+    return murmur3_32(static_cast<std::uint32_t>(salt) ^ peer,
+                      util::ByteSpan(txid.data.data(), txid.data.size()));
+  };
+  std::sort(peers.begin(), peers.end(), [&](std::uint32_t a, std::uint32_t b) {
+    std::uint32_t ra = rank(a), rb = rank(b);
+    return ra != rb ? ra < rb : a < b;
+  });
+  peers.resize(fanout);
+  std::sort(peers.begin(), peers.end());
+  return peers;
+}
+
+std::int64_t next_recon_tick(std::int64_t now, std::int64_t interval, std::uint32_t node_id) {
+  if (interval <= 0) interval = 1;
+  // 32 phase slots: the fewer nodes share a slot, the fewer simultaneous
+  // rounds race to push the same transaction to a common neighbour (the
+  // first push lands, later rounds see it cancel in the sketch instead of
+  // spending diff entries on a duplicate). The slot width still has to
+  // exceed a round's sketch→diff→push latency or staggering does nothing.
+  std::int64_t phase = static_cast<std::int64_t>(node_id % 32) * (interval / 32);
+  // First boundary-with-phase strictly after now.
+  std::int64_t k = (now - phase) / interval + 1;
+  if (k * interval + phase <= now) ++k;
+  std::int64_t tick = k * interval + phase;
+  while (tick - interval > now && tick - interval >= phase) tick -= interval;
+  return tick;
+}
+
+}  // namespace icbtc::reconcile

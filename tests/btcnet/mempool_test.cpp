@@ -1,0 +1,272 @@
+// Fee-market mempool policy: RBF replacement, size-cap eviction with a fee
+// floor, TTL expiry, and the fee-ordered block template.
+#include <gtest/gtest.h>
+
+#include "bitcoin/script.h"
+#include "btcnet/node.h"
+#include "chain/block_builder.h"
+#include "crypto/ecdsa.h"
+#include "crypto/ripemd160.h"
+#include "obs/metrics.h"
+
+namespace icbtc::btcnet {
+namespace {
+
+class MempoolTest : public ::testing::Test {
+ protected:
+  BitcoinNode& make_node(NodeOptions options) {
+    node_ = std::make_unique<BitcoinNode>(net_, params_, options);
+    node_->set_metrics(&registry_);
+    return *node_;
+  }
+
+  /// Mines a block paying the coinbase to our key, returns the outpoint.
+  bitcoin::OutPoint fund() {
+    fund_time_ += 600;
+    auto block = chain::build_child_block(node_->tree(), node_->best_tip(), fund_time_,
+                                          bitcoin::p2pkh_script(key_hash_),
+                                          50 * bitcoin::kCoin, {}, next_tag_++);
+    EXPECT_TRUE(node_->submit_block(block));
+    return bitcoin::OutPoint{block.transactions[0].txid(), 0};
+  }
+
+  /// One-input spend of `from_outpoint` paying `value` back to our key; the
+  /// difference is the fee.
+  bitcoin::Transaction spend(const bitcoin::OutPoint& from_outpoint, bitcoin::Amount value) {
+    return spend_many({from_outpoint}, value);
+  }
+
+  bitcoin::Transaction spend_many(const std::vector<bitcoin::OutPoint>& outpoints,
+                                  bitcoin::Amount value) {
+    bitcoin::Transaction tx;
+    for (const auto& outpoint : outpoints) {
+      bitcoin::TxIn in;
+      in.prevout = outpoint;
+      tx.inputs.push_back(in);
+    }
+    tx.outputs.push_back(bitcoin::TxOut{value, bitcoin::p2pkh_script(key_hash_)});
+    auto lock = bitcoin::p2pkh_script(key_hash_);
+    for (std::size_t i = 0; i < tx.inputs.size(); ++i) {
+      auto digest = bitcoin::legacy_sighash(tx, i, lock);
+      tx.inputs[i].script_sig =
+          bitcoin::p2pkh_script_sig(key_.sign(digest), key_.public_key().compressed());
+    }
+    return tx;
+  }
+
+  std::uint64_t counter(const std::string& name) {
+    return registry_.counter(name).value();
+  }
+
+  util::Simulation sim_;
+  Network net_{sim_, util::Rng(21)};
+  const bitcoin::ChainParams& params_ = bitcoin::ChainParams::regtest();
+  obs::MetricsRegistry registry_;
+  std::unique_ptr<BitcoinNode> node_;
+  crypto::PrivateKey key_ = crypto::PrivateKey::from_seed(util::Bytes{4, 5, 6});
+  util::Hash160 key_hash_ = crypto::hash160(key_.public_key().compressed());
+  std::uint64_t next_tag_ = 2000;
+  std::uint32_t fund_time_ = params_.genesis_header.time;
+};
+
+TEST_F(MempoolTest, FeeAndFeerateExposed) {
+  auto& node = make_node({});
+  auto outpoint = fund();
+  auto tx = spend(outpoint, 49 * bitcoin::kCoin);
+  ASSERT_TRUE(node.submit_tx(tx));
+  auto info = node.mempool_info(tx.txid());
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->fee, bitcoin::kCoin);
+  EXPECT_EQ(info->vsize, tx.size());
+  EXPECT_EQ(info->feerate_milli,
+            static_cast<std::uint64_t>(bitcoin::kCoin) * 1000 / tx.size());
+  EXPECT_FALSE(node.mempool_info(outpoint.txid).has_value());  // not in pool
+}
+
+TEST_F(MempoolTest, RbfHigherFeerateReplaces) {
+  auto& node = make_node({});
+  auto outpoint = fund();
+  auto tx1 = spend(outpoint, 49 * bitcoin::kCoin);              // fee 1 BTC
+  auto tx2 = spend(outpoint, 48 * bitcoin::kCoin);              // fee 2 BTC
+  ASSERT_TRUE(node.submit_tx(tx1));
+  EXPECT_TRUE(node.submit_tx(tx2));
+  EXPECT_FALSE(node.in_mempool(tx1.txid()));
+  EXPECT_TRUE(node.in_mempool(tx2.txid()));
+  EXPECT_EQ(node.mempool_size(), 1u);
+  EXPECT_EQ(counter("mempool.rbf_replaced"), 1u);
+}
+
+TEST_F(MempoolTest, RbfDisabledRejectsAnyConflict) {
+  NodeOptions options;
+  options.replace_by_fee = false;
+  auto& node = make_node(options);
+  auto outpoint = fund();
+  auto tx1 = spend(outpoint, 49 * bitcoin::kCoin);
+  auto tx2 = spend(outpoint, 40 * bitcoin::kCoin);  // much higher fee
+  ASSERT_TRUE(node.submit_tx(tx1));
+  EXPECT_FALSE(node.submit_tx(tx2));
+  EXPECT_TRUE(node.in_mempool(tx1.txid()));
+}
+
+TEST_F(MempoolTest, RbfReplacementEvictsDescendants) {
+  auto& node = make_node({});
+  auto outpoint = fund();
+  auto tx1 = spend(outpoint, 49 * bitcoin::kCoin);
+  ASSERT_TRUE(node.submit_tx(tx1));
+  auto child = spend(bitcoin::OutPoint{tx1.txid(), 0}, 48 * bitcoin::kCoin);
+  ASSERT_TRUE(node.submit_tx(child));
+  // Replaces tx1; the now-parentless child must go with it.
+  auto tx2 = spend(outpoint, 46 * bitcoin::kCoin);
+  EXPECT_TRUE(node.submit_tx(tx2));
+  EXPECT_FALSE(node.in_mempool(tx1.txid()));
+  EXPECT_FALSE(node.in_mempool(child.txid()));
+  EXPECT_EQ(node.mempool_size(), 1u);
+  EXPECT_EQ(counter("mempool.rbf_replaced"), 2u);
+}
+
+TEST_F(MempoolTest, RbfRequiresAbsoluteFeeIncrement) {
+  NodeOptions options;
+  // An extreme incremental rate (~0.192 BTC on a ~192-vbyte tx) so the
+  // feerate and absolute-increment rules separate cleanly even though DER
+  // signature lengths make vsize vary by a couple of bytes.
+  options.min_relay_fee_rate = 100'000'000;
+  auto& node = make_node(options);
+  auto outpoint = fund();
+  auto tx1 = spend(outpoint, 49 * bitcoin::kCoin);
+  ASSERT_TRUE(node.submit_tx(tx1));
+  // +0.05 BTC: strictly higher feerate, but far short of the increment.
+  auto cheap = spend(outpoint, 49 * bitcoin::kCoin - 5'000'000);
+  EXPECT_FALSE(node.submit_tx(cheap));
+  EXPECT_TRUE(node.in_mempool(tx1.txid()));
+  // +1 BTC clears the increment comfortably.
+  auto paid = spend(outpoint, 48 * bitcoin::kCoin);
+  EXPECT_TRUE(node.submit_tx(paid));
+  EXPECT_FALSE(node.in_mempool(tx1.txid()));
+}
+
+TEST_F(MempoolTest, RbfReplacementMayNotSpendConflictOutputs) {
+  auto& node = make_node({});
+  auto o1 = fund();
+  auto o2 = fund();
+  auto tx1 = spend(o1, 49 * bitcoin::kCoin);
+  ASSERT_TRUE(node.submit_tx(tx1));
+  // Conflicts with tx1 on o1 while also spending tx1's own output: it would
+  // depend on a transaction it evicts.
+  auto tx2 = spend_many({o1, bitcoin::OutPoint{tx1.txid(), 0}}, 40 * bitcoin::kCoin);
+  EXPECT_FALSE(node.submit_tx(tx2));
+  EXPECT_TRUE(node.in_mempool(tx1.txid()));
+  // Sanity: the same shape without the conflict input is fine.
+  auto tx3 = spend_many({o2, bitcoin::OutPoint{tx1.txid(), 0}}, 40 * bitcoin::kCoin);
+  EXPECT_TRUE(node.submit_tx(tx3));
+}
+
+TEST_F(MempoolTest, MinRelayFeeRateGatesAdmission) {
+  NodeOptions options;
+  options.min_relay_fee_rate = 1'000'000;  // 1000 sat/vbyte
+  auto& node = make_node(options);
+  auto o1 = fund();
+  auto o2 = fund();
+  // ~192 vbytes * 1000 sat/vbyte = ~192k sats minimum fee.
+  EXPECT_FALSE(node.submit_tx(spend(o1, 50 * bitcoin::kCoin - 100'000)));
+  EXPECT_TRUE(node.submit_tx(spend(o2, 50 * bitcoin::kCoin - 1'000'000)));
+}
+
+TEST_F(MempoolTest, SizeCapEvictsLowestFeerateSubtree) {
+  NodeOptions options;
+  options.mempool_max_txs = 2;
+  auto& node = make_node(options);
+  auto o1 = fund();
+  auto o2 = fund();
+  auto o3 = fund();
+  auto low = spend(o1, 50 * bitcoin::kCoin - 100'000);     // 100k sats fee
+  auto mid = spend(o2, 50 * bitcoin::kCoin - 200'000);     // 200k
+  auto high = spend(o3, 50 * bitcoin::kCoin - 300'000);    // 300k
+  ASSERT_TRUE(node.submit_tx(low));
+  ASSERT_TRUE(node.submit_tx(mid));
+  EXPECT_EQ(node.mempool_fee_floor(), node.mempool_info(low.txid())->feerate_milli);
+  // Third arrival beats the floor: the lowest-feerate entry is evicted.
+  EXPECT_TRUE(node.submit_tx(high));
+  EXPECT_EQ(node.mempool_size(), 2u);
+  EXPECT_FALSE(node.in_mempool(low.txid()));
+  EXPECT_EQ(counter("mempool.evicted_sizecap"), 1u);
+  // The floor rose; an arrival at or below it is rejected outright.
+  auto o4 = fund();
+  EXPECT_FALSE(node.submit_tx(spend(o4, 50 * bitcoin::kCoin - 150'000)));
+  EXPECT_EQ(node.mempool_size(), 2u);
+  EXPECT_TRUE(node.in_mempool(mid.txid()));
+  EXPECT_TRUE(node.in_mempool(high.txid()));
+}
+
+TEST_F(MempoolTest, TtlExpiresTransactionsWithDescendants) {
+  NodeOptions options;
+  options.mempool_tx_ttl = 60 * util::kSecond;
+  auto& node = make_node(options);
+  auto outpoint = fund();
+  auto tx = spend(outpoint, 49 * bitcoin::kCoin);
+  ASSERT_TRUE(node.submit_tx(tx));
+  auto child = spend(bitcoin::OutPoint{tx.txid(), 0}, 48 * bitcoin::kCoin);
+  ASSERT_TRUE(node.submit_tx(child));
+  sim_.run_until(59 * util::kSecond);
+  EXPECT_EQ(node.mempool_size(), 2u);
+  sim_.run_until(61 * util::kSecond);
+  EXPECT_EQ(node.mempool_size(), 0u);
+  EXPECT_EQ(counter("mempool.evicted_expired"), 2u);
+}
+
+TEST_F(MempoolTest, MinedTransactionDoesNotExpireLater) {
+  NodeOptions options;
+  options.mempool_tx_ttl = 60 * util::kSecond;
+  auto& node = make_node(options);
+  auto outpoint = fund();
+  auto tx = spend(outpoint, 49 * bitcoin::kCoin);
+  ASSERT_TRUE(node.submit_tx(tx));
+  // Mine it before the TTL fires; the stale timer must not touch anything.
+  fund_time_ += 600;
+  auto block = chain::build_child_block(node.tree(), node.best_tip(), fund_time_,
+                                        bitcoin::p2pkh_script(key_hash_),
+                                        50 * bitcoin::kCoin, {tx}, next_tag_++);
+  ASSERT_TRUE(node.submit_block(block));
+  EXPECT_EQ(node.mempool_size(), 0u);
+  sim_.run_until(61 * util::kSecond);
+  EXPECT_EQ(counter("mempool.evicted_expired"), 0u);
+  EXPECT_TRUE(node.utxos().contains(bitcoin::OutPoint{tx.txid(), 0}));
+}
+
+TEST_F(MempoolTest, TemplateOrdersByFeerateParentsFirst) {
+  auto& node = make_node({});
+  auto o1 = fund();
+  auto o2 = fund();
+  auto cheap = spend(o1, 50 * bitcoin::kCoin - 100'000);
+  auto rich = spend(o2, 49 * bitcoin::kCoin);
+  ASSERT_TRUE(node.submit_tx(cheap));
+  ASSERT_TRUE(node.submit_tx(rich));
+  // A child of `cheap` paying even more than `rich`: it must still follow
+  // its parent in the template.
+  auto child = spend(bitcoin::OutPoint{cheap.txid(), 0}, 45 * bitcoin::kCoin);
+  ASSERT_TRUE(node.submit_tx(child));
+
+  auto txs = node.mempool_template();
+  ASSERT_EQ(txs.size(), 3u);
+  EXPECT_EQ(txs[0].txid(), rich.txid());
+  EXPECT_EQ(txs[1].txid(), cheap.txid());
+  EXPECT_EQ(txs[2].txid(), child.txid());
+
+  auto capped = node.mempool_template(1);
+  ASSERT_EQ(capped.size(), 1u);
+  EXPECT_EQ(capped[0].txid(), rich.txid());
+}
+
+TEST_F(MempoolTest, FeeFloorGaugeTracksIndex) {
+  auto& node = make_node({});
+  EXPECT_EQ(node.mempool_fee_floor(), 0u);
+  auto o1 = fund();
+  auto tx = spend(o1, 49 * bitcoin::kCoin);
+  ASSERT_TRUE(node.submit_tx(tx));
+  auto floor = node.mempool_fee_floor();
+  EXPECT_EQ(floor, node.mempool_info(tx.txid())->feerate_milli);
+  EXPECT_EQ(registry_.gauge("mempool.fee_floor").value(),
+            static_cast<std::int64_t>(floor));
+}
+
+}  // namespace
+}  // namespace icbtc::btcnet

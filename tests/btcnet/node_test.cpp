@@ -146,9 +146,12 @@ TEST_F(SpendTest, UnknownInputRejected) {
 TEST_F(SpendTest, DoubleSpendRejected) {
   auto outpoint = fund();
   auto tx1 = spend(outpoint, 49 * bitcoin::kCoin);
-  auto tx2 = spend(outpoint, 48 * bitcoin::kCoin);
+  // tx2 conflicts with tx1 but pays a *lower* fee, so it is not a valid RBF
+  // replacement either (higher-fee replacement is covered in mempool_test).
+  auto tx2 = spend(outpoint, 49 * bitcoin::kCoin + bitcoin::kCoin / 2);
   EXPECT_TRUE(alice_.submit_tx(tx1));
   EXPECT_FALSE(alice_.submit_tx(tx2));
+  EXPECT_TRUE(alice_.in_mempool(tx1.txid()));
 }
 
 TEST_F(SpendTest, MempoolChaining) {

@@ -1,0 +1,361 @@
+#include "reconcile/recon_set.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "reconcile/txslice.h"
+
+namespace icbtc::reconcile {
+namespace {
+
+util::Hash256 make_txid(std::uint64_t tag) {
+  util::Hash256 h{};
+  for (std::size_t i = 0; i < 8; ++i) h.data[i] = static_cast<std::uint8_t>(tag >> (8 * i));
+  h.data[31] = 0xab;
+  return h;
+}
+
+TEST(ReconSketchCellsTest, SizesWithSlackAndFloor) {
+  EXPECT_EQ(recon_sketch_cells(0), 12u);  // the 2x+12 constant floor
+  EXPECT_EQ(recon_sketch_cells(1), 14u);
+  EXPECT_EQ(recon_sketch_cells(4), 20u);
+  EXPECT_EQ(recon_sketch_cells(10), 32u);
+  EXPECT_EQ(recon_sketch_cells(20), 52u);   // last of the 2x+12 segment...
+  EXPECT_EQ(recon_sketch_cells(21), 56u);   // ...and the join stays monotonic
+  EXPECT_EQ(recon_sketch_cells(100), 179u);  // ~1.55x past the knee
+}
+
+TEST(LinkSaltTest, SymmetricPerLink) {
+  // Both endpoints must derive the same salt regardless of argument order.
+  EXPECT_EQ(link_salt(3, 17, 0xfeed), link_salt(17, 3, 0xfeed));
+  EXPECT_EQ(link_salt(0, 1, 0), link_salt(1, 0, 0));
+}
+
+TEST(LinkSaltTest, DistinctLinksGetDistinctSalts) {
+  std::set<std::uint64_t> salts;
+  for (std::uint32_t a = 0; a < 8; ++a) {
+    for (std::uint32_t b = a + 1; b < 8; ++b) {
+      salts.insert(link_salt(a, b, 0x1234));
+    }
+  }
+  EXPECT_EQ(salts.size(), 28u);  // all 8-choose-2 links differ
+  // And the network salt perturbs every link.
+  EXPECT_NE(link_salt(1, 2, 0x1234), link_salt(1, 2, 0x1235));
+}
+
+TEST(ShortIdSketchTest, InsertEraseRoundTrip) {
+  ShortIdSketch sketch(16, 0x5a17);
+  EXPECT_TRUE(sketch.empty());
+  sketch.insert(0x123456);
+  sketch.insert(0xabcdef);
+  EXPECT_FALSE(sketch.empty());
+  sketch.erase(0x123456);
+  sketch.erase(0xabcdef);
+  EXPECT_TRUE(sketch.empty());
+}
+
+TEST(ShortIdSketchTest, MinimumCellCountEnforced) {
+  EXPECT_EQ(ShortIdSketch(0, 1).cell_count(), 8u);
+  EXPECT_EQ(ShortIdSketch(3, 1).cell_count(), 8u);
+  EXPECT_EQ(ShortIdSketch(20, 1).cell_count(), 20u);
+}
+
+TEST(ShortIdSketchTest, WireSizeCountsHeaderAndCells) {
+  // 4-byte cell count + cells; the link salt is negotiated at connection
+  // time, not resent with every sketch.
+  EXPECT_EQ(ShortIdSketch(16, 0).wire_size(), 4u + 16u * kReconCellBytes);
+}
+
+TEST(ShortIdSketchTest, SubtractPeelsSymmetricDifference) {
+  constexpr std::uint64_t kSalt = 0x1ceb00da;
+  ShortIdSketch a(32, kSalt), b(32, kSalt);
+  // Shared ids cancel; exclusive ones peel out on the right side.
+  for (std::uint64_t id : {1001u, 1002u, 1003u}) {
+    a.insert(id);
+    b.insert(id);
+  }
+  a.insert(42);
+  a.insert(77);
+  b.insert(99);
+
+  a.subtract(b);
+  auto peel = a.peel();
+  ASSERT_TRUE(peel.complete);
+  EXPECT_EQ(peel.a_only, (std::vector<std::uint64_t>{42, 77}));
+  EXPECT_EQ(peel.b_only, (std::vector<std::uint64_t>{99}));
+}
+
+TEST(ShortIdSketchTest, SubtractRequiresMatchingGeometry) {
+  ShortIdSketch a(16, 1), wrong_cells(32, 1), wrong_salt(16, 2);
+  EXPECT_THROW(a.subtract(wrong_cells), std::invalid_argument);
+  EXPECT_THROW(a.subtract(wrong_salt), std::invalid_argument);
+}
+
+TEST(ShortIdSketchTest, UndersizedSketchReportsFailureNotGarbage) {
+  constexpr std::uint64_t kSalt = 7;
+  ShortIdSketch a(8, kSalt), b(8, kSalt);
+  // 64 exclusive ids into 8 cells cannot peel.
+  for (std::uint64_t i = 0; i < 64; ++i) a.insert(0x10000 + i);
+  a.subtract(b);
+  auto peel = a.peel();
+  EXPECT_FALSE(peel.complete);
+}
+
+// Satellite: pin the peel-decode boundary. recon_sketch_cells(d) must decode
+// a symmetric difference of d with high reliability across capacities, and
+// the failure mode past the boundary must stay detectable (complete=false),
+// never a silently wrong diff.
+TEST(ShortIdSketchTest, PeelBoundarySweepAcrossCapacities) {
+  int sized_failures = 0;
+  for (std::size_t diff : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
+    for (std::uint64_t trial = 0; trial < 4; ++trial) {
+      std::uint64_t salt = link_salt(static_cast<std::uint32_t>(trial),
+                                     static_cast<std::uint32_t>(diff), 0xb0a7);
+      std::size_t cells = recon_sketch_cells(diff);
+      ShortIdSketch a(cells, salt), b(cells, salt);
+      std::vector<std::uint64_t> a_ids, b_ids;
+      for (std::size_t i = 0; i < diff; ++i) {
+        // Half the difference on each side, disjoint id ranges.
+        std::uint64_t id = short_tx_id(make_txid(trial * 1000 + i), salt);
+        if (i % 2 == 0) {
+          a.insert(id);
+          a_ids.push_back(id);
+        } else {
+          b.insert(id);
+          b_ids.push_back(id);
+        }
+      }
+      std::sort(a_ids.begin(), a_ids.end());
+      std::sort(b_ids.begin(), b_ids.end());
+      a.subtract(b);
+      auto peel = a.peel();
+      if (!peel.complete) {
+        ++sized_failures;
+        continue;  // detectable failure is acceptable, wrongness is not
+      }
+      EXPECT_EQ(peel.a_only, a_ids) << "diff=" << diff << " trial=" << trial;
+      EXPECT_EQ(peel.b_only, b_ids) << "diff=" << diff << " trial=" << trial;
+    }
+  }
+  // The piecewise sizing (2d+12 up to diff 20, ~1.55x+24 beyond) must make
+  // correctly-sized decode failures rare: allow at most one unlucky
+  // (diff, trial) combination out of 32.
+  EXPECT_LE(sized_failures, 1);
+}
+
+// Satellite: past the boundary, bisection must always terminate — each
+// parity half holds ~d/2 ids against the same cell count (2x effective
+// capacity), and whether a half decodes or not the protocol has a finite
+// next step (success or full-inv). Verify halves partition the difference
+// exactly when they decode.
+TEST(ShortIdSketchTest, BisectionHalvesPartitionTheDifference) {
+  for (std::size_t diff : {24u, 48u, 96u, 192u}) {
+    std::uint64_t salt = link_salt(5, static_cast<std::uint32_t>(diff), 0xb15ec7);
+    // Deliberately undersized whole-set sketch: capacity for diff/8, i.e. a
+    // load well past any chance of peeling the whole set.
+    std::size_t cells = recon_sketch_cells(diff / 8);
+    ReconSet mine(salt);
+    std::vector<std::uint64_t> ids;
+    for (std::size_t i = 0; i < diff; ++i) {
+      util::Hash256 txid = make_txid(0xb15ec7000 + diff * 1000 + i);
+      mine.add(txid);
+      ids.push_back(short_tx_id(txid, salt));
+    }
+
+    ShortIdSketch whole = mine.sketch(cells, 0);
+    ShortIdSketch empty_peer(cells, salt);
+    whole.subtract(empty_peer);
+    ASSERT_FALSE(whole.peel().complete) << "diff=" << diff << " should overflow";
+
+    // The two halves at the same cell count: every id lands in exactly one.
+    std::vector<std::uint64_t> recovered;
+    for (std::uint8_t part : {std::uint8_t{1}, std::uint8_t{2}}) {
+      ShortIdSketch half = mine.sketch(cells, part);
+      half.subtract(ShortIdSketch(cells, salt));
+      auto peel = half.peel();
+      // A half may still overflow (then the protocol full-invs — finite);
+      // when it decodes, it must yield exactly the ids of that parity.
+      if (!peel.complete) continue;
+      for (std::uint64_t id : peel.a_only) {
+        EXPECT_TRUE(id_in_part(id, part));
+        recovered.push_back(id);
+      }
+      EXPECT_TRUE(peel.b_only.empty());
+    }
+    std::sort(recovered.begin(), recovered.end());
+    std::sort(ids.begin(), ids.end());
+    // No id may be recovered twice and every recovered id is genuine.
+    EXPECT_TRUE(std::adjacent_find(recovered.begin(), recovered.end()) == recovered.end());
+    EXPECT_TRUE(std::includes(ids.begin(), ids.end(), recovered.begin(), recovered.end()));
+  }
+}
+
+TEST(IdInPartTest, PartsPartitionByParity) {
+  for (std::uint64_t id : {0ull, 1ull, 2ull, 0xffffffffffffull, 0x123456789abull}) {
+    EXPECT_TRUE(id_in_part(id, 0));
+    EXPECT_EQ(id_in_part(id, 1), (id & 1) == 0);
+    EXPECT_EQ(id_in_part(id, 2), (id & 1) == 1);
+    EXPECT_NE(id_in_part(id, 1), id_in_part(id, 2));
+  }
+}
+
+TEST(ReconSetTest, AddRemoveContains) {
+  ReconSet set(0xdeadbeef);
+  util::Hash256 t1 = make_txid(1), t2 = make_txid(2);
+  EXPECT_TRUE(set.add(t1));
+  EXPECT_FALSE(set.add(t1));  // duplicate
+  EXPECT_TRUE(set.add(t2));
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.contains(t1));
+  EXPECT_TRUE(set.remove(t1));
+  EXPECT_FALSE(set.remove(t1));
+  EXPECT_FALSE(set.contains(t1));
+  EXPECT_TRUE(set.contains(t2));
+
+  const util::Hash256* found = set.find_id(short_tx_id(t2, set.salt()));
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(*found, t2);
+}
+
+TEST(ReconSetTest, SnapshotMovesEntriesAndRestoreMerges) {
+  ReconSet set(0xcafe);
+  util::Hash256 t1 = make_txid(10), t2 = make_txid(20), t3 = make_txid(30);
+  set.add(t1);
+  set.add(t2);
+
+  auto snapshot = set.take_snapshot();
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(snapshot.size(), 2u);
+
+  // An arrival during the round survives the abort-restore.
+  set.add(t3);
+  set.restore_snapshot(std::move(snapshot));
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.contains(t1));
+  EXPECT_TRUE(set.contains(t2));
+  EXPECT_TRUE(set.contains(t3));
+}
+
+TEST(ReconSetTest, TxidsSortedByShortId) {
+  ReconSet set(0x77);
+  for (std::uint64_t tag = 0; tag < 20; ++tag) set.add(make_txid(tag));
+  auto txids = set.txids();
+  ASSERT_EQ(txids.size(), 20u);
+  for (std::size_t i = 1; i < txids.size(); ++i) {
+    EXPECT_LT(short_tx_id(txids[i - 1], set.salt()), short_tx_id(txids[i], set.salt()));
+  }
+}
+
+TEST(RespondToSketchTest, ComputesWantAndHaveAndDrainsSet) {
+  constexpr std::uint64_t kSalt = 0x600d;
+  ReconSet initiator(kSalt), responder(kSalt);
+  util::Hash256 shared = make_txid(100), init_only = make_txid(200),
+                resp_only = make_txid(300);
+  initiator.add(shared);
+  initiator.add(init_only);
+  responder.add(shared);
+  responder.add(resp_only);
+
+  ShortIdSketch sketch = initiator.sketch(recon_sketch_cells(8), 0);
+  auto result = respond_to_sketch(responder, sketch, 0);
+  ASSERT_FALSE(result.decode_failed);
+  // Responder wants the initiator-exclusive id…
+  ASSERT_EQ(result.want.size(), 1u);
+  EXPECT_EQ(result.want[0], short_tx_id(init_only, kSalt));
+  // …hands back its own exclusive tx to announce…
+  ASSERT_EQ(result.have.size(), 1u);
+  EXPECT_EQ(result.have[0].second, resp_only);
+  // …and the set drains: both the cancelled and the exclusive entry go.
+  EXPECT_TRUE(responder.empty());
+}
+
+TEST(RespondToSketchTest, FailureLeavesSetUntouched) {
+  constexpr std::uint64_t kSalt = 0xbad;
+  ReconSet initiator(kSalt), responder(kSalt);
+  for (std::uint64_t i = 0; i < 60; ++i) initiator.add(make_txid(500 + i));
+  responder.add(make_txid(9999));
+
+  ShortIdSketch sketch = initiator.sketch(8, 0);  // hopelessly undersized
+  auto result = respond_to_sketch(responder, sketch, 0);
+  EXPECT_TRUE(result.decode_failed);
+  EXPECT_TRUE(result.want.empty());
+  EXPECT_TRUE(result.have.empty());
+  EXPECT_EQ(responder.size(), 1u);
+  EXPECT_TRUE(responder.contains(make_txid(9999)));
+}
+
+TEST(RespondToSketchTest, PartRespectsParity) {
+  constexpr std::uint64_t kSalt = 0x9a9a;
+  ReconSet initiator(kSalt), responder(kSalt);
+  std::vector<util::Hash256> resp_even, resp_odd;
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    util::Hash256 txid = make_txid(7000 + i);
+    responder.add(txid);
+    (short_tx_id(txid, kSalt) & 1 ? resp_odd : resp_even).push_back(txid);
+  }
+  // Empty initiator sketch for part 1: responder should surface only its
+  // even-parity entries and keep the odd ones queued.
+  ShortIdSketch sketch = initiator.sketch(recon_sketch_cells(resp_even.size()), 1);
+  auto result = respond_to_sketch(responder, sketch, 1);
+  ASSERT_FALSE(result.decode_failed);
+  EXPECT_EQ(result.have.size(), resp_even.size());
+  EXPECT_EQ(responder.size(), resp_odd.size());
+  for (const auto& txid : resp_odd) EXPECT_TRUE(responder.contains(txid));
+}
+
+TEST(FanoutTest, DeterministicSubsetVariesByTxid) {
+  std::vector<std::uint32_t> peers{1, 2, 3, 4, 5, 6, 7, 8};
+  auto a1 = select_fanout_peers(make_txid(1), peers, 2, 0xf00);
+  auto a2 = select_fanout_peers(make_txid(1), peers, 2, 0xf00);
+  EXPECT_EQ(a1, a2);  // same inputs, same answer
+  ASSERT_EQ(a1.size(), 2u);
+  for (std::uint32_t p : a1) {
+    EXPECT_TRUE(std::find(peers.begin(), peers.end(), p) != peers.end());
+  }
+  // Different transactions must not all flood the same pair.
+  std::set<std::vector<std::uint32_t>> subsets;
+  for (std::uint64_t tag = 0; tag < 32; ++tag) {
+    subsets.insert(select_fanout_peers(make_txid(tag), peers, 2, 0xf00));
+  }
+  EXPECT_GT(subsets.size(), 4u);
+}
+
+TEST(FanoutTest, SmallPeerListPassesThrough) {
+  std::vector<std::uint32_t> peers{4, 9};
+  EXPECT_EQ(select_fanout_peers(make_txid(5), peers, 3, 1), peers);
+  EXPECT_EQ(select_fanout_peers(make_txid(5), {}, 3, 1), std::vector<std::uint32_t>{});
+}
+
+TEST(NextReconTickTest, StrictlyAfterNowAndPeriodic) {
+  constexpr std::int64_t kInterval = 2'000'000;  // 2 s in µs
+  for (std::uint32_t node : {0u, 1u, 7u, 15u, 16u, 255u}) {
+    std::int64_t t = 0;
+    std::int64_t prev = -1;
+    for (int i = 0; i < 5; ++i) {
+      std::int64_t tick = next_recon_tick(t, kInterval, node);
+      EXPECT_GT(tick, t);
+      EXPECT_LE(tick - t, kInterval);
+      if (prev >= 0) EXPECT_EQ(tick - prev, kInterval);
+      prev = tick;
+      t = tick;
+    }
+  }
+}
+
+TEST(NextReconTickTest, NodesAreStaggered) {
+  constexpr std::int64_t kInterval = 1'600'000;
+  std::set<std::int64_t> ticks;
+  for (std::uint32_t node = 0; node < 32; ++node) {
+    ticks.insert(next_recon_tick(0, kInterval, node));
+  }
+  // 32 phase slots at interval/32 spacing: all distinct.
+  EXPECT_EQ(ticks.size(), 32u);
+  EXPECT_EQ(next_recon_tick(0, kInterval, 0), next_recon_tick(0, kInterval, 32));
+}
+
+}  // namespace
+}  // namespace icbtc::reconcile

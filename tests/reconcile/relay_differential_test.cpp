@@ -1,0 +1,237 @@
+// Differential test of the two transaction-relay modes: a flooding-only and
+// a reconciliation-only network are driven through the same deterministic
+// scenario — churn, an RBF replacement, a partition with divergent mempools
+// and a reorg across the cut — and must converge to identical mempools,
+// identical chains, and identical canister fee percentiles. Reconciliation
+// is a bandwidth optimisation; any observable divergence is a bug.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "bitcoin/script.h"
+#include "btcnet/node.h"
+#include "canister/bitcoin_canister.h"
+#include "chain/block_builder.h"
+#include "crypto/ecdsa.h"
+#include "crypto/ripemd160.h"
+
+namespace icbtc::btcnet {
+namespace {
+
+constexpr std::size_t kNodes = 5;
+// Ring plus a chord; the partition below cuts {3, 4} off from {0, 1, 2}.
+constexpr std::pair<std::size_t, std::size_t> kLinks[] = {
+    {0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 3}};
+
+struct WorldResult {
+  std::set<util::Hash256> mempool;
+  util::Hash256 tip;
+  int height = 0;
+  std::vector<std::uint64_t> fee_percentiles;
+};
+
+class World {
+ public:
+  explicit World(TxRelayMode mode) : net_(sim_, util::Rng(77)) {
+    NodeOptions options;
+    options.tx_relay_mode = mode;
+    options.flood_fanout = 1;
+    for (std::size_t i = 0; i < kNodes; ++i) {
+      nodes_.push_back(std::make_unique<BitcoinNode>(net_, params_, options));
+    }
+    for (auto [a, b] : kLinks) net_.connect(id(a), id(b));
+    sim_.run();
+  }
+
+  BitcoinNode& node(std::size_t i) { return *nodes_[i]; }
+  NodeId id(std::size_t i) { return nodes_[i]->id(); }
+  void drain() { sim_.run(); }
+
+  bitcoin::OutPoint fund() {
+    auto block = build(node(0), {});
+    EXPECT_TRUE(node(0).submit_block(block));
+    return bitcoin::OutPoint{block.transactions[0].txid(), 0};
+  }
+
+  bitcoin::Transaction spend(const bitcoin::OutPoint& from_outpoint, bitcoin::Amount value) {
+    bitcoin::Transaction tx;
+    bitcoin::TxIn in;
+    in.prevout = from_outpoint;
+    tx.inputs.push_back(in);
+    tx.outputs.push_back(bitcoin::TxOut{value, bitcoin::p2pkh_script(key_hash_)});
+    auto lock = bitcoin::p2pkh_script(key_hash_);
+    auto digest = bitcoin::legacy_sighash(tx, 0, lock);
+    tx.inputs[0].script_sig =
+        bitcoin::p2pkh_script_sig(key_.sign(digest), key_.public_key().compressed());
+    return tx;
+  }
+
+  /// Mines the node's fee-ordered template on its best tip at the next
+  /// deterministic timestamp.
+  void mine(std::size_t i) {
+    auto block = build(node(i), node(i).mempool_template());
+    EXPECT_TRUE(node(i).submit_block(block));
+  }
+
+  void partition_island(bool on) {
+    net_.set_partitioned(id(3), on);
+    net_.set_partitioned(id(4), on);
+  }
+
+  void cycle_link(std::size_t a, std::size_t b) {
+    net_.disconnect(id(a), id(b));
+    net_.connect(id(a), id(b));
+  }
+
+  void cycle_all_links() {
+    for (auto [a, b] : kLinks) net_.disconnect(id(a), id(b));
+    for (auto [a, b] : kLinks) net_.connect(id(a), id(b));
+  }
+
+  /// Snapshot of node 0's view plus the canister percentiles over its chain;
+  /// asserts every node agrees before reporting.
+  WorldResult result() {
+    WorldResult out;
+    out.tip = node(0).best_tip();
+    out.height = node(0).best_height();
+    for (const auto& tx : node(0).mempool_snapshot()) out.mempool.insert(tx.txid());
+    for (std::size_t i = 1; i < kNodes; ++i) {
+      EXPECT_EQ(node(i).best_tip(), out.tip) << "node " << i << " on a different chain";
+      std::set<util::Hash256> pool;
+      for (const auto& tx : node(i).mempool_snapshot()) pool.insert(tx.txid());
+      EXPECT_EQ(pool, out.mempool) << "node " << i << " mempool diverged";
+    }
+
+    // Feed node 0's best chain into a fresh canister and read the fee view
+    // a contract calling get_current_fee_percentiles would see.
+    canister::BitcoinCanister canister(params_, canister::CanisterConfig::for_params(params_));
+    std::vector<util::Hash256> chain = node(0).tree().current_chain();
+    adapter::AdapterResponse response;
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      const bitcoin::Block* block = node(0).get_block(chain[i]);
+      EXPECT_NE(block, nullptr);
+      response.blocks.emplace_back(*block, block->header);
+    }
+    canister.process_response(response, static_cast<std::int64_t>(time_) + 4000);
+    auto outcome = canister.get_current_fee_percentiles();
+    EXPECT_TRUE(outcome.ok());
+    out.fee_percentiles = std::move(outcome.value);
+    return out;
+  }
+
+ private:
+  bitcoin::Block build(BitcoinNode& at, std::vector<bitcoin::Transaction> txs) {
+    // Keep the simulated clock in step with the header times, or the
+    // future-drift rule starts rejecting blocks after ~12 of them.
+    sim_.run_until(sim_.now() + 600 * util::kSecond);
+    time_ += 600;
+    std::uint32_t time = time_;
+    std::int64_t mtp = at.tree().median_time_past(at.best_tip());
+    if (time <= mtp) time = static_cast<std::uint32_t>(mtp + 1);
+    return chain::build_child_block(at.tree(), at.best_tip(), time,
+                                    bitcoin::p2pkh_script(key_hash_), 50 * bitcoin::kCoin,
+                                    std::move(txs), next_tag_++);
+  }
+
+  util::Simulation sim_;
+  const bitcoin::ChainParams& params_ = bitcoin::ChainParams::regtest();
+  Network net_;
+  std::vector<std::unique_ptr<BitcoinNode>> nodes_;
+  crypto::PrivateKey key_ = crypto::PrivateKey::from_seed(util::Bytes{3, 1, 4});
+  util::Hash160 key_hash_ = crypto::hash160(key_.public_key().compressed());
+  std::uint32_t time_ = params_.genesis_header.time;
+  std::uint64_t next_tag_ = 9000;
+};
+
+/// The shared scenario. Every phase ends in a full drain so both relay modes
+/// reach quiescence before the next deterministic input.
+WorldResult run_scenario(TxRelayMode mode) {
+  World world(mode);
+
+  // Funding: 12 coinbase outpoints mined at node 0 and propagated.
+  std::vector<bitcoin::OutPoint> outpoints;
+  for (int i = 0; i < 12; ++i) outpoints.push_back(world.fund());
+  world.drain();
+
+  // Phase 1 — distinct-fee transactions from several origins.
+  for (int i = 0; i < 4; ++i) {
+    auto tx = world.spend(outpoints[static_cast<std::size_t>(i)],
+                          49 * bitcoin::kCoin - i * 10'000);
+    EXPECT_TRUE(world.node(static_cast<std::size_t>(i) % kNodes).submit_tx(tx));
+  }
+  world.drain();
+
+  // Phase 2 — churn: cycle a core link mid-stream; the reconnect resync
+  // must not duplicate or lose anything.
+  world.cycle_link(1, 2);
+  auto tx4 = world.spend(outpoints[4], 49 * bitcoin::kCoin - 40'000);
+  EXPECT_TRUE(world.node(2).submit_tx(tx4));
+  world.drain();
+
+  // Phase 3 — an RBF replacement racing through the network.
+  auto low = world.spend(outpoints[5], 49 * bitcoin::kCoin);
+  EXPECT_TRUE(world.node(1).submit_tx(low));
+  world.drain();
+  auto high = world.spend(outpoints[5], 48 * bitcoin::kCoin);
+  EXPECT_TRUE(world.node(2).submit_tx(high));  // conflicts at every node
+  world.drain();
+
+  // Phase 4 — partition {3,4} and let the two sides diverge.
+  world.partition_island(true);
+  for (int i = 0; i < 2; ++i) {
+    auto tx = world.spend(outpoints[static_cast<std::size_t>(6 + i)],
+                          49 * bitcoin::kCoin - (60 + i) * 1'000);
+    EXPECT_TRUE(world.node(static_cast<std::size_t>(i)).submit_tx(tx));  // main side
+  }
+  for (int i = 0; i < 2; ++i) {
+    auto tx = world.spend(outpoints[static_cast<std::size_t>(8 + i)],
+                          49 * bitcoin::kCoin - (80 + i) * 1'000);
+    EXPECT_TRUE(world.node(static_cast<std::size_t>(3 + i)).submit_tx(tx));  // island
+  }
+  world.drain();
+
+  // Phase 5 — competing chains: one block on the main side, two on the
+  // island. The island chain carries more work and wins after healing.
+  world.mine(0);
+  world.drain();
+  world.mine(3);
+  world.drain();
+  world.mine(3);
+  world.drain();
+
+  // Phase 6 — heal. Links are cycled because a partition drops traffic
+  // silently: flooded invs are gone and reconciliation links have parked, so
+  // recovery rides the reconnect resync in both modes.
+  world.partition_island(false);
+  world.cycle_all_links();
+  world.drain();
+
+  return world.result();
+}
+
+TEST(RelayDifferentialTest, FloodAndReconcileConvergeIdentically) {
+  WorldResult flood = run_scenario(TxRelayMode::kFlood);
+  WorldResult recon = run_scenario(TxRelayMode::kReconcile);
+
+  // Same chain: the island's heavier fork, identical block-by-block (the
+  // fee-ordered template is deterministic, so even the mined bodies match).
+  EXPECT_EQ(flood.tip, recon.tip);
+  EXPECT_EQ(flood.height, recon.height);
+  EXPECT_GE(flood.height, 14);  // 12 funding + 2 island blocks won
+
+  // Same mempool contents...
+  EXPECT_EQ(flood.mempool, recon.mempool);
+  // ...which include the main side's orphaned transactions (returned by the
+  // reorg unless the island blocks confirmed them) and the RBF winner.
+  EXPECT_FALSE(flood.mempool.empty());
+
+  // Same fee view for contracts.
+  ASSERT_FALSE(flood.fee_percentiles.empty());
+  EXPECT_EQ(flood.fee_percentiles, recon.fee_percentiles);
+}
+
+}  // namespace
+}  // namespace icbtc::btcnet
